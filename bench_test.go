@@ -1,0 +1,391 @@
+// Benchmarks reproducing every table and figure of the evaluation section
+// (Section 8) of "Dynamic Density Based Clustering" at testing.B scale, plus
+// micro-benchmarks for the substrate structures. One benchmark family per
+// figure; `go test -bench=Fig12 -benchmem` etc. The ns/op of a workload
+// benchmark is the average cost per operation — the paper's avgcost metric.
+//
+// The full-scale reproduction (the paper's N = 10M with checkpointed series)
+// lives in cmd/dynbench; these benchmarks exercise the identical code paths
+// at a size that completes in seconds.
+package dyndbscan_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dyndbscan/internal/core"
+	"dyndbscan/internal/dyncon"
+	"dyndbscan/internal/geom"
+	"dyndbscan/internal/grid"
+	"dyndbscan/internal/kdtree"
+	"dyndbscan/internal/quadtree"
+	"dyndbscan/internal/workload"
+)
+
+const benchN = 20_000 // updates per benchmark workload
+
+type benchClusterer interface {
+	Insert(pt geom.Point) (core.PointID, error)
+	Delete(id core.PointID) error
+	GroupBy(q []core.PointID) (core.Result, error)
+}
+
+// benchWorkloads caches generated workloads per configuration.
+var benchWorkloads = map[string]*workload.Workload{}
+
+func getWorkload(b *testing.B, d int, insFrac float64, fqryFrac float64) *workload.Workload {
+	b.Helper()
+	key := fmt.Sprintf("%d-%v-%v", d, insFrac, fqryFrac)
+	if w, ok := benchWorkloads[key]; ok {
+		return w
+	}
+	p := workload.DefaultParams(d, benchN, 1)
+	p.InsFrac = insFrac
+	p.Fqry = int(fqryFrac * float64(benchN))
+	if p.Fqry < 1 {
+		p.Fqry = 1
+	}
+	w, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWorkloads[key] = w
+	return w
+}
+
+// replayWorkload executes b.N operations of the workload, restarting with a
+// fresh clusterer whenever the sequence is exhausted. ns/op ≈ avgcost.
+func replayWorkload(b *testing.B, mk func() benchClusterer, w *workload.Workload) {
+	b.Helper()
+	var cl benchClusterer
+	idBySeq := make([]core.PointID, w.Inserts)
+	var qbuf []core.PointID
+	pos, seq := 0, 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pos == 0 {
+			b.StopTimer()
+			cl = mk()
+			seq = 0
+			b.StartTimer()
+		}
+		op := w.Ops[pos]
+		switch op.Kind {
+		case workload.OpInsert:
+			id, err := cl.Insert(op.Pt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			idBySeq[seq] = id
+			seq++
+		case workload.OpDelete:
+			if err := cl.Delete(idBySeq[op.Target]); err != nil {
+				b.Fatal(err)
+			}
+		case workload.OpQuery:
+			qbuf = qbuf[:0]
+			for _, s := range op.Query {
+				qbuf = append(qbuf, idBySeq[s])
+			}
+			if _, err := cl.GroupBy(qbuf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		pos++
+		if pos == len(w.Ops) {
+			pos = 0
+		}
+	}
+}
+
+func mkSemi(d int, eps, rho float64) func() benchClusterer {
+	return func() benchClusterer {
+		s, err := core.NewSemiDynamic(core.Config{Dims: d, Eps: eps, MinPts: 10, Rho: rho})
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+}
+
+func mkFull(d int, eps, rho float64) func() benchClusterer {
+	return func() benchClusterer {
+		f, err := core.NewFullyDynamic(core.Config{Dims: d, Eps: eps, MinPts: 10, Rho: rho})
+		if err != nil {
+			panic(err)
+		}
+		return f
+	}
+}
+
+func mkInc(d int, eps float64) func() benchClusterer {
+	return func() benchClusterer {
+		ic, err := core.NewIncDBSCAN(core.Config{Dims: d, Eps: eps, MinPts: 10})
+		if err != nil {
+			panic(err)
+		}
+		return ic
+	}
+}
+
+// BenchmarkFig08 — semi-dynamic algorithms, 2D, insertion-only (Figure 8).
+func BenchmarkFig08(b *testing.B) {
+	w := getWorkload(b, 2, 1.0, 0.03)
+	b.Run("2d-Semi-Exact", func(b *testing.B) { replayWorkload(b, mkSemi(2, 200, 0), w) })
+	b.Run("Semi-Approx", func(b *testing.B) { replayWorkload(b, mkSemi(2, 200, 0.001), w) })
+	b.Run("IncDBSCAN", func(b *testing.B) { replayWorkload(b, mkInc(2, 200), w) })
+}
+
+// BenchmarkFig09 — semi-dynamic algorithms, d = 3, 5, 7 (Figure 9).
+func BenchmarkFig09(b *testing.B) {
+	for _, d := range []int{3, 5, 7} {
+		w := getWorkload(b, d, 1.0, 0.03)
+		eps := 100 * float64(d)
+		b.Run(fmt.Sprintf("Semi-Approx-%dD", d), func(b *testing.B) { replayWorkload(b, mkSemi(d, eps, 0.001), w) })
+		b.Run(fmt.Sprintf("IncDBSCAN-%dD", d), func(b *testing.B) { replayWorkload(b, mkInc(d, eps), w) })
+	}
+}
+
+// BenchmarkFig10 — semi-dynamic cost vs ε (Figure 10). IncDBSCAN is bounded
+// to the small-ε end here; the paper itself shows it becoming inapplicable.
+func BenchmarkFig10(b *testing.B) {
+	w := getWorkload(b, 2, 1.0, 0.03)
+	for _, mult := range []float64{50, 100, 200, 400, 800} {
+		eps := mult * 2
+		b.Run(fmt.Sprintf("Semi-Approx-eps%.0fd", mult), func(b *testing.B) { replayWorkload(b, mkSemi(2, eps, 0.001), w) })
+	}
+	b.Run("IncDBSCAN-eps50d", func(b *testing.B) { replayWorkload(b, mkInc(2, 100), w) })
+	b.Run("IncDBSCAN-eps200d", func(b *testing.B) { replayWorkload(b, mkInc(2, 400), w) })
+}
+
+// BenchmarkFig11 — semi-dynamic cost vs query frequency (Figure 11).
+func BenchmarkFig11(b *testing.B) {
+	for _, frac := range []float64{0.01, 0.03, 0.10} {
+		w := getWorkload(b, 2, 1.0, frac)
+		b.Run(fmt.Sprintf("Semi-Approx-fqry%.2fN", frac), func(b *testing.B) { replayWorkload(b, mkSemi(2, 200, 0.001), w) })
+	}
+}
+
+// BenchmarkFig12 — fully-dynamic algorithms, 2D, mixed updates (Figure 12).
+func BenchmarkFig12(b *testing.B) {
+	w := getWorkload(b, 2, 5.0/6.0, 0.03)
+	b.Run("2d-Full-Exact", func(b *testing.B) { replayWorkload(b, mkFull(2, 200, 0), w) })
+	b.Run("Double-Approx", func(b *testing.B) { replayWorkload(b, mkFull(2, 200, 0.001), w) })
+	b.Run("IncDBSCAN", func(b *testing.B) { replayWorkload(b, mkInc(2, 200), w) })
+}
+
+// BenchmarkFig13 — fully-dynamic algorithms, d = 3, 5, 7 (Figure 13).
+// IncDBSCAN is benchmarked at 3D only; the paper terminated it on 5D/7D.
+func BenchmarkFig13(b *testing.B) {
+	for _, d := range []int{3, 5, 7} {
+		w := getWorkload(b, d, 5.0/6.0, 0.03)
+		eps := 100 * float64(d)
+		b.Run(fmt.Sprintf("Double-Approx-%dD", d), func(b *testing.B) { replayWorkload(b, mkFull(d, eps, 0.001), w) })
+	}
+	w := getWorkload(b, 3, 5.0/6.0, 0.03)
+	b.Run("IncDBSCAN-3D", func(b *testing.B) { replayWorkload(b, mkInc(3, 300), w) })
+}
+
+// BenchmarkFig14 — fully-dynamic cost vs ε (Figure 14).
+func BenchmarkFig14(b *testing.B) {
+	w := getWorkload(b, 2, 5.0/6.0, 0.03)
+	for _, mult := range []float64{50, 200, 800} {
+		eps := mult * 2
+		b.Run(fmt.Sprintf("Double-Approx-eps%.0fd", mult), func(b *testing.B) { replayWorkload(b, mkFull(2, eps, 0.001), w) })
+	}
+	b.Run("IncDBSCAN-eps50d", func(b *testing.B) { replayWorkload(b, mkInc(2, 100), w) })
+}
+
+// BenchmarkFig15 — fully-dynamic cost vs insertion percentage (Figure 15).
+func BenchmarkFig15(b *testing.B) {
+	for _, fr := range []struct {
+		label string
+		v     float64
+	}{{"2of3", 2.0 / 3.0}, {"5of6", 5.0 / 6.0}, {"10of11", 10.0 / 11.0}} {
+		w := getWorkload(b, 2, fr.v, 0.03)
+		b.Run("Double-Approx-ins"+fr.label, func(b *testing.B) { replayWorkload(b, mkFull(2, 200, 0.001), w) })
+	}
+}
+
+// BenchmarkTable1 — the Õ(1) per-operation claims of Table 1, measured as
+// isolated operation types against a pre-loaded fully dynamic clusterer.
+func BenchmarkTable1(b *testing.B) {
+	load := func(b *testing.B, n int) (*core.FullyDynamic, []core.PointID) {
+		b.Helper()
+		f, err := core.NewFullyDynamic(core.Config{Dims: 3, Eps: 300, MinPts: 10, Rho: 0.001})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := workload.DefaultParams(3, n, 2)
+		p.InsFrac = 1
+		w, err := workload.Generate(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ids []core.PointID
+		for _, op := range w.Ops {
+			if op.Kind != workload.OpInsert {
+				continue
+			}
+			id, err := f.Insert(op.Pt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		return f, ids
+	}
+	b.Run("Insert", func(b *testing.B) {
+		f, _ := load(b, 20_000)
+		rng := rand.New(rand.NewSource(9))
+		pts := make([]geom.Point, b.N)
+		for i := range pts {
+			pts[i] = geom.Point{rng.Float64() * 1e5, rng.Float64() * 1e5, rng.Float64() * 1e5}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.Insert(pts[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("InsertDeleteCycle", func(b *testing.B) {
+		f, _ := load(b, 20_000)
+		rng := rand.New(rand.NewSource(10))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pt := geom.Point{rng.Float64() * 1e5, rng.Float64() * 1e5, rng.Float64() * 1e5}
+			id, err := f.Insert(pt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := f.Delete(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("GroupBy32", func(b *testing.B) {
+		f, ids := load(b, 20_000)
+		rng := rand.New(rand.NewSource(11))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := make([]core.PointID, 32)
+			for j := range q {
+				q[j] = ids[rng.Intn(len(ids))]
+			}
+			if _, err := f.GroupBy(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Micro-benchmarks of the substrate structures.
+
+func BenchmarkSubstrateDynConn(b *testing.B) {
+	b.Run("InsertDeleteEdge", func(b *testing.B) {
+		c := dyncon.New()
+		const n = 1000
+		for v := int64(0); v < n; v++ {
+			c.AddVertex(v)
+		}
+		rng := rand.New(rand.NewSource(1))
+		type edge struct{ u, v int64 }
+		live := map[edge]bool{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u, v := rng.Int63n(n), rng.Int63n(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			e := edge{u, v}
+			if live[e] {
+				c.DeleteEdge(u, v)
+				delete(live, e)
+			} else {
+				c.InsertEdge(u, v)
+				live[e] = true
+			}
+		}
+	})
+	b.Run("ComponentID", func(b *testing.B) {
+		c := dyncon.New()
+		const n = 1000
+		for v := int64(0); v < n; v++ {
+			c.AddVertex(v)
+		}
+		for v := int64(0); v+1 < n; v += 2 {
+			c.InsertEdge(v, v+1)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.ComponentID(int64(i % n))
+		}
+	})
+}
+
+func BenchmarkSubstrateKDTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tr := kdtree.New(3)
+	for i := int64(0); i < 5000; i++ {
+		tr.Insert(i, geom.Point{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100})
+	}
+	b.Run("Probe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := geom.Point{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+			tr.Probe(q, 5, 5.005)
+		}
+	})
+	b.Run("Nearest", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := geom.Point{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+			tr.Nearest(q)
+		}
+	})
+}
+
+func BenchmarkSubstrateQuadtree(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tr := quadtree.New(3)
+	for i := int64(0); i < 20000; i++ {
+		tr.Insert(i, geom.Point{rng.Float64() * 1e5, rng.Float64() * 1e5, rng.Float64() * 1e5})
+	}
+	b.Run("ApproxBallCount", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := geom.Point{rng.Float64() * 1e5, rng.Float64() * 1e5, rng.Float64() * 1e5}
+			tr.ApproxBallCount(q, 300, 300.3)
+		}
+	})
+}
+
+func BenchmarkSubstrateGridIndex(b *testing.B) {
+	geo := grid.NewParams(3, 300)
+	ix := grid.NewIndex[int](geo)
+	rng := rand.New(rand.NewSource(4))
+	var coords []grid.Coord
+	for i := 0; i < 20000; i++ {
+		var c grid.Coord
+		for j := 0; j < 3; j++ {
+			c[j] = int32(rng.Intn(600))
+		}
+		ix.Insert(c, i)
+		coords = append(coords, c)
+	}
+	b.Run("QueryClose", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix.QueryClose(coords[i%len(coords)], 300, func(grid.Coord, int) bool { return true })
+		}
+	})
+}

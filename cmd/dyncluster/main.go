@@ -1,0 +1,202 @@
+// Command dyncluster clusters points with the dynamic DBSCAN algorithms.
+//
+// Two modes:
+//
+// Batch mode (default) reads one comma-separated point per line from stdin
+// or -in, inserts everything, and prints the final clustering — one line per
+// input point with its cluster ids (a border point may have several) or
+// "noise":
+//
+//	dyngen -mode dataset -d 2 -n 5000 | dyncluster -d 2 -eps 200 -minpts 10
+//
+// Ops mode (-ops) replays a dyngen workload file (insert/delete/query lines)
+// and prints every query result as it happens:
+//
+//	dyngen -mode workload -d 2 -n 10000 -fqry 500 | dyncluster -d 2 -eps 200 -ops
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dyndbscan"
+)
+
+func main() {
+	var (
+		d      = flag.Int("d", 2, "dimensionality")
+		eps    = flag.Float64("eps", 100, "DBSCAN eps")
+		minPts = flag.Int("minpts", 10, "DBSCAN MinPts")
+		rho    = flag.Float64("rho", 0.001, "approximation parameter (0 = exact)")
+		algo   = flag.String("algo", "full", "full | semi | inc")
+		ops    = flag.Bool("ops", false, "input is a dyngen workload instead of raw points")
+		in     = flag.String("in", "", "input file (default stdin)")
+	)
+	flag.Parse()
+
+	cfg := dyndbscan.Config{Dims: *d, Eps: *eps, MinPts: *minPts, Rho: *rho}
+	var cl dyndbscan.Clusterer
+	var err error
+	switch *algo {
+	case "full":
+		cl, err = dyndbscan.NewFullyDynamic(cfg)
+	case "semi":
+		cl, err = dyndbscan.NewSemiDynamic(cfg)
+	case "inc":
+		cl, err = dyndbscan.NewIncDBSCAN(cfg)
+	default:
+		err = fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	input := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		input = f
+	}
+	sc := bufio.NewScanner(input)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	if *ops {
+		runOps(cl, sc, out, *d)
+		return
+	}
+	runBatch(cl, sc, out, *d)
+}
+
+func runBatch(cl dyndbscan.Clusterer, sc *bufio.Scanner, out *bufio.Writer, d int) {
+	var ids []dyndbscan.PointID
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		pt, err := parsePoint(text, d)
+		if err != nil {
+			fatal(fmt.Errorf("line %d: %v", line, err))
+		}
+		id, err := cl.Insert(pt)
+		if err != nil {
+			fatal(fmt.Errorf("line %d: %v", line, err))
+		}
+		ids = append(ids, id)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	res, err := cl.GroupBy(ids)
+	if err != nil {
+		fatal(err)
+	}
+	// Invert the grouping: point -> cluster indices.
+	membership := make(map[dyndbscan.PointID][]int)
+	for g, members := range res.Groups {
+		for _, id := range members {
+			membership[id] = append(membership[id], g)
+		}
+	}
+	for _, id := range ids {
+		gs := membership[id]
+		if len(gs) == 0 {
+			fmt.Fprintln(out, "noise")
+			continue
+		}
+		strs := make([]string, len(gs))
+		for i, g := range gs {
+			strs[i] = strconv.Itoa(g)
+		}
+		fmt.Fprintln(out, strings.Join(strs, ","))
+	}
+	fmt.Fprintf(os.Stderr, "dyncluster: %d points, %d clusters, %d noise\n",
+		len(ids), len(res.Groups), len(res.Noise))
+}
+
+func runOps(cl dyndbscan.Clusterer, sc *bufio.Scanner, out *bufio.Writer, d int) {
+	var idBySeq []dyndbscan.PointID
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		kind, rest, _ := strings.Cut(text, " ")
+		switch kind {
+		case "i":
+			pt, err := parsePoint(rest, d)
+			if err != nil {
+				fatal(fmt.Errorf("line %d: %v", line, err))
+			}
+			id, err := cl.Insert(pt)
+			if err != nil {
+				fatal(fmt.Errorf("line %d: %v", line, err))
+			}
+			idBySeq = append(idBySeq, id)
+		case "d":
+			seq, err := strconv.Atoi(rest)
+			if err != nil || seq < 0 || seq >= len(idBySeq) {
+				fatal(fmt.Errorf("line %d: bad delete target %q", line, rest))
+			}
+			if err := cl.Delete(idBySeq[seq]); err != nil {
+				fatal(fmt.Errorf("line %d: %v", line, err))
+			}
+		case "q":
+			var q []dyndbscan.PointID
+			for _, s := range strings.Split(rest, ",") {
+				seq, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || seq < 0 || seq >= len(idBySeq) {
+					fatal(fmt.Errorf("line %d: bad query member %q", line, s))
+				}
+				q = append(q, idBySeq[seq])
+			}
+			res, err := cl.GroupBy(q)
+			if err != nil {
+				fatal(fmt.Errorf("line %d: %v", line, err))
+			}
+			fmt.Fprintf(out, "query line %d: %d groups, %d noise\n", line, len(res.Groups), len(res.Noise))
+			for _, g := range res.Groups {
+				fmt.Fprintf(out, "  %v\n", g)
+			}
+		default:
+			fatal(fmt.Errorf("line %d: unknown op %q", line, kind))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func parsePoint(s string, d int) (dyndbscan.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) < d {
+		return nil, fmt.Errorf("point %q has %d coordinates, need %d", s, len(parts), d)
+	}
+	pt := make(dyndbscan.Point, d)
+	for i := 0; i < d; i++ {
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad coordinate %q", parts[i])
+		}
+		pt[i] = v
+	}
+	return pt, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dyncluster: %v\n", err)
+	os.Exit(1)
+}

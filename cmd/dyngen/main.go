@@ -1,0 +1,101 @@
+// Command dyngen generates datasets and workloads in a line-oriented text
+// format, using the seed-spreader generator of the paper's Section 8.1.
+//
+// Usage:
+//
+//	dyngen -mode dataset  -d 2 -n 10000 [-seed 1] > points.csv
+//	dyngen -mode workload -d 2 -n 10000 -ins 0.833 -fqry 300 > ops.txt
+//
+// Dataset mode writes one comma-separated point per line. Workload mode
+// writes one operation per line:
+//
+//	i x1,x2,...   insert a point
+//	d k           delete the point created by the k-th insertion (0-based)
+//	q k1,k2,...   C-group-by query over insertion numbers
+//
+// The format is consumed by dyncluster -ops.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dyndbscan/internal/workload"
+)
+
+func main() {
+	var (
+		mode = flag.String("mode", "dataset", "dataset | workload")
+		d    = flag.Int("d", 2, "dimensionality")
+		n    = flag.Int("n", 10000, "points (dataset) or updates (workload)")
+		ins  = flag.Float64("ins", 5.0/6.0, "insertion fraction (workload mode)")
+		fqry = flag.Int("fqry", 0, "query every fqry updates; 0 = no queries")
+		seed = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	p := workload.DefaultParams(*d, *n, *seed)
+	p.InsFrac = *ins
+	p.Fqry = *fqry
+
+	switch *mode {
+	case "dataset":
+		p.InsFrac = 1
+		w, err := workload.Generate(workload.Params{
+			Dims: *d, N: *n, InsFrac: 1, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, op := range w.Ops {
+			if op.Kind != workload.OpInsert {
+				continue
+			}
+			writePoint(out, op.Pt, *d)
+			fmt.Fprintln(out)
+		}
+	case "workload":
+		w, err := workload.Generate(p)
+		if err != nil {
+			fatal(err)
+		}
+		for _, op := range w.Ops {
+			switch op.Kind {
+			case workload.OpInsert:
+				fmt.Fprint(out, "i ")
+				writePoint(out, op.Pt, *d)
+				fmt.Fprintln(out)
+			case workload.OpDelete:
+				fmt.Fprintf(out, "d %d\n", op.Target)
+			case workload.OpQuery:
+				strs := make([]string, len(op.Query))
+				for i, q := range op.Query {
+					strs[i] = fmt.Sprint(q)
+				}
+				fmt.Fprintf(out, "q %s\n", strings.Join(strs, ","))
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func writePoint(out *bufio.Writer, pt []float64, d int) {
+	for i := 0; i < d; i++ {
+		if i > 0 {
+			out.WriteByte(',')
+		}
+		fmt.Fprintf(out, "%g", pt[i])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dyngen: %v\n", err)
+	os.Exit(1)
+}

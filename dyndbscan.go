@@ -1,0 +1,174 @@
+// Package dyndbscan maintains density-based (DBSCAN) clusters over a
+// dynamic set of points and answers cluster-group-by (C-group-by) queries,
+// implementing "Dynamic Density Based Clustering" (Gan & Tao, SIGMOD 2017).
+//
+// # Overview
+//
+// Classical DBSCAN defines clusters by transitivity of proximity: a point is
+// a core point when at least MinPts points lie within distance Eps of it,
+// core points within Eps of each other share a cluster, and non-core points
+// join the clusters of the core points near them. Maintaining such clusters
+// under updates is hard because one insertion can merge many clusters and
+// one deletion can split a cluster apart.
+//
+// The paper's approach — reproduced here in full — maintains a grid graph
+// over "core cells" of a grid with cell side Eps/√d and reduces cluster
+// maintenance to dynamic graph connectivity. Three clusterers are provided:
+//
+//   - NewSemiDynamic: insertion-only ρ-approximate DBSCAN with O~(1)
+//     amortized insertion (Theorem 1). With Rho = 0 in 2D it maintains
+//     exact DBSCAN clusters.
+//   - NewFullyDynamic: fully dynamic ρ-double-approximate DBSCAN with O~(1)
+//     amortized insertion and deletion (Theorem 4). It offers the same
+//     sandwich guarantee as ρ-approximate DBSCAN (Theorem 3); with Rho = 0
+//     in 2D it maintains exact DBSCAN clusters.
+//   - NewIncDBSCAN: the incremental exact DBSCAN of Ester et al. (1998),
+//     the baseline the paper compares against.
+//
+// All three answer C-group-by queries: given any subset Q of the current
+// points, group the members of Q by the clusters they belong to, in time
+// proportional to |Q| rather than |P|.
+//
+// # Quick start
+//
+//	c, err := dyndbscan.NewFullyDynamic(dyndbscan.Config{
+//		Dims: 2, Eps: 10, MinPts: 5, Rho: 0.001,
+//	})
+//	if err != nil { ... }
+//	a, _ := c.Insert(dyndbscan.Point{1, 2})
+//	b, _ := c.Insert(dyndbscan.Point{2, 3})
+//	res, _ := c.GroupBy([]dyndbscan.PointID{a, b})
+//	if res.SameGroup(a, b) { ... }
+//
+// The approximation parameter Rho trades a sliver of precision near the
+// Eps boundary for dramatically better update complexity; the paper
+// recommends Rho = 0.001, at which the result is virtually always identical
+// to exact DBSCAN (formally: identical whenever the exact clustering is
+// stable under perturbing Eps by a factor 1+Rho).
+package dyndbscan
+
+import (
+	"dyndbscan/internal/core"
+	"dyndbscan/internal/geom"
+)
+
+// Point is a point in R^d. It must carry at least Config.Dims coordinates;
+// extra coordinates are ignored.
+type Point = geom.Point
+
+// PointID is the stable handle returned by Insert and consumed by Delete and
+// GroupBy.
+type PointID = core.PointID
+
+// Config carries the DBSCAN parameters.
+//
+// Dims is the dimensionality d (1..8; the paper evaluates 2, 3, 5, 7).
+// Eps is the density radius ε. MinPts is the density threshold. Rho is the
+// approximation parameter ρ ≥ 0; 0 requests exact semantics.
+type Config = core.Config
+
+// Result is the answer to a C-group-by query: the queried points grouped by
+// cluster, plus the queried points that belong to no cluster (noise). A
+// non-core point on the border of several clusters appears in several
+// groups.
+type Result = core.Result
+
+// Stats is a snapshot of a clusterer's structural counters.
+type Stats = core.Stats
+
+// Errors returned by the clusterers.
+var (
+	ErrDeletesUnsupported = core.ErrDeletesUnsupported
+	ErrUnknownPoint       = core.ErrUnknownPoint
+	ErrBadPoint           = core.ErrBadPoint
+)
+
+// Clusterer is the common interface of the three dynamic clustering
+// algorithms.
+type Clusterer interface {
+	// Insert adds a point and returns its handle.
+	Insert(pt Point) (PointID, error)
+	// Delete removes a point. Semi-dynamic clusterers return
+	// ErrDeletesUnsupported.
+	Delete(id PointID) error
+	// GroupBy answers a C-group-by query over the given handles.
+	GroupBy(q []PointID) (Result, error)
+	// Len returns the number of points currently stored.
+	Len() int
+	// IDs returns every live handle (for the degenerate query Q = P).
+	IDs() []PointID
+	// Has reports whether the handle is live.
+	Has(id PointID) bool
+	// Config returns the clusterer's configuration.
+	Config() Config
+}
+
+// SemiDynamic is the insertion-only ρ-approximate clusterer (Theorem 1).
+type SemiDynamic struct{ *core.SemiDynamic }
+
+// NewSemiDynamic returns an empty semi-dynamic clusterer.
+func NewSemiDynamic(cfg Config) (*SemiDynamic, error) {
+	s, err := core.NewSemiDynamic(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SemiDynamic{s}, nil
+}
+
+// FullyDynamic is the fully dynamic ρ-double-approximate clusterer
+// (Theorem 4).
+type FullyDynamic struct{ *core.FullyDynamic }
+
+// NewFullyDynamic returns an empty fully-dynamic clusterer.
+func NewFullyDynamic(cfg Config) (*FullyDynamic, error) {
+	f, err := core.NewFullyDynamic(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &FullyDynamic{f}, nil
+}
+
+// IncDBSCAN is the incremental exact DBSCAN baseline of Ester et al. (1998).
+type IncDBSCAN struct{ *core.IncDBSCAN }
+
+// NewIncDBSCAN returns an empty IncDBSCAN instance. Rho is ignored (the
+// algorithm is exact). Range queries are served from the grid, the faster
+// configuration.
+func NewIncDBSCAN(cfg Config) (*IncDBSCAN, error) {
+	ic, err := core.NewIncDBSCAN(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &IncDBSCAN{ic}, nil
+}
+
+// NewIncDBSCANRTree returns an IncDBSCAN whose range queries run against a
+// Guttman R-tree, matching the original 1998 system's setup. Slower than
+// NewIncDBSCAN; provided for historical fidelity and ablations.
+func NewIncDBSCANRTree(cfg Config) (*IncDBSCAN, error) {
+	ic, err := core.NewIncDBSCANRTree(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &IncDBSCAN{ic}, nil
+}
+
+// Static clustering oracle.
+
+// StaticClustering is the output of the offline exact DBSCAN oracle.
+type StaticClustering = core.StaticClustering
+
+// StaticDBSCAN computes the exact DBSCAN clustering of pts offline. It is
+// quadratic in dense neighborhoods and intended for validation and small
+// data, not production workloads — that is what the dynamic clusterers are
+// for.
+func StaticDBSCAN(pts []Point, dims int, eps float64, minPts int) *StaticClustering {
+	return core.StaticDBSCAN(pts, dims, eps, minPts)
+}
+
+// Compile-time interface checks.
+var (
+	_ Clusterer = (*SemiDynamic)(nil)
+	_ Clusterer = (*FullyDynamic)(nil)
+	_ Clusterer = (*IncDBSCAN)(nil)
+)

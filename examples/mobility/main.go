@@ -1,0 +1,116 @@
+// Mobility: clustering a live fleet of vehicles over a sliding window —
+// the fully dynamic case the paper's Theorem 4 makes tractable. Every tick
+// each vehicle reports a position (an insertion) and its report from W ticks
+// ago expires (a deletion). Hotspots (dense pickup areas) appear, drift, and
+// dissolve; a C-group-by over the fleet's latest reports tracks which
+// vehicles currently sit in the same hotspot.
+//
+// The deletions are what make this workload hard: with IncDBSCAN every
+// expiry can trigger breadth-first searches over the affected cluster,
+// while the ρ-double-approximate structure handles it in near-constant time
+// (compare with `dynbench fig12`).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dyndbscan"
+)
+
+const (
+	nVehicles = 120
+	window    = 8 // each report lives this many ticks
+	ticks     = 60
+	cityEdge  = 1000.0
+)
+
+type vehicle struct {
+	pos     dyndbscan.Point
+	hotspot int // -1 = roaming
+	reports []dyndbscan.PointID
+	lastID  dyndbscan.PointID
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	c, err := dyndbscan.NewFullyDynamic(dyndbscan.Config{
+		Dims:   2,
+		Eps:    40,
+		MinPts: 8,
+		Rho:    0.001,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three hotspots that drift across the city.
+	hotspots := []dyndbscan.Point{{200, 200}, {800, 300}, {500, 800}}
+	drift := []dyndbscan.Point{{3, 2}, {-2, 3}, {1, -3}}
+
+	fleet := make([]*vehicle, nVehicles)
+	for i := range fleet {
+		fleet[i] = &vehicle{
+			pos:     dyndbscan.Point{rng.Float64() * cityEdge, rng.Float64() * cityEdge},
+			hotspot: i % (len(hotspots) + 1), // every 4th vehicle roams
+		}
+		if fleet[i].hotspot == len(hotspots) {
+			fleet[i].hotspot = -1
+		}
+	}
+
+	for tick := 0; tick < ticks; tick++ {
+		// Hotspots drift.
+		for h := range hotspots {
+			hotspots[h][0] += drift[h][0]
+			hotspots[h][1] += drift[h][1]
+		}
+		// Vehicles move and report.
+		for _, v := range fleet {
+			if v.hotspot >= 0 {
+				// Attracted to its hotspot with some jitter.
+				h := hotspots[v.hotspot]
+				v.pos[0] += (h[0]-v.pos[0])*0.4 + rng.NormFloat64()*8
+				v.pos[1] += (h[1]-v.pos[1])*0.4 + rng.NormFloat64()*8
+			} else {
+				v.pos[0] += rng.NormFloat64() * 30
+				v.pos[1] += rng.NormFloat64() * 30
+			}
+			id, err := c.Insert(dyndbscan.Point{v.pos[0], v.pos[1]})
+			if err != nil {
+				log.Fatal(err)
+			}
+			v.reports = append(v.reports, id)
+			v.lastID = id
+			// Expire the report that left the window.
+			if len(v.reports) > window {
+				old := v.reports[0]
+				v.reports = v.reports[1:]
+				if err := c.Delete(old); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+
+		if (tick+1)%15 == 0 {
+			// Which vehicles currently share a hotspot? One C-group-by over
+			// the latest report of every vehicle.
+			q := make([]dyndbscan.PointID, len(fleet))
+			for i, v := range fleet {
+				q[i] = v.lastID
+			}
+			res, err := c.GroupBy(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("tick %2d: %5d live reports, %d hotspot groups, %d roaming vehicles\n",
+				tick+1, c.Len(), len(res.Groups), len(res.Noise))
+			for g, members := range res.Groups {
+				if len(members) >= 10 {
+					fmt.Printf("   group %d: %d vehicles\n", g+1, len(members))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Quickstart: insert points, ask C-group-by queries, delete points, and
+// watch clusters merge and split — the whole public API in one file.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dyndbscan"
+)
+
+func main() {
+	// A fully dynamic clusterer with the paper's recommended ρ = 0.001.
+	// In 2D with Rho = 0 the same type maintains exact DBSCAN clusters.
+	c, err := dyndbscan.NewFullyDynamic(dyndbscan.Config{
+		Dims:   2,
+		Eps:    1.5,
+		MinPts: 3,
+		Rho:    0.001,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two little blobs, far apart.
+	var left, right []dyndbscan.PointID
+	for i := 0; i < 6; i++ {
+		id, err := c.Insert(dyndbscan.Point{float64(i % 3), float64(i / 3)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		left = append(left, id)
+		id, err = c.Insert(dyndbscan.Point{20 + float64(i%3), float64(i / 3)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		right = append(right, id)
+	}
+
+	// A C-group-by query over a few selected points: the response groups
+	// them by cluster in time proportional to |Q|, not to the data size.
+	q := []dyndbscan.PointID{left[0], left[3], right[0]}
+	res, err := c.GroupBy(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before bridging: %d groups among %v\n", len(res.Groups), q)
+	fmt.Printf("  left[0] and right[0] together? %v\n", res.SameGroup(left[0], right[0]))
+
+	// Insert a bridge of points between the blobs (the merge of Figure 1).
+	var bridge []dyndbscan.PointID
+	for x := 3.0; x < 20; x++ {
+		for j := 0; j < 3; j++ {
+			id, err := c.Insert(dyndbscan.Point{x, 0.4 * float64(j)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			bridge = append(bridge, id)
+		}
+	}
+	res, _ = c.GroupBy(q)
+	fmt.Printf("after bridging:  %d group(s); together? %v\n",
+		len(res.Groups), res.SameGroup(left[0], right[0]))
+
+	// Delete the bridge again: the cluster splits back — deletions are the
+	// hard part of dynamic clustering, and exactly what this structure
+	// handles in near-constant time.
+	for _, id := range bridge {
+		if err := c.Delete(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, _ = c.GroupBy(q)
+	fmt.Printf("after deleting the bridge: %d groups; together? %v\n",
+		len(res.Groups), res.SameGroup(left[0], right[0]))
+
+	// The degenerate query Q = P returns the full clustering.
+	all, _ := c.GroupBy(c.IDs())
+	fmt.Printf("full clustering: %d clusters, %d noise points, %d points total\n",
+		len(all.Groups), len(all.Noise), c.Len())
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"dyndbscan/internal/geom"
+)
+
+// Audit exhaustively validates the maintained state of a FullyDynamic
+// clusterer against brute force: stored core statuses must be legal under
+// ρ-double-approximate semantics, every grid-graph edge must satisfy the
+// yes/no/don't-care rule of Section 4.1, cell bookkeeping must be coherent,
+// and the connectivity structure must pass its own validation. O(n²) — for
+// tests and debugging.
+func (f *FullyDynamic) Audit() error {
+	minPts := f.cfg.MinPts
+	// 1. Stored core statuses are legal at the current instant:
+	// core ⇒ |B(p,(1+ρ)ε)| ≥ MinPts, non-core ⇒ |B(p,ε)| < MinPts.
+	for id, rec := range f.points {
+		ballEps, ballUp := 0, 0
+		for _, other := range f.points {
+			d := geom.DistSq(rec.pt, other.pt, f.cfg.Dims)
+			if d <= f.epsSq {
+				ballEps++
+			}
+			if d <= f.rUpSq {
+				ballUp++
+			}
+		}
+		if rec.core && ballUp < minPts {
+			return fmt.Errorf("audit: point %d core but |B((1+ρ)ε)|=%d < MinPts", id, ballUp)
+		}
+		if !rec.core && ballEps >= minPts {
+			return fmt.Errorf("audit: point %d non-core but |B(ε)|=%d ≥ MinPts", id, ballEps)
+		}
+	}
+	// 2. Cell bookkeeping. Reverse check first: every live record must sit
+	// in its cell's point slice at its recorded position (this also catches
+	// records whose cell pointer was moved away from a now-orphaned cell).
+	cells := make(map[*cell]struct{})
+	for id, rec := range f.points {
+		if rec.idx >= len(rec.cell.pts) || rec.cell.pts[rec.idx] != rec {
+			return fmt.Errorf("audit: point %d not at its recorded cell position", id)
+		}
+		cells[rec.cell] = struct{}{}
+	}
+	for c := range cells {
+		if got, ok := f.idx.Get(c.coord); !ok || got != c {
+			return fmt.Errorf("audit: cell %v not indexed", c.coord.Render(f.cfg.Dims))
+		}
+		cores := 0
+		for i, p := range c.pts {
+			if p.idx != i || p.cell != c {
+				return fmt.Errorf("audit: point %d has stale cell position", p.id)
+			}
+			if f.geo.CellOf(p.pt) != c.coord {
+				return fmt.Errorf("audit: point %d in wrong cell", p.id)
+			}
+			if p.core {
+				cores++
+				if p.coreNode == nil || !c.coreTree.Has(p.id) {
+					return fmt.Errorf("audit: core point %d missing from core structures", p.id)
+				}
+			} else if p.coreNode != nil || c.coreTree.Has(p.id) {
+				return fmt.Errorf("audit: non-core point %d present in core structures", p.id)
+			}
+		}
+		if cores != c.coreCount || c.coreTree.Len() != cores || c.coreList.Len() != cores {
+			return fmt.Errorf("audit: cell %v core counters inconsistent", c.coord.Render(f.cfg.Dims))
+		}
+		if err := auditNonCoreList(c, f.cfg.Dims); err != nil {
+			return err
+		}
+		if (c.coreCount > 0) != (c.vertexID >= 0) {
+			return fmt.Errorf("audit: cell %v vertex status inconsistent", c.coord.Render(f.cfg.Dims))
+		}
+		if c.vertexID >= 0 && !f.cc.HasVertex(c.vertexID) {
+			return fmt.Errorf("audit: cell %v vertex missing from CC structure", c.coord.Render(f.cfg.Dims))
+		}
+	}
+	// 3. Edges: every ε-close core cell pair has exactly one instance; the
+	// witness obeys Lemma 3; the CC edge mirrors the witness.
+	for c := range cells {
+		if c.coreCount == 0 {
+			if len(c.instances) != 0 {
+				return fmt.Errorf("audit: non-core cell %v has instances", c.coord.Render(f.cfg.Dims))
+			}
+			continue
+		}
+		seen := 0
+		for _, ln := range c.neighbors {
+			nc := ln.c
+			if !ln.eps || nc.coreCount == 0 {
+				continue
+			}
+			seen++
+			inst, ok := c.instances[nc]
+			if !ok {
+				return fmt.Errorf("audit: missing instance between %v and %v",
+					c.coord.Render(f.cfg.Dims), nc.coord.Render(f.cfg.Dims))
+			}
+			if inst != nc.instances[c] {
+				return fmt.Errorf("audit: asymmetric instance between %v and %v",
+					c.coord.Render(f.cfg.Dims), nc.coord.Render(f.cfg.Dims))
+			}
+			// Witness invariants.
+			closest := f.closestCorePairSq(c, nc)
+			if inst.HasWitness() {
+				a, b := inst.Witness()
+				ra, rb := f.points[a.ID], f.points[b.ID]
+				if ra == nil || rb == nil || !ra.core || !rb.core {
+					return fmt.Errorf("audit: witness references non-core points")
+				}
+				if geom.DistSq(a.Pt, b.Pt, f.cfg.Dims) > f.rUpSq*(1+1e-12) {
+					return fmt.Errorf("audit: witness pair farther than (1+ρ)ε")
+				}
+			} else if closest <= f.epsSq {
+				return fmt.Errorf("audit: core pair within ε between %v and %v but no witness",
+					c.coord.Render(f.cfg.Dims), nc.coord.Render(f.cfg.Dims))
+			}
+			if f.cc.HasEdge(c.vertexID, nc.vertexID) != inst.HasWitness() {
+				return fmt.Errorf("audit: CC edge between %v and %v disagrees with witness",
+					c.coord.Render(f.cfg.Dims), nc.coord.Render(f.cfg.Dims))
+			}
+		}
+		if len(c.instances) != seen {
+			return fmt.Errorf("audit: cell %v has %d instances, expected %d",
+				c.coord.Render(f.cfg.Dims), len(c.instances), seen)
+		}
+	}
+	return f.cc.Validate()
+}
+
+// auditNonCoreList verifies the per-cell non-core resident list: exactly the
+// non-core points of the cell, each at its recorded position.
+func auditNonCoreList(c *cell, dims int) error {
+	if len(c.nonCore) != len(c.pts)-c.coreCount {
+		return fmt.Errorf("audit: cell %v nonCore list has %d entries, want %d",
+			c.coord.Render(dims), len(c.nonCore), len(c.pts)-c.coreCount)
+	}
+	for i, p := range c.nonCore {
+		if p.core {
+			return fmt.Errorf("audit: core point %d in nonCore list", p.id)
+		}
+		if p.ncIdx != i || p.cell != c {
+			return fmt.Errorf("audit: point %d has stale nonCore position", p.id)
+		}
+	}
+	return nil
+}
+
+// closestCorePairSq returns the squared distance of the closest core pair
+// between two cells (brute force).
+func (f *FullyDynamic) closestCorePairSq(c1, c2 *cell) float64 {
+	best := -1.0
+	for _, p := range c1.pts {
+		if !p.core {
+			continue
+		}
+		for _, q := range c2.pts {
+			if !q.core {
+				continue
+			}
+			if d := geom.DistSq(p.pt, q.pt, f.cfg.Dims); best < 0 || d < best {
+				best = d
+			}
+		}
+	}
+	if best < 0 {
+		return f.rUpSq * 1e6 // no pair
+	}
+	return best
+}
+
+// Audit validates the maintained state of a SemiDynamic clusterer: vicinity
+// counts must be exact, core flags must match exact DBSCAN core semantics,
+// and the grid-graph edges/union-find must satisfy the CC requirement.
+func (s *SemiDynamic) Audit() error {
+	minPts := s.cfg.MinPts
+	for id, rec := range s.points {
+		ball := 0
+		for _, other := range s.points {
+			if geom.DistSq(rec.pt, other.pt, s.cfg.Dims) <= s.epsSq {
+				ball++
+			}
+		}
+		if rec.core != (ball >= minPts) {
+			return fmt.Errorf("audit: point %d core=%v but |B(ε)|=%d (MinPts=%d)", id, rec.core, ball, minPts)
+		}
+		if !rec.core && rec.vincnt != ball {
+			return fmt.Errorf("audit: point %d vincnt=%d but |B(ε)|=%d", id, rec.vincnt, ball)
+		}
+	}
+	cells := make(map[*cell]struct{})
+	for _, rec := range s.points {
+		cells[rec.cell] = struct{}{}
+	}
+	for c := range cells {
+		cores := 0
+		for _, p := range c.pts {
+			if p.core {
+				cores++
+			}
+		}
+		if cores != c.coreCount || c.coreTree.Len() != cores {
+			return fmt.Errorf("audit: cell %v core counters inconsistent", c.coord.Render(s.cfg.Dims))
+		}
+		if err := auditNonCoreList(c, s.cfg.Dims); err != nil {
+			return err
+		}
+		if (c.coreCount > 0) != (c.ufID >= 0) {
+			return fmt.Errorf("audit: cell %v uf status inconsistent", c.coord.Render(s.cfg.Dims))
+		}
+	}
+	// Edge rules: ε-pairs between core cells force a same-set relation; any
+	// recorded edge must be backed by a core pair within (1+ρ)ε.
+	for c := range cells {
+		if c.coreCount == 0 {
+			continue
+		}
+		for _, ln := range c.neighbors {
+			nc := ln.c
+			if !ln.eps || nc.coreCount == 0 {
+				continue
+			}
+			closest := s.closestCorePairSq(c, nc)
+			if closest <= s.epsSq && !s.uf.Same(c.ufID, nc.ufID) {
+				return fmt.Errorf("audit: ε-close core pair but cells in different components")
+			}
+		}
+		for nc := range c.edges {
+			if s.closestCorePairSq(c, nc) > s.rUpSq*(1+1e-12) {
+				return fmt.Errorf("audit: edge without a core pair within (1+ρ)ε")
+			}
+		}
+	}
+	return nil
+}
+
+func (s *SemiDynamic) closestCorePairSq(c1, c2 *cell) float64 {
+	best := -1.0
+	for _, p := range c1.pts {
+		if !p.core {
+			continue
+		}
+		for _, q := range c2.pts {
+			if !q.core {
+				continue
+			}
+			if d := geom.DistSq(p.pt, q.pt, s.cfg.Dims); best < 0 || d < best {
+				best = d
+			}
+		}
+	}
+	if best < 0 {
+		return s.rUpSq * 1e6
+	}
+	return best
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dyndbscan/internal/geom"
+)
+
+// These tests inject faults into otherwise healthy clusterers and assert the
+// auditors actually detect them — guarding against the validators rotting
+// into always-green rubber stamps.
+
+func healthyFullyDynamic(t *testing.T) *FullyDynamic {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	f, err := NewFullyDynamic(Config{Dims: 2, Eps: 3, MinPts: 4, Rho: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range genBlobs(rng, 2, 2, 40, 5, 30, 4) {
+		if _, err := f.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Audit(); err != nil {
+		t.Fatalf("fixture not healthy: %v", err)
+	}
+	return f
+}
+
+func TestAuditDetectsCoreFlagCorruption(t *testing.T) {
+	f := healthyFullyDynamic(t)
+	// Demote a core point behind the structure's back.
+	for _, rec := range f.points {
+		if rec.core {
+			rec.core = false
+			break
+		}
+	}
+	if err := f.Audit(); err == nil {
+		t.Fatal("audit missed a corrupted core flag")
+	}
+}
+
+func TestAuditDetectsForgedCoreFlag(t *testing.T) {
+	f := healthyFullyDynamic(t)
+	// Promote an isolated noise point behind the structure's back.
+	var loner *pointRec
+	for _, rec := range f.points {
+		if !rec.core {
+			loner = rec
+			break
+		}
+	}
+	if loner == nil {
+		t.Skip("fixture has no non-core point")
+	}
+	loner.core = true
+	if err := f.Audit(); err == nil {
+		t.Fatal("audit missed a forged core flag")
+	}
+}
+
+func TestAuditDetectsMissingEdge(t *testing.T) {
+	f := healthyFullyDynamic(t)
+	// Remove a CC edge while the witness still exists.
+	removed := false
+	for _, rec := range f.points {
+		c := rec.cell
+		if c.coreCount == 0 {
+			continue
+		}
+		for other, inst := range c.instances {
+			if inst.HasWitness() && f.cc.HasEdge(c.vertexID, other.vertexID) {
+				f.cc.DeleteEdge(c.vertexID, other.vertexID)
+				removed = true
+				break
+			}
+		}
+		if removed {
+			break
+		}
+	}
+	if !removed {
+		t.Skip("fixture has no witnessed edge")
+	}
+	if err := f.Audit(); err == nil {
+		t.Fatal("audit missed a missing CC edge")
+	}
+}
+
+func TestAuditDetectsCounterDrift(t *testing.T) {
+	f := healthyFullyDynamic(t)
+	for _, rec := range f.points {
+		if rec.cell.coreCount > 0 {
+			rec.cell.coreCount++
+			break
+		}
+	}
+	if err := f.Audit(); err == nil {
+		t.Fatal("audit missed core counter drift")
+	}
+}
+
+func TestSemiAuditDetectsVincntDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s, err := NewSemiDynamic(Config{Dims: 2, Eps: 3, MinPts: 4, Rho: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range genBlobs(rng, 2, 2, 40, 5, 30, 4) {
+		if _, err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Audit(); err != nil {
+		t.Fatalf("fixture not healthy: %v", err)
+	}
+	for _, rec := range s.points {
+		if !rec.core {
+			rec.vincnt++
+			break
+		}
+	}
+	if err := s.Audit(); err == nil {
+		t.Fatal("audit missed vincnt drift")
+	}
+}
+
+func TestDynconValidateDetectsFlagCorruption(t *testing.T) {
+	f := healthyFullyDynamic(t)
+	// Corrupt a loop-node aggregate inside the connectivity structure by
+	// inserting an edge record inconsistency: delete from the edge map only.
+	// (Reach into dyncon via its own Validate test instead — here we check
+	// the audit chain end-to-end by breaking vertex bookkeeping.)
+	var victim *cell
+	for _, rec := range f.points {
+		if rec.cell.coreCount > 0 {
+			victim = rec.cell
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no core cell")
+	}
+	victim.vertexID = victim.vertexID + 100000 // dangling vertex reference
+	if err := f.Audit(); err == nil {
+		t.Fatal("audit missed dangling vertex id")
+	}
+}
+
+// TestAuditCatchesWrongCellAssignment moves a point record between cells.
+func TestAuditCatchesWrongCellAssignment(t *testing.T) {
+	f := healthyFullyDynamic(t)
+	var a, b *cell
+	for _, rec := range f.points {
+		if a == nil {
+			a = rec.cell
+		} else if rec.cell != a {
+			b = rec.cell
+			break
+		}
+	}
+	if b == nil {
+		t.Skip("single-cell fixture")
+	}
+	// Swap one record's cell pointer without moving the point.
+	for _, rec := range f.points {
+		if rec.cell == a {
+			rec.cell = b
+			break
+		}
+	}
+	if err := f.Audit(); err == nil {
+		t.Fatal("audit missed wrong cell assignment")
+	}
+}
+
+// TestAuditErrorMessages ensures audit failures carry actionable text.
+func TestAuditErrorMessages(t *testing.T) {
+	f := healthyFullyDynamic(t)
+	for _, rec := range f.points {
+		if rec.core {
+			rec.core = false
+			break
+		}
+	}
+	err := f.Audit()
+	if err == nil || !strings.Contains(err.Error(), "audit:") {
+		t.Fatalf("audit error unhelpful: %v", err)
+	}
+}
+
+// TestAuditOnEmpty: auditing empty structures must succeed.
+func TestAuditOnEmpty(t *testing.T) {
+	f, _ := NewFullyDynamic(Config{Dims: 2, Eps: 1, MinPts: 2})
+	if err := f.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := NewSemiDynamic(Config{Dims: 2, Eps: 1, MinPts: 2})
+	if err := s.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := f.Insert(geom.Point{0, 0})
+	_ = f.Delete(id)
+	if err := f.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"dyndbscan/internal/abcp"
+	"dyndbscan/internal/geom"
+	"dyndbscan/internal/grid"
+	"dyndbscan/internal/kdtree"
+)
+
+// pointRec is the per-point state shared by all algorithms. Fields that only
+// one algorithm uses are documented as such; keeping them inline avoids a
+// second map lookup on the hot update paths.
+type pointRec struct {
+	id    PointID
+	pt    geom.Point
+	cell  *cell
+	idx   int // position in cell.pts
+	ncIdx int // position in cell.nonCore while non-core; -1 otherwise
+	core  bool
+
+	vincnt      int        // exact |B(p,ε)| (SemiDynamic: non-core only; IncDBSCAN: all points)
+	coreNode    *abcp.Node // FullyDynamic: membership in cell.coreList while core
+	clusterElem int        // IncDBSCAN: union-find element of the cluster id; -1 if none
+}
+
+// neighborLink records one occupied cell within (1+ρ)ε box distance. eps
+// marks the links within ε box distance — the "ε-close" cells of the paper;
+// the wider ring is needed only by the fully-dynamic demotion sweep.
+type neighborLink struct {
+	c   *cell
+	eps bool
+}
+
+// cell is one occupied grid cell: its points, its core-point substructures,
+// its ε-close neighborhood, and its grid-graph bookkeeping.
+type cell struct {
+	coord grid.Coord
+	pts   []*pointRec
+	// nonCore lists the cell's current non-core residents, so status sweeps
+	// cost O(candidates) instead of O(|pts|) — in a dense cell of thousands
+	// of points a sweep would otherwise rescan everything whenever a single
+	// resident (such as a freshly inserted, not-yet-promoted point) is
+	// non-core.
+	nonCore []*pointRec
+
+	coreCount int
+	coreTree  *kdtree.Tree // emptiness structure over the cell's core points
+	coreList  *abcp.List   // FullyDynamic: insertion-ordered core points
+
+	neighbors []neighborLink
+
+	ufID      int                      // SemiDynamic: union-find element; -1 until core
+	edges     map[*cell]struct{}       // SemiDynamic: adjacent core cells in G
+	vertexID  int64                    // FullyDynamic: CC vertex while core; -1 otherwise
+	instances map[*cell]*abcp.Instance // FullyDynamic: aBCP per ε-close core cell
+}
+
+// base is the shared machinery of Section 4: the grid, the occupied-cell
+// index, the point table, and the emptiness probes.
+type base struct {
+	cfg    Config
+	geo    grid.Params
+	idx    *grid.Index[*cell]
+	points map[PointID]*pointRec
+	nextID PointID
+
+	rUp   float64 // (1+ρ)ε
+	epsSq float64
+	rUpSq float64
+}
+
+func newBase(cfg Config) *base {
+	geo := grid.NewParams(cfg.Dims, cfg.Eps)
+	rUp := cfg.Eps * (1 + cfg.Rho)
+	return &base{
+		cfg:    cfg,
+		geo:    geo,
+		idx:    grid.NewIndex[*cell](geo),
+		points: make(map[PointID]*pointRec),
+		rUp:    rUp,
+		epsSq:  cfg.Eps * cfg.Eps,
+		rUpSq:  rUp * rUp,
+	}
+}
+
+// Len returns the number of points currently stored.
+func (b *base) Len() int { return len(b.points) }
+
+// Config returns the clusterer's configuration.
+func (b *base) Config() Config { return b.cfg }
+
+// IDs returns all live point ids (in no particular order). It is provided so
+// callers can issue the degenerate C-group-by query with Q = P.
+func (b *base) IDs() []PointID {
+	out := make([]PointID, 0, len(b.points))
+	for id := range b.points {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Has reports whether the point id is live.
+func (b *base) Has(id PointID) bool {
+	_, ok := b.points[id]
+	return ok
+}
+
+// cellFor returns the occupied cell containing pt, creating it (and wiring
+// its neighborhood through one occupied-cell index query) on first use.
+func (b *base) cellFor(pt geom.Point) *cell {
+	coord := b.geo.CellOf(pt)
+	if c, ok := b.idx.Get(coord); ok {
+		return c
+	}
+	c := &cell{
+		coord:     coord,
+		coreTree:  kdtree.New(b.cfg.Dims),
+		coreList:  abcp.NewList(),
+		ufID:      -1,
+		vertexID:  -1,
+		edges:     make(map[*cell]struct{}),
+		instances: make(map[*cell]*abcp.Instance),
+	}
+	b.idx.QueryClose(coord, b.rUp, func(oc grid.Coord, other *cell) bool {
+		eps := b.geo.EpsClose(coord, oc)
+		c.neighbors = append(c.neighbors, neighborLink{c: other, eps: eps})
+		other.neighbors = append(other.neighbors, neighborLink{c: c, eps: eps})
+		return true
+	})
+	b.idx.Insert(coord, c)
+	return c
+}
+
+// destroyCell removes an emptied cell from the grid and unlinks it from its
+// neighbors. The caller must have cleared all core state first.
+func (b *base) destroyCell(c *cell) {
+	if len(c.pts) != 0 || c.coreCount != 0 {
+		panic("core: destroying non-empty cell")
+	}
+	for _, ln := range c.neighbors {
+		nb := ln.c
+		for i := range nb.neighbors {
+			if nb.neighbors[i].c == c {
+				nb.neighbors[i] = nb.neighbors[len(nb.neighbors)-1]
+				nb.neighbors = nb.neighbors[:len(nb.neighbors)-1]
+				break
+			}
+		}
+	}
+	c.neighbors = nil
+	b.idx.Delete(c.coord)
+}
+
+// addPoint allocates a record for pt, places it in its cell (initially
+// non-core), and registers it in the point table.
+func (b *base) addPoint(pt geom.Point) *pointRec {
+	rec := &pointRec{
+		id:          b.nextID,
+		pt:          pt[:b.cfg.Dims].Clone(),
+		clusterElem: -1,
+	}
+	b.nextID++
+	c := b.cellFor(rec.pt)
+	rec.cell = c
+	rec.idx = len(c.pts)
+	c.pts = append(c.pts, rec)
+	rec.ncIdx = len(c.nonCore)
+	c.nonCore = append(c.nonCore, rec)
+	b.points[rec.id] = rec
+	return rec
+}
+
+// markCore flips rec to core status, removing it from its cell's non-core
+// list. The caller updates algorithm-specific core structures.
+func (b *base) markCore(rec *pointRec) {
+	if rec.core {
+		panic("core: markCore on core point")
+	}
+	rec.core = true
+	c := rec.cell
+	last := len(c.nonCore) - 1
+	c.nonCore[rec.ncIdx] = c.nonCore[last]
+	c.nonCore[rec.ncIdx].ncIdx = rec.ncIdx
+	c.nonCore = c.nonCore[:last]
+	rec.ncIdx = -1
+	c.coreCount++
+}
+
+// markNonCore flips rec back to non-core status.
+func (b *base) markNonCore(rec *pointRec) {
+	if !rec.core {
+		panic("core: markNonCore on non-core point")
+	}
+	rec.core = false
+	c := rec.cell
+	rec.ncIdx = len(c.nonCore)
+	c.nonCore = append(c.nonCore, rec)
+	c.coreCount--
+}
+
+// removePoint detaches rec from its cell (swap-delete) and the point table.
+// The caller is responsible for core-state teardown and cell destruction.
+func (b *base) removePoint(rec *pointRec) {
+	c := rec.cell
+	last := len(c.pts) - 1
+	c.pts[rec.idx] = c.pts[last]
+	c.pts[rec.idx].idx = rec.idx
+	c.pts = c.pts[:last]
+	if !rec.core {
+		lastNC := len(c.nonCore) - 1
+		c.nonCore[rec.ncIdx] = c.nonCore[lastNC]
+		c.nonCore[rec.ncIdx].ncIdx = rec.ncIdx
+		c.nonCore = c.nonCore[:lastNC]
+	}
+	delete(b.points, rec.id)
+	rec.cell = nil
+}
+
+// probeCore is the ρ-approximate ε-emptiness query of Section 4.2 against
+// cell c's core points: it returns a core point within (1+ρ)ε of q and is
+// guaranteed to succeed when one lies within ε. With ρ = 0 it is exact.
+func (b *base) probeCore(c *cell, q geom.Point) (PointID, bool) {
+	id, _, ok := c.coreTree.Probe(q, b.cfg.Eps, b.rUp)
+	return id, ok
+}
+
+// groupBy is the shared C-group-by query algorithm of Section 4.2. compID
+// must return a comparable component identifier for a core cell, stable for
+// the duration of this call.
+func (b *base) groupBy(ids []PointID, compID func(*cell) any) (Result, error) {
+	var res Result
+	groups := make(map[any][]PointID)
+	seen := make(map[PointID]struct{}, len(ids))
+	for _, id := range ids {
+		rec, ok := b.points[id]
+		if !ok {
+			return Result{}, ErrUnknownPoint
+		}
+		// Q is a set: repeated handles contribute once.
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		if rec.core {
+			key := compID(rec.cell)
+			groups[key] = append(groups[key], id)
+			continue
+		}
+		// Non-core point: snap to the ε-close core cells. Its own cell, if
+		// core, always qualifies (same-cell points are within ε).
+		memberships := make(map[any]struct{})
+		c := rec.cell
+		if c.coreCount > 0 {
+			memberships[compID(c)] = struct{}{}
+		}
+		for _, ln := range c.neighbors {
+			if !ln.eps || ln.c.coreCount == 0 {
+				continue
+			}
+			if _, ok := b.probeCore(ln.c, rec.pt); ok {
+				memberships[compID(ln.c)] = struct{}{}
+			}
+		}
+		if len(memberships) == 0 {
+			res.Noise = append(res.Noise, id)
+			continue
+		}
+		for key := range memberships {
+			groups[key] = append(groups[key], id)
+		}
+	}
+	for _, members := range groups {
+		res.Groups = append(res.Groups, members)
+	}
+	res.normalize()
+	return res, nil
+}
+
+// coreCellCount and edge statistics used by Stats.
+func (b *base) statsCells() (cells, coreCells int) {
+	cells = b.idx.Len()
+	// Count via the point table to avoid walking the index.
+	seen := make(map[*cell]struct{})
+	for _, rec := range b.points {
+		if rec.cell.coreCount > 0 {
+			seen[rec.cell] = struct{}{}
+		}
+	}
+	return cells, len(seen)
+}
+
+// Stats is a snapshot of structural counters, useful for observability in
+// examples and benchmarks.
+type Stats struct {
+	Points    int
+	Cells     int
+	CoreCells int
+	Cores     int
+}
+
+func (b *base) stats() Stats {
+	cells, coreCells := b.statsCells()
+	cores := 0
+	for _, rec := range b.points {
+		if rec.core {
+			cores++
+		}
+	}
+	return Stats{Points: len(b.points), Cells: cells, CoreCells: coreCells, Cores: cores}
+}

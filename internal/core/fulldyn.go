@@ -1,0 +1,252 @@
+package core
+
+import (
+	"dyndbscan/internal/abcp"
+	"dyndbscan/internal/dyncon"
+	"dyndbscan/internal/geom"
+	"dyndbscan/internal/quadtree"
+)
+
+// FullyDynamic is the fully dynamic ρ-double-approximate DBSCAN clusterer of
+// Section 7 (Theorem 4): Õ(1) amortized insertions AND deletions, Õ(|Q|)
+// C-group-by queries, any fixed dimensionality. With ρ = 0 and d = 2 it is
+// the paper's exact 2d-Full-Exact configuration.
+//
+// The three framework components are instantiated as:
+//
+//   - core status (Section 7.3): relaxed core semantics decided by an
+//     approximate range count k ∈ [|B(p,ε)|, |B(p,(1+ρ)ε)|] from a counting
+//     quadtree; points in dense cells short-circuit to core.
+//   - grid-graph edges (Sections 7.1–7.2): one aBCP instance per ε-close
+//     pair of core cells; an edge exists exactly while the instance holds a
+//     witness pair. This is what eliminates IncDBSCAN's deletion-time BFS.
+//   - CC structure: Holm–de Lichtenberg–Thorup fully dynamic connectivity.
+//
+// One deviation from the paper's text (documented in DESIGN.md): the
+// demotion sweep after a deletion visits sparse cells within (1+ρ)ε — not
+// just ε — of the deleted point, because a stored core point must keep
+// |B(p,(1+ρ)ε)| ≥ MinPts to remain a legal ρ-double-approximate core point.
+type FullyDynamic struct {
+	*base
+	cc         *dyncon.Conn
+	counter    *quadtree.Tree
+	nextVertex int64
+}
+
+// NewFullyDynamic returns an empty fully-dynamic clusterer.
+func NewFullyDynamic(cfg Config) (*FullyDynamic, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &FullyDynamic{
+		base:    newBase(cfg),
+		cc:      dyncon.New(),
+		counter: quadtree.New(cfg.Dims),
+	}, nil
+}
+
+// isCoreNow evaluates the relaxed core predicate of Section 6.2 against the
+// current point set. Any answer it gives is legal for points in the
+// don't-care band, and both transitions it drives (promote on ≥ MinPts,
+// demote on < MinPts) preserve the stored-status legality invariants.
+//
+// The thresholded quadtree query is used instead of a full band count: the
+// structure only ever needs "count ≥ MinPts?", and the threshold form exits
+// as soon as any dense region inside the ball is found.
+func (f *FullyDynamic) isCoreNow(rec *pointRec) bool {
+	if len(rec.cell.pts) >= f.cfg.MinPts {
+		return true // dense cell: |B(p,ε)| ≥ MinPts outright
+	}
+	return f.counter.AtLeast(rec.pt, f.cfg.Eps, f.rUp, f.cfg.MinPts)
+}
+
+// Insert adds a point in amortized Õ(1) time.
+func (f *FullyDynamic) Insert(pt geom.Point) (PointID, error) {
+	if err := checkPoint(pt, f.cfg.Dims); err != nil {
+		return 0, err
+	}
+	rec := f.addPoint(pt)
+	f.counter.Insert(rec.id, rec.pt)
+	cnew := rec.cell
+
+	if f.isCoreNow(rec) {
+		f.promote(rec)
+	}
+	// Promotion sweep (Section 7.3): only non-core points within ε of the
+	// new point can flip, and they live in ε-close cells. (An insertion can
+	// never force a demotion.) Candidates are collected first because
+	// promotion mutates the non-core lists under iteration; the promotion
+	// predicate is count-based, so order does not matter.
+	var promote []*pointRec
+	sweep := func(c *cell) {
+		for _, p := range c.nonCore {
+			if p == rec {
+				continue
+			}
+			if geom.DistSq(p.pt, rec.pt, f.cfg.Dims) > f.epsSq {
+				continue
+			}
+			if f.isCoreNow(p) {
+				promote = append(promote, p)
+			}
+		}
+	}
+	sweep(cnew)
+	for _, ln := range cnew.neighbors {
+		if ln.eps {
+			sweep(ln.c)
+		}
+	}
+	for _, p := range promote {
+		f.promote(p)
+	}
+	return rec.id, nil
+}
+
+// Delete removes a point in amortized Õ(1) time.
+func (f *FullyDynamic) Delete(id PointID) error {
+	rec, ok := f.points[id]
+	if !ok {
+		return ErrUnknownPoint
+	}
+	c := rec.cell
+	f.counter.Delete(rec.id, rec.pt)
+	if rec.core {
+		f.retireCore(rec)
+	}
+	f.removePoint(rec)
+
+	// Demotion sweep: stored core legality depends on |B(p,(1+ρ)ε)|, so the
+	// sweep covers sparse cells within (1+ρ)ε (every neighbor link). Cells
+	// that remain dense cannot demote. (A deletion can never force a
+	// promotion.)
+	sweep := func(c2 *cell) {
+		if c2.coreCount == 0 || len(c2.pts) >= f.cfg.MinPts {
+			return
+		}
+		for _, p := range c2.pts {
+			if !p.core {
+				continue
+			}
+			if geom.DistSq(p.pt, rec.pt, f.cfg.Dims) > f.rUpSq {
+				continue
+			}
+			if !f.isCoreNow(p) {
+				f.retireCore(p)
+			}
+		}
+	}
+	sweep(c)
+	for _, ln := range c.neighbors {
+		sweep(ln.c)
+	}
+	if len(c.pts) == 0 {
+		f.destroyCell(c)
+	}
+	return nil
+}
+
+// promote is GUM for a point turning core (Section 7.4). If its cell was
+// already a grid-graph vertex, the point joins every aBCP instance of the
+// cell; otherwise the cell becomes a vertex and instances against all
+// ε-close core cells are initialized.
+func (f *FullyDynamic) promote(p *pointRec) {
+	f.markCore(p)
+	c := p.cell
+	c.coreTree.Insert(p.id, p.pt)
+	p.coreNode = c.coreList.Append(p.id, p.pt)
+
+	if c.coreCount > 1 {
+		for other, inst := range c.instances {
+			before := inst.HasWitness()
+			inst.NotifyInsert(inst.SideOf(c.coreList), p.coreNode)
+			if !before && inst.HasWitness() {
+				f.cc.InsertEdge(c.vertexID, other.vertexID)
+			}
+		}
+		return
+	}
+	// The cell just became a core cell.
+	c.vertexID = f.nextVertex
+	f.nextVertex++
+	f.cc.AddVertex(c.vertexID)
+	for _, ln := range c.neighbors {
+		nc := ln.c
+		if !ln.eps || nc.coreCount == 0 {
+			continue
+		}
+		inst := abcp.New(c.coreList, nc.coreList, f.probeFn(c), f.probeFn(nc))
+		c.instances[nc] = inst
+		nc.instances[c] = inst
+		if inst.HasWitness() {
+			f.cc.InsertEdge(c.vertexID, nc.vertexID)
+		}
+	}
+}
+
+// retireCore removes p from its cell's core structures — used both when p is
+// demoted and when a core point is deleted outright. Witness transitions are
+// translated into grid-graph edge removals; a cell whose last core point
+// retires stops being a vertex.
+func (f *FullyDynamic) retireCore(p *pointRec) {
+	c := p.cell
+	c.coreTree.Delete(p.id)
+	for _, inst := range c.instances {
+		inst.PreDelete(inst.SideOf(c.coreList), p.coreNode)
+	}
+	c.coreList.Remove(p.coreNode)
+	for other, inst := range c.instances {
+		before := inst.HasWitness()
+		inst.PostDelete(inst.SideOf(c.coreList), p.coreNode)
+		if before && !inst.HasWitness() {
+			f.cc.DeleteEdge(c.vertexID, other.vertexID)
+		}
+	}
+	p.coreNode = nil
+	f.markNonCore(p)
+	if c.coreCount == 0 {
+		f.unmakeCoreCell(c)
+	}
+}
+
+// unmakeCoreCell destroys the aBCP instances of a cell that lost its last
+// core point and removes its grid-graph vertex.
+func (f *FullyDynamic) unmakeCoreCell(c *cell) {
+	for other, inst := range c.instances {
+		if inst.HasWitness() {
+			f.cc.DeleteEdge(c.vertexID, other.vertexID)
+		}
+		delete(other.instances, c)
+	}
+	c.instances = make(map[*cell]*abcp.Instance)
+	f.cc.RemoveVertex(c.vertexID)
+	c.vertexID = -1
+}
+
+// probeFn adapts the cell's emptiness structure to the aBCP probe contract,
+// translating point ids back into core-list nodes.
+func (f *FullyDynamic) probeFn(c *cell) abcp.ProbeFunc {
+	return func(q geom.Point) (*abcp.Node, bool) {
+		id, _, ok := c.coreTree.Probe(q, f.cfg.Eps, f.rUp)
+		if !ok {
+			return nil, false
+		}
+		return f.points[id].coreNode, true
+	}
+}
+
+// GroupBy answers a C-group-by query in Õ(|Q|) time. Component identities
+// come from the fully dynamic connectivity structure and are consistent
+// across the whole call.
+func (f *FullyDynamic) GroupBy(ids []PointID) (Result, error) {
+	return f.groupBy(ids, func(c *cell) any { return f.cc.ComponentID(c.vertexID) })
+}
+
+// Stats returns structural counters, including grid-graph size.
+func (f *FullyDynamic) Stats() Stats { return f.stats() }
+
+// GraphStats reports the current grid graph: vertices (core cells), edges,
+// and connected components (clusters of core cells).
+func (f *FullyDynamic) GraphStats() (vertices, edges, components int) {
+	return f.cc.NumVertices(), f.cc.NumEdges(), f.cc.NumComponents()
+}

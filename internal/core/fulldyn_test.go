@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dyndbscan/internal/geom"
+)
+
+// fullDynHarness drives a FullyDynamic clusterer through a random mixed
+// insert/delete sequence while tracking the alive set, so checkpoints can
+// compare against the static oracle (ρ=0) or the sandwich guarantee (ρ>0).
+type fullDynHarness struct {
+	t     *testing.T
+	f     *FullyDynamic
+	pts   []geom.Point // alive points, parallel to ids
+	ids   []PointID
+	pool  []geom.Point // insertion candidates
+	next  int
+	audit bool
+}
+
+func (h *fullDynHarness) insert() {
+	if h.next >= len(h.pool) {
+		return
+	}
+	p := h.pool[h.next]
+	h.next++
+	id, err := h.f.Insert(p)
+	if err != nil {
+		h.t.Fatalf("insert: %v", err)
+	}
+	h.pts = append(h.pts, p)
+	h.ids = append(h.ids, id)
+}
+
+func (h *fullDynHarness) deleteRandom(rng *rand.Rand) {
+	if len(h.ids) == 0 {
+		return
+	}
+	k := rng.Intn(len(h.ids))
+	if err := h.f.Delete(h.ids[k]); err != nil {
+		h.t.Fatalf("delete: %v", err)
+	}
+	last := len(h.ids) - 1
+	h.ids[k], h.ids[last] = h.ids[last], h.ids[k]
+	h.pts[k], h.pts[last] = h.pts[last], h.pts[k]
+	h.ids = h.ids[:last]
+	h.pts = h.pts[:last]
+}
+
+func (h *fullDynHarness) checkExact(step string) {
+	h.t.Helper()
+	got, err := h.f.GroupBy(h.ids)
+	if err != nil {
+		h.t.Fatalf("%s: groupby: %v", step, err)
+	}
+	cfg := h.f.cfg
+	want := expectedResult(StaticDBSCAN(h.pts, cfg.Dims, cfg.Eps, cfg.MinPts), h.ids)
+	requireSameResult(h.t, step, got, want)
+	if h.audit {
+		if err := h.f.Audit(); err != nil {
+			h.t.Fatalf("%s: %v", step, err)
+		}
+	}
+}
+
+func (h *fullDynHarness) checkSandwich(step string) {
+	h.t.Helper()
+	got, err := h.f.GroupBy(h.ids)
+	if err != nil {
+		h.t.Fatalf("%s: groupby: %v", step, err)
+	}
+	cfg := h.f.cfg
+	checkSandwich(h.t, step, got, h.pts, h.ids, cfg.Dims, cfg.Eps, cfg.Rho, cfg.MinPts)
+	if h.audit {
+		if err := h.f.Audit(); err != nil {
+			h.t.Fatalf("%s: %v", step, err)
+		}
+	}
+}
+
+// TestFullyDynamicExact2D: ρ = 0 in 2D is the paper's 2d-Full-Exact; under a
+// random mixed update sequence the clustering must equal exact DBSCAN at
+// every checkpoint, with the full structural audit.
+func TestFullyDynamicExact2D(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := Config{Dims: 2, Eps: 3, MinPts: 5, Rho: 0}
+			f, err := NewFullyDynamic(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := &fullDynHarness{
+				t: t, f: f, audit: true,
+				pool: genBlobs(rng, 2, 4, 70, 25, 90, 8),
+			}
+			for op := 0; h.next < len(h.pool); op++ {
+				if rng.Float64() < 0.7 {
+					h.insert()
+				} else {
+					h.deleteRandom(rng)
+				}
+				if op%40 == 39 {
+					h.checkExact(fmt.Sprintf("op %d", op))
+				}
+			}
+			// Drain to empty, checking along the way: deletions are where
+			// splits and demotion cascades happen.
+			for len(h.ids) > 0 {
+				for i := 0; i < 25 && len(h.ids) > 0; i++ {
+					h.deleteRandom(rng)
+				}
+				h.checkExact(fmt.Sprintf("drain %d left", len(h.ids)))
+			}
+			if f.Len() != 0 {
+				t.Fatal("points remain after drain")
+			}
+			if v, e, c := f.GraphStats(); v != 0 || e != 0 || c != 0 {
+				t.Fatalf("graph not empty after drain: %d/%d/%d", v, e, c)
+			}
+		})
+	}
+}
+
+// TestFullyDynamicSandwich: ρ > 0 under mixed updates must satisfy the
+// sandwich guarantee of Theorem 3 (the defining property of ρ-double-approx
+// DBSCAN) at every checkpoint, across dimensions.
+func TestFullyDynamicSandwich(t *testing.T) {
+	cases := []struct {
+		dims   int
+		rho    float64
+		eps    float64
+		minPts int
+	}{
+		{2, 0.5, 3, 5},
+		{2, 0.001, 3, 5},
+		{3, 0.5, 6, 4},
+		{5, 0.2, 14, 4},
+		{7, 0.3, 25, 3},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("d%d rho%v", tc.dims, tc.rho), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(tc.dims) * 11))
+			cfg := Config{Dims: tc.dims, Eps: tc.eps, MinPts: tc.minPts, Rho: tc.rho}
+			f, err := NewFullyDynamic(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := &fullDynHarness{
+				t: t, f: f, audit: tc.dims <= 3,
+				pool: genBlobs(rng, tc.dims, 3, 50, 15, 70, 7),
+			}
+			for op := 0; h.next < len(h.pool); op++ {
+				if rng.Float64() < 0.7 {
+					h.insert()
+				} else {
+					h.deleteRandom(rng)
+				}
+				if op%50 == 49 {
+					h.checkSandwich(fmt.Sprintf("op %d", op))
+				}
+			}
+			h.checkSandwich("final")
+		})
+	}
+}
+
+// TestFullyDynamicSplitScenario reverses Figure 1: a bridge between two
+// blobs is inserted and then deleted; the cluster must merge and then split
+// back into two.
+func TestFullyDynamicSplitScenario(t *testing.T) {
+	cfg := Config{Dims: 2, Eps: 1.5, MinPts: 3, Rho: 0}
+	f, _ := NewFullyDynamic(cfg)
+	var all []PointID
+	for i := 0; i < 6; i++ {
+		id, _ := f.Insert(geom.Point{float64(i % 3), float64(i / 3)})
+		all = append(all, id)
+		id, _ = f.Insert(geom.Point{20 + float64(i%3), float64(i / 3)})
+		all = append(all, id)
+	}
+	var bridge []PointID
+	for x := 3.0; x < 20; x += 1.0 {
+		for j := 0; j < 3; j++ {
+			id, _ := f.Insert(geom.Point{x, float64(j) * 0.4})
+			bridge = append(bridge, id)
+		}
+	}
+	res, _ := f.GroupBy(all)
+	if len(res.Groups) != 1 {
+		t.Fatalf("expected 1 cluster with bridge, got %d", len(res.Groups))
+	}
+	for _, id := range bridge {
+		if err := f.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, _ = f.GroupBy(all)
+	if len(res.Groups) != 2 {
+		t.Fatalf("expected 2 clusters after deleting bridge, got %d", len(res.Groups))
+	}
+	if err := f.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFullyDynamicReinsertion: delete everything, reinsert, and verify the
+// structures recover (vertex/instance lifecycles are exercised twice).
+func TestFullyDynamicReinsertion(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cfg := Config{Dims: 3, Eps: 5, MinPts: 4, Rho: 0.001}
+	f, _ := NewFullyDynamic(cfg)
+	pts := genBlobs(rng, 3, 2, 40, 10, 50, 6)
+	for round := 0; round < 3; round++ {
+		var ids []PointID
+		for _, p := range pts {
+			id, err := f.Insert(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		res, err := f.GroupBy(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSandwich(t, fmt.Sprintf("round %d", round), res, pts, ids, cfg.Dims, cfg.Eps, cfg.Rho, cfg.MinPts)
+		for _, id := range ids {
+			if err := f.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if f.Len() != 0 {
+			t.Fatal("drain failed")
+		}
+	}
+	if err := f.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullyDynamicErrors(t *testing.T) {
+	f, _ := NewFullyDynamic(Config{Dims: 2, Eps: 1, MinPts: 2})
+	if err := f.Delete(7); err != ErrUnknownPoint {
+		t.Fatalf("unknown delete: err=%v", err)
+	}
+	if _, err := f.Insert(geom.Point{1}); err != ErrBadPoint {
+		t.Fatalf("short point: err=%v", err)
+	}
+	id, err := f.Insert(geom.Point{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete(id); err != ErrUnknownPoint {
+		t.Fatalf("double delete: err=%v", err)
+	}
+	if _, err := NewFullyDynamic(Config{Dims: 2, Eps: -1, MinPts: 2}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+// TestFullyDynamicMinPtsOne: with MinPts = 1 every point is core and every
+// cell is dense; clusters are the ε-connectivity components.
+func TestFullyDynamicMinPtsOne(t *testing.T) {
+	cfg := Config{Dims: 2, Eps: 1.1, MinPts: 1, Rho: 0}
+	f, _ := NewFullyDynamic(cfg)
+	var ids []PointID
+	for i := 0; i < 5; i++ {
+		id, _ := f.Insert(geom.Point{float64(i), 0})
+		ids = append(ids, id)
+	}
+	id5, _ := f.Insert(geom.Point{100, 100})
+	ids = append(ids, id5)
+	res, _ := f.GroupBy(ids)
+	if len(res.Groups) != 2 || len(res.Noise) != 0 {
+		t.Fatalf("MinPts=1: got %+v", res)
+	}
+	// Delete the middle of the chain: it must split.
+	if err := f.Delete(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = f.GroupBy(append([]PointID{}, ids[0], ids[1], ids[3], ids[4], id5))
+	if len(res.Groups) != 3 {
+		t.Fatalf("after chain cut: %d groups, want 3", len(res.Groups))
+	}
+	if err := f.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}

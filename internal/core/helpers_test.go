@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dyndbscan/internal/geom"
+)
+
+// clusterer is the common surface the tests drive.
+type clusterer interface {
+	Insert(pt geom.Point) (PointID, error)
+	Delete(id PointID) error
+	GroupBy(ids []PointID) (Result, error)
+	Len() int
+}
+
+// genBlobs produces k Gaussian-ish blobs plus uniform noise — data with real
+// cluster structure, borders and noise. Deterministic under seed.
+func genBlobs(rng *rand.Rand, dims, k, perBlob, noise int, spread, blobRadius float64) []geom.Point {
+	var pts []geom.Point
+	for b := 0; b < k; b++ {
+		center := make(geom.Point, dims)
+		for i := range center {
+			center[i] = rng.Float64() * spread
+		}
+		for j := 0; j < perBlob; j++ {
+			pts = append(pts, geom.RandInBall(rng, center, blobRadius, dims))
+		}
+	}
+	for j := 0; j < noise; j++ {
+		p := make(geom.Point, dims)
+		for i := range p {
+			p[i] = rng.Float64() * spread
+		}
+		pts = append(pts, p)
+	}
+	// Shuffle so blobs interleave in insertion order.
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+	return pts
+}
+
+// expectedResult converts the oracle clustering of pts (parallel to ids)
+// into the canonical Result a GroupBy over all ids must produce.
+func expectedResult(sc *StaticClustering, ids []PointID) Result {
+	var res Result
+	groups := make(map[int][]PointID)
+	for i, id := range ids {
+		if len(sc.Clusters[i]) == 0 {
+			res.Noise = append(res.Noise, id)
+			continue
+		}
+		for _, cl := range sc.Clusters[i] {
+			groups[cl] = append(groups[cl], id)
+		}
+	}
+	for _, members := range groups {
+		res.Groups = append(res.Groups, members)
+	}
+	res.normalize()
+	return res
+}
+
+// requireSameResult fails the test when two canonical results differ.
+func requireSameResult(t *testing.T, step string, got, want Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Noise, want.Noise) {
+		t.Fatalf("%s: noise differs\n got %v\nwant %v", step, got.Noise, want.Noise)
+	}
+	if len(got.Groups) != len(want.Groups) {
+		t.Fatalf("%s: %d groups, want %d", step, len(got.Groups), len(want.Groups))
+	}
+	for i := range got.Groups {
+		if !reflect.DeepEqual(got.Groups[i], want.Groups[i]) {
+			t.Fatalf("%s: group %d differs\n got %v\nwant %v", step, i, got.Groups[i], want.Groups[i])
+		}
+	}
+}
+
+// checkSandwich asserts Theorem 3 against a dynamic result over all alive
+// points: every exact-ε cluster is contained in one dynamic group, and every
+// dynamic group is contained in one exact-(1+ρ)ε cluster.
+func checkSandwich(t *testing.T, step string, res Result, pts []geom.Point, ids []PointID, dims int, eps, rho float64, minPts int) {
+	t.Helper()
+	c1 := StaticDBSCAN(pts, dims, eps, minPts)
+	c2 := StaticDBSCAN(pts, dims, eps*(1+rho), minPts)
+	idToIdx := make(map[PointID]int, len(ids))
+	for i, id := range ids {
+		idToIdx[id] = i
+	}
+	// Collect C1 clusters and dynamic groups as index sets.
+	c1Clusters := make(map[int][]int)
+	for i, cls := range c1.Clusters {
+		for _, cl := range cls {
+			c1Clusters[cl] = append(c1Clusters[cl], i)
+		}
+	}
+	dynGroups := make([][]int, len(res.Groups))
+	memberOfDyn := make(map[int]map[int]struct{}) // point idx -> dyn group set
+	for g, members := range res.Groups {
+		for _, id := range members {
+			i := idToIdx[id]
+			dynGroups[g] = append(dynGroups[g], i)
+			if memberOfDyn[i] == nil {
+				memberOfDyn[i] = make(map[int]struct{})
+			}
+			memberOfDyn[i][g] = struct{}{}
+		}
+	}
+	// (i) every C1 cluster fits inside one dynamic group.
+	for cl, members := range c1Clusters {
+		var common map[int]struct{}
+		for _, i := range members {
+			if memberOfDyn[i] == nil {
+				t.Fatalf("%s: point %d in exact-ε cluster %d but in no dynamic group", step, i, cl)
+			}
+			if common == nil {
+				common = make(map[int]struct{}, len(memberOfDyn[i]))
+				for g := range memberOfDyn[i] {
+					common[g] = struct{}{}
+				}
+				continue
+			}
+			for g := range common {
+				if _, ok := memberOfDyn[i][g]; !ok {
+					delete(common, g)
+				}
+			}
+		}
+		if len(common) == 0 {
+			t.Fatalf("%s: exact-ε cluster %d not contained in any dynamic group", step, cl)
+		}
+	}
+	// (ii) every dynamic group fits inside one exact-(1+ρ)ε cluster.
+	c2Membership := func(i int) map[int]struct{} {
+		out := make(map[int]struct{}, len(c2.Clusters[i]))
+		for _, cl := range c2.Clusters[i] {
+			out[cl] = struct{}{}
+		}
+		return out
+	}
+	for g, members := range dynGroups {
+		var common map[int]struct{}
+		for _, i := range members {
+			m := c2Membership(i)
+			if len(m) == 0 {
+				t.Fatalf("%s: dynamic group %d contains point %d that is noise at (1+ρ)ε", step, g, i)
+			}
+			if common == nil {
+				common = m
+				continue
+			}
+			for cl := range common {
+				if _, ok := m[cl]; !ok {
+					delete(common, cl)
+				}
+			}
+		}
+		if len(common) == 0 {
+			t.Fatalf("%s: dynamic group %d not contained in any exact-(1+ρ)ε cluster", step, g)
+		}
+	}
+}
+
+// runExactComparison inserts pts one at a time into cl (which must implement
+// exact DBSCAN semantics) and compares GroupBy(all) against the oracle at
+// the given checkpoints.
+func runExactComparison(t *testing.T, cl clusterer, pts []geom.Point, dims int, eps float64, minPts int, every int) []PointID {
+	t.Helper()
+	var ids []PointID
+	for i, p := range pts {
+		id, err := cl.Insert(p)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		ids = append(ids, id)
+		if (i+1)%every == 0 || i == len(pts)-1 {
+			got, err := cl.GroupBy(ids)
+			if err != nil {
+				t.Fatalf("groupby after %d: %v", i+1, err)
+			}
+			want := expectedResult(StaticDBSCAN(pts[:i+1], dims, eps, minPts), ids)
+			requireSameResult(t, fmt.Sprintf("after %d inserts", i+1), got, want)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dyndbscan/internal/geom"
+)
+
+// restrict filters a full result down to a subset of ids, dropping empty
+// groups — the semantics a C-group-by query over that subset must produce.
+func restrict(full Result, subset []PointID) Result {
+	in := make(map[PointID]bool, len(subset))
+	for _, id := range subset {
+		in[id] = true
+	}
+	var res Result
+	for _, g := range full.Groups {
+		var members []PointID
+		for _, id := range g {
+			if in[id] {
+				members = append(members, id)
+			}
+		}
+		if len(members) > 0 {
+			res.Groups = append(res.Groups, members)
+		}
+	}
+	for _, id := range full.Noise {
+		if in[id] {
+			res.Noise = append(res.Noise, id)
+		}
+	}
+	res.normalize()
+	return res
+}
+
+// dedupeGroups collapses identical groups: restricting two distinct clusters
+// to a subset can leave identical member sets, which a query keyed by
+// cluster id reports once per cluster. Comparing deduped forms sidesteps
+// that representational difference.
+func dedupeGroups(r Result) Result {
+	seen := make(map[string]bool)
+	var out Result
+	for _, g := range r.Groups {
+		k := fmt.Sprint(g)
+		if !seen[k] {
+			seen[k] = true
+			out.Groups = append(out.Groups, g)
+		}
+	}
+	out.Noise = r.Noise
+	out.normalize()
+	return out
+}
+
+// TestQuerySubsetConsistency: for every algorithm, a query over a random
+// subset Q must equal the restriction of the full query to Q — the paper's
+// consistency requirement that all queries reflect the same C(P).
+func TestQuerySubsetConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pts := genBlobs(rng, 2, 3, 60, 20, 80, 7)
+	cfg := Config{Dims: 2, Eps: 3, MinPts: 5, Rho: 0}
+
+	algos := map[string]clusterer{}
+	s, _ := NewSemiDynamic(cfg)
+	f, _ := NewFullyDynamic(cfg)
+	ic, _ := NewIncDBSCAN(cfg)
+	algos["semi"], algos["full"], algos["inc"] = s, f, ic
+
+	for name, cl := range algos {
+		var ids []PointID
+		for _, p := range pts {
+			id, err := cl.Insert(p)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			ids = append(ids, id)
+		}
+		full, err := cl.GroupBy(ids)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for trial := 0; trial < 30; trial++ {
+			k := 2 + rng.Intn(40)
+			subset := make([]PointID, 0, k)
+			seen := make(map[int]bool)
+			for len(subset) < k {
+				i := rng.Intn(len(ids))
+				if !seen[i] {
+					seen[i] = true
+					subset = append(subset, ids[i])
+				}
+			}
+			got, err := cl.GroupBy(subset)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			want := restrict(full, subset)
+			g, w := dedupeGroups(got), dedupeGroups(want)
+			if !reflect.DeepEqual(g, w) {
+				t.Fatalf("%s trial %d: subset query differs\n got %v\nwant %v", name, trial, g, w)
+			}
+		}
+	}
+}
+
+// TestQueryEmptyAndSingle covers the degenerate query shapes.
+func TestQueryEmptyAndSingle(t *testing.T) {
+	cfg := Config{Dims: 2, Eps: 1, MinPts: 2, Rho: 0}
+	f, _ := NewFullyDynamic(cfg)
+	res, err := f.GroupBy(nil)
+	if err != nil || len(res.Groups) != 0 || len(res.Noise) != 0 {
+		t.Fatalf("empty query: %+v %v", res, err)
+	}
+	id, _ := f.Insert([]float64{0, 0})
+	res, err = f.GroupBy([]PointID{id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Noise) != 1 || res.Noise[0] != id {
+		t.Fatalf("isolated point should be noise: %+v", res)
+	}
+	id2, _ := f.Insert([]float64{0.1, 0})
+	res, _ = f.GroupBy([]PointID{id, id2})
+	if len(res.Groups) != 1 || len(res.Groups[0]) != 2 {
+		t.Fatalf("pair with MinPts=2 should be one cluster: %+v", res)
+	}
+}
+
+// TestAllAlgorithmsAgreeExact: on the same insert-only 2D exact workload the
+// three algorithms must produce identical clusterings.
+func TestAllAlgorithmsAgreeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts := genBlobs(rng, 2, 4, 50, 20, 70, 6)
+	cfg := Config{Dims: 2, Eps: 2.5, MinPts: 4, Rho: 0}
+	s, _ := NewSemiDynamic(cfg)
+	f, _ := NewFullyDynamic(cfg)
+	ic, _ := NewIncDBSCAN(cfg)
+	var sids, fids, icids []PointID
+	for _, p := range pts {
+		a, _ := s.Insert(p)
+		b, _ := f.Insert(p)
+		c, _ := ic.Insert(p)
+		sids = append(sids, a)
+		fids = append(fids, b)
+		icids = append(icids, c)
+	}
+	rs, _ := s.GroupBy(sids)
+	rf, _ := f.GroupBy(fids)
+	ric, _ := ic.GroupBy(icids)
+	// Ids coincide across instances because each assigns sequentially.
+	requireSameResult(t, "semi vs full", rs, rf)
+	requireSameResult(t, "semi vs inc", rs, ric)
+}
+
+// TestQueryDuplicateIDs: Q is a set — repeating a handle must not repeat it
+// in the result.
+func TestQueryDuplicateIDs(t *testing.T) {
+	cfg := Config{Dims: 2, Eps: 2, MinPts: 2, Rho: 0}
+	for name, mk := range map[string]func() (clusterer, error){
+		"semi": func() (clusterer, error) { return NewSemiDynamic(cfg) },
+		"full": func() (clusterer, error) { return NewFullyDynamic(cfg) },
+		"inc":  func() (clusterer, error) { return NewIncDBSCAN(cfg) },
+	} {
+		cl, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := cl.Insert(geom.Point{0, 0})
+		b, _ := cl.Insert(geom.Point{1, 0})
+		res, err := cl.GroupBy([]PointID{a, b, a, a, b})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Groups) != 1 || len(res.Groups[0]) != 2 {
+			t.Fatalf("%s: duplicates mishandled: %+v", name, res)
+		}
+	}
+}
+
+// TestResultSameGroup covers the membership helper.
+func TestResultSameGroup(t *testing.T) {
+	r := Result{Groups: [][]PointID{{1, 2, 3}, {3, 4}}, Noise: []PointID{9}}
+	if !r.SameGroup(1, 3) || !r.SameGroup(3, 4) {
+		t.Fatal("expected same group")
+	}
+	if r.SameGroup(1, 4) || r.SameGroup(1, 9) || r.SameGroup(9, 9) {
+		t.Fatal("expected different groups")
+	}
+}

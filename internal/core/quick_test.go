@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dyndbscan/internal/geom"
+)
+
+// foldCoord maps arbitrary float64 noise into a compact coordinate range so
+// quick-generated scenes have interacting points.
+func foldCoord(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 30)
+}
+
+// TestQuickFullyDynamicLegalState: for arbitrary quick-generated point
+// scenes and deletion patterns, the fully dynamic clusterer's maintained
+// state must pass the complete structural audit (status legality, witness
+// rules, CC mirror) and produce a query answer satisfying the sandwich
+// guarantee. This is the paper's Theorem 3/4 as a property test.
+func TestQuickFullyDynamicLegalState(t *testing.T) {
+	cfg := Config{Dims: 2, Eps: 3, MinPts: 3, Rho: 0.4}
+	f := func(coords []float64, deletes []uint8) bool {
+		cl, err := NewFullyDynamic(cfg)
+		if err != nil {
+			return false
+		}
+		var pts []geom.Point
+		var ids []PointID
+		for i := 0; i+1 < len(coords) && len(pts) < 60; i += 2 {
+			pt := geom.Point{foldCoord(coords[i]), foldCoord(coords[i+1])}
+			id, err := cl.Insert(pt)
+			if err != nil {
+				return false
+			}
+			pts = append(pts, pt)
+			ids = append(ids, id)
+		}
+		for _, d := range deletes {
+			if len(ids) == 0 {
+				break
+			}
+			k := int(d) % len(ids)
+			if err := cl.Delete(ids[k]); err != nil {
+				return false
+			}
+			last := len(ids) - 1
+			ids[k], ids[last] = ids[last], ids[k]
+			pts[k], pts[last] = pts[last], pts[k]
+			ids, pts = ids[:last], pts[:last]
+		}
+		if err := cl.Audit(); err != nil {
+			t.Logf("audit: %v", err)
+			return false
+		}
+		res, err := cl.GroupBy(ids)
+		if err != nil {
+			return false
+		}
+		return sandwichHolds(res, pts, ids, cfg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sandwichHolds is a boolean (non-fataling) version of checkSandwich for use
+// inside quick properties.
+func sandwichHolds(res Result, pts []geom.Point, ids []PointID, cfg Config) bool {
+	c1 := StaticDBSCAN(pts, cfg.Dims, cfg.Eps, cfg.MinPts)
+	c2 := StaticDBSCAN(pts, cfg.Dims, cfg.Eps*(1+cfg.Rho), cfg.MinPts)
+	idToIdx := make(map[PointID]int, len(ids))
+	for i, id := range ids {
+		idToIdx[id] = i
+	}
+	memberOfDyn := make(map[int]map[int]struct{})
+	for g, members := range res.Groups {
+		for _, id := range members {
+			i := idToIdx[id]
+			if memberOfDyn[i] == nil {
+				memberOfDyn[i] = make(map[int]struct{})
+			}
+			memberOfDyn[i][g] = struct{}{}
+		}
+	}
+	// (i) each C1 cluster inside one dynamic group.
+	c1Clusters := make(map[int][]int)
+	for i, cls := range c1.Clusters {
+		for _, cl := range cls {
+			c1Clusters[cl] = append(c1Clusters[cl], i)
+		}
+	}
+	for _, members := range c1Clusters {
+		var common map[int]struct{}
+		for _, i := range members {
+			if memberOfDyn[i] == nil {
+				return false
+			}
+			if common == nil {
+				common = make(map[int]struct{})
+				for g := range memberOfDyn[i] {
+					common[g] = struct{}{}
+				}
+				continue
+			}
+			for g := range common {
+				if _, ok := memberOfDyn[i][g]; !ok {
+					delete(common, g)
+				}
+			}
+		}
+		if len(common) == 0 {
+			return false
+		}
+	}
+	// (ii) each dynamic group inside one C2 cluster.
+	for _, members := range res.Groups {
+		var common map[int]struct{}
+		for _, id := range members {
+			i := idToIdx[id]
+			m := make(map[int]struct{})
+			for _, cl := range c2.Clusters[i] {
+				m[cl] = struct{}{}
+			}
+			if len(m) == 0 {
+				return false
+			}
+			if common == nil {
+				common = m
+				continue
+			}
+			for cl := range common {
+				if _, ok := m[cl]; !ok {
+					delete(common, cl)
+				}
+			}
+		}
+		if len(common) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickSemiDynamicExact: arbitrary quick scenes, insertion-only, ρ = 0:
+// the result must equal the oracle exactly.
+func TestQuickSemiDynamicExact(t *testing.T) {
+	cfg := Config{Dims: 2, Eps: 3, MinPts: 3, Rho: 0}
+	f := func(coords []float64) bool {
+		cl, err := NewSemiDynamic(cfg)
+		if err != nil {
+			return false
+		}
+		var pts []geom.Point
+		var ids []PointID
+		for i := 0; i+1 < len(coords) && len(pts) < 80; i += 2 {
+			pt := geom.Point{foldCoord(coords[i]), foldCoord(coords[i+1])}
+			id, err := cl.Insert(pt)
+			if err != nil {
+				return false
+			}
+			pts = append(pts, pt)
+			ids = append(ids, id)
+		}
+		got, err := cl.GroupBy(ids)
+		if err != nil {
+			return false
+		}
+		want := expectedResult(StaticDBSCAN(pts, cfg.Dims, cfg.Eps, cfg.MinPts), ids)
+		if len(got.Groups) != len(want.Groups) || len(got.Noise) != len(want.Noise) {
+			return false
+		}
+		for i := range got.Groups {
+			if len(got.Groups[i]) != len(want.Groups[i]) {
+				return false
+			}
+			for j := range got.Groups[i] {
+				if got.Groups[i][j] != want.Groups[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"dyndbscan/internal/geom"
+	"dyndbscan/internal/unionfind"
+)
+
+// SemiDynamic is the insertion-only ρ-approximate DBSCAN clusterer of
+// Section 5 (Theorem 1): Õ(1) amortized insertion and Õ(|Q|) C-group-by
+// queries for any fixed dimensionality. With ρ = 0 and d = 2 it is the
+// paper's fully exact 2d-Semi-Exact configuration.
+//
+// Core statuses are maintained exactly via vicinity counts (vincnt); the
+// grid-graph edges are discovered by one emptiness probe per (new core point,
+// ε-close core cell) pair; connected components live in a union-find
+// structure, which suffices because core cells never retire under
+// insertions.
+type SemiDynamic struct {
+	*base
+	uf *unionfind.UF
+}
+
+// NewSemiDynamic returns an empty semi-dynamic clusterer.
+func NewSemiDynamic(cfg Config) (*SemiDynamic, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SemiDynamic{base: newBase(cfg), uf: &unionfind.UF{}}, nil
+}
+
+// Insert adds a point and maintains the clustering, in amortized Õ(1) time.
+func (s *SemiDynamic) Insert(pt geom.Point) (PointID, error) {
+	if err := checkPoint(pt, s.cfg.Dims); err != nil {
+		return 0, err
+	}
+	rec := s.addPoint(pt)
+	cnew := rec.cell
+
+	// Core-status step 1/2 of Section 5: a point landing in a dense cell is
+	// core outright; otherwise count B(p,ε) exactly over the ε-close cells.
+	// The appendix's charging argument keeps the neighbor scans amortized
+	// O(1): a cell is scanned at most MinPts times per ε-close neighbor,
+	// because after that the neighbor is dense and skips this path.
+	dense := len(cnew.pts) >= s.cfg.MinPts
+	if !dense {
+		rec.vincnt = s.exactBallCount(rec)
+	}
+
+	// Bump the vicinity counts of nearby non-core points; every point within
+	// ε of pt lives in cnew or an ε-close cell. Cells whose points are all
+	// core already cannot contain candidates.
+	var promoted []*pointRec
+	if dense || rec.vincnt >= s.cfg.MinPts {
+		promoted = append(promoted, rec)
+	}
+	sweep := func(c *cell) {
+		if len(c.nonCore) == 0 {
+			return
+		}
+		wholeCell := s.geo.MaxDistSqPointCell(rec.pt, c.coord) <= s.epsSq
+		for _, p := range c.nonCore {
+			if p == rec {
+				continue
+			}
+			if wholeCell || geom.DistSq(p.pt, rec.pt, s.cfg.Dims) <= s.epsSq {
+				p.vincnt++
+				if p.vincnt >= s.cfg.MinPts {
+					promoted = append(promoted, p)
+				}
+			}
+		}
+	}
+	sweep(cnew)
+	for _, ln := range cnew.neighbors {
+		if ln.eps {
+			sweep(ln.c)
+		}
+	}
+
+	for _, p := range promoted {
+		s.promote(p)
+	}
+	return rec.id, nil
+}
+
+// exactBallCount returns |B(rec.pt, ε)| including rec itself, scanning the
+// ε-close cells (only reached while rec's cell is sparse). Cells lying
+// entirely inside the ball contribute their population wholesale — at large
+// ε most neighbors do, which keeps the scan constant flat across the ε grid
+// of Figure 10.
+func (s *SemiDynamic) exactBallCount(rec *pointRec) int {
+	count := 0
+	tally := func(c *cell) {
+		if s.geo.MaxDistSqPointCell(rec.pt, c.coord) <= s.epsSq {
+			count += len(c.pts)
+			return
+		}
+		for _, p := range c.pts {
+			if geom.DistSq(p.pt, rec.pt, s.cfg.Dims) <= s.epsSq {
+				count++
+			}
+		}
+	}
+	tally(rec.cell)
+	for _, ln := range rec.cell.neighbors {
+		if ln.eps {
+			tally(ln.c)
+		}
+	}
+	return count
+}
+
+// promote is GUM for insertions (Section 5): record the new core point, make
+// its cell a grid-graph vertex if needed, and add edges found by emptiness
+// probes against the ε-close core cells.
+func (s *SemiDynamic) promote(p *pointRec) {
+	s.markCore(p)
+	c := p.cell
+	c.coreTree.Insert(p.id, p.pt)
+	if c.coreCount == 1 {
+		c.ufID = s.uf.Add()
+	}
+	for _, ln := range c.neighbors {
+		nc := ln.c
+		if !ln.eps || nc.coreCount == 0 {
+			continue
+		}
+		if _, dup := c.edges[nc]; dup {
+			continue
+		}
+		if _, ok := s.probeCore(nc, p.pt); ok {
+			c.edges[nc] = struct{}{}
+			nc.edges[c] = struct{}{}
+			s.uf.Union(c.ufID, nc.ufID)
+		}
+	}
+}
+
+// Delete always fails: Theorem 2 proves that supporting deletions under
+// plain ρ-approximate semantics is as hard as USEC.
+func (s *SemiDynamic) Delete(PointID) error { return ErrDeletesUnsupported }
+
+// GroupBy answers a C-group-by query in Õ(|Q|) time.
+func (s *SemiDynamic) GroupBy(ids []PointID) (Result, error) {
+	return s.groupBy(ids, func(c *cell) any { return s.uf.Find(c.ufID) })
+}
+
+// Stats returns structural counters.
+func (s *SemiDynamic) Stats() Stats { return s.stats() }

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dyndbscan/internal/geom"
+)
+
+func TestSemiDynamicConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Dims: 0, Eps: 1, MinPts: 1},
+		{Dims: 2, Eps: 0, MinPts: 1},
+		{Dims: 2, Eps: 1, MinPts: 0},
+		{Dims: 2, Eps: 1, MinPts: 1, Rho: -0.1},
+		{Dims: 99, Eps: 1, MinPts: 1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewSemiDynamic(cfg); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+	if _, err := NewSemiDynamic(Config{Dims: 3, Eps: 2, MinPts: 5, Rho: 0.001}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestSemiDynamicBadInputs(t *testing.T) {
+	s, _ := NewSemiDynamic(Config{Dims: 2, Eps: 1, MinPts: 2})
+	if _, err := s.Insert(geom.Point{1}); err != ErrBadPoint {
+		t.Fatalf("short point: err=%v", err)
+	}
+	if _, err := s.Insert(geom.Point{1, math.Inf(1)}); err != ErrBadPoint {
+		t.Fatalf("inf point: err=%v", err)
+	}
+	if _, err := s.Insert(geom.Point{math.NaN(), 0}); err != ErrBadPoint {
+		t.Fatalf("nan point: err=%v", err)
+	}
+	if err := s.Delete(0); err != ErrDeletesUnsupported {
+		t.Fatalf("delete: err=%v", err)
+	}
+	if _, err := s.GroupBy([]PointID{42}); err != ErrUnknownPoint {
+		t.Fatalf("unknown id: err=%v", err)
+	}
+}
+
+// TestSemiDynamicExact2D: with ρ = 0 in 2D, the algorithm is the paper's
+// 2d-Semi-Exact and must reproduce exact DBSCAN bit for bit at every
+// checkpoint, including border multi-membership and noise.
+func TestSemiDynamicExact2D(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			pts := genBlobs(rng, 2, 4, 80, 30, 100, 8)
+			cfg := Config{Dims: 2, Eps: 3, MinPts: 5, Rho: 0}
+			s, err := NewSemiDynamic(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runExactComparison(t, s, pts, 2, cfg.Eps, cfg.MinPts, 50)
+			if err := s.Audit(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSemiDynamicExactTinyEps: tiny ε makes nearly everything noise; large ε
+// merges everything. Degenerate regimes must still match the oracle exactly.
+func TestSemiDynamicExactDegenerateEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := genBlobs(rng, 2, 3, 40, 10, 60, 5)
+	for _, eps := range []float64{0.01, 500} {
+		s, err := NewSemiDynamic(Config{Dims: 2, Eps: eps, MinPts: 4, Rho: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runExactComparison(t, s, pts, 2, eps, 4, len(pts))
+	}
+}
+
+// TestSemiDynamicSandwich: with ρ > 0 the result must satisfy Theorem 3's
+// sandwich guarantee at every checkpoint, in several dimensions, and the
+// maintained state must pass the brute-force audit.
+func TestSemiDynamicSandwich(t *testing.T) {
+	cases := []struct {
+		dims   int
+		rho    float64
+		eps    float64
+		minPts int
+	}{
+		{2, 0.5, 3, 5},
+		{2, 0.001, 3, 5},
+		{3, 0.5, 6, 4},
+		{5, 0.2, 14, 4},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("d%d rho%v", tc.dims, tc.rho), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(tc.dims)))
+			pts := genBlobs(rng, tc.dims, 3, 60, 20, 80, 7)
+			s, err := NewSemiDynamic(Config{Dims: tc.dims, Eps: tc.eps, MinPts: tc.minPts, Rho: tc.rho})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ids []PointID
+			for i, p := range pts {
+				id, err := s.Insert(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, id)
+				if (i+1)%60 == 0 || i == len(pts)-1 {
+					res, err := s.GroupBy(ids)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkSandwich(t, fmt.Sprintf("after %d", i+1), res, pts[:i+1], ids,
+						tc.dims, tc.eps, tc.rho, tc.minPts)
+				}
+			}
+			if err := s.Audit(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSemiDynamicDuplicatePoints: co-located points must count toward each
+// other's density and cluster together.
+func TestSemiDynamicDuplicatePoints(t *testing.T) {
+	s, _ := NewSemiDynamic(Config{Dims: 2, Eps: 1, MinPts: 3, Rho: 0})
+	var ids []PointID
+	for i := 0; i < 5; i++ {
+		id, err := s.Insert(geom.Point{7, 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	res, err := s.GroupBy(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 || len(res.Groups[0]) != 5 || len(res.Noise) != 0 {
+		t.Fatalf("duplicates should form one 5-point cluster, got %+v", res)
+	}
+	if err := s.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSemiDynamicMergeScenario reproduces Figure 1: two separate clusters are
+// bridged by a path of insertions and must merge into a single group.
+func TestSemiDynamicMergeScenario(t *testing.T) {
+	s, _ := NewSemiDynamic(Config{Dims: 2, Eps: 1.5, MinPts: 3, Rho: 0})
+	var left, right []PointID
+	for i := 0; i < 6; i++ {
+		id, _ := s.Insert(geom.Point{float64(i % 3), float64(i / 3)})
+		left = append(left, id)
+		id, _ = s.Insert(geom.Point{20 + float64(i%3), float64(i / 3)})
+		right = append(right, id)
+	}
+	all := append(append([]PointID{}, left...), right...)
+	res, _ := s.GroupBy(all)
+	if len(res.Groups) != 2 {
+		t.Fatalf("expected 2 clusters before bridging, got %d", len(res.Groups))
+	}
+	// Build a bridge; density along the path qualifies every bridge point.
+	for x := 3.0; x < 20; x += 1.0 {
+		for j := 0; j < 3; j++ {
+			id, _ := s.Insert(geom.Point{x, float64(j) * 0.4})
+			all = append(all, id)
+		}
+	}
+	res, _ = s.GroupBy(all)
+	if len(res.Groups) != 1 {
+		t.Fatalf("expected 1 cluster after bridging, got %d", len(res.Groups))
+	}
+	if !res.SameGroup(left[0], right[0]) {
+		t.Fatal("left and right points should share a group after bridging")
+	}
+}
+
+// TestSemiDynamicStats sanity-checks the structural counters.
+func TestSemiDynamicStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s, _ := NewSemiDynamic(Config{Dims: 2, Eps: 2, MinPts: 4, Rho: 0})
+	pts := genBlobs(rng, 2, 2, 50, 5, 40, 4)
+	for _, p := range pts {
+		if _, err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Points != len(pts) || s.Len() != len(pts) {
+		t.Fatalf("Points=%d want %d", st.Points, len(pts))
+	}
+	if st.Cores == 0 || st.Cores > st.Points {
+		t.Fatalf("implausible core count %d", st.Cores)
+	}
+	if st.CoreCells == 0 || st.CoreCells > st.Cells {
+		t.Fatalf("implausible cell counts %+v", st)
+	}
+}

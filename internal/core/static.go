@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sort"
+
+	"dyndbscan/internal/geom"
+	"dyndbscan/internal/grid"
+	"dyndbscan/internal/unionfind"
+)
+
+// StaticClustering is the output of the offline exact DBSCAN oracle: for
+// every input point, whether it is a core point, the cluster of each core
+// point, and the (possibly several) clusters of each border point. Cluster
+// ids are dense integers starting at 0. It defines ground truth in tests and
+// implements the C1/C2 sides of the sandwich guarantee (Theorem 3).
+type StaticClustering struct {
+	Core     []bool
+	Clusters [][]int // per point: sorted cluster ids (one for core, ≥0 for non-core)
+	NumClust int
+}
+
+// IsNoise reports whether point i belongs to no cluster.
+func (sc *StaticClustering) IsNoise(i int) bool { return len(sc.Clusters[i]) == 0 }
+
+// SameCluster reports whether points i and j share at least one cluster.
+func (sc *StaticClustering) SameCluster(i, j int) bool {
+	for _, a := range sc.Clusters[i] {
+		for _, b := range sc.Clusters[j] {
+			if a == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// StaticDBSCAN computes the exact DBSCAN clustering of pts with parameters
+// (eps, minPts) by brute force over a grid: it is the oracle every dynamic
+// algorithm is validated against, and — run at ε and (1+ρ)ε — the C1 and C2
+// of the sandwich guarantee. O(n · neighborhood) time; for tests and small
+// datasets only.
+func StaticDBSCAN(pts []geom.Point, dims int, eps float64, minPts int) *StaticClustering {
+	n := len(pts)
+	sc := &StaticClustering{Core: make([]bool, n), Clusters: make([][]int, n)}
+	if n == 0 {
+		return sc
+	}
+	geo := grid.NewParams(dims, eps)
+	cells := make(map[grid.Coord][]int)
+	coords := make([]grid.Coord, n)
+	for i, p := range pts {
+		c := geo.CellOf(p)
+		coords[i] = c
+		cells[c] = append(cells[c], i)
+	}
+	// Neighbor lists between occupied cells via the cell index.
+	ix := grid.NewIndex[struct{}](geo)
+	for c := range cells {
+		ix.Insert(c, struct{}{})
+	}
+	neighborCells := make(map[grid.Coord][]grid.Coord)
+	for c := range cells {
+		var nbs []grid.Coord
+		ix.QueryClose(c, eps, func(oc grid.Coord, _ struct{}) bool {
+			nbs = append(nbs, oc)
+			return true
+		})
+		neighborCells[c] = nbs
+	}
+	epsSq := eps * eps
+
+	// Core flags.
+	for i, p := range pts {
+		count := 0
+		for _, nc := range neighborCells[coords[i]] {
+			for _, j := range cells[nc] {
+				if geom.DistSq(p, pts[j], dims) <= epsSq {
+					count++
+				}
+			}
+		}
+		sc.Core[i] = count >= minPts
+	}
+
+	// Step 1: connected components of the core graph.
+	uf := unionfind.New(n)
+	for i := range pts {
+		if !sc.Core[i] {
+			continue
+		}
+		for _, nc := range neighborCells[coords[i]] {
+			for _, j := range cells[nc] {
+				if j <= i || !sc.Core[j] {
+					continue
+				}
+				if geom.DistSq(pts[i], pts[j], dims) <= epsSq {
+					uf.Union(i, j)
+				}
+			}
+		}
+	}
+	clusterID := make(map[int]int)
+	for i := range pts {
+		if !sc.Core[i] {
+			continue
+		}
+		root := uf.Find(i)
+		id, ok := clusterID[root]
+		if !ok {
+			id = len(clusterID)
+			clusterID[root] = id
+		}
+		sc.Clusters[i] = []int{id}
+	}
+	sc.NumClust = len(clusterID)
+
+	// Step 2: assign border points to the clusters of core points in B(p,ε).
+	for i, p := range pts {
+		if sc.Core[i] {
+			continue
+		}
+		memberships := make(map[int]struct{})
+		for _, nc := range neighborCells[coords[i]] {
+			for _, j := range cells[nc] {
+				if sc.Core[j] && geom.DistSq(p, pts[j], dims) <= epsSq {
+					memberships[clusterID[uf.Find(j)]] = struct{}{}
+				}
+			}
+		}
+		for id := range memberships {
+			sc.Clusters[i] = append(sc.Clusters[i], id)
+		}
+		sort.Ints(sc.Clusters[i])
+	}
+	return sc
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dyndbscan/internal/geom"
+)
+
+// TestStaticHandcrafted checks the oracle itself on the 18-point layout of
+// the paper's Figure 2 regime: two dense groups, one border point, one noise
+// point.
+func TestStaticHandcrafted(t *testing.T) {
+	// Cluster A: 4 mutually ε-close points; cluster B likewise; border point
+	// x within ε of one core of A only; noise point far away.
+	pts := []geom.Point{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1}, // A (cores with MinPts=3, eps=1.5)
+		{10, 0}, {11, 0}, {10, 1}, {11, 1}, // B
+		{2.2, 0}, // border: within 1.5 of (1,0) but |B| < MinPts
+		{50, 50}, // noise
+	}
+	sc := StaticDBSCAN(pts, 2, 1.5, 3)
+	for i := 0; i < 8; i++ {
+		if !sc.Core[i] {
+			t.Fatalf("point %d should be core", i)
+		}
+	}
+	if sc.Core[8] || sc.Core[9] {
+		t.Fatal("border/noise wrongly core")
+	}
+	if sc.NumClust != 2 {
+		t.Fatalf("NumClust=%d want 2", sc.NumClust)
+	}
+	if !sc.SameCluster(0, 3) || sc.SameCluster(0, 4) {
+		t.Fatal("cluster structure wrong")
+	}
+	if len(sc.Clusters[8]) != 1 || !sc.SameCluster(8, 0) {
+		t.Fatalf("border point memberships %v", sc.Clusters[8])
+	}
+	if !sc.IsNoise(9) || sc.IsNoise(8) {
+		t.Fatal("noise detection wrong")
+	}
+}
+
+// TestStaticBorderMultiMembership builds a point within ε of cores of two
+// different clusters: it must belong to both. Geometry (eps=1, MinPts=4):
+// cluster A is a 4-point diamond around (0.3, 0), cluster B the same around
+// (2.9, 0); the mid point (1.6, 0) is at distance exactly 1.0 from one core
+// of each but has only 3 points in its ball, so it is a border point of both.
+func TestStaticBorderMultiMembership(t *testing.T) {
+	pts := []geom.Point{
+		{0, 0}, {0.6, 0}, {0.3, 0.5}, {0.3, -0.5}, // A
+		{2.6, 0}, {3.2, 0}, {2.9, 0.5}, {2.9, -0.5}, // B
+		{1.6, 0}, // dual border point
+	}
+	sc := StaticDBSCAN(pts, 2, 1, 4)
+	for i := 0; i < 8; i++ {
+		if !sc.Core[i] {
+			t.Fatalf("point %d should be core", i)
+		}
+	}
+	if sc.Core[8] {
+		t.Fatal("mid point wrongly core")
+	}
+	if sc.NumClust != 2 {
+		t.Fatalf("NumClust=%d want 2", sc.NumClust)
+	}
+	if len(sc.Clusters[8]) != 2 {
+		t.Fatalf("dual border point memberships = %v, want both clusters", sc.Clusters[8])
+	}
+	if !sc.SameCluster(8, 0) || !sc.SameCluster(8, 4) {
+		t.Fatal("dual border point should connect to both clusters via SameCluster")
+	}
+}
+
+// TestStaticAgainstQuadratic cross-checks the grid-accelerated oracle
+// against a direct O(n²) implementation on random data.
+func TestStaticAgainstQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range []int{1, 2, 3, 5} {
+		pts := genBlobs(rng, dims, 3, 40, 15, 60, 6)
+		eps := 2.0 + float64(dims)
+		const minPts = 4
+		sc := StaticDBSCAN(pts, dims, eps, minPts)
+		// Quadratic reference.
+		n := len(pts)
+		core := make([]bool, n)
+		for i := range pts {
+			cnt := 0
+			for j := range pts {
+				if geom.DistSq(pts[i], pts[j], dims) <= eps*eps {
+					cnt++
+				}
+			}
+			core[i] = cnt >= minPts
+		}
+		for i := range pts {
+			if core[i] != sc.Core[i] {
+				t.Fatalf("d=%d: core[%d]=%v oracle %v", dims, i, sc.Core[i], core[i])
+			}
+		}
+		// Core connectivity must match transitive closure.
+		for i := 0; i < n; i++ {
+			if !core[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !core[j] || geom.DistSq(pts[i], pts[j], dims) > eps*eps {
+					continue
+				}
+				if !sc.SameCluster(i, j) {
+					t.Fatalf("d=%d: ε-close cores %d,%d in different clusters", dims, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestStaticEmpty(t *testing.T) {
+	sc := StaticDBSCAN(nil, 2, 1, 3)
+	if sc.NumClust != 0 || len(sc.Core) != 0 {
+		t.Fatalf("empty oracle: %+v", sc)
+	}
+}

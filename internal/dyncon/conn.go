@@ -1,0 +1,345 @@
+package dyncon
+
+import "fmt"
+
+// CompID identifies a connected component. Ids are stable while no update
+// runs, so they are comparable within one query pass (exactly the consistency
+// the C-group-by query needs); an update may invalidate them.
+type CompID *tnode
+
+// Conn is a fully dynamic connectivity structure over an arbitrary set of
+// int64 vertices. The zero value is not usable; call New.
+type Conn struct {
+	forests []*forest
+	edges   map[edgeKey]*edgeRec
+	verts   map[int64]*vrec
+	comps   int
+}
+
+type forest struct {
+	level int
+	loops map[int64]*tnode
+}
+
+// loop returns (creating on demand) the loop node of v in this forest. A
+// vertex appears in F_i only once an edge of level ≥ i touches it; until then
+// it is an implicit singleton.
+func (f *forest) loop(v int64) *tnode {
+	n, ok := f.loops[v]
+	if !ok {
+		n = &tnode{vertex: v, head: v}
+		update(n)
+		f.loops[v] = n
+	}
+	return n
+}
+
+type vrec struct {
+	adj []map[int64]struct{} // adj[i]: non-tree neighbors at level i
+}
+
+type edgeKey struct{ a, b int64 }
+
+func mkKey(u, v int64) edgeKey {
+	if u > v {
+		u, v = v, u
+	}
+	return edgeKey{u, v}
+}
+
+type edgeRec struct {
+	a, b  int64
+	level int
+	tree  bool
+	arcs  [][2]*tnode // per forest 0..level when tree: {arc(a,b), arc(b,a)}
+}
+
+// New returns an empty connectivity structure.
+func New() *Conn {
+	return &Conn{
+		forests: []*forest{{level: 0, loops: make(map[int64]*tnode)}},
+		edges:   make(map[edgeKey]*edgeRec),
+		verts:   make(map[int64]*vrec),
+	}
+}
+
+// NumVertices returns the number of vertices.
+func (c *Conn) NumVertices() int { return len(c.verts) }
+
+// NumEdges returns the number of edges.
+func (c *Conn) NumEdges() int { return len(c.edges) }
+
+// NumComponents returns the number of connected components.
+func (c *Conn) NumComponents() int { return c.comps }
+
+// HasVertex reports whether v is present.
+func (c *Conn) HasVertex(v int64) bool {
+	_, ok := c.verts[v]
+	return ok
+}
+
+// HasEdge reports whether edge {u,v} is present.
+func (c *Conn) HasEdge(u, v int64) bool {
+	_, ok := c.edges[mkKey(u, v)]
+	return ok
+}
+
+// AddVertex inserts an isolated vertex. It panics when v already exists.
+func (c *Conn) AddVertex(v int64) {
+	if _, ok := c.verts[v]; ok {
+		panic(fmt.Sprintf("dyncon: vertex %d already present", v))
+	}
+	c.verts[v] = &vrec{}
+	c.forests[0].loop(v)
+	c.comps++
+}
+
+// RemoveVertex deletes v, which must be isolated (no incident edges); a
+// non-isolated removal panics since it means the caller's grid-graph
+// bookkeeping is broken.
+func (c *Conn) RemoveVertex(v int64) {
+	vr, ok := c.verts[v]
+	if !ok {
+		panic(fmt.Sprintf("dyncon: vertex %d not present", v))
+	}
+	for _, set := range vr.adj {
+		if len(set) != 0 {
+			panic(fmt.Sprintf("dyncon: removing vertex %d with non-tree edges", v))
+		}
+	}
+	for _, f := range c.forests {
+		n, ok := f.loops[v]
+		if !ok {
+			continue
+		}
+		splay(n)
+		if n.left != nil || n.right != nil {
+			panic(fmt.Sprintf("dyncon: removing vertex %d with tree edges", v))
+		}
+		delete(f.loops, v)
+	}
+	delete(c.verts, v)
+	c.comps--
+}
+
+// Connected reports whether u and v are in the same component. Both must be
+// present.
+func (c *Conn) Connected(u, v int64) bool {
+	lu := c.mustLoop0(u)
+	lv := c.mustLoop0(v)
+	if lu == lv {
+		return true
+	}
+	splay(lu) // amortizes the access; lu is now its tree's root
+	r := rootOf(lv)
+	connected := r == lu
+	splay(lv)
+	return connected
+}
+
+// ComponentID returns an identifier of v's component, stable and comparable
+// across calls as long as no update is performed in between. It deliberately
+// avoids restructuring the trees.
+func (c *Conn) ComponentID(v int64) CompID {
+	return CompID(rootOf(c.mustLoop0(v)))
+}
+
+// ComponentSize returns the number of vertices in v's component.
+func (c *Conn) ComponentSize(v int64) int {
+	return int(rootOf(c.mustLoop0(v)).loopCount)
+}
+
+func (c *Conn) mustLoop0(v int64) *tnode {
+	n, ok := c.forests[0].loops[v]
+	if !ok {
+		panic(fmt.Sprintf("dyncon: vertex %d not present", v))
+	}
+	return n
+}
+
+// InsertEdge adds edge {u,v}. Inserting a duplicate edge, a self-loop, or an
+// edge on an absent vertex panics.
+func (c *Conn) InsertEdge(u, v int64) {
+	if u == v {
+		panic("dyncon: self-loop")
+	}
+	k := mkKey(u, v)
+	if _, ok := c.edges[k]; ok {
+		panic(fmt.Sprintf("dyncon: edge {%d,%d} already present", u, v))
+	}
+	if !c.HasVertex(u) || !c.HasVertex(v) {
+		panic(fmt.Sprintf("dyncon: edge {%d,%d} on absent vertex", u, v))
+	}
+	rec := &edgeRec{a: k.a, b: k.b, level: 0}
+	c.edges[k] = rec
+	if c.Connected(u, v) {
+		c.addNontree(rec, 0)
+		return
+	}
+	rec.tree = true
+	c.linkTree(rec, 0)
+	setTreeFlag(rec.arcs[0][0], true)
+	c.comps--
+}
+
+// DeleteEdge removes edge {u,v}; it panics when absent.
+func (c *Conn) DeleteEdge(u, v int64) {
+	k := mkKey(u, v)
+	rec, ok := c.edges[k]
+	if !ok {
+		panic(fmt.Sprintf("dyncon: edge {%d,%d} not present", u, v))
+	}
+	delete(c.edges, k)
+	if !rec.tree {
+		c.removeNontree(rec, rec.level)
+		return
+	}
+	// Cut the tree edge out of every forest that contains it.
+	for i := 0; i <= rec.level; i++ {
+		ettCut(rec.arcs[i][0], rec.arcs[i][1])
+	}
+	// Search for a replacement edge from the edge's level downward.
+	for i := rec.level; i >= 0; i-- {
+		if c.replace(rec.a, rec.b, i) {
+			return
+		}
+	}
+	c.comps++
+}
+
+// addNontree registers rec as a non-tree edge at the given level, updating
+// adjacency sets and loop-node flags in F_level.
+func (c *Conn) addNontree(rec *edgeRec, level int) {
+	rec.level = level
+	f := c.forest(level)
+	for _, v := range [2]int64{rec.a, rec.b} {
+		vr := c.verts[v]
+		for len(vr.adj) <= level {
+			vr.adj = append(vr.adj, nil)
+		}
+		if vr.adj[level] == nil {
+			vr.adj[level] = make(map[int64]struct{})
+		}
+		other := rec.a
+		if v == rec.a {
+			other = rec.b
+		}
+		vr.adj[level][other] = struct{}{}
+		setNontreeFlag(f.loop(v), true)
+	}
+}
+
+// removeNontree unregisters rec from level's adjacency sets and flags.
+func (c *Conn) removeNontree(rec *edgeRec, level int) {
+	f := c.forests[level]
+	for _, v := range [2]int64{rec.a, rec.b} {
+		vr := c.verts[v]
+		other := rec.a
+		if v == rec.a {
+			other = rec.b
+		}
+		delete(vr.adj[level], other)
+		if len(vr.adj[level]) == 0 {
+			setNontreeFlag(f.loop(v), false)
+		}
+	}
+}
+
+// linkTree links rec into forest level (creating its arc pair there).
+func (c *Conn) linkTree(rec *edgeRec, level int) {
+	f := c.forest(level)
+	arcAB := &tnode{vertex: rec.a, head: rec.b, edge: rec}
+	arcBA := &tnode{vertex: rec.b, head: rec.a, edge: rec}
+	update(arcAB)
+	update(arcBA)
+	for len(rec.arcs) <= level {
+		rec.arcs = append(rec.arcs, [2]*tnode{})
+	}
+	rec.arcs[level] = [2]*tnode{arcAB, arcBA}
+	ettLink(f.loop(rec.a), f.loop(rec.b), arcAB, arcBA)
+}
+
+// forest returns forest i, growing the hierarchy on demand.
+func (c *Conn) forest(i int) *forest {
+	for len(c.forests) <= i {
+		c.forests = append(c.forests, &forest{
+			level: len(c.forests),
+			loops: make(map[int64]*tnode),
+		})
+	}
+	return c.forests[i]
+}
+
+// replace runs the HDT replacement search at level i after tree edge {u,v}
+// was cut. It reports whether a replacement reconnected the two sides.
+func (c *Conn) replace(u, v int64, i int) bool {
+	f := c.forests[i]
+	lu, lv := f.loop(u), f.loop(v)
+	splay(lu)
+	su := lu.loopCount
+	splay(lv)
+	sv := lv.loopCount
+	handle := lu
+	if sv < su {
+		handle = lv
+	}
+
+	// Step A: push the level-i tree edges of the smaller side to level i+1.
+	// Its spanning tree then exists entirely in F_{i+1}, preserving the HDT
+	// invariant for the non-tree promotions below.
+	for {
+		r := rootOf(handle)
+		if !r.aggTree {
+			break
+		}
+		arc := findTreeArc(r)
+		c.promoteTree(arc.edge, i)
+	}
+
+	// Step B: scan non-tree level-i edges incident to the smaller side.
+	// Edges with both endpoints inside are promoted to level i+1; the first
+	// edge crossing to the other side is the replacement.
+	for {
+		r := rootOf(handle)
+		if !r.aggNontree {
+			break
+		}
+		ln := findNontreeLoop(r)
+		x := ln.vertex
+		neighbors := make([]int64, 0, len(c.verts[x].adj[i]))
+		for w := range c.verts[x].adj[i] {
+			neighbors = append(neighbors, w)
+		}
+		for _, w := range neighbors {
+			rec := c.edges[mkKey(x, w)]
+			if rootOf(f.loops[x]) == rootOf(f.loops[w]) {
+				c.removeNontree(rec, i)
+				c.addNontree(rec, i+1)
+				continue
+			}
+			// Replacement found: it becomes a tree edge at level i,
+			// linked into every forest F_0..F_i.
+			c.removeNontree(rec, i)
+			rec.tree = true
+			rec.level = i
+			for j := 0; j <= i; j++ {
+				c.linkTree(rec, j)
+			}
+			setTreeFlag(rec.arcs[i][0], true)
+			return true
+		}
+	}
+	return false
+}
+
+// promoteTree raises tree edge rec from level i to i+1: its exact-level flag
+// moves from F_i to the new arc pair in F_{i+1}.
+func (c *Conn) promoteTree(rec *edgeRec, i int) {
+	if !rec.tree || rec.level != i {
+		panic("dyncon: promoting edge at wrong level")
+	}
+	setTreeFlag(rec.arcs[i][0], false)
+	rec.level = i + 1
+	c.linkTree(rec, i+1)
+	setTreeFlag(rec.arcs[i+1][0], true)
+}

@@ -1,0 +1,353 @@
+package dyncon
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// naiveConn is a brute-force connectivity oracle: adjacency sets + BFS.
+type naiveConn struct {
+	adj map[int64]map[int64]bool
+}
+
+func newNaive() *naiveConn {
+	return &naiveConn{adj: make(map[int64]map[int64]bool)}
+}
+
+func (n *naiveConn) addVertex(v int64)    { n.adj[v] = make(map[int64]bool) }
+func (n *naiveConn) removeVertex(v int64) { delete(n.adj, v) }
+func (n *naiveConn) addEdge(u, v int64)   { n.adj[u][v] = true; n.adj[v][u] = true }
+func (n *naiveConn) removeEdge(u, v int64) {
+	delete(n.adj[u], v)
+	delete(n.adj[v], u)
+}
+
+func (n *naiveConn) connected(u, v int64) bool {
+	if u == v {
+		return true
+	}
+	seen := map[int64]bool{u: true}
+	queue := []int64{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for y := range n.adj[x] {
+			if y == v {
+				return true
+			}
+			if !seen[y] {
+				seen[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return false
+}
+
+func (n *naiveConn) components() int {
+	seen := make(map[int64]bool)
+	comps := 0
+	for v := range n.adj {
+		if seen[v] {
+			continue
+		}
+		comps++
+		queue := []int64{v}
+		seen[v] = true
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for y := range n.adj[x] {
+				if !seen[y] {
+					seen[y] = true
+					queue = append(queue, y)
+				}
+			}
+		}
+	}
+	return comps
+}
+
+func TestConnBasic(t *testing.T) {
+	c := New()
+	for v := int64(1); v <= 4; v++ {
+		c.AddVertex(v)
+	}
+	if got := c.NumComponents(); got != 4 {
+		t.Fatalf("components = %d, want 4", got)
+	}
+	c.InsertEdge(1, 2)
+	c.InsertEdge(3, 4)
+	if c.Connected(1, 3) {
+		t.Fatal("1 and 3 should not be connected")
+	}
+	c.InsertEdge(2, 3)
+	if !c.Connected(1, 4) {
+		t.Fatal("1 and 4 should be connected")
+	}
+	if got := c.NumComponents(); got != 1 {
+		t.Fatalf("components = %d, want 1", got)
+	}
+	// A cycle edge, then remove a tree edge: the cycle edge must replace it.
+	c.InsertEdge(1, 4)
+	c.DeleteEdge(2, 3)
+	if !c.Connected(1, 3) {
+		t.Fatal("cycle edge should keep 1 and 3 connected")
+	}
+	c.DeleteEdge(1, 4)
+	if c.Connected(1, 3) {
+		t.Fatal("1 and 3 should be disconnected after removing both paths")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnComponentID(t *testing.T) {
+	c := New()
+	for v := int64(0); v < 6; v++ {
+		c.AddVertex(v)
+	}
+	c.InsertEdge(0, 1)
+	c.InsertEdge(1, 2)
+	c.InsertEdge(3, 4)
+	// Component ids must be equal within a component and distinct across,
+	// consistently over a whole read-only pass.
+	ids := make([]CompID, 6)
+	for v := int64(0); v < 6; v++ {
+		ids[v] = c.ComponentID(v)
+	}
+	if ids[0] != ids[1] || ids[1] != ids[2] {
+		t.Fatal("0,1,2 should share a component id")
+	}
+	if ids[3] != ids[4] {
+		t.Fatal("3,4 should share a component id")
+	}
+	if ids[0] == ids[3] || ids[0] == ids[5] || ids[3] == ids[5] {
+		t.Fatal("distinct components must have distinct ids")
+	}
+}
+
+// TestConnRandomAgainstNaive drives random edge insertions/deletions and
+// vertex churn, comparing connectivity answers and component counts against
+// the brute-force oracle, with full structural validation along the way.
+func TestConnRandomAgainstNaive(t *testing.T) {
+	configs := []struct {
+		vertices int
+		ops      int
+		seed     int64
+	}{
+		{vertices: 8, ops: 600, seed: 1},
+		{vertices: 20, ops: 1200, seed: 2},
+		{vertices: 50, ops: 2000, seed: 3},
+		{vertices: 120, ops: 2500, seed: 4},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(fmt.Sprintf("v%d", cfg.vertices), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(cfg.seed))
+			c := New()
+			naive := newNaive()
+			var verts []int64
+			next := int64(0)
+			edges := make(map[[2]int64]bool)
+			edgeList := func() [][2]int64 {
+				out := make([][2]int64, 0, len(edges))
+				for e := range edges {
+					out = append(out, e)
+				}
+				return out
+			}
+			for i := 0; i < cfg.vertices; i++ {
+				c.AddVertex(next)
+				naive.addVertex(next)
+				verts = append(verts, next)
+				next++
+			}
+			for op := 0; op < cfg.ops; op++ {
+				switch r := rng.Float64(); {
+				case r < 0.45: // insert edge
+					u := verts[rng.Intn(len(verts))]
+					v := verts[rng.Intn(len(verts))]
+					if u == v {
+						continue
+					}
+					k := [2]int64{min64(u, v), max64(u, v)}
+					if edges[k] {
+						continue
+					}
+					edges[k] = true
+					c.InsertEdge(u, v)
+					naive.addEdge(u, v)
+				case r < 0.85: // delete edge
+					el := edgeList()
+					if len(el) == 0 {
+						continue
+					}
+					k := el[rng.Intn(len(el))]
+					delete(edges, k)
+					c.DeleteEdge(k[0], k[1])
+					naive.removeEdge(k[0], k[1])
+				default: // occasionally churn an isolated vertex
+					u := verts[rng.Intn(len(verts))]
+					isolated := true
+					for e := range edges {
+						if e[0] == u || e[1] == u {
+							isolated = false
+							break
+						}
+					}
+					if isolated {
+						c.RemoveVertex(u)
+						naive.removeVertex(u)
+						for i, v := range verts {
+							if v == u {
+								verts[i] = verts[len(verts)-1]
+								verts = verts[:len(verts)-1]
+								break
+							}
+						}
+					}
+					c.AddVertex(next)
+					naive.addVertex(next)
+					verts = append(verts, next)
+					next++
+				}
+				// Spot-check connectivity of random pairs.
+				for q := 0; q < 8; q++ {
+					u := verts[rng.Intn(len(verts))]
+					v := verts[rng.Intn(len(verts))]
+					if got, want := c.Connected(u, v), naive.connected(u, v); got != want {
+						t.Fatalf("op %d: Connected(%d,%d)=%v want %v", op, u, v, got, want)
+					}
+				}
+				if got, want := c.NumComponents(), naive.components(); got != want {
+					t.Fatalf("op %d: NumComponents=%d want %d", op, got, want)
+				}
+				if op%25 == 0 {
+					if err := c.Validate(); err != nil {
+						t.Fatalf("op %d: %v", op, err)
+					}
+				}
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConnComponentIDPartition cross-checks ComponentID grouping against the
+// oracle partition after a random history.
+func TestConnComponentIDPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := New()
+	naive := newNaive()
+	const n = 40
+	for v := int64(0); v < n; v++ {
+		c.AddVertex(v)
+		naive.addVertex(v)
+	}
+	edges := make(map[[2]int64]bool)
+	for op := 0; op < 800; op++ {
+		u := rng.Int63n(n)
+		v := rng.Int63n(n)
+		if u == v {
+			continue
+		}
+		k := [2]int64{min64(u, v), max64(u, v)}
+		if edges[k] {
+			delete(edges, k)
+			c.DeleteEdge(u, v)
+			naive.removeEdge(u, v)
+		} else {
+			edges[k] = true
+			c.InsertEdge(u, v)
+			naive.addEdge(u, v)
+		}
+	}
+	ids := make(map[int64]CompID)
+	for v := int64(0); v < n; v++ {
+		ids[v] = c.ComponentID(v)
+	}
+	for u := int64(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			same := ids[u] == ids[v]
+			if want := naive.connected(u, v); same != want {
+				t.Fatalf("ComponentID grouping: (%d,%d) same=%v want %v", u, v, same, want)
+			}
+		}
+	}
+}
+
+// TestConnDeepPath exercises long chains (worst case for replacement search).
+func TestConnDeepPath(t *testing.T) {
+	c := New()
+	const n = 300
+	for v := int64(0); v < n; v++ {
+		c.AddVertex(v)
+	}
+	for v := int64(0); v+1 < n; v++ {
+		c.InsertEdge(v, v+1)
+	}
+	// Parallel shortcut edges every 10 vertices.
+	for v := int64(0); v+10 < n; v += 10 {
+		c.InsertEdge(v, v+10)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Remove every chain edge; shortcuts must keep decades connected.
+	for v := int64(0); v+1 < n; v++ {
+		c.DeleteEdge(v, v+1)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Connected(0, 290) {
+		t.Fatal("shortcut edges should keep 0 and 290 connected")
+	}
+	if c.Connected(0, 295) {
+		t.Fatal("0 and 295 should be in different components")
+	}
+}
+
+func TestConnPanics(t *testing.T) {
+	c := New()
+	c.AddVertex(1)
+	c.AddVertex(2)
+	c.InsertEdge(1, 2)
+	assertPanics(t, "duplicate edge", func() { c.InsertEdge(2, 1) })
+	assertPanics(t, "self loop", func() { c.InsertEdge(1, 1) })
+	assertPanics(t, "absent vertex edge", func() { c.InsertEdge(1, 99) })
+	assertPanics(t, "duplicate vertex", func() { c.AddVertex(1) })
+	assertPanics(t, "remove connected vertex", func() { c.RemoveVertex(1) })
+	assertPanics(t, "delete absent edge", func() { c.DeleteEdge(1, 99) })
+	c.DeleteEdge(1, 2)
+	c.RemoveVertex(1) // now legal
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,121 @@
+package dyncon
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStarTeardown: a high-degree hub exercises replacement searches that
+// repeatedly promote edges around one vertex.
+func TestStarTeardown(t *testing.T) {
+	c := New()
+	const n = 200
+	for v := int64(0); v <= n; v++ {
+		c.AddVertex(v)
+	}
+	for v := int64(1); v <= n; v++ {
+		c.InsertEdge(0, v)
+	}
+	// A ring over the leaves provides replacements for every spoke.
+	for v := int64(1); v <= n; v++ {
+		w := v%n + 1
+		c.InsertEdge(v, w)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Remove all spokes: the ring must keep all leaves connected; the hub
+	// disconnects only after its last spoke goes.
+	for v := int64(1); v < n; v++ {
+		c.DeleteEdge(0, v)
+		if !c.Connected(1, v) {
+			t.Fatalf("leaves disconnected after removing spoke %d", v)
+		}
+		if !c.Connected(0, 1) {
+			t.Fatalf("hub disconnected while spoke to %d remains", n)
+		}
+	}
+	c.DeleteEdge(0, n)
+	if c.Connected(0, 1) {
+		t.Fatal("hub should be isolated")
+	}
+	if !c.Connected(1, n/2) {
+		t.Fatal("ring broken")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCliqueTeardown: deleting the edges of a complete graph in random
+// order drives many levels of promotions.
+func TestCliqueTeardown(t *testing.T) {
+	c := New()
+	const n = 24
+	for v := int64(0); v < n; v++ {
+		c.AddVertex(v)
+	}
+	var edges [][2]int64
+	for u := int64(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			c.InsertEdge(u, v)
+			edges = append(edges, [2]int64{u, v})
+		}
+	}
+	naive := newNaive()
+	for v := int64(0); v < n; v++ {
+		naive.addVertex(v)
+	}
+	for _, e := range edges {
+		naive.addEdge(e[0], e[1])
+	}
+	rng := rand.New(rand.NewSource(8))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for i, e := range edges {
+		c.DeleteEdge(e[0], e[1])
+		naive.removeEdge(e[0], e[1])
+		if got, want := c.NumComponents(), naive.components(); got != want {
+			t.Fatalf("after %d deletions: components=%d want %d", i+1, got, want)
+		}
+		if i%50 == 0 {
+			if err := c.Validate(); err != nil {
+				t.Fatalf("after %d deletions: %v", i+1, err)
+			}
+		}
+	}
+	if c.NumComponents() != n {
+		t.Fatal("all vertices should be isolated")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelPathsChain: two long disjoint paths between the same
+// endpoints; cutting one path edge by edge must never disconnect the ends.
+func TestParallelPathsChain(t *testing.T) {
+	c := New()
+	const l = 150
+	// Path A: 0..l, Path B: 0, l+1..2l-1, l.
+	for v := int64(0); v <= 2*l; v++ {
+		c.AddVertex(v)
+	}
+	for v := int64(0); v < l; v++ {
+		c.InsertEdge(v, v+1)
+	}
+	prev := int64(0)
+	for v := int64(l + 1); v < 2*l; v++ {
+		c.InsertEdge(prev, v)
+		prev = v
+	}
+	c.InsertEdge(prev, l)
+	for v := int64(0); v < l; v++ {
+		c.DeleteEdge(v, v+1)
+		if !c.Connected(0, l) {
+			t.Fatalf("endpoints disconnected after cutting A-edge %d with path B intact", v)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package dyncon implements fully dynamic graph connectivity with
+// polylogarithmic amortized updates, after Holm, de Lichtenberg and Thorup
+// (JACM 2001) — reference [14] of the paper. It is the fully-dynamic "CC
+// structure" of Section 4.2: the grid graph's EdgeInsert, EdgeRemove and
+// CC-Id operations are answered here in Õ(1) amortized time, which is what
+// makes Theorem 4's fully dynamic ρ-double-approximate DBSCAN possible.
+//
+// The structure maintains a hierarchy of spanning forests F_0 ⊇ F_1 ⊇ … where
+// every edge carries a level, F_i contains the tree edges of level ≥ i, and
+// non-tree edges are kept in per-vertex, per-level adjacency sets. Each F_i
+// is represented by Euler tour trees built on splay trees, augmented with
+// (a) subtree counts of vertex (loop) nodes — component sizes, and
+// (b) flags locating vertices with non-tree edges and tree edges of exactly
+// level i — the two searches the HDT replacement scan needs.
+//
+// This file implements the Euler tour tree layer.
+package dyncon
+
+// tnode is a node of a splay tree whose in-order traversal is an Euler tour.
+// A node is either a vertex "loop" node (edge == nil), representing the
+// vertex itself inside its tour, or an "arc" node representing one direction
+// of a tree edge.
+type tnode struct {
+	parent, left, right *tnode
+
+	vertex int64    // loop: the vertex; arc: the tail vertex
+	head   int64    // arc: the head vertex (loop: unused)
+	edge   *edgeRec // arc: owning edge; nil for loop nodes
+
+	selfNontree bool // loop nodes: vertex has ≥1 non-tree edge at this level
+	selfTree    bool // primary arcs: edge level equals this forest's level
+	aggNontree  bool
+	aggTree     bool
+	loopCount   int32 // number of loop nodes in this subtree
+}
+
+func (n *tnode) isLoop() bool { return n.edge == nil }
+
+// update recomputes n's aggregates from its children and own flags.
+func update(n *tnode) {
+	n.aggNontree = n.selfNontree
+	n.aggTree = n.selfTree
+	if n.edge == nil {
+		n.loopCount = 1
+	} else {
+		n.loopCount = 0
+	}
+	if l := n.left; l != nil {
+		n.aggNontree = n.aggNontree || l.aggNontree
+		n.aggTree = n.aggTree || l.aggTree
+		n.loopCount += l.loopCount
+	}
+	if r := n.right; r != nil {
+		n.aggNontree = n.aggNontree || r.aggNontree
+		n.aggTree = n.aggTree || r.aggTree
+		n.loopCount += r.loopCount
+	}
+}
+
+// rotate lifts x above its parent, preserving in-order.
+func rotate(x *tnode) {
+	p := x.parent
+	g := p.parent
+	if p.left == x {
+		p.left = x.right
+		if x.right != nil {
+			x.right.parent = p
+		}
+		x.right = p
+	} else {
+		p.right = x.left
+		if x.left != nil {
+			x.left.parent = p
+		}
+		x.left = p
+	}
+	p.parent = x
+	x.parent = g
+	if g != nil {
+		if g.left == p {
+			g.left = x
+		} else {
+			g.right = x
+		}
+	}
+	update(p)
+	update(x)
+}
+
+// splay rotates x to the root of its splay tree, refreshing aggregates along
+// the access path. Calling splay after changing a node's self flags restores
+// all affected aggregates.
+func splay(x *tnode) {
+	for x.parent != nil {
+		p := x.parent
+		g := p.parent
+		if g != nil {
+			if (g.left == p) == (p.left == x) {
+				rotate(p) // zig-zig
+			} else {
+				rotate(x) // zig-zag
+			}
+		}
+		rotate(x)
+	}
+	update(x)
+}
+
+// rootOf walks to the splay root without restructuring. It is used by
+// CC-Id-style queries, which must not move roots around so that ids stay
+// comparable within one grouping pass.
+func rootOf(n *tnode) *tnode {
+	for n.parent != nil {
+		n = n.parent
+	}
+	return n
+}
+
+// join concatenates the sequences rooted at a and b and returns the new root.
+// Either may be nil.
+func join(a, b *tnode) *tnode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	// Splay the last element of a to the root; it then has no right child.
+	r := a
+	for r.right != nil {
+		r = r.right
+	}
+	splay(r)
+	r.right = b
+	b.parent = r
+	update(r)
+	return r
+}
+
+// splitBefore splits x's sequence into (everything before x, x and after),
+// returning the root of the "before" part (nil if x was first). x becomes the
+// root of its part.
+func splitBefore(x *tnode) *tnode {
+	splay(x)
+	l := x.left
+	if l != nil {
+		l.parent = nil
+		x.left = nil
+		update(x)
+	}
+	return l
+}
+
+// detach isolates x from its sequence, returning the roots of the parts
+// before and after it. x itself becomes a singleton.
+func detach(x *tnode) (before, after *tnode) {
+	splay(x)
+	before, after = x.left, x.right
+	if before != nil {
+		before.parent = nil
+	}
+	if after != nil {
+		after.parent = nil
+	}
+	x.left, x.right = nil, nil
+	update(x)
+	return before, after
+}
+
+// reroot rotates the tour of the tree containing loop so that it starts at
+// loop, and returns the new root. This is the Euler tour analogue of
+// re-rooting the represented tree at that vertex.
+func reroot(loop *tnode) *tnode {
+	before := splitBefore(loop)
+	if before == nil {
+		return rootOf(loop)
+	}
+	return join(rootOf(loop), before)
+}
+
+// ettLink merges the tours of u and v (given by their loop nodes, in distinct
+// trees) into the tour of the linked tree, inserting the two arc nodes of the
+// new tree edge: tour(u-tree rerooted at u) ++ arcUV ++ tour(v-tree rerooted
+// at v) ++ arcVU.
+func ettLink(loopU, loopV, arcUV, arcVU *tnode) {
+	ru := reroot(loopU)
+	rv := reroot(loopV)
+	t := join(ru, arcUV)
+	t = join(t, rv)
+	join(t, arcVU)
+}
+
+// ettCut removes the tree edge represented by arcs a1 and a2 from its tour,
+// splitting it into the tours of the two sides. The arc nodes are discarded.
+func ettCut(a1, a2 *tnode) {
+	before, after := detach(a1)
+	// a2 lies entirely in one of the two parts.
+	var mid *tnode
+	if after != nil && rootOf(a2) == after {
+		// tour = before ++ [a1] ++ mid ++ [a2] ++ tail
+		var tail *tnode
+		mid, tail = detach(a2)
+		join(before, tail)
+	} else {
+		// tour = head ++ [a2] ++ mid ++ [a1] ++ after
+		var head *tnode
+		head, mid = detach(a2)
+		join(head, after)
+	}
+	_ = mid // mid is the root (or nil for a single-vertex side) of the split-off tour
+}
+
+// setNontreeFlag updates the vertex-has-nontree-edges flag on a loop node and
+// restores aggregates by splaying it.
+func setNontreeFlag(loop *tnode, v bool) {
+	if loop.selfNontree == v {
+		return
+	}
+	loop.selfNontree = v
+	splay(loop)
+}
+
+// setTreeFlag updates the edge-is-exactly-this-level flag on a primary arc
+// node and restores aggregates by splaying it.
+func setTreeFlag(arc *tnode, v bool) {
+	if arc.selfTree == v {
+		return
+	}
+	arc.selfTree = v
+	splay(arc)
+}
+
+// findNontreeLoop returns a loop node with selfNontree set in the subtree
+// rooted at r, or nil when the subtree's aggregate says there is none.
+func findNontreeLoop(r *tnode) *tnode {
+	if r == nil || !r.aggNontree {
+		return nil
+	}
+	for {
+		if r.selfNontree && r.isLoop() {
+			return r
+		}
+		if r.left != nil && r.left.aggNontree {
+			r = r.left
+			continue
+		}
+		if r.selfNontree {
+			// selfNontree on a non-loop node would be a corruption.
+			panic("dyncon: nontree flag on arc node")
+		}
+		r = r.right
+	}
+}
+
+// findTreeArc returns an arc node with selfTree set in the subtree rooted at
+// r, or nil when there is none.
+func findTreeArc(r *tnode) *tnode {
+	if r == nil || !r.aggTree {
+		return nil
+	}
+	for {
+		if r.selfTree {
+			return r
+		}
+		if r.left != nil && r.left.aggTree {
+			r = r.left
+			continue
+		}
+		r = r.right
+	}
+}

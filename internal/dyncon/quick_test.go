@@ -1,0 +1,96 @@
+package dyncon
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickConnectivity interprets arbitrary byte strings as edge-toggle
+// scripts over a fixed vertex set and checks every pairwise connectivity
+// answer against BFS — quick finds op interleavings a hand-written random
+// walk might not.
+func TestQuickConnectivity(t *testing.T) {
+	const n = 12
+	f := func(script []uint8) bool {
+		c := New()
+		naive := newNaive()
+		for v := int64(0); v < n; v++ {
+			c.AddVertex(v)
+			naive.addVertex(v)
+		}
+		live := make(map[[2]int64]bool)
+		for i := 0; i+1 < len(script); i += 2 {
+			u := int64(script[i] % n)
+			v := int64(script[i+1] % n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			k := [2]int64{u, v}
+			if live[k] {
+				c.DeleteEdge(u, v)
+				naive.removeEdge(u, v)
+				delete(live, k)
+			} else {
+				c.InsertEdge(u, v)
+				naive.addEdge(u, v)
+				live[k] = true
+			}
+		}
+		for u := int64(0); u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if c.Connected(u, v) != naive.connected(u, v) {
+					return false
+				}
+			}
+		}
+		return c.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickComponentCount: component count must equal n minus the rank of
+// the edge set, for any toggle script.
+func TestQuickComponentCount(t *testing.T) {
+	const n = 16
+	f := func(script []uint8) bool {
+		c := New()
+		naive := newNaive()
+		for v := int64(0); v < n; v++ {
+			c.AddVertex(v)
+			naive.addVertex(v)
+		}
+		live := make(map[[2]int64]bool)
+		for i := 0; i+1 < len(script); i += 2 {
+			u := int64(script[i] % n)
+			v := int64(script[i+1] % n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			k := [2]int64{u, v}
+			if live[k] {
+				c.DeleteEdge(u, v)
+				naive.removeEdge(u, v)
+				delete(live, k)
+			} else {
+				c.InsertEdge(u, v)
+				naive.addEdge(u, v)
+				live[k] = true
+			}
+			if c.NumComponents() != naive.components() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+package dyncon
+
+import "fmt"
+
+// Validate exhaustively checks the structure's internal invariants: edge
+// bookkeeping, flag placement, splay aggregates, Euler tour bracket
+// structure, the forest hierarchy F_0 ⊇ F_1 ⊇ …, and the component count.
+// It is O(total structure size) and intended for tests and debugging.
+func (c *Conn) Validate() error {
+	// 1. Edge records vs adjacency sets and arc placement.
+	nontreeWant := make(map[edgeKey]int) // edge -> level, from adj sets
+	for v, vr := range c.verts {
+		for lvl, set := range vr.adj {
+			for w := range set {
+				k := mkKey(v, w)
+				if prev, ok := nontreeWant[k]; ok && prev != lvl {
+					return fmt.Errorf("edge %v in adj sets at levels %d and %d", k, prev, lvl)
+				}
+				nontreeWant[k] = lvl
+				// Symmetry.
+				wr, ok := c.verts[w]
+				if !ok {
+					return fmt.Errorf("adj entry %d->%d to absent vertex", v, w)
+				}
+				if lvl >= len(wr.adj) || wr.adj[lvl] == nil {
+					return fmt.Errorf("adj entry %d->%d missing reverse set", v, w)
+				}
+				if _, ok := wr.adj[lvl][v]; !ok {
+					return fmt.Errorf("adj entry %d->%d not symmetric", v, w)
+				}
+			}
+		}
+	}
+	for k, rec := range c.edges {
+		if rec.tree {
+			if _, ok := nontreeWant[k]; ok {
+				return fmt.Errorf("tree edge %v present in adj sets", k)
+			}
+			if len(rec.arcs) <= rec.level {
+				return fmt.Errorf("tree edge %v missing arcs up to level %d", k, rec.level)
+			}
+			for i := 0; i <= rec.level; i++ {
+				for s := 0; s < 2; s++ {
+					a := rec.arcs[i][s]
+					if a == nil || a.edge != rec {
+						return fmt.Errorf("tree edge %v arc %d/%d wrong ownership", k, i, s)
+					}
+				}
+			}
+		} else {
+			lvl, ok := nontreeWant[k]
+			if !ok {
+				return fmt.Errorf("non-tree edge %v absent from adj sets", k)
+			}
+			if lvl != rec.level {
+				return fmt.Errorf("non-tree edge %v level %d but adj sets say %d", k, rec.level, lvl)
+			}
+			delete(nontreeWant, k)
+		}
+	}
+	for k := range nontreeWant {
+		return fmt.Errorf("adj sets contain unknown edge %v", k)
+	}
+
+	// 2. Per-forest structure.
+	for i, f := range c.forests {
+		roots := make(map[*tnode]bool)
+		for v, loop := range f.loops {
+			if loop.vertex != v || !loop.isLoop() {
+				return fmt.Errorf("F_%d: loop node for %d malformed", i, v)
+			}
+			wantFlag := false
+			if vr, ok := c.verts[v]; ok && i < len(vr.adj) {
+				wantFlag = len(vr.adj[i]) > 0
+			}
+			if loop.selfNontree != wantFlag {
+				return fmt.Errorf("F_%d: vertex %d nontree flag=%v want %v", i, v, loop.selfNontree, wantFlag)
+			}
+			roots[rootOf(loop)] = true
+		}
+		for r := range roots {
+			if err := c.validateTree(i, r); err != nil {
+				return err
+			}
+		}
+		// Partition must equal connectivity over tree edges of level ≥ i.
+		if err := c.validatePartition(i, f); err != nil {
+			return err
+		}
+	}
+
+	// 3. Non-tree edges must connect vertices in the same F_level tree.
+	for k, rec := range c.edges {
+		if rec.tree {
+			continue
+		}
+		f := c.forests[rec.level]
+		la, lb := f.loops[rec.a], f.loops[rec.b]
+		if la == nil || lb == nil || rootOf(la) != rootOf(lb) {
+			return fmt.Errorf("non-tree edge %v endpoints not connected in F_%d", k, rec.level)
+		}
+	}
+
+	// 4. Component count.
+	roots := make(map[*tnode]bool)
+	for v := range c.verts {
+		roots[rootOf(c.forests[0].loops[v])] = true
+	}
+	if len(roots) != c.comps {
+		return fmt.Errorf("comps=%d but F_0 has %d roots", c.comps, len(roots))
+	}
+	return nil
+}
+
+// validateTree checks aggregates, tour bracket structure, and flag placement
+// of one splay tree in forest level.
+func (c *Conn) validateTree(level int, root *tnode) error {
+	var seq []*tnode
+	var walk func(n *tnode) error
+	walk = func(n *tnode) error {
+		if n == nil {
+			return nil
+		}
+		if n.left != nil && n.left.parent != n {
+			return fmt.Errorf("F_%d: broken parent link (left)", level)
+		}
+		if n.right != nil && n.right.parent != n {
+			return fmt.Errorf("F_%d: broken parent link (right)", level)
+		}
+		if err := walk(n.left); err != nil {
+			return err
+		}
+		seq = append(seq, n)
+		if err := walk(n.right); err != nil {
+			return err
+		}
+		// Aggregates.
+		agNon, agTree := n.selfNontree, n.selfTree
+		var cnt int32
+		if n.isLoop() {
+			cnt = 1
+		}
+		for _, ch := range [2]*tnode{n.left, n.right} {
+			if ch != nil {
+				agNon = agNon || ch.aggNontree
+				agTree = agTree || ch.aggTree
+				cnt += ch.loopCount
+			}
+		}
+		if agNon != n.aggNontree || agTree != n.aggTree || cnt != n.loopCount {
+			return fmt.Errorf("F_%d: stale aggregates at node %d->%d", level, n.vertex, n.head)
+		}
+		// Flag placement.
+		if n.selfTree {
+			if n.isLoop() {
+				return fmt.Errorf("F_%d: tree flag on loop node %d", level, n.vertex)
+			}
+			if n.edge.level != level || !n.edge.tree || n.edge.arcs[level][0] != n {
+				return fmt.Errorf("F_%d: tree flag misplaced on %d->%d", level, n.vertex, n.head)
+			}
+		}
+		if n.selfNontree && !n.isLoop() {
+			return fmt.Errorf("F_%d: nontree flag on arc node", level)
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return err
+	}
+	// Bracket structure: arcs of each edge must nest like parentheses.
+	var stack []*tnode
+	loops := 0
+	for _, n := range seq {
+		if n.isLoop() {
+			loops++
+			continue
+		}
+		if len(stack) > 0 && stack[len(stack)-1].edge == n.edge {
+			stack = stack[:len(stack)-1]
+		} else {
+			stack = append(stack, n)
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("F_%d: unbalanced tour brackets (%d left)", level, len(stack))
+	}
+	if int32(loops) != root.loopCount {
+		return fmt.Errorf("F_%d: loopCount %d but %d loop nodes in tour", level, root.loopCount, loops)
+	}
+	return nil
+}
+
+// validatePartition verifies that the ETT partition of forest level equals
+// connectivity over tree edges of level ≥ level.
+func (c *Conn) validatePartition(level int, f *forest) error {
+	// Union-find over vertex ids restricted to tree edges of level ≥ level.
+	parent := make(map[int64]int64)
+	var find func(x int64) int64
+	find = func(x int64) int64 {
+		if parent[x] == x {
+			return x
+		}
+		r := find(parent[x])
+		parent[x] = r
+		return r
+	}
+	for v := range f.loops {
+		parent[v] = v
+	}
+	for _, rec := range c.edges {
+		if !rec.tree || rec.level < level {
+			continue
+		}
+		if _, ok := parent[rec.a]; !ok {
+			return fmt.Errorf("F_%d: tree edge endpoint %d has no loop node", level, rec.a)
+		}
+		if _, ok := parent[rec.b]; !ok {
+			return fmt.Errorf("F_%d: tree edge endpoint %d has no loop node", level, rec.b)
+		}
+		ra, rb := find(rec.a), find(rec.b)
+		if ra == rb {
+			return fmt.Errorf("F_%d: tree edges of level ≥ %d contain a cycle", level, level)
+		}
+		parent[ra] = rb
+	}
+	// Compare partitions.
+	ettRoots := make(map[int64]*tnode)
+	for v, loop := range f.loops {
+		ettRoots[v] = rootOf(loop)
+	}
+	byUF := make(map[int64]*tnode)
+	for v := range f.loops {
+		r := find(v)
+		if prev, ok := byUF[r]; ok {
+			if prev != ettRoots[v] {
+				return fmt.Errorf("F_%d: ETT splits UF component of %d", level, v)
+			}
+		} else {
+			byUF[r] = ettRoots[v]
+		}
+	}
+	seen := make(map[*tnode]int64)
+	for v := range f.loops {
+		r := ettRoots[v]
+		u := find(v)
+		if prev, ok := seen[r]; ok {
+			if find(prev) != u {
+				return fmt.Errorf("F_%d: ETT merges UF components of %d and %d", level, prev, v)
+			}
+		} else {
+			seen[r] = v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+// Package geom provides the primitive geometric types and operations shared
+// by every subsystem of the dynamic DBSCAN library: points in R^d, squared
+// Euclidean distances, and point-to-box distances used for spatial pruning.
+//
+// All distance computations are done on squared distances wherever possible
+// to avoid needless square roots on hot paths.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MaxDims is the largest dimensionality supported by the library. The paper
+// evaluates up to d = 7; we leave headroom. Fixed-size arrays keyed on cell
+// coordinates require a compile-time bound.
+const MaxDims = 8
+
+// Point is a point in R^d. The dimensionality is carried by context (every
+// structure is constructed with an explicit dimension); a Point must have at
+// least that many coordinates.
+type Point []float64
+
+// Clone returns a deep copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q agree on the first d coordinates.
+func Equal(p, q Point, d int) bool {
+	for i := 0; i < d; i++ {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DistSq returns the squared Euclidean distance between p and q in R^d.
+func DistSq(p, q Point, d int) float64 {
+	var s float64
+	for i := 0; i < d; i++ {
+		t := p[i] - q[i]
+		s += t * t
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between p and q in R^d.
+func Dist(p, q Point, d int) float64 {
+	return math.Sqrt(DistSq(p, q, d))
+}
+
+// Box is an axis-parallel box [Lo[i], Hi[i]] per dimension.
+type Box struct {
+	Lo, Hi Point
+}
+
+// NewBox returns a box with the given corners, cloning both.
+func NewBox(lo, hi Point) Box {
+	return Box{Lo: lo.Clone(), Hi: hi.Clone()}
+}
+
+// Contains reports whether the box contains p in its first d dimensions
+// (boundaries inclusive).
+func (b Box) Contains(p Point, d int) bool {
+	for i := 0; i < d; i++ {
+		if p[i] < b.Lo[i] || p[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinDistSq returns the squared distance from p to the closest point of the
+// box (zero if p is inside).
+func (b Box) MinDistSq(p Point, d int) float64 {
+	var s float64
+	for i := 0; i < d; i++ {
+		switch {
+		case p[i] < b.Lo[i]:
+			t := b.Lo[i] - p[i]
+			s += t * t
+		case p[i] > b.Hi[i]:
+			t := p[i] - b.Hi[i]
+			s += t * t
+		}
+	}
+	return s
+}
+
+// MaxDistSq returns the squared distance from p to the farthest point of the
+// box.
+func (b Box) MaxDistSq(p Point, d int) float64 {
+	var s float64
+	for i := 0; i < d; i++ {
+		t := math.Max(math.Abs(p[i]-b.Lo[i]), math.Abs(b.Hi[i]-p[i]))
+		s += t * t
+	}
+	return s
+}
+
+// InsideBall reports whether the whole box lies within the closed ball
+// B(center, r) in the first d dimensions.
+func (b Box) InsideBall(center Point, r float64, d int) bool {
+	return b.MaxDistSq(center, d) <= r*r
+}
+
+// String renders the box for diagnostics.
+func (b Box) String() string {
+	return fmt.Sprintf("box[%v..%v]", []float64(b.Lo), []float64(b.Hi))
+}
+
+// RandInBall returns a point uniformly distributed in the closed ball
+// B(center, r) in R^d, using rng. It uses the polar method: a Gaussian
+// direction scaled by U^(1/d)·r, which is uniform in the ball for every d.
+func RandInBall(rng *rand.Rand, center Point, r float64, d int) Point {
+	p := make(Point, d)
+	for {
+		var norm float64
+		for i := 0; i < d; i++ {
+			p[i] = rng.NormFloat64()
+			norm += p[i] * p[i]
+		}
+		if norm > 0 {
+			norm = math.Sqrt(norm)
+			scale := r * math.Pow(rng.Float64(), 1.0/float64(d)) / norm
+			for i := 0; i < d; i++ {
+				p[i] = center[i] + p[i]*scale
+			}
+			return p
+		}
+	}
+}

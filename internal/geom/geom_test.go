@@ -1,0 +1,186 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		d    int
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 2, 5},
+		{Point{1, 1, 1}, Point{1, 1, 1}, 3, 0},
+		{Point{0, 0, 0}, Point{1, 2, 2}, 3, 3},
+		{Point{-1, -1}, Point{2, 3}, 2, 5},
+		// Extra trailing coordinates must be ignored.
+		{Point{0, 0, 100}, Point{3, 4, -100}, 2, 5},
+	}
+	for _, tc := range tests {
+		if got := Dist(tc.p, tc.q, tc.d); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v,%d) = %v, want %v", tc.p, tc.q, tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randPt := func(d int) Point {
+		p := make(Point, d)
+		for i := range p {
+			p[i] = rng.NormFloat64() * 10
+		}
+		return p
+	}
+	// Symmetry, non-negativity, triangle inequality.
+	for i := 0; i < 2000; i++ {
+		d := 1 + rng.Intn(MaxDims)
+		p, q, r := randPt(d), randPt(d), randPt(d)
+		if DistSq(p, q, d) != DistSq(q, p, d) {
+			t.Fatal("DistSq not symmetric")
+		}
+		if Dist(p, q, d) < 0 {
+			t.Fatal("negative distance")
+		}
+		if Dist(p, r, d) > Dist(p, q, d)+Dist(q, r, d)+1e-9 {
+			t.Fatal("triangle inequality violated")
+		}
+	}
+}
+
+func TestBoxDistances(t *testing.T) {
+	b := NewBox(Point{0, 0}, Point{1, 2})
+	tests := []struct {
+		p        Point
+		min, max float64
+	}{
+		{Point{0.5, 1}, 0, math.Sqrt(0.25 + 1)},
+		{Point{2, 0}, 1, math.Sqrt(4 + 4)},
+		{Point{-3, -4}, 5, math.Sqrt(16 + 36)},
+	}
+	for _, tc := range tests {
+		if got := b.MinDistSq(tc.p, 2); math.Abs(got-tc.min*tc.min) > 1e-12 {
+			t.Errorf("MinDistSq(%v) = %v, want %v", tc.p, got, tc.min*tc.min)
+		}
+		if got := b.MaxDistSq(tc.p, 2); math.Abs(got-tc.max*tc.max) > 1e-12 {
+			t.Errorf("MaxDistSq(%v) = %v, want %v", tc.p, got, tc.max*tc.max)
+		}
+	}
+}
+
+// Property: for any point p inside box b, MinDistSq(q) ≤ DistSq(q,p) ≤
+// MaxDistSq(q). This is the contract every spatial pruning step relies on.
+func TestBoxDistanceEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		d := 1 + rng.Intn(4)
+		lo := make(Point, d)
+		hi := make(Point, d)
+		inside := make(Point, d)
+		q := make(Point, d)
+		for j := 0; j < d; j++ {
+			a, b := rng.Float64()*10-5, rng.Float64()*10-5
+			if a > b {
+				a, b = b, a
+			}
+			lo[j], hi[j] = a, b
+			inside[j] = a + rng.Float64()*(b-a)
+			q[j] = rng.Float64()*20 - 10
+		}
+		box := Box{Lo: lo, Hi: hi}
+		dq := DistSq(q, inside, d)
+		if box.MinDistSq(q, d) > dq+1e-9 {
+			t.Fatalf("MinDistSq exceeds distance to inner point")
+		}
+		if box.MaxDistSq(q, d) < dq-1e-9 {
+			t.Fatalf("MaxDistSq below distance to inner point")
+		}
+		if !box.Contains(inside, d) {
+			t.Fatalf("inner point not contained")
+		}
+	}
+}
+
+func TestRandInBall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range []int{1, 2, 3, 5, 7} {
+		center := make(Point, d)
+		for i := range center {
+			center[i] = float64(i) - 2
+		}
+		const r = 4.0
+		inHalf := 0
+		const n = 4000
+		for i := 0; i < n; i++ {
+			p := RandInBall(rng, center, r, d)
+			if got := Dist(p, center, d); got > r+1e-9 {
+				t.Fatalf("d=%d: sample outside ball: %v", d, got)
+			}
+			if Dist(p, center, d) <= r*math.Pow(0.5, 1/float64(d)) {
+				inHalf++
+			}
+		}
+		// Radius scaling U^(1/d) puts ~half the mass within the half-volume
+		// radius; allow generous slack.
+		frac := float64(inHalf) / n
+		if frac < 0.40 || frac > 0.60 {
+			t.Errorf("d=%d: half-volume fraction %.3f out of [0.40,0.60]", d, frac)
+		}
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := p.Clone()
+	q[0] = 9
+	if p[0] != 1 {
+		t.Fatal("Clone must not alias")
+	}
+	if !Equal(p, Point{1, 2, 99}, 2) {
+		t.Fatal("Equal must only compare the first d coordinates")
+	}
+	if Equal(p, Point{1, 3, 3}, 3) {
+		t.Fatal("Equal false negative expected")
+	}
+}
+
+func TestInsideBallQuick(t *testing.T) {
+	// If InsideBall says yes, every corner must be within r. Inputs are
+	// folded into a modest range so the arithmetic cannot overflow.
+	clamp := func(x float64) float64 {
+		if !(x > -1e6 && x < 1e6) { // also catches NaN/Inf
+			return math.Mod(x, 1e6)
+		}
+		return x
+	}
+	f := func(cx, cy, lox, loy, w, h, rr float64) bool {
+		cx, cy, lox, loy = clamp(cx), clamp(cy), clamp(lox), clamp(loy)
+		w, h, rr = clamp(w), clamp(h), clamp(rr)
+		if math.IsNaN(cx + cy + lox + loy + w + h + rr) {
+			return true
+		}
+		r := math.Abs(rr)
+		lo := Point{lox, loy}
+		hi := Point{lox + math.Abs(w), loy + math.Abs(h)}
+		b := Box{Lo: lo, Hi: hi}
+		c := Point{cx, cy}
+		if !b.InsideBall(c, r, 2) {
+			return true
+		}
+		for _, x := range []float64{lo[0], hi[0]} {
+			for _, y := range []float64{lo[1], hi[1]} {
+				if Dist(c, Point{x, y}, 2) > r+1e-6*(1+r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

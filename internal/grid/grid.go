@@ -1,0 +1,144 @@
+// Package grid implements the grid D of Section 4.1 of the paper: the data
+// space R^d is partitioned into cells of side length ε/√d, which guarantees
+// that any two points in the same cell are within distance ε of each other.
+//
+// The package provides
+//
+//   - cell coordinates and the point→cell mapping,
+//   - the ε-closeness predicate between cells (smallest distance between the
+//     two cell boxes is at most some radius r), and
+//   - Index, a dynamic spatial index over the *occupied* cells.
+//
+// Index exists because the number of ε-close grid offsets explodes with the
+// dimension (about 257,000 offsets at d = 7): a correct implementation cannot
+// enumerate the whole offset ball on every cell event. Instead, occupied
+// cells are kept in an integer kd-tree and the ε-close occupied cells of a
+// new cell are found with one pruned range query, proportional to the number
+// of occupied neighbors actually present.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"dyndbscan/internal/geom"
+)
+
+// Coord identifies a grid cell by its integer coordinates. Dimensions beyond
+// the grid's dimensionality must be zero so that Coord is usable as a map key.
+type Coord [geom.MaxDims]int32
+
+// String renders the first d coordinates of c.
+func (c Coord) Render(d int) string {
+	return fmt.Sprintf("%v", c[:d])
+}
+
+// Params holds the geometry of a grid: the dimensionality, the radius ε the
+// grid was built for, and the derived cell side length ε/√d.
+type Params struct {
+	Dims int
+	Eps  float64
+	Side float64
+}
+
+// closenessSlack is a relative tolerance applied to ε-closeness comparisons.
+// Over-including a borderline cell is always safe (closeness is used only to
+// restrict which cells are examined); under-including is not.
+const closenessSlack = 1e-12
+
+// NewParams returns the grid geometry for dimension d and radius eps.
+// It panics if d is out of [1, geom.MaxDims] or eps is not positive, since
+// both indicate a programming error rather than a runtime condition.
+func NewParams(d int, eps float64) Params {
+	if d < 1 || d > geom.MaxDims {
+		panic(fmt.Sprintf("grid: dimension %d out of range [1,%d]", d, geom.MaxDims))
+	}
+	if !(eps > 0) {
+		panic(fmt.Sprintf("grid: eps %v must be positive", eps))
+	}
+	return Params{Dims: d, Eps: eps, Side: eps / math.Sqrt(float64(d))}
+}
+
+// CellOf returns the coordinates of the cell containing pt.
+func (g Params) CellOf(pt geom.Point) Coord {
+	var c Coord
+	for i := 0; i < g.Dims; i++ {
+		c[i] = int32(math.Floor(pt[i] / g.Side))
+	}
+	return c
+}
+
+// CellBox returns the axis-parallel box occupied by cell c.
+func (g Params) CellBox(c Coord) geom.Box {
+	lo := make(geom.Point, g.Dims)
+	hi := make(geom.Point, g.Dims)
+	for i := 0; i < g.Dims; i++ {
+		lo[i] = float64(c[i]) * g.Side
+		hi[i] = float64(c[i]+1) * g.Side
+	}
+	return geom.Box{Lo: lo, Hi: hi}
+}
+
+// MinDistSq returns the squared smallest distance between the boxes of cells
+// a and b (zero for the same or edge/corner-adjacent cells).
+func (g Params) MinDistSq(a, b Coord) float64 {
+	var s float64
+	for i := 0; i < g.Dims; i++ {
+		delta := int64(a[i]) - int64(b[i])
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta > 1 {
+			t := float64(delta-1) * g.Side
+			s += t * t
+		}
+	}
+	return s
+}
+
+// CloseWithin reports whether cells a and b are r-close: the smallest
+// distance between their boxes is at most r (with a tiny positive slack so
+// borderline cells are included rather than dropped).
+func (g Params) CloseWithin(a, b Coord, r float64) bool {
+	return g.MinDistSq(a, b) <= r*r*(1+closenessSlack)
+}
+
+// EpsClose reports whether cells a and b are ε-close in the paper's sense
+// (r = ε).
+func (g Params) EpsClose(a, b Coord) bool {
+	return g.CloseWithin(a, b, g.Eps)
+}
+
+// MaxDistSqPointCell returns the squared largest distance from point q to
+// the box of cell c. A cell with MaxDistSqPointCell ≤ r² lies entirely
+// within B(q, r), so its whole population can be counted without per-point
+// distance checks.
+func (g Params) MaxDistSqPointCell(q geom.Point, c Coord) float64 {
+	var s float64
+	for i := 0; i < g.Dims; i++ {
+		lo := float64(c[i]) * g.Side
+		hi := lo + g.Side
+		d := math.Max(math.Abs(q[i]-lo), math.Abs(hi-q[i]))
+		s += d * d
+	}
+	return s
+}
+
+// MinDistSqPointCell returns the squared smallest distance from point q to
+// the box of cell c. It is used to prune emptiness queries.
+func (g Params) MinDistSqPointCell(q geom.Point, c Coord) float64 {
+	var s float64
+	for i := 0; i < g.Dims; i++ {
+		lo := float64(c[i]) * g.Side
+		hi := float64(c[i]+1) * g.Side
+		switch {
+		case q[i] < lo:
+			t := lo - q[i]
+			s += t * t
+		case q[i] > hi:
+			t := q[i] - hi
+			s += t * t
+		}
+	}
+	return s
+}

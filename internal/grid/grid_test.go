@@ -1,0 +1,176 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dyndbscan/internal/geom"
+)
+
+func TestCellOf(t *testing.T) {
+	g := NewParams(2, math.Sqrt2) // side = 1
+	tests := []struct {
+		pt   geom.Point
+		want Coord
+	}{
+		{geom.Point{0.5, 0.5}, Coord{0, 0}},
+		{geom.Point{1.0, 0.0}, Coord{1, 0}},
+		{geom.Point{-0.5, 2.3}, Coord{-1, 2}},
+		{geom.Point{-3.0, -3.0}, Coord{-3, -3}},
+	}
+	for _, tc := range tests {
+		if got := g.CellOf(tc.pt); got != tc.want {
+			t.Errorf("CellOf(%v) = %v, want %v", tc.pt, got, tc.want)
+		}
+	}
+}
+
+// Any two points in the same cell must be within ε of each other — the
+// defining property of the ε/√d side length (Section 4.1).
+func TestSameCellWithinEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{1, 2, 3, 5, 7} {
+		g := NewParams(d, 10)
+		for i := 0; i < 2000; i++ {
+			p := randPt(rng, d, 100)
+			q := make(geom.Point, d)
+			cell := g.CellOf(p)
+			box := g.CellBox(cell)
+			for j := 0; j < d; j++ {
+				q[j] = box.Lo[j] + rng.Float64()*(box.Hi[j]-box.Lo[j])
+			}
+			if g.CellOf(q) != cell {
+				continue // boundary rounding; irrelevant to the property
+			}
+			if geom.Dist(p, q, d) > g.Eps+1e-9 {
+				t.Fatalf("d=%d: same-cell points at distance %v > eps %v", d, geom.Dist(p, q, d), g.Eps)
+			}
+		}
+	}
+}
+
+// ε-closeness must match the geometric definition: the smallest distance
+// between the two cell boxes is ≤ r. Verified against brute-force box
+// distance for random cell pairs in all dimensions.
+func TestCloseWithinMatchesBoxDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []int{1, 2, 3, 5, 7} {
+		g := NewParams(d, 7.5)
+		for i := 0; i < 5000; i++ {
+			var a, b Coord
+			for j := 0; j < d; j++ {
+				a[j] = int32(rng.Intn(9) - 4)
+				b[j] = int32(rng.Intn(9) - 4)
+			}
+			boxA, boxB := g.CellBox(a), g.CellBox(b)
+			want := boxMinDist(boxA, boxB, d)
+			got := math.Sqrt(g.MinDistSq(a, b))
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("d=%d MinDist(%v,%v) = %v, want %v", d, a[:d], b[:d], got, want)
+			}
+			r := rng.Float64() * 3 * g.Eps
+			if g.CloseWithin(a, b, r) != (want <= r*(1+1e-6)) && math.Abs(want-r) > 1e-6*r {
+				t.Fatalf("d=%d CloseWithin(%v,%v,%v) inconsistent with dist %v", d, a[:d], b[:d], r, want)
+			}
+		}
+	}
+}
+
+func boxMinDist(a, b geom.Box, d int) float64 {
+	var s float64
+	for i := 0; i < d; i++ {
+		var gap float64
+		if a.Hi[i] < b.Lo[i] {
+			gap = b.Lo[i] - a.Hi[i]
+		} else if b.Hi[i] < a.Lo[i] {
+			gap = a.Lo[i] - b.Hi[i]
+		}
+		s += gap * gap
+	}
+	return math.Sqrt(s)
+}
+
+// Two points within ε of each other must lie in ε-close cells — the coverage
+// property every neighbor sweep depends on.
+func TestEpsCloseCoversEpsPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range []int{2, 3, 5, 7} {
+		g := NewParams(d, 5)
+		for i := 0; i < 5000; i++ {
+			p := randPt(rng, d, 20)
+			q := geom.RandInBall(rng, p, g.Eps, d)
+			if !g.EpsClose(g.CellOf(p), g.CellOf(q)) {
+				t.Fatalf("d=%d: points at distance %v in non-ε-close cells", d, geom.Dist(p, q, d))
+			}
+		}
+	}
+}
+
+func TestMinDistSqPointCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := NewParams(3, 6)
+	for i := 0; i < 3000; i++ {
+		q := randPt(rng, 3, 30)
+		var c Coord
+		for j := 0; j < 3; j++ {
+			c[j] = int32(rng.Intn(11) - 5)
+		}
+		box := g.CellBox(c)
+		want := box.MinDistSq(q, 3)
+		if got := g.MinDistSqPointCell(q, c); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("MinDistSqPointCell = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaxDistSqPointCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := NewParams(3, 6)
+	for i := 0; i < 3000; i++ {
+		q := randPt(rng, 3, 30)
+		var c Coord
+		for j := 0; j < 3; j++ {
+			c[j] = int32(rng.Intn(11) - 5)
+		}
+		box := g.CellBox(c)
+		want := box.MaxDistSq(q, 3)
+		if got := g.MaxDistSqPointCell(q, c); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("MaxDistSqPointCell = %v, want %v", got, want)
+		}
+		// Every point sampled inside the cell must be within the bound.
+		p := make(geom.Point, 3)
+		for j := 0; j < 3; j++ {
+			p[j] = box.Lo[j] + rng.Float64()*(box.Hi[j]-box.Lo[j])
+		}
+		if geom.DistSq(q, p, 3) > g.MaxDistSqPointCell(q, c)+1e-9 {
+			t.Fatal("cell point beyond MaxDistSqPointCell bound")
+		}
+	}
+}
+
+func TestParamsPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewParams(0, 1) },
+		func() { NewParams(geom.MaxDims+1, 1) },
+		func() { NewParams(2, 0) },
+		func() { NewParams(2, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func randPt(rng *rand.Rand, d int, scale float64) geom.Point {
+	p := make(geom.Point, d)
+	for i := 0; i < d; i++ {
+		p[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return p
+}

@@ -1,0 +1,176 @@
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// queryNaive returns the live cells r-close to center by linear scan.
+func queryNaive(g Params, cells map[Coord]int, center Coord, r float64) []Coord {
+	var out []Coord
+	for c := range cells {
+		if g.CloseWithin(center, c, r) {
+			out = append(out, c)
+		}
+	}
+	sortCoords(out)
+	return out
+}
+
+func sortCoords(cs []Coord) {
+	sort.Slice(cs, func(i, j int) bool {
+		for k := 0; k < len(cs[i]); k++ {
+			if cs[i][k] != cs[j][k] {
+				return cs[i][k] < cs[j][k]
+			}
+		}
+		return false
+	})
+}
+
+func collect(ix *Index[int], center Coord, r float64) []Coord {
+	var out []Coord
+	ix.QueryClose(center, r, func(c Coord, _ int) bool {
+		out = append(out, c)
+		return true
+	})
+	sortCoords(out)
+	return out
+}
+
+// TestIndexAgainstNaive performs random insert/delete/query sequences in all
+// evaluated dimensions, comparing every query against a linear scan.
+func TestIndexAgainstNaive(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 5, 7} {
+		d := d
+		t.Run(fmt.Sprintf("d%d", d), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(d)))
+			g := NewParams(d, 4)
+			ix := NewIndex[int](g)
+			model := make(map[Coord]int)
+			randCoord := func() Coord {
+				var c Coord
+				for j := 0; j < d; j++ {
+					c[j] = int32(rng.Intn(13) - 6)
+				}
+				return c
+			}
+			for op := 0; op < 3000; op++ {
+				switch r := rng.Float64(); {
+				case r < 0.5:
+					c := randCoord()
+					ix.Insert(c, op)
+					model[c] = op
+				case r < 0.8 && len(model) > 0:
+					// Delete a random existing cell.
+					for c := range model {
+						ix.Delete(c)
+						delete(model, c)
+						break
+					}
+				default:
+					center := randCoord()
+					radius := rng.Float64() * 2.5 * g.Eps
+					got := collect(ix, center, radius)
+					want := queryNaive(g, model, center, radius)
+					if len(got) != len(want) {
+						t.Fatalf("op %d: query got %d cells, want %d", op, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("op %d: result %d differs: %v vs %v", op, i, got[i], want[i])
+						}
+					}
+				}
+				if ix.Len() != len(model) {
+					t.Fatalf("op %d: Len=%d want %d", op, ix.Len(), len(model))
+				}
+			}
+		})
+	}
+}
+
+func TestIndexGetAndReplace(t *testing.T) {
+	g := NewParams(2, 3)
+	ix := NewIndex[int](g)
+	c := Coord{1, 2}
+	if _, ok := ix.Get(c); ok {
+		t.Fatal("Get on empty index")
+	}
+	ix.Insert(c, 7)
+	if v, ok := ix.Get(c); !ok || v != 7 {
+		t.Fatalf("Get = %v,%v want 7,true", v, ok)
+	}
+	ix.Insert(c, 9) // replace
+	if v, _ := ix.Get(c); v != 9 {
+		t.Fatalf("replace failed, got %v", v)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len=%d want 1", ix.Len())
+	}
+	ix.Delete(c)
+	ix.Delete(c) // second delete is a no-op
+	if ix.Len() != 0 {
+		t.Fatal("delete failed")
+	}
+}
+
+// TestIndexEarlyStop verifies that returning false stops iteration.
+func TestIndexEarlyStop(t *testing.T) {
+	g := NewParams(2, 10)
+	ix := NewIndex[int](g)
+	for i := int32(0); i < 5; i++ {
+		ix.Insert(Coord{i, 0}, int(i))
+	}
+	calls := 0
+	ix.QueryClose(Coord{0, 0}, 1000, func(Coord, int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("early stop visited %d cells, want 1", calls)
+	}
+}
+
+// TestIndexRebuildStress drives enough churn to trigger many rebuilds and
+// verifies queries stay correct throughout.
+func TestIndexRebuildStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := NewParams(3, 5)
+	ix := NewIndex[int](g)
+	model := make(map[Coord]int)
+	var order []Coord
+	for round := 0; round < 30; round++ {
+		for i := 0; i < 100; i++ {
+			var c Coord
+			for j := 0; j < 3; j++ {
+				c[j] = int32(rng.Intn(40) - 20)
+			}
+			if _, dup := model[c]; dup {
+				continue
+			}
+			ix.Insert(c, i)
+			model[c] = i
+			order = append(order, c)
+		}
+		for i := 0; i < 80 && len(order) > 0; i++ {
+			k := rng.Intn(len(order))
+			c := order[k]
+			order[k] = order[len(order)-1]
+			order = order[:len(order)-1]
+			if _, ok := model[c]; !ok {
+				continue
+			}
+			ix.Delete(c)
+			delete(model, c)
+		}
+		center := Coord{0, 0, 0}
+		got := collect(ix, center, 2*g.Eps)
+		want := queryNaive(g, model, center, 2*g.Eps)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: got %d want %d", round, len(got), len(want))
+		}
+	}
+}

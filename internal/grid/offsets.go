@@ -1,0 +1,46 @@
+package grid
+
+// CloseOffsets enumerates every coordinate offset Δ such that a cell at
+// c + Δ can be r-close to a cell at c (including the zero offset). The
+// result depends only on the grid geometry, not on c.
+//
+// This is the naive neighbor-discovery strategy: probe the occupied-cell
+// map at every offset. It is exact and fast in 2D–3D (a few dozen offsets)
+// but the count explodes with the dimension — hundreds of thousands of
+// offsets at d = 7 for r = ε — which is why the production path uses the
+// kd-index over occupied cells instead (see Index.QueryClose and the
+// ablation benchmark at the repository root). It is retained as a
+// cross-check oracle and for the ablation.
+func (g Params) CloseOffsets(r float64) []Coord {
+	// Per-dimension bound: (|Δ|−1)·side ≤ r ⇒ |Δ| ≤ r/side + 1.
+	maxAbs := int32(r/g.Side) + 1
+	limit := r * r * (1 + closenessSlack)
+	var out []Coord
+	var cur Coord
+	var rec func(dim int, distSq float64)
+	rec = func(dim int, distSq float64) {
+		if distSq > limit {
+			return
+		}
+		if dim == g.Dims {
+			out = append(out, cur)
+			return
+		}
+		for delta := -maxAbs; delta <= maxAbs; delta++ {
+			cur[dim] = delta
+			add := 0.0
+			if delta > 1 || delta < -1 {
+				abs := delta
+				if abs < 0 {
+					abs = -abs
+				}
+				t := float64(abs-1) * g.Side
+				add = t * t
+			}
+			rec(dim+1, distSq+add)
+		}
+		cur[dim] = 0
+	}
+	rec(0, 0)
+	return out
+}

@@ -1,0 +1,124 @@
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestCloseOffsetsMatchesPredicate: the offset list must contain exactly
+// the offsets whose cells are r-close to the origin cell.
+func TestCloseOffsetsMatchesPredicate(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 4} {
+		g := NewParams(d, 5)
+		for _, r := range []float64{g.Eps, 1.5 * g.Eps} {
+			offsets := make(map[Coord]bool)
+			for _, off := range g.CloseOffsets(r) {
+				if offsets[off] {
+					t.Fatalf("d=%d: duplicate offset %v", d, off[:d])
+				}
+				offsets[off] = true
+			}
+			// Exhaustive check over a box strictly larger than the bound.
+			maxAbs := int32(r/g.Side) + 2
+			var origin, probe Coord
+			var walk func(dim int)
+			walk = func(dim int) {
+				if dim == d {
+					want := g.CloseWithin(origin, probe, r)
+					if offsets[probe] != want {
+						t.Fatalf("d=%d r=%v: offset %v in list=%v, predicate=%v",
+							d, r, probe[:d], offsets[probe], want)
+					}
+					return
+				}
+				for delta := -maxAbs; delta <= maxAbs; delta++ {
+					probe[dim] = delta
+					walk(dim + 1)
+				}
+				probe[dim] = 0
+			}
+			walk(0)
+		}
+	}
+}
+
+// TestCloseOffsetsCounts pins the known neighborhood sizes: the 2D ε-ball
+// of offsets has 25 cells (5×5: corner cells touch at exactly ε), and the
+// count grows explosively with d — the fact that motivates the kd-index.
+func TestCloseOffsetsCounts(t *testing.T) {
+	want2 := 25
+	g2 := NewParams(2, 7)
+	if got := len(g2.CloseOffsets(g2.Eps)); got != want2 {
+		t.Fatalf("2D offset count = %d, want %d", got, want2)
+	}
+	prev := 0
+	for _, d := range []int{2, 3, 5, 7} {
+		g := NewParams(d, 7)
+		n := len(g.CloseOffsets(g.Eps))
+		if n <= prev {
+			t.Fatalf("offset count did not grow with dimension: d=%d n=%d prev=%d", d, n, prev)
+		}
+		prev = n
+	}
+	g7 := NewParams(7, 7)
+	if n := len(g7.CloseOffsets(g7.Eps)); n < 100_000 {
+		t.Fatalf("7D offset count = %d; expected an explosion (>100k)", n)
+	}
+}
+
+// TestOffsetsAgreeWithIndex cross-checks the two neighbor-discovery
+// strategies on random occupied sets: probing the offset list must return
+// the same cells as the kd-index query.
+func TestOffsetsAgreeWithIndex(t *testing.T) {
+	for _, d := range []int{2, 3} {
+		d := d
+		t.Run(fmt.Sprintf("d%d", d), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(d)))
+			g := NewParams(d, 4)
+			ix := NewIndex[int](g)
+			occupied := make(map[Coord]int)
+			for i := 0; i < 500; i++ {
+				var c Coord
+				for j := 0; j < d; j++ {
+					c[j] = int32(rng.Intn(20) - 10)
+				}
+				if _, ok := occupied[c]; ok {
+					continue
+				}
+				occupied[c] = i
+				ix.Insert(c, i)
+			}
+			offsets := g.CloseOffsets(g.Eps)
+			for trial := 0; trial < 200; trial++ {
+				var center Coord
+				for j := 0; j < d; j++ {
+					center[j] = int32(rng.Intn(24) - 12)
+				}
+				viaOffsets := make(map[Coord]bool)
+				for _, off := range offsets {
+					var c Coord
+					for j := 0; j < d; j++ {
+						c[j] = center[j] + off[j]
+					}
+					if _, ok := occupied[c]; ok {
+						viaOffsets[c] = true
+					}
+				}
+				viaIndex := make(map[Coord]bool)
+				ix.QueryClose(center, g.Eps, func(c Coord, _ int) bool {
+					viaIndex[c] = true
+					return true
+				})
+				if len(viaOffsets) != len(viaIndex) {
+					t.Fatalf("trial %d: offsets found %d, index found %d", trial, len(viaOffsets), len(viaIndex))
+				}
+				for c := range viaOffsets {
+					if !viaIndex[c] {
+						t.Fatalf("trial %d: cell %v missed by index", trial, c[:d])
+					}
+				}
+			}
+		})
+	}
+}

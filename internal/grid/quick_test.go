@@ -1,0 +1,66 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dyndbscan/internal/geom"
+)
+
+// TestQuickEpsCoverage: for arbitrary pairs of points within distance ε of
+// each other, their cells must be ε-close — the coverage property every
+// neighbor sweep in the clustering layer depends on. quick drives both the
+// pair geometry and the grid geometry.
+func TestQuickEpsCoverage(t *testing.T) {
+	f := func(px, py, pz, dx, dy, dz, epsRaw float64, dims uint8) bool {
+		d := 1 + int(dims%3) // 1..3
+		eps := 0.5 + math.Abs(foldG(epsRaw))/100
+		g := NewParams(d, eps)
+		p := geom.Point{foldG(px), foldG(py), foldG(pz)}
+		dir := geom.Point{foldG(dx), foldG(dy), foldG(dz)}
+		norm := 0.0
+		for i := 0; i < d; i++ {
+			norm += dir[i] * dir[i]
+		}
+		if norm == 0 {
+			return true
+		}
+		norm = math.Sqrt(norm)
+		// q at a distance in (0, eps] from p along dir.
+		scale := eps * 0.999 / norm
+		q := make(geom.Point, 3)
+		for i := 0; i < d; i++ {
+			q[i] = p[i] + dir[i]*scale
+		}
+		if geom.Dist(p, q, d) > eps {
+			return true // rounding pushed it out; not a counterexample
+		}
+		return g.EpsClose(g.CellOf(p), g.CellOf(q))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMinDistLowerBound: the cell-pair min distance never exceeds the
+// distance between any two points drawn from the two cells.
+func TestQuickMinDistLowerBound(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		g := NewParams(2, 3)
+		p := geom.Point{foldG(ax), foldG(ay)}
+		q := geom.Point{foldG(bx), foldG(by)}
+		ca, cb := g.CellOf(p), g.CellOf(q)
+		return g.MinDistSq(ca, cb) <= geom.DistSq(p, q, 2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func foldG(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 500)
+}

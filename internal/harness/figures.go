@@ -1,0 +1,339 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"dyndbscan/internal/core"
+	"dyndbscan/internal/workload"
+)
+
+// Options scales the experiments. The paper runs N = 10M updates on a 2017
+// Core i7; the default here is laptop-scale and every figure accepts any N.
+type Options struct {
+	N       int           // updates per workload (paper: 10_000_000)
+	Seed    int64         // workload seed
+	Budget  time.Duration // per-run wall budget; 0 = unlimited (paper cut IncDBSCAN at 3h)
+	MinPts  int           // paper: 10
+	Rho     float64       // paper: 0.001
+	Verbose func(format string, args ...any)
+}
+
+// DefaultOptions returns laptop-scale settings: N = 100k updates, 60 s
+// budget per run, and the paper's MinPts = 10, ρ = 0.001.
+func DefaultOptions() Options {
+	return Options{N: 100_000, Seed: 1, Budget: 60 * time.Second, MinPts: 10, Rho: 0.001}
+}
+
+func (o Options) log(format string, args ...any) {
+	if o.Verbose != nil {
+		o.Verbose(format, args...)
+	}
+}
+
+// epsDefault is the paper's default ε = 100·d.
+func epsDefault(d int) float64 { return 100 * float64(d) }
+
+// algoSpec names one algorithm configuration of Section 8.1.
+type algoSpec struct {
+	name string
+	make func(cfg core.Config) (Clusterer, error)
+}
+
+func semiSpec(name string, rho float64) algoSpec {
+	return algoSpec{name: name, make: func(cfg core.Config) (Clusterer, error) {
+		cfg.Rho = rho
+		return core.NewSemiDynamic(cfg)
+	}}
+}
+
+func fullSpec(name string, rho float64) algoSpec {
+	return algoSpec{name: name, make: func(cfg core.Config) (Clusterer, error) {
+		cfg.Rho = rho
+		return core.NewFullyDynamic(cfg)
+	}}
+}
+
+func incSpec() algoSpec {
+	return algoSpec{name: "IncDBSCAN", make: func(cfg core.Config) (Clusterer, error) {
+		return core.NewIncDBSCAN(cfg)
+	}}
+}
+
+// semiAlgos2D are the three contestants of Figure 8/10a/11a.
+func (o Options) semiAlgos2D() []algoSpec {
+	return []algoSpec{semiSpec("2d-Semi-Exact", 0), semiSpec("Semi-Approx", o.Rho), incSpec()}
+}
+
+// fullAlgos2D are the three contestants of Figure 12/14a.
+func (o Options) fullAlgos2D() []algoSpec {
+	return []algoSpec{fullSpec("2d-Full-Exact", 0), fullSpec("Double-Approx", o.Rho), incSpec()}
+}
+
+// runOne builds a fresh clusterer and replays the workload.
+func (o Options) runOne(spec algoSpec, cfg core.Config, w *workload.Workload) RunResult {
+	cl, err := spec.make(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %s: %v", spec.name, err))
+	}
+	o.log("  running %s (d=%d eps=%.0f N=%d)...", spec.name, cfg.Dims, cfg.Eps, o.N)
+	res := Run(spec.name, cl, w, RunOpts{Checkpoints: 10, Budget: o.Budget})
+	o.log("  %-15s avg=%sµs maxupd=%sµs wall=%v done=%v",
+		spec.name, fmtMicros(res.AvgWorkloadCost), fmtMicros(res.MaxUpdateCost), res.Wall.Round(time.Millisecond), res.Completed)
+	return res
+}
+
+func (o Options) workload(d int, eps float64, insFrac float64, fqryFrac float64) *workload.Workload {
+	p := workload.DefaultParams(d, o.N, o.Seed)
+	p.InsFrac = insFrac
+	p.Fqry = int(fqryFrac * float64(o.N))
+	if p.Fqry < 1 {
+		p.Fqry = 1
+	}
+	w, err := workload.Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	_ = eps // eps configures the clusterer, not the data
+	return w
+}
+
+// seriesTable renders avgcost(t) and maxupdcost(t) for a set of runs.
+func seriesTable(title, caption string, runs []RunResult) []Table {
+	avg := Table{Title: title + " — average cost per operation (µs)", Caption: caption,
+		Header: []string{"ops"}}
+	mx := Table{Title: title + " — maximum update cost (µs)", Caption: caption,
+		Header: []string{"ops"}}
+	for _, r := range runs {
+		avg.Header = append(avg.Header, r.Algo)
+		mx.Header = append(mx.Header, r.Algo)
+	}
+	if len(runs) == 0 {
+		return []Table{avg, mx}
+	}
+	// Use the checkpoint grid of the longest completed run.
+	grid := runs[0].AvgSeries
+	for _, r := range runs {
+		if len(r.AvgSeries) > len(grid) {
+			grid = r.AvgSeries
+		}
+	}
+	for i, cp := range grid {
+		avgRow := []string{fmt.Sprintf("%d", cp.Ops)}
+		maxRow := []string{fmt.Sprintf("%d", cp.Ops)}
+		for _, r := range runs {
+			if i < len(r.AvgSeries) {
+				avgRow = append(avgRow, fmtMicros(r.AvgSeries[i].Value))
+				maxRow = append(maxRow, fmtMicros(r.MaxUpdSeries[i].Value))
+			} else {
+				avgRow = append(avgRow, "DNF")
+				maxRow = append(maxRow, "DNF")
+			}
+		}
+		avg.Rows = append(avg.Rows, avgRow)
+		mx.Rows = append(mx.Rows, maxRow)
+	}
+	return []Table{avg, mx}
+}
+
+const (
+	defaultInsFrac  = 5.0 / 6.0
+	defaultFqryFrac = 0.03
+)
+
+// Fig8 reproduces Figure 8: semi-dynamic algorithms in 2D, avgcost(t) and
+// maxupdcost(t) over an insertion-only workload.
+func (o Options) Fig8() []Table {
+	cfg := core.Config{Dims: 2, Eps: epsDefault(2), MinPts: o.MinPts}
+	w := o.workload(2, cfg.Eps, 1.0, defaultFqryFrac)
+	var runs []RunResult
+	for _, spec := range o.semiAlgos2D() {
+		runs = append(runs, o.runOne(spec, cfg, w))
+	}
+	return seriesTable("Figure 8 (semi-dynamic, 2D)",
+		fmt.Sprintf("insert-only, N=%d, eps=%.0f, MinPts=%d, rho=%g ('*' marks budget-truncated runs)",
+			o.N, cfg.Eps, o.MinPts, o.Rho), runs)
+}
+
+// Fig9 reproduces Figure 9: semi-dynamic algorithms in d = 3, 5, 7.
+func (o Options) Fig9() []Table {
+	var out []Table
+	for _, d := range []int{3, 5, 7} {
+		cfg := core.Config{Dims: d, Eps: epsDefault(d), MinPts: o.MinPts}
+		w := o.workload(d, cfg.Eps, 1.0, defaultFqryFrac)
+		runs := []RunResult{
+			o.runOne(semiSpec("Semi-Approx", o.Rho), cfg, w),
+			o.runOne(incSpec(), cfg, w),
+		}
+		out = append(out, seriesTable(fmt.Sprintf("Figure 9 (semi-dynamic, %dD)", d),
+			fmt.Sprintf("insert-only, N=%d, eps=%.0f", o.N, cfg.Eps), runs)...)
+	}
+	return out
+}
+
+// epsSweep runs a set of algorithms across the ε grid of Table 2 and
+// reports avg workload cost, as Figures 10 and 14 do.
+func (o Options) epsSweep(title string, d int, specs []algoSpec, insFrac float64) Table {
+	tb := Table{
+		Title:   title,
+		Caption: fmt.Sprintf("avg workload cost (µs) vs eps, d=%d, N=%d ('*' = budget-truncated)", d, o.N),
+		Header:  []string{"eps/d"},
+	}
+	for _, s := range specs {
+		tb.Header = append(tb.Header, s.name)
+	}
+	for _, mult := range []float64{50, 100, 200, 400, 800} {
+		eps := mult * float64(d)
+		cfg := core.Config{Dims: d, Eps: eps, MinPts: o.MinPts}
+		w := o.workload(d, eps, insFrac, defaultFqryFrac)
+		row := []string{fmt.Sprintf("%.0f", mult)}
+		for _, s := range specs {
+			r := o.runOne(s, cfg, w)
+			row = append(row, dnf(r, r.AvgWorkloadCost))
+		}
+		tb.Rows = append(tb.Rows, row)
+	}
+	return tb
+}
+
+// Fig10 reproduces Figure 10: semi-dynamic avg workload cost vs ε.
+func (o Options) Fig10() []Table {
+	out := []Table{o.epsSweep("Figure 10a (semi-dynamic vs eps, 2D)", 2, o.semiAlgos2D(), 1.0)}
+	for _, d := range []int{3, 5, 7} {
+		out = append(out, o.epsSweep(fmt.Sprintf("Figure 10b (semi-dynamic vs eps, %dD)", d), d,
+			[]algoSpec{semiSpec("Semi-Approx", o.Rho), incSpec()}, 1.0))
+	}
+	return out
+}
+
+// fqrySweep reproduces the query-frequency experiments of Figure 11.
+func (o Options) fqrySweep(title string, d int, specs []algoSpec) Table {
+	tb := Table{
+		Title:   title,
+		Caption: fmt.Sprintf("avg workload cost (µs) vs query frequency, d=%d, N=%d", d, o.N),
+		Header:  []string{"fqry/N"},
+	}
+	for _, s := range specs {
+		tb.Header = append(tb.Header, s.name)
+	}
+	cfg := core.Config{Dims: d, Eps: epsDefault(d), MinPts: o.MinPts}
+	for _, frac := range []float64{0.01, 0.02, 0.04, 0.06, 0.08, 0.10} {
+		w := o.workload(d, cfg.Eps, 1.0, frac)
+		row := []string{fmt.Sprintf("%.2f", frac)}
+		for _, s := range specs {
+			r := o.runOne(s, cfg, w)
+			row = append(row, dnf(r, r.AvgWorkloadCost))
+		}
+		tb.Rows = append(tb.Rows, row)
+	}
+	return tb
+}
+
+// Fig11 reproduces Figure 11: semi-dynamic avg workload cost vs fqry.
+func (o Options) Fig11() []Table {
+	out := []Table{o.fqrySweep("Figure 11a (semi-dynamic vs fqry, 2D)", 2, o.semiAlgos2D())}
+	for _, d := range []int{3, 5, 7} {
+		out = append(out, o.fqrySweep(fmt.Sprintf("Figure 11b (semi-dynamic vs fqry, %dD)", d), d,
+			[]algoSpec{semiSpec("Semi-Approx", o.Rho), incSpec()}))
+	}
+	return out
+}
+
+// Fig12 reproduces Figure 12: fully-dynamic algorithms in 2D.
+func (o Options) Fig12() []Table {
+	cfg := core.Config{Dims: 2, Eps: epsDefault(2), MinPts: o.MinPts}
+	w := o.workload(2, cfg.Eps, defaultInsFrac, defaultFqryFrac)
+	var runs []RunResult
+	for _, spec := range o.fullAlgos2D() {
+		runs = append(runs, o.runOne(spec, cfg, w))
+	}
+	return seriesTable("Figure 12 (fully-dynamic, 2D)",
+		fmt.Sprintf("%%ins=5/6, N=%d, eps=%.0f, MinPts=%d, rho=%g", o.N, cfg.Eps, o.MinPts, o.Rho), runs)
+}
+
+// Fig13 reproduces Figure 13: fully-dynamic algorithms in d = 3, 5, 7.
+func (o Options) Fig13() []Table {
+	var out []Table
+	for _, d := range []int{3, 5, 7} {
+		cfg := core.Config{Dims: d, Eps: epsDefault(d), MinPts: o.MinPts}
+		w := o.workload(d, cfg.Eps, defaultInsFrac, defaultFqryFrac)
+		runs := []RunResult{
+			o.runOne(fullSpec("Double-Approx", o.Rho), cfg, w),
+			o.runOne(incSpec(), cfg, w),
+		}
+		out = append(out, seriesTable(fmt.Sprintf("Figure 13 (fully-dynamic, %dD)", d),
+			fmt.Sprintf("%%ins=5/6, N=%d, eps=%.0f", o.N, cfg.Eps), runs)...)
+	}
+	return out
+}
+
+// Fig14 reproduces Figure 14: fully-dynamic avg workload cost vs ε.
+func (o Options) Fig14() []Table {
+	out := []Table{o.epsSweep("Figure 14a (fully-dynamic vs eps, 2D)", 2, o.fullAlgos2D(), defaultInsFrac)}
+	for _, d := range []int{3, 5, 7} {
+		specs := []algoSpec{fullSpec("Double-Approx", o.Rho)}
+		if d == 3 {
+			specs = append(specs, incSpec()) // the paper has no IncDBSCAN results for d=5,7
+		}
+		out = append(out, o.epsSweep(fmt.Sprintf("Figure 14b (fully-dynamic vs eps, %dD)", d), d, specs, defaultInsFrac))
+	}
+	return out
+}
+
+// Fig15 reproduces Figure 15: fully-dynamic avg workload cost vs %ins.
+func (o Options) Fig15() []Table {
+	fracs := []struct {
+		label string
+		v     float64
+	}{
+		{"2/3", 2.0 / 3.0}, {"4/5", 4.0 / 5.0}, {"5/6", 5.0 / 6.0},
+		{"8/9", 8.0 / 9.0}, {"10/11", 10.0 / 11.0},
+	}
+	var out []Table
+	build := func(title string, d int, specs []algoSpec) {
+		tb := Table{
+			Title:   title,
+			Caption: fmt.Sprintf("avg workload cost (µs) vs insertion percentage, d=%d, N=%d", d, o.N),
+			Header:  []string{"%ins"},
+		}
+		for _, s := range specs {
+			tb.Header = append(tb.Header, s.name)
+		}
+		cfg := core.Config{Dims: d, Eps: epsDefault(d), MinPts: o.MinPts}
+		for _, fr := range fracs {
+			w := o.workload(d, cfg.Eps, fr.v, defaultFqryFrac)
+			row := []string{fr.label}
+			for _, s := range specs {
+				r := o.runOne(s, cfg, w)
+				row = append(row, dnf(r, r.AvgWorkloadCost))
+			}
+			tb.Rows = append(tb.Rows, row)
+		}
+		out = append(out, tb)
+	}
+	build("Figure 15a (fully-dynamic vs %ins, 2D)", 2, o.fullAlgos2D())
+	for _, d := range []int{3, 5, 7} {
+		specs := []algoSpec{fullSpec("Double-Approx", o.Rho)}
+		if d == 3 {
+			specs = append(specs, incSpec())
+		}
+		build(fmt.Sprintf("Figure 15b (fully-dynamic vs %%ins, %dD)", d), d, specs)
+	}
+	return out
+}
+
+// Figures maps figure/table names to their runners.
+func (o Options) Figures() map[string]func() []Table {
+	return map[string]func() []Table{
+		"table1": func() []Table { return []Table{Table1()} },
+		"table2": func() []Table { return []Table{Table2(o)} },
+		"fig8":   o.Fig8,
+		"fig9":   o.Fig9,
+		"fig10":  o.Fig10,
+		"fig11":  o.Fig11,
+		"fig12":  o.Fig12,
+		"fig13":  o.Fig13,
+		"fig14":  o.Fig14,
+		"fig15":  o.Fig15,
+	}
+}

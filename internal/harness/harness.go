@@ -1,0 +1,223 @@
+// Package harness executes workloads against the dynamic clusterers and
+// measures them the way Section 8 of the paper does:
+//
+//   - avgcost(t)    = (1/t) Σ_{i≤t} cost[i], the running average cost per
+//     operation (updates and queries);
+//   - maxupdcost(t) = max_{i≤t} updcost[i], the running maximum update cost
+//     (queries excluded);
+//   - the average workload cost avgcost(W) over the whole run.
+//
+// Each figure of the evaluation section has a runner that reproduces its
+// series as a printable table (Fig 8–15). Runs support a wall-clock budget,
+// mirroring the paper's termination of IncDBSCAN after three hours on the
+// 5D/7D fully-dynamic workloads; timed-out runs are reported as DNF.
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dyndbscan/internal/core"
+	"dyndbscan/internal/geom"
+	"dyndbscan/internal/workload"
+)
+
+// Clusterer is the algorithm surface the harness drives.
+type Clusterer interface {
+	Insert(pt geom.Point) (core.PointID, error)
+	Delete(id core.PointID) error
+	GroupBy(q []core.PointID) (core.Result, error)
+}
+
+// SeriesPoint is one checkpointed measurement.
+type SeriesPoint struct {
+	Ops   int     // operations completed
+	Value float64 // microseconds
+}
+
+// RunResult holds the measurements of one workload execution.
+type RunResult struct {
+	Algo      string
+	Completed bool // false when the time budget expired
+	OpsDone   int
+
+	AvgSeries    []SeriesPoint // avgcost(t) at checkpoints
+	MaxUpdSeries []SeriesPoint // maxupdcost(t) at checkpoints
+
+	AvgWorkloadCost float64 // µs per operation over the whole run
+	AvgUpdateCost   float64 // µs per update
+	AvgQueryCost    float64 // µs per query
+	MaxUpdateCost   float64 // µs
+	Wall            time.Duration
+}
+
+// RunOpts configures one execution.
+type RunOpts struct {
+	// Checkpoints is the number of evenly spaced measurement points
+	// (the paper's plots use about 10). Minimum 1.
+	Checkpoints int
+	// Budget bounds wall-clock time; zero means unlimited.
+	Budget time.Duration
+}
+
+// Run replays w against cl and measures it.
+func Run(algo string, cl Clusterer, w *workload.Workload, opts RunOpts) RunResult {
+	if opts.Checkpoints < 1 {
+		opts.Checkpoints = 10
+	}
+	res := RunResult{Algo: algo, Completed: true}
+	every := len(w.Ops) / opts.Checkpoints
+	if every < 1 {
+		every = 1
+	}
+	idBySeq := make([]core.PointID, w.Inserts)
+	seq := 0
+	var totalCost, updateCost, queryCost float64 // µs
+	var updates, queries int
+	start := time.Now()
+	var qbuf []core.PointID
+
+	for i, op := range w.Ops {
+		var elapsed float64
+		switch op.Kind {
+		case workload.OpInsert:
+			t0 := time.Now()
+			id, err := cl.Insert(op.Pt)
+			elapsed = float64(time.Since(t0).Nanoseconds()) / 1e3
+			if err != nil {
+				panic(fmt.Sprintf("harness: insert failed: %v", err))
+			}
+			idBySeq[seq] = id
+			seq++
+			updates++
+			updateCost += elapsed
+			if elapsed > res.MaxUpdateCost {
+				res.MaxUpdateCost = elapsed
+			}
+		case workload.OpDelete:
+			t0 := time.Now()
+			err := cl.Delete(idBySeq[op.Target])
+			elapsed = float64(time.Since(t0).Nanoseconds()) / 1e3
+			if err != nil {
+				panic(fmt.Sprintf("harness: delete failed: %v", err))
+			}
+			updates++
+			updateCost += elapsed
+			if elapsed > res.MaxUpdateCost {
+				res.MaxUpdateCost = elapsed
+			}
+		case workload.OpQuery:
+			qbuf = qbuf[:0]
+			for _, s := range op.Query {
+				qbuf = append(qbuf, idBySeq[s])
+			}
+			t0 := time.Now()
+			_, err := cl.GroupBy(qbuf)
+			elapsed = float64(time.Since(t0).Nanoseconds()) / 1e3
+			if err != nil {
+				panic(fmt.Sprintf("harness: query failed: %v", err))
+			}
+			queries++
+			queryCost += elapsed
+		}
+		totalCost += elapsed
+		res.OpsDone = i + 1
+		if (i+1)%every == 0 || i == len(w.Ops)-1 {
+			res.AvgSeries = append(res.AvgSeries, SeriesPoint{Ops: i + 1, Value: totalCost / float64(i+1)})
+			res.MaxUpdSeries = append(res.MaxUpdSeries, SeriesPoint{Ops: i + 1, Value: res.MaxUpdateCost})
+		}
+		// The budget is enforced on a fine grain, not just at checkpoints: a
+		// slow contestant (IncDBSCAN at large ε or high d) might otherwise
+		// take minutes to reach the first checkpoint.
+		if opts.Budget > 0 && (i+1)%1024 == 0 && time.Since(start) > opts.Budget {
+			res.Completed = i == len(w.Ops)-1
+			break
+		}
+	}
+	res.Wall = time.Since(start)
+	if res.OpsDone > 0 {
+		res.AvgWorkloadCost = totalCost / float64(res.OpsDone)
+	}
+	if updates > 0 {
+		res.AvgUpdateCost = updateCost / float64(updates)
+	}
+	if queries > 0 {
+		res.AvgQueryCost = queryCost / float64(queries)
+	}
+	return res
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// fmtMicros renders a µs measurement compactly.
+func fmtMicros(v float64) string {
+	switch {
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// dnf marks did-not-finish cells.
+func dnf(r RunResult, v float64) string {
+	if !r.Completed {
+		return fmtMicros(v) + "*"
+	}
+	return fmtMicros(v)
+}

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dyndbscan/internal/core"
+	"dyndbscan/internal/workload"
+)
+
+func smallWorkload(t *testing.T, d int, insFrac float64) *workload.Workload {
+	t.Helper()
+	p := workload.DefaultParams(d, 2000, 42)
+	p.InsFrac = insFrac
+	p.Fqry = 100
+	w, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRunMeasures(t *testing.T) {
+	w := smallWorkload(t, 2, 5.0/6.0)
+	cl, err := core.NewFullyDynamic(core.Config{Dims: 2, Eps: 200, MinPts: 10, Rho: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run("Double-Approx", cl, w, RunOpts{Checkpoints: 10})
+	if !res.Completed || res.OpsDone != len(w.Ops) {
+		t.Fatalf("run incomplete: %+v", res)
+	}
+	if len(res.AvgSeries) < 10 || len(res.MaxUpdSeries) < 10 {
+		t.Fatalf("checkpoints missing: %d/%d", len(res.AvgSeries), len(res.MaxUpdSeries))
+	}
+	if res.AvgWorkloadCost <= 0 || res.MaxUpdateCost <= 0 || res.AvgUpdateCost <= 0 {
+		t.Fatalf("implausible costs: %+v", res)
+	}
+	if res.AvgQueryCost <= 0 {
+		t.Fatalf("queries not measured: %+v", res)
+	}
+	// avgcost is cumulative: the series must be positive and the final value
+	// must equal the workload average.
+	last := res.AvgSeries[len(res.AvgSeries)-1]
+	if last.Ops != len(w.Ops) {
+		t.Fatalf("last checkpoint at %d ops, want %d", last.Ops, len(w.Ops))
+	}
+	if diff := last.Value - res.AvgWorkloadCost; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("final avgcost %v != workload avg %v", last.Value, res.AvgWorkloadCost)
+	}
+	// maxupdcost is monotone.
+	for i := 1; i < len(res.MaxUpdSeries); i++ {
+		if res.MaxUpdSeries[i].Value < res.MaxUpdSeries[i-1].Value {
+			t.Fatal("maxupdcost series not monotone")
+		}
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	p := workload.DefaultParams(2, 30000, 1)
+	p.InsFrac = 1
+	w, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := core.NewIncDBSCAN(core.Config{Dims: 2, Eps: 1600, MinPts: 10})
+	res := Run("IncDBSCAN", cl, w, RunOpts{Checkpoints: 100, Budget: 30 * time.Millisecond})
+	if res.Completed {
+		t.Skip("machine too fast for the budget test at this scale")
+	}
+	if res.OpsDone >= len(w.Ops) {
+		t.Fatal("budget-truncated run claims all ops done")
+	}
+}
+
+func TestSeriesTableShape(t *testing.T) {
+	w := smallWorkload(t, 2, 1.0)
+	var runs []RunResult
+	for _, name := range []string{"A", "B"} {
+		cl, _ := core.NewSemiDynamic(core.Config{Dims: 2, Eps: 200, MinPts: 10, Rho: 0.001})
+		runs = append(runs, Run(name, cl, w, RunOpts{Checkpoints: 10}))
+	}
+	tables := seriesTable("test", "caption", runs)
+	if len(tables) != 2 {
+		t.Fatalf("want avg+max tables, got %d", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Header) != 3 {
+			t.Fatalf("header %v", tb.Header)
+		}
+		if len(tb.Rows) < 10 {
+			t.Fatalf("rows %d", len(tb.Rows))
+		}
+		text := tb.Format()
+		if !strings.Contains(text, "test") || !strings.Contains(text, "A") {
+			t.Fatal("format output incomplete")
+		}
+		csv := tb.CSV()
+		if !strings.HasPrefix(csv, "ops,A,B") {
+			t.Fatalf("csv header: %q", csv[:20])
+		}
+	}
+}
+
+// TestFiguresSmoke runs every figure at a tiny scale and sanity-checks the
+// tables: right algorithms, full ε/fqry/%ins grids, numeric cells.
+func TestFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke test is slow")
+	}
+	o := DefaultOptions()
+	o.N = 1200
+	o.Budget = 20 * time.Second
+	checks := map[string]struct {
+		minTables int
+		contains  []string
+	}{
+		"table1": {1, []string{"rho-double-approx", "fully dynamic"}},
+		"table2": {1, []string{"%ins", "fqry"}},
+		"fig8":   {2, []string{"2d-Semi-Exact", "Semi-Approx", "IncDBSCAN"}},
+		"fig9":   {6, []string{"Semi-Approx", "IncDBSCAN"}},
+		"fig10":  {4, []string{"50", "800"}},
+		"fig11":  {4, []string{"0.01", "0.10"}},
+		"fig12":  {2, []string{"2d-Full-Exact", "Double-Approx", "IncDBSCAN"}},
+		"fig13":  {6, []string{"Double-Approx"}},
+		"fig14":  {4, []string{"50", "800"}},
+		"fig15":  {4, []string{"2/3", "10/11"}},
+	}
+	for name, run := range o.Figures() {
+		want := checks[name]
+		tables := run()
+		if len(tables) < want.minTables {
+			t.Fatalf("%s: %d tables, want ≥ %d", name, len(tables), want.minTables)
+		}
+		all := ""
+		for _, tb := range tables {
+			all += tb.Format()
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s: empty table %q", name, tb.Title)
+			}
+		}
+		for _, s := range want.contains {
+			if !strings.Contains(all, s) {
+				t.Fatalf("%s output missing %q", name, s)
+			}
+		}
+	}
+}

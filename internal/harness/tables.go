@@ -1,0 +1,42 @@
+package harness
+
+import "fmt"
+
+// Table1 reproduces Table 1 of the paper: the dynamic hardness matrix of
+// DBSCAN variants. The table itself is a theoretical result; the lower-bound
+// rows rest on the USEC reduction of Lemma 2, which this repository
+// validates executably (see TestUSECLSReduction in internal/core), and the
+// upper-bound rows are the algorithms whose measured behavior Figures 8–15
+// report.
+func Table1() Table {
+	return Table{
+		Title: "Table 1 — dynamic hardness of DBSCAN variants",
+		Caption: "†subject to the hardness of unit-spherical emptiness checking (USEC);\n" +
+			"lower bounds demonstrated executably by the Lemma 2 reduction test (go test -run TestUSECLS ./internal/core)",
+		Header: []string{"method", "update", "C-group-by query", "remark", "implementation"},
+		Rows: [][]string{
+			{"exact DBSCAN d=2", "O~(1)", "O~(|Q|)", "fully dynamic", "FullyDynamic{Rho:0} / SemiDynamic{Rho:0}"},
+			{"exact DBSCAN d≥3", "Ω(n^1/3) or Ω(|Q|^4/3)†", "", "even insertions only", "lower bound (corollary of Gan&Tao'15)"},
+			{"rho-approx d≥3", "O~(1) insertion", "O~(|Q|)", "insertions only", "SemiDynamic"},
+			{"rho-approx d≥3", "Ω~(n^1/3) update or query†", "", "fully dynamic, even |Q|=2", "lower bound (Theorem 2; Lemma 2 reduction)"},
+			{"rho-double-approx", "O~(1)", "O~(|Q|)", "fully dynamic", "FullyDynamic"},
+		},
+	}
+}
+
+// Table2 reproduces Table 2 of the paper: the workload parameter grid
+// (defaults in the paper are marked). These are exactly the values the
+// figure runners sweep.
+func Table2(o Options) Table {
+	return Table{
+		Title:   "Table 2 — workload parameters (paper defaults marked *)",
+		Caption: fmt.Sprintf("this run: N=%d, MinPts=%d, rho=%g (paper: N=10M, MinPts=10, rho=0.001)", o.N, o.MinPts, o.Rho),
+		Header:  []string{"parameter", "values"},
+		Rows: [][]string{
+			{"d", "2*, 3, 5, 7"},
+			{"eps", "50d, 100d*, 200d, 400d, 800d"},
+			{"%ins", "2/3, 4/5, 5/6*, 8/9, 10/11"},
+			{"fqry", "0.01N, 0.02N, 0.03N*, ..., 0.1N"},
+		},
+	}
+}

@@ -1,0 +1,313 @@
+// Package kdtree provides a dynamic kd-tree over points in R^d with integer
+// payload ids. In the reproduction it instantiates the paper's per-cell
+// "emptiness structure" (Section 4.2): the banded query Probe(q, rLow, rHigh)
+// implements the 1/0/don't-care contract of the ρ-approximate ε-emptiness
+// query — it is guaranteed to return a point when one lies within rLow of q,
+// never returns a point farther than rHigh, and may answer either way in
+// between. The paper plugs in the ANN structure of Arya et al. [2] (or Chan's
+// exact structure in 2D); the banded kd-tree search satisfies the identical
+// contract, with rLow = ε and rHigh = (1+ρ)ε, degenerating to an exact
+// structure when ρ = 0.
+//
+// The tree supports insertion and deletion (lazy, with periodic rebuilds) and
+// exact nearest-neighbor queries used by tests.
+package kdtree
+
+import (
+	"dyndbscan/internal/geom"
+)
+
+// scanThreshold is the live size under which queries fall back to a linear
+// scan over the id map; for tiny sets the scan beats tree traversal and, more
+// importantly, is trivially correct regardless of tree shape.
+const scanThreshold = 12
+
+// Tree is a dynamic kd-tree. The zero value is not usable; call New.
+type Tree struct {
+	dims  int
+	root  *node
+	nodes map[int64]*node
+
+	dead       int
+	sinceBuild int
+}
+
+type node struct {
+	pt          geom.Point
+	id          int64
+	dead        bool
+	axis        int8
+	left, right *node
+	lo, hi      [geom.MaxDims]float64 // bounds of the whole subtree
+}
+
+// New returns an empty tree over points in R^dims.
+func New(dims int) *Tree {
+	return &Tree{dims: dims, nodes: make(map[int64]*node)}
+}
+
+// Len returns the number of live points.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Insert adds the point with the given id. Inserting an id that is already
+// present panics: ids identify points and the caller owns their uniqueness.
+func (t *Tree) Insert(id int64, pt geom.Point) {
+	if _, ok := t.nodes[id]; ok {
+		panic("kdtree: duplicate id")
+	}
+	n := &node{pt: pt, id: id}
+	setBounds(n, t.dims)
+	t.nodes[id] = n
+	t.insertNode(n)
+	t.sinceBuild++
+	t.maybeRebuild()
+}
+
+// Delete removes the point with the given id; it panics if absent, which
+// indicates a bookkeeping bug in the caller.
+func (t *Tree) Delete(id int64) {
+	n, ok := t.nodes[id]
+	if !ok {
+		panic("kdtree: delete of unknown id")
+	}
+	delete(t.nodes, id)
+	n.dead = true
+	t.dead++
+	t.maybeRebuild()
+}
+
+// Has reports whether id is present.
+func (t *Tree) Has(id int64) bool {
+	_, ok := t.nodes[id]
+	return ok
+}
+
+// ForEach calls fn on every live (id, point) pair until fn returns false.
+func (t *Tree) ForEach(fn func(id int64, pt geom.Point) bool) {
+	for id, n := range t.nodes {
+		if !fn(id, n.pt) {
+			return
+		}
+	}
+}
+
+// Probe implements the banded emptiness query. It returns some point within
+// rHigh of q if one lies within rLow of q; when no point lies within rLow it
+// may return a point in the (rLow, rHigh] band or report absence — both are
+// legal under the paper's don't-care semantics. It never returns a point
+// farther than rHigh.
+func (t *Tree) Probe(q geom.Point, rLow, rHigh float64) (int64, geom.Point, bool) {
+	if len(t.nodes) == 0 {
+		return 0, nil, false
+	}
+	if len(t.nodes) <= scanThreshold {
+		return t.scanProbe(q, rHigh)
+	}
+	lowSq := rLow * rLow
+	highSq := rHigh * rHigh
+	if n := t.probeNode(t.root, q, lowSq, highSq); n != nil {
+		return n.id, n.pt, true
+	}
+	return 0, nil, false
+}
+
+func (t *Tree) scanProbe(q geom.Point, rHigh float64) (int64, geom.Point, bool) {
+	highSq := rHigh * rHigh
+	for id, n := range t.nodes {
+		if geom.DistSq(q, n.pt, t.dims) <= highSq {
+			return id, n.pt, true
+		}
+	}
+	return 0, nil, false
+}
+
+// probeNode prunes by rLow (sound: only don't-care points can be skipped) and
+// accepts by rHigh (the first point found within rHigh is returned).
+func (t *Tree) probeNode(n *node, q geom.Point, lowSq, highSq float64) *node {
+	if n == nil || t.minDistSqToBounds(q, n) > lowSq {
+		return nil
+	}
+	if !n.dead && geom.DistSq(q, n.pt, t.dims) <= highSq {
+		return n
+	}
+	if r := t.probeNode(n.left, q, lowSq, highSq); r != nil {
+		return r
+	}
+	return t.probeNode(n.right, q, lowSq, highSq)
+}
+
+// Nearest returns the exact nearest live point to q, or ok=false when the
+// tree is empty. Used by tests and by exact configurations.
+func (t *Tree) Nearest(q geom.Point) (int64, geom.Point, float64, bool) {
+	if len(t.nodes) == 0 {
+		return 0, nil, 0, false
+	}
+	var best *node
+	bestSq := -1.0
+	if len(t.nodes) <= scanThreshold {
+		for _, n := range t.nodes {
+			if d := geom.DistSq(q, n.pt, t.dims); bestSq < 0 || d < bestSq {
+				best, bestSq = n, d
+			}
+		}
+	} else {
+		t.nearestNode(t.root, q, &best, &bestSq)
+	}
+	return best.id, best.pt, bestSq, true
+}
+
+func (t *Tree) nearestNode(n *node, q geom.Point, best **node, bestSq *float64) {
+	if n == nil {
+		return
+	}
+	if *bestSq >= 0 && t.minDistSqToBounds(q, n) > *bestSq {
+		return
+	}
+	if !n.dead {
+		if d := geom.DistSq(q, n.pt, t.dims); *bestSq < 0 || d < *bestSq {
+			*best, *bestSq = n, d
+		}
+	}
+	// Descend toward q first so bestSq shrinks quickly.
+	first, second := n.left, n.right
+	if q[n.axis] >= n.pt[n.axis] {
+		first, second = second, first
+	}
+	t.nearestNode(first, q, best, bestSq)
+	t.nearestNode(second, q, best, bestSq)
+}
+
+func (t *Tree) minDistSqToBounds(q geom.Point, n *node) float64 {
+	var s float64
+	for i := 0; i < t.dims; i++ {
+		switch {
+		case q[i] < n.lo[i]:
+			d := n.lo[i] - q[i]
+			s += d * d
+		case q[i] > n.hi[i]:
+			d := q[i] - n.hi[i]
+			s += d * d
+		}
+	}
+	return s
+}
+
+func setBounds(n *node, dims int) {
+	for i := 0; i < dims; i++ {
+		n.lo[i] = n.pt[i]
+		n.hi[i] = n.pt[i]
+	}
+}
+
+func (t *Tree) insertNode(n *node) {
+	if t.root == nil {
+		n.axis = 0
+		t.root = n
+		return
+	}
+	cur := t.root
+	for {
+		for i := 0; i < t.dims; i++ {
+			if n.pt[i] < cur.lo[i] {
+				cur.lo[i] = n.pt[i]
+			}
+			if n.pt[i] > cur.hi[i] {
+				cur.hi[i] = n.pt[i]
+			}
+		}
+		next := &cur.left
+		if n.pt[cur.axis] >= cur.pt[cur.axis] {
+			next = &cur.right
+		}
+		if *next == nil {
+			n.axis = int8((int(cur.axis) + 1) % t.dims)
+			*next = n
+			return
+		}
+		cur = *next
+	}
+}
+
+func (t *Tree) maybeRebuild() {
+	live := len(t.nodes)
+	if t.dead+t.sinceBuild <= live/2+8 {
+		return
+	}
+	nodes := make([]*node, 0, live)
+	for _, n := range t.nodes {
+		n.left, n.right = nil, nil
+		setBounds(n, t.dims)
+		nodes = append(nodes, n)
+	}
+	t.root = t.build(nodes, 0)
+	t.dead = 0
+	t.sinceBuild = 0
+}
+
+func (t *Tree) build(nodes []*node, axis int) *node {
+	if len(nodes) == 0 {
+		return nil
+	}
+	mid := len(nodes) / 2
+	selectKth(nodes, mid, axis)
+	n := nodes[mid]
+	n.axis = int8(axis)
+	next := (axis + 1) % t.dims
+	n.left = t.build(nodes[:mid], next)
+	n.right = t.build(nodes[mid+1:], next)
+	setBounds(n, t.dims)
+	for _, ch := range [2]*node{n.left, n.right} {
+		if ch == nil {
+			continue
+		}
+		for i := 0; i < t.dims; i++ {
+			if ch.lo[i] < n.lo[i] {
+				n.lo[i] = ch.lo[i]
+			}
+			if ch.hi[i] > n.hi[i] {
+				n.hi[i] = ch.hi[i]
+			}
+		}
+	}
+	return n
+}
+
+// selectKth partially sorts nodes so nodes[k] is the k-th smallest on axis.
+func selectKth(nodes []*node, k, axis int) {
+	lo, hi := 0, len(nodes)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nodes[mid].pt[axis] < nodes[lo].pt[axis] {
+			nodes[mid], nodes[lo] = nodes[lo], nodes[mid]
+		}
+		if nodes[hi].pt[axis] < nodes[lo].pt[axis] {
+			nodes[hi], nodes[lo] = nodes[lo], nodes[hi]
+		}
+		if nodes[hi].pt[axis] < nodes[mid].pt[axis] {
+			nodes[hi], nodes[mid] = nodes[mid], nodes[hi]
+		}
+		pivot := nodes[mid].pt[axis]
+		i, j := lo, hi
+		for i <= j {
+			for nodes[i].pt[axis] < pivot {
+				i++
+			}
+			for nodes[j].pt[axis] > pivot {
+				j--
+			}
+			if i <= j {
+				nodes[i], nodes[j] = nodes[j], nodes[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}

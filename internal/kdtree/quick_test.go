@@ -1,0 +1,89 @@
+package kdtree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dyndbscan/internal/geom"
+)
+
+// TestQuickNearest: for arbitrary point multisets, Nearest must agree with
+// brute force (distance equality; ties may pick either point).
+func TestQuickNearest(t *testing.T) {
+	f := func(coords []float64, qx, qy float64) bool {
+		tr := New(2)
+		var pts []geom.Point
+		for i := 0; i+1 < len(coords); i += 2 {
+			x, y := fold(coords[i]), fold(coords[i+1])
+			p := geom.Point{x, y}
+			tr.Insert(int64(len(pts)), p)
+			pts = append(pts, p)
+		}
+		q := geom.Point{fold(qx), fold(qy)}
+		_, _, gotSq, ok := tr.Nearest(q)
+		if !ok {
+			return len(pts) == 0
+		}
+		best := math.Inf(1)
+		for _, p := range pts {
+			if d := geom.DistSq(q, p, 2); d < best {
+				best = d
+			}
+		}
+		return math.Abs(gotSq-best) < 1e-9*(1+best)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickProbeSound: whatever Probe returns is within rHigh; whenever it
+// declines, no point is within rLow. Holds for any insert/delete interleave
+// derived from the generated data.
+func TestQuickProbeSound(t *testing.T) {
+	f := func(coords []float64, deletes []uint8, qx, qy, r float64) bool {
+		tr := New(2)
+		live := make(map[int64]geom.Point)
+		for i := 0; i+1 < len(coords); i += 2 {
+			id := int64(i / 2)
+			p := geom.Point{fold(coords[i]), fold(coords[i+1])}
+			tr.Insert(id, p)
+			live[id] = p
+		}
+		for _, d := range deletes {
+			id := int64(d)
+			if _, ok := live[id]; ok {
+				tr.Delete(id)
+				delete(live, id)
+			}
+		}
+		rLow := math.Abs(fold(r))
+		rHigh := rLow * 1.25
+		q := geom.Point{fold(qx), fold(qy)}
+		id, pt, ok := tr.Probe(q, rLow, rHigh)
+		if ok {
+			if _, liveID := live[id]; !liveID {
+				return false
+			}
+			return geom.Dist(q, pt, 2) <= rHigh+1e-9
+		}
+		for _, p := range live {
+			if geom.Dist(q, p, 2) <= rLow {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fold maps an arbitrary float64 into a well-behaved coordinate range.
+func fold(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1000)
+}

@@ -1,0 +1,244 @@
+package quadtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dyndbscan/internal/geom"
+)
+
+func randPt(rng *rand.Rand, d int, scale float64) geom.Point {
+	p := make(geom.Point, d)
+	for i := 0; i < d; i++ {
+		p[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return p
+}
+
+func exactCount(pts map[int64]geom.Point, d int, q geom.Point, r float64) int {
+	c := 0
+	for _, p := range pts {
+		if geom.DistSq(q, p, d) <= r*r {
+			c++
+		}
+	}
+	return c
+}
+
+// TestBandContract is the core property: |B(q,rLow)| ≤ k ≤ |B(q,rHigh)|,
+// the exact guarantee the fully-dynamic core-status structure needs
+// (Section 7.3). Verified under random churn across dimensions and ρ values.
+func TestBandContract(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 5, 7} {
+		for _, rho := range []float64{0, 0.001, 0.5} {
+			d, rho := d, rho
+			t.Run(fmt.Sprintf("d%d rho%v", d, rho), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(d)*37 + int64(rho*1000)))
+				tr := New(d)
+				pts := make(map[int64]geom.Point)
+				next := int64(0)
+				const rLow = 4.0
+				rHigh := rLow * (1 + rho)
+				for op := 0; op < 3000; op++ {
+					switch r := rng.Float64(); {
+					case r < 0.55:
+						p := randPt(rng, d, 25)
+						tr.Insert(next, p)
+						pts[next] = p
+						next++
+					case r < 0.75 && len(pts) > 0:
+						for id, p := range pts {
+							tr.Delete(id, p)
+							delete(pts, id)
+							break
+						}
+					default:
+						q := randPt(rng, d, 30)
+						k := tr.ApproxBallCount(q, rLow, rHigh)
+						lo := exactCount(pts, d, q, rLow)
+						hi := exactCount(pts, d, q, rHigh)
+						if k < lo || k > hi {
+							t.Fatalf("op %d: count %d outside band [%d,%d]", op, k, lo, hi)
+						}
+					}
+					if tr.Len() != len(pts) {
+						t.Fatalf("op %d: Len=%d want %d", op, tr.Len(), len(pts))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestExactWhenBandDegenerate: rLow == rHigh must give exact counts
+// (the ρ = 0 configuration used by 2D exact DBSCAN).
+func TestExactWhenBandDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := New(2)
+	pts := make(map[int64]geom.Point)
+	for i := int64(0); i < 800; i++ {
+		p := randPt(rng, 2, 40)
+		tr.Insert(i, p)
+		pts[i] = p
+	}
+	for i := 0; i < 1500; i++ {
+		q := randPt(rng, 2, 50)
+		r := rng.Float64() * 20
+		if got, want := tr.ApproxBallCount(q, r, r), exactCount(pts, 2, q, r); got != want {
+			t.Fatalf("query %d: exact count %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestRootGrowth inserts points spanning wildly different magnitudes so the
+// root cube must double many times in both directions.
+func TestRootGrowth(t *testing.T) {
+	tr := New(2)
+	pts := map[int64]geom.Point{
+		0: {0.1, 0.1},
+		1: {1e6, 1e6},
+		2: {-1e6, 1e6},
+		3: {-1e6, -1e6},
+		4: {1e-9, -1e-9},
+	}
+	for id, p := range pts {
+		tr.Insert(id, p)
+	}
+	if got := tr.ApproxBallCount(geom.Point{0, 0}, 1, 1); got != 2 {
+		t.Fatalf("near-origin count = %d, want 2", got)
+	}
+	if got := tr.ApproxBallCount(geom.Point{0, 0}, 3e6, 3e6); got != 5 {
+		t.Fatalf("everything count = %d, want 5", got)
+	}
+	for id, p := range pts {
+		tr.Delete(id, p)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("deletes failed")
+	}
+}
+
+// TestCoLocatedPoints: many duplicates must not blow the depth cap and must
+// still be counted exactly.
+func TestCoLocatedPoints(t *testing.T) {
+	tr := New(3)
+	p := geom.Point{1, 2, 3}
+	const n = 500
+	for i := int64(0); i < n; i++ {
+		tr.Insert(i, p)
+	}
+	if got := tr.ApproxBallCount(p, 0.5, 0.5); got != n {
+		t.Fatalf("duplicate count = %d, want %d", got, n)
+	}
+	for i := int64(0); i < n; i++ {
+		tr.Delete(i, p)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("duplicate deletes failed")
+	}
+}
+
+// TestAtLeastContract: the thresholded query must agree with the band —
+// true only when |B(q,rHigh)| ≥ t, false only when |B(q,rLow)| < t.
+// Exercised under churn across dimensions, thresholds and ρ values.
+func TestAtLeastContract(t *testing.T) {
+	for _, d := range []int{2, 3, 5} {
+		for _, rho := range []float64{0, 0.001, 0.5} {
+			d, rho := d, rho
+			t.Run(fmt.Sprintf("d%d rho%v", d, rho), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(d)*91 + int64(rho*1000)))
+				tr := New(d)
+				pts := make(map[int64]geom.Point)
+				next := int64(0)
+				const rLow = 5.0
+				rHigh := rLow * (1 + rho)
+				for op := 0; op < 2500; op++ {
+					switch r := rng.Float64(); {
+					case r < 0.55:
+						p := randPt(rng, d, 20)
+						tr.Insert(next, p)
+						pts[next] = p
+						next++
+					case r < 0.7 && len(pts) > 0:
+						for id, p := range pts {
+							tr.Delete(id, p)
+							delete(pts, id)
+							break
+						}
+					default:
+						q := randPt(rng, d, 25)
+						threshold := 1 + rng.Intn(20)
+						got := tr.AtLeast(q, rLow, rHigh, threshold)
+						lo := exactCount(pts, d, q, rLow)
+						hi := exactCount(pts, d, q, rHigh)
+						if got && hi < threshold {
+							t.Fatalf("op %d: AtLeast true but |B(rHigh)|=%d < %d", op, hi, threshold)
+						}
+						if !got && lo >= threshold {
+							t.Fatalf("op %d: AtLeast false but |B(rLow)|=%d ≥ %d", op, lo, threshold)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAtLeastDegenerate covers empty trees and extreme thresholds.
+func TestAtLeastDegenerate(t *testing.T) {
+	tr := New(2)
+	if tr.AtLeast(geom.Point{0, 0}, 1, 1, 1) {
+		t.Fatal("empty tree cannot reach any threshold")
+	}
+	tr.Insert(1, geom.Point{0, 0})
+	if !tr.AtLeast(geom.Point{0, 0}, 1, 1, 1) {
+		t.Fatal("threshold 1 with one point at the center")
+	}
+	if tr.AtLeast(geom.Point{0, 0}, 1, 1, 2) {
+		t.Fatal("threshold 2 with one point")
+	}
+	if tr.AtLeast(geom.Point{10, 10}, 1, 1, 1) {
+		t.Fatal("point far outside the ball")
+	}
+}
+
+func TestDeleteUnknownPanics(t *testing.T) {
+	tr := New(2)
+	tr.Insert(1, geom.Point{0, 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Delete(2, geom.Point{5, 5})
+}
+
+// TestHeavyChurn interleaves inserts and deletes long enough to trigger many
+// splits and collapses, then checks a dense set of exact queries.
+func TestHeavyChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := New(2)
+	pts := make(map[int64]geom.Point)
+	next := int64(0)
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 300; i++ {
+			p := randPt(rng, 2, 10) // dense region → deep subdivision
+			tr.Insert(next, p)
+			pts[next] = p
+			next++
+		}
+		for i := 0; i < 250 && len(pts) > 0; i++ {
+			for id, p := range pts {
+				tr.Delete(id, p)
+				delete(pts, id)
+				break
+			}
+		}
+		q := randPt(rng, 2, 10)
+		r := rng.Float64() * 8
+		if got, want := tr.ApproxBallCount(q, r, r), exactCount(pts, 2, q, r); got != want {
+			t.Fatalf("round %d: got %d want %d", round, got, want)
+		}
+	}
+}

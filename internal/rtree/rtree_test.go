@@ -1,0 +1,198 @@
+package rtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dyndbscan/internal/geom"
+)
+
+func randPt(rng *rand.Rand, d int, scale float64) geom.Point {
+	p := make(geom.Point, d)
+	for i := 0; i < d; i++ {
+		p[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return p
+}
+
+func ballNaive(pts map[int64]geom.Point, d int, q geom.Point, r float64) []int64 {
+	var out []int64
+	for id, p := range pts {
+		if geom.DistSq(q, p, d) <= r*r {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func ballTree(t *Tree, q geom.Point, r float64) []int64 {
+	var out []int64
+	t.SearchBall(q, r, func(id int64, _ geom.Point) bool {
+		out = append(out, id)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestAgainstNaive: random insert/delete/search churn vs brute force across
+// dimensions — splits, condense-tree reinsertion, and root shrinking are all
+// exercised by the volume.
+func TestAgainstNaive(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 5, 7} {
+		d := d
+		t.Run(fmt.Sprintf("d%d", d), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(d) * 17))
+			tr := New(d)
+			model := make(map[int64]geom.Point)
+			next := int64(0)
+			for op := 0; op < 4000; op++ {
+				switch r := rng.Float64(); {
+				case r < 0.55:
+					p := randPt(rng, d, 40)
+					tr.Insert(next, p)
+					model[next] = p
+					next++
+				case r < 0.8 && len(model) > 0:
+					for id, p := range model {
+						tr.Delete(id, p)
+						delete(model, id)
+						break
+					}
+				default:
+					q := randPt(rng, d, 45)
+					r := rng.Float64() * 25
+					got := ballTree(tr, q, r)
+					want := ballNaive(model, d, q, r)
+					if len(got) != len(want) {
+						t.Fatalf("op %d: ball got %d ids, want %d", op, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("op %d: result %d: %d vs %d", op, i, got[i], want[i])
+						}
+					}
+				}
+				if tr.Len() != len(model) {
+					t.Fatalf("op %d: Len=%d want %d", op, tr.Len(), len(model))
+				}
+			}
+		})
+	}
+}
+
+// TestDrainRefill empties a populated tree completely and reuses it.
+func TestDrainRefill(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New(2)
+	pts := make(map[int64]geom.Point)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 800; i++ {
+			id := int64(round*1000 + i)
+			p := randPt(rng, 2, 30)
+			tr.Insert(id, p)
+			pts[id] = p
+		}
+		for id, p := range pts {
+			tr.Delete(id, p)
+			delete(pts, id)
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("round %d: tree not empty", round)
+		}
+	}
+}
+
+// TestDuplicatePositions: many points at the same location must all be
+// stored and individually deletable.
+func TestDuplicatePositions(t *testing.T) {
+	tr := New(3)
+	p := geom.Point{1, 2, 3}
+	const n = 200
+	for i := int64(0); i < n; i++ {
+		tr.Insert(i, p)
+	}
+	if got := len(ballTree(tr, p, 0.1)); got != n {
+		t.Fatalf("duplicates found %d, want %d", got, n)
+	}
+	for i := int64(0); i < n; i++ {
+		tr.Delete(i, p)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("duplicate deletion failed")
+	}
+}
+
+func TestDeleteUnknownPanics(t *testing.T) {
+	tr := New(2)
+	tr.Insert(1, geom.Point{0, 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Delete(9, geom.Point{5, 5})
+}
+
+func TestEarlyStop(t *testing.T) {
+	tr := New(2)
+	for i := int64(0); i < 50; i++ {
+		tr.Insert(i, geom.Point{float64(i) * 0.01, 0})
+	}
+	calls := 0
+	tr.SearchBall(geom.Point{0, 0}, 10, func(int64, geom.Point) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("early stop visited %d, want 1", calls)
+	}
+}
+
+// TestQuickSearchSound: whatever SearchBall reports is within r and present;
+// everything within r is reported.
+func TestQuickSearchSound(t *testing.T) {
+	f := func(coords []float64, qx, qy, rr float64) bool {
+		tr := New(2)
+		model := make(map[int64]geom.Point)
+		for i := 0; i+1 < len(coords); i += 2 {
+			id := int64(i / 2)
+			p := geom.Point{fold(coords[i]), fold(coords[i+1])}
+			tr.Insert(id, p)
+			model[id] = p
+		}
+		q := geom.Point{fold(qx), fold(qy)}
+		r := fold(rr)
+		if r < 0 {
+			r = -r
+		}
+		got := ballTree(tr, q, r)
+		want := ballNaive(model, 2, q, r)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fold(x float64) float64 {
+	if x != x || x > 1e15 || x < -1e15 {
+		return 0
+	}
+	for x > 100 || x < -100 {
+		x /= 16
+	}
+	return x
+}

@@ -1,0 +1,103 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasic(t *testing.T) {
+	u := New(5)
+	if u.Len() != 5 || u.Sets() != 5 {
+		t.Fatalf("Len=%d Sets=%d, want 5,5", u.Len(), u.Sets())
+	}
+	if !u.Union(0, 1) {
+		t.Fatal("first union should merge")
+	}
+	if u.Union(1, 0) {
+		t.Fatal("second union should be a no-op")
+	}
+	if !u.Same(0, 1) || u.Same(0, 2) {
+		t.Fatal("Same answers wrong")
+	}
+	u.Union(2, 3)
+	u.Union(0, 3)
+	if u.Sets() != 2 {
+		t.Fatalf("Sets=%d, want 2", u.Sets())
+	}
+	if !u.Same(1, 2) {
+		t.Fatal("1 and 2 should be together after chained unions")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	u := &UF{}
+	a := u.Add()
+	b := u.Add()
+	if a == b {
+		t.Fatal("Add must return fresh ids")
+	}
+	if u.Same(a, b) {
+		t.Fatal("fresh elements must be disjoint")
+	}
+	u.Union(a, b)
+	c := u.Add()
+	if u.Same(a, c) {
+		t.Fatal("new element joined an old set")
+	}
+}
+
+// TestAgainstNaive compares a long random union/find history against a naive
+// label-propagation model.
+func TestAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 300
+	u := New(n)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i
+	}
+	relabel := func(from, to int) {
+		for i := range labels {
+			if labels[i] == from {
+				labels[i] = to
+			}
+		}
+	}
+	for op := 0; op < 3000; op++ {
+		x, y := rng.Intn(n), rng.Intn(n)
+		if rng.Float64() < 0.5 {
+			merged := u.Union(x, y)
+			if merged != (labels[x] != labels[y]) {
+				t.Fatalf("op %d: Union(%d,%d) merged=%v, naive disagrees", op, x, y, merged)
+			}
+			if merged {
+				relabel(labels[y], labels[x])
+			}
+		} else if u.Same(x, y) != (labels[x] == labels[y]) {
+			t.Fatalf("op %d: Same(%d,%d) disagrees with naive", op, x, y)
+		}
+	}
+	sets := make(map[int]bool)
+	for _, l := range labels {
+		sets[l] = true
+	}
+	if u.Sets() != len(sets) {
+		t.Fatalf("Sets=%d, naive says %d", u.Sets(), len(sets))
+	}
+}
+
+func TestFindIdempotent(t *testing.T) {
+	u := New(100)
+	for i := 0; i < 99; i++ {
+		u.Union(i, i+1)
+	}
+	r := u.Find(0)
+	for i := 0; i < 100; i++ {
+		if u.Find(i) != r {
+			t.Fatalf("element %d not in the merged set", i)
+		}
+	}
+	if u.Sets() != 1 {
+		t.Fatalf("Sets=%d, want 1", u.Sets())
+	}
+}

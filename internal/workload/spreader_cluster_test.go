@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"dyndbscan/internal/core"
+)
+
+// TestSpreaderClusterCount validates the generator end to end against the
+// paper's claim that the seed spreader produces "around 10 clusters": the
+// exact DBSCAN clustering of a generated dataset at the paper's default
+// ε = 100d, MinPts = 10 must find a small double-digit cluster count, with
+// the vast majority of points clustered.
+func TestSpreaderClusterCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle run on 20k points")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		p := DefaultParams(2, 20000, seed)
+		rng := rand.New(rand.NewSource(seed))
+		pts := SeedSpreader(rng, p, 20000)
+		sc := core.StaticDBSCAN(pts, 2, 200, 10)
+		if sc.NumClust < 2 || sc.NumClust > 40 {
+			t.Fatalf("seed %d: %d clusters; expected a small double-digit count", seed, sc.NumClust)
+		}
+		noise := 0
+		for i := range pts {
+			if sc.IsNoise(i) {
+				noise++
+			}
+		}
+		if frac := float64(noise) / float64(len(pts)); frac > 0.05 {
+			t.Fatalf("seed %d: %.1f%% noise; spreader output should be predominantly clustered", seed, frac*100)
+		}
+	}
+}

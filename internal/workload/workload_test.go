@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dyndbscan/internal/geom"
+)
+
+func TestSeedSpreaderBasics(t *testing.T) {
+	p := DefaultParams(2, 10000, 1)
+	rng := rand.New(rand.NewSource(1))
+	pts := SeedSpreader(rng, p, 10000)
+	if len(pts) != 10000 {
+		t.Fatalf("generated %d points, want 10000", len(pts))
+	}
+	for i, pt := range pts {
+		for j := 0; j < 2; j++ {
+			// The walk may step slightly outside the space; allow the ball
+			// radius plus a few steps of slack.
+			if pt[j] < -1000 || pt[j] > p.SpaceWidth+1000 {
+				t.Fatalf("point %d coordinate %v far outside data space", i, pt[j])
+			}
+		}
+	}
+}
+
+// TestSeedSpreaderIsClustered: the spreader must produce dense clusters —
+// the mean nearest-neighbor distance of walk points must be far below that
+// of uniform points.
+func TestSeedSpreaderIsClustered(t *testing.T) {
+	p := DefaultParams(2, 5000, 2)
+	rng := rand.New(rand.NewSource(2))
+	pts := SeedSpreader(rng, p, 5000)
+	sample := pts[:200]
+	nnSum := 0.0
+	for _, q := range sample {
+		best := math.Inf(1)
+		for _, r := range pts {
+			if &r[0] == &q[0] {
+				continue
+			}
+			if d := geom.DistSq(q, r, 2); d > 0 && d < best {
+				best = d
+			}
+		}
+		nnSum += math.Sqrt(best)
+	}
+	meanNN := nnSum / float64(len(sample))
+	// Uniform expectation: ~0.5/sqrt(n/area) = 0.5*1e5/sqrt(5000) ≈ 707.
+	if meanNN > 100 {
+		t.Fatalf("mean NN distance %v too large: spreader output not clustered", meanNN)
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	p := DefaultParams(3, 2000, 7)
+	p.Fqry = 100
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Inserts+w.Deletes != p.N {
+		t.Fatalf("updates=%d want %d", w.Inserts+w.Deletes, p.N)
+	}
+	wantIns := int(math.Round(float64(p.N) * p.InsFrac))
+	if w.Inserts != wantIns {
+		t.Fatalf("inserts=%d want %d", w.Inserts, wantIns)
+	}
+	if w.Queries == 0 {
+		t.Fatal("no queries generated")
+	}
+
+	// Replay: every delete must reference an alive point; queries must
+	// reference alive points with 2 ≤ |Q| ≤ 100 and no duplicates.
+	alive := map[int]bool{}
+	seq := 0
+	for i, op := range w.Ops {
+		switch op.Kind {
+		case OpInsert:
+			if len(op.Pt) < 3 {
+				t.Fatalf("op %d: short point", i)
+			}
+			alive[seq] = true
+			seq++
+		case OpDelete:
+			if !alive[op.Target] {
+				t.Fatalf("op %d: delete of dead/unborn point %d", i, op.Target)
+			}
+			delete(alive, op.Target)
+		case OpQuery:
+			if len(op.Query) < 2 || len(op.Query) > 100 {
+				t.Fatalf("op %d: |Q|=%d out of [2,100]", i, len(op.Query))
+			}
+			seen := map[int]bool{}
+			for _, q := range op.Query {
+				if !alive[q] {
+					t.Fatalf("op %d: query references dead point %d", i, q)
+				}
+				if seen[q] {
+					t.Fatalf("op %d: duplicate point %d in query", i, q)
+				}
+				seen[q] = true
+			}
+		}
+	}
+	if len(alive) != w.Inserts-w.Deletes {
+		t.Fatalf("final alive=%d want %d", len(alive), w.Inserts-w.Deletes)
+	}
+}
+
+func TestGenerateInsertOnly(t *testing.T) {
+	p := DefaultParams(2, 1000, 3)
+	p.InsFrac = 1
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Deletes != 0 || w.Inserts != 1000 {
+		t.Fatalf("inserts=%d deletes=%d", w.Inserts, w.Deletes)
+	}
+	for _, op := range w.Ops {
+		if op.Kind == OpDelete {
+			t.Fatal("delete in insert-only workload")
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	p := DefaultParams(2, 500, 11)
+	w1, _ := Generate(p)
+	w2, _ := Generate(p)
+	if len(w1.Ops) != len(w2.Ops) {
+		t.Fatal("non-deterministic op count")
+	}
+	for i := range w1.Ops {
+		a, b := w1.Ops[i], w2.Ops[i]
+		if a.Kind != b.Kind || a.Target != b.Target || len(a.Query) != len(b.Query) {
+			t.Fatalf("op %d differs", i)
+		}
+		if a.Kind == OpInsert && !geom.Equal(a.Pt, b.Pt, 2) {
+			t.Fatalf("op %d point differs", i)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	for _, p := range []Params{
+		{Dims: 0, N: 10, InsFrac: 1},
+		{Dims: 2, N: 0, InsFrac: 1},
+		{Dims: 2, N: 10, InsFrac: 0},
+		{Dims: 2, N: 10, InsFrac: 1.5},
+	} {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("params %+v should be rejected", p)
+		}
+	}
+}
+
+// TestNoiseFraction: the spreader output ends with the configured fraction
+// of uniform noise.
+func TestNoiseFraction(t *testing.T) {
+	p := DefaultParams(2, 0, 5)
+	p.NoiseFrac = 0.01
+	rng := rand.New(rand.NewSource(5))
+	pts := SeedSpreader(rng, p, 20000)
+	if len(pts) != 20000 {
+		t.Fatalf("n=%d", len(pts))
+	}
+	// The last 200 points are uniform noise; their mean pairwise distance is
+	// on the order of the space width.
+	noise := pts[len(pts)-200:]
+	var sum float64
+	cnt := 0
+	for i := 0; i < len(noise); i += 5 {
+		for j := i + 1; j < len(noise); j += 5 {
+			sum += geom.Dist(noise[i], noise[j], 2)
+			cnt++
+		}
+	}
+	if mean := sum / float64(cnt); mean < 0.2*p.SpaceWidth {
+		t.Fatalf("trailing points look clustered (mean pair distance %v); noise missing", mean)
+	}
+}

@@ -1,0 +1,82 @@
+package dyndbscan
+
+import "sync"
+
+// Synced wraps a Clusterer with a mutex, making it safe for concurrent use.
+// The underlying structures are deliberately single-threaded (updates mutate
+// shared search trees), so the wrapper serializes every call; queries are
+// read-mostly but CC-Id stability requires that no update interleaves with a
+// grouping pass, hence a single mutex rather than an RWMutex.
+type Synced struct {
+	mu sync.Mutex
+	c  Clusterer
+}
+
+// NewSynced wraps c for concurrent use.
+func NewSynced(c Clusterer) *Synced { return &Synced{c: c} }
+
+// Insert adds a point. Safe for concurrent use.
+func (s *Synced) Insert(pt Point) (PointID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Insert(pt)
+}
+
+// Delete removes a point. Safe for concurrent use.
+func (s *Synced) Delete(id PointID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Delete(id)
+}
+
+// GroupBy answers a C-group-by query. Safe for concurrent use.
+func (s *Synced) GroupBy(q []PointID) (Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.GroupBy(q)
+}
+
+// Len returns the number of stored points. Safe for concurrent use.
+func (s *Synced) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Len()
+}
+
+// IDs returns every live handle. Safe for concurrent use.
+func (s *Synced) IDs() []PointID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.IDs()
+}
+
+// Has reports whether the handle is live. Safe for concurrent use.
+func (s *Synced) Has(id PointID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Has(id)
+}
+
+// Config returns the wrapped clusterer's configuration.
+func (s *Synced) Config() Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Config()
+}
+
+// GroupAll answers the degenerate C-group-by query with Q = P: the full
+// clustering. Safe for concurrent use (the whole pass holds the lock, so the
+// result reflects one consistent clustering).
+func (s *Synced) GroupAll() (Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return GroupAll(s.c)
+}
+
+var _ Clusterer = (*Synced)(nil)
+
+// GroupAll runs the degenerate C-group-by query Q = P on any clusterer,
+// returning the complete current clustering.
+func GroupAll(c Clusterer) (Result, error) {
+	return c.GroupBy(c.IDs())
+}

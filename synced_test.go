@@ -1,0 +1,84 @@
+package dyndbscan_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dyndbscan"
+)
+
+// TestSyncedConcurrentUse hammers a Synced clusterer from several
+// goroutines; run with -race this verifies the locking discipline.
+func TestSyncedConcurrentUse(t *testing.T) {
+	inner, err := dyndbscan.NewFullyDynamic(dyndbscan.Config{Dims: 2, Eps: 5, MinPts: 4, Rho: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dyndbscan.NewSynced(inner)
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var mine []dyndbscan.PointID
+			for i := 0; i < 400; i++ {
+				switch {
+				case len(mine) == 0 || rng.Float64() < 0.6:
+					id, err := s.Insert(dyndbscan.Point{rng.Float64() * 100, rng.Float64() * 100})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					mine = append(mine, id)
+				case rng.Float64() < 0.5:
+					k := rng.Intn(len(mine))
+					if err := s.Delete(mine[k]); err != nil {
+						t.Error(err)
+						return
+					}
+					mine[k] = mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+				default:
+					n := 1 + rng.Intn(len(mine))
+					if _, err := s.GroupBy(mine[:n]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+			for _, id := range mine {
+				if err := s.Delete(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if s.Len() != 0 {
+		t.Fatalf("Len=%d after all workers drained", s.Len())
+	}
+	if res, err := s.GroupAll(); err != nil || len(res.Groups) != 0 {
+		t.Fatalf("GroupAll on empty: %+v %v", res, err)
+	}
+}
+
+// TestGroupAll exercises the package-level helper.
+func TestGroupAll(t *testing.T) {
+	c, _ := dyndbscan.NewSemiDynamic(dyndbscan.Config{Dims: 2, Eps: 2, MinPts: 2})
+	for i := 0; i < 4; i++ {
+		if _, err := c.Insert(dyndbscan.Point{float64(i), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := dyndbscan.GroupAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 || len(res.Groups[0]) != 4 {
+		t.Fatalf("GroupAll: %+v", res)
+	}
+}
