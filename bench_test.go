@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"dyndbscan"
 	"dyndbscan/internal/core"
 	"dyndbscan/internal/dyncon"
 	"dyndbscan/internal/geom"
@@ -279,6 +280,117 @@ func BenchmarkTable1(b *testing.B) {
 				q[j] = ids[rng.Intn(len(ids))]
 			}
 			if _, err := f.GroupBy(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkInsertBatch quantifies the batching win of the Engine API: ns/op
+// is the per-point ingestion cost of one pre-generated stream, comparing
+// per-point Insert against InsertBatch at several batch sizes (both through
+// the locked Engine) and the bare clusterer as the no-locking floor.
+func BenchmarkInsertBatch(b *testing.B) {
+	mkPts := func(n int) []dyndbscan.Point {
+		rng := rand.New(rand.NewSource(5))
+		pts := make([]dyndbscan.Point, n)
+		for i := range pts {
+			pts[i] = dyndbscan.Point{rng.Float64() * 1e5, rng.Float64() * 1e5}
+		}
+		return pts
+	}
+	newEngine := func(b *testing.B) *dyndbscan.Engine {
+		b.Helper()
+		e, err := dyndbscan.New(dyndbscan.WithEps(200), dyndbscan.WithMinPts(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	b.Run("Engine-Insert", func(b *testing.B) {
+		pts := mkPts(b.N)
+		e := newEngine(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Insert(pts[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, size := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("Engine-InsertBatch-%d", size), func(b *testing.B) {
+			pts := mkPts(b.N)
+			e := newEngine(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for lo := 0; lo < len(pts); lo += size {
+				hi := lo + size
+				if hi > len(pts) {
+					hi = len(pts)
+				}
+				if _, err := e.InsertBatch(pts[lo:hi]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("Core-Insert-NoLock", func(b *testing.B) {
+		pts := mkPts(b.N)
+		f, err := core.NewFullyDynamic(core.Config{Dims: 2, Eps: 200, MinPts: 10, Rho: 0.001})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.Insert(pts[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDeleteBatch is the deletion-side companion: per-point cost of
+// draining a pre-loaded engine one handle at a time vs in batches.
+func BenchmarkDeleteBatch(b *testing.B) {
+	load := func(b *testing.B, n int) (*dyndbscan.Engine, []dyndbscan.PointID) {
+		b.Helper()
+		e, err := dyndbscan.New(dyndbscan.WithEps(200), dyndbscan.WithMinPts(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(6))
+		pts := make([]dyndbscan.Point, n)
+		for i := range pts {
+			pts[i] = dyndbscan.Point{rng.Float64() * 1e5, rng.Float64() * 1e5}
+		}
+		ids, err := e.InsertBatch(pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e, ids
+	}
+	b.Run("Engine-Delete", func(b *testing.B) {
+		e, ids := load(b, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for _, id := range ids {
+			if err := e.Delete(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Engine-DeleteBatch-256", func(b *testing.B) {
+		e, ids := load(b, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for lo := 0; lo < len(ids); lo += 256 {
+			hi := lo + 256
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			if err := e.DeleteBatch(ids[lo:hi]); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,11 +1,12 @@
-// Command dyncluster clusters points with the dynamic DBSCAN algorithms.
+// Command dyncluster clusters points with the dynamic DBSCAN algorithms,
+// driving the dyndbscan.Engine API.
 //
 // Two modes:
 //
 // Batch mode (default) reads one comma-separated point per line from stdin
-// or -in, inserts everything, and prints the final clustering — one line per
-// input point with its cluster ids (a border point may have several) or
-// "noise":
+// or -in, ingests everything with one InsertBatch, and prints the final
+// clustering — one line per input point with its cluster ids (a border point
+// may have several) or "noise":
 //
 //	dyngen -mode dataset -d 2 -n 5000 | dyncluster -d 2 -eps 200 -minpts 10
 //
@@ -13,6 +14,10 @@
 // and prints every query result as it happens:
 //
 //	dyngen -mode workload -d 2 -n 10000 -fqry 500 | dyncluster -d 2 -eps 200 -ops
+//
+// With -events, cluster-evolution events (merges, splits, core/noise
+// transitions) observed through Engine.Subscribe are tallied and summarized
+// on stderr when the run ends; -events-verbose streams each one.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -28,31 +34,65 @@ import (
 
 func main() {
 	var (
-		d      = flag.Int("d", 2, "dimensionality")
-		eps    = flag.Float64("eps", 100, "DBSCAN eps")
-		minPts = flag.Int("minpts", 10, "DBSCAN MinPts")
-		rho    = flag.Float64("rho", 0.001, "approximation parameter (0 = exact)")
-		algo   = flag.String("algo", "full", "full | semi | inc")
-		ops    = flag.Bool("ops", false, "input is a dyngen workload instead of raw points")
-		in     = flag.String("in", "", "input file (default stdin)")
+		d         = flag.Int("d", 2, "dimensionality")
+		eps       = flag.Float64("eps", 100, "DBSCAN eps")
+		minPts    = flag.Int("minpts", 10, "DBSCAN MinPts")
+		rho       = flag.Float64("rho", 0.001, "approximation parameter (0 = exact)")
+		algo      = flag.String("algo", "full", "full | semi | inc")
+		ops       = flag.Bool("ops", false, "input is a dyngen workload instead of raw points")
+		in        = flag.String("in", "", "input file (default stdin)")
+		events    = flag.Bool("events", false, "summarize cluster-evolution events on stderr")
+		eventsVrb = flag.Bool("events-verbose", false, "print every cluster-evolution event on stderr")
 	)
 	flag.Parse()
 
-	cfg := dyndbscan.Config{Dims: *d, Eps: *eps, MinPts: *minPts, Rho: *rho}
-	var cl dyndbscan.Clusterer
-	var err error
+	var algorithm dyndbscan.Algorithm
 	switch *algo {
 	case "full":
-		cl, err = dyndbscan.NewFullyDynamic(cfg)
+		algorithm = dyndbscan.AlgoFullyDynamic
 	case "semi":
-		cl, err = dyndbscan.NewSemiDynamic(cfg)
+		algorithm = dyndbscan.AlgoSemiDynamic
 	case "inc":
-		cl, err = dyndbscan.NewIncDBSCAN(cfg)
+		algorithm = dyndbscan.AlgoIncDBSCAN
 	default:
-		err = fmt.Errorf("unknown algorithm %q", *algo)
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
+	eng, err := dyndbscan.New(
+		dyndbscan.WithAlgorithm(algorithm),
+		dyndbscan.WithDims(*d),
+		dyndbscan.WithEps(*eps),
+		dyndbscan.WithMinPts(*minPts),
+		dyndbscan.WithRho(*rho),
+		// The tool is single-threaded; skip the Engine's locking.
+		dyndbscan.WithThreadSafety(false),
+	)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *events || *eventsVrb {
+		tally := map[dyndbscan.EventKind]int{}
+		eng.Subscribe(func(ev dyndbscan.Event) {
+			tally[ev.Kind]++
+			if *eventsVrb {
+				fmt.Fprintf(os.Stderr, "event: %v\n", ev)
+			}
+		})
+		defer func() {
+			kinds := make([]dyndbscan.EventKind, 0, len(tally))
+			for k := range tally {
+				kinds = append(kinds, k)
+			}
+			sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+			var parts []string
+			for _, k := range kinds {
+				parts = append(parts, fmt.Sprintf("%d %v", tally[k], k))
+			}
+			if len(parts) == 0 {
+				parts = append(parts, "none")
+			}
+			fmt.Fprintf(os.Stderr, "dyncluster: events: %s\n", strings.Join(parts, ", "))
+		}()
 	}
 
 	input := os.Stdin
@@ -70,14 +110,14 @@ func main() {
 	defer out.Flush()
 
 	if *ops {
-		runOps(cl, sc, out, *d)
+		runOps(eng, sc, out, *d)
 		return
 	}
-	runBatch(cl, sc, out, *d)
+	runBatch(eng, sc, out, *d)
 }
 
-func runBatch(cl dyndbscan.Clusterer, sc *bufio.Scanner, out *bufio.Writer, d int) {
-	var ids []dyndbscan.PointID
+func runBatch(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d int) {
+	var pts []dyndbscan.Point
 	line := 0
 	for sc.Scan() {
 		line++
@@ -89,16 +129,16 @@ func runBatch(cl dyndbscan.Clusterer, sc *bufio.Scanner, out *bufio.Writer, d in
 		if err != nil {
 			fatal(fmt.Errorf("line %d: %v", line, err))
 		}
-		id, err := cl.Insert(pt)
-		if err != nil {
-			fatal(fmt.Errorf("line %d: %v", line, err))
-		}
-		ids = append(ids, id)
+		pts = append(pts, pt)
 	}
 	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
-	res, err := cl.GroupBy(ids)
+	ids, err := eng.InsertBatch(pts)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := eng.GroupBy(ids)
 	if err != nil {
 		fatal(err)
 	}
@@ -125,7 +165,7 @@ func runBatch(cl dyndbscan.Clusterer, sc *bufio.Scanner, out *bufio.Writer, d in
 		len(ids), len(res.Groups), len(res.Noise))
 }
 
-func runOps(cl dyndbscan.Clusterer, sc *bufio.Scanner, out *bufio.Writer, d int) {
+func runOps(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d int) {
 	var idBySeq []dyndbscan.PointID
 	line := 0
 	for sc.Scan() {
@@ -141,7 +181,7 @@ func runOps(cl dyndbscan.Clusterer, sc *bufio.Scanner, out *bufio.Writer, d int)
 			if err != nil {
 				fatal(fmt.Errorf("line %d: %v", line, err))
 			}
-			id, err := cl.Insert(pt)
+			id, err := eng.Insert(pt)
 			if err != nil {
 				fatal(fmt.Errorf("line %d: %v", line, err))
 			}
@@ -151,7 +191,7 @@ func runOps(cl dyndbscan.Clusterer, sc *bufio.Scanner, out *bufio.Writer, d int)
 			if err != nil || seq < 0 || seq >= len(idBySeq) {
 				fatal(fmt.Errorf("line %d: bad delete target %q", line, rest))
 			}
-			if err := cl.Delete(idBySeq[seq]); err != nil {
+			if err := eng.Delete(idBySeq[seq]); err != nil {
 				fatal(fmt.Errorf("line %d: %v", line, err))
 			}
 		case "q":
@@ -163,7 +203,7 @@ func runOps(cl dyndbscan.Clusterer, sc *bufio.Scanner, out *bufio.Writer, d int)
 				}
 				q = append(q, idBySeq[seq])
 			}
-			res, err := cl.GroupBy(q)
+			res, err := eng.GroupBy(q)
 			if err != nil {
 				fatal(fmt.Errorf("line %d: %v", line, err))
 			}

@@ -1,6 +1,6 @@
 // Package dyndbscan maintains density-based (DBSCAN) clusters over a
-// dynamic set of points and answers cluster-group-by (C-group-by) queries,
-// implementing "Dynamic Density Based Clustering" (Gan & Tao, SIGMOD 2017).
+// dynamic set of points, implementing "Dynamic Density Based Clustering"
+// (Gan & Tao, SIGMOD 2017) behind a service-ready Engine API.
 //
 // # Overview
 //
@@ -13,38 +13,61 @@
 //
 // The paper's approach — reproduced here in full — maintains a grid graph
 // over "core cells" of a grid with cell side Eps/√d and reduces cluster
-// maintenance to dynamic graph connectivity. Three clusterers are provided:
-//
-//   - NewSemiDynamic: insertion-only ρ-approximate DBSCAN with O~(1)
-//     amortized insertion (Theorem 1). With Rho = 0 in 2D it maintains
-//     exact DBSCAN clusters.
-//   - NewFullyDynamic: fully dynamic ρ-double-approximate DBSCAN with O~(1)
-//     amortized insertion and deletion (Theorem 4). It offers the same
-//     sandwich guarantee as ρ-approximate DBSCAN (Theorem 3); with Rho = 0
-//     in 2D it maintains exact DBSCAN clusters.
-//   - NewIncDBSCAN: the incremental exact DBSCAN of Ester et al. (1998),
-//     the baseline the paper compares against.
-//
-// All three answer C-group-by queries: given any subset Q of the current
-// points, group the members of Q by the clusters they belong to, in time
-// proportional to |Q| rather than |P|.
+// maintenance to dynamic graph connectivity, giving near-constant amortized
+// update cost and C-group-by queries in time proportional to the query size.
 //
 // # Quick start
 //
-//	c, err := dyndbscan.NewFullyDynamic(dyndbscan.Config{
-//		Dims: 2, Eps: 10, MinPts: 5, Rho: 0.001,
-//	})
+// Engine is the recommended entry point; construct one with New and
+// functional options:
+//
+//	e, err := dyndbscan.New(
+//		dyndbscan.WithEps(10),
+//		dyndbscan.WithMinPts(5),
+//	)
 //	if err != nil { ... }
-//	a, _ := c.Insert(dyndbscan.Point{1, 2})
-//	b, _ := c.Insert(dyndbscan.Point{2, 3})
-//	res, _ := c.GroupBy([]dyndbscan.PointID{a, b})
-//	if res.SameGroup(a, b) { ... }
+//	ids, _ := e.InsertBatch([]dyndbscan.Point{{1, 2}, {2, 3}})
+//	res, _ := e.GroupBy(ids)
+//	if res.SameGroup(ids[0], ids[1]) { ... }
+//
+// Beyond single-point Insert/Delete and the paper's C-group-by query, the
+// Engine offers:
+//
+//   - InsertBatch / DeleteBatch — amortize locking and validation across a
+//     batch of updates (the natural unit for a service ingesting streams).
+//   - Stable cluster identities — ClusterOf, Members, and versioned
+//     Snapshots name clusters by ClusterID values that survive every update
+//     that does not merge or split the cluster.
+//   - Subscribe — a change-event stream (ClusterFormed / ClusterMerged /
+//     ClusterSplit / ClusterDissolved / PointBecameCore / PointBecameNoise)
+//     emitted as updates reshape the clustering.
+//   - Thread safety by default, with read-mostly paths (snapshots, and all
+//     queries on the fully-dynamic algorithm) served under a shared lock.
+//
+// # Choosing an algorithm
+//
+// WithAlgorithm selects among three algorithms:
+//
+//   - AlgoFullyDynamic (default): fully dynamic ρ-double-approximate DBSCAN
+//     with O~(1) amortized insertion and deletion (Theorem 4). With Rho = 0
+//     in 2D it maintains exact DBSCAN clusters.
+//   - AlgoSemiDynamic: insertion-only ρ-approximate DBSCAN with O~(1)
+//     amortized insertion (Theorem 1); deletions are rejected.
+//   - AlgoIncDBSCAN: the incremental exact DBSCAN of Ester et al. (1998),
+//     the baseline the paper compares against; deletions can trigger
+//     cluster-wide searches.
 //
 // The approximation parameter Rho trades a sliver of precision near the
 // Eps boundary for dramatically better update complexity; the paper
-// recommends Rho = 0.001, at which the result is virtually always identical
-// to exact DBSCAN (formally: identical whenever the exact clustering is
-// stable under perturbing Eps by a factor 1+Rho).
+// recommends Rho = 0.001 (the default), at which the result is virtually
+// always identical to exact DBSCAN (formally: identical whenever the exact
+// clustering is stable under perturbing Eps by a factor 1+Rho).
+//
+// The NewSemiDynamic / NewFullyDynamic / NewIncDBSCAN constructors remain as
+// the low-level SPI: they return bare single-threaded clusterers with no
+// batching, snapshots, or events. Config carries the raw parameters for
+// them. New code should use New; existing callers can adopt the Engine
+// features by wrapping a bare clusterer with Wrap.
 package dyndbscan
 
 import (
@@ -107,6 +130,10 @@ type Clusterer interface {
 type SemiDynamic struct{ *core.SemiDynamic }
 
 // NewSemiDynamic returns an empty semi-dynamic clusterer.
+//
+// Deprecated: use New(WithAlgorithm(AlgoSemiDynamic), ...) to get an Engine
+// with batching, snapshots, and events; NewSemiDynamic remains as the
+// low-level SPI.
 func NewSemiDynamic(cfg Config) (*SemiDynamic, error) {
 	s, err := core.NewSemiDynamic(cfg)
 	if err != nil {
@@ -120,6 +147,10 @@ func NewSemiDynamic(cfg Config) (*SemiDynamic, error) {
 type FullyDynamic struct{ *core.FullyDynamic }
 
 // NewFullyDynamic returns an empty fully-dynamic clusterer.
+//
+// Deprecated: use New(...) — AlgoFullyDynamic is the default algorithm — to
+// get an Engine with batching, snapshots, and events; NewFullyDynamic
+// remains as the low-level SPI.
 func NewFullyDynamic(cfg Config) (*FullyDynamic, error) {
 	f, err := core.NewFullyDynamic(cfg)
 	if err != nil {
@@ -134,6 +165,10 @@ type IncDBSCAN struct{ *core.IncDBSCAN }
 // NewIncDBSCAN returns an empty IncDBSCAN instance. Rho is ignored (the
 // algorithm is exact). Range queries are served from the grid, the faster
 // configuration.
+//
+// Deprecated: use New(WithAlgorithm(AlgoIncDBSCAN), ...) to get an Engine
+// with batching, snapshots, and events; NewIncDBSCAN remains as the
+// low-level SPI.
 func NewIncDBSCAN(cfg Config) (*IncDBSCAN, error) {
 	ic, err := core.NewIncDBSCAN(cfg)
 	if err != nil {

@@ -1,0 +1,512 @@
+package dyndbscan
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dyndbscan/internal/core"
+)
+
+// ErrDuplicateID is wrapped by DeleteBatch when the same live handle appears
+// twice in one batch — distinguishable from ErrUnknownPoint so callers that
+// skip already-gone points do not skip live ones.
+var ErrDuplicateID = errors.New("dyndbscan: duplicate point id in batch")
+
+// ClusterID is the stable identity of a cluster. Identities survive every
+// update that does not merge or split the cluster: inserting into, deleting
+// from, or querying a cluster never changes its id. A merge keeps one of the
+// two ids; a split keeps the old id on one fragment and mints fresh ids for
+// the rest.
+type ClusterID = core.ClusterID
+
+// Event describes one step of cluster evolution; see EventKind.
+type Event = core.Event
+
+// EventKind enumerates the cluster-evolution events an Engine emits.
+type EventKind = core.EventKind
+
+// The event kinds delivered to Subscribe callbacks.
+const (
+	EventClusterFormed    = core.EventClusterFormed
+	EventClusterMerged    = core.EventClusterMerged
+	EventClusterSplit     = core.EventClusterSplit
+	EventClusterDissolved = core.EventClusterDissolved
+	EventPointBecameCore  = core.EventPointBecameCore
+	EventPointBecameNoise = core.EventPointBecameNoise
+)
+
+// extendedClusterer is the capability surface the built-in algorithms
+// provide beyond the plain Clusterer contract: stable cluster identities and
+// an event stream. Foreign Clusterer implementations wrapped with Wrap may
+// lack it, in which case the Engine degrades gracefully (snapshot cluster
+// ids are per-snapshot group indices and no events are emitted).
+type extendedClusterer interface {
+	Clusterer
+	ClusterOf(PointID) ([]ClusterID, bool)
+	SetEventFunc(func(Event))
+}
+
+// Engine is the recommended entry point of this package: a service-ready
+// facade over one of the dynamic clustering algorithms, adding batch
+// updates, stable cluster identities, versioned snapshots, a change-event
+// stream, and (by default) thread safety.
+//
+// Construct one with New:
+//
+//	e, err := dyndbscan.New(
+//		dyndbscan.WithAlgorithm(dyndbscan.AlgoFullyDynamic),
+//		dyndbscan.WithEps(10), dyndbscan.WithMinPts(5),
+//	)
+//
+// Concurrency: with thread safety on (the default) every method is safe for
+// concurrent use. Updates serialize behind a write lock; queries served from
+// a fresh cached Snapshot — and, on AlgoFullyDynamic, GroupBy and ClusterOf
+// against the live structure — run concurrently under a read lock. Each
+// successful update advances Version, invalidating the cached snapshot
+// (an epoch scheme: snapshot readers never observe a half-applied update).
+//
+// Event delivery: subscribers run after the update that produced the events
+// has committed and released its locks, in emission order. Callbacks may
+// call back into the Engine.
+type Engine struct {
+	threadSafe bool
+	roQueries  bool // backend GroupBy/ClusterOf are read-only (AlgoFullyDynamic)
+	algo       Algorithm
+	cfg        Config
+
+	mu      sync.RWMutex
+	c       Clusterer
+	ext     extendedClusterer // nil when the backend lacks the capability
+	version uint64
+	snap    *Snapshot
+	pending []Event // events collected during the in-flight update
+
+	subMu   sync.Mutex
+	subs    map[int]func(Event)
+	nextSub int
+}
+
+// New builds an Engine from functional options. WithEps and WithMinPts are
+// required; everything else has production defaults (AlgoFullyDynamic,
+// 2 dimensions, ρ = 0.001, thread safety on).
+func New(opts ...Option) (*Engine, error) {
+	s := newSettings()
+	for _, opt := range opts {
+		opt(s)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	var (
+		c   Clusterer
+		err error
+	)
+	switch s.algo {
+	case AlgoFullyDynamic:
+		c, err = NewFullyDynamic(s.cfg)
+	case AlgoSemiDynamic:
+		c, err = NewSemiDynamic(s.cfg)
+	case AlgoIncDBSCAN:
+		c, err = NewIncDBSCAN(s.cfg)
+	case AlgoIncDBSCANRTree:
+		c, err = NewIncDBSCANRTree(s.cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(c, s.algo, s.threadSafe), nil
+}
+
+// Wrap adapts an existing Clusterer — including the deprecated NewSemiDynamic /
+// NewFullyDynamic / NewIncDBSCAN values — into an Engine with thread safety
+// on. Prefer New unless you already hold a clusterer.
+func Wrap(c Clusterer) *Engine {
+	algo := AlgoCustom
+	switch c.(type) {
+	case *FullyDynamic:
+		algo = AlgoFullyDynamic
+	case *SemiDynamic:
+		algo = AlgoSemiDynamic
+	case *IncDBSCAN:
+		algo = AlgoIncDBSCAN
+	}
+	return newEngine(c, algo, true)
+}
+
+func newEngine(c Clusterer, algo Algorithm, threadSafe bool) *Engine {
+	e := &Engine{
+		threadSafe: threadSafe,
+		roQueries:  algo == AlgoFullyDynamic,
+		algo:       algo,
+		cfg:        c.Config(),
+		c:          c,
+		subs:       make(map[int]func(Event)),
+	}
+	e.ext, _ = c.(extendedClusterer)
+	return e
+}
+
+// Algorithm returns which algorithm the Engine runs (AlgoCustom for foreign
+// backends adopted via Wrap).
+func (e *Engine) Algorithm() Algorithm { return e.algo }
+
+// Config returns the clustering parameters.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Locking helpers; no-ops when thread safety is off.
+
+func (e *Engine) lock() {
+	if e.threadSafe {
+		e.mu.Lock()
+	}
+}
+
+func (e *Engine) unlock() {
+	if e.threadSafe {
+		e.mu.Unlock()
+	}
+}
+
+// qlock acquires the appropriate lock for a query against the live backend
+// and returns the matching release. Fully-dynamic backends answer queries
+// without mutating shared state, so queries share a read lock; the other
+// algorithms compress union-find paths during lookups and need exclusivity.
+func (e *Engine) qlock() func() {
+	if !e.threadSafe {
+		return func() {}
+	}
+	if e.roQueries {
+		e.mu.RLock()
+		return e.mu.RUnlock
+	}
+	e.mu.Lock()
+	return e.mu.Unlock
+}
+
+// finishUpdate commits an update under the write lock: the version advances
+// and the events collected during the update are taken for dispatch.
+func (e *Engine) finishUpdate() []Event {
+	e.version++
+	evs := e.pending
+	e.pending = nil
+	return evs
+}
+
+// dispatch delivers events to the current subscribers, in subscription
+// order, outside all Engine locks.
+func (e *Engine) dispatch(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	e.subMu.Lock()
+	keys := make([]int, 0, len(e.subs))
+	for k := range e.subs {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fns := make([]func(Event), len(keys))
+	for i, k := range keys {
+		fns[i] = e.subs[k]
+	}
+	e.subMu.Unlock()
+	for _, ev := range evs {
+		for _, fn := range fns {
+			fn(ev)
+		}
+	}
+}
+
+// Subscribe registers fn to receive cluster-evolution events (merges,
+// splits, core/noise transitions, ...) and returns a cancel function.
+// Events produced by one update are delivered after that update commits;
+// order within an update is preserved. A backend without event support
+// (some Wrap targets) never emits. The cancel function is idempotent.
+func (e *Engine) Subscribe(fn func(Event)) (cancel func()) {
+	if e.ext == nil {
+		return func() {}
+	}
+	e.subMu.Lock()
+	id := e.nextSub
+	e.nextSub++
+	first := len(e.subs) == 0
+	e.subs[id] = fn
+	e.subMu.Unlock()
+	if first {
+		// Collection is enabled lazily so an Engine with no subscribers
+		// pays nothing for the event machinery.
+		e.lock()
+		e.ext.SetEventFunc(func(ev Event) { e.pending = append(e.pending, ev) })
+		e.unlock()
+	}
+	return func() {
+		e.subMu.Lock()
+		_, present := e.subs[id]
+		delete(e.subs, id)
+		last := present && len(e.subs) == 0
+		e.subMu.Unlock()
+		if last {
+			e.lock()
+			e.ext.SetEventFunc(nil)
+			e.pending = nil
+			e.unlock()
+		}
+	}
+}
+
+// Insert adds one point and returns its handle.
+func (e *Engine) Insert(pt Point) (PointID, error) {
+	e.lock()
+	id, err := e.c.Insert(pt)
+	var evs []Event
+	if err == nil {
+		evs = e.finishUpdate()
+	} else {
+		e.pending = nil // drop events a misbehaving backend emitted before failing
+	}
+	e.unlock()
+	e.dispatch(evs)
+	return id, err
+}
+
+// InsertBatch adds many points under one lock acquisition, validating every
+// point before the first insertion so a malformed point fails the batch
+// cleanly (no state change, ErrBadPoint with the offending index).
+func (e *Engine) InsertBatch(pts []Point) ([]PointID, error) {
+	for i, pt := range pts {
+		if err := core.CheckPoint(pt, e.cfg.Dims); err != nil {
+			return nil, fmt.Errorf("dyndbscan: InsertBatch point %d: %w", i, err)
+		}
+	}
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	ids := make([]PointID, 0, len(pts))
+	e.lock()
+	for i, pt := range pts {
+		id, err := e.c.Insert(pt)
+		if err != nil {
+			// Unreachable for the built-in algorithms (points were
+			// validated), possible for foreign backends: commit the partial
+			// work, if any, and report where the batch stopped.
+			var evs []Event
+			if i > 0 {
+				evs = e.finishUpdate()
+			} else {
+				e.pending = nil
+			}
+			e.unlock()
+			e.dispatch(evs)
+			return ids, fmt.Errorf("dyndbscan: InsertBatch aborted at point %d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	evs := e.finishUpdate()
+	e.unlock()
+	e.dispatch(evs)
+	return ids, nil
+}
+
+// Delete removes one point.
+func (e *Engine) Delete(id PointID) error {
+	e.lock()
+	err := e.c.Delete(id)
+	var evs []Event
+	if err == nil {
+		evs = e.finishUpdate()
+	} else {
+		e.pending = nil // drop events a misbehaving backend emitted before failing
+	}
+	e.unlock()
+	e.dispatch(evs)
+	return err
+}
+
+// DeleteBatch removes many points under one lock acquisition. The whole
+// batch is validated first: an unknown or duplicated id fails the batch with
+// ErrUnknownPoint before any point is removed.
+func (e *Engine) DeleteBatch(ids []PointID) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	e.lock()
+	seen := make(map[PointID]struct{}, len(ids))
+	for i, id := range ids {
+		if _, dup := seen[id]; dup {
+			e.unlock()
+			return fmt.Errorf("dyndbscan: DeleteBatch id %d duplicated at index %d: %w", id, i, ErrDuplicateID)
+		}
+		seen[id] = struct{}{}
+		if !e.c.Has(id) {
+			e.unlock()
+			return fmt.Errorf("dyndbscan: DeleteBatch index %d: %w (id %d)", i, ErrUnknownPoint, id)
+		}
+	}
+	for i, id := range ids {
+		if err := e.c.Delete(id); err != nil {
+			// Only reachable on a backend that rejects deletes (semi-dynamic
+			// via Wrap) or other foreign failures; ids were validated above.
+			var evs []Event
+			if i > 0 {
+				evs = e.finishUpdate()
+			} else {
+				e.pending = nil
+			}
+			e.unlock()
+			e.dispatch(evs)
+			return fmt.Errorf("dyndbscan: DeleteBatch aborted at index %d: %w", i, err)
+		}
+	}
+	evs := e.finishUpdate()
+	e.unlock()
+	e.dispatch(evs)
+	return nil
+}
+
+// GroupBy answers a C-group-by query over the given handles.
+func (e *Engine) GroupBy(q []PointID) (Result, error) {
+	defer e.qlock()()
+	return e.c.GroupBy(q)
+}
+
+// GroupAll returns the full current clustering (the degenerate C-group-by
+// query with Q = P), computed atomically with respect to updates.
+func (e *Engine) GroupAll() (Result, error) {
+	defer e.qlock()()
+	return GroupAll(e.c)
+}
+
+// Len returns the number of points currently stored.
+func (e *Engine) Len() int {
+	defer e.rqlock()()
+	return e.c.Len()
+}
+
+// IDs returns every live handle.
+func (e *Engine) IDs() []PointID {
+	defer e.rqlock()()
+	return e.c.IDs()
+}
+
+// Has reports whether the handle is live.
+func (e *Engine) Has(id PointID) bool {
+	defer e.rqlock()()
+	return e.c.Has(id)
+}
+
+// rqlock is qlock for operations that are read-only on every backend
+// (point-table lookups).
+func (e *Engine) rqlock() func() {
+	if !e.threadSafe {
+		return func() {}
+	}
+	e.mu.RLock()
+	return e.mu.RUnlock
+}
+
+// Version returns the Engine's epoch: it starts at 0 and advances by one on
+// every successful update (an InsertBatch/DeleteBatch counts once). A
+// Snapshot carries the version it was taken at.
+func (e *Engine) Version() uint64 {
+	defer e.rqlock()()
+	return e.version
+}
+
+// ClusterOf returns the stable cluster ids the point belongs to right now
+// (empty for a live noise point; a border point may list several) and
+// whether the point is live. Served from the cached snapshot when fresh,
+// else from the live structure.
+func (e *Engine) ClusterOf(id PointID) ([]ClusterID, bool) {
+	if e.threadSafe {
+		e.mu.RLock()
+		if s := e.snap; s != nil && s.Version == e.version {
+			e.mu.RUnlock()
+			return s.ClusterOf(id)
+		}
+		e.mu.RUnlock()
+	} else if s := e.snap; s != nil && s.Version == e.version {
+		return s.ClusterOf(id)
+	}
+	if e.ext != nil {
+		defer e.qlock()()
+		return e.ext.ClusterOf(id)
+	}
+	return e.Snapshot().ClusterOf(id)
+}
+
+// Members returns the sorted member points of the cluster in the current
+// snapshot (nil when the id names no live cluster).
+func (e *Engine) Members(id ClusterID) []PointID {
+	return e.Snapshot().Members(id)
+}
+
+// Snapshot returns a consistent, immutable view of the current clustering.
+// Snapshots are cached per version: any number of readers share one
+// snapshot until the next update, so the amortized cost under a read-heavy
+// load is one full-clustering pass per epoch.
+func (e *Engine) Snapshot() *Snapshot {
+	if e.threadSafe {
+		e.mu.RLock()
+		if s := e.snap; s != nil && s.Version == e.version {
+			e.mu.RUnlock()
+			return s
+		}
+		e.mu.RUnlock()
+		e.mu.Lock()
+		defer e.mu.Unlock()
+	}
+	if s := e.snap; s != nil && s.Version == e.version {
+		return s
+	}
+	e.snap = e.buildSnapshot()
+	return e.snap
+}
+
+// buildSnapshot computes the full clustering under the write lock.
+func (e *Engine) buildSnapshot() *Snapshot {
+	s := &Snapshot{
+		Version:  e.version,
+		Clusters: make(map[ClusterID][]PointID),
+		byPoint:  make(map[PointID][]ClusterID, e.c.Len()),
+	}
+	ids := e.c.IDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if e.ext != nil {
+		for _, id := range ids {
+			cids, ok := e.ext.ClusterOf(id)
+			if !ok {
+				continue
+			}
+			s.byPoint[id] = cids
+			if len(cids) == 0 {
+				s.Noise = append(s.Noise, id)
+				continue
+			}
+			for _, cid := range cids {
+				s.Clusters[cid] = append(s.Clusters[cid], id)
+			}
+		}
+		return s
+	}
+	// Degraded path for foreign backends: cluster ids are the group indices
+	// of this snapshot only.
+	res, err := e.c.GroupBy(ids)
+	if err != nil {
+		return s // ids were read under the same lock; cannot happen
+	}
+	for g, members := range res.Groups {
+		cid := ClusterID(g)
+		s.Clusters[cid] = append(s.Clusters[cid], members...)
+		for _, id := range members {
+			s.byPoint[id] = append(s.byPoint[id], cid)
+		}
+	}
+	for _, id := range res.Noise {
+		s.byPoint[id] = nil
+	}
+	s.Noise = res.Noise
+	return s
+}
+
+var _ Clusterer = (*Engine)(nil)

@@ -32,20 +32,28 @@ func main() {
 	fmt.Printf("workload: %d updates (5/6 insertions) in %dD, eps=%.0f, MinPts=%d\n\n",
 		len(ops), dims, eps, minPts)
 
+	// Every contestant is built through the Engine constructor; thread
+	// safety is off so the comparison measures the bare algorithms.
 	type contestant struct {
 		name string
-		mk   func() (dyndbscan.Clusterer, error)
+		mk   func() (*dyndbscan.Engine, error)
 	}
-	cfg := dyndbscan.Config{Dims: dims, Eps: eps, MinPts: minPts, Rho: rho}
-	exactCfg := cfg
-	exactCfg.Rho = 0
+	base := []dyndbscan.Option{
+		dyndbscan.WithDims(dims), dyndbscan.WithEps(eps),
+		dyndbscan.WithMinPts(minPts), dyndbscan.WithThreadSafety(false),
+	}
+	mkWith := func(extra ...dyndbscan.Option) func() (*dyndbscan.Engine, error) {
+		return func() (*dyndbscan.Engine, error) {
+			return dyndbscan.New(append(append([]dyndbscan.Option{}, base...), extra...)...)
+		}
+	}
 	contestants := []contestant{
-		{"Double-Approx (Thm 4)", func() (dyndbscan.Clusterer, error) { return dyndbscan.NewFullyDynamic(cfg) }},
-		{"2d-Full-Exact (Thm 4)", func() (dyndbscan.Clusterer, error) { return dyndbscan.NewFullyDynamic(exactCfg) }},
-		{"IncDBSCAN (baseline)", func() (dyndbscan.Clusterer, error) { return dyndbscan.NewIncDBSCAN(cfg) }},
+		{"Double-Approx (Thm 4)", mkWith(dyndbscan.WithRho(rho))},
+		{"2d-Full-Exact (Thm 4)", mkWith(dyndbscan.WithRho(0))},
+		{"IncDBSCAN (baseline)", mkWith(dyndbscan.WithRho(rho), dyndbscan.WithAlgorithm(dyndbscan.AlgoIncDBSCAN))},
 	}
 
-	var approx dyndbscan.Clusterer
+	var approx *dyndbscan.Engine
 	for _, ct := range contestants {
 		cl, err := ct.mk()
 		if err != nil {

@@ -1,8 +1,10 @@
 // Mobility: clustering a live fleet of vehicles over a sliding window —
 // the fully dynamic case the paper's Theorem 4 makes tractable. Every tick
-// each vehicle reports a position (an insertion) and its report from W ticks
-// ago expires (a deletion). Hotspots (dense pickup areas) appear, drift, and
-// dissolve; a C-group-by over the fleet's latest reports tracks which
+// each vehicle reports a position and its report from W ticks ago expires;
+// the tick's reports land in one InsertBatch and the expiries in one
+// DeleteBatch, the Engine's natural unit of ingestion. Hotspots (dense
+// pickup areas) appear, drift, and dissolve; Engine.Subscribe streams the
+// merges and splits as they happen, and a versioned Snapshot tracks which
 // vehicles currently sit in the same hotspot.
 //
 // The deletions are what make this workload hard: with IncDBSCAN every
@@ -35,15 +37,25 @@ type vehicle struct {
 
 func main() {
 	rng := rand.New(rand.NewSource(42))
-	c, err := dyndbscan.NewFullyDynamic(dyndbscan.Config{
-		Dims:   2,
-		Eps:    40,
-		MinPts: 8,
-		Rho:    0.001,
-	})
+	e, err := dyndbscan.New(
+		dyndbscan.WithEps(40),
+		dyndbscan.WithMinPts(8),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Count hotspot merges and splits as the fleet moves.
+	merges, splits := 0, 0
+	cancel := e.Subscribe(func(ev dyndbscan.Event) {
+		switch ev.Kind {
+		case dyndbscan.EventClusterMerged:
+			merges++
+		case dyndbscan.EventClusterSplit:
+			splits++
+		}
+	})
+	defer cancel()
 
 	// Three hotspots that drift across the city.
 	hotspots := []dyndbscan.Point{{200, 200}, {800, 300}, {500, 800}}
@@ -66,8 +78,10 @@ func main() {
 			hotspots[h][0] += drift[h][0]
 			hotspots[h][1] += drift[h][1]
 		}
-		// Vehicles move and report.
-		for _, v := range fleet {
+		// Vehicles move; the tick's reports form one batch.
+		reports := make([]dyndbscan.Point, len(fleet))
+		var expired []dyndbscan.PointID
+		for i, v := range fleet {
 			if v.hotspot >= 0 {
 				// Attracted to its hotspot with some jitter.
 				h := hotspots[v.hotspot]
@@ -77,38 +91,43 @@ func main() {
 				v.pos[0] += rng.NormFloat64() * 30
 				v.pos[1] += rng.NormFloat64() * 30
 			}
-			id, err := c.Insert(dyndbscan.Point{v.pos[0], v.pos[1]})
-			if err != nil {
-				log.Fatal(err)
-			}
-			v.reports = append(v.reports, id)
-			v.lastID = id
-			// Expire the report that left the window.
+			reports[i] = dyndbscan.Point{v.pos[0], v.pos[1]}
+		}
+		ids, err := e.InsertBatch(reports)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, v := range fleet {
+			v.reports = append(v.reports, ids[i])
+			v.lastID = ids[i]
 			if len(v.reports) > window {
-				old := v.reports[0]
+				expired = append(expired, v.reports[0])
 				v.reports = v.reports[1:]
-				if err := c.Delete(old); err != nil {
-					log.Fatal(err)
-				}
 			}
+		}
+		if err := e.DeleteBatch(expired); err != nil {
+			log.Fatal(err)
 		}
 
 		if (tick+1)%15 == 0 {
-			// Which vehicles currently share a hotspot? One C-group-by over
-			// the latest report of every vehicle.
-			q := make([]dyndbscan.PointID, len(fleet))
-			for i, v := range fleet {
-				q[i] = v.lastID
+			// Which vehicles currently share a hotspot? One snapshot answers
+			// for the whole fleet; ClusterOf per latest report groups them.
+			snap := e.Snapshot()
+			groups := map[dyndbscan.ClusterID]int{}
+			roaming := 0
+			for _, v := range fleet {
+				cids, ok := snap.ClusterOf(v.lastID)
+				if !ok || len(cids) == 0 {
+					roaming++
+					continue
+				}
+				groups[cids[0]]++
 			}
-			res, err := c.GroupBy(q)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("tick %2d: %5d live reports, %d hotspot groups, %d roaming vehicles\n",
-				tick+1, c.Len(), len(res.Groups), len(res.Noise))
-			for g, members := range res.Groups {
-				if len(members) >= 10 {
-					fmt.Printf("   group %d: %d vehicles\n", g+1, len(members))
+			fmt.Printf("tick %2d (snapshot v%d): %5d live reports, %d hotspot clusters, %d roaming vehicles, %d merges / %d splits so far\n",
+				tick+1, snap.Version, e.Len(), snap.NumClusters(), roaming, merges, splits)
+			for id, n := range groups {
+				if n >= 10 {
+					fmt.Printf("   cluster %d: %d vehicles\n", id, n)
 				}
 			}
 		}

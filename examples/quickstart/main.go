@@ -1,81 +1,101 @@
-// Quickstart: insert points, ask C-group-by queries, delete points, and
-// watch clusters merge and split — the whole public API in one file.
+// Quickstart: the Engine API in one file — batch ingestion, C-group-by
+// queries, stable cluster identities, versioned snapshots, and a live
+// cluster-evolution event stream as clusters merge and split.
 package main
 
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"dyndbscan"
 )
 
 func main() {
-	// A fully dynamic clusterer with the paper's recommended ρ = 0.001.
-	// In 2D with Rho = 0 the same type maintains exact DBSCAN clusters.
-	c, err := dyndbscan.NewFullyDynamic(dyndbscan.Config{
-		Dims:   2,
-		Eps:    1.5,
-		MinPts: 3,
-		Rho:    0.001,
-	})
+	// An Engine over the fully dynamic algorithm (the default) with the
+	// paper's recommended ρ = 0.001 (also the default). In 2D with
+	// WithRho(0) the same engine maintains exact DBSCAN clusters.
+	e, err := dyndbscan.New(
+		dyndbscan.WithEps(1.5),
+		dyndbscan.WithMinPts(3),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Two little blobs, far apart.
-	var left, right []dyndbscan.PointID
+	// Watch the clustering evolve: merges and splits arrive as events.
+	cancel := e.Subscribe(func(ev dyndbscan.Event) {
+		switch ev.Kind {
+		case dyndbscan.EventClusterMerged, dyndbscan.EventClusterSplit:
+			fmt.Printf("  [event] %v\n", ev)
+		}
+	})
+	defer cancel()
+
+	// Two little blobs, far apart — one InsertBatch each.
+	var left, right []dyndbscan.Point
 	for i := 0; i < 6; i++ {
-		id, err := c.Insert(dyndbscan.Point{float64(i % 3), float64(i / 3)})
-		if err != nil {
-			log.Fatal(err)
-		}
-		left = append(left, id)
-		id, err = c.Insert(dyndbscan.Point{20 + float64(i%3), float64(i / 3)})
-		if err != nil {
-			log.Fatal(err)
-		}
-		right = append(right, id)
+		left = append(left, dyndbscan.Point{float64(i % 3), float64(i / 3)})
+		right = append(right, dyndbscan.Point{20 + float64(i%3), float64(i / 3)})
 	}
+	leftIDs, err := e.InsertBatch(left)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rightIDs, err := e.InsertBatch(right)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stable identities: each blob has its own cluster id.
+	lc, _ := e.ClusterOf(leftIDs[0])
+	rc, _ := e.ClusterOf(rightIDs[0])
+	fmt.Printf("before bridging: left in cluster %v, right in cluster %v\n", lc, rc)
 
 	// A C-group-by query over a few selected points: the response groups
 	// them by cluster in time proportional to |Q|, not to the data size.
-	q := []dyndbscan.PointID{left[0], left[3], right[0]}
-	res, err := c.GroupBy(q)
+	q := []dyndbscan.PointID{leftIDs[0], leftIDs[3], rightIDs[0]}
+	res, err := e.GroupBy(q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("before bridging: %d groups among %v\n", len(res.Groups), q)
-	fmt.Printf("  left[0] and right[0] together? %v\n", res.SameGroup(left[0], right[0]))
+	fmt.Printf("C-group-by over %v: %d groups\n", q, len(res.Groups))
 
 	// Insert a bridge of points between the blobs (the merge of Figure 1).
-	var bridge []dyndbscan.PointID
+	var bridge []dyndbscan.Point
 	for x := 3.0; x < 20; x++ {
 		for j := 0; j < 3; j++ {
-			id, err := c.Insert(dyndbscan.Point{x, 0.4 * float64(j)})
-			if err != nil {
-				log.Fatal(err)
-			}
-			bridge = append(bridge, id)
+			bridge = append(bridge, dyndbscan.Point{x, 0.4 * float64(j)})
 		}
 	}
-	res, _ = c.GroupBy(q)
-	fmt.Printf("after bridging:  %d group(s); together? %v\n",
-		len(res.Groups), res.SameGroup(left[0], right[0]))
+	bridgeIDs, err := e.InsertBatch(bridge)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lc, _ = e.ClusterOf(leftIDs[0])
+	rc, _ = e.ClusterOf(rightIDs[0])
+	fmt.Printf("after bridging:  left in cluster %v, right in cluster %v\n", lc, rc)
 
 	// Delete the bridge again: the cluster splits back — deletions are the
 	// hard part of dynamic clustering, and exactly what this structure
-	// handles in near-constant time.
-	for _, id := range bridge {
-		if err := c.Delete(id); err != nil {
-			log.Fatal(err)
-		}
+	// handles in near-constant time. One DeleteBatch removes all of it.
+	if err := e.DeleteBatch(bridgeIDs); err != nil {
+		log.Fatal(err)
 	}
-	res, _ = c.GroupBy(q)
-	fmt.Printf("after deleting the bridge: %d groups; together? %v\n",
-		len(res.Groups), res.SameGroup(left[0], right[0]))
+	lc, _ = e.ClusterOf(leftIDs[0])
+	rc, _ = e.ClusterOf(rightIDs[0])
+	fmt.Printf("after deleting the bridge: left in %v, right in %v\n", lc, rc)
 
-	// The degenerate query Q = P returns the full clustering.
-	all, _ := c.GroupBy(c.IDs())
-	fmt.Printf("full clustering: %d clusters, %d noise points, %d points total\n",
-		len(all.Groups), len(all.Noise), c.Len())
+	// A snapshot is an immutable, versioned view of the whole clustering.
+	snap := e.Snapshot()
+	fmt.Printf("snapshot v%d: %d clusters, %d noise points, %d points total\n",
+		snap.Version, snap.NumClusters(), len(snap.Noise), e.Len())
+	cids := make([]dyndbscan.ClusterID, 0, len(snap.Clusters))
+	for id := range snap.Clusters {
+		cids = append(cids, id)
+	}
+	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+	for _, id := range cids {
+		fmt.Printf("  cluster %d: %d points\n", id, len(snap.Members(id)))
+	}
 }

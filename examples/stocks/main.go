@@ -1,15 +1,15 @@
 // Stocks: the use case from the paper's introduction — "are stocks X and Y
 // in the same cluster?" and "break these 10 stocks into groups by the
-// clusters of their profiles" — answered with C-group-by queries while the
-// profile database keeps growing.
+// clusters of their profiles" — answered while the profile database keeps
+// growing.
 //
 // Each stock's profile is a 5-dimensional feature vector (mean return,
 // volatility, momentum, beta-like market coupling, and turnover), updated as
-// trading days arrive. New profile snapshots are appended to an insertion-
-// only (semi-dynamic) clusterer: the paper's Theorem 1 structure handles
-// each insertion in amortized near-constant time, so the feed can run at
-// market speed. Sector structure is synthesized, so the expected grouping is
-// known.
+// trading days arrive. Each day's snapshots land in one Engine.InsertBatch
+// against the insertion-only (semi-dynamic) algorithm: the paper's Theorem 1
+// structure handles each insertion in amortized near-constant time, so the
+// feed can run at market speed. Sector structure is synthesized, so the
+// expected grouping is known.
 package main
 
 import (
@@ -38,18 +38,19 @@ func main() {
 		{"energy", dyndbscan.Point{7, 22, -3, 1.1, 12}},
 	}
 
-	c, err := dyndbscan.NewSemiDynamic(dyndbscan.Config{
-		Dims:   dims,
-		Eps:    6,
-		MinPts: 4,
-		Rho:    0.001,
-	})
+	e, err := dyndbscan.New(
+		dyndbscan.WithAlgorithm(dyndbscan.AlgoSemiDynamic),
+		dyndbscan.WithDims(dims),
+		dyndbscan.WithEps(6),
+		dyndbscan.WithMinPts(4),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Stream 120 trading days: each day every tracked stock contributes a
-	// fresh profile snapshot (its sector regime plus idiosyncratic noise).
+	// fresh profile snapshot (its sector regime plus idiosyncratic noise),
+	// ingested as one batch.
 	type stock struct {
 		ticker string
 		sector int
@@ -62,34 +63,36 @@ func main() {
 		{ticker: "ZZZ", sector: -1}, // a rogue stock tracking no sector
 	}
 	for day := 0; day < 120; day++ {
-		for _, s := range stocks {
+		batch := make([]dyndbscan.Point, len(stocks))
+		for i, s := range stocks {
 			profile := make(dyndbscan.Point, dims)
 			if s.sector >= 0 {
-				for i := range profile {
-					profile[i] = sectors[s.sector].center[i] + rng.NormFloat64()*1.2
+				for j := range profile {
+					profile[j] = sectors[s.sector].center[j] + rng.NormFloat64()*1.2
 				}
 			} else {
-				for i := range profile {
-					profile[i] = rng.Float64()*60 - 10 // drifting anywhere
+				for j := range profile {
+					profile[j] = rng.Float64()*60 - 10 // drifting anywhere
 				}
 			}
-			id, err := c.Insert(profile)
-			if err != nil {
-				log.Fatal(err)
-			}
-			s.lastID = id
+			batch[i] = profile
+		}
+		ids, err := e.InsertBatch(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, s := range stocks {
+			s.lastID = ids[i]
 		}
 	}
-	fmt.Printf("profile database: %d snapshots over %d stocks\n", c.Len(), len(stocks))
+	fmt.Printf("profile database: %d snapshots over %d stocks (engine epoch %d)\n",
+		e.Len(), len(stocks), e.Version())
 
-	// "Are stocks AAA and BBB in the same cluster?" — a 2-point C-group-by.
-	q2 := []dyndbscan.PointID{stocks[0].lastID, stocks[1].lastID}
-	res, err := c.GroupBy(q2)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// "Are stocks AAA and BBB in the same cluster?" — answered from the
+	// stable cluster identities without touching the rest of the data.
+	snap := e.Snapshot()
 	fmt.Printf("AAA and BBB in the same cluster? %v\n",
-		res.SameGroup(stocks[0].lastID, stocks[1].lastID))
+		snap.SameCluster(stocks[0].lastID, stocks[1].lastID))
 
 	// "Break the 10 stocks by the clusters their latest profiles belong
 	// to" — one C-group-by over the 10 latest snapshots.
@@ -99,7 +102,7 @@ func main() {
 		q[i] = s.lastID
 		byID[s.lastID] = s.ticker
 	}
-	res, err = c.GroupBy(q)
+	res, err := e.GroupBy(q)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module dyndbscan
+
+go 1.24

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"dyndbscan/internal/abcp"
 	"dyndbscan/internal/geom"
 	"dyndbscan/internal/grid"
@@ -53,6 +55,7 @@ type cell struct {
 	edges     map[*cell]struct{}       // SemiDynamic: adjacent core cells in G
 	vertexID  int64                    // FullyDynamic: CC vertex while core; -1 otherwise
 	instances map[*cell]*abcp.Instance // FullyDynamic: aBCP per ε-close core cell
+	cluster   ClusterID                // FullyDynamic: stable cluster id while core; -1 otherwise
 }
 
 // base is the shared machinery of Section 4: the grid, the occupied-cell
@@ -67,6 +70,9 @@ type base struct {
 	rUp   float64 // (1+ρ)ε
 	epsSq float64
 	rUpSq float64
+
+	emit        func(Event) // optional event sink; see SetEventFunc
+	nextCluster ClusterID   // next stable cluster identity
 }
 
 func newBase(cfg Config) *base {
@@ -118,6 +124,7 @@ func (b *base) cellFor(pt geom.Point) *cell {
 		coreList:  abcp.NewList(),
 		ufID:      -1,
 		vertexID:  -1,
+		cluster:   -1,
 		edges:     make(map[*cell]struct{}),
 		instances: make(map[*cell]*abcp.Instance),
 	}
@@ -274,6 +281,51 @@ func (b *base) groupBy(ids []PointID, compID func(*cell) any) (Result, error) {
 	}
 	res.normalize()
 	return res, nil
+}
+
+// clusterOf resolves the stable cluster memberships of one point for the
+// cell-based algorithms. cid must return the stable cluster id of a core
+// cell. A live noise point yields (nil, true); an unknown id yields
+// (nil, false). Border points may belong to several clusters; the returned
+// ids are sorted.
+func (b *base) clusterOf(id PointID, cid func(*cell) ClusterID) ([]ClusterID, bool) {
+	rec, ok := b.points[id]
+	if !ok {
+		return nil, false
+	}
+	if rec.core {
+		return []ClusterID{cid(rec.cell)}, true
+	}
+	var out []ClusterID
+	c := rec.cell
+	if c.coreCount > 0 {
+		out = append(out, cid(c))
+	}
+	for _, ln := range c.neighbors {
+		if !ln.eps || ln.c.coreCount == 0 {
+			continue
+		}
+		if _, ok := b.probeCore(ln.c, rec.pt); ok {
+			out = append(out, cid(ln.c))
+		}
+	}
+	return dedupClusterIDs(out), true
+}
+
+// dedupClusterIDs sorts ids and removes duplicates in place.
+func dedupClusterIDs(ids []ClusterID) []ClusterID {
+	if len(ids) < 2 {
+		return ids
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w := 1
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[w-1] {
+			ids[w] = ids[i]
+			w++
+		}
+	}
+	return ids[:w]
 }
 
 // coreCellCount and edge statistics used by Stats.

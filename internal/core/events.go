@@ -1,0 +1,99 @@
+package core
+
+import "fmt"
+
+// ClusterID is the stable identity of a cluster. Identities are assigned
+// monotonically and survive every update that does not merge or split the
+// cluster: inserting into, deleting from, or querying a cluster never changes
+// its id. A merge keeps one of the two ids (the absorbed one is retired); a
+// split keeps the old id on one fragment and mints fresh ids for the rest.
+type ClusterID = int64
+
+// EventKind enumerates the cluster-evolution events a clusterer can emit.
+type EventKind uint8
+
+const (
+	// EventClusterFormed fires when a brand-new cluster appears (its first
+	// core cell / core point materializes). Event.Cluster is the new id.
+	EventClusterFormed EventKind = iota
+	// EventClusterMerged fires when two clusters become one. Event.Cluster
+	// is the surviving id, Event.Absorbed the id that was retired.
+	EventClusterMerged
+	// EventClusterSplit fires when a cluster breaks apart. Event.Cluster is
+	// the id that was split; Event.Fragments lists the ids of the resulting
+	// clusters (Event.Cluster itself stays on one fragment).
+	EventClusterSplit
+	// EventClusterDissolved fires when a cluster ceases to exist without
+	// splitting (its last core point was deleted or demoted).
+	EventClusterDissolved
+	// EventPointBecameCore fires when a live point is promoted to core
+	// status. Event.Point is the point.
+	EventPointBecameCore
+	// EventPointBecameNoise fires when a live point loses core status (it
+	// may still be a border point of some cluster). Deleting a point emits
+	// no point event: the handle simply stops being live.
+	EventPointBecameNoise
+)
+
+// String returns the event kind's name.
+func (k EventKind) String() string {
+	switch k {
+	case EventClusterFormed:
+		return "ClusterFormed"
+	case EventClusterMerged:
+		return "ClusterMerged"
+	case EventClusterSplit:
+		return "ClusterSplit"
+	case EventClusterDissolved:
+		return "ClusterDissolved"
+	case EventPointBecameCore:
+		return "PointBecameCore"
+	case EventPointBecameNoise:
+		return "PointBecameNoise"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event describes one step of cluster evolution. Which fields are meaningful
+// depends on Kind; see the EventKind constants.
+type Event struct {
+	Kind      EventKind
+	Point     PointID     // point events: the affected point
+	Cluster   ClusterID   // the (surviving / split / formed / dissolved) cluster
+	Absorbed  ClusterID   // merges: the retired id
+	Fragments []ClusterID // splits: ids of all resulting fragments
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventClusterMerged:
+		return fmt.Sprintf("%v(%d<-%d)", e.Kind, e.Cluster, e.Absorbed)
+	case EventClusterSplit:
+		return fmt.Sprintf("%v(%d->%v)", e.Kind, e.Cluster, e.Fragments)
+	case EventPointBecameCore, EventPointBecameNoise:
+		return fmt.Sprintf("%v(p%d)", e.Kind, e.Point)
+	default:
+		return fmt.Sprintf("%v(%d)", e.Kind, e.Cluster)
+	}
+}
+
+// SetEventFunc installs fn as the clusterer's event sink (nil to disable).
+// Events are emitted synchronously inside Insert/Delete; fn must not call
+// back into the clusterer.
+func (b *base) SetEventFunc(fn func(Event)) { b.emit = fn }
+
+// fire delivers ev to the installed sink, if any.
+func (b *base) fire(ev Event) {
+	if b.emit != nil {
+		b.emit(ev)
+	}
+}
+
+// newClusterID mints the next stable cluster identity.
+func (b *base) newClusterID() ClusterID {
+	id := b.nextCluster
+	b.nextCluster++
+	return id
+}

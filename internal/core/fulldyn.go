@@ -31,6 +31,12 @@ type FullyDynamic struct {
 	cc         *dyncon.Conn
 	counter    *quadtree.Tree
 	nextVertex int64
+	// cellOfVertex maps grid-graph vertex ids back to their cells so that
+	// merge/split relabeling can walk a connected component. Every cell of a
+	// component carries the component's stable cluster id (cell.cluster);
+	// a merge relabels the smaller side, a split relabels the smaller
+	// fragment with a fresh id, so identity survives all other updates.
+	cellOfVertex map[int64]*cell
 }
 
 // NewFullyDynamic returns an empty fully-dynamic clusterer.
@@ -39,9 +45,10 @@ func NewFullyDynamic(cfg Config) (*FullyDynamic, error) {
 		return nil, err
 	}
 	return &FullyDynamic{
-		base:    newBase(cfg),
-		cc:      dyncon.New(),
-		counter: quadtree.New(cfg.Dims),
+		base:         newBase(cfg),
+		cc:           dyncon.New(),
+		counter:      quadtree.New(cfg.Dims),
+		cellOfVertex: make(map[int64]*cell),
 	}, nil
 }
 
@@ -112,7 +119,7 @@ func (f *FullyDynamic) Delete(id PointID) error {
 	c := rec.cell
 	f.counter.Delete(rec.id, rec.pt)
 	if rec.core {
-		f.retireCore(rec)
+		f.retireCore(rec, true)
 	}
 	f.removePoint(rec)
 
@@ -132,7 +139,7 @@ func (f *FullyDynamic) Delete(id PointID) error {
 				continue
 			}
 			if !f.isCoreNow(p) {
-				f.retireCore(p)
+				f.retireCore(p, false)
 			}
 		}
 	}
@@ -152,6 +159,7 @@ func (f *FullyDynamic) Delete(id PointID) error {
 // ε-close core cells are initialized.
 func (f *FullyDynamic) promote(p *pointRec) {
 	f.markCore(p)
+	f.fire(Event{Kind: EventPointBecameCore, Point: p.id})
 	c := p.cell
 	c.coreTree.Insert(p.id, p.pt)
 	p.coreNode = c.coreList.Append(p.id, p.pt)
@@ -161,15 +169,19 @@ func (f *FullyDynamic) promote(p *pointRec) {
 			before := inst.HasWitness()
 			inst.NotifyInsert(inst.SideOf(c.coreList), p.coreNode)
 			if !before && inst.HasWitness() {
-				f.cc.InsertEdge(c.vertexID, other.vertexID)
+				f.connectCells(c, other)
 			}
 		}
 		return
 	}
-	// The cell just became a core cell.
+	// The cell just became a core cell: a new single-cell cluster is born,
+	// then immediately merged with whatever it connects to.
 	c.vertexID = f.nextVertex
 	f.nextVertex++
 	f.cc.AddVertex(c.vertexID)
+	f.cellOfVertex[c.vertexID] = c
+	c.cluster = f.newClusterID()
+	f.fire(Event{Kind: EventClusterFormed, Cluster: c.cluster})
 	for _, ln := range c.neighbors {
 		nc := ln.c
 		if !ln.eps || nc.coreCount == 0 {
@@ -179,16 +191,69 @@ func (f *FullyDynamic) promote(p *pointRec) {
 		c.instances[nc] = inst
 		nc.instances[c] = inst
 		if inst.HasWitness() {
-			f.cc.InsertEdge(c.vertexID, nc.vertexID)
+			f.connectCells(c, nc)
 		}
 	}
 }
 
+// connectCells inserts the grid-graph edge {a,b}, and when that joins two
+// components it relabels the smaller side (ties keep the older id) and
+// reports the merge. Smaller-side relabeling keeps the total relabeling work
+// logarithmic per cell over any insertion-only sequence; under mixed
+// workloads an adversary that oscillates a bridge between two large
+// components pays O(min component size) per flip — the unavoidable price of
+// stable identities, since every flip genuinely merges or splits and any
+// consumer of the ids must be told which cells moved. Real workloads churn
+// at cluster boundaries where the smaller side is small.
+func (f *FullyDynamic) connectCells(a, b *cell) {
+	if f.cc.Connected(a.vertexID, b.vertexID) {
+		f.cc.InsertEdge(a.vertexID, b.vertexID)
+		return
+	}
+	sa, sb := f.cc.ComponentSize(a.vertexID), f.cc.ComponentSize(b.vertexID)
+	winner, loser := a, b
+	if sb > sa || (sb == sa && b.cluster < a.cluster) {
+		winner, loser = b, a
+	}
+	survivor, absorbed := winner.cluster, loser.cluster
+	f.relabelComponent(loser, survivor)
+	f.cc.InsertEdge(a.vertexID, b.vertexID)
+	f.fire(Event{Kind: EventClusterMerged, Cluster: survivor, Absorbed: absorbed})
+}
+
+// disconnectCells deletes the grid-graph edge {a,b}, and when the component
+// falls apart it mints a fresh id for the smaller fragment (ties relabel a's
+// side) and reports the split.
+func (f *FullyDynamic) disconnectCells(a, b *cell) {
+	f.cc.DeleteEdge(a.vertexID, b.vertexID)
+	if f.cc.Connected(a.vertexID, b.vertexID) {
+		return
+	}
+	old := a.cluster
+	sa, sb := f.cc.ComponentSize(a.vertexID), f.cc.ComponentSize(b.vertexID)
+	split := a
+	if sb < sa {
+		split = b
+	}
+	fresh := f.newClusterID()
+	f.relabelComponent(split, fresh)
+	f.fire(Event{Kind: EventClusterSplit, Cluster: old, Fragments: []ClusterID{old, fresh}})
+}
+
+// relabelComponent stamps id on every cell of c's component.
+func (f *FullyDynamic) relabelComponent(c *cell, id ClusterID) {
+	f.cc.ForEachInComponent(c.vertexID, func(v int64) bool {
+		f.cellOfVertex[v].cluster = id
+		return true
+	})
+}
+
 // retireCore removes p from its cell's core structures — used both when p is
-// demoted and when a core point is deleted outright. Witness transitions are
-// translated into grid-graph edge removals; a cell whose last core point
-// retires stops being a vertex.
-func (f *FullyDynamic) retireCore(p *pointRec) {
+// demoted (deleted = false: the point stays live as a border/noise point)
+// and when a core point is deleted outright (deleted = true). Witness
+// transitions are translated into grid-graph edge removals; a cell whose
+// last core point retires stops being a vertex.
+func (f *FullyDynamic) retireCore(p *pointRec, deleted bool) {
 	c := p.cell
 	c.coreTree.Delete(p.id)
 	for _, inst := range c.instances {
@@ -199,28 +264,35 @@ func (f *FullyDynamic) retireCore(p *pointRec) {
 		before := inst.HasWitness()
 		inst.PostDelete(inst.SideOf(c.coreList), p.coreNode)
 		if before && !inst.HasWitness() {
-			f.cc.DeleteEdge(c.vertexID, other.vertexID)
+			f.disconnectCells(c, other)
 		}
 	}
 	p.coreNode = nil
 	f.markNonCore(p)
+	if !deleted {
+		f.fire(Event{Kind: EventPointBecameNoise, Point: p.id})
+	}
 	if c.coreCount == 0 {
 		f.unmakeCoreCell(c)
 	}
 }
 
 // unmakeCoreCell destroys the aBCP instances of a cell that lost its last
-// core point and removes its grid-graph vertex.
+// core point and removes its grid-graph vertex; the single-cell cluster the
+// vertex had become dissolves with it.
 func (f *FullyDynamic) unmakeCoreCell(c *cell) {
 	for other, inst := range c.instances {
 		if inst.HasWitness() {
-			f.cc.DeleteEdge(c.vertexID, other.vertexID)
+			f.disconnectCells(c, other)
 		}
 		delete(other.instances, c)
 	}
 	c.instances = make(map[*cell]*abcp.Instance)
+	f.fire(Event{Kind: EventClusterDissolved, Cluster: c.cluster})
+	delete(f.cellOfVertex, c.vertexID)
 	f.cc.RemoveVertex(c.vertexID)
 	c.vertexID = -1
+	c.cluster = -1
 }
 
 // probeFn adapts the cell's emptiness structure to the aBCP probe contract,
@@ -235,11 +307,17 @@ func (f *FullyDynamic) probeFn(c *cell) abcp.ProbeFunc {
 	}
 }
 
-// GroupBy answers a C-group-by query in Õ(|Q|) time. Component identities
-// come from the fully dynamic connectivity structure and are consistent
-// across the whole call.
+// GroupBy answers a C-group-by query in Õ(|Q|) time. Groups are keyed by the
+// stable cluster labels, which are in bijection with the connected components
+// of the grid graph and need no tree traversal at query time.
 func (f *FullyDynamic) GroupBy(ids []PointID) (Result, error) {
-	return f.groupBy(ids, func(c *cell) any { return f.cc.ComponentID(c.vertexID) })
+	return f.groupBy(ids, func(c *cell) any { return c.cluster })
+}
+
+// ClusterOf returns the stable cluster ids the point currently belongs to
+// (empty for a live noise point) and whether the point is live.
+func (f *FullyDynamic) ClusterOf(id PointID) ([]ClusterID, bool) {
+	return f.clusterOf(id, func(c *cell) ClusterID { return c.cluster })
 }
 
 // Stats returns structural counters, including grid-graph size.

@@ -23,6 +23,11 @@ type IncDBSCAN struct {
 	*base
 	clusters *unionfind.UF
 	rt       *rtree.Tree // non-nil: answer range queries from an R-tree, as in [8]
+	// rootCluster maps a union-find root of the merging history to the
+	// cluster's stable id; rootCores counts the cluster's core points so a
+	// cluster that loses its last core can be reported as dissolved.
+	rootCluster map[int]ClusterID
+	rootCores   map[int]int
 }
 
 // NewIncDBSCAN returns an empty IncDBSCAN instance. Rho is ignored:
@@ -33,7 +38,12 @@ func NewIncDBSCAN(cfg Config) (*IncDBSCAN, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &IncDBSCAN{base: newBase(cfg), clusters: &unionfind.UF{}}, nil
+	return &IncDBSCAN{
+		base:        newBase(cfg),
+		clusters:    &unionfind.UF{},
+		rootCluster: make(map[int]ClusterID),
+		rootCores:   make(map[int]int),
+	}, nil
 }
 
 // NewIncDBSCANRTree returns an IncDBSCAN whose range queries run against a
@@ -117,16 +127,71 @@ func (ic *IncDBSCAN) Insert(pt geom.Point) (PointID, error) {
 	// assign ids and merge neighborhood clusters.
 	for _, p := range promoted {
 		ic.markCore(p)
+		ic.fire(Event{Kind: EventPointBecameCore, Point: p.id})
 	}
 	for _, p := range promoted {
 		p.clusterElem = ic.clusters.Add()
 		for _, nb := range ic.coresWithin(p.pt, p.cell) {
 			if nb != p && nb.clusterElem >= 0 {
-				ic.clusters.Union(p.clusterElem, nb.clusterElem)
+				ic.unionClusters(p.clusterElem, nb.clusterElem)
 			}
 		}
+		// A stable id is assigned only once the promoted point's final set is
+		// known: joining an existing cluster inherits that cluster's id (no
+		// event); a set that is still unlabeled is a brand-new cluster.
+		r := ic.clusters.Find(p.clusterElem)
+		if _, ok := ic.rootCluster[r]; !ok {
+			ic.rootCluster[r] = ic.newClusterID()
+			ic.fire(Event{Kind: EventClusterFormed, Cluster: ic.rootCluster[r]})
+		}
+		ic.rootCores[r]++
 	}
 	return rec.id, nil
+}
+
+// unionClusters merges two entries of the merging history, combining core
+// counts. When both sets already carry stable ids the merge is a genuine
+// cluster merge: the older id survives and an event fires.
+func (ic *IncDBSCAN) unionClusters(a, b int) {
+	ra, rb := ic.clusters.Find(a), ic.clusters.Find(b)
+	if ra == rb {
+		return
+	}
+	ia, okA := ic.rootCluster[ra]
+	ib, okB := ic.rootCluster[rb]
+	cores := ic.rootCores[ra] + ic.rootCores[rb]
+	delete(ic.rootCluster, ra)
+	delete(ic.rootCluster, rb)
+	delete(ic.rootCores, ra)
+	delete(ic.rootCores, rb)
+	ic.clusters.Union(ra, rb)
+	r := ic.clusters.Find(ra)
+	ic.rootCores[r] = cores
+	switch {
+	case okA && okB:
+		survivor, absorbed := ia, ib
+		if ib < ia {
+			survivor, absorbed = ib, ia
+		}
+		ic.rootCluster[r] = survivor
+		ic.fire(Event{Kind: EventClusterMerged, Cluster: survivor, Absorbed: absorbed})
+	case okA:
+		ic.rootCluster[r] = ia
+	case okB:
+		ic.rootCluster[r] = ib
+	}
+}
+
+// dropCore retires one core point from its cluster's core count, dissolving
+// the cluster when the last core is gone. p.clusterElem must still be set.
+func (ic *IncDBSCAN) dropCore(p *pointRec) {
+	r := ic.clusters.Find(p.clusterElem)
+	ic.rootCores[r]--
+	if ic.rootCores[r] == 0 {
+		ic.fire(Event{Kind: EventClusterDissolved, Cluster: ic.rootCluster[r]})
+		delete(ic.rootCluster, r)
+		delete(ic.rootCores, r)
+	}
 }
 
 // Delete removes a point. Demoted neighbors lose core status, and the
@@ -154,14 +219,17 @@ func (ic *IncDBSCAN) Delete(id PointID) error {
 	wasCore := rec.core
 	if wasCore {
 		c.coreCount--
+		ic.dropCore(rec)
 	}
 	ic.removePoint(rec)
 	if ic.rt != nil {
 		ic.rt.Delete(rec.id, rec.pt)
 	}
 	for _, p := range demoted {
+		ic.dropCore(p)
 		ic.markNonCore(p)
 		p.clusterElem = -1
+		ic.fire(Event{Kind: EventPointBecameNoise, Point: p.id})
 	}
 
 	// Seed points: the current core points adjacent (in the core graph) to
@@ -256,46 +324,77 @@ func (ic *IncDBSCAN) splitBFS(seedSet map[*pointRec]struct{}) {
 	}
 
 	// Split confirmed: group visited points by surviving thread.
+	type fragment struct {
+		pts    []*pointRec
+		active bool // enumeration incomplete (thread still had a frontier)
+	}
 	members := make(map[int][]*pointRec)
 	for p, t := range visited {
 		root := threads.Find(t)
 		members[root] = append(members[root], p)
 	}
-	// One fragment keeps the old cluster id: a still-active thread if one
-	// exists (its enumeration is incomplete, so it must not be relabeled),
-	// otherwise the largest fragment, minimizing relabeling as in [8].
-	keep := -1
-	for r := range members {
-		if len(queues[r]) > 0 {
-			keep = r
-			break
-		}
-	}
-	if keep < 0 {
-		best := -1
-		for r, pts := range members {
-			if len(pts) > best {
-				best, keep = len(pts), r
-			}
-		}
-	}
+	// Fragments are grouped by the cluster they came from: when the deleted
+	// point was a border point, the seeds may belong to several distinct
+	// clusters, and a cluster only split if two or more of its own fragments
+	// separated. Fragments alone in their group are untouched clusters.
+	byCluster := make(map[int][]*fragment) // pre-delete union-find root -> fragments
 	for r, pts := range members {
-		if r == keep {
+		orig := ic.clusters.Find(pts[0].clusterElem)
+		byCluster[orig] = append(byCluster[orig], &fragment{pts: pts, active: len(queues[r]) > 0})
+	}
+	for orig, frags := range byCluster {
+		if len(frags) < 2 {
 			continue
 		}
-		fresh := ic.clusters.Add()
-		for _, p := range pts {
-			p.clusterElem = fresh
+		// One fragment keeps the old cluster id: a still-active fragment if
+		// one exists (its enumeration is incomplete, so it must not be
+		// relabeled), otherwise the largest, minimizing relabeling as in [8].
+		keep := -1
+		for i, f := range frags {
+			if f.active {
+				keep = i
+				break
+			}
 		}
+		if keep < 0 {
+			best := -1
+			for i, f := range frags {
+				if len(f.pts) > best {
+					best, keep = len(f.pts), i
+				}
+			}
+		}
+		oldID := ic.rootCluster[orig]
+		fragments := []ClusterID{oldID}
+		for i, f := range frags {
+			if i == keep {
+				continue
+			}
+			fresh := ic.clusters.Add()
+			freshID := ic.newClusterID()
+			ic.rootCluster[fresh] = freshID
+			ic.rootCores[fresh] = len(f.pts)
+			ic.rootCores[orig] -= len(f.pts)
+			for _, p := range f.pts {
+				p.clusterElem = fresh
+			}
+			fragments = append(fragments, freshID)
+		}
+		ic.fire(Event{Kind: EventClusterSplit, Cluster: oldID, Fragments: fragments})
 	}
 }
 
-// GroupBy answers a C-group-by query. Core points group by their (merged)
-// cluster ids; border points fetch the clusters of the core points in their
-// ε-ball with a range query, as in [8].
+// stableIDOf returns the stable cluster id of a core point.
+func (ic *IncDBSCAN) stableIDOf(rec *pointRec) ClusterID {
+	return ic.rootCluster[ic.clusters.Find(rec.clusterElem)]
+}
+
+// GroupBy answers a C-group-by query. Core points group by their stable
+// (merged) cluster ids; border points fetch the clusters of the core points
+// in their ε-ball with a range query, as in [8].
 func (ic *IncDBSCAN) GroupBy(ids []PointID) (Result, error) {
 	var res Result
-	groups := make(map[int][]PointID)
+	groups := make(map[ClusterID][]PointID)
 	seen := make(map[PointID]struct{}, len(ids))
 	for _, id := range ids {
 		rec, ok := ic.points[id]
@@ -308,12 +407,13 @@ func (ic *IncDBSCAN) GroupBy(ids []PointID) (Result, error) {
 		}
 		seen[id] = struct{}{}
 		if rec.core {
-			groups[ic.clusters.Find(rec.clusterElem)] = append(groups[ic.clusters.Find(rec.clusterElem)], id)
+			key := ic.stableIDOf(rec)
+			groups[key] = append(groups[key], id)
 			continue
 		}
-		memberships := make(map[int]struct{})
+		memberships := make(map[ClusterID]struct{})
 		for _, nb := range ic.coresWithin(rec.pt, rec.cell) {
-			memberships[ic.clusters.Find(nb.clusterElem)] = struct{}{}
+			memberships[ic.stableIDOf(nb)] = struct{}{}
 		}
 		if len(memberships) == 0 {
 			res.Noise = append(res.Noise, id)
@@ -328,6 +428,23 @@ func (ic *IncDBSCAN) GroupBy(ids []PointID) (Result, error) {
 	}
 	res.normalize()
 	return res, nil
+}
+
+// ClusterOf returns the stable cluster ids the point currently belongs to
+// (empty for a live noise point) and whether the point is live.
+func (ic *IncDBSCAN) ClusterOf(id PointID) ([]ClusterID, bool) {
+	rec, ok := ic.points[id]
+	if !ok {
+		return nil, false
+	}
+	if rec.core {
+		return []ClusterID{ic.stableIDOf(rec)}, true
+	}
+	var out []ClusterID
+	for _, nb := range ic.coresWithin(rec.pt, rec.cell) {
+		out = append(out, ic.stableIDOf(nb))
+	}
+	return dedupClusterIDs(out), true
 }
 
 // Stats returns structural counters.

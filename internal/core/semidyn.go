@@ -18,6 +18,11 @@ import (
 type SemiDynamic struct {
 	*base
 	uf *unionfind.UF
+	// rootCluster maps the union-find root of a grid-graph component to the
+	// component's stable cluster id. Clusters only form and merge under
+	// insertions, so a merge retires the younger id and the older id
+	// survives — identity is stable across every non-merging insertion.
+	rootCluster map[int]ClusterID
 }
 
 // NewSemiDynamic returns an empty semi-dynamic clusterer.
@@ -25,7 +30,11 @@ func NewSemiDynamic(cfg Config) (*SemiDynamic, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &SemiDynamic{base: newBase(cfg), uf: &unionfind.UF{}}, nil
+	return &SemiDynamic{
+		base:        newBase(cfg),
+		uf:          &unionfind.UF{},
+		rootCluster: make(map[int]ClusterID),
+	}, nil
 }
 
 // Insert adds a point and maintains the clustering, in amortized Õ(1) time.
@@ -115,10 +124,13 @@ func (s *SemiDynamic) exactBallCount(rec *pointRec) int {
 // probes against the ε-close core cells.
 func (s *SemiDynamic) promote(p *pointRec) {
 	s.markCore(p)
+	s.fire(Event{Kind: EventPointBecameCore, Point: p.id})
 	c := p.cell
 	c.coreTree.Insert(p.id, p.pt)
 	if c.coreCount == 1 {
 		c.ufID = s.uf.Add()
+		s.rootCluster[c.ufID] = s.newClusterID()
+		s.fire(Event{Kind: EventClusterFormed, Cluster: s.rootCluster[c.ufID]})
 	}
 	for _, ln := range c.neighbors {
 		nc := ln.c
@@ -131,9 +143,39 @@ func (s *SemiDynamic) promote(p *pointRec) {
 		if _, ok := s.probeCore(nc, p.pt); ok {
 			c.edges[nc] = struct{}{}
 			nc.edges[c] = struct{}{}
-			s.uf.Union(c.ufID, nc.ufID)
+			s.unionClusters(c.ufID, nc.ufID)
 		}
 	}
+}
+
+// unionClusters merges the grid-graph components of two union-find elements,
+// keeping the older stable cluster id and retiring the younger.
+func (s *SemiDynamic) unionClusters(a, b int) {
+	ra, rb := s.uf.Find(a), s.uf.Find(b)
+	if ra == rb {
+		return
+	}
+	ia, ib := s.rootCluster[ra], s.rootCluster[rb]
+	delete(s.rootCluster, ra)
+	delete(s.rootCluster, rb)
+	s.uf.Union(ra, rb)
+	survivor, absorbed := ia, ib
+	if ib < ia {
+		survivor, absorbed = ib, ia
+	}
+	s.rootCluster[s.uf.Find(ra)] = survivor
+	s.fire(Event{Kind: EventClusterMerged, Cluster: survivor, Absorbed: absorbed})
+}
+
+// clusterIDOf returns the stable cluster id of a core cell.
+func (s *SemiDynamic) clusterIDOf(c *cell) ClusterID {
+	return s.rootCluster[s.uf.Find(c.ufID)]
+}
+
+// ClusterOf returns the stable cluster ids the point currently belongs to
+// (empty for a live noise point) and whether the point is live.
+func (s *SemiDynamic) ClusterOf(id PointID) ([]ClusterID, bool) {
+	return s.clusterOf(id, s.clusterIDOf)
 }
 
 // Delete always fails: Theorem 2 proves that supporting deletions under

@@ -149,6 +149,30 @@ func (c *Conn) ComponentSize(v int64) int {
 	return int(rootOf(c.mustLoop0(v)).loopCount)
 }
 
+// ForEachInComponent calls fn on every vertex of v's component (including v
+// itself), stopping early when fn returns false. Like ComponentID it avoids
+// restructuring the trees, so it is safe to interleave with id queries; cost
+// is linear in the component's tour length.
+func (c *Conn) ForEachInComponent(v int64, fn func(int64) bool) {
+	var walk func(n *tnode) bool
+	walk = func(n *tnode) bool {
+		if n == nil {
+			return true
+		}
+		if n.loopCount == 0 {
+			return true // no loop (vertex) nodes below here
+		}
+		if !walk(n.left) {
+			return false
+		}
+		if n.isLoop() && !fn(n.vertex) {
+			return false
+		}
+		return walk(n.right)
+	}
+	walk(rootOf(c.mustLoop0(v)))
+}
+
 func (c *Conn) mustLoop0(v int64) *tnode {
 	n, ok := c.forests[0].loops[v]
 	if !ok {

@@ -1,0 +1,152 @@
+package dyndbscan
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Algorithm selects which dynamic clustering algorithm an Engine runs.
+type Algorithm int
+
+const (
+	// AlgoFullyDynamic is the paper's fully dynamic ρ-double-approximate
+	// DBSCAN (Theorem 4): near-constant amortized insertions AND deletions.
+	// The default, and the right choice for almost every workload.
+	AlgoFullyDynamic Algorithm = iota
+	// AlgoSemiDynamic is the insertion-only ρ-approximate DBSCAN
+	// (Theorem 1). Slightly cheaper per insertion and with plain (not
+	// double) approximation semantics, but Delete/DeleteBatch return
+	// ErrDeletesUnsupported.
+	AlgoSemiDynamic
+	// AlgoIncDBSCAN is the incremental exact DBSCAN baseline of Ester et
+	// al. (1998). Exact at any dimensionality, but deletions can trigger
+	// cluster-wide BFS; use it for comparisons, not production traffic.
+	AlgoIncDBSCAN
+	// AlgoIncDBSCANRTree is AlgoIncDBSCAN with range queries served from a
+	// Guttman R-tree, matching the original 1998 system. Slower; provided
+	// for historical fidelity and ablations.
+	AlgoIncDBSCANRTree
+
+	// AlgoCustom marks an Engine whose backend was supplied by the caller
+	// through Wrap. It is not a valid argument to WithAlgorithm.
+	AlgoCustom Algorithm = -1
+)
+
+// String returns the algorithm's name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoFullyDynamic:
+		return "FullyDynamic"
+	case AlgoSemiDynamic:
+		return "SemiDynamic"
+	case AlgoIncDBSCAN:
+		return "IncDBSCAN"
+	case AlgoIncDBSCANRTree:
+		return "IncDBSCANRTree"
+	case AlgoCustom:
+		return "Custom"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ErrMissingOption is wrapped by New when a required option (WithEps,
+// WithMinPts) was not provided.
+var ErrMissingOption = errors.New("dyndbscan: required option missing")
+
+// engineSettings accumulates the functional options of New. Config remains
+// the low-level SPI; the options are the supported way to fill it in.
+type engineSettings struct {
+	algo       Algorithm
+	cfg        Config
+	epsSet     bool
+	minPtsSet  bool
+	threadSafe bool
+	err        error // first option-level error, reported by New
+}
+
+// Option configures an Engine under construction; see New.
+type Option func(*engineSettings)
+
+// WithAlgorithm selects the clustering algorithm (default AlgoFullyDynamic).
+func WithAlgorithm(a Algorithm) Option {
+	return func(s *engineSettings) {
+		switch a {
+		case AlgoFullyDynamic, AlgoSemiDynamic, AlgoIncDBSCAN, AlgoIncDBSCANRTree:
+			s.algo = a
+		default:
+			s.setErr(fmt.Errorf("dyndbscan: unknown algorithm %v", a))
+		}
+	}
+}
+
+// WithEps sets the DBSCAN density radius ε. Required (no radius makes sense
+// as a default for arbitrary data).
+func WithEps(eps float64) Option {
+	return func(s *engineSettings) { s.cfg.Eps = eps; s.epsSet = true }
+}
+
+// WithMinPts sets the DBSCAN density threshold MinPts. Required.
+func WithMinPts(minPts int) Option {
+	return func(s *engineSettings) { s.cfg.MinPts = minPts; s.minPtsSet = true }
+}
+
+// WithRho sets the approximation parameter ρ (default 0.001, the paper's
+// recommendation; 0 requests exact semantics — in 2D the semi- and
+// fully-dynamic algorithms then maintain exact DBSCAN clusters).
+func WithRho(rho float64) Option {
+	return func(s *engineSettings) { s.cfg.Rho = rho }
+}
+
+// WithDims sets the dimensionality d (default 2).
+func WithDims(d int) Option {
+	return func(s *engineSettings) { s.cfg.Dims = d }
+}
+
+// WithThreadSafety toggles the Engine's internal locking (default on). Turn
+// it off only when the Engine is confined to one goroutine and the ~2%
+// uncontended-lock overhead matters.
+func WithThreadSafety(on bool) Option {
+	return func(s *engineSettings) { s.threadSafe = on }
+}
+
+// WithConfig replaces the whole parameter set at once — the escape hatch for
+// callers that already hold a Config (the low-level SPI). Individual options
+// applied after it still override single fields.
+func WithConfig(cfg Config) Option {
+	return func(s *engineSettings) {
+		s.cfg = cfg
+		s.epsSet = cfg.Eps != 0
+		s.minPtsSet = cfg.MinPts != 0
+	}
+}
+
+func (s *engineSettings) setErr(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// newSettings returns the defaults New starts from.
+func newSettings() *engineSettings {
+	return &engineSettings{
+		algo:       AlgoFullyDynamic,
+		cfg:        Config{Dims: 2, Rho: 0.001},
+		threadSafe: true,
+	}
+}
+
+// validate finishes option processing: option-level errors first, then the
+// required options, then the Config's own invariants.
+func (s *engineSettings) validate() error {
+	if s.err != nil {
+		return s.err
+	}
+	if !s.epsSet {
+		return fmt.Errorf("%w: WithEps", ErrMissingOption)
+	}
+	if !s.minPtsSet {
+		return fmt.Errorf("%w: WithMinPts", ErrMissingOption)
+	}
+	return s.cfg.Validate()
+}

@@ -1,0 +1,50 @@
+package dyndbscan
+
+// Snapshot is an immutable, internally consistent view of one clustering
+// epoch. It is safe to read from any goroutine and stays valid (describing
+// its epoch) after further updates; call Engine.Snapshot again for a fresh
+// one. Do not mutate the exported fields.
+type Snapshot struct {
+	// Version is the Engine epoch the snapshot was taken at.
+	Version uint64
+	// Clusters maps each live cluster's stable id to its member points in
+	// ascending PointID order. Border points sitting on several clusters
+	// appear under each of them.
+	Clusters map[ClusterID][]PointID
+	// Noise lists the live points belonging to no cluster, ascending.
+	Noise []PointID
+
+	byPoint map[PointID][]ClusterID
+}
+
+// NumClusters returns the number of clusters in the snapshot.
+func (s *Snapshot) NumClusters() int { return len(s.Clusters) }
+
+// Members returns the sorted member points of the cluster, nil when the id
+// names no cluster of this snapshot. The slice is shared: do not mutate.
+func (s *Snapshot) Members(id ClusterID) []PointID { return s.Clusters[id] }
+
+// ClusterOf returns the cluster ids the point belonged to at the snapshot's
+// epoch (empty for noise) and whether the point was live then.
+func (s *Snapshot) ClusterOf(id PointID) ([]ClusterID, bool) {
+	cids, ok := s.byPoint[id]
+	return cids, ok
+}
+
+// SameCluster reports whether two points shared at least one cluster at the
+// snapshot's epoch.
+func (s *Snapshot) SameCluster(a, b PointID) bool {
+	ca, oka := s.byPoint[a]
+	cb, okb := s.byPoint[b]
+	if !oka || !okb {
+		return false
+	}
+	for _, x := range ca {
+		for _, y := range cb {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}

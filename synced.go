@@ -7,6 +7,11 @@ import "sync"
 // shared search trees), so the wrapper serializes every call; queries are
 // read-mostly but CC-Id stability requires that no update interleaves with a
 // grouping pass, hence a single mutex rather than an RWMutex.
+//
+// Deprecated: Engine (see New and Wrap) is thread-safe by default and
+// additionally offers batch updates, versioned snapshots, stable cluster
+// identities, and change events; on the fully-dynamic algorithm it serves
+// concurrent queries under a shared read lock, which Synced cannot.
 type Synced struct {
 	mu sync.Mutex
 	c  Clusterer
