@@ -1,0 +1,142 @@
+// Benchmarks for the Engine's concurrent serving layer: snapshot-backed
+// reads under many reader goroutines, mixed read/write traffic, and the
+// pipelined Apply path. Results across PRs are recorded in BENCH_2.json.
+package dyndbscan_test
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"dyndbscan"
+)
+
+// loadedEngine returns an engine pre-filled with n clustered points and the
+// ids of every point, with a fresh snapshot already built so read benchmarks
+// start on the cached fast path.
+func loadedEngine(b *testing.B, n int, opts ...dyndbscan.Option) (*dyndbscan.Engine, []dyndbscan.PointID) {
+	b.Helper()
+	e, err := dyndbscan.New(append([]dyndbscan.Option{
+		dyndbscan.WithEps(200), dyndbscan.WithMinPts(10),
+	}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]dyndbscan.Point, n)
+	for i := range pts {
+		pts[i] = dyndbscan.Point{rng.Float64() * 1e4, rng.Float64() * 1e4}
+	}
+	ids, err := e.InsertBatch(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Snapshot()
+	return e, ids
+}
+
+// BenchmarkSnapshotConcurrentReaders measures the snapshot read path under
+// parallel readers (Snapshot + ClusterOf + Members on the current epoch).
+// With the lock-free fast path, ns/op should stay flat (or drop) as
+// GOMAXPROCS-many readers are added; run with -cpu 1,4,8 to see the scaling.
+func BenchmarkSnapshotConcurrentReaders(b *testing.B) {
+	e, ids := loadedEngine(b, 20_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(int64(42)))
+		for pb.Next() {
+			snap := e.Snapshot()
+			id := ids[rng.Intn(len(ids))]
+			cids, ok := snap.ClusterOf(id)
+			if !ok {
+				b.Error("live point missing from snapshot")
+				return
+			}
+			if len(cids) > 0 {
+				_ = snap.Members(cids[0])
+			}
+			_ = e.Version()
+		}
+	})
+}
+
+// BenchmarkApplyPipelined measures mixed-batch ingestion through Apply with
+// the staging phase serial (workers=1) vs fanned out across the CPUs
+// (workers=0 → one per CPU). ns/op is the cost per applied operation.
+func BenchmarkApplyPipelined(b *testing.B) {
+	run := func(b *testing.B, workers int, mixed bool) {
+		e, err := dyndbscan.New(
+			dyndbscan.WithEps(200), dyndbscan.WithMinPts(10),
+			dyndbscan.WithWorkers(workers),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(8))
+		pts := make([]dyndbscan.Point, b.N)
+		for i := range pts {
+			pts[i] = dyndbscan.Point{rng.Float64() * 1e5, rng.Float64() * 1e5}
+		}
+		const chunk = 4096
+		var prev []dyndbscan.PointID
+		b.ReportAllocs()
+		b.ResetTimer()
+		for lo := 0; lo < len(pts); lo += chunk {
+			hi := lo + chunk
+			if hi > len(pts) {
+				hi = len(pts)
+			}
+			ops := make([]dyndbscan.Op, 0, hi-lo+len(prev))
+			for _, pt := range pts[lo:hi] {
+				ops = append(ops, dyndbscan.InsertOp(pt))
+			}
+			if mixed { // retire the previous chunk in the same batch
+				for _, id := range prev {
+					ops = append(ops, dyndbscan.DeleteOp(id))
+				}
+			}
+			res, err := e.Apply(ops)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prev = res[:hi-lo]
+		}
+	}
+	b.Run("Insert-Serial", func(b *testing.B) { run(b, 1, false) })
+	b.Run("Insert-Pipelined", func(b *testing.B) { run(b, 0, false) })
+	b.Run("Mixed-Serial", func(b *testing.B) { run(b, 1, true) })
+	b.Run("Mixed-Pipelined", func(b *testing.B) { run(b, 0, true) })
+}
+
+// BenchmarkMixedReadWrite drives a 90/10 read/write mix from all procs: 90%
+// of operations are snapshot-backed reads (Snapshot/ClusterOf), 10% are
+// single-point insert-delete updates that invalidate the cached snapshot.
+func BenchmarkMixedReadWrite(b *testing.B) {
+	e, ids := loadedEngine(b, 20_000)
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seq.Add(1)))
+		for pb.Next() {
+			if rng.Intn(10) == 0 {
+				id, err := e.Insert(dyndbscan.Point{rng.Float64() * 1e4, rng.Float64() * 1e4})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := e.Delete(id); err != nil {
+					b.Error(err)
+					return
+				}
+			} else {
+				snap := e.Snapshot()
+				if _, ok := snap.ClusterOf(ids[rng.Intn(len(ids))]); !ok {
+					b.Error("live point missing from snapshot")
+					return
+				}
+			}
+		}
+	})
+}

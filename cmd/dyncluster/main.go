@@ -18,16 +18,29 @@
 // With -events, cluster-evolution events (merges, splits, core/noise
 // transitions) observed through Engine.Subscribe are tallied and summarized
 // on stderr when the run ends; -events-verbose streams each one.
+//
+// The concurrent serving layer is exercisable from here: -workers N sets the
+// engine's staging/snapshot parallelism, -readers N spawns N goroutines
+// hammering Snapshot/ClusterOf/Members concurrently with ingestion, and
+// -batch N sets the batch-mode ingestion chunk. Every run ends with a
+// throughput/latency report (ops/sec, p50/p99 per call) on stderr; with
+// readers, their read throughput is reported too:
+//
+//	dyngen -mode dataset -d 2 -n 100000 | dyncluster -d 2 -eps 200 -readers 8 -workers 4
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"dyndbscan"
 )
@@ -43,6 +56,9 @@ func main() {
 		in        = flag.String("in", "", "input file (default stdin)")
 		events    = flag.Bool("events", false, "summarize cluster-evolution events on stderr")
 		eventsVrb = flag.Bool("events-verbose", false, "print every cluster-evolution event on stderr")
+		workers   = flag.Int("workers", 0, "staging/snapshot workers (0 = one per CPU)")
+		readers   = flag.Int("readers", 0, "concurrent snapshot readers hammering the engine during ingestion")
+		batch     = flag.Int("batch", 4096, "ingestion batch size in batch mode")
 	)
 	flag.Parse()
 
@@ -57,18 +73,25 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
+	if *batch < 1 {
+		fatal(fmt.Errorf("batch size %d must be ≥ 1", *batch))
+	}
 	eng, err := dyndbscan.New(
 		dyndbscan.WithAlgorithm(algorithm),
 		dyndbscan.WithDims(*d),
 		dyndbscan.WithEps(*eps),
 		dyndbscan.WithMinPts(*minPts),
 		dyndbscan.WithRho(*rho),
-		// The tool is single-threaded; skip the Engine's locking.
-		dyndbscan.WithThreadSafety(false),
+		dyndbscan.WithWorkers(*workers),
+		// Without concurrent readers the tool is single-threaded; skip the
+		// Engine's locking.
+		dyndbscan.WithThreadSafety(*readers > 0),
 	)
 	if err != nil {
 		fatal(err)
 	}
+	stopReaders := startReaders(eng, *readers)
+	defer stopReaders()
 
 	if *events || *eventsVrb {
 		tally := map[dyndbscan.EventKind]int{}
@@ -79,6 +102,7 @@ func main() {
 			}
 		})
 		defer func() {
+			eng.Sync() // event dispatch is async; flush before summarizing
 			kinds := make([]dyndbscan.EventKind, 0, len(tally))
 			for k := range tally {
 				kinds = append(kinds, k)
@@ -113,10 +137,99 @@ func main() {
 		runOps(eng, sc, out, *d)
 		return
 	}
-	runBatch(eng, sc, out, *d)
+	runBatch(eng, sc, out, *d, *batch)
 }
 
-func runBatch(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d int) {
+// startReaders spawns n goroutines that hammer the engine's read surface
+// (Snapshot, ClusterOf, Members, Version) while the main goroutine ingests,
+// and returns a function that stops them and reports their throughput.
+func startReaders(eng *dyndbscan.Engine, n int) (stop func()) {
+	if n <= 0 {
+		return func() {}
+	}
+	var (
+		reads   atomic.Int64
+		done    = make(chan struct{})
+		wg      sync.WaitGroup
+		stopped bool
+		start   = time.Now()
+	)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := eng.Snapshot()
+				if ids := snap.Noise; len(ids) > 0 {
+					snap.ClusterOf(ids[rng.Intn(len(ids))])
+				}
+				for cid := range snap.Clusters {
+					snap.Members(cid)
+					break
+				}
+				_ = eng.Version()
+				reads.Add(1)
+			}
+		}(int64(r))
+	}
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		close(done)
+		wg.Wait()
+		elapsed := time.Since(start)
+		fmt.Fprintf(os.Stderr, "dyncluster: %d readers: %d snapshot reads in %v (%.0f reads/s)\n",
+			n, reads.Load(), elapsed.Round(time.Millisecond),
+			float64(reads.Load())/elapsed.Seconds())
+	}
+}
+
+// latencyReport accumulates per-call update latencies and prints the
+// throughput/latency summary. Throughput is computed over the time spent in
+// engine calls, not wall clock, so slow input pipes don't skew the numbers.
+type latencyReport struct {
+	samples []time.Duration
+	total   time.Duration
+	ops     int // logical operations (points, workload ops)
+}
+
+func newLatencyReport() *latencyReport { return &latencyReport{} }
+
+// timed runs fn, recording its latency as one sample covering n logical ops.
+func (lr *latencyReport) timed(n int, fn func()) {
+	t0 := time.Now()
+	fn()
+	d := time.Since(t0)
+	lr.samples = append(lr.samples, d)
+	lr.total += d
+	lr.ops += n
+}
+
+func (lr *latencyReport) print(what string) {
+	if len(lr.samples) == 0 || lr.total <= 0 {
+		return
+	}
+	sorted := append([]time.Duration(nil), lr.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Nearest-rank percentile: ceil(n*p/100) - 1.
+	pct := func(p int) time.Duration {
+		idx := (len(sorted)*p+99)/100 - 1
+		return sorted[max(idx, 0)]
+	}
+	fmt.Fprintf(os.Stderr, "dyncluster: %d %s in %v (%.0f ops/s); per-call latency p50=%v p99=%v\n",
+		lr.ops, what, lr.total.Round(time.Millisecond),
+		float64(lr.ops)/lr.total.Seconds(), pct(50), pct(99))
+}
+
+func runBatch(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d, batch int) {
 	var pts []dyndbscan.Point
 	line := 0
 	for sc.Scan() {
@@ -134,10 +247,21 @@ func runBatch(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d int
 	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
-	ids, err := eng.InsertBatch(pts)
-	if err != nil {
-		fatal(err)
+	// Ingest in batches: each InsertBatch stages its points across the
+	// engine's workers before the serialized commit.
+	lr := newLatencyReport()
+	ids := make([]dyndbscan.PointID, 0, len(pts))
+	for lo := 0; lo < len(pts); lo += batch {
+		hi := min(lo+batch, len(pts))
+		lr.timed(hi-lo, func() {
+			got, err := eng.InsertBatch(pts[lo:hi])
+			if err != nil {
+				fatal(err)
+			}
+			ids = append(ids, got...)
+		})
 	}
+	lr.print("points ingested")
 	res, err := eng.GroupBy(ids)
 	if err != nil {
 		fatal(err)
@@ -167,6 +291,7 @@ func runBatch(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d int
 
 func runOps(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d int) {
 	var idBySeq []dyndbscan.PointID
+	lr := newLatencyReport()
 	line := 0
 	for sc.Scan() {
 		line++
@@ -181,19 +306,23 @@ func runOps(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d int) 
 			if err != nil {
 				fatal(fmt.Errorf("line %d: %v", line, err))
 			}
-			id, err := eng.Insert(pt)
-			if err != nil {
-				fatal(fmt.Errorf("line %d: %v", line, err))
-			}
-			idBySeq = append(idBySeq, id)
+			lr.timed(1, func() {
+				id, err := eng.Insert(pt)
+				if err != nil {
+					fatal(fmt.Errorf("line %d: %v", line, err))
+				}
+				idBySeq = append(idBySeq, id)
+			})
 		case "d":
 			seq, err := strconv.Atoi(rest)
 			if err != nil || seq < 0 || seq >= len(idBySeq) {
 				fatal(fmt.Errorf("line %d: bad delete target %q", line, rest))
 			}
-			if err := eng.Delete(idBySeq[seq]); err != nil {
-				fatal(fmt.Errorf("line %d: %v", line, err))
-			}
+			lr.timed(1, func() {
+				if err := eng.Delete(idBySeq[seq]); err != nil {
+					fatal(fmt.Errorf("line %d: %v", line, err))
+				}
+			})
 		case "q":
 			var q []dyndbscan.PointID
 			for _, s := range strings.Split(rest, ",") {
@@ -203,10 +332,14 @@ func runOps(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d int) 
 				}
 				q = append(q, idBySeq[seq])
 			}
-			res, err := eng.GroupBy(q)
-			if err != nil {
-				fatal(fmt.Errorf("line %d: %v", line, err))
-			}
+			var res dyndbscan.Result
+			lr.timed(1, func() {
+				var err error
+				res, err = eng.GroupBy(q)
+				if err != nil {
+					fatal(fmt.Errorf("line %d: %v", line, err))
+				}
+			})
 			fmt.Fprintf(out, "query line %d: %d groups, %d noise\n", line, len(res.Groups), len(res.Noise))
 			for _, g := range res.Groups {
 				fmt.Fprintf(out, "  %v\n", g)
@@ -218,6 +351,7 @@ func runOps(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d int) 
 	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
+	lr.print("workload ops")
 }
 
 func parsePoint(s string, d int) (dyndbscan.Point, error) {

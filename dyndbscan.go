@@ -33,16 +33,22 @@
 // Beyond single-point Insert/Delete and the paper's C-group-by query, the
 // Engine offers:
 //
-//   - InsertBatch / DeleteBatch — amortize locking and validation across a
-//     batch of updates (the natural unit for a service ingesting streams).
+//   - InsertBatch / DeleteBatch / Apply — amortize locking and validation
+//     across a batch of updates (the natural unit for a service ingesting
+//     streams); Apply commits a mixed insert/delete batch as one epoch.
+//     Batch pre-processing (validation, grid assignment) runs in parallel
+//     across WithWorkers goroutines before the serialized commit.
 //   - Stable cluster identities — ClusterOf, Members, and versioned
 //     Snapshots name clusters by ClusterID values that survive every update
 //     that does not merge or split the cluster.
-//   - Subscribe — a change-event stream (ClusterFormed / ClusterMerged /
-//     ClusterSplit / ClusterDissolved / PointBecameCore / PointBecameNoise)
-//     emitted as updates reshape the clustering.
-//   - Thread safety by default, with read-mostly paths (snapshots, and all
-//     queries on the fully-dynamic algorithm) served under a shared lock.
+//   - Subscribe — an asynchronous change-event stream (ClusterFormed /
+//     ClusterMerged / ClusterSplit / ClusterDissolved / PointBecameCore /
+//     PointBecameNoise) emitted as updates reshape the clustering, with
+//     per-subscriber buffering and overflow policies; Sync is the delivery
+//     barrier.
+//   - Thread safety by default, with a lock-free read path: once a
+//     snapshot exists for the current version, Snapshot / ClusterOf /
+//     Members / Version / GroupBy / GroupAll touch no lock at all.
 //
 // # Choosing an algorithm
 //

@@ -5,13 +5,15 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dyndbscan/internal/core"
+	"dyndbscan/internal/pipeline"
 )
 
-// ErrDuplicateID is wrapped by DeleteBatch when the same live handle appears
-// twice in one batch — distinguishable from ErrUnknownPoint so callers that
-// skip already-gone points do not skip live ones.
+// ErrDuplicateID is wrapped by DeleteBatch (and Apply) when the same live
+// handle appears twice in one batch — distinguishable from ErrUnknownPoint so
+// callers that skip already-gone points do not skip live ones.
 var ErrDuplicateID = errors.New("dyndbscan: duplicate point id in batch")
 
 // ClusterID is the stable identity of a cluster. Identities survive every
@@ -48,6 +50,14 @@ type extendedClusterer interface {
 	SetEventFunc(func(Event))
 }
 
+// stagedInserter is the capability behind pipelined ingestion: a backend
+// that accepts points whose validation, cloning, and grid cell assignment
+// already happened in the parallel pre-commit phase. All built-in algorithms
+// provide it.
+type stagedInserter interface {
+	InsertStaged(core.StagedPoint) (PointID, error)
+}
+
 // Engine is the recommended entry point of this package: a service-ready
 // facade over one of the dynamic clustering algorithms, adding batch
 // updates, stable cluster identities, versioned snapshots, a change-event
@@ -60,37 +70,77 @@ type extendedClusterer interface {
 //		dyndbscan.WithEps(10), dyndbscan.WithMinPts(5),
 //	)
 //
-// Concurrency: with thread safety on (the default) every method is safe for
-// concurrent use. Updates serialize behind a write lock; queries served from
-// a fresh cached Snapshot — and, on AlgoFullyDynamic, GroupBy and ClusterOf
-// against the live structure — run concurrently under a read lock. Each
-// successful update advances Version, invalidating the cached snapshot
-// (an epoch scheme: snapshot readers never observe a half-applied update).
+// # Concurrency
 //
-// Event delivery: subscribers run after the update that produced the events
-// has committed and released its locks, in emission order. Callbacks may
-// call back into the Engine.
+// With thread safety on (the default) every method is safe for concurrent
+// use, and the Engine runs a phase-split concurrent architecture:
+//
+//   - Lock-free read path. The current Snapshot is published through an
+//     atomic pointer. Once a snapshot for the current version exists,
+//     Snapshot, ClusterOf, Members, Version, GroupBy, and GroupAll are
+//     served from it without touching any lock, so read throughput scales
+//     with reader goroutines. Snapshot construction itself is parallelized
+//     across the configured workers on the fully-dynamic algorithm.
+//   - Pipelined batch ingestion. InsertBatch and Apply stage their points
+//     (validation, coordinate conversion, grid cell assignment) across
+//     WithWorkers-many goroutines before entering the serialized commit
+//     phase that runs the actual clustering update.
+//   - Async event dispatch. Each subscriber owns a buffered queue drained
+//     by its own dispatcher goroutine, so a slow callback no longer stalls
+//     commits; see Subscribe for the overflow policies and Sync for a
+//     delivery barrier.
+//
+// Updates serialize behind a write lock; live-structure queries (when no
+// fresh snapshot exists) run under a read lock on AlgoFullyDynamic and
+// briefly exclusively on the other algorithms. Each successful update
+// advances Version, invalidating the cached snapshot (an epoch scheme:
+// snapshot readers never observe a half-applied update).
 type Engine struct {
 	threadSafe bool
 	roQueries  bool // backend GroupBy/ClusterOf are read-only (AlgoFullyDynamic)
 	algo       Algorithm
 	cfg        Config
+	workers    int
+
+	// version is the engine epoch and snap the snapshot publication slot;
+	// both are written inside the update critical section and read lock-free
+	// on the query fast path.
+	version atomic.Uint64
+	snap    atomic.Pointer[Snapshot]
 
 	mu      sync.RWMutex
 	c       Clusterer
 	ext     extendedClusterer // nil when the backend lacks the capability
-	version uint64
-	snap    *Snapshot
-	pending []Event // events collected during the in-flight update
+	staged  stagedInserter    // nil when the backend lacks the capability
+	stager  core.Stager       // valid iff staged != nil
+	pending []Event           // events collected during the in-flight update
 
-	subMu   sync.Mutex
-	subs    map[int]func(Event)
-	nextSub int
+	// Sorted-id cache (guarded by mu): the ascending live-id slice that
+	// snapshot construction needs, maintained incrementally so a snapshot
+	// rebuild never re-sorts the world. Built-in backends mint monotone ids,
+	// so inserts append in order; deletions tombstone into pendingDead and
+	// one O(n) compaction pass runs at the next snapshot build.
+	sortedIDs   []PointID
+	idsSorted   bool
+	pendingDead map[PointID]struct{}
+
+	// Event fan-out state; see events.go. Publications are ordered by
+	// tickets: pubTicket (guarded by mu) is assigned inside the update
+	// critical section, pubNext/pubCond (guarded by pubMu) admit publishers
+	// in ticket order — so per-subscriber event streams preserve commit
+	// order while no engine lock is ever held across a blocking enqueue.
+	pubTicket uint64
+	pubMu     sync.Mutex
+	pubCond   sync.Cond // signals pubNext advances; Wait on pubMu
+	pubNext   uint64
+	subMu     sync.Mutex
+	subs      map[int]*subscriber
+	nextSub   int
 }
 
 // New builds an Engine from functional options. WithEps and WithMinPts are
 // required; everything else has production defaults (AlgoFullyDynamic,
-// 2 dimensions, ρ = 0.001, thread safety on).
+// 2 dimensions, ρ = 0.001, thread safety on, one staging worker per CPU).
 func New(opts ...Option) (*Engine, error) {
 	s := newSettings()
 	for _, opt := range opts {
@@ -116,12 +166,14 @@ func New(opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(c, s.algo, s.threadSafe), nil
+	return newEngine(c, s.algo, s.threadSafe, s.workers), nil
 }
 
 // Wrap adapts an existing Clusterer — including the deprecated NewSemiDynamic /
 // NewFullyDynamic / NewIncDBSCAN values — into an Engine with thread safety
-// on. Prefer New unless you already hold a clusterer.
+// on. The Engine assumes exclusive ownership: mutate the clusterer only
+// through the Engine from then on. Prefer New unless you already hold a
+// clusterer.
 func Wrap(c Clusterer) *Engine {
 	algo := AlgoCustom
 	switch c.(type) {
@@ -132,19 +184,30 @@ func Wrap(c Clusterer) *Engine {
 	case *IncDBSCAN:
 		algo = AlgoIncDBSCAN
 	}
-	return newEngine(c, algo, true)
+	return newEngine(c, algo, true, 0)
 }
 
-func newEngine(c Clusterer, algo Algorithm, threadSafe bool) *Engine {
+func newEngine(c Clusterer, algo Algorithm, threadSafe bool, workers int) *Engine {
 	e := &Engine{
-		threadSafe: threadSafe,
-		roQueries:  algo == AlgoFullyDynamic,
-		algo:       algo,
-		cfg:        c.Config(),
-		c:          c,
-		subs:       make(map[int]func(Event)),
+		threadSafe:  threadSafe,
+		roQueries:   algo == AlgoFullyDynamic,
+		algo:        algo,
+		cfg:         c.Config(),
+		workers:     pipeline.Workers(workers),
+		c:           c,
+		pendingDead: make(map[PointID]struct{}),
+		subs:        make(map[int]*subscriber),
 	}
+	e.pubCond.L = &e.pubMu
 	e.ext, _ = c.(extendedClusterer)
+	if si, ok := c.(stagedInserter); ok {
+		e.staged = si
+		e.stager = core.NewStager(e.cfg)
+	}
+	// A wrapped clusterer may come pre-populated; seed the sorted-id cache.
+	e.sortedIDs = c.IDs()
+	sort.Slice(e.sortedIDs, func(i, j int) bool { return e.sortedIDs[i] < e.sortedIDs[j] })
+	e.idsSorted = true
 	return e
 }
 
@@ -154,6 +217,10 @@ func (e *Engine) Algorithm() Algorithm { return e.algo }
 
 // Config returns the clustering parameters.
 func (e *Engine) Config() Config { return e.cfg }
+
+// Workers returns the resolved worker count used for pipelined staging and
+// parallel snapshot construction.
+func (e *Engine) Workers() int { return e.workers }
 
 // Locking helpers; no-ops when thread safety is off.
 
@@ -185,74 +252,103 @@ func (e *Engine) qlock() func() {
 	return e.mu.Unlock
 }
 
-// finishUpdate commits an update under the write lock: the version advances
-// and the events collected during the update are taken for dispatch.
+// rqlock is qlock for operations that are read-only on every backend
+// (point-table lookups).
+func (e *Engine) rqlock() func() {
+	if !e.threadSafe {
+		return func() {}
+	}
+	e.mu.RLock()
+	return e.mu.RUnlock
+}
+
+// Sorted-id cache maintenance; all three run inside the update critical
+// section.
+
+// noteInserted records freshly minted handles in the sorted-id cache.
+func (e *Engine) noteInserted(ids []PointID) {
+	for _, id := range ids {
+		if _, dead := e.pendingDead[id]; dead {
+			// A foreign backend re-issued a tombstoned id; it is already in
+			// sortedIDs, so just resurrect it.
+			delete(e.pendingDead, id)
+			continue
+		}
+		if n := len(e.sortedIDs); n > 0 && id <= e.sortedIDs[n-1] {
+			e.idsSorted = false // foreign backend with non-monotone ids
+		}
+		e.sortedIDs = append(e.sortedIDs, id)
+	}
+}
+
+// noteDeleted tombstones removed handles; the next snapshot build compacts.
+func (e *Engine) noteDeleted(ids []PointID) {
+	for _, id := range ids {
+		e.pendingDead[id] = struct{}{}
+	}
+}
+
+// liveIDs returns the ascending live-id slice, compacting tombstones and
+// restoring sortedness lazily. Must run inside the update critical section.
+func (e *Engine) liveIDs() []PointID {
+	if len(e.pendingDead) > 0 {
+		w := 0
+		for _, id := range e.sortedIDs {
+			if _, dead := e.pendingDead[id]; !dead {
+				e.sortedIDs[w] = id
+				w++
+			}
+		}
+		e.sortedIDs = e.sortedIDs[:w]
+		clear(e.pendingDead)
+	}
+	if !e.idsSorted {
+		sort.Slice(e.sortedIDs, func(i, j int) bool { return e.sortedIDs[i] < e.sortedIDs[j] })
+		e.idsSorted = true
+	}
+	if len(e.sortedIDs) != e.c.Len() {
+		// The backend disagrees with the cache (it was mutated behind the
+		// Engine's back); rebuild rather than serve a corrupt snapshot.
+		e.sortedIDs = e.c.IDs()
+		sort.Slice(e.sortedIDs, func(i, j int) bool { return e.sortedIDs[i] < e.sortedIDs[j] })
+	}
+	return e.sortedIDs
+}
+
+// finishUpdate commits an update inside the critical section: the version
+// advances and the events collected during the update are taken for
+// publication.
 func (e *Engine) finishUpdate() []Event {
-	e.version++
+	e.version.Add(1)
 	evs := e.pending
 	e.pending = nil
 	return evs
 }
 
-// dispatch delivers events to the current subscribers, in subscription
-// order, outside all Engine locks.
-func (e *Engine) dispatch(evs []Event) {
+// release ends the update critical section begun by lock(), publishing evs
+// to the subscriber queues. A publication ticket is taken while the write
+// lock is still held, and publishers enter the enqueue phase strictly in
+// ticket order — so concurrent updates cannot reorder their event streams
+// (per subscriber, events always arrive in commit order), yet no engine
+// lock is held while a BlockSubscriber enqueue waits: a backpressured
+// publisher never prevents subscriber callbacks from querying the Engine.
+func (e *Engine) release(evs []Event) {
 	if len(evs) == 0 {
+		e.unlock()
 		return
 	}
-	e.subMu.Lock()
-	keys := make([]int, 0, len(e.subs))
-	for k := range e.subs {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	fns := make([]func(Event), len(keys))
-	for i, k := range keys {
-		fns[i] = e.subs[k]
-	}
-	e.subMu.Unlock()
-	for _, ev := range evs {
-		for _, fn := range fns {
-			fn(ev)
-		}
-	}
-}
-
-// Subscribe registers fn to receive cluster-evolution events (merges,
-// splits, core/noise transitions, ...) and returns a cancel function.
-// Events produced by one update are delivered after that update commits;
-// order within an update is preserved. A backend without event support
-// (some Wrap targets) never emits. The cancel function is idempotent.
-func (e *Engine) Subscribe(fn func(Event)) (cancel func()) {
-	if e.ext == nil {
-		return func() {}
-	}
-	e.subMu.Lock()
-	id := e.nextSub
-	e.nextSub++
-	first := len(e.subs) == 0
-	e.subs[id] = fn
-	e.subMu.Unlock()
-	if first {
-		// Collection is enabled lazily so an Engine with no subscribers
-		// pays nothing for the event machinery.
-		e.lock()
-		e.ext.SetEventFunc(func(ev Event) { e.pending = append(e.pending, ev) })
+	if !e.threadSafe {
+		// Thread safety off means the Engine is confined to one goroutine;
+		// delivery is synchronous on it (recursion-safe: a callback's own
+		// updates simply nest), keeping the confinement contract intact.
 		e.unlock()
+		e.deliverSync(evs)
+		return
 	}
-	return func() {
-		e.subMu.Lock()
-		_, present := e.subs[id]
-		delete(e.subs, id)
-		last := present && len(e.subs) == 0
-		e.subMu.Unlock()
-		if last {
-			e.lock()
-			e.ext.SetEventFunc(nil)
-			e.pending = nil
-			e.unlock()
-		}
-	}
+	ticket := e.pubTicket
+	e.pubTicket++
+	e.unlock()
+	e.publishOrdered(ticket, evs)
 }
 
 // Insert adds one point and returns its handle.
@@ -261,51 +357,93 @@ func (e *Engine) Insert(pt Point) (PointID, error) {
 	id, err := e.c.Insert(pt)
 	var evs []Event
 	if err == nil {
+		e.noteInserted([]PointID{id})
 		evs = e.finishUpdate()
 	} else {
 		e.pending = nil // drop events a misbehaving backend emitted before failing
 	}
-	e.unlock()
-	e.dispatch(evs)
+	e.release(evs)
 	return id, err
 }
 
-// InsertBatch adds many points under one lock acquisition, validating every
-// point before the first insertion so a malformed point fails the batch
-// cleanly (no state change, ErrBadPoint with the offending index).
+// InsertBatch adds many points under one commit, validating and staging
+// every point — in parallel across the configured workers for large batches
+// — before the first insertion, so a malformed point fails the batch cleanly
+// (no state change, ErrBadPoint with the offending index).
 func (e *Engine) InsertBatch(pts []Point) ([]PointID, error) {
-	for i, pt := range pts {
-		if err := core.CheckPoint(pt, e.cfg.Dims); err != nil {
-			return nil, fmt.Errorf("dyndbscan: InsertBatch point %d: %w", i, err)
-		}
+	staged, err := e.stageInserts(pts, "InsertBatch point", nil)
+	if err != nil {
+		return nil, err
 	}
 	if len(pts) == 0 {
 		return nil, nil
 	}
 	ids := make([]PointID, 0, len(pts))
 	e.lock()
-	for i, pt := range pts {
-		id, err := e.c.Insert(pt)
+	for i := range pts {
+		id, err := e.commitInsert(staged, pts, i)
 		if err != nil {
-			// Unreachable for the built-in algorithms (points were
-			// validated), possible for foreign backends: commit the partial
-			// work, if any, and report where the batch stopped.
+			// Unreachable for the built-in algorithms (points were staged),
+			// possible for foreign backends: commit the partial work, if
+			// any, and report where the batch stopped.
 			var evs []Event
 			if i > 0 {
+				e.noteInserted(ids)
 				evs = e.finishUpdate()
 			} else {
 				e.pending = nil
 			}
-			e.unlock()
-			e.dispatch(evs)
+			e.release(evs)
 			return ids, fmt.Errorf("dyndbscan: InsertBatch aborted at point %d: %w", i, err)
 		}
 		ids = append(ids, id)
 	}
+	e.noteInserted(ids)
 	evs := e.finishUpdate()
-	e.unlock()
-	e.dispatch(evs)
+	e.release(evs)
 	return ids, nil
+}
+
+// stageInserts runs the pre-commit phase of a batch insertion: validation
+// plus, when the backend supports staged insertion, coordinate cloning and
+// grid cell assignment, fanned out across the engine's workers. The returned
+// slice is nil when the backend lacks the capability (validation still ran).
+// Errors name the failing element as "<what> <index>"; idx, when non-nil,
+// remaps element positions to caller indices (Apply's op positions).
+func (e *Engine) stageInserts(pts []Point, what string, idx []int) ([]core.StagedPoint, error) {
+	at := func(i int) int {
+		if idx != nil {
+			return idx[i]
+		}
+		return i
+	}
+	if e.staged == nil {
+		for i, pt := range pts {
+			if err := core.CheckPoint(pt, e.cfg.Dims); err != nil {
+				return nil, fmt.Errorf("dyndbscan: %s %d: %w", what, at(i), err)
+			}
+		}
+		return nil, nil
+	}
+	staged, err := pipeline.Map(e.workers, pts, func(i int, pt Point) (core.StagedPoint, error) {
+		sp, err := e.stager.Stage(pt)
+		if err != nil {
+			return core.StagedPoint{}, fmt.Errorf("dyndbscan: %s %d: %w", what, at(i), err)
+		}
+		return sp, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return staged, nil
+}
+
+// commitInsert performs the commit-phase insertion of batch element i.
+func (e *Engine) commitInsert(staged []core.StagedPoint, pts []Point, i int) (PointID, error) {
+	if staged != nil {
+		return e.staged.InsertStaged(staged[i])
+	}
+	return e.c.Insert(pts[i])
 }
 
 // Delete removes one point.
@@ -314,18 +452,18 @@ func (e *Engine) Delete(id PointID) error {
 	err := e.c.Delete(id)
 	var evs []Event
 	if err == nil {
+		e.noteDeleted([]PointID{id})
 		evs = e.finishUpdate()
 	} else {
 		e.pending = nil // drop events a misbehaving backend emitted before failing
 	}
-	e.unlock()
-	e.dispatch(evs)
+	e.release(evs)
 	return err
 }
 
-// DeleteBatch removes many points under one lock acquisition. The whole
-// batch is validated first: an unknown or duplicated id fails the batch with
-// ErrUnknownPoint before any point is removed.
+// DeleteBatch removes many points under one commit. The whole batch is
+// validated first: an unknown or duplicated id fails the batch with
+// ErrUnknownPoint / ErrDuplicateID before any point is removed.
 func (e *Engine) DeleteBatch(ids []PointID) error {
 	if len(ids) == 0 {
 		return nil
@@ -349,23 +487,39 @@ func (e *Engine) DeleteBatch(ids []PointID) error {
 			// via Wrap) or other foreign failures; ids were validated above.
 			var evs []Event
 			if i > 0 {
+				e.noteDeleted(ids[:i])
 				evs = e.finishUpdate()
 			} else {
 				e.pending = nil
 			}
-			e.unlock()
-			e.dispatch(evs)
+			e.release(evs)
 			return fmt.Errorf("dyndbscan: DeleteBatch aborted at index %d: %w", i, err)
 		}
 	}
+	e.noteDeleted(ids)
 	evs := e.finishUpdate()
-	e.unlock()
-	e.dispatch(evs)
+	e.release(evs)
 	return nil
 }
 
-// GroupBy answers a C-group-by query over the given handles.
+// currentSnapshot returns the published snapshot when it matches the current
+// version, without taking any lock. The snapshot pointer is loaded before
+// the version: if the (immutable) snapshot carries the version read
+// afterwards, it was current at that instant.
+func (e *Engine) currentSnapshot() *Snapshot {
+	if s := e.snap.Load(); s != nil && s.Version == e.version.Load() {
+		return s
+	}
+	return nil
+}
+
+// GroupBy answers a C-group-by query over the given handles. Served from the
+// cached snapshot — without locking — when one exists for the current
+// version, else from the live structure.
 func (e *Engine) GroupBy(q []PointID) (Result, error) {
+	if s := e.currentSnapshot(); s != nil {
+		return s.GroupBy(q)
+	}
 	defer e.qlock()()
 	return e.c.GroupBy(q)
 }
@@ -373,12 +527,18 @@ func (e *Engine) GroupBy(q []PointID) (Result, error) {
 // GroupAll returns the full current clustering (the degenerate C-group-by
 // query with Q = P), computed atomically with respect to updates.
 func (e *Engine) GroupAll() (Result, error) {
+	if s := e.currentSnapshot(); s != nil {
+		return s.GroupAll(), nil
+	}
 	defer e.qlock()()
 	return GroupAll(e.c)
 }
 
 // Len returns the number of points currently stored.
 func (e *Engine) Len() int {
+	if s := e.currentSnapshot(); s != nil {
+		return len(s.byPoint)
+	}
 	defer e.rqlock()()
 	return e.c.Len()
 }
@@ -391,41 +551,27 @@ func (e *Engine) IDs() []PointID {
 
 // Has reports whether the handle is live.
 func (e *Engine) Has(id PointID) bool {
+	if s := e.currentSnapshot(); s != nil {
+		_, ok := s.byPoint[id]
+		return ok
+	}
 	defer e.rqlock()()
 	return e.c.Has(id)
 }
 
-// rqlock is qlock for operations that are read-only on every backend
-// (point-table lookups).
-func (e *Engine) rqlock() func() {
-	if !e.threadSafe {
-		return func() {}
-	}
-	e.mu.RLock()
-	return e.mu.RUnlock
-}
-
 // Version returns the Engine's epoch: it starts at 0 and advances by one on
-// every successful update (an InsertBatch/DeleteBatch counts once). A
-// Snapshot carries the version it was taken at.
+// every successful update (a batch counts once). A Snapshot carries the
+// version it was taken at. Version never takes a lock.
 func (e *Engine) Version() uint64 {
-	defer e.rqlock()()
-	return e.version
+	return e.version.Load()
 }
 
 // ClusterOf returns the stable cluster ids the point belongs to right now
 // (empty for a live noise point; a border point may list several) and
-// whether the point is live. Served from the cached snapshot when fresh,
-// else from the live structure.
+// whether the point is live. Served lock-free from the cached snapshot when
+// fresh, else from the live structure.
 func (e *Engine) ClusterOf(id PointID) ([]ClusterID, bool) {
-	if e.threadSafe {
-		e.mu.RLock()
-		if s := e.snap; s != nil && s.Version == e.version {
-			e.mu.RUnlock()
-			return s.ClusterOf(id)
-		}
-		e.mu.RUnlock()
-	} else if s := e.snap; s != nil && s.Version == e.version {
+	if s := e.currentSnapshot(); s != nil {
 		return s.ClusterOf(id)
 	}
 	if e.ext != nil {
@@ -442,58 +588,66 @@ func (e *Engine) Members(id ClusterID) []PointID {
 }
 
 // Snapshot returns a consistent, immutable view of the current clustering.
-// Snapshots are cached per version: any number of readers share one
-// snapshot until the next update, so the amortized cost under a read-heavy
-// load is one full-clustering pass per epoch.
+// Snapshots are cached per version and published through an atomic pointer:
+// once some reader has built the snapshot of an epoch, every further read of
+// that epoch is lock-free, so the amortized cost under a read-heavy load is
+// one full-clustering pass per epoch — and zero lock traffic between epochs.
 func (e *Engine) Snapshot() *Snapshot {
-	if e.threadSafe {
-		e.mu.RLock()
-		if s := e.snap; s != nil && s.Version == e.version {
-			e.mu.RUnlock()
-			return s
-		}
-		e.mu.RUnlock()
-		e.mu.Lock()
-		defer e.mu.Unlock()
-	}
-	if s := e.snap; s != nil && s.Version == e.version {
+	if s := e.currentSnapshot(); s != nil {
 		return s
 	}
-	e.snap = e.buildSnapshot()
-	return e.snap
+	e.lock()
+	if s := e.currentSnapshot(); s != nil {
+		e.unlock()
+		return s
+	}
+	s, ok := e.buildSnapshot()
+	if ok {
+		// Only a fully built snapshot is published: a foreign backend that
+		// failed mid-build yields a best-effort view to this caller alone,
+		// never an epoch-long lock-free source of wrong answers.
+		e.snap.Store(s)
+	}
+	e.unlock()
+	return s
 }
 
-// buildSnapshot computes the full clustering under the write lock.
-func (e *Engine) buildSnapshot() *Snapshot {
+// parallelSnapshotMin is the live-point count below which snapshot
+// construction stays serial: forking workers costs more than the walk.
+const parallelSnapshotMin = 2048
+
+// buildSnapshot computes the full clustering inside the update critical
+// section. On backends with read-only queries the per-point cluster
+// resolution fans out across the engine's workers. ok is false when a
+// foreign backend failed mid-build and the snapshot is incomplete.
+func (e *Engine) buildSnapshot() (_ *Snapshot, ok bool) {
 	s := &Snapshot{
-		Version:  e.version,
+		Version:  e.version.Load(),
 		Clusters: make(map[ClusterID][]PointID),
 		byPoint:  make(map[PointID][]ClusterID, e.c.Len()),
 	}
-	ids := e.c.IDs()
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := e.liveIDs()
 	if e.ext != nil {
-		for _, id := range ids {
-			cids, ok := e.ext.ClusterOf(id)
-			if !ok {
-				continue
-			}
-			s.byPoint[id] = cids
-			if len(cids) == 0 {
-				s.Noise = append(s.Noise, id)
-				continue
-			}
-			for _, cid := range cids {
-				s.Clusters[cid] = append(s.Clusters[cid], id)
+		if e.roQueries && e.workers > 1 && len(ids) >= parallelSnapshotMin {
+			e.resolveParallel(s, ids)
+		} else {
+			for _, id := range ids {
+				cids, ok := e.ext.ClusterOf(id)
+				if !ok {
+					continue
+				}
+				s.addPoint(id, cids)
 			}
 		}
-		return s
+		return s, true
 	}
 	// Degraded path for foreign backends: cluster ids are the group indices
-	// of this snapshot only.
-	res, err := e.c.GroupBy(ids)
+	// of this snapshot only. The backend gets a copy of the id slice — the
+	// Clusterer contract does not forbid reordering or retaining q, and the
+	// original is the engine's long-lived sorted-id cache.
+	res, err := e.c.GroupBy(append([]PointID(nil), ids...))
 	if err != nil {
-		return s // ids were read under the same lock; cannot happen
+		return s, false // misbehaving foreign backend; do not publish
 	}
 	for g, members := range res.Groups {
 		cid := ClusterID(g)
@@ -506,7 +660,47 @@ func (e *Engine) buildSnapshot() *Snapshot {
 		s.byPoint[id] = nil
 	}
 	s.Noise = res.Noise
-	return s
+	return s, true
+}
+
+// resolveParallel partitions the sorted id space across the engine's workers
+// and merges the per-worker results in partition order, so cluster member
+// lists come out ascending exactly as the serial walk produces them. Only
+// called for backends whose ClusterOf is read-only (AlgoFullyDynamic).
+func (e *Engine) resolveParallel(s *Snapshot, ids []PointID) {
+	type entry struct {
+		id   PointID
+		cids []ClusterID
+	}
+	workers := e.workers
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	parts := make([][]entry, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(ids) / workers
+		hi := (w + 1) * len(ids) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			part := make([]entry, 0, hi-lo)
+			for _, id := range ids[lo:hi] {
+				cids, ok := e.ext.ClusterOf(id)
+				if !ok {
+					continue
+				}
+				part = append(part, entry{id, cids})
+			}
+			parts[w] = part
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, part := range parts {
+		for _, en := range part {
+			s.addPoint(en.id, en.cids)
+		}
+	}
 }
 
 var _ Clusterer = (*Engine)(nil)

@@ -126,6 +126,8 @@ func TestNewConstructsAllAlgorithms(t *testing.T) {
 				t.Fatal("snapshot SameCluster wrong")
 			}
 			// Core promotions must have been observed on every algorithm.
+			// (Dispatch is async; Sync is the delivery barrier.)
+			e.Sync()
 			cores := 0
 			for _, ev := range events {
 				if ev.Kind == dyndbscan.EventPointBecameCore {
@@ -341,6 +343,7 @@ func bridgeScenario(t *testing.T, algo dyndbscan.Algorithm, withDeletes bool) {
 	cancel := e.Subscribe(func(ev dyndbscan.Event) { events = append(events, ev) })
 	defer cancel()
 	count := func(kind dyndbscan.EventKind) int {
+		e.Sync() // async dispatch: wait for committed events to land
 		n := 0
 		for _, ev := range events {
 			if ev.Kind == kind {
@@ -472,6 +475,7 @@ func TestPointNoiseEvents(t *testing.T) {
 			if err := e.Delete(ids[0]); err != nil {
 				t.Fatal(err)
 			}
+			e.Sync()
 			if len(demoted) == 0 {
 				t.Fatal("no PointBecameNoise event for an oracle-confirmed demotion")
 			}
@@ -615,6 +619,7 @@ func TestEngineConcurrentUse(t *testing.T) {
 	if e.Len() != 0 {
 		t.Fatalf("Len=%d after all workers drained", e.Len())
 	}
+	e.Sync()
 	evMu.Lock()
 	n := events
 	evMu.Unlock()

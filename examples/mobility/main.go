@@ -78,10 +78,11 @@ func main() {
 			hotspots[h][0] += drift[h][0]
 			hotspots[h][1] += drift[h][1]
 		}
-		// Vehicles move; the tick's reports form one batch.
-		reports := make([]dyndbscan.Point, len(fleet))
-		var expired []dyndbscan.PointID
-		for i, v := range fleet {
+		// Vehicles move; the tick is one mixed Apply batch — the fresh
+		// reports in, the reports sliding out of the window out — so the
+		// whole tick commits as a single epoch.
+		ops := make([]dyndbscan.Op, 0, 2*len(fleet))
+		for _, v := range fleet {
 			if v.hotspot >= 0 {
 				// Attracted to its hotspot with some jitter.
 				h := hotspots[v.hotspot]
@@ -91,27 +92,28 @@ func main() {
 				v.pos[0] += rng.NormFloat64() * 30
 				v.pos[1] += rng.NormFloat64() * 30
 			}
-			reports[i] = dyndbscan.Point{v.pos[0], v.pos[1]}
+			ops = append(ops, dyndbscan.InsertOp(dyndbscan.Point{v.pos[0], v.pos[1]}))
 		}
-		ids, err := e.InsertBatch(reports)
+		for _, v := range fleet {
+			if len(v.reports) >= window {
+				ops = append(ops, dyndbscan.DeleteOp(v.reports[0]))
+				v.reports = v.reports[1:]
+			}
+		}
+		res, err := e.Apply(ops)
 		if err != nil {
 			log.Fatal(err)
 		}
 		for i, v := range fleet {
-			v.reports = append(v.reports, ids[i])
-			v.lastID = ids[i]
-			if len(v.reports) > window {
-				expired = append(expired, v.reports[0])
-				v.reports = v.reports[1:]
-			}
-		}
-		if err := e.DeleteBatch(expired); err != nil {
-			log.Fatal(err)
+			v.reports = append(v.reports, res[i])
+			v.lastID = res[i]
 		}
 
 		if (tick+1)%15 == 0 {
 			// Which vehicles currently share a hotspot? One snapshot answers
 			// for the whole fleet; ClusterOf per latest report groups them.
+			// Sync flushes the async event stream before the tallies print.
+			e.Sync()
 			snap := e.Snapshot()
 			groups := map[dyndbscan.ClusterID]int{}
 			roaming := 0

@@ -72,6 +72,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Event dispatch is asynchronous (a slow subscriber never stalls
+	// updates); Sync is the barrier that waits for delivery.
+	e.Sync()
 	lc, _ = e.ClusterOf(leftIDs[0])
 	rc, _ = e.ClusterOf(rightIDs[0])
 	fmt.Printf("after bridging:  left in cluster %v, right in cluster %v\n", lc, rc)
@@ -82,6 +85,7 @@ func main() {
 	if err := e.DeleteBatch(bridgeIDs); err != nil {
 		log.Fatal(err)
 	}
+	e.Sync()
 	lc, _ = e.ClusterOf(leftIDs[0])
 	rc, _ = e.ClusterOf(rightIDs[0])
 	fmt.Printf("after deleting the bridge: left in %v, right in %v\n", lc, rc)

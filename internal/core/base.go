@@ -114,7 +114,12 @@ func (b *base) Has(id PointID) bool {
 // cellFor returns the occupied cell containing pt, creating it (and wiring
 // its neighborhood through one occupied-cell index query) on first use.
 func (b *base) cellFor(pt geom.Point) *cell {
-	coord := b.geo.CellOf(pt)
+	return b.cellAt(b.geo.CellOf(pt))
+}
+
+// cellAt is cellFor with the coordinate already computed (by the grid, or by
+// a Stager during a pipelined batch's pre-commit phase).
+func (b *base) cellAt(coord grid.Coord) *cell {
 	if c, ok := b.idx.Get(coord); ok {
 		return c
 	}
@@ -161,13 +166,21 @@ func (b *base) destroyCell(c *cell) {
 // addPoint allocates a record for pt, places it in its cell (initially
 // non-core), and registers it in the point table.
 func (b *base) addPoint(pt geom.Point) *pointRec {
+	p := pt[:b.cfg.Dims].Clone()
+	return b.placePoint(p, b.geo.CellOf(p))
+}
+
+// placePoint is addPoint for a point whose pre-commit work (validation,
+// cloning, cell assignment) already happened: pt must be an owned,
+// dims-length slice and coord its cell under b.geo.
+func (b *base) placePoint(pt geom.Point, coord grid.Coord) *pointRec {
 	rec := &pointRec{
 		id:          b.nextID,
-		pt:          pt[:b.cfg.Dims].Clone(),
+		pt:          pt,
 		clusterElem: -1,
 	}
 	b.nextID++
-	c := b.cellFor(rec.pt)
+	c := b.cellAt(coord)
 	rec.cell = c
 	rec.idx = len(c.pts)
 	c.pts = append(c.pts, rec)
@@ -279,7 +292,7 @@ func (b *base) groupBy(ids []PointID, compID func(*cell) any) (Result, error) {
 	for _, members := range groups {
 		res.Groups = append(res.Groups, members)
 	}
-	res.normalize()
+	res.Normalize()
 	return res, nil
 }
 

@@ -79,9 +79,10 @@ type Result struct {
 	Noise  []PointID
 }
 
-// normalize sorts members within groups, groups by their smallest member, and
-// noise — making results canonical and comparable in tests.
-func (r *Result) normalize() {
+// Normalize sorts members within groups, groups lexicographically, and
+// noise — making results canonical and comparable across query paths (live
+// structure vs snapshot) and in tests.
+func (r *Result) Normalize() {
 	for _, g := range r.Groups {
 		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
 	}

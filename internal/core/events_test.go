@@ -227,7 +227,7 @@ func TestClusterOfMatchesGroupBy(t *testing.T) {
 				rebuilt.Groups = append(rebuilt.Groups, members)
 			}
 			rebuilt.Noise = noise
-			rebuilt.normalize()
+			rebuilt.Normalize()
 			if len(rebuilt.Groups) != len(res.Groups) || len(rebuilt.Noise) != len(res.Noise) {
 				t.Fatalf("ClusterOf partition (%d groups, %d noise) != GroupBy (%d groups, %d noise)",
 					len(rebuilt.Groups), len(rebuilt.Noise), len(res.Groups), len(res.Noise))

@@ -72,7 +72,12 @@ func (f *FullyDynamic) Insert(pt geom.Point) (PointID, error) {
 	if err := checkPoint(pt, f.cfg.Dims); err != nil {
 		return 0, err
 	}
-	rec := f.addPoint(pt)
+	return f.insertRec(f.addPoint(pt)), nil
+}
+
+// insertRec runs the clustering maintenance for a freshly placed record —
+// the commit phase shared by Insert and InsertStaged.
+func (f *FullyDynamic) insertRec(rec *pointRec) PointID {
 	f.counter.Insert(rec.id, rec.pt)
 	cnew := rec.cell
 
@@ -107,7 +112,7 @@ func (f *FullyDynamic) Insert(pt geom.Point) (PointID, error) {
 	for _, p := range promote {
 		f.promote(p)
 	}
-	return rec.id, nil
+	return rec.id
 }
 
 // Delete removes a point in amortized Õ(1) time.

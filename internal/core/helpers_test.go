@@ -59,7 +59,7 @@ func expectedResult(sc *StaticClustering, ids []PointID) Result {
 	for _, members := range groups {
 		res.Groups = append(res.Groups, members)
 	}
-	res.normalize()
+	res.Normalize()
 	return res
 }
 

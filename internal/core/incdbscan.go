@@ -104,7 +104,12 @@ func (ic *IncDBSCAN) Insert(pt geom.Point) (PointID, error) {
 	if err := checkPoint(pt, ic.cfg.Dims); err != nil {
 		return 0, err
 	}
-	rec := ic.addPoint(pt)
+	return ic.insertRec(ic.addPoint(pt)), nil
+}
+
+// insertRec runs the clustering maintenance for a freshly placed record —
+// the commit phase shared by Insert and InsertStaged.
+func (ic *IncDBSCAN) insertRec(rec *pointRec) PointID {
 	if ic.rt != nil {
 		ic.rt.Insert(rec.id, rec.pt)
 	}
@@ -146,7 +151,7 @@ func (ic *IncDBSCAN) Insert(pt geom.Point) (PointID, error) {
 		}
 		ic.rootCores[r]++
 	}
-	return rec.id, nil
+	return rec.id
 }
 
 // unionClusters merges two entries of the merging history, combining core
@@ -426,7 +431,7 @@ func (ic *IncDBSCAN) GroupBy(ids []PointID) (Result, error) {
 	for _, members := range groups {
 		res.Groups = append(res.Groups, members)
 	}
-	res.normalize()
+	res.Normalize()
 	return res, nil
 }
 

@@ -33,7 +33,7 @@ func restrict(full Result, subset []PointID) Result {
 			res.Noise = append(res.Noise, id)
 		}
 	}
-	res.normalize()
+	res.Normalize()
 	return res
 }
 
@@ -52,7 +52,7 @@ func dedupeGroups(r Result) Result {
 		}
 	}
 	out.Noise = r.Noise
-	out.normalize()
+	out.Normalize()
 	return out
 }
 

@@ -42,7 +42,12 @@ func (s *SemiDynamic) Insert(pt geom.Point) (PointID, error) {
 	if err := checkPoint(pt, s.cfg.Dims); err != nil {
 		return 0, err
 	}
-	rec := s.addPoint(pt)
+	return s.insertRec(s.addPoint(pt)), nil
+}
+
+// insertRec runs the clustering maintenance for a freshly placed record —
+// the commit phase shared by Insert and InsertStaged.
+func (s *SemiDynamic) insertRec(rec *pointRec) PointID {
 	cnew := rec.cell
 
 	// Core-status step 1/2 of Section 5: a point landing in a dense cell is
@@ -89,7 +94,7 @@ func (s *SemiDynamic) Insert(pt geom.Point) (PointID, error) {
 	for _, p := range promoted {
 		s.promote(p)
 	}
-	return rec.id, nil
+	return rec.id
 }
 
 // exactBallCount returns |B(rec.pt, ε)| including rec itself, scanning the

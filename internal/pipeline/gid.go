@@ -1,0 +1,25 @@
+package pipeline
+
+import (
+	"runtime"
+)
+
+// GoroutineID returns the runtime id of the calling goroutine, parsed from
+// the first line of its stack trace ("goroutine N [...]"). It exists for one
+// purpose: detecting, at the moment a lossless event enqueue is about to
+// block, that the would-be waiter is the queue's own consumer — a guaranteed
+// deadlock that should fail fast instead of hanging. It is only called on
+// that already-stalled slow path, where the ~1µs stack capture is free.
+func GoroutineID() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine " (10 bytes), then read digits.
+	var id uint64
+	for _, c := range buf[10:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

@@ -1,0 +1,103 @@
+// Package pipeline provides the concurrency primitives behind the Engine's
+// phase-split serving layer: a parallel pre-commit stage runner (Map) used to
+// pipeline batch ingestion, and bounded single-consumer queues (Queue) used
+// for asynchronous event dispatch.
+//
+// The structure mirrors staged-execution designs such as Doppel's phased
+// workers: work that does not need the shared structure (validation, geometry
+// conversion, grid coordinate assignment) fans out across workers, and only
+// the commit phase — which mutates the clustering — serializes.
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting: n itself when positive, else
+// GOMAXPROCS. The result is always ≥ 1.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		return p
+	}
+	return 1
+}
+
+// serialThreshold is the batch size under which Map runs inline: below it the
+// goroutine handoff costs more than the staging work it parallelizes.
+const serialThreshold = 128
+
+// Map runs fn(i, items[i]) for every item, on up to workers goroutines, and
+// returns the results in item order. When any call fails, Map returns the
+// error of the lowest failing index (so batch error reporting is
+// deterministic regardless of scheduling) and the results are discarded;
+// workers stop claiming new items once a failure is recorded.
+//
+// fn must be safe for concurrent invocation on distinct items. Small batches
+// (or workers == 1) run inline on the caller's goroutine.
+func Map[T, R any](workers int, items []T, fn func(int, T) (R, error)) ([]R, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	out := make([]R, len(items))
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 || len(items) < serialThreshold {
+		for i, it := range items {
+			r, err := fn(i, it)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	var (
+		next     atomic.Int64 // next unclaimed item index
+		errIdx   atomic.Int64 // lowest failing index seen so far
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	errIdx.Store(int64(len(items)))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				// Items above the lowest known failure cannot change the
+				// reported error and their results will be discarded; skip
+				// them. (A stale — higher — errIdx read only skips less.)
+				if int64(i) > errIdx.Load() {
+					continue
+				}
+				r, err := fn(i, items[i])
+				if err != nil {
+					errMu.Lock()
+					if int64(i) < errIdx.Load() {
+						errIdx.Store(int64(i))
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,248 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	auto := Workers(0)
+	if auto < 1 || auto != Workers(-5) {
+		t.Fatalf("auto workers = %d / %d", auto, Workers(-5))
+	}
+	if auto > runtime.GOMAXPROCS(0) {
+		t.Fatalf("auto workers %d exceeds GOMAXPROCS", auto)
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	for _, n := range []int{0, 1, 50, serialThreshold, 10_000} {
+		items := make([]int, n)
+		for i := range items {
+			items[i] = i
+		}
+		out, err := Map(8, items, func(i, v int) (int, error) { return v * 2, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != n {
+			t.Fatalf("n=%d: got %d results", n, len(out))
+		}
+		for i, v := range out {
+			if v != 2*i {
+				t.Fatalf("n=%d: out[%d] = %d", n, i, v)
+			}
+		}
+	}
+}
+
+// TestMapLowestError checks the deterministic error contract: whatever the
+// scheduling, the reported error is the one of the smallest failing index.
+func TestMapLowestError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 500 + rng.Intn(2000)
+		bad := map[int]bool{}
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			bad[rng.Intn(n)] = true
+		}
+		lowest := n
+		for i := range bad {
+			if i < lowest {
+				lowest = i
+			}
+		}
+		items := make([]int, n)
+		_, err := Map(4, items, func(i, _ int) (int, error) {
+			if bad[i] {
+				return 0, fmt.Errorf("bad %d", i)
+			}
+			return 0, nil
+		})
+		if err == nil || err.Error() != fmt.Sprintf("bad %d", lowest) {
+			t.Fatalf("trial %d: err = %v, want bad %d", trial, err, lowest)
+		}
+	}
+}
+
+func TestMapSerialError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	_, err := Map(1, []int{0, 1, 2, 3}, func(i, _ int) (int, error) {
+		calls.Add(1)
+		if i == 1 {
+			return 0, boom
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("serial Map did not stop at first error: %d calls", calls.Load())
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int](4)
+	var got []int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			v, ok := q.Get()
+			if !ok {
+				return
+			}
+			got = append(got, v)
+			q.Done()
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		if !q.Put(i, false) {
+			t.Error("Put rejected before close")
+		}
+	}
+	q.WaitIdle()
+	q.Close()
+	wg.Wait()
+	if len(got) != 100 {
+		t.Fatalf("delivered %d items", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+	if q.Put(7, false) {
+		t.Fatal("Put accepted after close")
+	}
+}
+
+// TestQueueDropOldest checks the lossy overflow policy: with no consumer
+// running, a full queue evicts its oldest items, keeping the newest.
+func TestQueueDropOldest(t *testing.T) {
+	q := NewQueue[int](3)
+	for i := 0; i < 10; i++ {
+		q.Put(i, true)
+	}
+	if d := q.Dropped(); d != 7 {
+		t.Fatalf("Dropped = %d, want 7", d)
+	}
+	var got []int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			v, ok := q.Get()
+			if !ok {
+				return
+			}
+			got = append(got, v)
+			q.Done()
+		}
+	}()
+	q.WaitIdle()
+	q.Close()
+	<-done
+	want := []int{7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQueueBarrier checks the drain-point primitive: WaitHandled(Barrier())
+// returns once everything enqueued before the barrier was delivered or
+// evicted, even while the producer keeps putting.
+func TestQueueBarrier(t *testing.T) {
+	q := NewQueue[int](2)
+	for i := 0; i < 10; i++ {
+		q.Put(i, true) // 8 evictions: handled already counts them
+	}
+	target := q.Barrier()
+	if target != 10 {
+		t.Fatalf("Barrier = %d, want 10", target)
+	}
+	done := make(chan struct{})
+	go func() {
+		q.WaitHandled(target)
+		close(done)
+	}()
+	// Drain the two survivors; the producer keeps adding afterwards, which
+	// must not keep WaitHandled blocked.
+	for i := 0; i < 2; i++ {
+		if _, ok := q.Get(); !ok {
+			t.Error("queue closed early")
+			return
+		}
+		q.Done()
+	}
+	q.Put(99, true)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitHandled did not return after its barrier was settled")
+	}
+	q.Close()
+}
+
+// TestQueueBlockingPut checks the lossless policy: a Put into a full queue
+// waits for the consumer instead of dropping.
+func TestQueueBlockingPut(t *testing.T) {
+	q := NewQueue[int](1)
+	q.Put(0, false)
+	unblocked := make(chan struct{})
+	go func() {
+		q.Put(1, false) // must block until the consumer drains item 0
+		close(unblocked)
+	}()
+	select {
+	case <-unblocked:
+		t.Fatal("Put into a full queue did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v, ok := q.Get(); !ok || v != 0 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+	q.Done()
+	select {
+	case <-unblocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Put still blocked after consumer made room")
+	}
+	q.Close()
+}
+
+// TestQueueCloseReleasesBlockedPut checks that Close unblocks a waiting
+// producer with ok=false.
+func TestQueueCloseReleasesBlockedPut(t *testing.T) {
+	q := NewQueue[int](1)
+	q.Put(0, false)
+	res := make(chan bool)
+	go func() { res <- q.Put(1, false) }()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-res:
+		if ok {
+			t.Fatal("Put reported accepted after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Put not released by Close")
+	}
+}

@@ -1,0 +1,170 @@
+package pipeline
+
+import "sync"
+
+// Queue is a bounded FIFO connecting producers to one consumer goroutine —
+// the per-subscriber event queue of the Engine's async dispatch. Producers
+// choose the overflow behavior per Put: block until the consumer makes room
+// (lossless backpressure) or drop the oldest queued item (lossy, bounded
+// staleness). The consumer drains with Get and acknowledges each item with
+// Done, which lets WaitIdle observe full delivery, not just dequeueing.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	idle     sync.Cond
+	buf      []T // ring buffer
+	head, n  int
+	inFlight bool   // consumer is between Get and Done
+	accepted uint64 // total items ever accepted by Put
+	handled  uint64 // total items delivered (Done) or evicted (DropOldest)
+	dropped  uint64
+	closed   bool
+}
+
+// NewQueue returns a queue holding at most capacity items (minimum 1).
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue[T]{buf: make([]T, capacity)}
+	q.notEmpty.L = &q.mu
+	q.notFull.L = &q.mu
+	q.idle.L = &q.mu
+	return q
+}
+
+// Put enqueues v and reports whether the queue accepted it (false once
+// closed). With dropOldest, a full queue evicts its oldest item instead of
+// blocking, so Put never waits.
+func (q *Queue[T]) Put(v T, dropOldest bool) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == len(q.buf) && !q.closed && !dropOldest {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return false
+	}
+	if q.n == len(q.buf) { // dropOldest on a full queue
+		var zero T
+		q.buf[q.head] = zero
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+		q.dropped++
+		q.handled++ // an eviction settles that item for barrier purposes
+		q.idle.Broadcast()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	q.accepted++
+	q.notEmpty.Signal()
+	return true
+}
+
+// TryPut attempts a non-blocking lossless enqueue. accepted reports whether
+// v was enqueued; wouldBlock reports that the queue was full (and open), so
+// a blocking Put is the caller's next move — after checking that it is not
+// the queue's own consumer.
+func (q *Queue[T]) TryPut(v T) (accepted, wouldBlock bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false, false
+	}
+	if q.n == len(q.buf) {
+		return false, true
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	q.accepted++
+	q.notEmpty.Signal()
+	return true, false
+}
+
+// Get blocks until an item is available and dequeues it, marking it in
+// flight until the consumer calls Done. It returns ok=false once the queue
+// is closed; items still queued at close time are discarded.
+func (q *Queue[T]) Get() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	var zero T
+	if q.closed {
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.inFlight = true
+	q.notFull.Signal()
+	return v, true
+}
+
+// Done acknowledges the item returned by the last Get as fully processed.
+func (q *Queue[T]) Done() {
+	q.mu.Lock()
+	q.inFlight = false
+	q.handled++
+	q.idle.Broadcast()
+	q.mu.Unlock()
+}
+
+// WaitIdle blocks until the queue is empty with no item in flight (every
+// accepted item was delivered or dropped), or until the queue is closed.
+// Under a sustained producer stream it may never return; use Barrier /
+// WaitHandled for a bounded drain point.
+func (q *Queue[T]) WaitIdle() {
+	q.mu.Lock()
+	for (q.n > 0 || q.inFlight) && !q.closed {
+		q.idle.Wait()
+	}
+	q.mu.Unlock()
+}
+
+// Barrier returns the running count of items accepted so far — a drain
+// target for WaitHandled covering everything already enqueued.
+func (q *Queue[T]) Barrier() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.accepted
+}
+
+// WaitHandled blocks until `target` items have been settled — delivered
+// through Get/Done or evicted by DropOldest overflow — or the queue is
+// closed. Unlike WaitIdle it terminates even while producers keep adding.
+func (q *Queue[T]) WaitHandled(target uint64) {
+	q.mu.Lock()
+	for q.handled < target && !q.closed {
+		q.idle.Wait()
+	}
+	q.mu.Unlock()
+}
+
+// Full reports whether the queue is at capacity right now.
+func (q *Queue[T]) Full() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n == len(q.buf)
+}
+
+// Dropped returns how many items DropOldest overflow has evicted.
+func (q *Queue[T]) Dropped() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
+}
+
+// Close releases all waiters: pending and future Puts return false, the
+// consumer's Get returns ok=false, and WaitIdle returns. Close is idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+	q.idle.Broadcast()
+	q.mu.Unlock()
+}

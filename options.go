@@ -62,6 +62,7 @@ type engineSettings struct {
 	epsSet     bool
 	minPtsSet  bool
 	threadSafe bool
+	workers    int   // staging/snapshot workers; 0 = one per CPU
 	err        error // first option-level error, reported by New
 }
 
@@ -105,9 +106,27 @@ func WithDims(d int) Option {
 
 // WithThreadSafety toggles the Engine's internal locking (default on). Turn
 // it off only when the Engine is confined to one goroutine and the ~2%
-// uncontended-lock overhead matters.
+// uncontended-lock overhead matters. With it off, Subscribe delivers events
+// synchronously on the updater's goroutine instead of spawning a dispatcher.
+// Note the parallel phases (batch staging, snapshot construction) still use
+// short-lived worker goroutines internally unless WithWorkers(1) is set;
+// they never touch the Engine concurrently with the caller.
 func WithThreadSafety(on bool) Option {
 	return func(s *engineSettings) { s.threadSafe = on }
+}
+
+// WithWorkers sets how many goroutines the Engine uses for the parallel
+// phases of its serving layer: batch staging (InsertBatch/Apply pre-commit
+// validation and grid assignment) and snapshot construction. 0 (the
+// default) means one worker per CPU; 1 disables the parallel phases.
+func WithWorkers(n int) Option {
+	return func(s *engineSettings) {
+		if n < 0 {
+			s.setErr(fmt.Errorf("dyndbscan: WithWorkers(%d): worker count cannot be negative", n))
+			return
+		}
+		s.workers = n
+	}
 }
 
 // WithConfig replaces the whole parameter set at once — the escape hatch for

@@ -31,6 +31,71 @@ func (s *Snapshot) ClusterOf(id PointID) ([]ClusterID, bool) {
 	return cids, ok
 }
 
+// addPoint records one live point's memberships during construction; ids
+// must be added in ascending order so member lists come out sorted.
+func (s *Snapshot) addPoint(id PointID, cids []ClusterID) {
+	s.byPoint[id] = cids
+	if len(cids) == 0 {
+		s.Noise = append(s.Noise, id)
+		return
+	}
+	for _, cid := range cids {
+		s.Clusters[cid] = append(s.Clusters[cid], id)
+	}
+}
+
+// GroupBy answers the C-group-by query against the snapshot's epoch: the
+// queried points grouped by the clusters they belonged to then, in the same
+// canonical form the live query produces. Unlike Engine.GroupBy it takes no
+// lock and never observes later updates. Querying a point that was not live
+// at the snapshot's epoch returns ErrUnknownPoint.
+func (s *Snapshot) GroupBy(q []PointID) (Result, error) {
+	var res Result
+	groups := make(map[ClusterID][]PointID)
+	seen := make(map[PointID]struct{}, len(q))
+	for _, id := range q {
+		cids, ok := s.byPoint[id]
+		if !ok {
+			return Result{}, ErrUnknownPoint
+		}
+		// Q is a set: repeated handles contribute once.
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		if len(cids) == 0 {
+			res.Noise = append(res.Noise, id)
+			continue
+		}
+		for _, cid := range cids {
+			groups[cid] = append(groups[cid], id)
+		}
+	}
+	for _, members := range groups {
+		res.Groups = append(res.Groups, members)
+	}
+	res.Normalize()
+	return res, nil
+}
+
+// GroupAll returns the snapshot's full clustering as a Result (the
+// degenerate C-group-by query with Q = P at the snapshot's epoch). The
+// returned slices are fresh copies: callers may keep and mutate them.
+func (s *Snapshot) GroupAll() Result {
+	var res Result
+	if len(s.Clusters) > 0 {
+		res.Groups = make([][]PointID, 0, len(s.Clusters))
+		for _, members := range s.Clusters {
+			res.Groups = append(res.Groups, append([]PointID(nil), members...))
+		}
+	}
+	if len(s.Noise) > 0 {
+		res.Noise = append([]PointID(nil), s.Noise...)
+	}
+	res.Normalize()
+	return res
+}
+
 // SameCluster reports whether two points shared at least one cluster at the
 // snapshot's epoch.
 func (s *Snapshot) SameCluster(a, b PointID) bool {
