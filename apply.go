@@ -91,6 +91,9 @@ func (e *Engine) Apply(ops []Op) ([]PointID, error) {
 			return nil, fmt.Errorf("dyndbscan: Apply op %d: invalid kind %v", i, op.Kind)
 		}
 	}
+	if e.sh != nil {
+		return e.sh.apply(ops, inserts, insertAt)
+	}
 	staged, err := e.stageInserts(inserts, "Apply op", insertAt)
 	if err != nil {
 		return nil, err
@@ -101,7 +104,7 @@ func (e *Engine) Apply(ops []Op) ([]PointID, error) {
 	e.lock()
 	for i, op := range ops {
 		if op.Kind == OpDelete && !e.c.Has(op.ID) {
-			e.unlock()
+			e.failUpdate()
 			return nil, fmt.Errorf("dyndbscan: Apply op %d: %w (id %d)", i, ErrUnknownPoint, op.ID)
 		}
 	}
@@ -111,18 +114,16 @@ func (e *Engine) Apply(ops []Op) ([]PointID, error) {
 		next     int // index into staged/inserts
 	)
 	abort := func(i int, err error) ([]PointID, error) {
-		var evs []Event
 		if len(inserted) > 0 || len(deleted) > 0 {
 			// Deletions first: a foreign backend that re-mints a just-freed
 			// id in the same batch then takes noteInserted's resurrect path
 			// instead of appending a duplicate.
 			e.noteDeleted(deleted)
 			e.noteInserted(inserted)
-			evs = e.finishUpdate()
+			e.release(e.finishUpdate())
 		} else {
-			e.pending = nil
+			e.failUpdate()
 		}
-		e.release(evs)
 		return out[:i], fmt.Errorf("dyndbscan: Apply aborted at op %d: %w", i, err)
 	}
 	for i, op := range ops {

@@ -4,6 +4,7 @@
 package dyndbscan_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -107,6 +108,112 @@ func BenchmarkApplyPipelined(b *testing.B) {
 	b.Run("Insert-Pipelined", func(b *testing.B) { run(b, 0, false) })
 	b.Run("Mixed-Serial", func(b *testing.B) { run(b, 1, true) })
 	b.Run("Mixed-Pipelined", func(b *testing.B) { run(b, 0, true) })
+}
+
+// BenchmarkApplySharded measures mixed-batch Apply throughput on a
+// multi-cluster workload (blobs spread along dimension 0, so batches route
+// across every stripe) at increasing shard counts. ns/op is the cost per
+// applied operation; on multi-core hosts the per-shard commit fanout should
+// scale it down with the shard count. Results are recorded in BENCH_3.json.
+func BenchmarkApplySharded(b *testing.B) {
+	run := func(b *testing.B, shards int) {
+		e, err := dyndbscan.New(
+			dyndbscan.WithEps(200), dyndbscan.WithMinPts(10),
+			dyndbscan.WithShards(shards),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(8))
+		centers := make([]float64, 12)
+		for i := range centers {
+			centers[i] = rng.Float64() * 2e5
+		}
+		pts := make([]dyndbscan.Point, b.N)
+		for i := range pts {
+			c := centers[rng.Intn(len(centers))]
+			pts[i] = dyndbscan.Point{c + rng.NormFloat64()*400, rng.NormFloat64() * 400}
+		}
+		const chunk = 4096
+		var prev []dyndbscan.PointID
+		b.ReportAllocs()
+		b.ResetTimer()
+		for lo := 0; lo < len(pts); lo += chunk {
+			hi := lo + chunk
+			if hi > len(pts) {
+				hi = len(pts)
+			}
+			ops := make([]dyndbscan.Op, 0, hi-lo+len(prev))
+			for _, pt := range pts[lo:hi] {
+				ops = append(ops, dyndbscan.InsertOp(pt))
+			}
+			for _, id := range prev { // retire the previous chunk in the same batch
+				ops = append(ops, dyndbscan.DeleteOp(id))
+			}
+			res, err := e.Apply(ops)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prev = res[:hi-lo]
+		}
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { run(b, shards) })
+	}
+}
+
+// BenchmarkMixedReadWriteSharded is BenchmarkMixedReadWrite at increasing
+// shard counts: 90% snapshot-backed reads, 10% insert+delete pairs, all
+// procs. Points spread over a wide space so single-point commits route to
+// different shards and (on multi-core hosts) commit concurrently.
+func BenchmarkMixedReadWriteSharded(b *testing.B) {
+	run := func(b *testing.B, shards int) {
+		e, err := dyndbscan.New(
+			dyndbscan.WithEps(200), dyndbscan.WithMinPts(10),
+			dyndbscan.WithShards(shards),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		pts := make([]dyndbscan.Point, 20_000)
+		for i := range pts {
+			pts[i] = dyndbscan.Point{rng.Float64() * 1e5, rng.Float64() * 1e5}
+		}
+		ids, err := e.InsertBatch(pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Snapshot()
+		var seq atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(seq.Add(1)))
+			for pb.Next() {
+				if rng.Intn(10) == 0 {
+					id, err := e.Insert(dyndbscan.Point{rng.Float64() * 1e5, rng.Float64() * 1e5})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if err := e.Delete(id); err != nil {
+						b.Error(err)
+						return
+					}
+				} else {
+					snap := e.Snapshot()
+					if _, ok := snap.ClusterOf(ids[rng.Intn(len(ids))]); !ok {
+						b.Error("live point missing from snapshot")
+						return
+					}
+				}
+			}
+		})
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { run(b, shards) })
+	}
 }
 
 // BenchmarkMixedReadWrite drives a 90/10 read/write mix from all procs: 90%

@@ -59,6 +59,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "staging/snapshot workers (0 = one per CPU)")
 		readers   = flag.Int("readers", 0, "concurrent snapshot readers hammering the engine during ingestion")
 		batch     = flag.Int("batch", 4096, "ingestion batch size in batch mode")
+		shards    = flag.Int("shards", 1, "spatial shards; >1 commits batches concurrently across grid stripes")
+		stripe    = flag.Int("stripe", 0, "shard stripe width in grid cells (0 = default)")
 	)
 	flag.Parse()
 
@@ -76,19 +78,30 @@ func main() {
 	if *batch < 1 {
 		fatal(fmt.Errorf("batch size %d must be ≥ 1", *batch))
 	}
-	eng, err := dyndbscan.New(
+	opts := []dyndbscan.Option{
 		dyndbscan.WithAlgorithm(algorithm),
 		dyndbscan.WithDims(*d),
 		dyndbscan.WithEps(*eps),
 		dyndbscan.WithMinPts(*minPts),
 		dyndbscan.WithRho(*rho),
 		dyndbscan.WithWorkers(*workers),
-		// Without concurrent readers the tool is single-threaded; skip the
-		// Engine's locking.
-		dyndbscan.WithThreadSafety(*readers > 0),
-	)
+		// Without concurrent readers or shards the tool is single-threaded;
+		// skip the Engine's locking (sharded mode requires it).
+		dyndbscan.WithThreadSafety(*readers > 0 || *shards > 1),
+		dyndbscan.WithShards(*shards),
+	}
+	if *stripe > 0 {
+		opts = append(opts, dyndbscan.WithShardStripe(*stripe))
+	}
+	eng, err := dyndbscan.New(opts...)
 	if err != nil {
 		fatal(err)
+	}
+	// Release the dispatcher goroutines and event buffers of any
+	// subscription before exit.
+	defer eng.Close()
+	if *shards > 1 {
+		fmt.Fprintf(os.Stderr, "dyncluster: sharded mode: %d shards\n", eng.Shards())
 	}
 	stopReaders := startReaders(eng, *readers)
 	defer stopReaders()

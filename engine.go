@@ -95,6 +95,11 @@ type stagedInserter interface {
 // briefly exclusively on the other algorithms. Each successful update
 // advances Version, invalidating the cached snapshot (an epoch scheme:
 // snapshot readers never observe a half-applied update).
+//
+// WithShards(n) lifts the single write lock: space is partitioned into
+// grid-aligned stripes, each owning its own backend behind its own lock, so
+// updates touching disjoint shards commit concurrently; see the WithShards
+// documentation for the topology and the equivalence guarantee.
 type Engine struct {
 	threadSafe bool
 	roQueries  bool // backend GroupBy/ClusterOf are read-only (AlgoFullyDynamic)
@@ -107,6 +112,13 @@ type Engine struct {
 	// on the query fast path.
 	version atomic.Uint64
 	snap    atomic.Pointer[Snapshot]
+
+	// sh is non-nil when the Engine runs in sharded mode (WithShards(n>1)):
+	// every update and query path then routes through it, and the
+	// single-backend fields below (c, ext, staged, ...) are unused. The
+	// event fan-out state at the bottom of the struct is shared by both
+	// modes.
+	sh *shardSet
 
 	mu      sync.RWMutex
 	c       Clusterer
@@ -149,24 +161,31 @@ func New(opts ...Option) (*Engine, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	var (
-		c   Clusterer
-		err error
-	)
-	switch s.algo {
-	case AlgoFullyDynamic:
-		c, err = NewFullyDynamic(s.cfg)
-	case AlgoSemiDynamic:
-		c, err = NewSemiDynamic(s.cfg)
-	case AlgoIncDBSCAN:
-		c, err = NewIncDBSCAN(s.cfg)
-	case AlgoIncDBSCANRTree:
-		c, err = NewIncDBSCANRTree(s.cfg)
+	if s.shards > 1 {
+		return newShardedEngine(s)
 	}
+	c, err := newBackend(s.algo, s.cfg)
 	if err != nil {
 		return nil, err
 	}
 	return newEngine(c, s.algo, s.threadSafe, s.workers), nil
+}
+
+// newBackend constructs one bare clusterer for the algorithm — the factory
+// shared by the single-backend Engine and the per-shard backends.
+func newBackend(algo Algorithm, cfg Config) (Clusterer, error) {
+	switch algo {
+	case AlgoFullyDynamic:
+		return NewFullyDynamic(cfg)
+	case AlgoSemiDynamic:
+		return NewSemiDynamic(cfg)
+	case AlgoIncDBSCAN:
+		return NewIncDBSCAN(cfg)
+	case AlgoIncDBSCANRTree:
+		return NewIncDBSCANRTree(cfg)
+	default:
+		return nil, fmt.Errorf("dyndbscan: unknown algorithm %v", algo)
+	}
 }
 
 // Wrap adapts an existing Clusterer — including the deprecated NewSemiDynamic /
@@ -288,24 +307,32 @@ func (e *Engine) noteDeleted(ids []PointID) {
 	}
 }
 
-// liveIDs returns the ascending live-id slice, compacting tombstones and
-// restoring sortedness lazily. Must run inside the update critical section.
-func (e *Engine) liveIDs() []PointID {
-	if len(e.pendingDead) > 0 {
+// compactLiveIDs removes tombstoned handles from ids and restores ascending
+// order lazily — the maintenance step shared by the single-backend and
+// sharded sorted-id caches.
+func compactLiveIDs(ids []PointID, dead map[PointID]struct{}, sorted *bool) []PointID {
+	if len(dead) > 0 {
 		w := 0
-		for _, id := range e.sortedIDs {
-			if _, dead := e.pendingDead[id]; !dead {
-				e.sortedIDs[w] = id
+		for _, id := range ids {
+			if _, d := dead[id]; !d {
+				ids[w] = id
 				w++
 			}
 		}
-		e.sortedIDs = e.sortedIDs[:w]
-		clear(e.pendingDead)
+		ids = ids[:w]
+		clear(dead)
 	}
-	if !e.idsSorted {
-		sort.Slice(e.sortedIDs, func(i, j int) bool { return e.sortedIDs[i] < e.sortedIDs[j] })
-		e.idsSorted = true
+	if !*sorted {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		*sorted = true
 	}
+	return ids
+}
+
+// liveIDs returns the ascending live-id slice, compacting tombstones and
+// restoring sortedness lazily. Must run inside the update critical section.
+func (e *Engine) liveIDs() []PointID {
+	e.sortedIDs = compactLiveIDs(e.sortedIDs, e.pendingDead, &e.idsSorted)
 	if len(e.sortedIDs) != e.c.Len() {
 		// The backend disagrees with the cache (it was mutated behind the
 		// Engine's back); rebuild rather than serve a corrupt snapshot.
@@ -323,6 +350,19 @@ func (e *Engine) finishUpdate() []Event {
 	evs := e.pending
 	e.pending = nil
 	return evs
+}
+
+// failUpdate abandons an in-flight update from inside the critical section:
+// no version advance, no publication — and, crucially, no residue. Events a
+// misbehaving backend emitted before the failure (for example during the
+// Has probes of batch validation) are dropped here; leaving them in
+// e.pending would smuggle them into the next successful commit's
+// publication. Every update failure path that applied no state change must
+// exit through this helper (paths that partially committed go through
+// finishUpdate + release instead, so the applied work publishes).
+func (e *Engine) failUpdate() {
+	e.pending = nil
+	e.release(nil)
 }
 
 // release ends the update critical section begun by lock(), publishing evs
@@ -353,17 +393,18 @@ func (e *Engine) release(evs []Event) {
 
 // Insert adds one point and returns its handle.
 func (e *Engine) Insert(pt Point) (PointID, error) {
+	if e.sh != nil {
+		return e.sh.insert(pt)
+	}
 	e.lock()
 	id, err := e.c.Insert(pt)
-	var evs []Event
-	if err == nil {
-		e.noteInserted([]PointID{id})
-		evs = e.finishUpdate()
-	} else {
-		e.pending = nil // drop events a misbehaving backend emitted before failing
+	if err != nil {
+		e.failUpdate()
+		return id, err
 	}
-	e.release(evs)
-	return id, err
+	e.noteInserted([]PointID{id})
+	e.release(e.finishUpdate())
+	return id, nil
 }
 
 // InsertBatch adds many points under one commit, validating and staging
@@ -371,6 +412,9 @@ func (e *Engine) Insert(pt Point) (PointID, error) {
 // — before the first insertion, so a malformed point fails the batch cleanly
 // (no state change, ErrBadPoint with the offending index).
 func (e *Engine) InsertBatch(pts []Point) ([]PointID, error) {
+	if e.sh != nil {
+		return e.sh.insertBatch(pts)
+	}
 	staged, err := e.stageInserts(pts, "InsertBatch point", nil)
 	if err != nil {
 		return nil, err
@@ -386,14 +430,12 @@ func (e *Engine) InsertBatch(pts []Point) ([]PointID, error) {
 			// Unreachable for the built-in algorithms (points were staged),
 			// possible for foreign backends: commit the partial work, if
 			// any, and report where the batch stopped.
-			var evs []Event
 			if i > 0 {
 				e.noteInserted(ids)
-				evs = e.finishUpdate()
+				e.release(e.finishUpdate())
 			} else {
-				e.pending = nil
+				e.failUpdate()
 			}
-			e.release(evs)
 			return ids, fmt.Errorf("dyndbscan: InsertBatch aborted at point %d: %w", i, err)
 		}
 		ids = append(ids, id)
@@ -448,23 +490,26 @@ func (e *Engine) commitInsert(staged []core.StagedPoint, pts []Point, i int) (Po
 
 // Delete removes one point.
 func (e *Engine) Delete(id PointID) error {
-	e.lock()
-	err := e.c.Delete(id)
-	var evs []Event
-	if err == nil {
-		e.noteDeleted([]PointID{id})
-		evs = e.finishUpdate()
-	} else {
-		e.pending = nil // drop events a misbehaving backend emitted before failing
+	if e.sh != nil {
+		return e.sh.delete(id)
 	}
-	e.release(evs)
-	return err
+	e.lock()
+	if err := e.c.Delete(id); err != nil {
+		e.failUpdate()
+		return err
+	}
+	e.noteDeleted([]PointID{id})
+	e.release(e.finishUpdate())
+	return nil
 }
 
 // DeleteBatch removes many points under one commit. The whole batch is
 // validated first: an unknown or duplicated id fails the batch with
 // ErrUnknownPoint / ErrDuplicateID before any point is removed.
 func (e *Engine) DeleteBatch(ids []PointID) error {
+	if e.sh != nil {
+		return e.sh.deleteBatch(ids)
+	}
 	if len(ids) == 0 {
 		return nil
 	}
@@ -472,12 +517,12 @@ func (e *Engine) DeleteBatch(ids []PointID) error {
 	seen := make(map[PointID]struct{}, len(ids))
 	for i, id := range ids {
 		if _, dup := seen[id]; dup {
-			e.unlock()
+			e.failUpdate()
 			return fmt.Errorf("dyndbscan: DeleteBatch id %d duplicated at index %d: %w", id, i, ErrDuplicateID)
 		}
 		seen[id] = struct{}{}
 		if !e.c.Has(id) {
-			e.unlock()
+			e.failUpdate()
 			return fmt.Errorf("dyndbscan: DeleteBatch index %d: %w (id %d)", i, ErrUnknownPoint, id)
 		}
 	}
@@ -485,14 +530,12 @@ func (e *Engine) DeleteBatch(ids []PointID) error {
 		if err := e.c.Delete(id); err != nil {
 			// Only reachable on a backend that rejects deletes (semi-dynamic
 			// via Wrap) or other foreign failures; ids were validated above.
-			var evs []Event
 			if i > 0 {
 				e.noteDeleted(ids[:i])
-				evs = e.finishUpdate()
+				e.release(e.finishUpdate())
 			} else {
-				e.pending = nil
+				e.failUpdate()
 			}
-			e.release(evs)
 			return fmt.Errorf("dyndbscan: DeleteBatch aborted at index %d: %w", i, err)
 		}
 	}
@@ -520,6 +563,11 @@ func (e *Engine) GroupBy(q []PointID) (Result, error) {
 	if s := e.currentSnapshot(); s != nil {
 		return s.GroupBy(q)
 	}
+	if e.sh != nil {
+		// Sharded reads are snapshot-served: the stitched snapshot is the
+		// consistent cross-shard view.
+		return e.Snapshot().GroupBy(q)
+	}
 	defer e.qlock()()
 	return e.c.GroupBy(q)
 }
@@ -530,6 +578,9 @@ func (e *Engine) GroupAll() (Result, error) {
 	if s := e.currentSnapshot(); s != nil {
 		return s.GroupAll(), nil
 	}
+	if e.sh != nil {
+		return e.Snapshot().GroupAll(), nil
+	}
 	defer e.qlock()()
 	return GroupAll(e.c)
 }
@@ -539,12 +590,18 @@ func (e *Engine) Len() int {
 	if s := e.currentSnapshot(); s != nil {
 		return len(s.byPoint)
 	}
+	if e.sh != nil {
+		return e.sh.len()
+	}
 	defer e.rqlock()()
 	return e.c.Len()
 }
 
 // IDs returns every live handle.
 func (e *Engine) IDs() []PointID {
+	if e.sh != nil {
+		return e.sh.ids()
+	}
 	defer e.rqlock()()
 	return e.c.IDs()
 }
@@ -554,6 +611,9 @@ func (e *Engine) Has(id PointID) bool {
 	if s := e.currentSnapshot(); s != nil {
 		_, ok := s.byPoint[id]
 		return ok
+	}
+	if e.sh != nil {
+		return e.sh.has(id)
 	}
 	defer e.rqlock()()
 	return e.c.Has(id)
@@ -574,7 +634,7 @@ func (e *Engine) ClusterOf(id PointID) ([]ClusterID, bool) {
 	if s := e.currentSnapshot(); s != nil {
 		return s.ClusterOf(id)
 	}
-	if e.ext != nil {
+	if e.sh == nil && e.ext != nil {
 		defer e.qlock()()
 		return e.ext.ClusterOf(id)
 	}
@@ -595,6 +655,9 @@ func (e *Engine) Members(id ClusterID) []PointID {
 func (e *Engine) Snapshot() *Snapshot {
 	if s := e.currentSnapshot(); s != nil {
 		return s
+	}
+	if e.sh != nil {
+		return e.sh.snapshot()
 	}
 	e.lock()
 	if s := e.currentSnapshot(); s != nil {
@@ -628,17 +691,11 @@ func (e *Engine) buildSnapshot() (_ *Snapshot, ok bool) {
 	}
 	ids := e.liveIDs()
 	if e.ext != nil {
+		workers := 1
 		if e.roQueries && e.workers > 1 && len(ids) >= parallelSnapshotMin {
-			e.resolveParallel(s, ids)
-		} else {
-			for _, id := range ids {
-				cids, ok := e.ext.ClusterOf(id)
-				if !ok {
-					continue
-				}
-				s.addPoint(id, cids)
-			}
+			workers = e.workers
 		}
+		resolveMembers(s, ids, workers, e.ext.ClusterOf)
 		return s, true
 	}
 	// Degraded path for foreign backends: cluster ids are the group indices
@@ -663,18 +720,28 @@ func (e *Engine) buildSnapshot() (_ *Snapshot, ok bool) {
 	return s, true
 }
 
-// resolveParallel partitions the sorted id space across the engine's workers
-// and merges the per-worker results in partition order, so cluster member
-// lists come out ascending exactly as the serial walk produces them. Only
-// called for backends whose ClusterOf is read-only (AlgoFullyDynamic).
-func (e *Engine) resolveParallel(s *Snapshot, ids []PointID) {
+// resolveMembers fills s with the memberships of ids (which must be
+// ascending), resolving each through resolve; ids whose resolve reports
+// ok=false are skipped. With workers > 1 the id space is partitioned across
+// goroutines and the per-worker results merge in partition order, so
+// cluster member lists come out ascending exactly as the serial walk
+// produces them — resolve must then be safe for concurrent use (read-only
+// ClusterOf backends, i.e. AlgoFullyDynamic).
+func resolveMembers(s *Snapshot, ids []PointID, workers int, resolve func(PointID) ([]ClusterID, bool)) {
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 {
+		for _, id := range ids {
+			if cids, ok := resolve(id); ok {
+				s.addPoint(id, cids)
+			}
+		}
+		return
+	}
 	type entry struct {
 		id   PointID
 		cids []ClusterID
-	}
-	workers := e.workers
-	if workers > len(ids) {
-		workers = len(ids)
 	}
 	parts := make([][]entry, workers)
 	var wg sync.WaitGroup
@@ -686,11 +753,9 @@ func (e *Engine) resolveParallel(s *Snapshot, ids []PointID) {
 			defer wg.Done()
 			part := make([]entry, 0, hi-lo)
 			for _, id := range ids[lo:hi] {
-				cids, ok := e.ext.ClusterOf(id)
-				if !ok {
-					continue
+				if cids, ok := resolve(id); ok {
+					part = append(part, entry{id, cids})
 				}
-				part = append(part, entry{id, cids})
 			}
 			parts[w] = part
 		}(w, lo, hi)

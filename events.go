@@ -160,7 +160,7 @@ func (e *Engine) selfFeedLocked() bool {
 // stops delivery, discards this subscription's undelivered events, and does
 // not wait for an in-flight callback (call Sync first for a clean drain).
 func (e *Engine) Subscribe(fn func(Event), opts ...SubscribeOption) (cancel func()) {
-	if e.ext == nil {
+	if e.ext == nil && e.sh == nil {
 		return func() {}
 	}
 	st := subSettings{buffer: DefaultEventBuffer, overflow: BlockSubscriber}
@@ -238,6 +238,10 @@ func (e *Engine) deliverSync(evs []Event) {
 // the state matching the surviving registrations (whichever reconciliation
 // runs last sees every completed membership change).
 func (e *Engine) syncEventFunc() {
+	if e.sh != nil {
+		e.sh.syncEvents()
+		return
+	}
 	e.lock()
 	e.subMu.Lock()
 	want := len(e.subs) > 0

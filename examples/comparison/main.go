@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -18,8 +19,10 @@ const (
 	eps    = 200.0
 	minPts = 10
 	rho    = 0.001
-	n      = 8000 // updates; crank this up to see the gap widen
 )
+
+// n is the workload size in updates; crank it up to see the gap widen.
+var n = flag.Int("n", 8000, "workload size in updates")
 
 type op struct {
 	insert bool
@@ -28,6 +31,7 @@ type op struct {
 }
 
 func main() {
+	flag.Parse()
 	ops := makeWorkload()
 	fmt.Printf("workload: %d updates (5/6 insertions) in %dD, eps=%.0f, MinPts=%d\n\n",
 		len(ops), dims, eps, minPts)
@@ -114,7 +118,7 @@ func makeWorkload() []op {
 	var ops []op
 	alive := []int{}
 	inserts := 0
-	for len(ops) < n {
+	for len(ops) < *n {
 		if inserts == 0 || rng.Float64() < 5.0/6.0 {
 			c := centers[rng.Intn(len(centers))]
 			pt := dyndbscan.Point{c[0] + rng.NormFloat64()*120, c[1] + rng.NormFloat64()*120}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -24,7 +25,6 @@ import (
 const (
 	nVehicles = 120
 	window    = 8 // each report lives this many ticks
-	ticks     = 60
 	cityEdge  = 1000.0
 )
 
@@ -36,6 +36,8 @@ type vehicle struct {
 }
 
 func main() {
+	ticks := flag.Int("ticks", 60, "simulation length in ticks")
+	flag.Parse()
 	rng := rand.New(rand.NewSource(42))
 	e, err := dyndbscan.New(
 		dyndbscan.WithEps(40),
@@ -44,6 +46,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The subscription below pins a dispatcher goroutine and an event
+	// buffer; Close releases them before exit.
+	defer e.Close()
 
 	// Count hotspot merges and splits as the fleet moves.
 	merges, splits := 0, 0
@@ -72,7 +77,7 @@ func main() {
 		}
 	}
 
-	for tick := 0; tick < ticks; tick++ {
+	for tick := 0; tick < *ticks; tick++ {
 		// Hotspots drift.
 		for h := range hotspots {
 			hotspots[h][0] += drift[h][0]

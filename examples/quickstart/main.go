@@ -22,6 +22,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Subscriptions pin a dispatcher goroutine and an event buffer each;
+	// Close releases them before exit.
+	defer e.Close()
 
 	// Watch the clustering evolve: merges and splits arrive as events.
 	cancel := e.Subscribe(func(ev dyndbscan.Event) {

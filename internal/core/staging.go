@@ -19,6 +19,10 @@ type StagedPoint struct {
 // Point returns the staged (cloned, dims-length) coordinates.
 func (sp StagedPoint) Point() geom.Point { return sp.pt }
 
+// Coord returns the grid cell the staged point will land in — the routing
+// key of the sharded serving layer.
+func (sp StagedPoint) Coord() grid.Coord { return sp.coord }
+
 // Stager performs the state-independent part of an insertion: validation,
 // coordinate cloning, and grid cell assignment. A Stager is an immutable
 // value, safe for concurrent use from any number of goroutines.

@@ -37,6 +37,16 @@ func NewIndex[T any](geo Params) *Index[T] {
 // Len returns the number of live cells in the index.
 func (ix *Index[T]) Len() int { return len(ix.nodes) }
 
+// ForEach invokes fn on every live cell in no particular order; iteration
+// stops early if fn returns false.
+func (ix *Index[T]) ForEach(fn func(Coord, T) bool) {
+	for c, n := range ix.nodes {
+		if !fn(c, n.value) {
+			return
+		}
+	}
+}
+
 // Get returns the value stored for cell c, if present.
 func (ix *Index[T]) Get(c Coord) (T, bool) {
 	n, ok := ix.nodes[c]

@@ -57,13 +57,15 @@ var ErrMissingOption = errors.New("dyndbscan: required option missing")
 // engineSettings accumulates the functional options of New. Config remains
 // the low-level SPI; the options are the supported way to fill it in.
 type engineSettings struct {
-	algo       Algorithm
-	cfg        Config
-	epsSet     bool
-	minPtsSet  bool
-	threadSafe bool
-	workers    int   // staging/snapshot workers; 0 = one per CPU
-	err        error // first option-level error, reported by New
+	algo        Algorithm
+	cfg         Config
+	epsSet      bool
+	minPtsSet   bool
+	threadSafe  bool
+	workers     int   // staging/snapshot workers; 0 = one per CPU
+	shards      int   // spatial shards; 1 = single-backend mode
+	stripeCells int   // shard stripe width in grid cells; 0 = default
+	err         error // first option-level error, reported by New
 }
 
 // Option configures an Engine under construction; see New.
@@ -129,6 +131,47 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithShards partitions space into n grid-aligned shards, each owning its
+// own clustering backend behind its own lock, so updates touching disjoint
+// shards commit concurrently — write throughput then scales with cores on
+// spatially spread workloads. n = 1 (the default) is the single-backend mode
+// and behaves bit-for-bit as before.
+//
+// Sharding partitions the grid into stripes along dimension 0, assigned
+// round-robin to the shards; each shard additionally replicates a narrow
+// ghost band of neighboring points so that core statuses and seam edges are
+// computed from complete neighborhoods, and snapshot construction stitches
+// the per-shard clusterings back together across shard boundaries. With
+// Rho = 0 the stitched result is exactly the single-shard clustering (up to
+// the stable-id naming); with Rho > 0 both are legal ρ-approximate
+// clusterings that may resolve don't-care-band points differently.
+//
+// Sharded mode requires thread safety (the default); combining WithShards(n>1)
+// with WithThreadSafety(false) is an error.
+func WithShards(n int) Option {
+	return func(s *engineSettings) {
+		if n < 1 {
+			s.setErr(fmt.Errorf("dyndbscan: WithShards(%d): shard count must be ≥ 1", n))
+			return
+		}
+		s.shards = n
+	}
+}
+
+// WithShardStripe sets the shard stripe width in grid cells along dimension 0
+// (default 64). Narrower stripes spread a spatially compact workload across
+// more shards but raise the fraction of points replicated into ghost bands;
+// wider stripes do the opposite. Only meaningful with WithShards(n>1).
+func WithShardStripe(cells int) Option {
+	return func(s *engineSettings) {
+		if cells < 1 {
+			s.setErr(fmt.Errorf("dyndbscan: WithShardStripe(%d): stripe width must be ≥ 1", cells))
+			return
+		}
+		s.stripeCells = cells
+	}
+}
+
 // WithConfig replaces the whole parameter set at once — the escape hatch for
 // callers that already hold a Config (the low-level SPI). Individual options
 // applied after it still override single fields.
@@ -152,6 +195,7 @@ func newSettings() *engineSettings {
 		algo:       AlgoFullyDynamic,
 		cfg:        Config{Dims: 2, Rho: 0.001},
 		threadSafe: true,
+		shards:     1,
 	}
 }
 
@@ -166,6 +210,9 @@ func (s *engineSettings) validate() error {
 	}
 	if !s.minPtsSet {
 		return fmt.Errorf("%w: WithMinPts", ErrMissingOption)
+	}
+	if s.shards > 1 && !s.threadSafe {
+		return errors.New("dyndbscan: WithShards(n>1) requires thread safety; remove WithThreadSafety(false)")
 	}
 	return s.cfg.Validate()
 }

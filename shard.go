@@ -1,0 +1,1072 @@
+package dyndbscan
+
+// Sharded serving mode: WithShards(n>1) partitions the grid of Section 4
+// into stripes along dimension 0, assigned round-robin to n shards. Each
+// shard owns a full clustering backend (internal/core) behind its own lock,
+// so updates whose shard sets are disjoint commit concurrently — the write
+// path scales with cores the way PR 2 made the read path scale with readers.
+//
+// # Ghost bands
+//
+// DBSCAN is not embarrassingly partitionable: the core status of a point
+// near a shard boundary depends on points across the seam. Each shard
+// therefore also replicates a ghost band — every point whose cell lies
+// within 2(1+ρ)ε of the shard's owned stripes. The band is wide enough that
+//
+//   - the population of every cell within (1+ρ)ε of the owned region is
+//     complete in the shard's backend, so the core status of every owned
+//     point — and of every seam cell within ε of the owned region — is
+//     computed from its full neighborhood, and
+//   - every op that can influence those cells' state (inserts and deletes
+//     within (1+ρ)ε of them, whose promotion/demotion sweeps reach them) is
+//     replayed in the shard, in the same relative order as globally.
+//
+// Per-cell state of owned and seam cells consequently evolves exactly as in
+// a single-shard engine. Deeper ghost cells may under-count (they miss
+// neighbors beyond the band), which can only suppress core statuses and
+// grid-graph edges, never invent them — so every shard-local cluster merge
+// is globally valid, and completeness is restored by stitching.
+//
+// # Stitching
+//
+// Every global grid-graph edge has at least one endpoint cell whose owner
+// shard sees both endpoints exactly, so connectivity lost to partitioning is
+// exactly the set of seam edges: pairs (owned cell, ghost cell owned by
+// another shard). Snapshot construction runs a union-find pass over
+// (shard, local cluster id) keys — one union per core cell observed in a
+// foreign shard's territory — and maps each component to a stable global
+// ClusterID (persisted across epochs in keyGID, so ids survive every update
+// that does not merge or split a stitched cluster). With Rho = 0 the
+// stitched clustering is exactly the single-shard clustering; with Rho > 0
+// both are legal ρ-approximate clusterings that may resolve don't-care-band
+// points differently.
+//
+// # Locking
+//
+// worldMu is the commit/stitch coordination lock: commits hold it shared
+// (parallelism comes from the per-shard locks), while snapshot construction
+// and stitching hold it exclusively and therefore observe a quiesced world.
+// When subscribers exist, commits also run exclusively: deriving globally
+// meaningful cluster events requires a per-commit stitch diff, which needs
+// the quiesced view. Subscribing in sharded mode therefore trades commit
+// parallelism for event fidelity; unsubscribe (or Engine.Close) to get it
+// back.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dyndbscan/internal/core"
+	"dyndbscan/internal/grid"
+	"dyndbscan/internal/pipeline"
+	"dyndbscan/internal/unionfind"
+)
+
+// defaultStripeCells is the stripe width (grid cells along dimension 0) when
+// WithShardStripe is not given.
+const defaultStripeCells = 64
+
+// stitchKey names one shard-local cluster: the unit the cross-shard
+// union-find pass operates on.
+type stitchKey struct {
+	shard int32
+	cid   ClusterID
+}
+
+// copyRef locates one physical copy of a point: the shard holding it and the
+// backend-local handle it has there.
+type copyRef struct {
+	shard int32
+	local core.PointID
+}
+
+// route is the placement of one global handle: copies[0] is the owner copy
+// (the shard whose stripe contains the point's cell), the rest are ghost
+// copies in neighboring shards' bands. A route is immutable once installed.
+type route struct {
+	copies []copyRef
+}
+
+// shard is one spatial partition: a full clustering backend plus its lock.
+type shard struct {
+	idx    int32
+	mu     sync.Mutex
+	c      Clusterer
+	ext    extendedClusterer
+	st     stagedInserter
+	walker core.CoreCellWalker
+
+	// ownerGlobal maps backend-local handles of *owned* copies back to their
+	// global handles — the translation table for point-level events. Ghost
+	// copies are absent, which is what suppresses their duplicate events.
+	ownerGlobal map[core.PointID]PointID
+
+	// pending collects the backend's raw events during a commit while event
+	// collection is enabled; drained (and translated) after every op.
+	pending []Event
+}
+
+// shardSet is the sharded engine: router, per-shard backends, the global
+// route table, and the stitching state.
+type shardSet struct {
+	e      *Engine
+	cfg    Config
+	stager core.Stager
+
+	stripeCells int64 // stripe width in cells along dimension 0
+	bandCells   int64 // ghost band width in cells (covers 2(1+ρ)ε)
+
+	shards []*shard
+
+	// worldMu: commits hold it shared (their shard locks provide mutual
+	// exclusion); snapshot builds, stitches, and event-enabled commits hold
+	// it exclusively.
+	worldMu sync.RWMutex
+
+	// Global handle table; guarded by routesMu (commits on disjoint shards
+	// mutate it concurrently). sortedIDs/idsSorted/pendingDead mirror the
+	// single-backend engine's incremental sorted-id cache.
+	routesMu    sync.Mutex
+	routes      map[PointID]route
+	nextID      PointID
+	sortedIDs   []PointID
+	idsSorted   bool
+	pendingDead map[PointID]struct{}
+
+	// eventsOn mirrors "the engine has subscribers": commits read it to
+	// decide between the shared and exclusive worldMu mode. Toggled only
+	// while worldMu is held exclusively.
+	eventsOn atomic.Bool
+
+	// Stitch state; all fields below are guarded by worldMu held
+	// exclusively. keyGID persists the (shard, local cluster) → global id
+	// assignment across epochs — the source of global id stability.
+	keyGID        map[stitchKey]ClusterID
+	nextGID       ClusterID
+	stitched      map[stitchKey]ClusterID
+	stitchVersion uint64
+	stitchValid   bool
+}
+
+// newShardedEngine builds the Engine for WithShards(n>1).
+func newShardedEngine(s *engineSettings) (*Engine, error) {
+	backends := make([]Clusterer, s.shards)
+	for i := range backends {
+		c, err := newBackend(s.algo, s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		backends[i] = c
+	}
+	cfg := backends[0].Config() // normalized by the backend (IncDBSCAN forces Rho = 0)
+	e := &Engine{
+		threadSafe: true,
+		roQueries:  s.algo == AlgoFullyDynamic,
+		algo:       s.algo,
+		cfg:        cfg,
+		workers:    pipeline.Workers(s.workers),
+		subs:       make(map[int]*subscriber),
+	}
+	e.pubCond.L = &e.pubMu
+
+	stripe := s.stripeCells
+	if stripe == 0 {
+		stripe = defaultStripeCells
+	}
+	side := grid.NewParams(cfg.Dims, cfg.Eps).Side
+	band := 2 * cfg.Eps * (1 + cfg.Rho)
+	ss := &shardSet{
+		e:           e,
+		cfg:         cfg,
+		stager:      core.NewStager(cfg),
+		stripeCells: int64(stripe),
+		// Cells at column distance k have box distance (k-1)·side; +2 keeps
+		// the rounding conservative (over-replication is a perf cost only).
+		bandCells:   int64(math.Floor(band/side)) + 2,
+		shards:      make([]*shard, s.shards),
+		routes:      make(map[PointID]route),
+		idsSorted:   true,
+		pendingDead: make(map[PointID]struct{}),
+		keyGID:      make(map[stitchKey]ClusterID),
+	}
+	for i, c := range backends {
+		ext, okExt := c.(extendedClusterer)
+		st, okSt := c.(stagedInserter)
+		walker, okWalk := c.(core.CoreCellWalker)
+		if !okExt || !okSt || !okWalk {
+			return nil, fmt.Errorf("dyndbscan: algorithm %v lacks the sharding capabilities", s.algo)
+		}
+		ss.shards[i] = &shard{
+			idx:         int32(i),
+			c:           c,
+			ext:         ext,
+			st:          st,
+			walker:      walker,
+			ownerGlobal: make(map[core.PointID]PointID),
+		}
+	}
+	e.sh = ss
+	return e, nil
+}
+
+// Routing arithmetic. Stripe t covers columns [t·W, (t+1)·W) of dimension 0
+// and is owned by shard t mod n, so consecutive stripes land on different
+// shards and any spread-out workload exercises all of them.
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func floorMod(a, b int64) int64 {
+	m := a % b
+	if m != 0 && (m < 0) != (b < 0) {
+		m += b
+	}
+	return m
+}
+
+// ownerOf returns the shard owning the cell.
+func (ss *shardSet) ownerOf(coord grid.Coord) int32 {
+	stripe := floorDiv(int64(coord[0]), ss.stripeCells)
+	return int32(floorMod(stripe, int64(len(ss.shards))))
+}
+
+// shardsOf returns the shards that must hold a copy of a point in the given
+// cell: the owner first, then every distinct shard whose ghost band covers
+// the cell (its owned columns lie within bandCells of the cell's column).
+func (ss *shardSet) shardsOf(coord grid.Coord) []int32 {
+	c0 := int64(coord[0])
+	t := floorDiv(c0, ss.stripeCells)
+	owner := int32(floorMod(t, int64(len(ss.shards))))
+	out := []int32{owner}
+	add := func(stripe int64) {
+		s := int32(floorMod(stripe, int64(len(ss.shards))))
+		for _, have := range out {
+			if have == s {
+				return
+			}
+		}
+		out = append(out, s)
+	}
+	// Walk outward until the nearest column of the stripe is beyond the
+	// band; the distances are monotone in |dt|, so the loops terminate after
+	// a handful of iterations for any sane stripe width.
+	for dt := int64(1); ; dt++ {
+		if (t+dt)*ss.stripeCells-c0 > ss.bandCells {
+			break
+		}
+		add(t + dt)
+	}
+	for dt := int64(1); ; dt++ {
+		if c0-((t-dt)*ss.stripeCells+ss.stripeCells-1) > ss.bandCells {
+			break
+		}
+		add(t - dt)
+	}
+	return out
+}
+
+// stage runs the sharded pre-commit phase: validation, cloning, and cell
+// assignment across the engine's workers (sharded backends always accept
+// staged points). Error naming mirrors Engine.stageInserts.
+func (ss *shardSet) stage(pts []Point, what string, idx []int) ([]core.StagedPoint, error) {
+	at := func(i int) int {
+		if idx != nil {
+			return idx[i]
+		}
+		return i
+	}
+	return pipeline.Map(ss.e.workers, pts, func(i int, pt Point) (core.StagedPoint, error) {
+		sp, err := ss.stager.Stage(pt)
+		if err != nil {
+			return core.StagedPoint{}, fmt.Errorf("dyndbscan: %s %d: %w", what, at(i), err)
+		}
+		return sp, nil
+	})
+}
+
+// shOp is one routed operation of a sharded commit: an insertion carrying
+// its staged point, or a deletion carrying the global target handle.
+type shOp struct {
+	insert bool
+	sp     core.StagedPoint
+	gid    PointID // delete: target; insert: assigned during commit
+}
+
+// shardItem is one op's application on one particular shard.
+type shardItem struct {
+	op    int  // index into the shOp slice
+	owner bool // this shard holds the owner copy
+	slot  int  // insert: index into the op's copies slice
+	local core.PointID
+}
+
+// commitBatch applies a staged, pre-validated batch as one epoch: one
+// version advance, one event publication. Delete targets are looked up and
+// re-validated under the shard locks, so a batch with a vanished target
+// fails atomically with errUnknown(opIndex, id) and no state change.
+// Backends are built-in and the ops validated, so the commit itself cannot
+// fail part-way.
+func (ss *shardSet) commitBatch(ops []shOp, errUnknown func(i int, id PointID) error) ([]PointID, error) {
+	e := ss.e
+
+	// Route: owner+ghost shards per insert; route copies per delete.
+	copies := make([][]copyRef, len(ops))
+	ss.routesMu.Lock()
+	for i := range ops {
+		op := &ops[i]
+		if op.insert {
+			shs := ss.shardsOf(op.sp.Coord())
+			cs := make([]copyRef, len(shs))
+			for j, s := range shs {
+				cs[j].shard = s
+			}
+			copies[i] = cs
+			continue
+		}
+		r, ok := ss.routes[op.gid]
+		if !ok {
+			ss.routesMu.Unlock()
+			return nil, errUnknown(i, op.gid)
+		}
+		copies[i] = r.copies
+	}
+	ss.routesMu.Unlock()
+
+	// Involved shards, ascending.
+	var involvedMask uint64 // fast path for n ≤ 64; fall back handled below
+	involved := make([]int32, 0, 4)
+	mark := func(s int32) {
+		if s < 64 {
+			if involvedMask&(1<<uint(s)) != 0 {
+				return
+			}
+			involvedMask |= 1 << uint(s)
+		} else {
+			for _, have := range involved {
+				if have == s {
+					return
+				}
+			}
+		}
+		involved = append(involved, s)
+	}
+	perShard := make(map[int32][]shardItem, 4)
+	for i := range ops {
+		for j, c := range copies[i] {
+			mark(c.shard)
+			perShard[c.shard] = append(perShard[c.shard], shardItem{
+				op: i, owner: j == 0, slot: j, local: c.local,
+			})
+		}
+	}
+	sort.Slice(involved, func(a, b int) bool { return involved[a] < involved[b] })
+
+	// Critical section: shared worldMu + the involved shard locks (acquired
+	// in ascending order, so overlapping commits cannot deadlock), letting
+	// commits on disjoint shards run concurrently. With subscribers the
+	// commit runs exclusively instead — the stitch diff needs a quiesced
+	// world. Publication happens after the unlock: a backpressured publisher
+	// must never hold worldMu, or subscriber callbacks querying the Engine
+	// would deadlock.
+	// eventsOn only toggles while worldMu is held exclusively, so its value
+	// is stable once we hold the lock in either mode — but it can flip
+	// between the pre-acquisition read and the acquisition (a racing
+	// Subscribe/Close). Re-check after acquiring and retry in the other
+	// mode if it moved: committing with a stale evsOn=false would discard
+	// this commit's events and, worse, the merge/split lineage the next
+	// subscribed commit's stitch diff needs.
+	evsOn := ss.eventsOn.Load()
+	for {
+		if evsOn {
+			ss.worldMu.Lock()
+		} else {
+			ss.worldMu.RLock()
+		}
+		now := ss.eventsOn.Load()
+		if now == evsOn {
+			break
+		}
+		if evsOn {
+			ss.worldMu.Unlock()
+		} else {
+			ss.worldMu.RUnlock()
+		}
+		evsOn = now
+	}
+	for _, s := range involved {
+		ss.shards[s].mu.Lock()
+	}
+	unlock := func() {
+		for i := len(involved) - 1; i >= 0; i-- {
+			ss.shards[involved[i]].mu.Unlock()
+		}
+		if evsOn {
+			ss.worldMu.Unlock()
+		} else {
+			ss.worldMu.RUnlock()
+		}
+	}
+
+	// Re-validate deletes and mint insert handles under the locks: a racing
+	// delete serialized before us may have removed a target.
+	ss.routesMu.Lock()
+	for i := range ops {
+		if !ops[i].insert {
+			if _, ok := ss.routes[ops[i].gid]; !ok {
+				ss.routesMu.Unlock()
+				unlock()
+				return nil, errUnknown(i, ops[i].gid)
+			}
+		}
+	}
+	for i := range ops {
+		if ops[i].insert {
+			ops[i].gid = ss.nextID
+			ss.nextID++
+		}
+	}
+	ss.routesMu.Unlock()
+
+	// Apply each shard's op subsequence; shards proceed in parallel. The
+	// fanout is skipped for the common single-shard op.
+	evsBuf := make([][]Event, len(involved))
+	aliasBuf := make([][]aliasEdge, len(involved))
+	runShard := func(k int, s int32) {
+		sh := ss.shards[s]
+		for _, it := range perShard[s] {
+			op := &ops[it.op]
+			if op.insert {
+				lid, err := sh.st.InsertStaged(op.sp)
+				if err != nil {
+					// Unreachable: the point was staged by a matching Stager.
+					panic(fmt.Sprintf("dyndbscan: shard %d rejected a staged insert: %v", s, err))
+				}
+				copies[it.op][it.slot].local = lid
+				if it.owner {
+					sh.ownerGlobal[lid] = op.gid
+				}
+				sh.drainEvents(&evsBuf[k], &aliasBuf[k], evsOn)
+				continue
+			}
+			if err := sh.c.Delete(it.local); err != nil {
+				// Unreachable: the target was validated under the locks.
+				panic(fmt.Sprintf("dyndbscan: shard %d rejected a validated delete: %v", s, err))
+			}
+			// Drain before dropping the translation entry, so demotion
+			// events of points deleted later in this batch still translate.
+			sh.drainEvents(&evsBuf[k], &aliasBuf[k], evsOn)
+			if it.owner {
+				delete(sh.ownerGlobal, it.local)
+			}
+		}
+	}
+	if len(involved) == 1 {
+		runShard(0, involved[0])
+	} else {
+		var wg sync.WaitGroup
+		for k, s := range involved {
+			wg.Add(1)
+			go func(k int, s int32) {
+				defer wg.Done()
+				runShard(k, s)
+			}(k, s)
+		}
+		wg.Wait()
+	}
+
+	// Publish the routes and the sorted-id cache.
+	out := make([]PointID, len(ops))
+	ss.routesMu.Lock()
+	for i := range ops {
+		op := &ops[i]
+		out[i] = op.gid
+		if op.insert {
+			ss.routes[op.gid] = route{copies: copies[i]}
+			if n := len(ss.sortedIDs); n > 0 && op.gid <= ss.sortedIDs[n-1] {
+				ss.idsSorted = false // concurrent commits may interleave mints
+			}
+			ss.sortedIDs = append(ss.sortedIDs, op.gid)
+		} else {
+			delete(ss.routes, op.gid)
+			ss.pendingDead[op.gid] = struct{}{}
+		}
+	}
+	ss.routesMu.Unlock()
+
+	// Event derivation (under the exclusive worldMu): translated point
+	// events in shard order, then the cluster transitions observed by the
+	// stitch diff.
+	var evs []Event
+	if evsOn {
+		for _, buf := range evsBuf {
+			evs = append(evs, buf...)
+		}
+		lineage := make(map[stitchKey][]stitchKey)
+		for _, buf := range aliasBuf {
+			for _, a := range buf {
+				lineage[a.src] = append(lineage[a.src], a.dst)
+			}
+		}
+		evs = append(evs, ss.stitchDiffLocked(lineage)...)
+	}
+	e.version.Add(1)
+	if evsOn {
+		ss.stitchVersion = e.version.Load()
+		ss.stitchValid = true
+	}
+	if len(evs) == 0 {
+		unlock()
+		return out, nil
+	}
+	// The ticket is taken inside the critical section (so per-subscriber
+	// streams preserve commit order) but the enqueue runs after the unlock,
+	// mirroring Engine.release: a publisher parked on a full BlockSubscriber
+	// queue holds no engine lock, so the subscriber's callback can always
+	// query its way out.
+	ticket := e.takeTicket()
+	unlock()
+	e.publishOrdered(ticket, evs)
+	return out, nil
+}
+
+// takeTicket assigns the next publication ticket; see Engine.release for the
+// ordering contract. Sharded commits take it under e.mu so Engine.Sync's
+// horizon read stays correct.
+func (e *Engine) takeTicket() uint64 {
+	e.mu.Lock()
+	t := e.pubTicket
+	e.pubTicket++
+	e.mu.Unlock()
+	return t
+}
+
+// drainEvents translates and collects the shard's pending backend events.
+// Point events of owned copies are translated to global handles; point
+// events of ghost copies (absent from ownerGlobal) are duplicates of the
+// owner shard's and dropped. Cluster events are not forwarded — global
+// cluster transitions are derived by the stitch diff, where they are
+// well-defined — but their lineage is kept as alias edges: a local merge or
+// split retires or mints local cluster ids, and without the alias from the
+// new id to its predecessor the diff could not tell a merge from a dissolve
+// (or a split from a formation).
+func (sh *shard) drainEvents(buf *[]Event, aliases *[]aliasEdge, evsOn bool) {
+	if len(sh.pending) == 0 {
+		return
+	}
+	if evsOn {
+		for _, ev := range sh.pending {
+			switch ev.Kind {
+			case EventPointBecameCore, EventPointBecameNoise:
+				if gid, ok := sh.ownerGlobal[ev.Point]; ok {
+					ev.Point = gid
+					*buf = append(*buf, ev)
+				}
+			case EventClusterMerged:
+				// The absorbed id's identity flows into the survivor.
+				*aliases = append(*aliases, aliasEdge{
+					src: stitchKey{sh.idx, ev.Absorbed},
+					dst: stitchKey{sh.idx, ev.Cluster},
+				})
+			case EventClusterSplit:
+				// The split id's identity flows into every fresh fragment
+				// (it stays live on the retained one by itself).
+				for _, f := range ev.Fragments {
+					if f != ev.Cluster {
+						*aliases = append(*aliases, aliasEdge{
+							src: stitchKey{sh.idx, ev.Cluster},
+							dst: stitchKey{sh.idx, f},
+						})
+					}
+				}
+			}
+		}
+	}
+	sh.pending = sh.pending[:0]
+}
+
+// aliasEdge is one lineage step of a commit: the identity carried by local
+// cluster key src flows into local cluster key dst (absorbed → survivor on a
+// merge, split cluster → fresh fragment on a split).
+type aliasEdge struct{ src, dst stitchKey }
+
+// Update entry points; the public Engine methods delegate here in sharded
+// mode.
+
+func (ss *shardSet) insert(pt Point) (PointID, error) {
+	sp, err := ss.stager.Stage(pt)
+	if err != nil {
+		return 0, err
+	}
+	out, err := ss.commitBatch([]shOp{{insert: true, sp: sp}}, nil)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+func (ss *shardSet) delete(id PointID) error {
+	if ss.e.algo == AlgoSemiDynamic {
+		return ErrDeletesUnsupported
+	}
+	_, err := ss.commitBatch([]shOp{{gid: id}}, func(int, PointID) error {
+		return ErrUnknownPoint
+	})
+	return err
+}
+
+func (ss *shardSet) insertBatch(pts []Point) ([]PointID, error) {
+	staged, err := ss.stage(pts, "InsertBatch point", nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	ops := make([]shOp, len(staged))
+	for i, sp := range staged {
+		ops[i] = shOp{insert: true, sp: sp}
+	}
+	return ss.commitBatch(ops, nil)
+}
+
+func (ss *shardSet) deleteBatch(ids []PointID) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	// Mirror the single-backend validation order (ascending index, duplicate
+	// before existence) so the two modes report the same failure.
+	seen := make(map[PointID]struct{}, len(ids))
+	ss.routesMu.Lock()
+	for i, id := range ids {
+		if _, dup := seen[id]; dup {
+			ss.routesMu.Unlock()
+			return fmt.Errorf("dyndbscan: DeleteBatch id %d duplicated at index %d: %w", id, i, ErrDuplicateID)
+		}
+		seen[id] = struct{}{}
+		if _, ok := ss.routes[id]; !ok {
+			ss.routesMu.Unlock()
+			return fmt.Errorf("dyndbscan: DeleteBatch index %d: %w (id %d)", i, ErrUnknownPoint, id)
+		}
+	}
+	ss.routesMu.Unlock()
+	if ss.e.algo == AlgoSemiDynamic {
+		// Same failure the single-backend engine reports when the backend
+		// rejects the first delete; no state has changed at that point.
+		return fmt.Errorf("dyndbscan: DeleteBatch aborted at index 0: %w", ErrDeletesUnsupported)
+	}
+	ops := make([]shOp, len(ids))
+	for i, id := range ids {
+		ops[i] = shOp{gid: id}
+	}
+	_, err := ss.commitBatch(ops, func(i int, id PointID) error {
+		return fmt.Errorf("dyndbscan: DeleteBatch index %d: %w (id %d)", i, ErrUnknownPoint, id)
+	})
+	return err
+}
+
+// apply commits a mixed batch; Engine.Apply has already validated kinds and
+// duplicate deletes and split out the insertions.
+func (ss *shardSet) apply(ops []Op, inserts []Point, insertAt []int) ([]PointID, error) {
+	staged, err := ss.stage(inserts, "Apply op", insertAt)
+	if err != nil {
+		return nil, err
+	}
+	shOps := make([]shOp, len(ops))
+	next := 0
+	for i, op := range ops {
+		if op.Kind == OpInsert {
+			shOps[i] = shOp{insert: true, sp: staged[next]}
+			next++
+		} else {
+			shOps[i] = shOp{gid: op.ID}
+		}
+	}
+	return ss.commitBatch(shOps, func(i int, id PointID) error {
+		return fmt.Errorf("dyndbscan: Apply op %d: %w (id %d)", i, ErrUnknownPoint, id)
+	})
+}
+
+// Read surface.
+
+func (ss *shardSet) len() int {
+	ss.routesMu.Lock()
+	defer ss.routesMu.Unlock()
+	return len(ss.routes)
+}
+
+func (ss *shardSet) has(id PointID) bool {
+	ss.routesMu.Lock()
+	defer ss.routesMu.Unlock()
+	_, ok := ss.routes[id]
+	return ok
+}
+
+func (ss *shardSet) ids() []PointID {
+	ss.routesMu.Lock()
+	defer ss.routesMu.Unlock()
+	out := make([]PointID, 0, len(ss.routes))
+	for id := range ss.routes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// liveIDsLocked returns the ascending live global handles, compacting
+// tombstones lazily; the caller holds worldMu exclusively.
+func (ss *shardSet) liveIDsLocked() []PointID {
+	ss.routesMu.Lock()
+	defer ss.routesMu.Unlock()
+	ss.sortedIDs = compactLiveIDs(ss.sortedIDs, ss.pendingDead, &ss.idsSorted)
+	return ss.sortedIDs
+}
+
+// snapshot builds (and publishes) the stitched cross-shard snapshot for the
+// current epoch.
+func (ss *shardSet) snapshot() *Snapshot {
+	e := ss.e
+	ss.worldMu.Lock()
+	defer ss.worldMu.Unlock()
+	if s := e.currentSnapshot(); s != nil {
+		return s // lost the build race to another reader
+	}
+	gidOf := ss.stitchLocked()
+	ids := ss.liveIDsLocked()
+	s := &Snapshot{
+		Version:  e.version.Load(),
+		Clusters: make(map[ClusterID][]PointID),
+		byPoint:  make(map[PointID][]ClusterID, len(ids)),
+	}
+	// Owner shards answer membership: their view of every owned point (and
+	// of the seam cells within ε of it) is exact, and the local cluster ids
+	// they report map through the stitch to global ids. Two local ids may
+	// stitch to one global cluster, hence the dedup.
+	resolve := func(id PointID) ([]ClusterID, bool) {
+		owner := ss.routes[id].copies[0]
+		cids, ok := ss.shards[owner.shard].ext.ClusterOf(owner.local)
+		if !ok {
+			return nil, false
+		}
+		if len(cids) == 0 {
+			return nil, true // live noise point
+		}
+		out := make([]ClusterID, 0, len(cids))
+		for _, cid := range cids {
+			out = append(out, gidOf[stitchKey{owner.shard, cid}])
+		}
+		return dedupSortedIDs(out), true
+	}
+	workers := 1
+	if e.roQueries && e.workers > 1 && len(ids) >= parallelSnapshotMin {
+		// Parallel resolution is safe only for read-only ClusterOf backends
+		// (AlgoFullyDynamic): chunks may hit the same shard concurrently.
+		workers = e.workers
+	}
+	resolveMembers(s, ids, workers, resolve)
+	e.snap.Store(s)
+	return s
+}
+
+// dedupSortedIDs sorts and dedups in place (global ids of one point after
+// stitching).
+func dedupSortedIDs(ids []ClusterID) []ClusterID {
+	if len(ids) < 2 {
+		return ids
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w := 1
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[w-1] {
+			ids[w] = ids[i]
+			w++
+		}
+	}
+	return ids[:w]
+}
+
+// stitchLocked returns the current (shard, local cluster) → global id map,
+// reusing the cached stitch when it matches the engine epoch. Caller holds
+// worldMu exclusively.
+func (ss *shardSet) stitchLocked() map[stitchKey]ClusterID {
+	v := ss.e.version.Load()
+	if ss.stitchValid && ss.stitchVersion == v {
+		return ss.stitched
+	}
+	ss.restitchLocked(nil)
+	ss.stitchVersion = v
+	ss.stitchValid = true
+	return ss.stitched
+}
+
+// restitchLocked recomputes the stitch from the live shard states: it
+// enumerates every core cell of every shard, unions shard-local clusters
+// across seams (a core cell observed inside a foreign shard's territory
+// links the observer's local cluster with the owner's), and maps each
+// component to a stable global id via keyGID. lineage, when non-nil, maps a
+// local cluster key to the keys its identity flowed into during the commit
+// being diffed (from the backends' own merge/split events); it lets a
+// component inherit the global id of a local cluster whose local id was
+// retired mid-commit. It leaves the fresh assignment in
+// ss.stitched/ss.keyGID and returns the components, the previous
+// assignment, and the previous global ids attributed to each component.
+func (ss *shardSet) restitchLocked(lineage map[stitchKey][]stitchKey) (comps [][]stitchKey, old map[stitchKey]ClusterID, prevGIDs [][]ClusterID) {
+	type edge struct{ a, b stitchKey }
+	var (
+		keys  []stitchKey
+		index = make(map[stitchKey]int)
+		edges []edge
+	)
+	intern := func(k stitchKey) int {
+		if i, ok := index[k]; ok {
+			return i
+		}
+		index[k] = len(keys)
+		keys = append(keys, k)
+		return len(keys) - 1
+	}
+	for si, sh := range ss.shards {
+		s := int32(si)
+		sh.walker.ForEachCoreCell(func(coord grid.Coord, cid core.ClusterID) bool {
+			k := stitchKey{s, cid}
+			intern(k)
+			if owner := ss.ownerOf(coord); owner != s {
+				// The cell lives in another shard's territory: the owner's
+				// view of it is exact, so its local cluster there and our
+				// local cluster here are the same global cluster.
+				if ocid, ok := ss.shards[owner].walker.CoreCellCluster(coord); ok {
+					edges = append(edges, edge{k, stitchKey{owner, ocid}})
+				}
+			}
+			return true
+		})
+	}
+	uf := unionfind.New(len(keys))
+	for _, ed := range edges {
+		ia, okA := index[ed.a]
+		ib, okB := index[ed.b]
+		if okA && okB {
+			uf.Union(ia, ib)
+		}
+	}
+	byRoot := make(map[int][]int)
+	for i := range keys {
+		r := uf.Find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	comps = make([][]stitchKey, 0, len(byRoot))
+	for _, members := range byRoot {
+		comp := make([]stitchKey, len(members))
+		for j, i := range members {
+			comp[j] = keys[i]
+		}
+		sort.Slice(comp, func(a, b int) bool { return stitchKeyLess(comp[a], comp[b]) })
+		comps = append(comps, comp)
+	}
+	// Canonical component order (by smallest member key) makes global id
+	// assignment deterministic regardless of map iteration order.
+	sort.Slice(comps, func(a, b int) bool { return stitchKeyLess(comps[a][0], comps[b][0]) })
+
+	// Attribute previous global ids to the components their keys' identities
+	// flowed into: directly for keys still live, through the lineage graph
+	// for keys retired or spawned mid-commit.
+	keyComp := make(map[stitchKey]int, len(keys))
+	for ci, comp := range comps {
+		for _, k := range comp {
+			keyComp[k] = ci
+		}
+	}
+	old = ss.keyGID
+	prevGIDs = make([][]ClusterID, len(comps))
+	for ko, g := range old {
+		for _, k := range lineageReach(ko, lineage) {
+			if ci, ok := keyComp[k]; ok {
+				prevGIDs[ci] = append(prevGIDs[ci], g)
+			}
+		}
+	}
+	for ci := range prevGIDs {
+		prevGIDs[ci] = dedupSortedIDs(prevGIDs[ci])
+	}
+
+	fresh := make(map[stitchKey]ClusterID, len(keys))
+	claimed := make(map[ClusterID]struct{}, len(comps))
+	for ci, comp := range comps {
+		// Candidates: the global ids attributed to the component, each
+		// claimable by one component per epoch. The smallest unclaimed
+		// candidate survives (mirroring the older-id-wins merge rule of the
+		// backends); a component with no history is a freshly formed cluster
+		// and mints.
+		gid := ClusterID(-1)
+		for _, g := range prevGIDs[ci] {
+			if _, taken := claimed[g]; !taken {
+				gid = g
+				break
+			}
+		}
+		if gid < 0 {
+			gid = ss.nextGID
+			ss.nextGID++
+		}
+		claimed[gid] = struct{}{}
+		for _, k := range comp {
+			fresh[k] = gid
+		}
+	}
+	ss.keyGID = fresh
+	ss.stitched = fresh
+	return comps, old, prevGIDs
+}
+
+// lineageReach returns the keys reachable from k through the lineage graph,
+// k itself included (a key with no lineage resolves to itself).
+func lineageReach(k stitchKey, lineage map[stitchKey][]stitchKey) []stitchKey {
+	if len(lineage) == 0 {
+		return []stitchKey{k}
+	}
+	if _, ok := lineage[k]; !ok {
+		return []stitchKey{k}
+	}
+	seen := map[stitchKey]struct{}{k: {}}
+	queue := []stitchKey{k}
+	out := []stitchKey{k}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nxt := range lineage[cur] {
+			if _, dup := seen[nxt]; !dup {
+				seen[nxt] = struct{}{}
+				out = append(out, nxt)
+				queue = append(queue, nxt)
+			}
+		}
+	}
+	return out
+}
+
+func stitchKeyLess(a, b stitchKey) bool {
+	if a.shard != b.shard {
+		return a.shard < b.shard
+	}
+	return a.cid < b.cid
+}
+
+// stitchDiffLocked re-stitches after a commit's shard applications and
+// derives the global cluster events: clusters formed (component with no
+// history), dissolved (previous id reaching no component), merged (several
+// previous ids collapsing into one component) and split (one previous id
+// spread over several components). Local cluster ids retired or minted
+// during the commit are connected to their predecessors through the lineage
+// graph recorded from the backends' own merge/split events. For single-op
+// commits this matches the single-backend event semantics; for large mixed
+// batches it is the net transition between the two stitches. Caller holds
+// worldMu exclusively.
+func (ss *shardSet) stitchDiffLocked(lineage map[stitchKey][]stitchKey) []Event {
+	comps, old, prevGIDs := ss.restitchLocked(lineage)
+	gidOf := ss.stitched
+
+	var formed []ClusterID
+	touches := make(map[ClusterID][]ClusterID) // previous gid -> final gids touching it
+	for ci, comp := range comps {
+		final := gidOf[comp[0]]
+		prev := prevGIDs[ci]
+		if len(prev) == 0 {
+			formed = append(formed, final)
+			continue
+		}
+		for _, g := range prev {
+			touches[g] = append(touches[g], final)
+		}
+	}
+	oldLive := make([]ClusterID, 0, len(touches))
+	seen := make(map[ClusterID]struct{})
+	for _, g := range old {
+		if _, dup := seen[g]; !dup {
+			seen[g] = struct{}{}
+			oldLive = append(oldLive, g)
+		}
+	}
+	sort.Slice(oldLive, func(i, j int) bool { return oldLive[i] < oldLive[j] })
+	sort.Slice(formed, func(i, j int) bool { return formed[i] < formed[j] })
+
+	var evs []Event
+	for _, g := range formed {
+		evs = append(evs, Event{Kind: EventClusterFormed, Cluster: g})
+	}
+	for _, g := range oldLive {
+		fins := dedupSortedIDs(touches[g])
+		switch {
+		case len(fins) == 0:
+			evs = append(evs, Event{Kind: EventClusterDissolved, Cluster: g})
+		case len(fins) == 1 && fins[0] == g:
+			// Survived unchanged (or absorbed others; those report themselves).
+		case len(fins) == 1:
+			evs = append(evs, Event{Kind: EventClusterMerged, Cluster: fins[0], Absorbed: g})
+		default:
+			evs = append(evs, Event{Kind: EventClusterSplit, Cluster: g, Fragments: fins})
+			if !containsID(fins, g) {
+				// Batched split+merge degenerate: the old id did not survive
+				// on any fragment; report its retirement too.
+				evs = append(evs, Event{Kind: EventClusterMerged, Cluster: fins[0], Absorbed: g})
+			}
+		}
+	}
+	return evs
+}
+
+func containsID(ids []ClusterID, id ClusterID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// syncEvents reconciles per-shard event collection with the engine's
+// subscriber count — the sharded counterpart of Engine.syncEventFunc.
+func (ss *shardSet) syncEvents() {
+	ss.worldMu.Lock()
+	defer ss.worldMu.Unlock()
+	e := ss.e
+	e.subMu.Lock()
+	want := len(e.subs) > 0
+	e.subMu.Unlock()
+	if want == ss.eventsOn.Load() {
+		return
+	}
+	if !want {
+		ss.eventsOn.Store(false)
+		for _, sh := range ss.shards {
+			sh.ext.SetEventFunc(nil)
+			sh.pending = nil
+		}
+		return
+	}
+	for _, sh := range ss.shards {
+		sh := sh
+		sh.pending = sh.pending[:0]
+		sh.ext.SetEventFunc(func(ev Event) { sh.pending = append(sh.pending, ev) })
+	}
+	// Baseline the stitch so the first subscribed commit diffs only its own
+	// changes, not the whole pre-subscription history.
+	ss.restitchLocked(nil)
+	ss.stitchVersion = e.version.Load()
+	ss.stitchValid = true
+	ss.eventsOn.Store(true)
+}
+
+// Shards returns how many spatial shards the Engine runs (1 in the default
+// single-backend mode).
+func (e *Engine) Shards() int {
+	if e.sh == nil {
+		return 1
+	}
+	return len(e.sh.shards)
+}

@@ -1,0 +1,625 @@
+package dyndbscan_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"dyndbscan"
+)
+
+// newShardTestEngine builds one engine of the equivalence pair. Rho = 0:
+// with exact semantics every clustering decision is a pure function of the
+// visible point set, so the sharded engine must reproduce the single-shard
+// clustering exactly (the documented equivalence guarantee).
+func newShardTestEngine(t *testing.T, algo dyndbscan.Algorithm, dims, shards int) *dyndbscan.Engine {
+	t.Helper()
+	e, err := dyndbscan.New(
+		dyndbscan.WithAlgorithm(algo),
+		dyndbscan.WithDims(dims),
+		dyndbscan.WithEps(30),
+		dyndbscan.WithMinPts(4),
+		dyndbscan.WithRho(0),
+		dyndbscan.WithShards(shards),
+		// Narrow stripes (4 cells ≈ 85 units at eps 30) force the test blobs
+		// to straddle many seams, stressing the stitching pass.
+		dyndbscan.WithShardStripe(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// clusteredPoints emits blobs spread along dimension 0 — including negative
+// coordinates, exercising the stripe arithmetic below zero — plus uniform
+// noise.
+func clusteredPoints(rng *rand.Rand, dims, blobs, perBlob, noise int) []dyndbscan.Point {
+	var pts []dyndbscan.Point
+	for b := 0; b < blobs; b++ {
+		center := make(dyndbscan.Point, dims)
+		center[0] = -600 + rng.Float64()*1200
+		for d := 1; d < dims; d++ {
+			center[d] = rng.Float64() * 400
+		}
+		for i := 0; i < perBlob; i++ {
+			pt := make(dyndbscan.Point, dims)
+			for d := 0; d < dims; d++ {
+				pt[d] = center[d] + (rng.Float64()-0.5)*120
+			}
+			pts = append(pts, pt)
+		}
+	}
+	for i := 0; i < noise; i++ {
+		pt := make(dyndbscan.Point, dims)
+		pt[0] = -800 + rng.Float64()*1600
+		for d := 1; d < dims; d++ {
+			pt[d] = rng.Float64() * 600
+		}
+		pts = append(pts, pt)
+	}
+	return pts
+}
+
+// checkIsomorphic asserts the two engines hold the same clustering as a
+// partition (groups, border multi-membership, noise) — cluster ids may
+// differ, which is exactly what GroupAll's canonical Result abstracts away.
+func checkIsomorphic(t *testing.T, single, sharded *dyndbscan.Engine, stage string) {
+	t.Helper()
+	if gl, gs := single.Len(), sharded.Len(); gl != gs {
+		t.Fatalf("%s: Len mismatch: single %d, sharded %d", stage, gl, gs)
+	}
+	r1, err := single.GroupAll()
+	if err != nil {
+		t.Fatalf("%s: single GroupAll: %v", stage, err)
+	}
+	r2, err := sharded.GroupAll()
+	if err != nil {
+		t.Fatalf("%s: sharded GroupAll: %v", stage, err)
+	}
+	if len(r1.Groups) != len(r2.Groups) {
+		t.Fatalf("%s: group count mismatch: single %d, sharded %d", stage, len(r1.Groups), len(r2.Groups))
+	}
+	for i := range r1.Groups {
+		if !reflect.DeepEqual(r1.Groups[i], r2.Groups[i]) {
+			t.Fatalf("%s: group %d mismatch:\nsingle:  %v\nsharded: %v", stage, i, r1.Groups[i], r2.Groups[i])
+		}
+	}
+	if !(len(r1.Noise) == 0 && len(r2.Noise) == 0) && !reflect.DeepEqual(r1.Noise, r2.Noise) {
+		t.Fatalf("%s: noise mismatch:\nsingle:  %v\nsharded: %v", stage, r1.Noise, r2.Noise)
+	}
+}
+
+// TestShardedEquivalence drives an identical mixed workload through a
+// single-shard and a sharded engine and requires isomorphic snapshots after
+// every phase — the acceptance criterion of the sharded mode.
+func TestShardedEquivalence(t *testing.T) {
+	cases := []struct {
+		name    string
+		algo    dyndbscan.Algorithm
+		dims    int
+		shards  int
+		deletes bool
+	}{
+		{"FullyDynamic/2D/3shards", dyndbscan.AlgoFullyDynamic, 2, 3, true},
+		{"FullyDynamic/2D/8shards", dyndbscan.AlgoFullyDynamic, 2, 8, true},
+		{"FullyDynamic/3D/4shards", dyndbscan.AlgoFullyDynamic, 3, 4, true},
+		{"SemiDynamic/2D/4shards", dyndbscan.AlgoSemiDynamic, 2, 4, false},
+		{"IncDBSCAN/2D/4shards", dyndbscan.AlgoIncDBSCAN, 2, 4, true},
+		{"IncDBSCANRTree/2D/3shards", dyndbscan.AlgoIncDBSCANRTree, 2, 3, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			single := newShardTestEngine(t, tc.algo, tc.dims, 1)
+			sharded := newShardTestEngine(t, tc.algo, tc.dims, tc.shards)
+			if got := sharded.Shards(); got != tc.shards {
+				t.Fatalf("Shards() = %d, want %d", got, tc.shards)
+			}
+
+			// Phase 1: batch ingestion. Both engines mint the same handles
+			// for the same sequence, so ids can be shared below.
+			pts := clusteredPoints(rng, tc.dims, 6, 60, 30)
+			ids1, err := single.InsertBatch(pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids2, err := sharded.InsertBatch(pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ids1, ids2) {
+				t.Fatalf("InsertBatch ids diverge: %v vs %v", ids1[:5], ids2[:5])
+			}
+			checkIsomorphic(t, single, sharded, "after batch insert")
+
+			live := append([]dyndbscan.PointID(nil), ids1...)
+
+			// Phase 2: mixed Apply batches (fresh points in, random points
+			// out) — the pipelined path the sharded mode parallelizes.
+			for round := 0; round < 4; round++ {
+				fresh := clusteredPoints(rng, tc.dims, 2, 25, 5)
+				ops := make([]dyndbscan.Op, 0, len(fresh)+20)
+				for _, pt := range fresh {
+					ops = append(ops, dyndbscan.InsertOp(pt))
+				}
+				if tc.deletes {
+					for i := 0; i < 20 && len(live) > 0; i++ {
+						k := rng.Intn(len(live))
+						ops = append(ops, dyndbscan.DeleteOp(live[k]))
+						live[k] = live[len(live)-1]
+						live = live[:len(live)-1]
+					}
+				}
+				out1, err := single.Apply(ops)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out2, err := sharded.Apply(ops)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(out1, out2) {
+					t.Fatalf("Apply round %d ids diverge", round)
+				}
+				for i, op := range ops {
+					if op.Kind == dyndbscan.OpInsert {
+						live = append(live, out1[i])
+					}
+				}
+				checkIsomorphic(t, single, sharded, fmt.Sprintf("after Apply round %d", round))
+			}
+
+			// Phase 3: single-op traffic.
+			for i := 0; i < 30; i++ {
+				pt := clusteredPoints(rng, tc.dims, 1, 1, 0)[0]
+				id1, err := single.Insert(pt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				id2, err := sharded.Insert(pt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if id1 != id2 {
+					t.Fatalf("Insert ids diverge: %d vs %d", id1, id2)
+				}
+				live = append(live, id1)
+				if tc.deletes && i%3 == 0 && len(live) > 1 {
+					k := rng.Intn(len(live))
+					if err := single.Delete(live[k]); err != nil {
+						t.Fatal(err)
+					}
+					if err := sharded.Delete(live[k]); err != nil {
+						t.Fatal(err)
+					}
+					live[k] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+			}
+			checkIsomorphic(t, single, sharded, "after single ops")
+
+			// Phase 4: batched deletion.
+			if tc.deletes {
+				n := len(live) / 3
+				batch := append([]dyndbscan.PointID(nil), live[:n]...)
+				if err := single.DeleteBatch(batch); err != nil {
+					t.Fatal(err)
+				}
+				if err := sharded.DeleteBatch(batch); err != nil {
+					t.Fatal(err)
+				}
+				live = live[n:]
+				checkIsomorphic(t, single, sharded, "after batch delete")
+			}
+
+			// Cross-check the point-level read surface on a sample.
+			for i := 0; i < 25 && i < len(live); i++ {
+				id := live[i]
+				c1, ok1 := single.ClusterOf(id)
+				c2, ok2 := sharded.ClusterOf(id)
+				if ok1 != ok2 || len(c1) != len(c2) {
+					t.Fatalf("ClusterOf(%d) membership count mismatch: %v/%v vs %v/%v", id, c1, ok1, c2, ok2)
+				}
+				if !sharded.Has(id) {
+					t.Fatalf("sharded.Has(%d) = false for live point", id)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedValidation covers the sharded engine's option and update
+// validation surface.
+func TestShardedValidation(t *testing.T) {
+	if _, err := dyndbscan.New(dyndbscan.WithEps(1), dyndbscan.WithMinPts(2), dyndbscan.WithShards(0)); err == nil {
+		t.Fatal("WithShards(0) accepted")
+	}
+	if _, err := dyndbscan.New(dyndbscan.WithEps(1), dyndbscan.WithMinPts(2), dyndbscan.WithShardStripe(0)); err == nil {
+		t.Fatal("WithShardStripe(0) accepted")
+	}
+	if _, err := dyndbscan.New(
+		dyndbscan.WithEps(1), dyndbscan.WithMinPts(2),
+		dyndbscan.WithShards(2), dyndbscan.WithThreadSafety(false),
+	); err == nil {
+		t.Fatal("WithShards(2) + WithThreadSafety(false) accepted")
+	}
+
+	e, err := dyndbscan.New(dyndbscan.WithEps(10), dyndbscan.WithMinPts(3),
+		dyndbscan.WithShards(2), dyndbscan.WithRho(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Shards() != 2 {
+		t.Fatalf("Shards() = %d, want 2", e.Shards())
+	}
+	id, err := e.Insert(dyndbscan.Point{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Insert(dyndbscan.Point{1}); !errors.Is(err, dyndbscan.ErrBadPoint) {
+		t.Fatalf("short point: got %v, want ErrBadPoint", err)
+	}
+	if err := e.Delete(id + 99); !errors.Is(err, dyndbscan.ErrUnknownPoint) {
+		t.Fatalf("unknown delete: got %v, want ErrUnknownPoint", err)
+	}
+	if err := e.DeleteBatch([]dyndbscan.PointID{id, id}); !errors.Is(err, dyndbscan.ErrDuplicateID) {
+		t.Fatalf("dup batch: got %v, want ErrDuplicateID", err)
+	}
+	if err := e.DeleteBatch([]dyndbscan.PointID{id, id + 99}); !errors.Is(err, dyndbscan.ErrUnknownPoint) {
+		t.Fatalf("unknown batch: got %v, want ErrUnknownPoint", err)
+	}
+	if e.Has(id) != true || e.Len() != 1 {
+		t.Fatal("failed DeleteBatch mutated state")
+	}
+	if _, err := e.Apply([]dyndbscan.Op{dyndbscan.InsertOp(dyndbscan.Point{2, 2}), dyndbscan.DeleteOp(id + 99)}); !errors.Is(err, dyndbscan.ErrUnknownPoint) {
+		t.Fatalf("Apply unknown delete: got %v, want ErrUnknownPoint", err)
+	}
+	if e.Len() != 1 {
+		t.Fatalf("failed Apply partially committed: Len = %d, want 1", e.Len())
+	}
+
+	// Insertion-only algorithm: deletes are rejected without state change.
+	se, err := dyndbscan.New(dyndbscan.WithEps(10), dyndbscan.WithMinPts(3),
+		dyndbscan.WithAlgorithm(dyndbscan.AlgoSemiDynamic), dyndbscan.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	sid, err := se.Insert(dyndbscan.Point{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Delete(sid); !errors.Is(err, dyndbscan.ErrDeletesUnsupported) {
+		t.Fatalf("semi delete: got %v, want ErrDeletesUnsupported", err)
+	}
+	if err := se.DeleteBatch([]dyndbscan.PointID{sid}); !errors.Is(err, dyndbscan.ErrDeletesUnsupported) {
+		t.Fatalf("semi batch delete: got %v, want ErrDeletesUnsupported", err)
+	}
+	if !se.Has(sid) {
+		t.Fatal("rejected delete removed the point")
+	}
+}
+
+// TestShardedStableIDs verifies the stitched global cluster ids behave like
+// the single-backend stable ids: they survive unrelated updates, a merge
+// keeps one of the two ids, and a split keeps the old id on one fragment.
+func TestShardedStableIDs(t *testing.T) {
+	e, err := dyndbscan.New(
+		dyndbscan.WithEps(10), dyndbscan.WithMinPts(3), dyndbscan.WithRho(0),
+		dyndbscan.WithShards(3), dyndbscan.WithShardStripe(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	blob := func(cx float64, n int) []dyndbscan.Point {
+		pts := make([]dyndbscan.Point, n)
+		for i := range pts {
+			pts[i] = dyndbscan.Point{cx + float64(i%3), float64(i / 3)}
+		}
+		return pts
+	}
+	leftIDs, err := e.InsertBatch(blob(0, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cidsL, ok := e.ClusterOf(leftIDs[0])
+	if !ok || len(cidsL) != 1 {
+		t.Fatalf("left blob membership: %v %v", cidsL, ok)
+	}
+	left := cidsL[0]
+
+	// An unrelated faraway blob must not disturb the left cluster's id.
+	rightIDs, err := e.InsertBatch(blob(500, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cidsL2, _ := e.ClusterOf(leftIDs[0])
+	if len(cidsL2) != 1 || cidsL2[0] != left {
+		t.Fatalf("left id changed after unrelated insert: %v -> %v", left, cidsL2)
+	}
+	cidsR, _ := e.ClusterOf(rightIDs[0])
+	if len(cidsR) != 1 || cidsR[0] == left {
+		t.Fatalf("right blob id: %v", cidsR)
+	}
+	right := cidsR[0]
+
+	// Bridge them: the merged cluster keeps one of the two ids.
+	var bridge []dyndbscan.Point
+	for x := 3.0; x < 500; x += 3 {
+		bridge = append(bridge, dyndbscan.Point{x, 0}, dyndbscan.Point{x + 1, 0}, dyndbscan.Point{x + 2, 0})
+	}
+	bridgeIDs, err := e.InsertBatch(bridge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, _ := e.ClusterOf(leftIDs[0])
+	if len(merged) != 1 || (merged[0] != left && merged[0] != right) {
+		t.Fatalf("merged id %v is neither %v nor %v", merged, left, right)
+	}
+	if mr, _ := e.ClusterOf(rightIDs[0]); len(mr) != 1 || mr[0] != merged[0] {
+		t.Fatalf("blobs not merged: %v vs %v", merged, mr)
+	}
+
+	// Split them again: one fragment keeps the merged id.
+	if err := e.DeleteBatch(bridgeIDs); err != nil {
+		t.Fatal(err)
+	}
+	sl, _ := e.ClusterOf(leftIDs[0])
+	sr, _ := e.ClusterOf(rightIDs[0])
+	if len(sl) != 1 || len(sr) != 1 || sl[0] == sr[0] {
+		t.Fatalf("split failed: %v vs %v", sl, sr)
+	}
+	if sl[0] != merged[0] && sr[0] != merged[0] {
+		t.Fatalf("no fragment kept the merged id %v: %v / %v", merged[0], sl, sr)
+	}
+}
+
+// TestShardedEvents verifies the sharded event stream: global handles in
+// point events, and cluster transitions (formed / merged / split /
+// dissolved) derived by the stitch diff, delivered in commit order.
+func TestShardedEvents(t *testing.T) {
+	e, err := dyndbscan.New(
+		dyndbscan.WithEps(10), dyndbscan.WithMinPts(3), dyndbscan.WithRho(0),
+		dyndbscan.WithShards(3), dyndbscan.WithShardStripe(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	var mu sync.Mutex
+	var events []dyndbscan.Event
+	cancel := e.Subscribe(func(ev dyndbscan.Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	defer cancel()
+	count := func(kind dyndbscan.EventKind) int {
+		mu.Lock()
+		defer mu.Unlock()
+		n := 0
+		for _, ev := range events {
+			if ev.Kind == kind {
+				n++
+			}
+		}
+		return n
+	}
+
+	blob := func(cx float64, n int) []dyndbscan.Point {
+		pts := make([]dyndbscan.Point, n)
+		for i := range pts {
+			pts[i] = dyndbscan.Point{cx + float64(i%3), float64(i / 3)}
+		}
+		return pts
+	}
+	leftIDs, err := e.InsertBatch(blob(0, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.InsertBatch(blob(300, 9)); err != nil {
+		t.Fatal(err)
+	}
+	e.Sync()
+	if got := count(dyndbscan.EventClusterFormed); got < 2 {
+		t.Fatalf("formed events = %d, want ≥ 2", got)
+	}
+	// Point events must carry global handles.
+	mu.Lock()
+	for _, ev := range events {
+		if ev.Kind == dyndbscan.EventPointBecameCore {
+			if !e.Has(ev.Point) {
+				t.Fatalf("core event for unknown global handle %d", ev.Point)
+			}
+		}
+	}
+	mu.Unlock()
+
+	// Bridge: exactly one merged cluster transition.
+	var bridge []dyndbscan.Point
+	for x := 3.0; x < 300; x += 3 {
+		bridge = append(bridge, dyndbscan.Point{x, 0}, dyndbscan.Point{x + 1, 0}, dyndbscan.Point{x + 2, 0})
+	}
+	bridgeIDs, err := e.InsertBatch(bridge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Sync()
+	if got := count(dyndbscan.EventClusterMerged); got < 1 {
+		t.Fatalf("merged events = %d, want ≥ 1", got)
+	}
+
+	// Cut the bridge: a split.
+	if err := e.DeleteBatch(bridgeIDs); err != nil {
+		t.Fatal(err)
+	}
+	e.Sync()
+	if got := count(dyndbscan.EventClusterSplit); got < 1 {
+		t.Fatalf("split events = %d, want ≥ 1", got)
+	}
+
+	// Remove one blob entirely: a dissolve.
+	if err := e.DeleteBatch(leftIDs); err != nil {
+		t.Fatal(err)
+	}
+	e.Sync()
+	if got := count(dyndbscan.EventClusterDissolved); got < 1 {
+		t.Fatalf("dissolved events = %d, want ≥ 1", got)
+	}
+}
+
+// TestShardedConcurrentCommits hammers a sharded engine with parallel mixed
+// batches and concurrent snapshot readers, then checks the surviving
+// clustering against a single-shard engine fed the same final point set.
+// Run with -race.
+func TestShardedConcurrentCommits(t *testing.T) {
+	e, err := dyndbscan.New(
+		dyndbscan.WithEps(30), dyndbscan.WithMinPts(4), dyndbscan.WithRho(0),
+		dyndbscan.WithShards(4), dyndbscan.WithShardStripe(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const (
+		writers = 4
+		rounds  = 12
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	// Readers: exercise the stitched snapshot path concurrently with commits.
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := e.Snapshot()
+				for cid := range snap.Clusters {
+					snap.Members(cid)
+					break
+				}
+				_ = e.Len()
+			}
+		}()
+	}
+	// Writers: each churns its own points, so batches overlap on shards but
+	// never on handles; every writer records its surviving coordinates for
+	// the reference check below.
+	surviving := make([]map[dyndbscan.PointID]dyndbscan.Point, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			mine := make(map[dyndbscan.PointID]dyndbscan.Point)
+			var live []dyndbscan.PointID
+			for round := 0; round < rounds; round++ {
+				ops := make([]dyndbscan.Op, 0, 40)
+				var fresh []dyndbscan.Point
+				for i := 0; i < 30; i++ {
+					pt := dyndbscan.Point{-600 + rng.Float64()*1200, float64(w*50) + rng.Float64()*40}
+					fresh = append(fresh, pt)
+					ops = append(ops, dyndbscan.InsertOp(pt))
+				}
+				for i := 0; i < 10 && len(live) > 0; i++ {
+					k := rng.Intn(len(live))
+					ops = append(ops, dyndbscan.DeleteOp(live[k]))
+					delete(mine, live[k])
+					live[k] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+				out, err := e.Apply(ops)
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				next := 0
+				for i, op := range ops {
+					if op.Kind == dyndbscan.OpInsert {
+						live = append(live, out[i])
+						mine[out[i]] = fresh[next]
+						next++
+					}
+				}
+			}
+			surviving[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Rebuild the surviving point set in a single-shard reference engine, in
+	// ascending global id order; with Rho = 0 the clustering is a pure
+	// function of the point set, so the partitions must match regardless of
+	// the interleaving that produced them.
+	all := make(map[dyndbscan.PointID]dyndbscan.Point)
+	for _, m := range surviving {
+		for id, pt := range m {
+			all[id] = pt
+		}
+	}
+	if got := e.Len(); got != len(all) {
+		t.Fatalf("Len = %d, want %d surviving points", got, len(all))
+	}
+	ordered := make([]dyndbscan.PointID, 0, len(all))
+	for id := range all {
+		ordered = append(ordered, id)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	ref, err := dyndbscan.New(dyndbscan.WithEps(30), dyndbscan.WithMinPts(4), dyndbscan.WithRho(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]dyndbscan.Point, len(ordered))
+	for i, id := range ordered {
+		pts[i] = all[id]
+	}
+	refIDs, err := ref.InsertBatch(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toGlobal := make(map[dyndbscan.PointID]dyndbscan.PointID, len(refIDs))
+	for i, rid := range refIDs {
+		toGlobal[rid] = ordered[i]
+	}
+	refAll, err := ref.GroupAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, g := range refAll.Groups {
+		for i, rid := range g {
+			refAll.Groups[gi][i] = toGlobal[rid]
+		}
+	}
+	for i, rid := range refAll.Noise {
+		refAll.Noise[i] = toGlobal[rid]
+	}
+	refAll.Normalize()
+	shardedAll, err := e.GroupAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(refAll.Groups, shardedAll.Groups) {
+		t.Fatalf("final partition diverges: %d ref groups vs %d sharded groups",
+			len(refAll.Groups), len(shardedAll.Groups))
+	}
+	if !(len(refAll.Noise) == 0 && len(shardedAll.Noise) == 0) && !reflect.DeepEqual(refAll.Noise, shardedAll.Noise) {
+		t.Fatalf("final noise diverges")
+	}
+}
