@@ -162,6 +162,69 @@ func BenchmarkApplySharded(b *testing.B) {
 	}
 }
 
+// BenchmarkApplyShardedSubscribed is BenchmarkApplySharded with one default
+// (lossless BlockSubscriber) subscription attached — the configuration that
+// used to collapse every sharded commit onto an exclusive world lock. With
+// the incremental seam, subscribed commits take the same shared-mode path as
+// unsubscribed ones, paying only the per-commit seam-delta fold and event
+// dispatch; multi-shard throughput must track the unsubscribed numbers
+// instead of the 1-shard serialized number. Results in BENCH_4.json.
+func BenchmarkApplyShardedSubscribed(b *testing.B) {
+	run := func(b *testing.B, shards int) {
+		e, err := dyndbscan.New(
+			dyndbscan.WithEps(200), dyndbscan.WithMinPts(10),
+			dyndbscan.WithShards(shards),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		var received atomic.Int64
+		cancel := e.Subscribe(func(dyndbscan.Event) { received.Add(1) })
+		defer cancel()
+		rng := rand.New(rand.NewSource(8))
+		centers := make([]float64, 12)
+		for i := range centers {
+			centers[i] = rng.Float64() * 2e5
+		}
+		pts := make([]dyndbscan.Point, b.N)
+		for i := range pts {
+			c := centers[rng.Intn(len(centers))]
+			pts[i] = dyndbscan.Point{c + rng.NormFloat64()*400, rng.NormFloat64() * 400}
+		}
+		const chunk = 4096
+		var prev []dyndbscan.PointID
+		b.ReportAllocs()
+		b.ResetTimer()
+		for lo := 0; lo < len(pts); lo += chunk {
+			hi := lo + chunk
+			if hi > len(pts) {
+				hi = len(pts)
+			}
+			ops := make([]dyndbscan.Op, 0, hi-lo+len(prev))
+			for _, pt := range pts[lo:hi] {
+				ops = append(ops, dyndbscan.InsertOp(pt))
+			}
+			for _, id := range prev { // retire the previous chunk in the same batch
+				ops = append(ops, dyndbscan.DeleteOp(id))
+			}
+			res, err := e.Apply(ops)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prev = res[:hi-lo]
+		}
+		e.Sync()
+		b.StopTimer()
+		if b.N > 100 && received.Load() == 0 {
+			b.Fatal("subscriber received no events")
+		}
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { run(b, shards) })
+	}
+}
+
 // BenchmarkMixedReadWriteSharded is BenchmarkMixedReadWrite at increasing
 // shard counts: 90% snapshot-backed reads, 10% insert+delete pairs, all
 // procs. Points spread over a wide space so single-point commits route to

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dyndbscan"
+	"dyndbscan/internal/evcheck"
 )
 
 // TestConcurrentReadStress hammers Snapshot/ClusterOf/Members/GroupBy from
@@ -332,6 +333,11 @@ func TestAsyncDispatchCommitOrder(t *testing.T) {
 	var events []dyndbscan.Event
 	cancel := e.Subscribe(func(ev dyndbscan.Event) { events = append(events, ev) })
 	defer cancel()
+	// The stream of a second subscription must satisfy the lifecycle
+	// invariants even under concurrent updaters.
+	val := evcheck.New()
+	cancelVal := e.Subscribe(val.Observe)
+	defer cancelVal()
 
 	var (
 		mu    sync.Mutex
@@ -373,6 +379,12 @@ func TestAsyncDispatchCommitOrder(t *testing.T) {
 		if !reflect.DeepEqual(got, ref) {
 			t.Fatalf("region %d promotion order diverged from commit order:\ngot  %v\nwant %v", g, got, ref)
 		}
+	}
+	if err := val.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := val.ReconcileLive(e.Snapshot().ClusterIDs()); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -98,7 +98,9 @@ type stagedInserter interface {
 //
 // WithShards(n) lifts the single write lock: space is partitioned into
 // grid-aligned stripes, each owning its own backend behind its own lock, so
-// updates touching disjoint shards commit concurrently; see the WithShards
+// updates touching disjoint shards commit concurrently — with or without
+// subscribers attached (event derivation rides an incrementally maintained
+// cross-shard stitch rather than a quiesced world); see the WithShards
 // documentation for the topology and the equivalence guarantee.
 type Engine struct {
 	threadSafe bool

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"dyndbscan"
+	"dyndbscan/internal/evcheck"
 )
 
 // TestNewOptionValidation exercises the functional-option surface: required
@@ -342,6 +343,23 @@ func bridgeScenario(t *testing.T, algo dyndbscan.Algorithm, withDeletes bool) {
 	var events []dyndbscan.Event
 	cancel := e.Subscribe(func(ev dyndbscan.Event) { events = append(events, ev) })
 	defer cancel()
+	// A second subscription validates the stream invariants (id lifecycle,
+	// no unknown references) and, at the end, reconciles the event-derived
+	// live cluster set against the snapshot.
+	val := evcheck.New()
+	cancelVal := e.Subscribe(val.Observe)
+	defer cancelVal()
+	checkStream := func(stage string) {
+		t.Helper()
+		e.Sync()
+		val.Commit(e.Version())
+		if err := val.Err(); err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		if err := val.ReconcileLive(e.Snapshot().ClusterIDs()); err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+	}
 	count := func(kind dyndbscan.EventKind) int {
 		e.Sync() // async dispatch: wait for committed events to land
 		n := 0
@@ -423,6 +441,7 @@ func bridgeScenario(t *testing.T, algo dyndbscan.Algorithm, withDeletes bool) {
 	}
 
 	if !withDeletes {
+		checkStream("insert-only stream")
 		return
 	}
 
@@ -442,6 +461,7 @@ func bridgeScenario(t *testing.T, algo dyndbscan.Algorithm, withDeletes bool) {
 	if len(lAfter) != 1 || len(rAfter) != 1 || lAfter[0] == rAfter[0] {
 		t.Fatalf("blobs not separated after split: %v vs %v", lAfter, rAfter)
 	}
+	checkStream("full stream")
 }
 
 // TestPointNoiseEvents checks the demotion event on the deleting algorithms:

@@ -1,0 +1,319 @@
+package dyndbscan_test
+
+// Randomized cross-mode equivalence harness: a seeded generator drives
+// identical mixed Insert/Delete/Apply streams through three engines —
+// single-shard, sharded without subscribers, and sharded with a subscriber
+// attached — across all four algorithms, asserting snapshot equality and
+// event-stream reconcilability every few commits. With Rho = 0 every
+// clustering decision is a pure function of the visible point set, so all
+// three modes must agree exactly; the subscribed engine additionally has its
+// incrementally maintained seam structure audited against a fresh stitch and
+// its event stream validated (internal/evcheck) and reconciled against the
+// snapshot's live cluster set.
+//
+// On failure the harness shrinks the op stream (bounded greedy chunk
+// removal, replaying from scratch) and prints the seed plus the minimal op
+// log so the exact stream can be replayed.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dyndbscan"
+	"dyndbscan/internal/evcheck"
+)
+
+// eqOp is one operation of a generated stream. Deletions carry an index into
+// the live-handle list at execution time (mod its length), so a shrunk
+// stream stays executable.
+type eqOp struct {
+	Insert bool
+	X, Y   float64
+	Del    int
+}
+
+func (op eqOp) String() string {
+	if op.Insert {
+		return fmt.Sprintf("I(%.1f,%.1f)", op.X, op.Y)
+	}
+	return fmt.Sprintf("D(%d)", op.Del)
+}
+
+// genEqOps emits a blob-structured stream: drifting cluster centers spread
+// along dimension 0 (crossing many stripe seams), plus uniform noise and —
+// unless the algorithm is insertion-only — interleaved deletions.
+func genEqOps(seed int64, n int, deletes bool) []eqOp {
+	rng := rand.New(rand.NewSource(seed))
+	type blob struct{ x, y float64 }
+	blobs := make([]blob, 8)
+	for i := range blobs {
+		blobs[i] = blob{-280 + rng.Float64()*560, rng.Float64() * 160}
+	}
+	ops := make([]eqOp, 0, n)
+	for len(ops) < n {
+		r := rng.Float64()
+		switch {
+		case deletes && r < 0.32:
+			ops = append(ops, eqOp{Del: rng.Intn(1 << 20)})
+		case r < 0.90:
+			b := &blobs[rng.Intn(len(blobs))]
+			b.x += (rng.Float64() - 0.5) * 6 // drift: clusters wander across seams
+			ops = append(ops, eqOp{Insert: true, X: b.x + rng.NormFloat64()*18, Y: b.y + rng.NormFloat64()*18})
+		default:
+			ops = append(ops, eqOp{Insert: true, X: -320 + rng.Float64()*640, Y: rng.Float64() * 200})
+		}
+	}
+	return ops
+}
+
+// eqConfig parameterizes one harness run.
+type eqConfig struct {
+	algo       dyndbscan.Algorithm
+	shards     int
+	stripe     int
+	eps        float64
+	minPts     int
+	batch      int // ops per Apply commit
+	checkEvery int // commits between checkpoints
+}
+
+func newEqEngine(cfg eqConfig, shards int) (*dyndbscan.Engine, error) {
+	return dyndbscan.New(
+		dyndbscan.WithAlgorithm(cfg.algo),
+		dyndbscan.WithDims(2),
+		dyndbscan.WithEps(cfg.eps),
+		dyndbscan.WithMinPts(cfg.minPts),
+		dyndbscan.WithRho(0),
+		dyndbscan.WithShards(shards),
+		dyndbscan.WithShardStripe(cfg.stripe),
+	)
+}
+
+// enginesIsomorphic compares two engines' clusterings as partitions (groups,
+// border multi-membership, noise); cluster ids may differ across modes.
+func enginesIsomorphic(a, b *dyndbscan.Engine, aName, bName string) error {
+	if la, lb := a.Len(), b.Len(); la != lb {
+		return fmt.Errorf("Len mismatch: %s %d, %s %d", aName, la, bName, lb)
+	}
+	ra, err := a.GroupAll()
+	if err != nil {
+		return fmt.Errorf("%s GroupAll: %w", aName, err)
+	}
+	rb, err := b.GroupAll()
+	if err != nil {
+		return fmt.Errorf("%s GroupAll: %w", bName, err)
+	}
+	if len(ra.Groups) != len(rb.Groups) {
+		return fmt.Errorf("group count mismatch: %s %d, %s %d", aName, len(ra.Groups), bName, len(rb.Groups))
+	}
+	for i := range ra.Groups {
+		if !reflect.DeepEqual(ra.Groups[i], rb.Groups[i]) {
+			return fmt.Errorf("group %d mismatch:\n%s: %v\n%s: %v", i, aName, ra.Groups[i], bName, rb.Groups[i])
+		}
+	}
+	if !(len(ra.Noise) == 0 && len(rb.Noise) == 0) && !reflect.DeepEqual(ra.Noise, rb.Noise) {
+		return fmt.Errorf("noise mismatch:\n%v: %v\n%v: %v", aName, ra.Noise, bName, rb.Noise)
+	}
+	return nil
+}
+
+// runEqStream replays ops through the three modes and returns an error
+// naming the first checkpoint at which any invariant broke.
+func runEqStream(cfg eqConfig, ops []eqOp) (err error) {
+	ref, err := newEqEngine(cfg, 1)
+	if err != nil {
+		return err
+	}
+	defer ref.Close()
+	plain, err := newEqEngine(cfg, cfg.shards)
+	if err != nil {
+		return err
+	}
+	defer plain.Close()
+	sub, err := newEqEngine(cfg, cfg.shards)
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	val := evcheck.New()
+	cancel := sub.Subscribe(val.Observe)
+	defer cancel()
+
+	var live []dyndbscan.PointID
+	commits := 0
+	checkpoint := func(stage string) error {
+		sub.Sync()
+		if err := val.Err(); err != nil {
+			return fmt.Errorf("%s: event stream invalid: %w", stage, err)
+		}
+		val.Commit(sub.Version())
+		if err := enginesIsomorphic(ref, plain, "single", "sharded"); err != nil {
+			return fmt.Errorf("%s: single vs sharded: %w", stage, err)
+		}
+		if err := enginesIsomorphic(ref, sub, "single", "sharded+sub"); err != nil {
+			return fmt.Errorf("%s: single vs sharded+sub: %w", stage, err)
+		}
+		if err := val.ReconcileLive(sub.Snapshot().ClusterIDs()); err != nil {
+			return fmt.Errorf("%s: event stream vs snapshot: %w", stage, err)
+		}
+		if err := sub.SeamAudit(); err != nil {
+			return fmt.Errorf("%s: %w", stage, err)
+		}
+		if err := val.Err(); err != nil {
+			return fmt.Errorf("%s: event stream invalid: %w", stage, err)
+		}
+		return nil
+	}
+
+	for lo := 0; lo < len(ops); lo += cfg.batch {
+		hi := lo + cfg.batch
+		if hi > len(ops) {
+			hi = len(ops)
+		}
+		// Build one Apply batch: delete targets come from the live set as of
+		// the batch start (Apply forbids same-batch insert+delete), without
+		// duplicates.
+		batch := make([]dyndbscan.Op, 0, hi-lo)
+		used := make(map[dyndbscan.PointID]struct{})
+		var targets []dyndbscan.PointID
+		for _, op := range ops[lo:hi] {
+			if op.Insert {
+				batch = append(batch, dyndbscan.InsertOp(dyndbscan.Point{op.X, op.Y}))
+				continue
+			}
+			if len(live) == 0 {
+				continue
+			}
+			id := live[op.Del%len(live)]
+			if _, dup := used[id]; dup {
+				continue
+			}
+			used[id] = struct{}{}
+			batch = append(batch, dyndbscan.DeleteOp(id))
+			targets = append(targets, id)
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		outRef, err := ref.Apply(batch)
+		if err != nil {
+			return fmt.Errorf("ops[%d:%d]: single Apply: %w", lo, hi, err)
+		}
+		outPlain, err := plain.Apply(batch)
+		if err != nil {
+			return fmt.Errorf("ops[%d:%d]: sharded Apply: %w", lo, hi, err)
+		}
+		outSub, err := sub.Apply(batch)
+		if err != nil {
+			return fmt.Errorf("ops[%d:%d]: sharded+sub Apply: %w", lo, hi, err)
+		}
+		if !reflect.DeepEqual(outRef, outPlain) || !reflect.DeepEqual(outRef, outSub) {
+			return fmt.Errorf("ops[%d:%d]: handles diverge across modes", lo, hi)
+		}
+		for i, op := range batch {
+			if op.Kind == dyndbscan.OpInsert {
+				live = append(live, outRef[i])
+			}
+		}
+		if len(targets) > 0 {
+			dead := make(map[dyndbscan.PointID]struct{}, len(targets))
+			for _, id := range targets {
+				dead[id] = struct{}{}
+			}
+			w := 0
+			for _, id := range live {
+				if _, d := dead[id]; !d {
+					live[w] = id
+					w++
+				}
+			}
+			live = live[:w]
+		}
+		commits++
+		if commits%cfg.checkEvery == 0 {
+			if err := checkpoint(fmt.Sprintf("after commit %d (ops[:%d])", commits, hi)); err != nil {
+				return err
+			}
+		}
+	}
+	return checkpoint("final")
+}
+
+// shrinkEqOps reduces a failing stream with bounded greedy chunk removal;
+// every candidate replays from scratch, so the budget caps total work.
+func shrinkEqOps(cfg eqConfig, ops []eqOp) []eqOp {
+	fails := func(cand []eqOp) bool { return runEqStream(cfg, cand) != nil }
+	cur := append([]eqOp(nil), ops...)
+	budget := 60
+	for chunk := len(cur) / 2; chunk >= 1 && budget > 0; chunk /= 2 {
+		for start := 0; start+chunk <= len(cur) && budget > 0; {
+			cand := append(append([]eqOp(nil), cur[:start]...), cur[start+chunk:]...)
+			budget--
+			if fails(cand) {
+				cur = cand
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return cur
+}
+
+func formatEqOps(ops []eqOp) string {
+	parts := make([]string, len(ops))
+	for i, op := range ops {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// TestCrossModeEquivalence is the acceptance harness of the incremental
+// cross-shard stitch: ≥10k ops per seed, all four algorithms, three modes.
+func TestCrossModeEquivalence(t *testing.T) {
+	cases := []struct {
+		name    string
+		algo    dyndbscan.Algorithm
+		deletes bool
+	}{
+		{"FullyDynamic", dyndbscan.AlgoFullyDynamic, true},
+		{"SemiDynamic", dyndbscan.AlgoSemiDynamic, false},
+		{"IncDBSCAN", dyndbscan.AlgoIncDBSCAN, true},
+		{"IncDBSCANRTree", dyndbscan.AlgoIncDBSCANRTree, true},
+	}
+	seeds := []int64{42}
+	nops := 10_000
+	if testing.Short() {
+		nops = 2_000
+	}
+	for _, tc := range cases {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed%d", tc.name, seed), func(t *testing.T) {
+				cfg := eqConfig{
+					algo:   tc.algo,
+					shards: 4,
+					stripe: 3,
+					eps:    25,
+					minPts: 4,
+					batch:  16, checkEvery: 12,
+				}
+				ops := genEqOps(seed, nops, tc.deletes)
+				err := runEqStream(cfg, ops)
+				if err == nil {
+					return
+				}
+				t.Logf("cross-mode divergence (seed %d, %d ops): %v — shrinking", seed, len(ops), err)
+				min := shrinkEqOps(cfg, ops)
+				minErr := runEqStream(cfg, min)
+				if minErr == nil {
+					minErr = err // shrink lost the failure; report the original
+					min = ops
+				}
+				t.Fatalf("cross-mode equivalence failed\nseed: %d\nerror: %v\nreplay (%d ops): %s",
+					seed, minErr, len(min), formatEqOps(min))
+			})
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package dyndbscan
+
+// Test-only exports.
+
+// SeamAudit cross-checks the sharded engine's incrementally maintained seam
+// structure against a fresh recomputation from the live backends, under a
+// quiesced world. It returns nil on a single-backend engine or while no
+// subscribers keep the seam live — there is nothing incremental to audit
+// then. Tests (the randomized cross-mode equivalence harness in particular)
+// call it at every checkpoint: any divergence between the folded deltas and
+// the ground truth is reported at the first commit that introduced it.
+func (e *Engine) SeamAudit() error {
+	if e.sh == nil {
+		return nil
+	}
+	ss := e.sh
+	ss.worldMu.Lock()
+	defer ss.worldMu.Unlock()
+	if ss.seam == nil {
+		return nil
+	}
+	return ss.auditSeamLocked()
+}

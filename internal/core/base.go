@@ -73,6 +73,11 @@ type base struct {
 
 	emit        func(Event) // optional event sink; see SetEventFunc
 	nextCluster ClusterID   // next stable cluster identity
+
+	// dirtySeam, when non-nil, records cells whose core-cell state crossed
+	// the empty/non-empty boundary — the change set of the sharded engine's
+	// incremental stitch; see SeamTracker.
+	dirtySeam map[grid.Coord]struct{}
 }
 
 func newBase(cfg Config) *base {
@@ -204,6 +209,9 @@ func (b *base) markCore(rec *pointRec) {
 	c.nonCore = c.nonCore[:last]
 	rec.ncIdx = -1
 	c.coreCount++
+	if c.coreCount == 1 {
+		b.noteSeamDirty(c)
+	}
 }
 
 // markNonCore flips rec back to non-core status.
@@ -216,6 +224,9 @@ func (b *base) markNonCore(rec *pointRec) {
 	rec.ncIdx = len(c.nonCore)
 	c.nonCore = append(c.nonCore, rec)
 	c.coreCount--
+	if c.coreCount == 0 {
+		b.noteSeamDirty(c)
+	}
 }
 
 // removePoint detaches rec from its cell (swap-delete) and the point table.

@@ -224,6 +224,9 @@ func (ic *IncDBSCAN) Delete(id PointID) error {
 	wasCore := rec.core
 	if wasCore {
 		c.coreCount--
+		if c.coreCount == 0 {
+			ic.noteSeamDirty(c)
+		}
 		ic.dropCore(rec)
 	}
 	ic.removePoint(rec)

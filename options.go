@@ -146,6 +146,11 @@ func WithWorkers(n int) Option {
 // the stable-id naming); with Rho > 0 both are legal ρ-approximate
 // clusterings that may resolve don't-care-band points differently.
 //
+// Commit parallelism is independent of Subscribe: with subscribers attached,
+// each commit derives its global cluster events by folding its own seam
+// delta into an incrementally maintained cross-shard stitch, so commits on
+// disjoint shard sets still proceed concurrently.
+//
 // Sharded mode requires thread safety (the default); combining WithShards(n>1)
 // with WithThreadSafety(false) is an error.
 func WithShards(n int) Option {

@@ -36,7 +36,10 @@ package dyndbscan
 // (shard, local cluster id) keys — one union per core cell observed in a
 // foreign shard's territory — and maps each component to a stable global
 // ClusterID (persisted across epochs in keyGID, so ids survive every update
-// that does not merge or split a stitched cluster). With Rho = 0 the
+// that does not merge or split a stitched cluster). While subscribers exist
+// the same structure is maintained incrementally instead of recomputed: each
+// commit folds its seam delta into the live seam union-find and derives its
+// global cluster events from the transition (see seam.go). With Rho = 0 the
 // stitched clustering is exactly the single-shard clustering; with Rho > 0
 // both are legal ρ-approximate clusterings that may resolve don't-care-band
 // points differently.
@@ -45,19 +48,18 @@ package dyndbscan
 //
 // worldMu is the commit/stitch coordination lock: commits hold it shared
 // (parallelism comes from the per-shard locks), while snapshot construction
-// and stitching hold it exclusively and therefore observe a quiesced world.
-// When subscribers exist, commits also run exclusively: deriving globally
-// meaningful cluster events requires a per-commit stitch diff, which needs
-// the quiesced view. Subscribing in sharded mode therefore trades commit
-// parallelism for event fidelity; unsubscribe (or Engine.Close) to get it
-// back.
+// and subscriber-count transitions hold it exclusively and therefore observe
+// a quiesced world. Commits stay shared even when subscribers exist: global
+// cluster events are derived from each commit's own seam delta folded into
+// the incrementally maintained seam structure (see seam.go), serialized only
+// by the fine-grained seamMu — commits on disjoint shard sets proceed
+// concurrently with subscribers attached.
 
 import (
 	"fmt"
 	"math"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"dyndbscan/internal/core"
 	"dyndbscan/internal/grid"
@@ -92,12 +94,13 @@ type route struct {
 
 // shard is one spatial partition: a full clustering backend plus its lock.
 type shard struct {
-	idx    int32
-	mu     sync.Mutex
-	c      Clusterer
-	ext    extendedClusterer
-	st     stagedInserter
-	walker core.CoreCellWalker
+	idx     int32
+	mu      sync.Mutex
+	c       Clusterer
+	ext     extendedClusterer
+	st      stagedInserter
+	walker  core.CoreCellWalker
+	tracker core.SeamTracker
 
 	// ownerGlobal maps backend-local handles of *owned* copies back to their
 	// global handles — the translation table for point-level events. Ghost
@@ -122,8 +125,8 @@ type shardSet struct {
 	shards []*shard
 
 	// worldMu: commits hold it shared (their shard locks provide mutual
-	// exclusion); snapshot builds, stitches, and event-enabled commits hold
-	// it exclusively.
+	// exclusion); snapshot builds, full stitches, and subscriber-count
+	// transitions hold it exclusively.
 	worldMu sync.RWMutex
 
 	// Global handle table; guarded by routesMu (commits on disjoint shards
@@ -136,14 +139,23 @@ type shardSet struct {
 	idsSorted   bool
 	pendingDead map[PointID]struct{}
 
-	// eventsOn mirrors "the engine has subscribers": commits read it to
-	// decide between the shared and exclusive worldMu mode. Toggled only
-	// while worldMu is held exclusively.
-	eventsOn atomic.Bool
+	// eventsOn mirrors "the engine has subscribers": commits read it (under
+	// the shared worldMu) to decide whether to collect events and fold seam
+	// deltas. Toggled only while worldMu is held exclusively, so its value is
+	// stable for the duration of any commit.
+	eventsOn bool
 
-	// Stitch state; all fields below are guarded by worldMu held
-	// exclusively. keyGID persists the (shard, local cluster) → global id
-	// assignment across epochs — the source of global id stability.
+	// Incremental seam structure (see seam.go): live while eventsOn, nil
+	// otherwise. seamMu guards it plus the stitch state below during
+	// subscribed commits; a quiesced holder of worldMu (exclusive) may read
+	// everything without seamMu, since no commit is in flight then.
+	seamMu sync.Mutex
+	seam   *seamState
+
+	// Stitch state. keyGID persists the (shard, local cluster) → global id
+	// assignment across epochs — the source of global id stability — fed by
+	// full restitches while no subscribers exist and maintained per commit by
+	// the seam transactions while they do.
 	keyGID        map[stitchKey]ClusterID
 	nextGID       ClusterID
 	stitched      map[stitchKey]ClusterID
@@ -196,7 +208,8 @@ func newShardedEngine(s *engineSettings) (*Engine, error) {
 		ext, okExt := c.(extendedClusterer)
 		st, okSt := c.(stagedInserter)
 		walker, okWalk := c.(core.CoreCellWalker)
-		if !okExt || !okSt || !okWalk {
+		tracker, okTrack := c.(core.SeamTracker)
+		if !okExt || !okSt || !okWalk || !okTrack {
 			return nil, fmt.Errorf("dyndbscan: algorithm %v lacks the sharding capabilities", s.algo)
 		}
 		ss.shards[i] = &shard{
@@ -205,6 +218,7 @@ func newShardedEngine(s *engineSettings) (*Engine, error) {
 			ext:         ext,
 			st:          st,
 			walker:      walker,
+			tracker:     tracker,
 			ownerGlobal: make(map[core.PointID]PointID),
 		}
 	}
@@ -236,6 +250,23 @@ func floorMod(a, b int64) int64 {
 func (ss *shardSet) ownerOf(coord grid.Coord) int32 {
 	stripe := floorDiv(int64(coord[0]), ss.stripeCells)
 	return int32(floorMod(stripe, int64(len(ss.shards))))
+}
+
+// replicated reports whether the cell is held by more than one shard — the
+// owner plus at least one ghost copy — without materializing the shard list:
+// true exactly when the cell lies within bandCells of an adjacent stripe.
+// For n ≥ 2 shards the adjacent stripes always belong to other shards
+// (round-robin), and stripe distances grow monotonically with the stripe
+// offset, so the two dt = ±1 tests of shardsOf decide the question. The seam
+// fold calls this once per dirty cell inside its critical section, where the
+// shardsOf allocation would be pure overhead.
+func (ss *shardSet) replicated(coord grid.Coord) bool {
+	c0 := int64(coord[0])
+	t := floorDiv(c0, ss.stripeCells)
+	if (t+1)*ss.stripeCells-c0 <= ss.bandCells {
+		return true
+	}
+	return c0-((t-1)*ss.stripeCells+ss.stripeCells-1) <= ss.bandCells
 }
 
 // shardsOf returns the shards that must hold a copy of a point in the given
@@ -371,36 +402,15 @@ func (ss *shardSet) commitBatch(ops []shOp, errUnknown func(i int, id PointID) e
 
 	// Critical section: shared worldMu + the involved shard locks (acquired
 	// in ascending order, so overlapping commits cannot deadlock), letting
-	// commits on disjoint shards run concurrently. With subscribers the
-	// commit runs exclusively instead — the stitch diff needs a quiesced
-	// world. Publication happens after the unlock: a backpressured publisher
-	// must never hold worldMu, or subscriber callbacks querying the Engine
-	// would deadlock.
-	// eventsOn only toggles while worldMu is held exclusively, so its value
-	// is stable once we hold the lock in either mode — but it can flip
-	// between the pre-acquisition read and the acquisition (a racing
-	// Subscribe/Close). Re-check after acquiring and retry in the other
-	// mode if it moved: committing with a stale evsOn=false would discard
-	// this commit's events and, worse, the merge/split lineage the next
-	// subscribed commit's stitch diff needs.
-	evsOn := ss.eventsOn.Load()
-	for {
-		if evsOn {
-			ss.worldMu.Lock()
-		} else {
-			ss.worldMu.RLock()
-		}
-		now := ss.eventsOn.Load()
-		if now == evsOn {
-			break
-		}
-		if evsOn {
-			ss.worldMu.Unlock()
-		} else {
-			ss.worldMu.RUnlock()
-		}
-		evsOn = now
-	}
+	// commits on disjoint shards run concurrently — with or without
+	// subscribers: event derivation folds this commit's seam delta into the
+	// live seam structure under seamMu instead of requiring a quiesced world.
+	// Publication happens after the unlock: a backpressured publisher must
+	// never hold worldMu, or subscriber callbacks querying the Engine would
+	// deadlock. eventsOn only toggles while worldMu is held exclusively, so
+	// its value is stable once the shared lock is held.
+	ss.worldMu.RLock()
+	evsOn := ss.eventsOn
 	for _, s := range involved {
 		ss.shards[s].mu.Lock()
 	}
@@ -408,11 +418,7 @@ func (ss *shardSet) commitBatch(ops []shOp, errUnknown func(i int, id PointID) e
 		for i := len(involved) - 1; i >= 0; i-- {
 			ss.shards[involved[i]].mu.Unlock()
 		}
-		if evsOn {
-			ss.worldMu.Unlock()
-		} else {
-			ss.worldMu.RUnlock()
-		}
+		ss.worldMu.RUnlock()
 	}
 
 	// Re-validate deletes and mint insert handles under the locks: a racing
@@ -438,7 +444,8 @@ func (ss *shardSet) commitBatch(ops []shOp, errUnknown func(i int, id PointID) e
 	// Apply each shard's op subsequence; shards proceed in parallel. The
 	// fanout is skipped for the common single-shard op.
 	evsBuf := make([][]Event, len(involved))
-	aliasBuf := make([][]aliasEdge, len(involved))
+	clustBuf := make([][]Event, len(involved))
+	dirtyBuf := make([][]grid.Coord, len(involved))
 	runShard := func(k int, s int32) {
 		sh := ss.shards[s]
 		for _, it := range perShard[s] {
@@ -453,7 +460,7 @@ func (ss *shardSet) commitBatch(ops []shOp, errUnknown func(i int, id PointID) e
 				if it.owner {
 					sh.ownerGlobal[lid] = op.gid
 				}
-				sh.drainEvents(&evsBuf[k], &aliasBuf[k], evsOn)
+				sh.drainEvents(&evsBuf[k], &clustBuf[k], evsOn)
 				continue
 			}
 			if err := sh.c.Delete(it.local); err != nil {
@@ -462,10 +469,13 @@ func (ss *shardSet) commitBatch(ops []shOp, errUnknown func(i int, id PointID) e
 			}
 			// Drain before dropping the translation entry, so demotion
 			// events of points deleted later in this batch still translate.
-			sh.drainEvents(&evsBuf[k], &aliasBuf[k], evsOn)
+			sh.drainEvents(&evsBuf[k], &clustBuf[k], evsOn)
 			if it.owner {
 				delete(sh.ownerGlobal, it.local)
 			}
+		}
+		if evsOn {
+			dirtyBuf[k] = sh.tracker.TakeDirtySeamCells()
 		}
 	}
 	if len(involved) == 1 {
@@ -501,39 +511,62 @@ func (ss *shardSet) commitBatch(ops []shOp, errUnknown func(i int, id PointID) e
 	}
 	ss.routesMu.Unlock()
 
-	// Event derivation (under the exclusive worldMu): translated point
-	// events in shard order, then the cluster transitions observed by the
-	// stitch diff.
+	// Event derivation: translated point events in shard order, then the
+	// global cluster transitions obtained by folding this commit's seam
+	// delta (the backends' cluster-event lineage plus their dirty core
+	// cells) into the live seam structure. The fold runs under seamMu while
+	// the shard locks are still held: the entries it rewrites belong to
+	// cells whose owner shard is locked by this commit, and the backend
+	// re-reads (CoreCellCluster) only target involved shards.
 	var evs []Event
+	var ticket uint64
+	pub := false
 	if evsOn {
 		for _, buf := range evsBuf {
 			evs = append(evs, buf...)
 		}
-		lineage := make(map[stitchKey][]stitchKey)
-		for _, buf := range aliasBuf {
-			for _, a := range buf {
-				lineage[a.src] = append(lineage[a.src], a.dst)
+		ss.seamMu.Lock()
+		tx := ss.newSeamTxn()
+		for k, s := range involved {
+			sh := ss.shards[s]
+			for _, ev := range clustBuf[k] {
+				tx.applyClusterEvent(s, ev, sh.walker)
 			}
 		}
-		evs = append(evs, ss.stitchDiffLocked(lineage)...)
-	}
-	e.version.Add(1)
-	if evsOn {
+		for k, s := range involved {
+			sh := ss.shards[s]
+			for _, coord := range dirtyBuf[k] {
+				if !ss.replicated(coord) {
+					continue // interior cell: no seam relevance
+				}
+				lab, ok := sh.walker.CoreCellCluster(coord)
+				tx.setEntry(s, coord, lab, ok)
+			}
+		}
+		evs = append(evs, tx.finalize()...)
+		e.version.Add(1)
+		ss.stitched = ss.keyGID
 		ss.stitchVersion = e.version.Load()
 		ss.stitchValid = true
+		if len(evs) > 0 {
+			// The ticket is taken inside the seam critical section, so
+			// per-subscriber streams order events exactly as the seam state
+			// evolved — a commit can never reference a global id minted by a
+			// later-ticketed commit.
+			ticket = e.takeTicket()
+			pub = true
+		}
+		ss.seamMu.Unlock()
+	} else {
+		e.version.Add(1)
 	}
-	if len(evs) == 0 {
-		unlock()
-		return out, nil
-	}
-	// The ticket is taken inside the critical section (so per-subscriber
-	// streams preserve commit order) but the enqueue runs after the unlock,
-	// mirroring Engine.release: a publisher parked on a full BlockSubscriber
-	// queue holds no engine lock, so the subscriber's callback can always
-	// query its way out.
-	ticket := e.takeTicket()
 	unlock()
-	e.publishOrdered(ticket, evs)
+	if pub {
+		// The enqueue runs after the unlock, mirroring Engine.release: a
+		// publisher parked on a full BlockSubscriber queue holds no engine
+		// lock, so the subscriber's callback can always query its way out.
+		e.publishOrdered(ticket, evs)
+	}
 	return out, nil
 }
 
@@ -551,13 +584,12 @@ func (e *Engine) takeTicket() uint64 {
 // drainEvents translates and collects the shard's pending backend events.
 // Point events of owned copies are translated to global handles; point
 // events of ghost copies (absent from ownerGlobal) are duplicates of the
-// owner shard's and dropped. Cluster events are not forwarded — global
-// cluster transitions are derived by the stitch diff, where they are
-// well-defined — but their lineage is kept as alias edges: a local merge or
-// split retires or mints local cluster ids, and without the alias from the
-// new id to its predecessor the diff could not tell a merge from a dissolve
-// (or a split from a formation).
-func (sh *shard) drainEvents(buf *[]Event, aliases *[]aliasEdge, evsOn bool) {
+// owner shard's and dropped. Cluster events are not forwarded directly —
+// global cluster transitions are derived from the seam delta, where they are
+// well-defined — but are collected in order as the commit's local lineage:
+// the seam transaction folds each merge as a rename, each split as a scoped
+// re-derivation, and each form/dissolve as a key lifecycle step.
+func (sh *shard) drainEvents(buf *[]Event, clust *[]Event, evsOn bool) {
 	if len(sh.pending) == 0 {
 		return
 	}
@@ -569,33 +601,13 @@ func (sh *shard) drainEvents(buf *[]Event, aliases *[]aliasEdge, evsOn bool) {
 					ev.Point = gid
 					*buf = append(*buf, ev)
 				}
-			case EventClusterMerged:
-				// The absorbed id's identity flows into the survivor.
-				*aliases = append(*aliases, aliasEdge{
-					src: stitchKey{sh.idx, ev.Absorbed},
-					dst: stitchKey{sh.idx, ev.Cluster},
-				})
-			case EventClusterSplit:
-				// The split id's identity flows into every fresh fragment
-				// (it stays live on the retained one by itself).
-				for _, f := range ev.Fragments {
-					if f != ev.Cluster {
-						*aliases = append(*aliases, aliasEdge{
-							src: stitchKey{sh.idx, ev.Cluster},
-							dst: stitchKey{sh.idx, f},
-						})
-					}
-				}
+			default:
+				*clust = append(*clust, ev)
 			}
 		}
 	}
 	sh.pending = sh.pending[:0]
 }
-
-// aliasEdge is one lineage step of a commit: the identity carried by local
-// cluster key src flows into local cluster key dst (absorbed → survivor on a
-// merge, split cluster → fresh fragment on a split).
-type aliasEdge struct{ src, dst stitchKey }
 
 // Update entry points; the public Engine methods delegate here in sharded
 // mode.
@@ -792,14 +804,15 @@ func dedupSortedIDs(ids []ClusterID) []ClusterID {
 }
 
 // stitchLocked returns the current (shard, local cluster) → global id map,
-// reusing the cached stitch when it matches the engine epoch. Caller holds
-// worldMu exclusively.
+// reusing the cached stitch when it matches the engine epoch — which, while
+// the seam is live, is every epoch: subscribed commits keep keyGID current
+// as they fold their deltas. Caller holds worldMu exclusively.
 func (ss *shardSet) stitchLocked() map[stitchKey]ClusterID {
 	v := ss.e.version.Load()
 	if ss.stitchValid && ss.stitchVersion == v {
 		return ss.stitched
 	}
-	ss.restitchLocked(nil)
+	ss.restitchLocked()
 	ss.stitchVersion = v
 	ss.stitchValid = true
 	return ss.stitched
@@ -809,14 +822,11 @@ func (ss *shardSet) stitchLocked() map[stitchKey]ClusterID {
 // enumerates every core cell of every shard, unions shard-local clusters
 // across seams (a core cell observed inside a foreign shard's territory
 // links the observer's local cluster with the owner's), and maps each
-// component to a stable global id via keyGID. lineage, when non-nil, maps a
-// local cluster key to the keys its identity flowed into during the commit
-// being diffed (from the backends' own merge/split events); it lets a
-// component inherit the global id of a local cluster whose local id was
-// retired mid-commit. It leaves the fresh assignment in
-// ss.stitched/ss.keyGID and returns the components, the previous
-// assignment, and the previous global ids attributed to each component.
-func (ss *shardSet) restitchLocked(lineage map[stitchKey][]stitchKey) (comps [][]stitchKey, old map[stitchKey]ClusterID, prevGIDs [][]ClusterID) {
+// component to a stable global id via the previous keyGID assignment (the
+// smallest unclaimed previous id of the component survives, mirroring the
+// older-id-wins merge rule of the backends; a component with no history
+// mints). It leaves the fresh assignment in ss.stitched/ss.keyGID.
+func (ss *shardSet) restitchLocked() {
 	type edge struct{ a, b stitchKey }
 	var (
 		keys  []stitchKey
@@ -860,7 +870,7 @@ func (ss *shardSet) restitchLocked(lineage map[stitchKey][]stitchKey) (comps [][
 		r := uf.Find(i)
 		byRoot[r] = append(byRoot[r], i)
 	}
-	comps = make([][]stitchKey, 0, len(byRoot))
+	comps := make([][]stitchKey, 0, len(byRoot))
 	for _, members := range byRoot {
 		comp := make([]stitchKey, len(members))
 		for j, i := range members {
@@ -873,22 +883,18 @@ func (ss *shardSet) restitchLocked(lineage map[stitchKey][]stitchKey) (comps [][
 	// assignment deterministic regardless of map iteration order.
 	sort.Slice(comps, func(a, b int) bool { return stitchKeyLess(comps[a][0], comps[b][0]) })
 
-	// Attribute previous global ids to the components their keys' identities
-	// flowed into: directly for keys still live, through the lineage graph
-	// for keys retired or spawned mid-commit.
+	// Attribute previous global ids to the components of the keys that still
+	// carry them.
 	keyComp := make(map[stitchKey]int, len(keys))
 	for ci, comp := range comps {
 		for _, k := range comp {
 			keyComp[k] = ci
 		}
 	}
-	old = ss.keyGID
-	prevGIDs = make([][]ClusterID, len(comps))
-	for ko, g := range old {
-		for _, k := range lineageReach(ko, lineage) {
-			if ci, ok := keyComp[k]; ok {
-				prevGIDs[ci] = append(prevGIDs[ci], g)
-			}
+	prevGIDs := make([][]ClusterID, len(comps))
+	for ko, g := range ss.keyGID {
+		if ci, ok := keyComp[ko]; ok {
+			prevGIDs[ci] = append(prevGIDs[ci], g)
 		}
 	}
 	for ci := range prevGIDs {
@@ -921,7 +927,6 @@ func (ss *shardSet) restitchLocked(lineage map[stitchKey][]stitchKey) (comps [][
 	}
 	ss.keyGID = fresh
 	ss.stitched = fresh
-	return comps, old, prevGIDs
 }
 
 // lineageReach returns the keys reachable from k through the lineage graph,
@@ -957,69 +962,6 @@ func stitchKeyLess(a, b stitchKey) bool {
 	return a.cid < b.cid
 }
 
-// stitchDiffLocked re-stitches after a commit's shard applications and
-// derives the global cluster events: clusters formed (component with no
-// history), dissolved (previous id reaching no component), merged (several
-// previous ids collapsing into one component) and split (one previous id
-// spread over several components). Local cluster ids retired or minted
-// during the commit are connected to their predecessors through the lineage
-// graph recorded from the backends' own merge/split events. For single-op
-// commits this matches the single-backend event semantics; for large mixed
-// batches it is the net transition between the two stitches. Caller holds
-// worldMu exclusively.
-func (ss *shardSet) stitchDiffLocked(lineage map[stitchKey][]stitchKey) []Event {
-	comps, old, prevGIDs := ss.restitchLocked(lineage)
-	gidOf := ss.stitched
-
-	var formed []ClusterID
-	touches := make(map[ClusterID][]ClusterID) // previous gid -> final gids touching it
-	for ci, comp := range comps {
-		final := gidOf[comp[0]]
-		prev := prevGIDs[ci]
-		if len(prev) == 0 {
-			formed = append(formed, final)
-			continue
-		}
-		for _, g := range prev {
-			touches[g] = append(touches[g], final)
-		}
-	}
-	oldLive := make([]ClusterID, 0, len(touches))
-	seen := make(map[ClusterID]struct{})
-	for _, g := range old {
-		if _, dup := seen[g]; !dup {
-			seen[g] = struct{}{}
-			oldLive = append(oldLive, g)
-		}
-	}
-	sort.Slice(oldLive, func(i, j int) bool { return oldLive[i] < oldLive[j] })
-	sort.Slice(formed, func(i, j int) bool { return formed[i] < formed[j] })
-
-	var evs []Event
-	for _, g := range formed {
-		evs = append(evs, Event{Kind: EventClusterFormed, Cluster: g})
-	}
-	for _, g := range oldLive {
-		fins := dedupSortedIDs(touches[g])
-		switch {
-		case len(fins) == 0:
-			evs = append(evs, Event{Kind: EventClusterDissolved, Cluster: g})
-		case len(fins) == 1 && fins[0] == g:
-			// Survived unchanged (or absorbed others; those report themselves).
-		case len(fins) == 1:
-			evs = append(evs, Event{Kind: EventClusterMerged, Cluster: fins[0], Absorbed: g})
-		default:
-			evs = append(evs, Event{Kind: EventClusterSplit, Cluster: g, Fragments: fins})
-			if !containsID(fins, g) {
-				// Batched split+merge degenerate: the old id did not survive
-				// on any fragment; report its retirement too.
-				evs = append(evs, Event{Kind: EventClusterMerged, Cluster: fins[0], Absorbed: g})
-			}
-		}
-	}
-	return evs
-}
-
 func containsID(ids []ClusterID, id ClusterID) bool {
 	for _, x := range ids {
 		if x == id {
@@ -1029,8 +971,11 @@ func containsID(ids []ClusterID, id ClusterID) bool {
 	return false
 }
 
-// syncEvents reconciles per-shard event collection with the engine's
-// subscriber count — the sharded counterpart of Engine.syncEventFunc.
+// syncEvents reconciles per-shard event collection — and the life of the
+// incremental seam structure — with the engine's subscriber count; the
+// sharded counterpart of Engine.syncEventFunc. It holds worldMu exclusively,
+// so it observes a quiesced world: in-flight commits have drained before the
+// seam is built or torn down.
 func (ss *shardSet) syncEvents() {
 	ss.worldMu.Lock()
 	defer ss.worldMu.Unlock()
@@ -1038,28 +983,36 @@ func (ss *shardSet) syncEvents() {
 	e.subMu.Lock()
 	want := len(e.subs) > 0
 	e.subMu.Unlock()
-	if want == ss.eventsOn.Load() {
+	if want == ss.eventsOn {
 		return
 	}
 	if !want {
-		ss.eventsOn.Store(false)
+		ss.eventsOn = false
 		for _, sh := range ss.shards {
 			sh.ext.SetEventFunc(nil)
+			sh.tracker.SetSeamTracking(false)
 			sh.pending = nil
 		}
+		// The seam-maintained assignment is exact for this quiesced instant;
+		// keep serving it until the next commit moves the epoch.
+		ss.seam = nil
+		ss.stitchVersion = e.version.Load()
+		ss.stitchValid = true
 		return
 	}
 	for _, sh := range ss.shards {
 		sh := sh
 		sh.pending = sh.pending[:0]
 		sh.ext.SetEventFunc(func(ev Event) { sh.pending = append(sh.pending, ev) })
+		sh.tracker.SetSeamTracking(true)
 	}
-	// Baseline the stitch so the first subscribed commit diffs only its own
+	// Baseline: the incremental seam starts from a full stitch of the
+	// quiesced world, so the first subscribed commit folds only its own
 	// changes, not the whole pre-subscription history.
-	ss.restitchLocked(nil)
+	ss.buildSeamLocked()
 	ss.stitchVersion = e.version.Load()
 	ss.stitchValid = true
-	ss.eventsOn.Store(true)
+	ss.eventsOn = true
 }
 
 // Shards returns how many spatial shards the Engine runs (1 in the default

@@ -1,0 +1,26 @@
+package dyndbscan
+
+import (
+	"testing"
+
+	"dyndbscan/internal/grid"
+)
+
+func TestReplicatedMatchesShardsOf(t *testing.T) {
+	for _, shards := range []int{2, 3, 4, 8} {
+		for _, stripe := range []int64{1, 2, 3, 4, 64} {
+			for _, band := range []int64{1, 2, 3, 7} {
+				ss := &shardSet{stripeCells: stripe, bandCells: band, shards: make([]*shard, shards)}
+				for c := int64(-500); c <= 500; c++ {
+					var coord grid.Coord
+					coord[0] = int32(c)
+					want := len(ss.shardsOf(coord)) > 1
+					if got := ss.replicated(coord); got != want {
+						t.Fatalf("shards=%d stripe=%d band=%d c0=%d: replicated=%v shardsOf=%v",
+							shards, stripe, band, c, got, want)
+					}
+				}
+			}
+		}
+	}
+}

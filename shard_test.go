@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"dyndbscan"
+	"dyndbscan/internal/evcheck"
 )
 
 // newShardTestEngine builds one engine of the equivalence pair. Rho = 0:
@@ -402,6 +403,10 @@ func TestShardedEvents(t *testing.T) {
 		mu.Unlock()
 	})
 	defer cancel()
+	// Validate the derived global stream invariants on a second subscription.
+	val := evcheck.New()
+	cancelVal := e.Subscribe(val.Observe)
+	defer cancelVal()
 	count := func(kind dyndbscan.EventKind) int {
 		mu.Lock()
 		defer mu.Unlock()
@@ -473,6 +478,16 @@ func TestShardedEvents(t *testing.T) {
 	e.Sync()
 	if got := count(dyndbscan.EventClusterDissolved); got < 1 {
 		t.Fatalf("dissolved events = %d, want ≥ 1", got)
+	}
+
+	if err := val.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := val.ReconcileLive(e.Snapshot().ClusterIDs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SeamAudit(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,5 +1,7 @@
 package dyndbscan
 
+import "sort"
+
 // Snapshot is an immutable, internally consistent view of one clustering
 // epoch. It is safe to read from any goroutine and stays valid (describing
 // its epoch) after further updates; call Engine.Snapshot again for a fresh
@@ -19,6 +21,19 @@ type Snapshot struct {
 
 // NumClusters returns the number of clusters in the snapshot.
 func (s *Snapshot) NumClusters() int { return len(s.Clusters) }
+
+// ClusterIDs returns the stable ids of every cluster in the snapshot,
+// ascending — the set an event subscriber reconstructs by folding the
+// formed/merged/split/dissolved stream, which is exactly how the equivalence
+// harness reconciles the two.
+func (s *Snapshot) ClusterIDs() []ClusterID {
+	out := make([]ClusterID, 0, len(s.Clusters))
+	for cid := range s.Clusters {
+		out = append(out, cid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Members returns the sorted member points of the cluster, nil when the id
 // names no cluster of this snapshot. The slice is shared: do not mutate.
