@@ -310,3 +310,72 @@ func BenchmarkMixedReadWrite(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkApplyShardedSkewed measures mixed-batch Apply on an adversarially
+// skewed workload: the hot blobs sit on stripes 0/4/8/12, which the
+// round-robin assignment aliases onto shard 0 — one shard does nearly all
+// the work while three idle. The rebalanced variant enables WithRebalance,
+// letting the engine migrate the aliased hot stripes apart so commits fan
+// out across shards again; on multi-core hosts it should close most of the
+// gap to the spread workload of BenchmarkApplySharded. ns/op is the cost per
+// applied operation. Results are recorded in BENCH_5.json.
+func BenchmarkApplyShardedSkewed(b *testing.B) {
+	const (
+		shards  = 4
+		stripeW = 16      // cells; one stripe ≈ 2263 units at eps 200
+		stripeU = 2262.74 // stripe width in units (16 · 200/√2)
+	)
+	run := func(b *testing.B, rebalance bool) {
+		opts := []dyndbscan.Option{
+			dyndbscan.WithEps(200), dyndbscan.WithMinPts(10),
+			dyndbscan.WithShards(shards), dyndbscan.WithShardStripe(stripeW),
+		}
+		if rebalance {
+			opts = append(opts, dyndbscan.WithRebalance(dyndbscan.RebalancePolicy{
+				MaxImbalance: 1.1, MinLoad: 64, CheckEvery: 8,
+			}))
+		}
+		e, err := dyndbscan.New(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(8))
+		// Hot blob centers on the stripes the round-robin maps to shard 0.
+		hot := []float64{
+			0.5 * stripeU, 4.5 * stripeU, 8.5 * stripeU, 12.5 * stripeU,
+		}
+		pts := make([]dyndbscan.Point, b.N)
+		for i := range pts {
+			if rng.Intn(10) == 0 { // light background over the whole range
+				pts[i] = dyndbscan.Point{rng.Float64() * 16 * stripeU, rng.NormFloat64() * 400}
+				continue
+			}
+			c := hot[rng.Intn(len(hot))]
+			pts[i] = dyndbscan.Point{c + rng.NormFloat64()*400, rng.NormFloat64() * 400}
+		}
+		const chunk = 4096
+		var prev []dyndbscan.PointID
+		b.ReportAllocs()
+		b.ResetTimer()
+		for lo := 0; lo < len(pts); lo += chunk {
+			hi := lo + chunk
+			if hi > len(pts) {
+				hi = len(pts)
+			}
+			ops := make([]dyndbscan.Op, 0, hi-lo+len(prev))
+			for _, pt := range pts[lo:hi] {
+				ops = append(ops, dyndbscan.InsertOp(pt))
+			}
+			for _, id := range prev { // retire the previous chunk in the same batch
+				ops = append(ops, dyndbscan.DeleteOp(id))
+			}
+			res, err := e.Apply(ops)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prev = res[:hi-lo]
+		}
+	}
+	b.Run("static", func(b *testing.B) { run(b, false) })
+	b.Run("rebalanced", func(b *testing.B) { run(b, true) })
+}

@@ -33,6 +33,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
@@ -60,7 +61,9 @@ func main() {
 		readers   = flag.Int("readers", 0, "concurrent snapshot readers hammering the engine during ingestion")
 		batch     = flag.Int("batch", 4096, "ingestion batch size in batch mode")
 		shards    = flag.Int("shards", 1, "spatial shards; >1 commits batches concurrently across grid stripes")
-		stripe    = flag.Int("stripe", 0, "shard stripe width in grid cells (0 = default)")
+		stripe    = flag.Int("stripe", 0, "shard stripe width in grid cells (0 = adaptive, derived from the first batch)")
+		rebalance = flag.Bool("rebalance", false, "enable automatic load-aware stripe rebalancing (needs -shards > 1)")
+		skew      = flag.Float64("skew", 0, "fraction [0,1] of input points squeezed into hotspot stripes that alias onto one shard — generates skewed traffic for rebalancing experiments")
 	)
 	flag.Parse()
 
@@ -90,8 +93,20 @@ func main() {
 		dyndbscan.WithThreadSafety(*readers > 0 || *shards > 1),
 		dyndbscan.WithShards(*shards),
 	}
+	if *stripe < 0 {
+		fatal(fmt.Errorf("-stripe %d must be ≥ 0 (0 = adaptive)", *stripe))
+	}
 	if *stripe > 0 {
 		opts = append(opts, dyndbscan.WithShardStripe(*stripe))
+	}
+	if *rebalance {
+		if *shards <= 1 {
+			fatal(fmt.Errorf("-rebalance needs -shards > 1"))
+		}
+		opts = append(opts, dyndbscan.WithRebalance(dyndbscan.DefaultRebalancePolicy()))
+	}
+	if *skew < 0 || *skew > 1 {
+		fatal(fmt.Errorf("-skew %v out of [0,1]", *skew))
 	}
 	eng, err := dyndbscan.New(opts...)
 	if err != nil {
@@ -102,7 +117,17 @@ func main() {
 	defer eng.Close()
 	if *shards > 1 {
 		fmt.Fprintf(os.Stderr, "dyncluster: sharded mode: %d shards\n", eng.Shards())
+		// Per-shard load report: stripes/points/decayed updates per shard,
+		// plus the effective stripe width (clamped or adaptively derived).
+		defer func() {
+			fmt.Fprintf(os.Stderr, "dyncluster: stripe width: %d cells\n", eng.StripeCells())
+			for _, sl := range eng.ShardLoads() {
+				fmt.Fprintf(os.Stderr, "dyncluster: shard %d: %d stripes, %d points, %.0f recent updates\n",
+					sl.Shard, sl.Stripes, sl.Points, sl.Updates)
+			}
+		}()
 	}
+	skewer := newSkewer(*skew, *shards, *stripe, *eps, *d)
 	stopReaders := startReaders(eng, *readers)
 	defer stopReaders()
 
@@ -147,10 +172,56 @@ func main() {
 	defer out.Flush()
 
 	if *ops {
-		runOps(eng, sc, out, *d)
-		return
+		runOps(eng, sc, out, *d, skewer)
+	} else {
+		runBatch(eng, sc, out, *d, *batch, skewer)
 	}
-	runBatch(eng, sc, out, *d, *batch)
+	if *rebalance {
+		// The automatic cadence is commit-clocked; a short batch-mode run
+		// may finish before a check fires, so close with one explicit pass
+		// (the deferred load report then shows the final placement).
+		if n, err := eng.Rebalance(); err == nil && n > 0 {
+			fmt.Fprintf(os.Stderr, "dyncluster: rebalance: migrated %d stripe(s)\n", n)
+		}
+	}
+}
+
+// skewer rewrites a fraction of the input points into narrow hotspot bands
+// along dimension 0 chosen so their stripes alias onto one shard under the
+// round-robin assignment — the pathology -rebalance exists to fix. nil (the
+// zero fraction) passes points through untouched.
+type skewer struct {
+	frac  float64
+	bands []float64 // left edges of the hot bands
+	width float64
+	rng   *rand.Rand
+}
+
+func newSkewer(frac float64, shards, stripe int, eps float64, d int) *skewer {
+	if frac <= 0 || shards <= 1 {
+		return nil
+	}
+	w := stripe
+	if w == 0 {
+		w = 64 // the engine's provisional default; close enough for traffic shaping
+	}
+	su := float64(w) * eps / math.Sqrt(float64(d)) // stripe width in units
+	// Stripes 0 and n both map to shard 0 under t mod n.
+	return &skewer{
+		frac:  frac,
+		bands: []float64{0, float64(shards) * su},
+		width: su,
+		rng:   rand.New(rand.NewSource(1)),
+	}
+}
+
+func (sk *skewer) apply(pt dyndbscan.Point) dyndbscan.Point {
+	if sk == nil || sk.rng.Float64() >= sk.frac {
+		return pt
+	}
+	base := sk.bands[sk.rng.Intn(len(sk.bands))]
+	pt[0] = base + sk.rng.Float64()*sk.width
+	return pt
 }
 
 // startReaders spawns n goroutines that hammer the engine's read surface
@@ -242,7 +313,7 @@ func (lr *latencyReport) print(what string) {
 		float64(lr.ops)/lr.total.Seconds(), pct(50), pct(99))
 }
 
-func runBatch(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d, batch int) {
+func runBatch(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d, batch int, sk *skewer) {
 	var pts []dyndbscan.Point
 	line := 0
 	for sc.Scan() {
@@ -255,7 +326,7 @@ func runBatch(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d, ba
 		if err != nil {
 			fatal(fmt.Errorf("line %d: %v", line, err))
 		}
-		pts = append(pts, pt)
+		pts = append(pts, sk.apply(pt))
 	}
 	if err := sc.Err(); err != nil {
 		fatal(err)
@@ -302,7 +373,7 @@ func runBatch(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d, ba
 		len(ids), len(res.Groups), len(res.Noise))
 }
 
-func runOps(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d int) {
+func runOps(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d int, sk *skewer) {
 	var idBySeq []dyndbscan.PointID
 	lr := newLatencyReport()
 	line := 0
@@ -319,6 +390,7 @@ func runOps(eng *dyndbscan.Engine, sc *bufio.Scanner, out *bufio.Writer, d int) 
 			if err != nil {
 				fatal(fmt.Errorf("line %d: %v", line, err))
 			}
+			pt = sk.apply(pt)
 			lr.timed(1, func() {
 				id, err := eng.Insert(pt)
 				if err != nil {

@@ -101,7 +101,10 @@ type stagedInserter interface {
 // updates touching disjoint shards commit concurrently — with or without
 // subscribers attached (event derivation rides an incrementally maintained
 // cross-shard stitch rather than a quiesced world); see the WithShards
-// documentation for the topology and the equivalence guarantee.
+// documentation for the topology and the equivalence guarantee. Stripe
+// placement is load-aware: commits feed per-stripe load accounts and hot
+// stripes migrate to underloaded shards (WithRebalance / Rebalance) without
+// disturbing handles, ClusterIDs, or the event stream.
 type Engine struct {
 	threadSafe bool
 	roQueries  bool // backend GroupBy/ClusterOf are read-only (AlgoFullyDynamic)
@@ -622,8 +625,9 @@ func (e *Engine) Has(id PointID) bool {
 }
 
 // Version returns the Engine's epoch: it starts at 0 and advances by one on
-// every successful update (a batch counts once). A Snapshot carries the
-// version it was taken at. Version never takes a lock.
+// every successful update (a batch counts once; on a sharded Engine a stripe
+// migration counts as one update too, since it re-places live state). A
+// Snapshot carries the version it was taken at. Version never takes a lock.
 func (e *Engine) Version() uint64 {
 	return e.version.Load()
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -54,6 +55,25 @@ func TestNewOptionValidation(t *testing.T) {
 	_, err := dyndbscan.New(dyndbscan.WithEps(2))
 	if !errors.Is(err, dyndbscan.ErrMissingOption) {
 		t.Fatalf("missing MinPts: got %v, want ErrMissingOption", err)
+	}
+	// An explicitly provided Config owns its validation: out-of-range fields
+	// surface Config.Validate's range error, never a misleading "missing
+	// WithEps" (Eps: 0) or a silently different path (Eps: -1).
+	for _, cfg := range []dyndbscan.Config{
+		{Dims: 2, Eps: -1, MinPts: 2},
+		{Dims: 2, Eps: 0, MinPts: 2},
+		{Dims: 2, Eps: 1, MinPts: 0},
+	} {
+		_, err := dyndbscan.New(dyndbscan.WithConfig(cfg))
+		if err == nil {
+			t.Fatalf("WithConfig(%+v) accepted", cfg)
+		}
+		if errors.Is(err, dyndbscan.ErrMissingOption) {
+			t.Fatalf("WithConfig(%+v): got ErrMissingOption (%v), want the Config range error", cfg, err)
+		}
+		if !strings.Contains(err.Error(), "WithConfig") {
+			t.Fatalf("WithConfig(%+v): error %q does not name WithConfig", cfg, err)
+		}
 	}
 	// Defaults: fully dynamic, 2D, rho 0.001.
 	e, err := dyndbscan.New(dyndbscan.WithEps(2), dyndbscan.WithMinPts(3))

@@ -71,25 +71,37 @@ func genEqOps(seed int64, n int, deletes bool) []eqOp {
 
 // eqConfig parameterizes one harness run.
 type eqConfig struct {
-	algo       dyndbscan.Algorithm
-	shards     int
-	stripe     int
-	eps        float64
-	minPts     int
-	batch      int // ops per Apply commit
-	checkEvery int // commits between checkpoints
+	algo           dyndbscan.Algorithm
+	shards         int
+	stripe         int
+	eps            float64
+	minPts         int
+	batch          int  // ops per Apply commit
+	checkEvery     int  // commits between checkpoints
+	rebalanceEvery int  // commits between Rebalance() calls on the sharded engines; 0 = never
+	requireMoves   bool // fail unless at least one migration happened (seeded streams only)
 }
 
 func newEqEngine(cfg eqConfig, shards int) (*dyndbscan.Engine, error) {
-	return dyndbscan.New(
+	opts := []dyndbscan.Option{
 		dyndbscan.WithAlgorithm(cfg.algo),
 		dyndbscan.WithDims(2),
 		dyndbscan.WithEps(cfg.eps),
 		dyndbscan.WithMinPts(cfg.minPts),
 		dyndbscan.WithRho(0),
 		dyndbscan.WithShards(shards),
-		dyndbscan.WithShardStripe(cfg.stripe),
-	)
+	}
+	if shards > 1 {
+		opts = append(opts, dyndbscan.WithShardStripe(cfg.stripe))
+		if cfg.rebalanceEvery > 0 {
+			// A hair-trigger manual policy so the interleaved Rebalance()
+			// calls actually migrate stripes on the skewed blob traffic.
+			opts = append(opts, dyndbscan.WithRebalance(dyndbscan.RebalancePolicy{
+				MaxImbalance: 1.01, MinLoad: 1,
+			}))
+		}
+	}
+	return dyndbscan.New(opts...)
 }
 
 // enginesIsomorphic compares two engines' clusterings as partitions (groups,
@@ -143,7 +155,7 @@ func runEqStream(cfg eqConfig, ops []eqOp) (err error) {
 	defer cancel()
 
 	var live []dyndbscan.PointID
-	commits := 0
+	commits, moves := 0, 0
 	checkpoint := func(stage string) error {
 		sub.Sync()
 		if err := val.Err(); err != nil {
@@ -233,11 +245,31 @@ func runEqStream(cfg eqConfig, ops []eqOp) (err error) {
 			live = live[:w]
 		}
 		commits++
+		if cfg.rebalanceEvery > 0 && commits%cfg.rebalanceEvery == 0 {
+			// Interleaved live migrations: both sharded engines rebalance
+			// mid-stream. Handles, ClusterIDs, the clustering, and the event
+			// stream must all survive (the following checkpoints prove it);
+			// the single-shard reference is untouched.
+			n, err := plain.Rebalance()
+			if err != nil {
+				return fmt.Errorf("ops[:%d]: sharded Rebalance: %w", hi, err)
+			}
+			moves += n
+			if n, err = sub.Rebalance(); err != nil {
+				return fmt.Errorf("ops[:%d]: sharded+sub Rebalance: %w", hi, err)
+			}
+			moves += n
+		}
 		if commits%cfg.checkEvery == 0 {
 			if err := checkpoint(fmt.Sprintf("after commit %d (ops[:%d])", commits, hi)); err != nil {
 				return err
 			}
 		}
+	}
+	if cfg.requireMoves && moves == 0 {
+		// The seeded streams are skewed enough that the hair-trigger policy
+		// must migrate; zero moves means the migration path went untested.
+		return fmt.Errorf("no stripe migration happened across %d commits — harness lost its rebalancing coverage", commits)
 	}
 	return checkpoint("final")
 }
@@ -298,6 +330,8 @@ func TestCrossModeEquivalence(t *testing.T) {
 					eps:    25,
 					minPts: 4,
 					batch:  16, checkEvery: 12,
+					rebalanceEvery: 17, // co-prime with checkEvery: migrations land between and on checkpoints
+					requireMoves:   true,
 				}
 				ops := genEqOps(seed, nops, tc.deletes)
 				err := runEqStream(cfg, ops)
@@ -305,8 +339,10 @@ func TestCrossModeEquivalence(t *testing.T) {
 					return
 				}
 				t.Logf("cross-mode divergence (seed %d, %d ops): %v — shrinking", seed, len(ops), err)
-				min := shrinkEqOps(cfg, ops)
-				minErr := runEqStream(cfg, min)
+				scfg := cfg
+				scfg.requireMoves = false // don't let shrink chase lost-coverage "failures"
+				min := shrinkEqOps(scfg, ops)
+				minErr := runEqStream(scfg, min)
 				if minErr == nil {
 					minErr = err // shrink lost the failure; report the original
 					min = ops

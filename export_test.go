@@ -21,3 +21,28 @@ func (e *Engine) SeamAudit() error {
 	}
 	return ss.auditSeamLocked()
 }
+
+// MoveStripe migrates one stripe to the given shard unconditionally,
+// bypassing the load policy — the directed-migration hook of the placement
+// tests (Rebalance only migrates what the policy deems worthwhile).
+func (e *Engine) MoveStripe(stripe int64, dst int) {
+	ss := e.sh
+	ss.worldMu.Lock()
+	ticket, evs, pub := ss.migrateStripeLocked(stripe, int32(dst))
+	ss.worldMu.Unlock()
+	if pub {
+		e.publishOrdered(ticket, evs)
+	}
+}
+
+// StripeOwner reports which shard currently owns the stripe.
+func (e *Engine) StripeOwner(stripe int64) int {
+	ss := e.sh
+	ss.routesMu.Lock()
+	defer ss.routesMu.Unlock()
+	return int(ss.shardOfStripe(stripe))
+}
+
+// DefaultStripeCells exposes the provisional/default stripe width (also the
+// adaptive cap) so tests assert against the real constant.
+const DefaultStripeCells = defaultStripeCells

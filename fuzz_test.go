@@ -70,6 +70,7 @@ func FuzzCrossShardEquivalence(f *testing.F) {
 			eps:    20,
 			minPts: 3,
 			batch:  8, checkEvery: 4,
+			rebalanceEvery: 5, // fuzz the migration path too
 		}
 		if err := runEqStream(cfg, ops); err != nil {
 			t.Fatalf("cross-shard divergence: %v\nops (%d): %s", err, len(ops), formatEqOps(ops))

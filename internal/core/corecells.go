@@ -1,6 +1,9 @@
 package core
 
-import "dyndbscan/internal/grid"
+import (
+	"dyndbscan/internal/geom"
+	"dyndbscan/internal/grid"
+)
 
 // Core-cell exposure for the sharded serving layer: a shard's stitching pass
 // needs to enumerate the core cells of one backend (to find the cells lying
@@ -83,9 +86,33 @@ func (ic *IncDBSCAN) CoreCellCluster(coord grid.Coord) (ClusterID, bool) {
 	return ic.coreCellCluster(coord, ic.cellClusterID)
 }
 
+// PointLookup is the capability behind live stripe migration: the sharded
+// engine re-stages a migrating point from its source backend's copy before
+// replaying it into the target backend. All built-in algorithms provide it.
+type PointLookup interface {
+	// PointAt returns the coordinates of the live point, or ok=false for an
+	// unknown handle. The returned slice is the backend's own storage: the
+	// caller must not mutate or retain it across updates.
+	PointAt(id PointID) (geom.Point, bool)
+}
+
+// PointAt implements PointLookup for every algorithm through the shared
+// point table.
+func (b *base) PointAt(id PointID) (geom.Point, bool) {
+	rec, ok := b.points[id]
+	if !ok {
+		return nil, false
+	}
+	return rec.pt, true
+}
+
 // Compile-time checks: the sharded Engine depends on these.
 var (
 	_ CoreCellWalker = (*FullyDynamic)(nil)
 	_ CoreCellWalker = (*SemiDynamic)(nil)
 	_ CoreCellWalker = (*IncDBSCAN)(nil)
+
+	_ PointLookup = (*FullyDynamic)(nil)
+	_ PointLookup = (*SemiDynamic)(nil)
+	_ PointLookup = (*IncDBSCAN)(nil)
 )

@@ -57,15 +57,18 @@ var ErrMissingOption = errors.New("dyndbscan: required option missing")
 // engineSettings accumulates the functional options of New. Config remains
 // the low-level SPI; the options are the supported way to fill it in.
 type engineSettings struct {
-	algo        Algorithm
-	cfg         Config
-	epsSet      bool
-	minPtsSet   bool
-	threadSafe  bool
-	workers     int   // staging/snapshot workers; 0 = one per CPU
-	shards      int   // spatial shards; 1 = single-backend mode
-	stripeCells int   // shard stripe width in grid cells; 0 = default
-	err         error // first option-level error, reported by New
+	algo         Algorithm
+	cfg          Config
+	epsSet       bool
+	minPtsSet    bool
+	cfgExplicit  bool // WithConfig was used: Config.Validate owns the errors
+	threadSafe   bool
+	workers      int             // staging/snapshot workers; 0 = one per CPU
+	shards       int             // spatial shards; 1 = single-backend mode
+	stripeCells  int             // shard stripe width in grid cells; 0 = adaptive
+	rebalance    RebalancePolicy // shard rebalancing policy (see WithRebalance)
+	rebalanceSet bool
+	err          error // first option-level error, reported by New
 }
 
 // Option configures an Engine under construction; see New.
@@ -137,11 +140,13 @@ func WithWorkers(n int) Option {
 // spatially spread workloads. n = 1 (the default) is the single-backend mode
 // and behaves bit-for-bit as before.
 //
-// Sharding partitions the grid into stripes along dimension 0, assigned
-// round-robin to the shards; each shard additionally replicates a narrow
-// ghost band of neighboring points so that core statuses and seam edges are
-// computed from complete neighborhoods, and snapshot construction stitches
-// the per-shard clusterings back together across shard boundaries. With
+// Sharding partitions the grid into stripes along dimension 0, assigned to
+// the shards through a versioned table — round-robin at first, adjusted by
+// load-aware rebalancing (WithRebalance, Engine.Rebalance); each shard
+// additionally replicates a narrow ghost band of neighboring points so that
+// core statuses and seam edges are computed from complete neighborhoods, and
+// snapshot construction stitches the per-shard clusterings back together
+// across shard boundaries. With
 // Rho = 0 the stitched result is exactly the single-shard clustering (up to
 // the stable-id naming); with Rho > 0 both are legal ρ-approximate
 // clusterings that may resolve don't-care-band points differently.
@@ -163,10 +168,18 @@ func WithShards(n int) Option {
 	}
 }
 
-// WithShardStripe sets the shard stripe width in grid cells along dimension 0
-// (default 64). Narrower stripes spread a spatially compact workload across
-// more shards but raise the fraction of points replicated into ghost bands;
-// wider stripes do the opposite. Only meaningful with WithShards(n>1).
+// WithShardStripe sets the shard stripe width in grid cells along dimension 0.
+// Narrower stripes spread a spatially compact workload across more shards but
+// raise the fraction of points replicated into ghost bands; wider stripes do
+// the opposite. A width at or below the ghost-band width (≈ 2(1+ρ)ε in cells)
+// would replicate every cell into several shards, so the effective width is
+// clamped to one cell more than the band; Engine.StripeCells reports the
+// width in effect.
+//
+// Without this option the width is adaptive: derived from the data extent of
+// the first committed batch so that each shard starts with a handful of
+// stripes. Requires WithShards(n>1); combining it with a single-shard Engine
+// is an error.
 func WithShardStripe(cells int) Option {
 	return func(s *engineSettings) {
 		if cells < 1 {
@@ -177,14 +190,34 @@ func WithShardStripe(cells int) Option {
 	}
 }
 
+// WithRebalance sets the load-aware rebalancing policy of a sharded Engine.
+// Zero fields take their defaults (see RebalancePolicy); with CheckEvery > 0
+// the Engine evaluates the per-shard balance automatically on the commit
+// path and migrates hot stripes to underloaded shards, otherwise migrations
+// run only through explicit Engine.Rebalance calls. Requires WithShards(n>1).
+func WithRebalance(p RebalancePolicy) Option {
+	return func(s *engineSettings) {
+		if p.MaxImbalance < 0 || p.MinLoad < 0 || p.CheckEvery < 0 || p.MaxMoves < 0 {
+			s.setErr(fmt.Errorf("dyndbscan: WithRebalance(%+v): negative policy field", p))
+			return
+		}
+		s.rebalance = p
+		s.rebalanceSet = true
+	}
+}
+
 // WithConfig replaces the whole parameter set at once — the escape hatch for
 // callers that already hold a Config (the low-level SPI). Individual options
-// applied after it still override single fields.
+// applied after it still override single fields. A caller supplying a whole
+// Config has provided every parameter, so validation reports Config.Validate's
+// range errors (for example "Eps must be positive" on a zero or negative
+// Eps) rather than a misleading "missing WithEps".
 func WithConfig(cfg Config) Option {
 	return func(s *engineSettings) {
 		s.cfg = cfg
-		s.epsSet = cfg.Eps != 0
-		s.minPtsSet = cfg.MinPts != 0
+		s.cfgExplicit = true
+		s.epsSet = true
+		s.minPtsSet = true
 	}
 }
 
@@ -219,5 +252,17 @@ func (s *engineSettings) validate() error {
 	if s.shards > 1 && !s.threadSafe {
 		return errors.New("dyndbscan: WithShards(n>1) requires thread safety; remove WithThreadSafety(false)")
 	}
-	return s.cfg.Validate()
+	if s.stripeCells > 0 && s.shards <= 1 {
+		return errors.New("dyndbscan: WithShardStripe requires WithShards(n>1); a single-shard engine has no stripes")
+	}
+	if s.rebalanceSet && s.shards <= 1 {
+		return errors.New("dyndbscan: WithRebalance requires WithShards(n>1); a single-shard engine has nothing to rebalance")
+	}
+	if err := s.cfg.Validate(); err != nil {
+		if s.cfgExplicit {
+			return fmt.Errorf("dyndbscan: WithConfig: %w", err)
+		}
+		return err
+	}
+	return nil
 }

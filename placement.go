@@ -1,0 +1,651 @@
+package dyndbscan
+
+// Load-aware shard placement.
+//
+// PR 3's stripe→shard assignment was the arithmetic t mod n: correct, cheap,
+// and blind. A hotspot workload whose traffic concentrates on a few stripes —
+// or on stripes that alias onto one shard through the round-robin — saturates
+// that shard while the rest idle, and nothing in the engine could notice or
+// react. This file makes placement a first-class, observable, *movable*
+// decision:
+//
+//   - Per-stripe load accounting. Every commit charges its ops to the owner
+//     stripes of the cells they touch: a resident-point count (exact) and an
+//     update counter decayed exponentially over commits (recent traffic
+//     dominates). The stats live in shardSet.stripeLoad, keyed by stripe
+//     index, and are aggregated through the current assignment on demand —
+//     so migrating a stripe automatically re-attributes its load.
+//
+//   - An explicit assignment table. ownerOf/shardsOf/replicated now resolve
+//     stripes through shardOfStripe: a sparse override map on top of the
+//     round-robin default. The table is versioned by placeEpoch; a commit
+//     snapshots the epoch while routing and re-checks it after taking its
+//     shard locks, re-routing if a migration slipped in between — routing,
+//     ghost-band replication, and the seam stitch therefore always agree on
+//     one placement epoch.
+//
+//   - Live stripe migration. migrateStripeLocked moves one stripe to a new
+//     shard under a quiesced world: it first *grows* (inserts the copies the
+//     new placement needs while the old copies are still resident), then
+//     restitches — the co-resident generations bridge source and target
+//     local clusters in the union-find, so the global ClusterID assignment
+//     flows onto the target before the source copies disappear — and only
+//     then *trims* the copies the new placement no longer holds. Point
+//     handles, ClusterIDs, and (with Rho = 0) the clustering itself are
+//     invariant across a migration; with subscribers attached the seam is
+//     rebuilt on the new placement and any net transition (possible only
+//     under Rho > 0 don't-care re-resolution) is published as ordinary
+//     cluster events in commit order.
+//
+//   - Adaptive stripe width. When WithShardStripe is not given, the width is
+//     derived from the data extent of the first committed batch (targeting
+//     adaptiveStripesPerShard stripes per shard) instead of a fixed 64 cells,
+//     so spatially compact workloads still spread across every shard.
+//
+// Rebalancing runs through Engine.Rebalance (manual) or, with
+// WithRebalance(policy) and CheckEvery > 0, automatically on the commit path
+// (the committing goroutine runs the pass after publishing, holding no lock).
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dyndbscan/internal/core"
+	"dyndbscan/internal/geom"
+	"dyndbscan/internal/grid"
+)
+
+// RebalancePolicy tunes when and how aggressively a sharded Engine migrates
+// stripes between shards. The zero value of each field selects its default;
+// DefaultRebalancePolicy returns the defaults with automatic checks enabled.
+type RebalancePolicy struct {
+	// MaxImbalance is the hottest-shard/mean load ratio tolerated before a
+	// migration is attempted. Values ≤ 1 tolerate no imbalance at all.
+	// Default 1.25.
+	MaxImbalance float64
+	// MinLoad is the minimum hottest-shard load (decayed updates plus
+	// weighted resident points) below which rebalancing is not worth its
+	// quiesce; it keeps tiny or idle engines from churning. Default 256.
+	MinLoad float64
+	// CheckEvery is the automatic check cadence in commits: every
+	// CheckEvery-th commit evaluates the balance (and, if warranted, runs a
+	// migration pass) after it publishes. 0 disables automatic rebalancing;
+	// Engine.Rebalance remains available. Default 0 (manual).
+	CheckEvery int
+	// MaxMoves bounds the stripes migrated per rebalancing pass. Default:
+	// the shard count.
+	MaxMoves int
+}
+
+// DefaultRebalancePolicy returns the recommended policy with automatic
+// checks enabled every 32 commits.
+func DefaultRebalancePolicy() RebalancePolicy {
+	return RebalancePolicy{MaxImbalance: 1.25, MinLoad: 256, CheckEvery: 32}
+}
+
+// normalize fills the zero fields with their defaults. CheckEvery keeps its
+// zero (manual-only) meaning.
+func (p RebalancePolicy) normalize(shards int) RebalancePolicy {
+	if p.MaxImbalance == 0 {
+		p.MaxImbalance = 1.25
+	}
+	if p.MaxImbalance < 1 {
+		p.MaxImbalance = 1
+	}
+	if p.MinLoad == 0 {
+		p.MinLoad = 256
+	}
+	if p.MaxMoves == 0 {
+		p.MaxMoves = shards
+	}
+	return p
+}
+
+// ShardLoad is one shard's aggregated placement load, reported by
+// Engine.ShardLoads.
+type ShardLoad struct {
+	// Shard is the shard index.
+	Shard int
+	// Stripes is the number of stripes currently assigned to the shard that
+	// carry tracked load.
+	Stripes int
+	// Points is the number of resident points owned by the shard (ghost
+	// copies are not counted).
+	Points int
+	// Updates is the decayed update counter: an exponentially weighted
+	// count of recent ops routed to the shard's stripes.
+	Updates float64
+}
+
+// loadDecay is the per-commit multiplier applied to the per-stripe update
+// counters (half-life ≈ 34 commits): the balance metric tracks recent
+// traffic, not all-time totals.
+const loadDecay = 0.98
+
+// pointLoadWeight folds resident points into the balance metric alongside
+// the decayed update counters: a stripe dense with points costs memory and
+// snapshot work even when its update traffic has moved on.
+const pointLoadWeight = 0.25
+
+// adaptiveStripesPerShard is the stripe count per shard the adaptive width
+// targets from the first batch's extent: enough stripes that the granularity
+// supports rebalancing, few enough that ghost replication stays marginal.
+const adaptiveStripesPerShard = 4
+
+// stripeStat is one stripe's load account; guarded by shardSet.routesMu.
+type stripeStat struct {
+	points  int     // resident owned points
+	updates float64 // decayed op count
+	tick    uint64  // commitSeq the decay was last applied at
+}
+
+// decayTo brings the update counter forward to commit sequence seq.
+func (st *stripeStat) decayTo(seq uint64) {
+	if d := seq - st.tick; d > 0 {
+		st.updates *= math.Pow(loadDecay, float64(d))
+		st.tick = seq
+	}
+}
+
+func (st *stripeStat) load() float64 {
+	return st.updates + pointLoadWeight*float64(st.points)
+}
+
+// Routing arithmetic. Stripe t covers columns [t·W, (t+1)·W) of dimension 0;
+// its owner is resolved through the assignment table, which defaults to the
+// round-robin t mod n and accumulates overrides as stripes migrate.
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func floorMod(a, b int64) int64 {
+	m := a % b
+	if m != 0 && (m < 0) != (b < 0) {
+		m += b
+	}
+	return m
+}
+
+// shardOfStripe resolves one stripe through the assignment table. Readers
+// must hold routesMu or any worldMu mode (the table changes only under both).
+func (ss *shardSet) shardOfStripe(t int64) int32 {
+	if s, ok := ss.assign[t]; ok {
+		return s
+	}
+	return int32(floorMod(t, int64(len(ss.shards))))
+}
+
+// ownerOf returns the shard owning the cell.
+func (ss *shardSet) ownerOf(coord grid.Coord) int32 {
+	return ss.shardOfStripe(floorDiv(int64(coord[0]), ss.stripeCells))
+}
+
+// replicated reports whether the cell is held by more than one shard — the
+// owner plus at least one ghost copy — without materializing the shard list:
+// true exactly when some stripe within bandCells of the cell resolves to a
+// different shard than the owner. The walk mirrors shardsOf (stripe distances
+// grow monotonically with the offset); under an assignment table an adjacent
+// stripe may belong to the owner itself, so the mapped shard is compared
+// rather than assumed foreign. The seam fold calls this once per dirty cell
+// inside its critical section, where the shardsOf allocation would be pure
+// overhead.
+func (ss *shardSet) replicated(coord grid.Coord) bool {
+	c0 := int64(coord[0])
+	t := floorDiv(c0, ss.stripeCells)
+	owner := ss.shardOfStripe(t)
+	for dt := int64(1); (t+dt)*ss.stripeCells-c0 <= ss.bandCells; dt++ {
+		if ss.shardOfStripe(t+dt) != owner {
+			return true
+		}
+	}
+	for dt := int64(1); c0-((t-dt)*ss.stripeCells+ss.stripeCells-1) <= ss.bandCells; dt++ {
+		if ss.shardOfStripe(t-dt) != owner {
+			return true
+		}
+	}
+	return false
+}
+
+// shardsOf returns the shards that must hold a copy of a point in the given
+// cell: the owner first, then every distinct shard whose ghost band covers
+// the cell (its owned columns lie within bandCells of the cell's column).
+func (ss *shardSet) shardsOf(coord grid.Coord) []int32 {
+	c0 := int64(coord[0])
+	t := floorDiv(c0, ss.stripeCells)
+	owner := ss.shardOfStripe(t)
+	out := []int32{owner}
+	add := func(stripe int64) {
+		s := ss.shardOfStripe(stripe)
+		for _, have := range out {
+			if have == s {
+				return
+			}
+		}
+		out = append(out, s)
+	}
+	// Walk outward until the nearest column of the stripe is beyond the
+	// band; the distances are monotone in |dt|, so the loops terminate after
+	// a handful of iterations for any sane stripe width.
+	for dt := int64(1); ; dt++ {
+		if (t+dt)*ss.stripeCells-c0 > ss.bandCells {
+			break
+		}
+		add(t + dt)
+	}
+	for dt := int64(1); ; dt++ {
+		if c0-((t-dt)*ss.stripeCells+ss.stripeCells-1) > ss.bandCells {
+			break
+		}
+		add(t - dt)
+	}
+	return out
+}
+
+// decideStripeLocked resolves the adaptive stripe width from the first
+// committed batch: the batch's dimension-0 cell extent divided across
+// adaptiveStripesPerShard stripes per shard, clamped to [bandCells+1,
+// defaultStripeCells]. Caller holds routesMu; runs at most once, before any
+// point has been routed.
+func (ss *shardSet) decideStripeLocked(ops []shOp) {
+	var lo, hi int32
+	seen := false
+	for i := range ops {
+		if !ops[i].insert {
+			continue
+		}
+		c := ops[i].sp.Coord()[0]
+		if !seen {
+			lo, hi = c, c
+			seen = true
+			continue
+		}
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if !seen {
+		return // nothing to observe yet; keep the provisional default
+	}
+	ss.adaptivePending = false
+	extent := int64(hi) - int64(lo) + 1
+	stripes := adaptiveStripesPerShard * int64(len(ss.shards))
+	w := (extent + stripes - 1) / stripes
+	if w > defaultStripeCells {
+		w = defaultStripeCells
+	}
+	// The band clamp applies last: with an extreme ρ·ε the ghost band can
+	// exceed the default cap, and a stripe at or below the band replicates
+	// every cell into several shards — the invariant the explicit-width
+	// path clamps for must win over the cap.
+	if min := ss.bandCells + 1; w < min {
+		w = min
+	}
+	ss.stripeCells = w
+}
+
+// noteLoadLocked charges one op to the stripe owning the cell column col.
+// Caller holds routesMu and has already advanced commitSeq for this commit.
+func (ss *shardSet) noteLoadLocked(col int32, insert bool) {
+	t := floorDiv(int64(col), ss.stripeCells)
+	st := ss.stripeLoad[t]
+	if st == nil {
+		st = &stripeStat{tick: ss.commitSeq}
+		ss.stripeLoad[t] = st
+	}
+	st.decayTo(ss.commitSeq)
+	st.updates++
+	if insert {
+		st.points++
+	} else {
+		st.points--
+	}
+}
+
+// StripeCells returns the effective shard stripe width in grid cells along
+// dimension 0 (after clamping to the ghost-band width and, when
+// WithShardStripe was not given, the adaptive decision made at the first
+// committed batch). It returns 0 on a single-backend Engine.
+func (e *Engine) StripeCells() int {
+	if e.sh == nil {
+		return 0
+	}
+	e.sh.routesMu.Lock()
+	defer e.sh.routesMu.Unlock()
+	return int(e.sh.stripeCells)
+}
+
+// ShardLoads reports the per-shard placement load of a sharded Engine: the
+// stripes currently attributed to each shard, their resident owned points,
+// and their decayed update counters. It returns nil on a single-backend
+// Engine.
+func (e *Engine) ShardLoads() []ShardLoad {
+	if e.sh == nil {
+		return nil
+	}
+	ss := e.sh
+	ss.routesMu.Lock()
+	defer ss.routesMu.Unlock()
+	out := make([]ShardLoad, len(ss.shards))
+	for i := range out {
+		out[i].Shard = i
+	}
+	for t, st := range ss.stripeLoad {
+		st.decayTo(ss.commitSeq)
+		s := ss.shardOfStripe(t)
+		out[s].Stripes++
+		out[s].Points += st.points
+		out[s].Updates += st.updates
+	}
+	return out
+}
+
+// Rebalance evaluates the per-shard load balance and migrates up to
+// MaxMoves hot stripes from overloaded shards to underloaded ones, using the
+// policy given to WithRebalance (or DefaultRebalancePolicy's thresholds when
+// none was). It returns how many stripes moved.
+//
+// A migration quiesces the engine (like a Subscribe transition), moves the
+// stripe's owned points and ghost copies to the new placement, rebuilds the
+// seam, and advances the engine Version (each migration counts as one
+// update). Everything user-visible survives: point handles, ClusterIDs, the
+// event stream's ordering, and — with Rho = 0 — the clustering itself
+// bit-for-bit. On insertion-only backends (AlgoSemiDynamic) the source
+// shard's copies cannot be deleted and remain resident (new traffic still
+// routes to the new owner); memory is reclaimed only on deletion-capable
+// algorithms. Rebalance on a single-backend Engine is a no-op.
+func (e *Engine) Rebalance() (moved int, err error) {
+	if e.sh == nil {
+		return 0, nil
+	}
+	return e.sh.rebalance(e.sh.policy), nil
+}
+
+// maybeAutoRebalance runs the automatic check cadence of WithRebalance; it
+// is called by commitBatch after publishing, with no lock held. A CAS flag
+// collapses concurrent committers into one pass.
+func (ss *shardSet) maybeAutoRebalance() {
+	ss.routesMu.Lock()
+	due := ss.commitSeq >= ss.nextAutoCheck
+	if due {
+		ss.nextAutoCheck = ss.commitSeq + uint64(ss.autoEvery)
+	}
+	ss.routesMu.Unlock()
+	if !due || !ss.rebalancing.CompareAndSwap(false, true) {
+		return
+	}
+	defer ss.rebalancing.Store(false)
+	ss.rebalance(ss.policy)
+}
+
+// rebalance runs one migration pass: pick, migrate, repeat until balanced or
+// MaxMoves. Events from migrations (possible only under Rho > 0) publish
+// after the world lock is released, in ticket order.
+func (ss *shardSet) rebalance(pol RebalancePolicy) int {
+	type pubRec struct {
+		ticket uint64
+		evs    []Event
+	}
+	var pubs []pubRec
+	moved := 0
+	ss.worldMu.Lock()
+	for moved < pol.MaxMoves {
+		t, dst, ok := ss.pickMigrationLocked(pol)
+		if !ok {
+			break
+		}
+		ticket, evs, pub := ss.migrateStripeLocked(t, dst)
+		if pub {
+			pubs = append(pubs, pubRec{ticket, evs})
+		}
+		moved++
+	}
+	ss.worldMu.Unlock()
+	for _, p := range pubs {
+		// After the unlock, mirroring commitBatch: a publisher parked on a
+		// full BlockSubscriber queue must hold no engine lock.
+		ss.e.publishOrdered(p.ticket, p.evs)
+	}
+	return moved
+}
+
+// pickMigrationLocked chooses the next migration: the hottest stripe of the
+// most loaded shard whose move to the least loaded shard strictly improves
+// the pair. ok is false when the balance is within policy or no stripe's
+// move would help. Caller holds worldMu exclusively.
+func (ss *shardSet) pickMigrationLocked(pol RebalancePolicy) (stripe int64, dst int32, ok bool) {
+	ss.routesMu.Lock()
+	defer ss.routesMu.Unlock()
+	n := len(ss.shards)
+	loads := make([]float64, n)
+	type cand struct {
+		t int64
+		l float64
+	}
+	byShard := make([][]cand, n)
+	for t, st := range ss.stripeLoad {
+		st.decayTo(ss.commitSeq)
+		if st.points == 0 && st.updates < 0.5 {
+			delete(ss.stripeLoad, t) // fully decayed and empty: drop
+			continue
+		}
+		l := st.load()
+		s := ss.shardOfStripe(t)
+		loads[s] += l
+		byShard[s] = append(byShard[s], cand{t, l})
+	}
+	src, least := 0, 0
+	total := 0.0
+	for s, l := range loads {
+		total += l
+		if l > loads[src] {
+			src = s
+		}
+		if l < loads[least] {
+			least = s
+		}
+	}
+	mean := total / float64(n)
+	if src == least || loads[src] < pol.MinLoad || loads[src] <= pol.MaxImbalance*mean {
+		return 0, 0, false
+	}
+	cands := byShard[src]
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].l != cands[j].l {
+			return cands[i].l > cands[j].l
+		}
+		return cands[i].t < cands[j].t
+	})
+	for _, c := range cands {
+		if c.l <= 0 {
+			break
+		}
+		// Strict improvement: both resulting loads stay below the current
+		// source load, so passes cannot oscillate.
+		if loads[least]+c.l < loads[src] {
+			return c.t, int32(least), true
+		}
+	}
+	return 0, 0, false
+}
+
+// migrateStripeLocked reassigns stripe t to shard dst and moves the physical
+// copies to match: grow (insert the copies the new placement requires),
+// restitch while both generations are co-resident (the bridge that carries
+// the global ClusterID assignment onto the target's local clusters), then
+// trim the copies the old placement held and the new one does not. Caller
+// holds worldMu exclusively; the returned ticket/evs (pub=true) must be
+// published by the caller after releasing it.
+func (ss *shardSet) migrateStripeLocked(t int64, dst int32) (ticket uint64, evs []Event, pub bool) {
+	e := ss.e
+	src := ss.shardOfStripe(t)
+	if src == dst {
+		return 0, nil, false
+	}
+
+	// The table and the route rewrites happen under one routesMu critical
+	// section: concurrent commits route under routesMu, so they observe
+	// either the old placement with the old routes or the new pair — never a
+	// mix. placeEpoch is bumped at the end; a commit that routed against the
+	// old placement re-checks the epoch under its shard locks and re-routes.
+	ss.routesMu.Lock()
+	defer ss.routesMu.Unlock()
+
+	var oldLive []ClusterID
+	if ss.eventsOn {
+		seen := make(map[ClusterID]struct{}, len(ss.keyGID))
+		for _, g := range ss.keyGID {
+			if _, dup := seen[g]; !dup {
+				seen[g] = struct{}{}
+				oldLive = append(oldLive, g)
+			}
+		}
+		sort.Slice(oldLive, func(i, j int) bool { return oldLive[i] < oldLive[j] })
+	}
+
+	// Affected handles: every point whose copy set can change — its cell
+	// column lies in stripe t or within the ghost band around it. The full
+	// routes scan is O(live points), which does not change the migration's
+	// asymptotics: the two restitches below already walk every core cell of
+	// every shard (see the non-quiescent-migration follow-up in ROADMAP.md).
+	loCol := t*ss.stripeCells - ss.bandCells
+	hiCol := (t+1)*ss.stripeCells - 1 + ss.bandCells
+	type moveRec struct {
+		gid PointID
+		old route
+	}
+	var moves []moveRec
+	for gid, r := range ss.routes {
+		if c := int64(r.col); c >= loCol && c <= hiCol {
+			moves = append(moves, moveRec{gid, r})
+		}
+	}
+
+	// Flip the assignment: shardsOf speaks the new placement from here on.
+	ss.assign[t] = dst
+
+	// Grow: route every affected point under the new placement, inserting
+	// the copies it lacks. Old copies stay resident through the intermediate
+	// restitch below. Owner translation follows the owner copy.
+	type removal struct {
+		shard int32
+		local core.PointID
+	}
+	var removals []removal
+	trim := e.algo != AlgoSemiDynamic // insertion-only backends cannot drop copies
+	for _, mv := range moves {
+		var coord grid.Coord
+		coord[0] = mv.old.col
+		newShs := ss.shardsOf(coord)
+		oldAt := make(map[int32]core.PointID, len(mv.old.copies))
+		for _, c := range mv.old.copies {
+			oldAt[c.shard] = c.local
+		}
+		var pt geom.Point
+		newCopies := make([]copyRef, 0, len(newShs))
+		for _, s := range newShs {
+			if local, have := oldAt[s]; have {
+				newCopies = append(newCopies, copyRef{s, local})
+				delete(oldAt, s)
+				continue
+			}
+			if pt == nil {
+				owner := mv.old.copies[0]
+				p, ok := ss.shards[owner.shard].look.PointAt(owner.local)
+				if !ok {
+					panic(fmt.Sprintf("dyndbscan: migration lost the owner copy of point %d", mv.gid))
+				}
+				pt = p
+			}
+			sp, err := ss.stager.Stage(pt)
+			if err != nil {
+				panic(fmt.Sprintf("dyndbscan: migration re-staging point %d: %v", mv.gid, err))
+			}
+			lid, err := ss.shards[s].st.InsertStaged(sp)
+			if err != nil {
+				panic(fmt.Sprintf("dyndbscan: shard %d rejected a migrated copy: %v", s, err))
+			}
+			newCopies = append(newCopies, copyRef{s, lid})
+		}
+		for s, local := range oldAt {
+			if trim {
+				removals = append(removals, removal{s, local})
+			} else {
+				// Keep the undeletable stale copy listed so a later
+				// migration routing this shard again reuses it instead of
+				// inserting a duplicate (which would inflate densities).
+				newCopies = append(newCopies, copyRef{s, local})
+			}
+		}
+		oldOwner := mv.old.copies[0]
+		if newOwner := newCopies[0]; newOwner != oldOwner {
+			delete(ss.shards[oldOwner.shard].ownerGlobal, oldOwner.local)
+			ss.shards[newOwner.shard].ownerGlobal[newOwner.local] = mv.gid
+		}
+		ss.routes[mv.gid] = route{col: mv.old.col, copies: newCopies}
+	}
+
+	// Intermediate restitch: both generations of copies are resident, so the
+	// union-find bridges every source local cluster with its target
+	// counterpart through their co-located core cells, and the previous
+	// global ids flow onto the target keys before the source copies vanish.
+	ss.restitchLocked()
+
+	// Trim.
+	for _, rm := range removals {
+		if err := ss.shards[rm.shard].c.Delete(rm.local); err != nil {
+			panic(fmt.Sprintf("dyndbscan: shard %d rejected trimming a migrated copy: %v", rm.shard, err))
+		}
+	}
+
+	if ss.eventsOn {
+		// Backend events and dirty cells raised by the copy movement are
+		// artifacts, not clustering changes; the global consequences are
+		// derived from the stitch transition below instead.
+		for _, sh := range ss.shards {
+			sh.pending = sh.pending[:0]
+			sh.tracker.TakeDirtySeamCells()
+		}
+		comps, gidOf, prevGIDs := ss.restitchInfoLocked()
+		// Event attribution is filtered to the ids live before the
+		// migration: an id minted by the intermediate restitch (possible
+		// only under Rho > 0 don't-care re-resolution) surfaces as Formed.
+		oldSet := make(map[ClusterID]struct{}, len(oldLive))
+		for _, g := range oldLive {
+			oldSet[g] = struct{}{}
+		}
+		evPrev := make([][]ClusterID, len(comps))
+		for ci, prev := range prevGIDs {
+			for _, g := range prev {
+				if _, ok := oldSet[g]; ok {
+					evPrev[ci] = append(evPrev[ci], g)
+				}
+			}
+		}
+		evs = netTransitions(comps, gidOf, evPrev, oldLive)
+		ss.populateSeamLocked()
+		e.version.Add(1)
+		// restitchInfoLocked left stitched == keyGID; stamp it current.
+		ss.stitchVersion = e.version.Load()
+		ss.stitchValid = true
+		if len(evs) > 0 {
+			ticket = e.takeTicket()
+			pub = true
+		}
+	} else {
+		// The intermediate keyGID carries the bridged attribution; the next
+		// lazy restitch claims through the surviving keys.
+		e.version.Add(1)
+		ss.stitchValid = false
+	}
+	ss.placeEpoch++
+	return ticket, evs, pub
+}

@@ -548,6 +548,15 @@ func netTransitions(comps [][]stitchKey, gidOf []ClusterID, prevGIDs [][]Cluster
 // worldMu exclusively.
 func (ss *shardSet) buildSeamLocked() {
 	ss.restitchLocked()
+	ss.populateSeamLocked()
+}
+
+// populateSeamLocked rebuilds the seam structures from the current keyGID
+// assignment and the live backends — the second half of buildSeamLocked,
+// called on its own by stripe migration, which refreshes the stitch itself
+// (and derives events from its transition) before repopulating. Caller holds
+// worldMu exclusively.
+func (ss *shardSet) populateSeamLocked() {
 	sm := newSeamState()
 	ss.seam = sm
 	for k, g := range ss.keyGID {

@@ -1,10 +1,12 @@
 package dyndbscan
 
 // Sharded serving mode: WithShards(n>1) partitions the grid of Section 4
-// into stripes along dimension 0, assigned round-robin to n shards. Each
-// shard owns a full clustering backend (internal/core) behind its own lock,
-// so updates whose shard sets are disjoint commit concurrently — the write
-// path scales with cores the way PR 2 made the read path scale with readers.
+// into stripes along dimension 0, assigned to n shards through a versioned
+// stripe→shard table (round-robin by default; load-aware rebalancing
+// migrates stripes — see placement.go). Each shard owns a full clustering
+// backend (internal/core) behind its own lock, so updates whose shard sets
+// are disjoint commit concurrently — the write path scales with cores the
+// way PR 2 made the read path scale with readers.
 //
 // # Ghost bands
 //
@@ -60,6 +62,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dyndbscan/internal/core"
 	"dyndbscan/internal/grid"
@@ -87,8 +90,14 @@ type copyRef struct {
 
 // route is the placement of one global handle: copies[0] is the owner copy
 // (the shard whose stripe contains the point's cell), the rest are ghost
-// copies in neighboring shards' bands. A route is immutable once installed.
+// copies in neighboring shards' bands (plus, on insertion-only backends,
+// stale copies a past migration could not delete). col is the point's cell
+// column along dimension 0 — the routing key, kept so load accounting and
+// stripe migration can re-derive the stripe without a backend lookup. Routes
+// change only at insertion, deletion, and stripe migration, always under
+// routesMu.
 type route struct {
+	col    int32
 	copies []copyRef
 }
 
@@ -101,6 +110,7 @@ type shard struct {
 	st      stagedInserter
 	walker  core.CoreCellWalker
 	tracker core.SeamTracker
+	look    core.PointLookup
 
 	// ownerGlobal maps backend-local handles of *owned* copies back to their
 	// global handles — the translation table for point-level events. Ghost
@@ -123,6 +133,24 @@ type shardSet struct {
 	bandCells   int64 // ghost band width in cells (covers 2(1+ρ)ε)
 
 	shards []*shard
+
+	// Placement state (see placement.go). assign overrides the round-robin
+	// stripe→shard default and placeEpoch versions it: both are read under
+	// routesMu (commit routing) or any worldMu mode (stitch, seam fold) and
+	// written only under worldMu exclusive + routesMu (stripe migration).
+	// stripeCells above follows the same discipline once adaptivePending has
+	// resolved (the first routed commit decides it under routesMu).
+	// stripeLoad/commitSeq/nextAutoCheck are the per-stripe load accounts,
+	// guarded by routesMu.
+	assign          map[int64]int32
+	placeEpoch      uint64
+	adaptivePending bool
+	stripeLoad      map[int64]*stripeStat
+	commitSeq       uint64
+	nextAutoCheck   uint64
+	policy          RebalancePolicy
+	autoEvery       int
+	rebalancing     atomic.Bool
 
 	// worldMu: commits hold it shared (their shard locks provide mutual
 	// exclusion); snapshot builds, full stitches, and subscriber-count
@@ -184,17 +212,12 @@ func newShardedEngine(s *engineSettings) (*Engine, error) {
 	}
 	e.pubCond.L = &e.pubMu
 
-	stripe := s.stripeCells
-	if stripe == 0 {
-		stripe = defaultStripeCells
-	}
 	side := grid.NewParams(cfg.Dims, cfg.Eps).Side
 	band := 2 * cfg.Eps * (1 + cfg.Rho)
 	ss := &shardSet{
-		e:           e,
-		cfg:         cfg,
-		stager:      core.NewStager(cfg),
-		stripeCells: int64(stripe),
+		e:      e,
+		cfg:    cfg,
+		stager: core.NewStager(cfg),
 		// Cells at column distance k have box distance (k-1)·side; +2 keeps
 		// the rounding conservative (over-replication is a perf cost only).
 		bandCells:   int64(math.Floor(band/side)) + 2,
@@ -203,13 +226,37 @@ func newShardedEngine(s *engineSettings) (*Engine, error) {
 		idsSorted:   true,
 		pendingDead: make(map[PointID]struct{}),
 		keyGID:      make(map[stitchKey]ClusterID),
+		assign:      make(map[int64]int32),
+		stripeLoad:  make(map[int64]*stripeStat),
+		policy:      s.rebalance.normalize(s.shards),
+	}
+	ss.autoEvery = ss.policy.CheckEvery
+	if ss.autoEvery > 0 {
+		ss.nextAutoCheck = uint64(ss.autoEvery)
+	}
+	// Stripe width. A stripe no wider than the ghost band replicates every
+	// cell into several (possibly all) shards — sharding's cost without its
+	// parallelism — so explicit widths are clamped to bandCells+1. Without
+	// WithShardStripe the width is adaptive: the provisional default applies
+	// until the first committed batch reveals the data extent
+	// (decideStripeLocked), so small-extent workloads still spread across
+	// every shard.
+	if s.stripeCells == 0 {
+		ss.stripeCells = defaultStripeCells
+		ss.adaptivePending = true
+	} else {
+		ss.stripeCells = int64(s.stripeCells)
+		if min := ss.bandCells + 1; ss.stripeCells < min {
+			ss.stripeCells = min
+		}
 	}
 	for i, c := range backends {
 		ext, okExt := c.(extendedClusterer)
 		st, okSt := c.(stagedInserter)
 		walker, okWalk := c.(core.CoreCellWalker)
 		tracker, okTrack := c.(core.SeamTracker)
-		if !okExt || !okSt || !okWalk || !okTrack {
+		look, okLook := c.(core.PointLookup)
+		if !okExt || !okSt || !okWalk || !okTrack || !okLook {
 			return nil, fmt.Errorf("dyndbscan: algorithm %v lacks the sharding capabilities", s.algo)
 		}
 		ss.shards[i] = &shard{
@@ -219,6 +266,7 @@ func newShardedEngine(s *engineSettings) (*Engine, error) {
 			st:          st,
 			walker:      walker,
 			tracker:     tracker,
+			look:        look,
 			ownerGlobal: make(map[core.PointID]PointID),
 		}
 	}
@@ -226,83 +274,9 @@ func newShardedEngine(s *engineSettings) (*Engine, error) {
 	return e, nil
 }
 
-// Routing arithmetic. Stripe t covers columns [t·W, (t+1)·W) of dimension 0
-// and is owned by shard t mod n, so consecutive stripes land on different
-// shards and any spread-out workload exercises all of them.
-
-func floorDiv(a, b int64) int64 {
-	q := a / b
-	if a%b != 0 && (a < 0) != (b < 0) {
-		q--
-	}
-	return q
-}
-
-func floorMod(a, b int64) int64 {
-	m := a % b
-	if m != 0 && (m < 0) != (b < 0) {
-		m += b
-	}
-	return m
-}
-
-// ownerOf returns the shard owning the cell.
-func (ss *shardSet) ownerOf(coord grid.Coord) int32 {
-	stripe := floorDiv(int64(coord[0]), ss.stripeCells)
-	return int32(floorMod(stripe, int64(len(ss.shards))))
-}
-
-// replicated reports whether the cell is held by more than one shard — the
-// owner plus at least one ghost copy — without materializing the shard list:
-// true exactly when the cell lies within bandCells of an adjacent stripe.
-// For n ≥ 2 shards the adjacent stripes always belong to other shards
-// (round-robin), and stripe distances grow monotonically with the stripe
-// offset, so the two dt = ±1 tests of shardsOf decide the question. The seam
-// fold calls this once per dirty cell inside its critical section, where the
-// shardsOf allocation would be pure overhead.
-func (ss *shardSet) replicated(coord grid.Coord) bool {
-	c0 := int64(coord[0])
-	t := floorDiv(c0, ss.stripeCells)
-	if (t+1)*ss.stripeCells-c0 <= ss.bandCells {
-		return true
-	}
-	return c0-((t-1)*ss.stripeCells+ss.stripeCells-1) <= ss.bandCells
-}
-
-// shardsOf returns the shards that must hold a copy of a point in the given
-// cell: the owner first, then every distinct shard whose ghost band covers
-// the cell (its owned columns lie within bandCells of the cell's column).
-func (ss *shardSet) shardsOf(coord grid.Coord) []int32 {
-	c0 := int64(coord[0])
-	t := floorDiv(c0, ss.stripeCells)
-	owner := int32(floorMod(t, int64(len(ss.shards))))
-	out := []int32{owner}
-	add := func(stripe int64) {
-		s := int32(floorMod(stripe, int64(len(ss.shards))))
-		for _, have := range out {
-			if have == s {
-				return
-			}
-		}
-		out = append(out, s)
-	}
-	// Walk outward until the nearest column of the stripe is beyond the
-	// band; the distances are monotone in |dt|, so the loops terminate after
-	// a handful of iterations for any sane stripe width.
-	for dt := int64(1); ; dt++ {
-		if (t+dt)*ss.stripeCells-c0 > ss.bandCells {
-			break
-		}
-		add(t + dt)
-	}
-	for dt := int64(1); ; dt++ {
-		if c0-((t-dt)*ss.stripeCells+ss.stripeCells-1) > ss.bandCells {
-			break
-		}
-		add(t - dt)
-	}
-	return out
-}
+// Routing arithmetic lives in placement.go: stripe t covers columns
+// [t·W, (t+1)·W) of dimension 0 and resolves to a shard through the
+// assignment table (round-robin by default, overridden by migrations).
 
 // stage runs the sharded pre-commit phase: validation, cloning, and cell
 // assignment across the engine's workers (sharded backends always accept
@@ -348,98 +322,131 @@ type shardItem struct {
 func (ss *shardSet) commitBatch(ops []shOp, errUnknown func(i int, id PointID) error) ([]PointID, error) {
 	e := ss.e
 
-	// Route: owner+ghost shards per insert; route copies per delete.
-	copies := make([][]copyRef, len(ops))
-	ss.routesMu.Lock()
-	for i := range ops {
-		op := &ops[i]
-		if op.insert {
-			shs := ss.shardsOf(op.sp.Coord())
-			cs := make([]copyRef, len(shs))
-			for j, s := range shs {
-				cs[j].shard = s
+	// Routing runs against one placement epoch: the epoch is snapshotted
+	// with the routes under routesMu, and re-checked after the shard locks
+	// are held — a stripe migration (which quiesces the world, rewrites the
+	// routes, and bumps the epoch, all under routesMu) that slips into the
+	// gap invalidates the computed shard sets, so the commit re-routes.
+	var (
+		copies   [][]copyRef
+		cols     []int32
+		involved []int32
+		perShard map[int32][]shardItem
+		evsOn    bool
+		unlock   func()
+	)
+route:
+	for {
+		// Route: owner+ghost shards per insert; route copies per delete.
+		copies = make([][]copyRef, len(ops))
+		cols = make([]int32, len(ops))
+		ss.routesMu.Lock()
+		if ss.adaptivePending {
+			// First routed batch: derive the stripe width from its extent
+			// before any cell is assigned a shard.
+			ss.decideStripeLocked(ops)
+		}
+		epoch := ss.placeEpoch
+		for i := range ops {
+			op := &ops[i]
+			if op.insert {
+				shs := ss.shardsOf(op.sp.Coord())
+				cs := make([]copyRef, len(shs))
+				for j, s := range shs {
+					cs[j].shard = s
+				}
+				copies[i] = cs
+				cols[i] = op.sp.Coord()[0]
+				continue
 			}
-			copies[i] = cs
-			continue
+			r, ok := ss.routes[op.gid]
+			if !ok {
+				ss.routesMu.Unlock()
+				return nil, errUnknown(i, op.gid)
+			}
+			copies[i] = r.copies
+			cols[i] = r.col
 		}
-		r, ok := ss.routes[op.gid]
-		if !ok {
-			ss.routesMu.Unlock()
-			return nil, errUnknown(i, op.gid)
-		}
-		copies[i] = r.copies
-	}
-	ss.routesMu.Unlock()
+		ss.routesMu.Unlock()
 
-	// Involved shards, ascending.
-	var involvedMask uint64 // fast path for n ≤ 64; fall back handled below
-	involved := make([]int32, 0, 4)
-	mark := func(s int32) {
-		if s < 64 {
-			if involvedMask&(1<<uint(s)) != 0 {
-				return
-			}
-			involvedMask |= 1 << uint(s)
-		} else {
-			for _, have := range involved {
-				if have == s {
+		// Involved shards, ascending.
+		var involvedMask uint64 // fast path for n ≤ 64; fall back handled below
+		involved = involved[:0]
+		mark := func(s int32) {
+			if s < 64 {
+				if involvedMask&(1<<uint(s)) != 0 {
 					return
+				}
+				involvedMask |= 1 << uint(s)
+			} else {
+				for _, have := range involved {
+					if have == s {
+						return
+					}
+				}
+			}
+			involved = append(involved, s)
+		}
+		perShard = make(map[int32][]shardItem, 4)
+		for i := range ops {
+			for j, c := range copies[i] {
+				mark(c.shard)
+				perShard[c.shard] = append(perShard[c.shard], shardItem{
+					op: i, owner: j == 0, slot: j, local: c.local,
+				})
+			}
+		}
+		sort.Slice(involved, func(a, b int) bool { return involved[a] < involved[b] })
+
+		// Critical section: shared worldMu + the involved shard locks
+		// (acquired in ascending order, so overlapping commits cannot
+		// deadlock), letting commits on disjoint shards run concurrently —
+		// with or without subscribers: event derivation folds this commit's
+		// seam delta into the live seam structure under seamMu instead of
+		// requiring a quiesced world. Publication happens after the unlock:
+		// a backpressured publisher must never hold worldMu, or subscriber
+		// callbacks querying the Engine would deadlock. eventsOn only
+		// toggles while worldMu is held exclusively, so its value is stable
+		// once the shared lock is held.
+		ss.worldMu.RLock()
+		evsOn = ss.eventsOn
+		for _, s := range involved {
+			ss.shards[s].mu.Lock()
+		}
+		unlock = func() {
+			for i := len(involved) - 1; i >= 0; i-- {
+				ss.shards[involved[i]].mu.Unlock()
+			}
+			ss.worldMu.RUnlock()
+		}
+
+		// Re-validate deletes and mint insert handles under the locks: a
+		// racing delete serialized before us may have removed a target, and
+		// a migration may have re-placed the stripes we routed against.
+		ss.routesMu.Lock()
+		if ss.placeEpoch != epoch {
+			ss.routesMu.Unlock()
+			unlock()
+			continue route // placement moved under us: re-route
+		}
+		for i := range ops {
+			if !ops[i].insert {
+				if _, ok := ss.routes[ops[i].gid]; !ok {
+					ss.routesMu.Unlock()
+					unlock()
+					return nil, errUnknown(i, ops[i].gid)
 				}
 			}
 		}
-		involved = append(involved, s)
-	}
-	perShard := make(map[int32][]shardItem, 4)
-	for i := range ops {
-		for j, c := range copies[i] {
-			mark(c.shard)
-			perShard[c.shard] = append(perShard[c.shard], shardItem{
-				op: i, owner: j == 0, slot: j, local: c.local,
-			})
-		}
-	}
-	sort.Slice(involved, func(a, b int) bool { return involved[a] < involved[b] })
-
-	// Critical section: shared worldMu + the involved shard locks (acquired
-	// in ascending order, so overlapping commits cannot deadlock), letting
-	// commits on disjoint shards run concurrently — with or without
-	// subscribers: event derivation folds this commit's seam delta into the
-	// live seam structure under seamMu instead of requiring a quiesced world.
-	// Publication happens after the unlock: a backpressured publisher must
-	// never hold worldMu, or subscriber callbacks querying the Engine would
-	// deadlock. eventsOn only toggles while worldMu is held exclusively, so
-	// its value is stable once the shared lock is held.
-	ss.worldMu.RLock()
-	evsOn := ss.eventsOn
-	for _, s := range involved {
-		ss.shards[s].mu.Lock()
-	}
-	unlock := func() {
-		for i := len(involved) - 1; i >= 0; i-- {
-			ss.shards[involved[i]].mu.Unlock()
-		}
-		ss.worldMu.RUnlock()
-	}
-
-	// Re-validate deletes and mint insert handles under the locks: a racing
-	// delete serialized before us may have removed a target.
-	ss.routesMu.Lock()
-	for i := range ops {
-		if !ops[i].insert {
-			if _, ok := ss.routes[ops[i].gid]; !ok {
-				ss.routesMu.Unlock()
-				unlock()
-				return nil, errUnknown(i, ops[i].gid)
+		for i := range ops {
+			if ops[i].insert {
+				ops[i].gid = ss.nextID
+				ss.nextID++
 			}
 		}
+		ss.routesMu.Unlock()
+		break
 	}
-	for i := range ops {
-		if ops[i].insert {
-			ops[i].gid = ss.nextID
-			ss.nextID++
-		}
-	}
-	ss.routesMu.Unlock()
 
 	// Apply each shard's op subsequence; shards proceed in parallel. The
 	// fanout is skipped for the common single-shard op.
@@ -492,14 +499,17 @@ func (ss *shardSet) commitBatch(ops []shOp, errUnknown func(i int, id PointID) e
 		wg.Wait()
 	}
 
-	// Publish the routes and the sorted-id cache.
+	// Publish the routes and the sorted-id cache, and charge the commit to
+	// its owner stripes' load accounts.
 	out := make([]PointID, len(ops))
 	ss.routesMu.Lock()
+	ss.commitSeq++
 	for i := range ops {
 		op := &ops[i]
 		out[i] = op.gid
+		ss.noteLoadLocked(cols[i], op.insert)
 		if op.insert {
-			ss.routes[op.gid] = route{copies: copies[i]}
+			ss.routes[op.gid] = route{col: cols[i], copies: copies[i]}
 			if n := len(ss.sortedIDs); n > 0 && op.gid <= ss.sortedIDs[n-1] {
 				ss.idsSorted = false // concurrent commits may interleave mints
 			}
@@ -566,6 +576,13 @@ func (ss *shardSet) commitBatch(ops []shOp, errUnknown func(i int, id PointID) e
 		// publisher parked on a full BlockSubscriber queue holds no engine
 		// lock, so the subscriber's callback can always query its way out.
 		e.publishOrdered(ticket, evs)
+	}
+	if ss.autoEvery > 0 {
+		// Automatic rebalancing check (WithRebalance): runs on the
+		// committing goroutine after everything above released, so a
+		// triggered migration pass holds worldMu exclusively with no other
+		// lock pinned by this commit.
+		ss.maybeAutoRebalance()
 	}
 	return out, nil
 }
@@ -818,15 +835,24 @@ func (ss *shardSet) stitchLocked() map[stitchKey]ClusterID {
 	return ss.stitched
 }
 
-// restitchLocked recomputes the stitch from the live shard states: it
+// restitchLocked recomputes the stitch from the live shard states; see
+// restitchInfoLocked for the algorithm.
+func (ss *shardSet) restitchLocked() {
+	ss.restitchInfoLocked()
+}
+
+// restitchInfoLocked recomputes the stitch from the live shard states: it
 // enumerates every core cell of every shard, unions shard-local clusters
 // across seams (a core cell observed inside a foreign shard's territory
 // links the observer's local cluster with the owner's), and maps each
 // component to a stable global id via the previous keyGID assignment (the
 // smallest unclaimed previous id of the component survives, mirroring the
 // older-id-wins merge rule of the backends; a component with no history
-// mints). It leaves the fresh assignment in ss.stitched/ss.keyGID.
-func (ss *shardSet) restitchLocked() {
+// mints). It leaves the fresh assignment in ss.stitched/ss.keyGID and
+// returns the transition's raw material — the sorted components, their
+// claimed global ids, and the previous ids attributed to each — which stripe
+// migration feeds to netTransitions to derive its global cluster events.
+func (ss *shardSet) restitchInfoLocked() (comps [][]stitchKey, gidOf []ClusterID, prevGIDs [][]ClusterID) {
 	type edge struct{ a, b stitchKey }
 	var (
 		keys  []stitchKey
@@ -870,7 +896,7 @@ func (ss *shardSet) restitchLocked() {
 		r := uf.Find(i)
 		byRoot[r] = append(byRoot[r], i)
 	}
-	comps := make([][]stitchKey, 0, len(byRoot))
+	comps = make([][]stitchKey, 0, len(byRoot))
 	for _, members := range byRoot {
 		comp := make([]stitchKey, len(members))
 		for j, i := range members {
@@ -891,7 +917,7 @@ func (ss *shardSet) restitchLocked() {
 			keyComp[k] = ci
 		}
 	}
-	prevGIDs := make([][]ClusterID, len(comps))
+	prevGIDs = make([][]ClusterID, len(comps))
 	for ko, g := range ss.keyGID {
 		if ci, ok := keyComp[ko]; ok {
 			prevGIDs[ci] = append(prevGIDs[ci], g)
@@ -903,6 +929,7 @@ func (ss *shardSet) restitchLocked() {
 
 	fresh := make(map[stitchKey]ClusterID, len(keys))
 	claimed := make(map[ClusterID]struct{}, len(comps))
+	gidOf = make([]ClusterID, len(comps))
 	for ci, comp := range comps {
 		// Candidates: the global ids attributed to the component, each
 		// claimable by one component per epoch. The smallest unclaimed
@@ -921,12 +948,14 @@ func (ss *shardSet) restitchLocked() {
 			ss.nextGID++
 		}
 		claimed[gid] = struct{}{}
+		gidOf[ci] = gid
 		for _, k := range comp {
 			fresh[k] = gid
 		}
 	}
 	ss.keyGID = fresh
 	ss.stitched = fresh
+	return comps, gidOf, prevGIDs
 }
 
 // lineageReach returns the keys reachable from k through the lineage graph,

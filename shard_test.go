@@ -19,17 +19,20 @@ import (
 // clustering exactly (the documented equivalence guarantee).
 func newShardTestEngine(t *testing.T, algo dyndbscan.Algorithm, dims, shards int) *dyndbscan.Engine {
 	t.Helper()
-	e, err := dyndbscan.New(
+	opts := []dyndbscan.Option{
 		dyndbscan.WithAlgorithm(algo),
 		dyndbscan.WithDims(dims),
 		dyndbscan.WithEps(30),
 		dyndbscan.WithMinPts(4),
 		dyndbscan.WithRho(0),
 		dyndbscan.WithShards(shards),
-		// Narrow stripes (4 cells ≈ 85 units at eps 30) force the test blobs
-		// to straddle many seams, stressing the stitching pass.
-		dyndbscan.WithShardStripe(4),
-	)
+	}
+	if shards > 1 {
+		// Narrow stripes (clamped to just past the ghost band) force the
+		// test blobs to straddle many seams, stressing the stitching pass.
+		opts = append(opts, dyndbscan.WithShardStripe(4))
+	}
+	e, err := dyndbscan.New(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,6 +251,32 @@ func TestShardedValidation(t *testing.T) {
 		dyndbscan.WithShards(2), dyndbscan.WithThreadSafety(false),
 	); err == nil {
 		t.Fatal("WithShards(2) + WithThreadSafety(false) accepted")
+	}
+	// WithShardStripe is meaningless without sharding: a silent no-op until
+	// this PR, now a construction error.
+	if _, err := dyndbscan.New(
+		dyndbscan.WithEps(1), dyndbscan.WithMinPts(2), dyndbscan.WithShardStripe(8),
+	); err == nil {
+		t.Fatal("WithShardStripe without WithShards(n>1) accepted")
+	}
+	if _, err := dyndbscan.New(
+		dyndbscan.WithEps(1), dyndbscan.WithMinPts(2),
+		dyndbscan.WithShards(1), dyndbscan.WithShardStripe(8),
+	); err == nil {
+		t.Fatal("WithShardStripe with WithShards(1) accepted")
+	}
+	// Same for the rebalancing policy, which also rejects negative fields.
+	if _, err := dyndbscan.New(
+		dyndbscan.WithEps(1), dyndbscan.WithMinPts(2),
+		dyndbscan.WithRebalance(dyndbscan.DefaultRebalancePolicy()),
+	); err == nil {
+		t.Fatal("WithRebalance without WithShards(n>1) accepted")
+	}
+	if _, err := dyndbscan.New(
+		dyndbscan.WithEps(1), dyndbscan.WithMinPts(2), dyndbscan.WithShards(2),
+		dyndbscan.WithRebalance(dyndbscan.RebalancePolicy{MaxImbalance: -2}),
+	); err == nil {
+		t.Fatal("WithRebalance with a negative field accepted")
 	}
 
 	e, err := dyndbscan.New(dyndbscan.WithEps(10), dyndbscan.WithMinPts(3),
@@ -637,4 +666,396 @@ func TestShardedConcurrentCommits(t *testing.T) {
 	if !(len(refAll.Noise) == 0 && len(shardedAll.Noise) == 0) && !reflect.DeepEqual(refAll.Noise, shardedAll.Noise) {
 		t.Fatalf("final noise diverges")
 	}
+}
+
+// TestStripeMigration drives directed stripe migrations (the MoveStripe test
+// hook bypasses the load policy) and asserts the migration contract: point
+// handles stay valid, ClusterIDs and the clustering are unchanged (Rho = 0),
+// no spurious events reach subscribers, the seam survives its audit, and the
+// engine keeps matching a single-shard reference through updates before,
+// between, and after migrations — including migrating a stripe back to its
+// original shard (which on insertion-only backends must reuse the stale
+// copies instead of duplicating them).
+func TestStripeMigration(t *testing.T) {
+	cases := []struct {
+		name    string
+		algo    dyndbscan.Algorithm
+		deletes bool
+	}{
+		{"FullyDynamic", dyndbscan.AlgoFullyDynamic, true},
+		{"SemiDynamic", dyndbscan.AlgoSemiDynamic, false},
+		{"IncDBSCAN", dyndbscan.AlgoIncDBSCAN, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			newEng := func(shards int) *dyndbscan.Engine {
+				opts := []dyndbscan.Option{
+					dyndbscan.WithAlgorithm(tc.algo),
+					dyndbscan.WithEps(10), dyndbscan.WithMinPts(3), dyndbscan.WithRho(0),
+					dyndbscan.WithShards(shards),
+				}
+				if shards > 1 {
+					opts = append(opts, dyndbscan.WithShardStripe(8))
+				}
+				e, err := dyndbscan.New(opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return e
+			}
+			e := newEng(3)
+			defer e.Close()
+			ref := newEng(1)
+			defer ref.Close()
+
+			var mu sync.Mutex
+			var clusterEvents int
+			cancel := e.Subscribe(func(ev dyndbscan.Event) {
+				switch ev.Kind {
+				case dyndbscan.EventClusterFormed, dyndbscan.EventClusterMerged,
+					dyndbscan.EventClusterSplit, dyndbscan.EventClusterDissolved:
+					mu.Lock()
+					clusterEvents++
+					mu.Unlock()
+				}
+			})
+			defer cancel()
+			val := evcheck.New()
+			cancelVal := e.Subscribe(val.Observe)
+			defer cancelVal()
+
+			both := func(stage string, ops []dyndbscan.Op) []dyndbscan.PointID {
+				t.Helper()
+				out, err := e.Apply(ops)
+				if err != nil {
+					t.Fatalf("%s: sharded Apply: %v", stage, err)
+				}
+				outRef, err := ref.Apply(ops)
+				if err != nil {
+					t.Fatalf("%s: reference Apply: %v", stage, err)
+				}
+				if !reflect.DeepEqual(out, outRef) {
+					t.Fatalf("%s: handles diverge across modes", stage)
+				}
+				checkIsomorphic(t, ref, e, stage)
+				return out
+			}
+			check := func(stage string) {
+				t.Helper()
+				e.Sync()
+				if err := val.Err(); err != nil {
+					t.Fatalf("%s: event stream invalid: %v", stage, err)
+				}
+				if err := val.ReconcileLive(e.Snapshot().ClusterIDs()); err != nil {
+					t.Fatalf("%s: events vs snapshot: %v", stage, err)
+				}
+				if err := e.SeamAudit(); err != nil {
+					t.Fatalf("%s: %v", stage, err)
+				}
+				checkIsomorphic(t, ref, e, stage)
+			}
+
+			blob := func(cx float64, n int) []dyndbscan.Op {
+				ops := make([]dyndbscan.Op, n)
+				for i := range ops {
+					ops[i] = dyndbscan.InsertOp(dyndbscan.Point{cx + float64(i%3), float64(i / 3)})
+				}
+				return ops
+			}
+			// Blob A sits inside stripe 0 (x ∈ [10, 13); the stripe covers
+			// x ∈ [0, 56.6) at eps 10, width 8); blob B is far away.
+			aIDs := both("insert blob A", blob(10, 9))
+			both("insert blob B", blob(500, 9))
+			check("before migration")
+
+			cidsA, ok := e.ClusterOf(aIDs[0])
+			if !ok || len(cidsA) != 1 {
+				t.Fatalf("blob A membership: %v %v", cidsA, ok)
+			}
+			before := e.Snapshot().GroupAll()
+			e.Sync()
+			mu.Lock()
+			evsBefore := clusterEvents
+			mu.Unlock()
+
+			if owner := e.StripeOwner(0); owner != 0 {
+				t.Fatalf("stripe 0 owner = %d before any migration", owner)
+			}
+			e.MoveStripe(0, 1)
+			if owner := e.StripeOwner(0); owner != 1 {
+				t.Fatalf("stripe 0 owner = %d after MoveStripe(0, 1)", owner)
+			}
+			check("after migration")
+
+			// The clustering, the ids, and the event stream are untouched.
+			cidsA2, ok := e.ClusterOf(aIDs[0])
+			if !ok || !reflect.DeepEqual(cidsA, cidsA2) {
+				t.Fatalf("blob A ClusterID changed across migration: %v -> %v (live=%v)", cidsA, cidsA2, ok)
+			}
+			after := e.Snapshot().GroupAll()
+			if !reflect.DeepEqual(before, after) {
+				t.Fatalf("clustering changed across migration:\nbefore: %+v\nafter:  %+v", before, after)
+			}
+			e.Sync()
+			mu.Lock()
+			evsAfter := clusterEvents
+			mu.Unlock()
+			if evsAfter != evsBefore {
+				t.Fatalf("migration leaked %d cluster events (Rho = 0 migrations are silent)", evsAfter-evsBefore)
+			}
+
+			// Updates against the migrated stripe: a new blob lands in
+			// stripe 0 under its new owner and a bridge merges it with A.
+			both("insert blob C post-migration", blob(30, 9))
+			bridge := make([]dyndbscan.Op, 0, 18)
+			for x := 13.0; x < 30; x += 2 {
+				bridge = append(bridge, dyndbscan.InsertOp(dyndbscan.Point{x, 0}), dyndbscan.InsertOp(dyndbscan.Point{x + 1, 0}))
+			}
+			bridgeIDs := both("bridge A-C", bridge)
+			merged, _ := e.ClusterOf(aIDs[0])
+			if len(merged) != 1 {
+				t.Fatalf("A not in one cluster after bridge: %v", merged)
+			}
+			check("after post-migration updates")
+
+			if tc.deletes {
+				del := make([]dyndbscan.Op, len(bridgeIDs))
+				for i, id := range bridgeIDs {
+					del[i] = dyndbscan.DeleteOp(id)
+				}
+				both("cut bridge", del)
+				check("after post-migration split")
+			}
+
+			// Migrate back: on insertion-only backends this must reuse the
+			// stale source copies rather than duplicate them (a duplicate
+			// would inflate densities and break the reference equivalence).
+			e.MoveStripe(0, 0)
+			check("after migrating back")
+			e.MoveStripe(0, 2)
+			check("after third migration")
+
+			both("growth after migrations", blob(14, 9))
+			check("final")
+		})
+	}
+}
+
+// TestAdaptiveStripeWidth covers the cold-start width decision: without
+// WithShardStripe the width derives from the first committed batch's extent,
+// so a spatially compact workload spreads across shards instead of landing
+// in one 64-cell stripe; a wide workload keeps the default cap. Explicit
+// widths are clamped to just past the ghost band.
+func TestAdaptiveStripeWidth(t *testing.T) {
+	// 2D, Rho = 0: the ghost band is always 4 cells, so the minimum
+	// (clamped) width is 5 regardless of eps.
+	const minWidth = 5
+
+	narrow, err := dyndbscan.New(
+		dyndbscan.WithEps(30), dyndbscan.WithMinPts(4), dyndbscan.WithRho(0),
+		dyndbscan.WithShards(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer narrow.Close()
+	if got := narrow.StripeCells(); got != dyndbscan.DefaultStripeCells {
+		t.Fatalf("provisional width = %d, want %d before the first commit", got, dyndbscan.DefaultStripeCells)
+	}
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]dyndbscan.Point, 400)
+	for i := range pts {
+		pts[i] = dyndbscan.Point{rng.Float64() * 200, rng.Float64() * 200}
+	}
+	if _, err := narrow.InsertBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	// Extent ≈ 10 cells (200 units / 21.2 per cell) over 4 shards → clamped
+	// to the minimum width, spreading the compact workload across shards.
+	if got := narrow.StripeCells(); got != minWidth {
+		t.Fatalf("adaptive width = %d, want %d for a compact extent", got, minWidth)
+	}
+	spread := 0
+	for _, sl := range narrow.ShardLoads() {
+		if sl.Points > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("compact workload landed on %d shard(s); adaptive width should spread it", spread)
+	}
+
+	wide, err := dyndbscan.New(
+		dyndbscan.WithEps(30), dyndbscan.WithMinPts(4), dyndbscan.WithRho(0),
+		dyndbscan.WithShards(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wide.Close()
+	for i := range pts {
+		pts[i] = dyndbscan.Point{rng.Float64() * 50000, rng.Float64() * 200}
+	}
+	if _, err := wide.InsertBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	if got := wide.StripeCells(); got != dyndbscan.DefaultStripeCells {
+		t.Fatalf("adaptive width = %d, want the %d-cell cap for a wide extent", got, dyndbscan.DefaultStripeCells)
+	}
+
+	// Satellite regression: a tiny explicit stripe with a large Eps used to
+	// replicate every cell into many shards; the effective width is now
+	// clamped to one cell past the ghost band.
+	clamped, err := dyndbscan.New(
+		dyndbscan.WithEps(100), dyndbscan.WithMinPts(3), dyndbscan.WithRho(0),
+		dyndbscan.WithShards(4), dyndbscan.WithShardStripe(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clamped.Close()
+	if got := clamped.StripeCells(); got != minWidth {
+		t.Fatalf("WithShardStripe(1) effective width = %d, want clamp to %d", got, minWidth)
+	}
+	single, err := dyndbscan.New(dyndbscan.WithEps(100), dyndbscan.WithMinPts(3), dyndbscan.WithRho(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	for i := range pts {
+		pts[i] = dyndbscan.Point{-2000 + rng.Float64()*4000, rng.Float64() * 500}
+	}
+	if _, err := clamped.InsertBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.InsertBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	checkIsomorphic(t, single, clamped, "clamped stripe equivalence")
+
+	// Widths above the clamp are taken as given.
+	explicit, err := dyndbscan.New(
+		dyndbscan.WithEps(10), dyndbscan.WithMinPts(3),
+		dyndbscan.WithShards(2), dyndbscan.WithShardStripe(10),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer explicit.Close()
+	if got := explicit.StripeCells(); got != 10 {
+		t.Fatalf("WithShardStripe(10) effective width = %d", got)
+	}
+}
+
+// TestAutoRebalance drives hotspot traffic whose hot stripes alias onto one
+// shard through the round-robin, with automatic rebalancing enabled, and
+// asserts the engine separates them — then hammers the same configuration
+// from concurrent writers with a validating subscriber attached (run with
+// -race: commits racing automatic migrations exercise the placement-epoch
+// re-route path).
+func TestAutoRebalance(t *testing.T) {
+	newEng := func() *dyndbscan.Engine {
+		e, err := dyndbscan.New(
+			dyndbscan.WithEps(10), dyndbscan.WithMinPts(4), dyndbscan.WithRho(0),
+			dyndbscan.WithShards(2), dyndbscan.WithShardStripe(8),
+			dyndbscan.WithRebalance(dyndbscan.RebalancePolicy{
+				MaxImbalance: 1.01, MinLoad: 1, CheckEvery: 4,
+			}),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	// Stripes 0 (x ∈ [0, 56.6)) and 2 (x ∈ [113.1, 169.7)) both map to
+	// shard 0 under the round-robin: the aliased-hotspot pathology.
+	hot := func(rng *rand.Rand) dyndbscan.Point {
+		x := 5 + rng.Float64()*45
+		if rng.Intn(2) == 1 {
+			x += 113
+		}
+		return dyndbscan.Point{x, rng.Float64() * 40}
+	}
+
+	t.Run("separates aliased hot stripes", func(t *testing.T) {
+		e := newEng()
+		defer e.Close()
+		rng := rand.New(rand.NewSource(9))
+		var live []dyndbscan.PointID
+		for round := 0; round < 80; round++ {
+			ops := make([]dyndbscan.Op, 0, 24)
+			for i := 0; i < 20; i++ {
+				ops = append(ops, dyndbscan.InsertOp(hot(rng)))
+			}
+			for i := 0; i < 4 && len(live) > 0; i++ {
+				k := rng.Intn(len(live))
+				ops = append(ops, dyndbscan.DeleteOp(live[k]))
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			out, err := e.Apply(ops)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, op := range ops {
+				if op.Kind == dyndbscan.OpInsert {
+					live = append(live, out[i])
+				}
+			}
+		}
+		if a, b := e.StripeOwner(0), e.StripeOwner(2); a == b {
+			t.Fatalf("hot stripes 0 and 2 still share shard %d after automatic rebalancing\nloads: %+v",
+				a, e.ShardLoads())
+		}
+	})
+
+	t.Run("concurrent writers", func(t *testing.T) {
+		e := newEng()
+		defer e.Close()
+		val := evcheck.New()
+		cancel := e.Subscribe(val.Observe)
+		defer cancel()
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(40 + w)))
+				var live []dyndbscan.PointID
+				for round := 0; round < 30; round++ {
+					ops := make([]dyndbscan.Op, 0, 16)
+					for i := 0; i < 12; i++ {
+						ops = append(ops, dyndbscan.InsertOp(hot(rng)))
+					}
+					for i := 0; i < 4 && len(live) > 0; i++ {
+						k := rng.Intn(len(live))
+						ops = append(ops, dyndbscan.DeleteOp(live[k]))
+						live[k] = live[len(live)-1]
+						live = live[:len(live)-1]
+					}
+					out, err := e.Apply(ops)
+					if err != nil {
+						t.Errorf("writer %d: %v", w, err)
+						return
+					}
+					for i, op := range ops {
+						if op.Kind == dyndbscan.OpInsert {
+							live = append(live, out[i])
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		e.Sync()
+		if err := val.Err(); err != nil {
+			t.Fatalf("event stream invalid under racing migrations: %v", err)
+		}
+		if err := val.ReconcileLive(e.Snapshot().ClusterIDs()); err != nil {
+			t.Fatalf("events vs snapshot: %v", err)
+		}
+		if err := e.SeamAudit(); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
