@@ -108,6 +108,11 @@ func (e *Engine) Apply(ops []Op) ([]PointID, error) {
 			return nil, fmt.Errorf("dyndbscan: Apply op %d: %w (id %d)", i, ErrUnknownPoint, op.ID)
 		}
 	}
+	seq, werr := e.walAppendOps(ops)
+	if werr != nil {
+		e.failUpdate()
+		return nil, werr
+	}
 	var (
 		inserted []PointID
 		deleted  []PointID
@@ -147,7 +152,9 @@ func (e *Engine) Apply(ops []Op) ([]PointID, error) {
 	e.noteDeleted(deleted)
 	e.noteInserted(inserted)
 	evs := e.finishUpdate()
-	e.release(evs)
+	if err := e.releaseLogged(seq, evs); err != nil {
+		return out, err
+	}
 	return out, nil
 }
 

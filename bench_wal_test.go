@@ -1,0 +1,129 @@
+// Benchmarks for the durability subsystem: what the write-ahead log costs on
+// the Apply path under each sync policy, and what recovery costs with and
+// without a checkpoint. Results are recorded in BENCH_6.json.
+package dyndbscan_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dyndbscan"
+)
+
+// walWorkload pre-generates the mixed stream every WAL benchmark replays:
+// uniform 2D points applied in 256-op batches, each batch also retiring the
+// previous batch's inserts. Small batches keep the per-commit log costs
+// (frame encode, group-commit handoff, fsync under SyncAlways) visible
+// instead of amortized away.
+func walWorkload(n int) []dyndbscan.Point {
+	rng := rand.New(rand.NewSource(8))
+	pts := make([]dyndbscan.Point, n)
+	for i := range pts {
+		pts[i] = dyndbscan.Point{rng.Float64() * 1e5, rng.Float64() * 1e5}
+	}
+	return pts
+}
+
+const walBenchChunk = 256
+
+func applyWALWorkload(b *testing.B, e *dyndbscan.Engine, pts []dyndbscan.Point) {
+	b.Helper()
+	var prev []dyndbscan.PointID
+	for lo := 0; lo < len(pts); lo += walBenchChunk {
+		hi := min(lo+walBenchChunk, len(pts))
+		ops := make([]dyndbscan.Op, 0, hi-lo+len(prev))
+		for _, pt := range pts[lo:hi] {
+			ops = append(ops, dyndbscan.InsertOp(pt))
+		}
+		for _, id := range prev {
+			ops = append(ops, dyndbscan.DeleteOp(id))
+		}
+		res, err := e.Apply(ops)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev = res[:hi-lo]
+	}
+}
+
+// BenchmarkApplyWithWAL measures mixed-batch Apply with the WAL off, under
+// group commit, and under per-commit fsync. ns/op is the cost per applied
+// operation; the off/group gap is the durability overhead the ISSUE bounds.
+func BenchmarkApplyWithWAL(b *testing.B) {
+	run := func(b *testing.B, wal func(dir string) dyndbscan.Option) {
+		opts := []dyndbscan.Option{dyndbscan.WithEps(200), dyndbscan.WithMinPts(10)}
+		if wal != nil {
+			opts = append(opts, wal(b.TempDir()), dyndbscan.WithWALCheckpointEvery(0))
+		}
+		e, err := dyndbscan.New(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		pts := walWorkload(b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		applyWALWorkload(b, e, pts)
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("group-2ms", func(b *testing.B) {
+		run(b, func(dir string) dyndbscan.Option {
+			return dyndbscan.WithWAL(dir, dyndbscan.SyncEvery(2*time.Millisecond))
+		})
+	})
+	b.Run("always", func(b *testing.B) {
+		run(b, func(dir string) dyndbscan.Option {
+			return dyndbscan.WithWAL(dir, dyndbscan.SyncAlways())
+		})
+	})
+}
+
+// BenchmarkRecovery measures Open() on a closed 20k-op log: "replay" walks
+// the whole history through Apply, "checkpoint" restores the snapshot the
+// sealing checkpoint wrote and replays nothing. ns/op is one full recovery.
+func BenchmarkRecovery(b *testing.B) {
+	const n = 20_000
+	run := func(b *testing.B, ckpt bool) {
+		dir := b.TempDir()
+		opts := []dyndbscan.Option{
+			dyndbscan.WithEps(200), dyndbscan.WithMinPts(10),
+			dyndbscan.WithWAL(dir, dyndbscan.SyncEvery(2*time.Millisecond)),
+		}
+		var ropts []dyndbscan.Option
+		if !ckpt {
+			// Disable checkpoints on both sides: the writer's Close then
+			// cannot seal the log, and every reopen replays the history.
+			opts = append(opts, dyndbscan.WithWALCheckpointEvery(0))
+			ropts = append(ropts, dyndbscan.WithWALCheckpointEvery(0))
+		}
+		e, err := dyndbscan.New(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		applyWALWorkload(b, e, walWorkload(n))
+		if err := e.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			re, err := dyndbscan.Open(dir, ropts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := re.WALStats()
+			if ckpt && st.Replayed != 0 {
+				b.Fatalf("checkpoint recovery replayed %d records", st.Replayed)
+			}
+			if !ckpt && st.Replayed == 0 {
+				b.Fatal("replay recovery restored from a checkpoint")
+			}
+			b.StopTimer()
+			re.Close()
+			b.StartTimer()
+		}
+	}
+	b.Run("replay", func(b *testing.B) { run(b, false) })
+	b.Run("checkpoint", func(b *testing.B) { run(b, true) })
+}

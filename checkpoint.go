@@ -1,0 +1,527 @@
+package dyndbscan
+
+// Checkpoint payloads: the serialized live state that bounds WAL replay.
+//
+// A checkpoint stores the live points (handles and coordinates), the id-mint
+// counters, the cluster-identity assignment, and — sharded — the stripe
+// placement. Restore re-inserts the points with forced handles through the
+// ordinary insert machinery, so the rebuilt backends are real post-insert
+// states, then grafts the stored cluster identities back on by membership
+// matching: under Rho = 0 the rebuild reproduces the checkpointed clustering
+// exactly (insertion order does not matter for the exact semantics), so the
+// match is perfect; under Rho > 0 a rebuild is itself a legal ρ-approximate
+// clustering of the same points that may resolve don't-care-band points
+// differently, so identities transfer by maximum member overlap — clients
+// keep their ClusterIDs wherever the clusters are recognizably the same.
+//
+// In single-backend mode the graft is a read-only translation layer
+// (gidRemap in persist.go) applied at the query surface; in sharded mode the
+// stitch's keyGID table is rewritten in place, since it already is exactly
+// such a translation layer.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dyndbscan/internal/wal"
+)
+
+const (
+	ckptVersion  = 1
+	ckptSingle   = 1 // single-backend payload
+	ckptSharded  = 2 // sharded payload (adds stripe placement)
+	maxCkptItems = 1 << 31
+)
+
+var errCorruptCkpt = errors.New("dyndbscan: corrupt checkpoint payload")
+
+// Little-endian append/decode helpers shared by the engine meta record and
+// the checkpoint payload.
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendVarint(b []byte, v int64) []byte { return binary.AppendVarint(b, v) }
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// payloadDecoder is a sticky-error cursor over an encoded payload; check err
+// once at the end.
+type payloadDecoder struct {
+	b   []byte
+	err error
+}
+
+func (d *payloadDecoder) fail() {
+	if d.err == nil {
+		d.err = errors.New("truncated")
+	}
+}
+
+func (d *payloadDecoder) byte() byte {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *payloadDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *payloadDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *payloadDecoder) float() float64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+// count reads a length prefix and bounds it (a corrupt payload must fail,
+// not allocate unbounded memory).
+func (d *payloadDecoder) count() int {
+	n := d.uvarint()
+	if n > maxCkptItems {
+		d.fail()
+		return 0
+	}
+	return int(n)
+}
+
+// ckptData is a decoded checkpoint payload.
+type ckptData struct {
+	mode    byte
+	dims    int
+	nextPt  PointID
+	nextGID ClusterID
+	ids     []PointID // ascending
+	coords  []Point   // parallel to ids
+	// clusters maps each stored global id to its ascending member handles
+	// (border points appear under every cluster they belong to).
+	clusters map[ClusterID][]PointID
+
+	// Sharded placement.
+	stripeCells int64
+	assign      map[int64]int32
+}
+
+// encodeCheckpointCommon writes the shape-independent sections: counters,
+// points, clusters.
+func encodeCheckpointCommon(b []byte, dims int, nextPt PointID, nextGID ClusterID, ids []PointID, coordAt func(i int) Point, clusters map[ClusterID][]PointID) []byte {
+	b = appendUvarint(b, uint64(dims))
+	b = appendUvarint(b, uint64(nextPt))
+	b = appendUvarint(b, uint64(nextGID))
+	b = appendUvarint(b, uint64(len(ids)))
+	prev := int64(-1)
+	for i, id := range ids {
+		b = appendUvarint(b, uint64(int64(id)-prev))
+		prev = int64(id)
+		pt := coordAt(i)
+		for d := 0; d < dims; d++ {
+			b = appendFloat(b, pt[d])
+		}
+	}
+	gids := make([]ClusterID, 0, len(clusters))
+	for g := range clusters {
+		gids = append(gids, g)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	b = appendUvarint(b, uint64(len(gids)))
+	for _, g := range gids {
+		members := clusters[g]
+		b = appendUvarint(b, uint64(g))
+		b = appendUvarint(b, uint64(len(members)))
+		prev := int64(-1)
+		for _, id := range members {
+			b = appendUvarint(b, uint64(int64(id)-prev))
+			prev = int64(id)
+		}
+	}
+	return b
+}
+
+func decodeCheckpoint(b []byte) (*ckptData, error) {
+	d := &payloadDecoder{b: b}
+	if v := d.byte(); v != ckptVersion {
+		return nil, fmt.Errorf("dyndbscan: unsupported checkpoint version %d", v)
+	}
+	ck := &ckptData{mode: d.byte()}
+	if ck.mode != ckptSingle && ck.mode != ckptSharded {
+		return nil, errCorruptCkpt
+	}
+	ck.dims = int(d.uvarint())
+	ck.nextPt = PointID(d.uvarint())
+	ck.nextGID = ClusterID(d.uvarint())
+	if d.err != nil || ck.dims <= 0 || ck.dims > 1<<12 {
+		return nil, errCorruptCkpt
+	}
+	n := d.count()
+	ck.ids = make([]PointID, 0, n)
+	ck.coords = make([]Point, 0, n)
+	prev := int64(-1)
+	for i := 0; i < n && d.err == nil; i++ {
+		delta := d.uvarint()
+		if delta == 0 {
+			return nil, errCorruptCkpt // ids are strictly ascending
+		}
+		prev += int64(delta)
+		pt := make(Point, ck.dims)
+		for j := range pt {
+			pt[j] = d.float()
+		}
+		ck.ids = append(ck.ids, PointID(prev))
+		ck.coords = append(ck.coords, pt)
+	}
+	nc := d.count()
+	ck.clusters = make(map[ClusterID][]PointID, nc)
+	for i := 0; i < nc && d.err == nil; i++ {
+		g := ClusterID(d.uvarint())
+		nm := d.count()
+		members := make([]PointID, 0, nm)
+		mp := int64(-1)
+		for j := 0; j < nm && d.err == nil; j++ {
+			delta := d.uvarint()
+			if delta == 0 {
+				return nil, errCorruptCkpt
+			}
+			mp += int64(delta)
+			members = append(members, PointID(mp))
+		}
+		ck.clusters[g] = members
+	}
+	if ck.mode == ckptSharded {
+		ck.stripeCells = int64(d.uvarint())
+		na := d.count()
+		ck.assign = make(map[int64]int32, na)
+		for i := 0; i < na && d.err == nil; i++ {
+			st := d.varint()
+			sh := d.uvarint()
+			ck.assign[st] = int32(sh)
+		}
+		if ck.stripeCells <= 0 {
+			return nil, errCorruptCkpt
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", errCorruptCkpt, d.err)
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errCorruptCkpt, len(d.b))
+	}
+	return ck, nil
+}
+
+// checkpointPayloadSingle captures the single-backend engine's state under
+// its write lock; seq 0 means nothing was ever logged.
+func (e *Engine) checkpointPayloadSingle() (uint64, []byte) {
+	w := e.wal
+	e.lock()
+	defer e.unlock()
+	// LastSeq is read inside the critical section: single-backend appends
+	// happen under the same lock, so the sequence and the state agree.
+	seq := w.log.LastSeq()
+	if seq == 0 {
+		return 0, nil
+	}
+	ids := e.liveIDs()
+	snap, _ := e.buildSnapshot() // built-in backends cannot fail the build
+	nextGID := w.rb.NextClusterID()
+	if r := e.remap; r != nil {
+		nextGID = r.loGlobal + (nextGID - r.loBack)
+	}
+	b := []byte{ckptVersion, ckptSingle}
+	b = encodeCheckpointCommon(b, e.cfg.Dims, w.rb.NextPointID(), nextGID, ids,
+		func(i int) Point {
+			pt, ok := w.look.PointAt(ids[i])
+			if !ok {
+				// Unreachable: ids came from the live-id cache under the lock.
+				panic(fmt.Sprintf("dyndbscan: checkpoint: live id %d has no point", ids[i]))
+			}
+			return pt
+		}, snap.Clusters)
+	return seq, b
+}
+
+// checkpointPayload captures the sharded engine's state. Holding worldMu
+// exclusively quiesces every commit (appends happen inside commits), so the
+// log sequence and the shard states agree.
+func (ss *shardSet) checkpointPayload(log *wal.Log) (uint64, []byte) {
+	ss.worldMu.Lock()
+	defer ss.worldMu.Unlock()
+	seq := log.LastSeq()
+	if seq == 0 {
+		return 0, nil
+	}
+	gidOf := ss.stitchLocked()
+	ids := ss.liveIDsLocked()
+	clusters := make(map[ClusterID][]PointID)
+	coords := make([]Point, len(ids))
+	for i, id := range ids {
+		owner := ss.routes[id].copies[0]
+		sh := ss.shards[owner.shard]
+		pt, ok := sh.look.PointAt(owner.local)
+		if !ok {
+			panic(fmt.Sprintf("dyndbscan: checkpoint: live id %d has no owner copy", id))
+		}
+		coords[i] = pt
+		cids, ok := sh.ext.ClusterOf(owner.local)
+		if !ok || len(cids) == 0 {
+			continue
+		}
+		out := make([]ClusterID, 0, len(cids))
+		for _, cid := range cids {
+			out = append(out, gidOf[stitchKey{owner.shard, cid}])
+		}
+		for _, g := range dedupSortedIDs(out) {
+			clusters[g] = append(clusters[g], id)
+		}
+	}
+	ss.routesMu.Lock()
+	nextPt := ss.nextID
+	stripeCells := ss.stripeCells
+	assign := make(map[int64]int32, len(ss.assign))
+	for st, sh := range ss.assign {
+		assign[st] = sh
+	}
+	ss.routesMu.Unlock()
+
+	b := []byte{ckptVersion, ckptSharded}
+	b = encodeCheckpointCommon(b, ss.cfg.Dims, nextPt, ss.nextGID, ids,
+		func(i int) Point { return coords[i] }, clusters)
+	b = appendUvarint(b, uint64(stripeCells))
+	stripes := make([]int64, 0, len(assign))
+	for st := range assign {
+		stripes = append(stripes, st)
+	}
+	sort.Slice(stripes, func(i, j int) bool { return stripes[i] < stripes[j] })
+	b = appendUvarint(b, uint64(len(stripes)))
+	for _, st := range stripes {
+		b = appendVarint(b, st)
+		b = appendUvarint(b, uint64(assign[st]))
+	}
+	return seq, b
+}
+
+// restoreCheckpoint rebuilds the freshly constructed engine from a decoded
+// checkpoint; runs inside Open, before replay, before the Engine escapes.
+func (e *Engine) restoreCheckpoint(payload []byte) error {
+	ck, err := decodeCheckpoint(payload)
+	if err != nil {
+		return err
+	}
+	if ck.dims != e.cfg.Dims {
+		return fmt.Errorf("%w: dimensionality %d does not match the log's %d", errCorruptCkpt, ck.dims, e.cfg.Dims)
+	}
+	if e.sh != nil {
+		if ck.mode != ckptSharded {
+			return fmt.Errorf("%w: single-backend checkpoint in a sharded log", errCorruptCkpt)
+		}
+		return e.sh.restore(ck)
+	}
+	if ck.mode != ckptSingle {
+		return fmt.Errorf("%w: sharded checkpoint in a single-backend log", errCorruptCkpt)
+	}
+	return e.restoreSingle(ck)
+}
+
+// restoreSingle re-inserts the checkpointed points with forced handles, pins
+// the counters, and installs the identity graft as the engine's gidRemap.
+func (e *Engine) restoreSingle(ck *ckptData) error {
+	w := e.wal
+	for i, id := range ck.ids {
+		w.rb.SetNextPointID(id)
+		got, err := e.c.Insert(ck.coords[i])
+		if err != nil {
+			return fmt.Errorf("dyndbscan: checkpoint restore: point %d: %w", id, err)
+		}
+		if got != id {
+			return fmt.Errorf("%w: point ids not strictly ascending (minted %d, stored %d)", errCorruptCkpt, got, id)
+		}
+	}
+	w.rb.SetNextPointID(ck.nextPt)
+	e.sortedIDs = append(e.sortedIDs[:0], ck.ids...)
+	e.idsSorted = true
+
+	// Graft the stored identities. Backend cluster ids minted from here on
+	// (≥ loBack) translate linearly into the range above every stored and
+	// freshly minted global id.
+	loBack := w.rb.NextClusterID()
+	byCID := make(map[ClusterID][]PointID)
+	for _, id := range ck.ids {
+		cids, ok := e.ext.ClusterOf(id)
+		if !ok {
+			continue
+		}
+		for _, c := range cids {
+			byCID[c] = append(byCID[c], id)
+		}
+	}
+	m, next := matchClusters(byCID, ck.clusters, ck.nextGID)
+	e.remap = &gidRemap{m: m, loBack: loBack, loGlobal: next}
+	return nil
+}
+
+// restore rebuilds the sharded engine: placement first (so routing matches
+// the checkpointed stripes), then one forced-handle commit through the
+// ordinary commit pipeline, then the stitch's keyGID table is rewritten to
+// the stored identities.
+func (ss *shardSet) restore(ck *ckptData) error {
+	ss.routesMu.Lock()
+	ss.stripeCells = ck.stripeCells
+	ss.adaptivePending = false
+	for st, sh := range ck.assign {
+		if int(sh) >= len(ss.shards) {
+			ss.routesMu.Unlock()
+			return fmt.Errorf("%w: stripe assigned to shard %d of %d", errCorruptCkpt, sh, len(ss.shards))
+		}
+		ss.assign[st] = sh
+	}
+	ss.routesMu.Unlock()
+
+	if len(ck.ids) > 0 {
+		ops := make([]shOp, len(ck.ids))
+		for i, id := range ck.ids {
+			sp, err := ss.stager.Stage(ck.coords[i])
+			if err != nil {
+				return fmt.Errorf("dyndbscan: checkpoint restore: point %d: %w", id, err)
+			}
+			ops[i] = shOp{insert: true, forceGID: true, sp: sp, gid: id}
+		}
+		if _, err := ss.commitBatch(ops, nil); err != nil {
+			return err
+		}
+	}
+	ss.routesMu.Lock()
+	if ck.nextPt > ss.nextID {
+		ss.nextID = ck.nextPt
+	}
+	ss.routesMu.Unlock()
+
+	// Graft: stitch the rebuilt world (minting temporary global ids), match
+	// the temporary clusters against the stored ones, and rewrite keyGID —
+	// the stitch table is already the translation layer, so no query-time
+	// remap is needed in sharded mode.
+	ss.worldMu.Lock()
+	defer ss.worldMu.Unlock()
+	gidOf := ss.stitchLocked()
+	ids := ss.liveIDsLocked()
+	byTemp := make(map[ClusterID][]PointID)
+	for _, id := range ids {
+		owner := ss.routes[id].copies[0]
+		cids, ok := ss.shards[owner.shard].ext.ClusterOf(owner.local)
+		if !ok || len(cids) == 0 {
+			continue
+		}
+		out := make([]ClusterID, 0, len(cids))
+		for _, cid := range cids {
+			out = append(out, gidOf[stitchKey{owner.shard, cid}])
+		}
+		for _, g := range dedupSortedIDs(out) {
+			byTemp[g] = append(byTemp[g], id)
+		}
+	}
+	m, next := matchClusters(byTemp, ck.clusters, ck.nextGID)
+	// Temporary ids that never surfaced through an owned member (possible
+	// only for degenerate pure-ghost components) still need a stable, unique
+	// identity; mint in ascending temp order for determinism.
+	temps := make([]ClusterID, 0, len(ss.keyGID))
+	for _, g := range ss.keyGID {
+		if _, ok := m[g]; !ok && !containsID(temps, g) {
+			temps = append(temps, g)
+		}
+	}
+	sort.Slice(temps, func(i, j int) bool { return temps[i] < temps[j] })
+	for _, g := range temps {
+		m[g] = next
+		next++
+	}
+	fresh := make(map[stitchKey]ClusterID, len(ss.keyGID))
+	for k, g := range ss.keyGID {
+		fresh[k] = m[g]
+	}
+	ss.keyGID = fresh
+	ss.stitched = fresh
+	ss.nextGID = next
+	ss.stitchVersion = ss.e.version.Load()
+	ss.stitchValid = true
+	return nil
+}
+
+// matchClusters transfers stored global cluster ids onto rebuilt clusters by
+// maximum member overlap: rebuilt clusters are visited in ascending id
+// order; each claims the unclaimed stored id sharing the most members (ties
+// to the smallest id), or mints from next when nothing overlaps. Under
+// Rho = 0 the rebuild reproduces the stored clustering exactly and the match
+// is a bijection; under Rho > 0 don't-care-band points may have moved
+// between clusters and the overlap rule keeps identities wherever clusters
+// are recognizably the same. Deterministic: order and tie-breaks never
+// depend on map iteration.
+func matchClusters(rebuilt map[ClusterID][]PointID, stored map[ClusterID][]PointID, next ClusterID) (map[ClusterID]ClusterID, ClusterID) {
+	ptStored := make(map[PointID][]ClusterID)
+	for g, members := range stored {
+		for _, id := range members {
+			ptStored[id] = append(ptStored[id], g)
+		}
+	}
+	order := make([]ClusterID, 0, len(rebuilt))
+	for c := range rebuilt {
+		order = append(order, c)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	m := make(map[ClusterID]ClusterID, len(order))
+	claimed := make(map[ClusterID]struct{}, len(order))
+	for _, c := range order {
+		tally := make(map[ClusterID]int)
+		for _, id := range rebuilt[c] {
+			for _, g := range ptStored[id] {
+				if _, taken := claimed[g]; !taken {
+					tally[g]++
+				}
+			}
+		}
+		best, bestN := ClusterID(-1), 0
+		for g, n := range tally {
+			if n > bestN || (n == bestN && n > 0 && g < best) {
+				best, bestN = g, n
+			}
+		}
+		if bestN == 0 {
+			best = next
+			next++
+		}
+		claimed[best] = struct{}{}
+		m[c] = best
+	}
+	return m, next
+}

@@ -36,7 +36,7 @@ func main() {
 		verbose = flag.Bool("v", false, "log progress per run")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dynbench [flags] table1|table2|fig8|fig9|...|fig15|all\n")
+		fmt.Fprintf(os.Stderr, "usage: dynbench [flags] table1|table2|fig8|fig9|...|fig15|wal|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,6 +52,8 @@ func main() {
 		}
 	}
 	figures := opts.Figures()
+	// Not a paper figure: the durability subsystem's cost/recovery sweep.
+	figures["wal"] = func() []harness.Table { return walSweep(opts) }
 
 	var names []string
 	for _, arg := range flag.Args() {

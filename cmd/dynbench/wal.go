@@ -1,0 +1,146 @@
+package main
+
+// The "wal" figure is not from the paper: it measures what the durability
+// subsystem costs. One mixed insert/delete workload is replayed through the
+// Engine four ways — no WAL, group-commit WAL, group-commit with a sealing
+// checkpoint, and per-commit fsync — and each durable variant is then
+// recovered with Open, so the table shows both the ingestion overhead and
+// the recovery-time payoff of checkpoints.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"dyndbscan"
+	"dyndbscan/internal/harness"
+)
+
+const walChunk = 256 // ops per Apply: small enough that commit-path costs show
+
+type walVariant struct {
+	name string
+	opts func(dir string) []dyndbscan.Option // nil = in-memory baseline
+	open func(dir string) []dyndbscan.Option // extra options for recovery
+}
+
+func walVariants() []walVariant {
+	group := func(dir string) []dyndbscan.Option {
+		return []dyndbscan.Option{
+			dyndbscan.WithWAL(dir, dyndbscan.SyncEvery(2*time.Millisecond)),
+			dyndbscan.WithWALCheckpointEvery(0), // full replay on recovery
+		}
+	}
+	return []walVariant{
+		{name: "off"},
+		{name: "group-2ms", opts: group,
+			open: func(string) []dyndbscan.Option {
+				return []dyndbscan.Option{dyndbscan.WithWALCheckpointEvery(0)}
+			}},
+		{name: "group-2ms+ckpt", opts: func(dir string) []dyndbscan.Option {
+			// Default checkpoint cadence; Close seals the log, so Open
+			// restores the snapshot instead of replaying the history.
+			return []dyndbscan.Option{dyndbscan.WithWAL(dir, dyndbscan.SyncEvery(2*time.Millisecond))}
+		}},
+		{name: "always", opts: func(dir string) []dyndbscan.Option {
+			return []dyndbscan.Option{
+				dyndbscan.WithWAL(dir, dyndbscan.SyncAlways()),
+				dyndbscan.WithWALCheckpointEvery(0),
+			}
+		},
+			open: func(string) []dyndbscan.Option {
+				return []dyndbscan.Option{dyndbscan.WithWALCheckpointEvery(0)}
+			}},
+	}
+}
+
+// walSweep runs the durability sweep and renders it as one table.
+func walSweep(o harness.Options) []harness.Table {
+	rng := rand.New(rand.NewSource(o.Seed))
+	pts := make([]dyndbscan.Point, o.N)
+	for i := range pts {
+		pts[i] = dyndbscan.Point{rng.Float64() * 1e5, rng.Float64() * 1e5}
+	}
+
+	tb := harness.Table{
+		Title: fmt.Sprintf("WAL — durability cost and recovery time (N=%d, %d-op batches)", o.N, walChunk),
+		Caption: "ingest = wall time for the full mixed insert/delete stream; overhead vs the in-memory engine.\n" +
+			"recovery = Open() on the closed log; 'replayed' is how many records recovery applied\n" +
+			"(0 = restored from the sealing checkpoint).",
+		Header: []string{"wal", "ingest", "ops/s", "overhead", "recovery", "replayed"},
+	}
+
+	var baseline time.Duration
+	for _, v := range walVariants() {
+		var (
+			dir  string
+			opts = []dyndbscan.Option{dyndbscan.WithEps(200), dyndbscan.WithMinPts(10)}
+		)
+		if v.opts != nil {
+			var err error
+			dir, err = os.MkdirTemp("", "dynbench-wal-*")
+			if err != nil {
+				panic(err)
+			}
+			opts = append(opts, v.opts(dir)...)
+		}
+		eng, err := dyndbscan.New(opts...)
+		if err != nil {
+			panic(fmt.Sprintf("dynbench: wal %s: %v", v.name, err))
+		}
+
+		if o.Verbose != nil {
+			o.Verbose("  running wal=%s (N=%d)...", v.name, o.N)
+		}
+		start := time.Now()
+		var prev []dyndbscan.PointID
+		for lo := 0; lo < len(pts); lo += walChunk {
+			hi := min(lo+walChunk, len(pts))
+			ops := make([]dyndbscan.Op, 0, hi-lo+len(prev))
+			for _, pt := range pts[lo:hi] {
+				ops = append(ops, dyndbscan.InsertOp(pt))
+			}
+			for _, id := range prev { // retire the previous chunk
+				ops = append(ops, dyndbscan.DeleteOp(id))
+			}
+			res, err := eng.Apply(ops)
+			if err != nil {
+				panic(fmt.Sprintf("dynbench: wal %s: %v", v.name, err))
+			}
+			prev = res[:hi-lo]
+		}
+		ingest := time.Since(start)
+		if err := eng.Close(); err != nil {
+			panic(fmt.Sprintf("dynbench: wal %s: close: %v", v.name, err))
+		}
+		if v.opts == nil {
+			baseline = ingest
+		}
+
+		row := []string{
+			v.name,
+			ingest.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", float64(o.N)/ingest.Seconds()),
+			fmt.Sprintf("%+.1f%%", 100*(ingest.Seconds()/baseline.Seconds()-1)),
+			"-", "-",
+		}
+		if dir != "" {
+			var ropts []dyndbscan.Option
+			if v.open != nil {
+				ropts = v.open(dir)
+			}
+			re, err := dyndbscan.Open(dir, ropts...)
+			if err != nil {
+				panic(fmt.Sprintf("dynbench: wal %s: recover: %v", v.name, err))
+			}
+			st := re.WALStats()
+			row[4] = st.RecoveryTime.Round(10 * time.Microsecond).String()
+			row[5] = fmt.Sprintf("%d", st.Replayed)
+			re.Close()
+			os.RemoveAll(dir)
+		}
+		tb.Rows = append(tb.Rows, row)
+	}
+	return []harness.Table{tb}
+}

@@ -27,6 +27,15 @@
 // readers, their read throughput is reported too:
 //
 //	dyngen -mode dataset -d 2 -n 100000 | dyncluster -d 2 -eps 200 -readers 8 -workers 4
+//
+// Durability: -wal DIR logs every committed batch to a write-ahead log
+// before it becomes visible (-sync always|<interval> picks per-commit fsync
+// vs group commit), -recover reopens an existing log (reporting recovery
+// time and replay volume) and keeps serving, and -replica tails the log with
+// an in-process read replica, reporting its lag at exit:
+//
+//	dyngen -mode dataset -d 2 -n 50000 | dyncluster -d 2 -eps 200 -wal /tmp/w -sync 2ms -replica
+//	dyncluster -recover -wal /tmp/w -in more_points.csv
 package main
 
 import (
@@ -64,6 +73,10 @@ func main() {
 		stripe    = flag.Int("stripe", 0, "shard stripe width in grid cells (0 = adaptive, derived from the first batch)")
 		rebalance = flag.Bool("rebalance", false, "enable automatic load-aware stripe rebalancing (needs -shards > 1)")
 		skew      = flag.Float64("skew", 0, "fraction [0,1] of input points squeezed into hotspot stripes that alias onto one shard — generates skewed traffic for rebalancing experiments")
+		walDir    = flag.String("wal", "", "write-ahead-log directory: every committed batch is logged before it is visible, surviving crashes (see -sync, -recover)")
+		syncMode  = flag.String("sync", "2ms", "WAL durability: 'always' fsyncs per commit; a duration like 2ms group-commits on that interval (needs -wal)")
+		recovery  = flag.Bool("recover", false, "recover from the existing log in -wal — the engine shape (algorithm, eps, shards, ...) comes from the log and the matching flags are ignored — then keep serving and appending")
+		replica   = flag.Bool("replica", false, "tail the log with an in-process read replica and report its lag at exit (needs -wal)")
 	)
 	flag.Parse()
 
@@ -100,7 +113,7 @@ func main() {
 		opts = append(opts, dyndbscan.WithShardStripe(*stripe))
 	}
 	if *rebalance {
-		if *shards <= 1 {
+		if *shards <= 1 && !*recovery {
 			fatal(fmt.Errorf("-rebalance needs -shards > 1"))
 		}
 		opts = append(opts, dyndbscan.WithRebalance(dyndbscan.DefaultRebalancePolicy()))
@@ -108,9 +121,53 @@ func main() {
 	if *skew < 0 || *skew > 1 {
 		fatal(fmt.Errorf("-skew %v out of [0,1]", *skew))
 	}
-	eng, err := dyndbscan.New(opts...)
-	if err != nil {
-		fatal(err)
+	if (*recovery || *replica) && *walDir == "" {
+		fatal(fmt.Errorf("-recover and -replica need -wal"))
+	}
+	var syncPol dyndbscan.SyncPolicy
+	if *walDir != "" {
+		if *syncMode == "always" {
+			syncPol = dyndbscan.SyncAlways()
+		} else {
+			d, err := time.ParseDuration(*syncMode)
+			if err != nil || d <= 0 {
+				fatal(fmt.Errorf("-sync must be 'always' or a positive duration, got %q", *syncMode))
+			}
+			syncPol = dyndbscan.SyncEvery(d)
+		}
+	}
+
+	var (
+		eng *dyndbscan.Engine
+		err error
+	)
+	if *recovery {
+		// The log remembers the engine's shape; only runtime options ride
+		// along. Recovery time and replay volume go to stderr.
+		ropts := []dyndbscan.Option{
+			dyndbscan.WithWALSync(syncPol),
+			dyndbscan.WithWorkers(*workers),
+			dyndbscan.WithThreadSafety(true),
+		}
+		if *rebalance {
+			ropts = append(ropts, dyndbscan.WithRebalance(dyndbscan.DefaultRebalancePolicy()))
+		}
+		eng, err = dyndbscan.Open(*walDir, ropts...)
+		if err != nil {
+			fatal(err)
+		}
+		st := eng.WALStats()
+		fmt.Fprintf(os.Stderr, "dyncluster: recovered %d points in %v (checkpoint through seq %d, %d records replayed)\n",
+			eng.Len(), st.RecoveryTime.Round(time.Microsecond), st.CheckpointSeq, st.Replayed)
+		*shards = eng.Shards() // downstream reports follow the recovered shape
+	} else {
+		if *walDir != "" {
+			opts = append(opts, dyndbscan.WithWAL(*walDir, syncPol))
+		}
+		eng, err = dyndbscan.New(opts...)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	// Release the dispatcher goroutines and event buffers of any
 	// subscription before exit.
@@ -125,6 +182,38 @@ func main() {
 				fmt.Fprintf(os.Stderr, "dyncluster: shard %d: %d stripes, %d points, %.0f recent updates\n",
 					sl.Shard, sl.Stripes, sl.Points, sl.Updates)
 			}
+		}()
+	}
+	if *walDir != "" {
+		// Runs before the deferred eng.Close, so DurableSeq shows the
+		// group-commit tail still in flight; Close flushes and seals it.
+		defer func() {
+			st := eng.WALStats()
+			fmt.Fprintf(os.Stderr, "dyncluster: wal: sync %s, %d records (%d durable), %d segment(s), checkpoint through seq %d\n",
+				st.Policy, st.LastSeq, st.DurableSeq, st.Segments, st.CheckpointSeq)
+		}()
+	}
+	if *replica {
+		rep, err := dyndbscan.OpenReplica(*walDir)
+		if err != nil {
+			fatal(err)
+		}
+		// At exit (primary still open), wait briefly for the replica to
+		// reach everything the primary appended — the group-commit tail
+		// becomes visible on the sync cadence — then report how far it got.
+		defer func() {
+			t0 := time.Now()
+			target := eng.WALStats().LastSeq
+			for rep.AppliedSeq() < target && time.Since(t0) < 2*time.Second {
+				time.Sleep(time.Millisecond)
+			}
+			if lerr := rep.Err(); lerr != nil {
+				fmt.Fprintf(os.Stderr, "dyncluster: replica: %v\n", lerr)
+			} else {
+				fmt.Fprintf(os.Stderr, "dyncluster: replica: applied seq %d of %d after %v, serving %d points\n",
+					rep.AppliedSeq(), target, time.Since(t0).Round(time.Millisecond), rep.Len())
+			}
+			rep.Close()
 		}()
 	}
 	skewer := newSkewer(*skew, *shards, *stripe, *eps, *d)

@@ -1,0 +1,177 @@
+package dyndbscan
+
+// Crash-recovery tests: a child process (this test binary re-executing
+// itself) drives the public API against a WAL until the parent SIGKILLs it
+// mid-stream. The parent then recovers with Open and checks the result is
+// exactly the engine you get by feeding the durable log prefix to a fresh
+// in-memory engine — same clustering, same stable ids, and the next minted
+// handle agrees. Kill -9 leaves no chance for deferred cleanup: whatever
+// recovery sees is what a real crash leaves behind, torn tail included.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+	"time"
+
+	"dyndbscan/internal/wal"
+)
+
+const (
+	helperEnvFlag   = "DYNDBSCAN_WAL_HELPER"
+	helperEnvDir    = "DYNDBSCAN_WAL_DIR"
+	helperEnvAlgo   = "DYNDBSCAN_WAL_ALGO"
+	helperEnvShards = "DYNDBSCAN_WAL_SHARDS"
+)
+
+// helperOpts builds the engine options the crash-test child runs with; the
+// parent mirrors them (minus the WAL) for its reference engine.
+func helperOpts(algoIdx, shards int, dir string) []Option {
+	opts := []Option{
+		WithEps(6), WithMinPts(3),
+		WithAlgorithm(walAlgos[algoIdx].algo),
+	}
+	if shards > 1 {
+		opts = append(opts, WithShards(shards), WithShardStripe(4))
+	}
+	if dir != "" {
+		opts = append(opts,
+			WithWAL(dir, SyncEvery(100*time.Microsecond)),
+			// No checkpoints: the log must hold the full history so the
+			// parent can rebuild the reference from record 1.
+			WithWALCheckpointEvery(0),
+			WithWALSegmentBytes(8192))
+	}
+	return opts
+}
+
+// TestHelperWALWriter is not a test: it is the crash-test child process. It
+// only runs when re-executed by TestKill9Recovery with the helper
+// environment set, and it never finishes on its own timetable — the parent
+// SIGKILLs it mid-stream.
+func TestHelperWALWriter(t *testing.T) {
+	if os.Getenv(helperEnvFlag) != "1" {
+		t.Skip("crash-test child; only runs re-executed")
+	}
+	dir := os.Getenv(helperEnvDir)
+	algoIdx, _ := strconv.Atoi(os.Getenv(helperEnvAlgo))
+	shards, _ := strconv.Atoi(os.Getenv(helperEnvShards))
+	e, err := New(helperOpts(algoIdx, shards, dir)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	withDeletes := walAlgos[algoIdx].dels
+	script := genScript(rand.New(rand.NewSource(99)), 4000, withDeletes)
+	playScript(t, e, script)
+}
+
+func TestKill9Recovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	for ai := range walAlgos {
+		for _, shards := range []int{1, 3} {
+			ai, shards := ai, shards
+			name := fmt.Sprintf("%s/shards=%d", walAlgos[ai].name, shards)
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				runKill9(t, ai, shards)
+			})
+		}
+	}
+}
+
+func runKill9(t *testing.T, algoIdx, shards int) {
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperWALWriter$")
+	cmd.Env = append(os.Environ(),
+		helperEnvFlag+"=1",
+		helperEnvDir+"="+dir,
+		helperEnvAlgo+"="+strconv.Itoa(algoIdx),
+		helperEnvShards+"="+strconv.Itoa(shards),
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Let the child make real progress, then kill it without warning.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if head, err := wal.HeadSeq(dir); err == nil && head >= 300 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("child never reached 300 WAL records")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() // expected to report the kill; the log is all that matters
+
+	// Reference: a fresh in-memory engine fed the durable prefix the log
+	// actually holds. The reader stops at the first incomplete frame — the
+	// same boundary recovery truncates at.
+	ref, err := New(helperOpts(algoIdx, shards, "")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	rd, err := wal.OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := 0
+	for {
+		_, wops, err := rd.Next()
+		if errors.Is(err, wal.ErrCaughtUp) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("reading durable prefix after record %d: %v", records, err)
+		}
+		if err := ref.applyWALRecord(wops); err != nil {
+			t.Fatalf("reference apply of record %d: %v", records+1, err)
+		}
+		records++
+	}
+	rd.Close()
+	if records < 300 {
+		t.Fatalf("durable prefix holds only %d records", records)
+	}
+
+	// Recovery: reopen the crashed directory.
+	rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("recovering after kill -9: %v", err)
+	}
+	defer rec.Close()
+	st := rec.WALStats()
+	if st.Replayed != records {
+		t.Fatalf("recovery replayed %d records, durable prefix has %d", st.Replayed, records)
+	}
+	requireSameClustering(t, ref.Snapshot(), rec.Snapshot(), "recovered vs reference")
+
+	// Handles keep minting from the same place: the same insert gets the
+	// same id on both, and clusterings stay in lockstep.
+	probe := Point{0.25, 0.25}
+	wantID, err := ref.Insert(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotID, err := rec.Insert(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID != wantID {
+		t.Fatalf("post-recovery insert minted handle %d, reference minted %d", gotID, wantID)
+	}
+	requireSameClustering(t, ref.Snapshot(), rec.Snapshot(), "after post-recovery insert")
+}

@@ -125,6 +125,13 @@ type Engine struct {
 	// modes.
 	sh *shardSet
 
+	// wal is the durability attachment (WithWAL / Open), nil otherwise; see
+	// persist.go. remap is the read-only cluster-id translation installed by
+	// single-backend checkpoint restore (always nil in sharded mode, where
+	// the stitch table plays that role).
+	wal   *walState
+	remap *gidRemap
+
 	mu      sync.RWMutex
 	c       Clusterer
 	ext     extendedClusterer // nil when the backend lacks the capability
@@ -166,14 +173,26 @@ func New(opts ...Option) (*Engine, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
+	var e *Engine
 	if s.shards > 1 {
-		return newShardedEngine(s)
+		var err error
+		e, err = newShardedEngine(s)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		c, err := newBackend(s.algo, s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		e = newEngine(c, s.algo, s.threadSafe, s.workers)
 	}
-	c, err := newBackend(s.algo, s.cfg)
-	if err != nil {
-		return nil, err
+	if s.walDir != "" {
+		if err := e.attachWAL(s, s.walDir, false); err != nil {
+			return nil, err
+		}
 	}
-	return newEngine(c, s.algo, s.threadSafe, s.workers), nil
+	return e, nil
 }
 
 // newBackend constructs one bare clusterer for the algorithm — the factory
@@ -402,14 +421,18 @@ func (e *Engine) Insert(pt Point) (PointID, error) {
 		return e.sh.insert(pt)
 	}
 	e.lock()
+	seq, werr := e.walAppendInsert(pt)
+	if werr != nil {
+		e.failUpdate()
+		return 0, werr
+	}
 	id, err := e.c.Insert(pt)
 	if err != nil {
 		e.failUpdate()
 		return id, err
 	}
 	e.noteInserted([]PointID{id})
-	e.release(e.finishUpdate())
-	return id, nil
+	return id, e.releaseLogged(seq, e.finishUpdate())
 }
 
 // InsertBatch adds many points under one commit, validating and staging
@@ -429,6 +452,11 @@ func (e *Engine) InsertBatch(pts []Point) ([]PointID, error) {
 	}
 	ids := make([]PointID, 0, len(pts))
 	e.lock()
+	seq, werr := e.walAppendInsertBatch(pts)
+	if werr != nil {
+		e.failUpdate()
+		return nil, werr
+	}
 	for i := range pts {
 		id, err := e.commitInsert(staged, pts, i)
 		if err != nil {
@@ -447,7 +475,9 @@ func (e *Engine) InsertBatch(pts []Point) ([]PointID, error) {
 	}
 	e.noteInserted(ids)
 	evs := e.finishUpdate()
-	e.release(evs)
+	if err := e.releaseLogged(seq, evs); err != nil {
+		return ids, err
+	}
 	return ids, nil
 }
 
@@ -499,13 +529,17 @@ func (e *Engine) Delete(id PointID) error {
 		return e.sh.delete(id)
 	}
 	e.lock()
+	seq, werr := e.walAppendDelete(id)
+	if werr != nil {
+		e.failUpdate()
+		return werr
+	}
 	if err := e.c.Delete(id); err != nil {
 		e.failUpdate()
 		return err
 	}
 	e.noteDeleted([]PointID{id})
-	e.release(e.finishUpdate())
-	return nil
+	return e.releaseLogged(seq, e.finishUpdate())
 }
 
 // DeleteBatch removes many points under one commit. The whole batch is
@@ -531,6 +565,11 @@ func (e *Engine) DeleteBatch(ids []PointID) error {
 			return fmt.Errorf("dyndbscan: DeleteBatch index %d: %w (id %d)", i, ErrUnknownPoint, id)
 		}
 	}
+	seq, werr := e.walAppendDeleteBatch(ids)
+	if werr != nil {
+		e.failUpdate()
+		return werr
+	}
 	for i, id := range ids {
 		if err := e.c.Delete(id); err != nil {
 			// Only reachable on a backend that rejects deletes (semi-dynamic
@@ -546,8 +585,7 @@ func (e *Engine) DeleteBatch(ids []PointID) error {
 	}
 	e.noteDeleted(ids)
 	evs := e.finishUpdate()
-	e.release(evs)
-	return nil
+	return e.releaseLogged(seq, evs)
 }
 
 // currentSnapshot returns the published snapshot when it matches the current
@@ -642,7 +680,8 @@ func (e *Engine) ClusterOf(id PointID) ([]ClusterID, bool) {
 	}
 	if e.sh == nil && e.ext != nil {
 		defer e.qlock()()
-		return e.ext.ClusterOf(id)
+		cids, ok := e.ext.ClusterOf(id)
+		return e.mapCIDs(cids), ok
 	}
 	return e.Snapshot().ClusterOf(id)
 }
@@ -701,7 +740,14 @@ func (e *Engine) buildSnapshot() (_ *Snapshot, ok bool) {
 		if e.roQueries && e.workers > 1 && len(ids) >= parallelSnapshotMin {
 			workers = e.workers
 		}
-		resolveMembers(s, ids, workers, e.ext.ClusterOf)
+		resolve := e.ext.ClusterOf
+		if e.remap != nil {
+			resolve = func(id PointID) ([]ClusterID, bool) {
+				cids, ok := e.ext.ClusterOf(id)
+				return e.mapCIDs(cids), ok
+			}
+		}
+		resolveMembers(s, ids, workers, resolve)
 		return s, true
 	}
 	// Degraded path for foreign backends: cluster ids are the group indices

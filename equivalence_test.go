@@ -18,9 +18,11 @@ package dyndbscan_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"dyndbscan"
 	"dyndbscan/internal/evcheck"
@@ -80,6 +82,7 @@ type eqConfig struct {
 	checkEvery     int  // commits between checkpoints
 	rebalanceEvery int  // commits between Rebalance() calls on the sharded engines; 0 = never
 	requireMoves   bool // fail unless at least one migration happened (seeded streams only)
+	restartEvery   int  // commits between Close+Open restarts of a WAL-backed engine; 0 = no WAL engine
 }
 
 func newEqEngine(cfg eqConfig, shards int) (*dyndbscan.Engine, error) {
@@ -154,6 +157,66 @@ func runEqStream(cfg eqConfig, ops []eqOp) (err error) {
 	cancel := sub.Subscribe(val.Observe)
 	defer cancel()
 
+	// Fourth mode, when configured: a WAL-backed sharded engine that is
+	// periodically torn down with Close and recovered with Open mid-stream.
+	// Its handles and clustering must stay in lockstep with the others across
+	// every restart — durability must be invisible to correctness.
+	var walEng *dyndbscan.Engine
+	var walRuntimeOpts []dyndbscan.Option
+	var walRestart func(stage string) error
+	if cfg.restartEvery > 0 {
+		walDir, err := os.MkdirTemp("", "dyndbscan-eq-wal-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(walDir)
+		if cfg.shards > 1 && cfg.rebalanceEvery > 0 {
+			walRuntimeOpts = append(walRuntimeOpts, dyndbscan.WithRebalance(dyndbscan.RebalancePolicy{
+				MaxImbalance: 1.01, MinLoad: 1,
+			}))
+		}
+		walOpts := append([]dyndbscan.Option{
+			dyndbscan.WithAlgorithm(cfg.algo),
+			dyndbscan.WithDims(2),
+			dyndbscan.WithEps(cfg.eps),
+			dyndbscan.WithMinPts(cfg.minPts),
+			dyndbscan.WithRho(0),
+			dyndbscan.WithShards(cfg.shards),
+			dyndbscan.WithWAL(walDir, dyndbscan.SyncEvery(time.Millisecond)),
+			dyndbscan.WithWALCheckpointEvery(40), // checkpoints interleave with restarts
+		}, walRuntimeOpts...)
+		if cfg.shards > 1 {
+			walOpts = append(walOpts, dyndbscan.WithShardStripe(cfg.stripe))
+		}
+		walEng, err = dyndbscan.New(walOpts...)
+		if err != nil {
+			return err
+		}
+		defer func() { walEng.Close() }()
+		walRestart = func(stage string) error {
+			before := walEng.Snapshot()
+			if err := walEng.Close(); err != nil {
+				return fmt.Errorf("%s: wal Close: %w", stage, err)
+			}
+			reopened, err := dyndbscan.Open(walDir, walRuntimeOpts...)
+			if err != nil {
+				return fmt.Errorf("%s: wal Open: %w", stage, err)
+			}
+			walEng = reopened
+			after := walEng.Snapshot()
+			// Exact survival: same handles AND same stable ClusterIDs.
+			if !reflect.DeepEqual(before.Clusters, after.Clusters) {
+				return fmt.Errorf("%s: clusters changed across restart:\nbefore: %v\nafter:  %v",
+					stage, before.Clusters, after.Clusters)
+			}
+			if !reflect.DeepEqual(before.Noise, after.Noise) {
+				return fmt.Errorf("%s: noise changed across restart:\nbefore: %v\nafter:  %v",
+					stage, before.Noise, after.Noise)
+			}
+			return nil
+		}
+	}
+
 	var live []dyndbscan.PointID
 	commits, moves := 0, 0
 	checkpoint := func(stage string) error {
@@ -167,6 +230,11 @@ func runEqStream(cfg eqConfig, ops []eqOp) (err error) {
 		}
 		if err := enginesIsomorphic(ref, sub, "single", "sharded+sub"); err != nil {
 			return fmt.Errorf("%s: single vs sharded+sub: %w", stage, err)
+		}
+		if walEng != nil {
+			if err := enginesIsomorphic(ref, walEng, "single", "wal"); err != nil {
+				return fmt.Errorf("%s: single vs wal: %w", stage, err)
+			}
 		}
 		if err := val.ReconcileLive(sub.Snapshot().ClusterIDs()); err != nil {
 			return fmt.Errorf("%s: event stream vs snapshot: %w", stage, err)
@@ -225,6 +293,15 @@ func runEqStream(cfg eqConfig, ops []eqOp) (err error) {
 		if !reflect.DeepEqual(outRef, outPlain) || !reflect.DeepEqual(outRef, outSub) {
 			return fmt.Errorf("ops[%d:%d]: handles diverge across modes", lo, hi)
 		}
+		if walEng != nil {
+			outWal, err := walEng.Apply(batch)
+			if err != nil {
+				return fmt.Errorf("ops[%d:%d]: wal Apply: %w", lo, hi, err)
+			}
+			if !reflect.DeepEqual(outRef, outWal) {
+				return fmt.Errorf("ops[%d:%d]: wal engine minted different handles", lo, hi)
+			}
+		}
 		for i, op := range batch {
 			if op.Kind == dyndbscan.OpInsert {
 				live = append(live, outRef[i])
@@ -259,6 +336,19 @@ func runEqStream(cfg eqConfig, ops []eqOp) (err error) {
 				return fmt.Errorf("ops[:%d]: sharded+sub Rebalance: %w", hi, err)
 			}
 			moves += n
+			if walEng != nil && cfg.shards > 1 {
+				// Rebalances are deliberately NOT logged: replay must stay
+				// correct under any placement. Migrating the WAL engine
+				// mid-stream and restarting it later proves exactly that.
+				if _, err := walEng.Rebalance(); err != nil {
+					return fmt.Errorf("ops[:%d]: wal Rebalance: %w", hi, err)
+				}
+			}
+		}
+		if walRestart != nil && commits%cfg.restartEvery == 0 {
+			if err := walRestart(fmt.Sprintf("after commit %d (ops[:%d])", commits, hi)); err != nil {
+				return err
+			}
 		}
 		if commits%cfg.checkEvery == 0 {
 			if err := checkpoint(fmt.Sprintf("after commit %d (ops[:%d])", commits, hi)); err != nil {
@@ -332,6 +422,7 @@ func TestCrossModeEquivalence(t *testing.T) {
 					batch:  16, checkEvery: 12,
 					rebalanceEvery: 17, // co-prime with checkEvery: migrations land between and on checkpoints
 					requireMoves:   true,
+					restartEvery:   31, // WAL engine: kill-and-recover cycles land all over the schedule
 				}
 				ops := genEqOps(seed, nops, tc.deletes)
 				err := runEqStream(cfg, ops)

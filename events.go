@@ -197,13 +197,19 @@ func (e *Engine) Subscribe(fn func(Event), opts ...SubscribeOption) (cancel func
 	}
 }
 
-// Close cancels every active subscription: dispatcher goroutines stop and
-// undelivered events are discarded. The Engine itself stays fully usable —
-// updates, queries, and new subscriptions all keep working; Close is
-// idempotent. Call it (or the individual cancel functions) before dropping
-// an Engine that had subscriptions: each asynchronous subscription otherwise
-// pins its dispatcher goroutine and event buffer for the process lifetime.
-func (e *Engine) Close() {
+// Close cancels every active subscription (dispatcher goroutines stop and
+// undelivered events are discarded) and, on an Engine with a write-ahead log,
+// flushes and fsyncs the log's tail and closes it — after Close returns, every
+// previously committed update is durable, and further updates fail with the
+// log's ErrClosed. When checkpoints are enabled, Close also seals the log with
+// a final checkpoint, so a clean shutdown reopens with the exact cluster-id
+// assignment it closed with (a crash preserves memberships and handles
+// exactly, and ids as of the last checkpoint). The Engine otherwise stays usable: queries keep working,
+// and on an Engine without a WAL updates and new subscriptions do too. Close
+// is idempotent and safe to call concurrently with updates. Call it before
+// dropping an Engine: subscriptions otherwise pin their dispatcher goroutines
+// and buffers, and a WAL tail under group commit may not be on disk yet.
+func (e *Engine) Close() error {
 	e.subMu.Lock()
 	subs := make([]*subscriber, 0, len(e.subs))
 	for _, sub := range e.subs {
@@ -219,6 +225,7 @@ func (e *Engine) Close() {
 	if len(subs) > 0 {
 		e.syncEventFunc()
 	}
+	return e.wal.closeWAL(e)
 }
 
 // deliverSync delivers evs synchronously on the caller's goroutine — the
@@ -247,7 +254,7 @@ func (e *Engine) syncEventFunc() {
 	want := len(e.subs) > 0
 	e.subMu.Unlock()
 	if want {
-		e.ext.SetEventFunc(func(ev Event) { e.pending = append(e.pending, ev) })
+		e.ext.SetEventFunc(func(ev Event) { e.pending = append(e.pending, e.mapEvent(ev)) })
 	} else {
 		e.ext.SetEventFunc(nil)
 		e.pending = nil

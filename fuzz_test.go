@@ -11,24 +11,21 @@ import (
 	"testing"
 
 	"dyndbscan"
+	"dyndbscan/internal/wal"
 )
 
-// decodeFuzzOps turns a byte stream into ops: three bytes each — a selector
-// (one in four ops is a delete), then two payload bytes (coordinates scaled
-// so clusters form readily around the stripe seams, or a delete index).
+// decodeFuzzOps turns a byte stream into ops through the WAL codec's shared
+// interpreter (wal.OpsFromBytes), so this fuzzer and the WAL's own harness
+// explore the same op space; only the adaptation to eqOp lives here.
 func decodeFuzzOps(data []byte) []eqOp {
-	ops := make([]eqOp, 0, len(data)/3)
-	for i := 0; i+2 < len(data); i += 3 {
-		sel, bx, by := data[i], data[i+1], data[i+2]
-		if sel&3 == 3 {
-			ops = append(ops, eqOp{Del: int(bx)<<8 | int(by)})
+	wops := wal.OpsFromBytes(data)
+	ops := make([]eqOp, 0, len(wops))
+	for _, op := range wops {
+		if op.Kind == wal.OpDelete {
+			ops = append(ops, eqOp{Del: int(op.ID)})
 			continue
 		}
-		ops = append(ops, eqOp{
-			Insert: true,
-			X:      (float64(bx) - 128) * 1.6,
-			Y:      float64(by) * 0.9,
-		})
+		ops = append(ops, eqOp{Insert: true, X: op.Coord[0], Y: op.Coord[1]})
 	}
 	return ops
 }

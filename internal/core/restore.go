@@ -1,0 +1,30 @@
+package core
+
+// Restore accessors: the durability layer re-creates a backend by replaying
+// inserts with forced handles, then pins the id counters to their
+// pre-shutdown values so post-restart mints continue the original sequences.
+// Both counters only ever grow; setting them backwards is a caller bug and is
+// ignored to keep handle uniqueness unconditional.
+
+// NextPointID reports the handle the next insert would mint.
+func (b *base) NextPointID() PointID { return b.nextID }
+
+// SetNextPointID pins the next handle to mint. Values at or below the
+// current counter are ignored — handles must never repeat.
+func (b *base) SetNextPointID(n PointID) {
+	if n > b.nextID {
+		b.nextID = n
+	}
+}
+
+// NextClusterID reports the cluster identity the next cluster birth would
+// mint.
+func (b *base) NextClusterID() ClusterID { return b.nextCluster }
+
+// SetNextClusterID pins the next cluster identity to mint. Values at or
+// below the current counter are ignored.
+func (b *base) SetNextClusterID(n ClusterID) {
+	if n > b.nextCluster {
+		b.nextCluster = n
+	}
+}

@@ -1,0 +1,135 @@
+package wal
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randOps builds a randomized op batch, including the float edge cases the
+// codec must round-trip bit-exactly (the engine rejects non-finite points,
+// but the codec is beneath that validation and must not corrupt anything).
+func randOps(rng *rand.Rand) []Op {
+	n := rng.Intn(40)
+	ops := make([]Op, n)
+	for i := range ops {
+		switch rng.Intn(6) {
+		case 0, 1:
+			ops[i] = Op{Kind: OpDelete, ID: rng.Int63()}
+			continue
+		case 2:
+			// Stripes are signed cell indices; exercise both signs.
+			ops[i] = Op{Kind: OpAssign, ID: rng.Int63n(1<<40) - (1 << 39), To: int64(rng.Intn(64))}
+			continue
+		}
+		dims := 1 + rng.Intn(6)
+		coord := make([]float64, dims)
+		for j := range coord {
+			switch rng.Intn(10) {
+			case 0:
+				coord[j] = math.Inf(1)
+			case 1:
+				coord[j] = math.Copysign(0, -1)
+			case 2:
+				coord[j] = math.MaxFloat64
+			case 3:
+				coord[j] = math.SmallestNonzeroFloat64
+			default:
+				coord[j] = rng.NormFloat64() * 1e3
+			}
+		}
+		ops[i] = Op{Kind: OpInsert, Coord: coord}
+	}
+	return ops
+}
+
+// TestCodecRoundTrip is the encode/decode property test: randomized batches
+// survive a round trip exactly, across many trials.
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		ops := randOps(rng)
+		enc := AppendOps(nil, ops)
+		dec, err := DecodeOps(enc)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(dec) != len(ops) {
+			t.Fatalf("trial %d: %d ops in, %d out", trial, len(ops), len(dec))
+		}
+		for i := range ops {
+			if dec[i].Kind != ops[i].Kind || dec[i].ID != ops[i].ID || dec[i].To != ops[i].To {
+				t.Fatalf("trial %d op %d: %+v != %+v", trial, i, dec[i], ops[i])
+			}
+			if len(dec[i].Coord) != len(ops[i].Coord) {
+				t.Fatalf("trial %d op %d: coord length", trial, i)
+			}
+			for j := range ops[i].Coord {
+				// Bit equality, so NaN payloads and signed zeros survive too.
+				if math.Float64bits(dec[i].Coord[j]) != math.Float64bits(ops[i].Coord[j]) {
+					t.Fatalf("trial %d op %d coord %d: %v != %v", trial, i, j, dec[i].Coord[j], ops[i].Coord[j])
+				}
+			}
+		}
+	}
+}
+
+// TestCodecRejectsDamage walks every single-byte truncation and a sample of
+// bit flips of a valid encoding: none may decode into the original batch
+// silently, and none may panic.
+func TestCodecRejectsDamage(t *testing.T) {
+	ops := []Op{
+		{Kind: OpInsert, Coord: []float64{1, 2}},
+		{Kind: OpDelete, ID: 77},
+		{Kind: OpAssign, ID: -5, To: 2},
+		{Kind: OpInsert, Coord: []float64{-3.5, 4.25}},
+	}
+	enc := AppendOps(nil, ops)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeOps(enc[:cut]); err == nil {
+			// A truncation that still decodes must not equal the original
+			// batch (prefix truncations of trailing ops cannot happen because
+			// the op count is explicit).
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x40
+		dec, err := DecodeOps(mut)
+		if err == nil && reflect.DeepEqual(dec, ops) {
+			t.Fatalf("bit flip at %d was silently ignored", i)
+		}
+	}
+}
+
+// TestCodecEmptyBatch: zero ops is a valid batch (a commit can consist of
+// deletes that validate to nothing? it cannot — but the codec is defensive).
+func TestCodecEmptyBatch(t *testing.T) {
+	enc := AppendOps(nil, nil)
+	dec, err := DecodeOps(enc)
+	if err != nil || len(dec) != 0 {
+		t.Fatalf("empty batch: %v %v", dec, err)
+	}
+	if _, err := DecodeOps(nil); err == nil {
+		t.Fatal("empty input must not decode")
+	}
+}
+
+// TestOpsFromBytes pins the fuzz interpreter's mapping: it must stay stable
+// or the checked-in fuzz corpus loses its meaning.
+func TestOpsFromBytes(t *testing.T) {
+	ops := OpsFromBytes([]byte{0, 128, 10, 3, 1, 2, 4, 130, 20})
+	want := []Op{
+		{Kind: OpInsert, Coord: []float64{0, 9}},
+		{Kind: OpDelete, ID: 1<<8 | 2},
+		{Kind: OpInsert, Coord: []float64{(130 - 128) * 1.6, 18}},
+	}
+	if !reflect.DeepEqual(ops, want) {
+		t.Fatalf("interpreter drifted:\n got %+v\nwant %+v", ops, want)
+	}
+	if got := OpsFromBytes([]byte{1, 2}); len(got) != 0 {
+		t.Fatalf("short input: %+v", got)
+	}
+}

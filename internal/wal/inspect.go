@@ -1,0 +1,66 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Read-only inspection helpers. They take no lock on the log directory and
+// are safe against a live writer: frames become visible atomically at flush
+// granularity and a torn tail reads as "not yet there".
+
+// ReadMeta returns the log's configuration payload without opening the log
+// for writing. ErrNoLog when the directory holds no log.
+func ReadMeta(dir string) ([]byte, error) {
+	meta, err := readFramedFile(filepath.Join(dir, metaName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNoLog, dir)
+		}
+		return nil, err
+	}
+	return meta, nil
+}
+
+// HeadSeq returns the sequence number of the newest record visible in dir
+// (the durability watermark a replica measures its lag against): the last
+// checksum-valid frame of the last segment, or the newest checkpoint's seq
+// when the segments hold nothing beyond it.
+func HeadSeq(dir string) (uint64, error) {
+	var head uint64
+	if names, err := listCheckpoints(dir); err != nil {
+		return 0, err
+	} else if len(names) > 0 {
+		head = names[len(names)-1].seq
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(segs) == 0 {
+		return head, nil
+	}
+	last := segs[len(segs)-1]
+	f, err := os.Open(filepath.Join(dir, last.name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return head, nil // trimmed between listing and open
+		}
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var off int64
+	for {
+		seq, _, _, n, err := readFrameAt(f, off)
+		if err != nil {
+			// Clean end, torn tail, or in-flight flush — either way the frames
+			// before off are the visible head.
+			return head, nil
+		}
+		if seq > head {
+			head = seq
+		}
+		off += int64(n)
+	}
+}

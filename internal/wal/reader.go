@@ -1,0 +1,187 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Reader tails a log directory: it follows segment rotations and surfaces
+// records as they become visible, without ever writing — safe against a live
+// writer in this or another process. A Reader is not safe for concurrent use
+// by multiple goroutines.
+//
+// At the physical end of the log an incomplete or checksum-failing frame is
+// reported as ErrCaughtUp, not corruption: a group-commit writer flushes on
+// its own schedule and a record may be mid-write; the bytes will settle.
+// Authoritative torn-tail truncation belongs to recovery (Open), which holds
+// the log exclusively.
+type Reader struct {
+	dir  string
+	meta []byte
+
+	ckptSeq     uint64
+	ckptPayload []byte
+
+	f        *os.File
+	off      int64
+	segFirst uint64
+	next     uint64 // seq of the record Next will deliver
+}
+
+// OpenReader opens a tailing reader on dir. The log must exist (ErrNoLog
+// otherwise). The reader starts after the newest checkpoint; its payload is
+// available through CheckpointPayload for the caller to restore first.
+func OpenReader(dir string) (*Reader, error) {
+	meta, err := readFramedFile(filepath.Join(dir, metaName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNoLog, dir)
+		}
+		return nil, err
+	}
+	r := &Reader{dir: dir, meta: meta}
+	names, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) > 0 {
+		newest := names[len(names)-1]
+		payload, err := readFramedFile(filepath.Join(dir, newest.name))
+		if err != nil {
+			return nil, fmt.Errorf("%w: checkpoint %s: %v", ErrCorrupt, newest.name, err)
+		}
+		r.ckptSeq = newest.seq
+		r.ckptPayload = payload
+	}
+	r.next = r.ckptSeq + 1
+	return r, nil
+}
+
+// Meta returns the log's configuration payload.
+func (r *Reader) Meta() []byte { return r.meta }
+
+// CheckpointSeq and CheckpointPayload describe the checkpoint the reader
+// started from (seq 0, nil payload when the log had none at open time).
+func (r *Reader) CheckpointSeq() uint64     { return r.ckptSeq }
+func (r *Reader) CheckpointPayload() []byte { return r.ckptPayload }
+
+// NextSeq returns the sequence number the next successful Next will deliver.
+func (r *Reader) NextSeq() uint64 { return r.next }
+
+// Next returns the next record. ErrCaughtUp means the reader reached the
+// visible tail — poll again later. ErrTruncated means the records it needs
+// were trimmed behind a checkpoint it has not loaded (the writer
+// checkpointed past this reader): the caller must discard its state and
+// re-open from the fresh checkpoint.
+func (r *Reader) Next() (uint64, []Op, error) {
+	for {
+		if r.f == nil {
+			if err := r.openSegmentFor(r.next); err != nil {
+				return 0, nil, err
+			}
+		}
+		seq, kind, payload, n, err := readFrameAt(r.f, r.off)
+		switch err {
+		case nil:
+		case errFrameEOF, errFramePartial:
+			// End of this segment's visible records. If a segment starting at
+			// exactly r.next exists, the writer rotated — it finishes a
+			// segment before creating the next, so this one is complete and
+			// the reader moves on. Otherwise this is the log tail.
+			advanced, aerr := r.tryAdvance()
+			if aerr != nil {
+				return 0, nil, aerr
+			}
+			if advanced {
+				continue
+			}
+			return 0, nil, ErrCaughtUp
+		default:
+			return 0, nil, err
+		}
+		r.off += int64(n)
+		if seq < r.next {
+			continue // behind the checkpoint boundary inside this segment
+		}
+		if seq != r.next {
+			return 0, nil, fmt.Errorf("%w: record seq %d, want %d", ErrCorrupt, seq, r.next)
+		}
+		if kind != recordKindOps {
+			return 0, nil, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kind)
+		}
+		ops, derr := DecodeOps(payload)
+		if derr != nil {
+			return 0, nil, fmt.Errorf("%w: record %d: %v", ErrCorrupt, seq, derr)
+		}
+		r.next = seq + 1
+		return seq, ops, nil
+	}
+}
+
+// tryAdvance moves the reader to the segment starting at r.next when the
+// writer has rotated past the current one.
+func (r *Reader) tryAdvance() (bool, error) {
+	segs, err := listSegments(r.dir)
+	if err != nil {
+		return false, err
+	}
+	for _, seg := range segs {
+		if seg.seq == r.next && seg.seq != r.segFirst {
+			r.f.Close()
+			r.f = nil
+			return true, r.openSegmentFor(r.next)
+		}
+	}
+	// The writer may have checkpointed past this reader while it drained its
+	// (already unlinked) open segment: the segment holding r.next is gone and
+	// only later ones remain. That is truncation, not the log tail.
+	if len(segs) > 0 && segs[0].seq > r.next {
+		return false, fmt.Errorf("%w: need seq %d, earliest segment starts at %d", ErrTruncated, r.next, segs[0].seq)
+	}
+	return false, nil
+}
+
+// openSegmentFor positions the reader on the segment holding seq.
+func (r *Reader) openSegmentFor(seq uint64) error {
+	segs, err := listSegments(r.dir)
+	if err != nil {
+		return err
+	}
+	best := -1
+	for i, seg := range segs {
+		if seg.seq <= seq {
+			best = i
+		}
+	}
+	if best < 0 {
+		if len(segs) > 0 {
+			return fmt.Errorf("%w: need seq %d, earliest segment starts at %d", ErrTruncated, seq, segs[0].seq)
+		}
+		return ErrCaughtUp
+	}
+	f, err := os.Open(filepath.Join(r.dir, segs[best].name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Trimmed between the listing and the open.
+			return fmt.Errorf("%w: need seq %d", ErrTruncated, seq)
+		}
+		return fmt.Errorf("wal: %w", err)
+	}
+	r.f = f
+	r.off = 0
+	r.segFirst = segs[best].seq
+	return nil
+}
+
+// Close releases the reader's file handle. Idempotent.
+func (r *Reader) Close() error {
+	if r.f != nil {
+		err := r.f.Close()
+		r.f = nil
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,739 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// On-disk layout of a log directory:
+//
+//	wal.meta            — fixed configuration payload, written once at creation
+//	wal-<seq>.seg       — record segments; <seq> is the first record's
+//	                      sequence number, 16 hex digits
+//	ckpt-<seq>.ckpt     — snapshot checkpoints; <seq> is the last record the
+//	                      checkpoint covers
+//
+// Every record is framed as
+//
+//	uint32 length | uint32 crc | uint64 seq | uint8 kind | payload
+//
+// with length counting the body (seq+kind+payload), crc a Castagnoli CRC32
+// over the body, and seq a densely increasing record number starting at 1.
+// Records never span segments; a segment rotates at the first flush after it
+// exceeds the configured size. Meta and checkpoint files share the
+// length|crc|payload framing (without seq/kind) and are written atomically
+// (temp file, fsync, rename, directory fsync).
+
+const (
+	metaName   = "wal.meta"
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".ckpt"
+
+	frameHeaderLen = 8 // length + crc
+	recordKindOps  = 1 // op-batch record
+)
+
+// Errors reported by the log. ErrCorrupt marks damage that torn-tail
+// truncation cannot explain (a bad record with valid records after it);
+// ErrCaughtUp and ErrTruncated belong to the tailing Reader.
+var (
+	ErrClosed    = errors.New("wal: log is closed")
+	ErrCorrupt   = errors.New("wal: corrupt log")
+	ErrExists    = errors.New("wal: log already exists")
+	ErrNoLog     = errors.New("wal: no log in directory")
+	ErrCaughtUp  = errors.New("wal: caught up with the log tail")
+	ErrTruncated = errors.New("wal: records were truncated behind this reader")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures Open.
+type Options struct {
+	// SegmentBytes is the rotation threshold: a segment rotates at the first
+	// flush after exceeding it. 0 means 4 MiB. Rotation happens only between
+	// flushes, so a segment can overshoot by up to one flush batch.
+	SegmentBytes int64
+	// Meta is the configuration payload stored when the log is created; it is
+	// returned verbatim by Log.Meta on every later Open and never changes.
+	Meta []byte
+	// MustCreate makes Open fail with ErrExists when the directory already
+	// holds a log — the "fresh start" constructor semantics.
+	MustCreate bool
+	// MustExist makes Open fail with ErrNoLog when the directory holds no
+	// log — the "recover" semantics.
+	MustExist bool
+	// OnRecord receives every durable record during Open, in sequence order,
+	// after torn-tail truncation and checkpoint skipping. An error aborts the
+	// Open. Nil skips replay delivery (records are still validated).
+	OnRecord func(seq uint64, ops []Op) error
+}
+
+// Log is a single-writer append log. Append only buffers (a memcpy under the
+// log's mutex, safe to call inside engine critical sections); durability
+// happens in Sync/WaitDurable cycles that batch every buffered record into
+// one write+fsync — group commit falls out of concurrent waiters sharing a
+// cycle. A Log is safe for concurrent use.
+type Log struct {
+	dir      string
+	segBytes int64
+	meta     []byte
+	created  bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      []byte // encoded frames not yet handed to the OS
+	bufFirst uint64 // seq of the first frame in buf
+	f        *os.File
+	fileSize int64
+	segFirst uint64 // first seq of the current segment (its name)
+	hasSeg   bool
+	nextSeq  uint64 // seq the next Append will take
+	durable  uint64 // highest fsynced seq
+	syncing  bool
+	err      error // sticky IO error; the log is poisoned once set
+	closed   bool
+
+	ckptSeq     uint64
+	ckptPayload []byte
+	replayed    int
+}
+
+// Open opens (or creates) the log in dir, truncates a torn tail, verifies
+// record framing and sequence continuity, and delivers every surviving
+// record past the newest checkpoint to opts.OnRecord. The returned Log is
+// positioned to append after the last durable record.
+func Open(dir string, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{
+		dir:      dir,
+		segBytes: opts.SegmentBytes,
+	}
+	if l.segBytes <= 0 {
+		l.segBytes = 4 << 20
+	}
+	l.cond = sync.NewCond(&l.mu)
+
+	meta, metaErr := readFramedFile(filepath.Join(dir, metaName))
+	switch {
+	case metaErr == nil:
+		if opts.MustCreate {
+			return nil, fmt.Errorf("%w: %s (use Open to recover it)", ErrExists, dir)
+		}
+		l.meta = meta
+	case os.IsNotExist(metaErr):
+		if opts.MustExist {
+			return nil, fmt.Errorf("%w: %s", ErrNoLog, dir)
+		}
+		segs, err := listSegments(dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(segs) > 0 {
+			return nil, fmt.Errorf("%w: segments present but %s is missing", ErrCorrupt, metaName)
+		}
+		if err := writeFramedFile(dir, metaName, opts.Meta); err != nil {
+			return nil, err
+		}
+		l.meta = append([]byte(nil), opts.Meta...)
+		l.created = true
+	default:
+		return nil, metaErr
+	}
+
+	// Leftover temp files are aborted atomic writes; they carry no state.
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) > 0 {
+		for _, p := range tmps {
+			os.Remove(p)
+		}
+	}
+
+	if err := l.loadCheckpoint(); err != nil {
+		return nil, err
+	}
+	if err := l.scan(opts.OnRecord); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Created reports whether this Open created the log (no meta file existed).
+func (l *Log) Created() bool { return l.created }
+
+// Meta returns the configuration payload stored at creation.
+func (l *Log) Meta() []byte { return l.meta }
+
+// CheckpointSeq returns the sequence number the newest checkpoint covers (0
+// when none exists), and CheckpointPayload its opaque payload.
+func (l *Log) CheckpointSeq() uint64     { return l.ckptSeq }
+func (l *Log) CheckpointPayload() []byte { return l.ckptPayload }
+
+// Replayed returns how many records Open delivered to OnRecord.
+func (l *Log) Replayed() int { return l.replayed }
+
+// LastSeq returns the sequence number of the last appended record (whether
+// or not it is durable yet); 0 when the log is empty.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// DurableSeq returns the highest sequence number known to be fsynced.
+func (l *Log) DurableSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
+}
+
+// loadCheckpoint reads the newest checkpoint file, if any.
+func (l *Log) loadCheckpoint() error {
+	names, err := listCheckpoints(l.dir)
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	newest := names[len(names)-1]
+	payload, err := readFramedFile(filepath.Join(l.dir, newest.name))
+	if err != nil {
+		return fmt.Errorf("%w: checkpoint %s: %v", ErrCorrupt, newest.name, err)
+	}
+	l.ckptSeq = newest.seq
+	l.ckptPayload = payload
+	return nil
+}
+
+// scan validates the segment chain, truncates a torn tail, delivers records
+// past the checkpoint, and positions the writer at the end.
+func (l *Log) scan(onRecord func(uint64, []Op) error) error {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	l.nextSeq = l.ckptSeq + 1
+	if len(segs) == 0 {
+		return nil
+	}
+	if segs[0].seq > l.ckptSeq+1 {
+		return fmt.Errorf("%w: first segment starts at seq %d but the checkpoint covers only %d", ErrCorrupt, segs[0].seq, l.ckptSeq)
+	}
+	// Segments made fully obsolete by the checkpoint need no validation: the
+	// next segment's first record bounds their content.
+	first := 0
+	for first+1 < len(segs) && segs[first+1].seq <= l.ckptSeq+1 {
+		first++
+	}
+	expect := segs[first].seq
+	for i := first; i < len(segs); i++ {
+		seg := segs[i]
+		if seg.seq != expect {
+			return fmt.Errorf("%w: segment %s starts at seq %d, want %d", ErrCorrupt, seg.name, seg.seq, expect)
+		}
+		last := i == len(segs)-1
+		end, next, err := l.scanSegment(seg, expect, last, onRecord)
+		if err != nil {
+			return err
+		}
+		expect = next
+		if last {
+			// Position the writer: reopen the tail segment for appending.
+			f, err := os.OpenFile(filepath.Join(l.dir, seg.name), os.O_WRONLY, 0)
+			if err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			if _, err := f.Seek(end, io.SeekStart); err != nil {
+				f.Close()
+				return fmt.Errorf("wal: %w", err)
+			}
+			l.f = f
+			l.fileSize = end
+			l.segFirst = seg.seq
+			l.hasSeg = true
+		}
+	}
+	l.nextSeq = expect
+	l.durable = expect - 1
+	return nil
+}
+
+// scanSegment walks one segment's records. In the last segment a record that
+// fails to parse is a torn tail and the file is truncated (and fsynced) at
+// the last good offset; anywhere else it is corruption. Returns the clean
+// end offset and the next expected sequence number.
+func (l *Log) scanSegment(seg segRef, expect uint64, last bool, onRecord func(uint64, []Op) error) (end int64, next uint64, _ error) {
+	path := filepath.Join(l.dir, seg.name)
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var off int64
+	for {
+		seq, kind, payload, n, err := readFrameAt(f, off)
+		if err == errFrameEOF {
+			return off, expect, nil
+		}
+		if err != nil {
+			if !last || validFrameAfterDamage(f, off) {
+				return 0, 0, fmt.Errorf("%w: segment %s at offset %d: %v", ErrCorrupt, seg.name, off, err)
+			}
+			// Torn tail: everything before off is durable; drop the rest so
+			// the log ends at a record boundary for every future reader.
+			if err := os.Truncate(path, off); err != nil {
+				return 0, 0, fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+			if err := syncPath(path); err != nil {
+				return 0, 0, err
+			}
+			return off, expect, nil
+		}
+		if seq != expect {
+			return 0, 0, fmt.Errorf("%w: segment %s at offset %d: record seq %d, want %d", ErrCorrupt, seg.name, off, seq, expect)
+		}
+		if kind != recordKindOps {
+			return 0, 0, fmt.Errorf("%w: segment %s at offset %d: unknown record kind %d", ErrCorrupt, seg.name, off, kind)
+		}
+		if seq > l.ckptSeq && onRecord != nil {
+			ops, err := DecodeOps(payload)
+			if err != nil {
+				if !last || validFrameAt(f, off+int64(n)) {
+					return 0, 0, fmt.Errorf("%w: segment %s record %d: %v", ErrCorrupt, seg.name, seq, err)
+				}
+				// A framed record with a valid CRC but an undecodable payload
+				// can only be written by a buggy encoder; in the tail position
+				// it is indistinguishable in effect from a torn record, so
+				// recovery salvages the prefix rather than refusing the log.
+				if err := os.Truncate(path, off); err != nil {
+					return 0, 0, fmt.Errorf("wal: truncating undecodable tail: %w", err)
+				}
+				if err := syncPath(path); err != nil {
+					return 0, 0, err
+				}
+				return off, expect, nil
+			}
+			if err := onRecord(seq, ops); err != nil {
+				return 0, 0, err
+			}
+			l.replayed++
+		}
+		expect = seq + 1
+		off += int64(n)
+	}
+}
+
+// Append encodes ops as one record and buffers it, returning the record's
+// sequence number. It never blocks on IO: durability is a separate step
+// (WaitDurable for per-commit fsync, a periodic Sync for group commit).
+func (l *Log) Append(ops []Op) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	seq := l.nextSeq
+	l.nextSeq++
+	if len(l.buf) == 0 {
+		l.bufFirst = seq
+	}
+	l.buf = appendFrame(l.buf, seq, recordKindOps, ops)
+	return seq, nil
+}
+
+// WaitDurable blocks until every record up to and including seq is fsynced,
+// running the write+fsync cycle itself when no other goroutine is already on
+// it — concurrent waiters batch into one fsync (group commit).
+func (l *Log) WaitDurable(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.waitDurableLocked(seq)
+}
+
+// Sync makes every appended record durable.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.waitDurableLocked(l.nextSeq - 1)
+}
+
+func (l *Log) waitDurableLocked(seq uint64) error {
+	for {
+		if l.durable >= seq {
+			return nil
+		}
+		if l.err != nil {
+			return l.err
+		}
+		if l.closed {
+			return ErrClosed
+		}
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		l.syncCycleLocked()
+	}
+}
+
+// syncCycleLocked takes the buffered frames and writes+fsyncs them outside
+// the mutex, so appends keep landing in the (fresh) buffer while the disk
+// works — the group-commit batching. Rotation happens here, at flush
+// boundaries, so a flush batch never spans segments. Caller holds l.mu with
+// l.syncing false; returns with l.mu held.
+func (l *Log) syncCycleLocked() {
+	if l.f == nil || (l.fileSize >= l.segBytes && len(l.buf) > 0) {
+		if err := l.rotateLocked(); err != nil {
+			l.err = err
+			l.cond.Broadcast()
+			return
+		}
+	}
+	l.syncing = true
+	take := l.buf
+	l.buf = nil
+	upTo := l.nextSeq - 1
+	f := l.f
+	l.mu.Unlock()
+	var err error
+	if len(take) > 0 {
+		_, err = f.Write(take)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	l.mu.Lock()
+	l.syncing = false
+	if err != nil {
+		l.err = fmt.Errorf("wal: %w", err)
+	} else {
+		l.fileSize += int64(len(take))
+		l.durable = upTo
+	}
+	l.cond.Broadcast()
+}
+
+// rotateLocked finishes the current segment and opens the next, named by the
+// first sequence number it will hold. Caller holds l.mu, not syncing.
+func (l *Log) rotateLocked() error {
+	first := l.nextSeq
+	if len(l.buf) > 0 {
+		first = l.bufFirst
+	}
+	if l.f != nil {
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.f = nil
+	}
+	name := segName(first)
+	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncPath(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.fileSize = 0
+	l.segFirst = first
+	l.hasSeg = true
+	return nil
+}
+
+// WriteCheckpoint durably stores payload as the checkpoint covering every
+// record up to and including seq, then removes the checkpoints and segments
+// it makes obsolete. The caller guarantees the payload reflects a state that
+// has every record ≤ seq applied and none later.
+func (l *Log) WriteCheckpoint(seq uint64, payload []byte) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if seq > l.nextSeq-1 {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: checkpoint seq %d beyond last record %d", seq, l.nextSeq-1)
+	}
+	if seq < l.ckptSeq {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: checkpoint seq %d behind existing checkpoint %d", seq, l.ckptSeq)
+	}
+	// The records the checkpoint covers must not outlive it in buffered form
+	// only — flush first so a crash right after the trim below cannot lose
+	// the suffix the checkpoint does not cover.
+	if err := l.waitDurableLocked(l.nextSeq - 1); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	current := ""
+	if l.hasSeg {
+		current = segName(l.segFirst)
+	}
+	l.mu.Unlock()
+
+	if err := writeFramedFile(l.dir, ckptName(seq), payload); err != nil {
+		return err
+	}
+
+	l.mu.Lock()
+	l.ckptSeq = seq
+	l.ckptPayload = append([]byte(nil), payload...)
+	l.mu.Unlock()
+
+	// Cleanup is best-effort: a failure leaves extra files, never lost state.
+	if names, err := listCheckpoints(l.dir); err == nil {
+		for _, c := range names {
+			if c.seq < seq {
+				os.Remove(filepath.Join(l.dir, c.name))
+			}
+		}
+	}
+	if segs, err := listSegments(l.dir); err == nil {
+		for i := 0; i+1 < len(segs); i++ {
+			if segs[i+1].seq <= seq+1 && segs[i].name != current {
+				os.Remove(filepath.Join(l.dir, segs[i].name))
+			}
+		}
+	}
+	return nil
+}
+
+// SegmentCount returns how many segment files the log currently holds.
+func (l *Log) SegmentCount() int {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return 0
+	}
+	return len(segs)
+}
+
+// Close flushes and fsyncs every appended record, then closes the log.
+// Further appends fail with ErrClosed. Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.waitDurableLocked(l.nextSeq - 1)
+	l.closed = true
+	f := l.f
+	l.f = nil
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	if f != nil {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("wal: %w", cerr)
+		}
+	}
+	return err
+}
+
+// Record framing.
+
+// maxBody bounds a declared record body so a corrupt length cannot demand a
+// huge allocation.
+const maxBody = 64 << 20
+
+// errFrameEOF marks a clean end: zero bytes where the next frame would start.
+var errFrameEOF = errors.New("wal: end of records")
+
+// errFramePartial marks an incomplete or damaged frame — a torn tail when it
+// is at the physical end of the log, corruption anywhere else. The tailing
+// reader treats it as "not yet visible" and retries.
+var errFramePartial = errors.New("wal: partial or damaged record")
+
+// appendFrame appends one framed record to dst.
+func appendFrame(dst []byte, seq uint64, kind byte, ops []Op) []byte {
+	bodyStart := len(dst) + frameHeaderLen
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // length+crc placeholders
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = append(dst, kind)
+	dst = AppendOps(dst, ops)
+	body := dst[bodyStart:]
+	binary.LittleEndian.PutUint32(dst[bodyStart-8:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(dst[bodyStart-4:], crc32.Checksum(body, castagnoli))
+	return dst
+}
+
+// validFrameAfterDamage reports whether a complete, checksum-valid frame
+// follows the damaged frame at off. A torn tail can only be the *last* thing
+// in the log — if good records sit past the damage, truncating would replay a
+// gapped history, so recovery must refuse the log instead. The next boundary
+// is only findable when the damaged frame's length header survived; when the
+// header itself is garbage any later record is unreachable by every reader,
+// and salvaging the prefix is the only option left.
+func validFrameAfterDamage(f *os.File, off int64) bool {
+	var hdr [frameHeaderLen]byte
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return false
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	if length < 9 || length > maxBody {
+		return false
+	}
+	return validFrameAt(f, off+frameHeaderLen+int64(length))
+}
+
+// validFrameAt reports whether a complete, checksum-valid frame starts at off.
+func validFrameAt(f *os.File, off int64) bool {
+	_, _, _, _, err := readFrameAt(f, off)
+	return err == nil
+}
+
+// readFrameAt reads and verifies the frame at offset off. It returns
+// errFrameEOF at a clean end and errFramePartial for anything that cannot be
+// parsed as a complete, checksummed frame.
+func readFrameAt(f *os.File, off int64) (seq uint64, kind byte, payload []byte, n int, _ error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		if err == io.EOF {
+			return 0, 0, nil, 0, errFrameEOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return 0, 0, nil, 0, errFramePartial
+		}
+		return 0, 0, nil, 0, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if length < 9 || length > maxBody {
+		return 0, 0, nil, 0, errFramePartial
+	}
+	body := make([]byte, length)
+	if _, err := f.ReadAt(body, off+frameHeaderLen); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, 0, nil, 0, errFramePartial
+		}
+		return 0, 0, nil, 0, err
+	}
+	if crc32.Checksum(body, castagnoli) != crc {
+		return 0, 0, nil, 0, errFramePartial
+	}
+	seq = binary.LittleEndian.Uint64(body[:8])
+	return seq, body[8], body[9:], frameHeaderLen + int(length), nil
+}
+
+// File helpers.
+
+type segRef struct {
+	name string
+	seq  uint64
+}
+
+func segName(first uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, first, segSuffix)
+}
+
+func ckptName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", ckptPrefix, seq, ckptSuffix)
+}
+
+func listByAffix(dir, prefix, suffix string) ([]segRef, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var out []segRef
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		hexs := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+		seq, err := strconv.ParseUint(hexs, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: unparseable file name %s", ErrCorrupt, name)
+		}
+		out = append(out, segRef{name, seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+func listSegments(dir string) ([]segRef, error)    { return listByAffix(dir, segPrefix, segSuffix) }
+func listCheckpoints(dir string) ([]segRef, error) { return listByAffix(dir, ckptPrefix, ckptSuffix) }
+
+// readFramedFile reads a length|crc|payload file (meta, checkpoints).
+func readFramedFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < frameHeaderLen {
+		return nil, fmt.Errorf("%w: %s too short", ErrCorrupt, filepath.Base(path))
+	}
+	length := binary.LittleEndian.Uint32(data[:4])
+	crc := binary.LittleEndian.Uint32(data[4:8])
+	if uint64(length) != uint64(len(data)-frameHeaderLen) {
+		return nil, fmt.Errorf("%w: %s length mismatch", ErrCorrupt, filepath.Base(path))
+	}
+	payload := data[frameHeaderLen:]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, fmt.Errorf("%w: %s checksum mismatch", ErrCorrupt, filepath.Base(path))
+	}
+	return payload, nil
+}
+
+// writeFramedFile atomically writes a length|crc|payload file.
+func writeFramedFile(dir, name string, payload []byte) error {
+	buf := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, payload...)
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	} else {
+		f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	return syncPath(dir)
+}
+
+// syncPath fsyncs a file or directory by path.
+func syncPath(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}

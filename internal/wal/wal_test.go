@@ -1,0 +1,521 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func testOps(tag int) []Op {
+	return []Op{
+		{Kind: OpInsert, Coord: []float64{float64(tag), float64(tag) * 2}},
+		{Kind: OpDelete, ID: int64(tag)},
+	}
+}
+
+// collect re-opens dir and returns every replayed record.
+func collect(t *testing.T, dir string) (map[uint64][]Op, *Log) {
+	t.Helper()
+	got := map[uint64][]Op{}
+	l, err := Open(dir, Options{OnRecord: func(seq uint64, ops []Op) error {
+		got[seq] = ops
+		return nil
+	}})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return got, l
+}
+
+func TestLogAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Meta: []byte("cfg"), MustCreate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Created() {
+		t.Fatal("expected creation")
+	}
+	for i := 1; i <= 5; i++ {
+		seq, err := l.Append(testOps(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("seq %d, want %d", seq, i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(testOps(9)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+
+	if _, err := Open(dir, Options{MustCreate: true}); !errors.Is(err, ErrExists) {
+		t.Fatalf("MustCreate on existing log: %v", err)
+	}
+	got, l2 := collect(t, dir)
+	defer l2.Close()
+	if string(l2.Meta()) != "cfg" {
+		t.Fatalf("meta %q", l2.Meta())
+	}
+	if len(got) != 5 || l2.LastSeq() != 5 || l2.Replayed() != 5 {
+		t.Fatalf("replayed %d records, last %d", len(got), l2.LastSeq())
+	}
+	if !reflect.DeepEqual(got[3], testOps(3)) {
+		t.Fatalf("record 3: %+v", got[3])
+	}
+	// The log keeps appending where it left off.
+	if seq, err := l2.Append(testOps(6)); err != nil || seq != 6 {
+		t.Fatalf("continue: %d %v", seq, err)
+	}
+}
+
+func TestLogMustExist(t *testing.T) {
+	if _, err := Open(t.TempDir(), Options{MustExist: true}); !errors.Is(err, ErrNoLog) {
+		t.Fatalf("MustExist on empty dir: %v", err)
+	}
+}
+
+func TestLogRotationAndDurability(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 1; i <= 40; i++ {
+		seq, err := l.Append(testOps(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = seq
+		if i%4 == 0 {
+			if err := l.WaitDurable(seq); err != nil {
+				t.Fatal(err)
+			}
+			if l.DurableSeq() < seq {
+				t.Fatalf("durable %d < %d", l.DurableSeq(), seq)
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := l.SegmentCount(); n < 2 {
+		t.Fatalf("expected rotation, got %d segments", n)
+	}
+	got, l2 := collect(t, dir)
+	defer l2.Close()
+	if uint64(len(got)) != last {
+		t.Fatalf("replayed %d, want %d", len(got), last)
+	}
+}
+
+// TestLogGroupCommitConcurrent hammers Append+WaitDurable from many
+// goroutines; the waiters must all resolve and the log must replay complete.
+func TestLogGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const G, N = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, G)
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				seq, err := l.Append(testOps(g*N + i))
+				if err == nil {
+					err = l.WaitDurable(seq)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, l2 := collect(t, dir)
+	l2.Close()
+	if len(got) != G*N {
+		t.Fatalf("replayed %d, want %d", len(got), G*N)
+	}
+}
+
+func TestLogTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append(testOps(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) != 1 {
+		t.Fatalf("segments: %v", segs)
+	}
+	path := filepath.Join(dir, segs[0].name)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		mut  func() []byte
+		want int // surviving records
+	}{
+		{"torn-frame", func() []byte { return full[:len(full)-7] }, 2},
+		{"torn-header", func() []byte { return full[:len(full)/1] }, 3}, // intact control
+		{"appended-garbage", func() []byte { return append(append([]byte{}, full...), 1, 2, 3) }, 3},
+		{"bad-tail-crc", func() []byte {
+			mut := append([]byte{}, full...)
+			mut[len(mut)-1] ^= 0xff
+			return mut
+		}, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(path, tc.mut(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, l2 := collect(t, dir)
+			l2.Close()
+			if len(got) != tc.want {
+				t.Fatalf("survived %d records, want %d", len(got), tc.want)
+			}
+			// Restore for the next subtest.
+			if err := os.WriteFile(path, full, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestLogMidCorruptionRefused: damage before valid records is not a torn
+// tail; Open must refuse the log rather than silently drop a prefix.
+func TestLogMidCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if _, err := l.Append(testOps(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	path := filepath.Join(dir, segs[0].name)
+	data, _ := os.ReadFile(path)
+	data[frameHeaderLen+12] ^= 0xff // inside the first record's body
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The damaged first record now fails its CRC; records 2–4 still parse.
+	// That pattern (bad record, valid successors) must NOT be salvaged —
+	// replaying 2–4 without 1 would rebuild a different state.
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("mid-log corruption opened cleanly")
+	}
+}
+
+// TestLogMissingSegmentRefused: a gap in the segment chain is corruption.
+func TestLogMissingSegmentRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 30; i++ {
+		if _, err := l.Append(testOps(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := l.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) < 3 {
+		t.Fatalf("need ≥ 3 segments, got %d", len(segs))
+	}
+	if err := os.Remove(filepath.Join(dir, segs[1].name)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing middle segment: %v", err)
+	}
+}
+
+func TestCheckpointTruncatesAndRestores(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		if _, err := l.Append(testOps(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := l.Sync(); err != nil { // force rotations
+				t.Fatal(err)
+			}
+		}
+	}
+	before := l.SegmentCount()
+	if err := l.WriteCheckpoint(12, []byte("state@12")); err != nil {
+		t.Fatal(err)
+	}
+	if after := l.SegmentCount(); after >= before {
+		t.Fatalf("checkpoint did not trim: %d -> %d segments", before, after)
+	}
+	for i := 21; i <= 25; i++ {
+		if _, err := l.Append(testOps(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, l2 := collect(t, dir)
+	defer l2.Close()
+	if string(l2.CheckpointPayload()) != "state@12" || l2.CheckpointSeq() != 12 {
+		t.Fatalf("checkpoint: seq %d payload %q", l2.CheckpointSeq(), l2.CheckpointPayload())
+	}
+	// Replay resumes after the checkpoint: exactly records 13..25.
+	if len(got) != 13 {
+		t.Fatalf("replayed %d records: %v", len(got), got)
+	}
+	for seq := uint64(13); seq <= 25; seq++ {
+		if _, ok := got[seq]; !ok {
+			t.Fatalf("missing record %d", seq)
+		}
+	}
+	if err := l2.WriteCheckpoint(11, nil); err == nil {
+		t.Fatal("checkpoint behind the existing one must fail")
+	}
+	if err := l2.WriteCheckpoint(99, nil); err == nil {
+		t.Fatal("checkpoint beyond the last record must fail")
+	}
+}
+
+func TestReaderTailsLiveWriter(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128, Meta: []byte("m")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, _, err := r.Next(); !errors.Is(err, ErrCaughtUp) {
+		t.Fatalf("empty log: %v", err)
+	}
+	seen := 0
+	for i := 1; i <= 30; i++ {
+		if _, err := l.Append(testOps(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 != 0 {
+			continue
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			seq, ops, err := r.Next()
+			if errors.Is(err, ErrCaughtUp) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen++
+			if seq != uint64(seen) {
+				t.Fatalf("seq %d, want %d", seq, seen)
+			}
+			if !reflect.DeepEqual(ops, testOps(seen)) {
+				t.Fatalf("record %d: %+v", seq, ops)
+			}
+		}
+		if seen != i {
+			t.Fatalf("after sync %d: saw %d", i, seen)
+		}
+	}
+	if string(r.Meta()) != "m" {
+		t.Fatalf("reader meta %q", r.Meta())
+	}
+}
+
+// TestReaderTruncatedMidTail: a reader that already drained part of the log
+// (holding an open segment) must see ErrTruncated — not a permanent
+// ErrCaughtUp — when a checkpoint trims the segment its next record lived in.
+func TestReaderTruncatedMidTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(testOps(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Position the reader inside the first segment.
+	if seq, _, err := r.Next(); err != nil || seq != 1 {
+		t.Fatalf("seq %d, err %v", seq, err)
+	}
+	// The writer races ahead across several rotations (flushing each record
+	// so segments actually rotate) and checkpoints, trimming everything the
+	// paused reader still needed.
+	for i := 2; i <= 20; i++ {
+		if _, err := l.Append(testOps(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WriteCheckpoint(18, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	var rerr error
+	for {
+		if _, _, rerr = r.Next(); rerr != nil {
+			break
+		}
+	}
+	if !errors.Is(rerr, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", rerr)
+	}
+}
+
+// TestReaderHitsTruncation: a checkpoint trimming segments the reader still
+// needs surfaces as ErrTruncated, directing it to restart from the
+// checkpoint.
+func TestReaderHitsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 20; i++ {
+		if _, err := l.Append(testOps(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := l.WriteCheckpoint(15, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	// The reader wants seq 1, whose segment is gone.
+	_, _, rerr := r.Next()
+	if !errors.Is(rerr, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", rerr)
+	}
+	// Re-opening lands on the checkpoint and the surviving suffix.
+	r2, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.CheckpointSeq() != 15 {
+		t.Fatalf("checkpoint seq %d", r2.CheckpointSeq())
+	}
+	seq, _, err := r2.Next()
+	if err != nil || seq != 16 {
+		t.Fatalf("first post-checkpoint record: %d %v", seq, err)
+	}
+}
+
+// TestOpenRejectsDanglingSegments: segments without a meta file mean the
+// directory is not a log we understand.
+func TestOpenRejectsDanglingSegments(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("dangling segment: %v", err)
+	}
+}
+
+// TestOpenReplayAbort: an OnRecord error aborts Open with that error.
+func TestOpenReplayAbort(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append(testOps(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("boom")
+	_, err = Open(dir, Options{OnRecord: func(seq uint64, _ []Op) error {
+		if seq == 2 {
+			return boom
+		}
+		return nil
+	}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}

@@ -68,7 +68,18 @@ type engineSettings struct {
 	stripeCells  int             // shard stripe width in grid cells; 0 = adaptive
 	rebalance    RebalancePolicy // shard rebalancing policy (see WithRebalance)
 	rebalanceSet bool
-	err          error // first option-level error, reported by New
+
+	// Durability (see persist.go). opening marks settings built by Open,
+	// where the shape comes from the log's meta record rather than options.
+	walDir       string
+	walPolicy    SyncPolicy
+	walCkptEvery int
+	walCkptSet   bool
+	walSegBytes  int64
+	walTuned     bool // a WAL tuning option was used (requires WithWAL or Open)
+	opening      bool
+
+	err error // first option-level error, reported by New
 }
 
 // Option configures an Engine under construction; see New.
@@ -257,6 +268,9 @@ func (s *engineSettings) validate() error {
 	}
 	if s.rebalanceSet && s.shards <= 1 {
 		return errors.New("dyndbscan: WithRebalance requires WithShards(n>1); a single-shard engine has nothing to rebalance")
+	}
+	if err := s.validateWAL(); err != nil {
+		return err
 	}
 	if err := s.cfg.Validate(); err != nil {
 		if s.cfgExplicit {

@@ -1,0 +1,797 @@
+package dyndbscan
+
+// Durability: WithWAL attaches a write-ahead log to an Engine, Open recovers
+// an Engine from one, and OpenReplica (replica.go) tails one.
+//
+// One WAL record is written per commit — the batch's operations in commit
+// order, appended inside the same critical section that orders the commit
+// (under e.mu in single-backend mode; under routesMu, while the shard locks
+// are held, in sharded mode). That makes the log's record order agree with
+// handle-mint order and with every shard's apply order, which is the whole
+// durability argument: the engines are deterministic functions of their op
+// streams (inserts re-mint identical handles, cluster identities evolve
+// identically), so replaying the records sequentially through the ordinary
+// Apply pipeline reconstructs the pre-crash state — same handles, same
+// stable ClusterIDs — even though the original commits ran concurrently.
+// Commits on disjoint shards commute, so any serialization the log captured
+// is equivalent to the concurrent execution it observed.
+//
+// Durability policy is per-commit fsync (SyncAlways) or group commit
+// (SyncEvery): appends only buffer, and a background flusher fsyncs on the
+// configured cadence, bounding loss to one interval. Either way a record is
+// appended before the commit's state change and its events publish; under
+// SyncAlways the commit also waits for the fsync before returning.
+//
+// Checkpoints bound replay: Engine.Checkpoint serializes the live state
+// (points, counters, cluster-id assignment, stripe placement) and hands it
+// to the log, which trims the segments behind it. Restore rebuilds the
+// backends by re-inserting the checkpointed points and then grafts the
+// stored cluster identities back on by membership matching — exact under
+// Rho = 0, maximum-overlap under Rho > 0 (where a rebuild is itself a legal
+// ρ-approximate re-clustering of the same points).
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dyndbscan/internal/core"
+	"dyndbscan/internal/wal"
+)
+
+// ErrNoWAL is returned by Checkpoint and WALStats-dependent operations on an
+// Engine constructed without WithWAL.
+var ErrNoWAL = errors.New("dyndbscan: engine has no write-ahead log (use WithWAL)")
+
+// defaultSyncInterval is the group-commit flush cadence when SyncEvery's
+// duration is not chosen explicitly (the zero SyncPolicy).
+const defaultSyncInterval = 5 * time.Millisecond
+
+// defaultCheckpointEvery is the automatic checkpoint cadence in commits.
+const defaultCheckpointEvery = 4096
+
+// SyncPolicy selects when WAL records become durable. The zero value is
+// group commit at the default interval; construct values with SyncAlways and
+// SyncEvery.
+type SyncPolicy struct {
+	always   bool
+	interval time.Duration
+}
+
+// SyncAlways returns the per-commit fsync policy: every update blocks until
+// its record is on stable storage before it returns (and before its events
+// publish). No committed update is ever lost, at a per-commit fsync cost —
+// concurrent committers still share fsync cycles (group commit falls out of
+// the log's WaitDurable batching).
+func SyncAlways() SyncPolicy { return SyncPolicy{always: true} }
+
+// SyncEvery returns the group-commit policy: records buffer in memory and a
+// background flusher fsyncs every d. Updates never block on the disk; a
+// crash loses at most the last d of commits. d ≤ 0 selects the default
+// interval.
+func SyncEvery(d time.Duration) SyncPolicy {
+	if d <= 0 {
+		d = defaultSyncInterval
+	}
+	return SyncPolicy{interval: d}
+}
+
+// String renders the policy for logs.
+func (p SyncPolicy) String() string {
+	if p.always {
+		return "always"
+	}
+	if p.interval <= 0 {
+		return fmt.Sprintf("every %v", defaultSyncInterval)
+	}
+	return fmt.Sprintf("every %v", p.interval)
+}
+
+// normalize resolves the zero value to the default group-commit interval.
+func (p SyncPolicy) normalize() SyncPolicy {
+	if !p.always && p.interval <= 0 {
+		p.interval = defaultSyncInterval
+	}
+	return p
+}
+
+// WithWAL attaches a write-ahead log in dir to the Engine under
+// construction. The directory must not already hold a log (ErrExists
+// otherwise — recover an existing log with Open, never by constructing over
+// it). Every committed update is logged before it publishes; p selects the
+// durability policy (the zero SyncPolicy is group commit at the default
+// interval). Requires one of the built-in algorithms.
+func WithWAL(dir string, p SyncPolicy) Option {
+	return func(s *engineSettings) {
+		if dir == "" {
+			s.setErr(errors.New("dyndbscan: WithWAL: empty directory"))
+			return
+		}
+		s.walDir = dir
+		s.walPolicy = p
+	}
+}
+
+// WithWALSync overrides the durability policy alone — the form Open accepts,
+// since Open's log directory is its own argument.
+func WithWALSync(p SyncPolicy) Option {
+	return func(s *engineSettings) {
+		s.walPolicy = p
+		s.walTuned = true
+	}
+}
+
+// WithWALCheckpointEvery sets how many commits may pass between automatic
+// snapshot checkpoints (default 4096). A checkpoint serializes the live
+// state and lets the log trim the segments behind it, bounding both disk
+// growth and recovery replay time. 0 disables automatic checkpoints;
+// Engine.Checkpoint always works explicitly.
+func WithWALCheckpointEvery(n int) Option {
+	return func(s *engineSettings) {
+		if n < 0 {
+			s.setErr(fmt.Errorf("dyndbscan: WithWALCheckpointEvery(%d): cadence cannot be negative", n))
+			return
+		}
+		s.walCkptEvery = n
+		s.walCkptSet = true
+		s.walTuned = true
+	}
+}
+
+// WithWALSegmentBytes sets the log's segment rotation threshold (default
+// 4 MiB). Smaller segments trim more eagerly behind checkpoints; larger ones
+// reduce file churn.
+func WithWALSegmentBytes(n int64) Option {
+	return func(s *engineSettings) {
+		if n <= 0 {
+			s.setErr(fmt.Errorf("dyndbscan: WithWALSegmentBytes(%d): threshold must be positive", n))
+			return
+		}
+		s.walSegBytes = n
+		s.walTuned = true
+	}
+}
+
+// validateWAL holds the WAL-specific cross-option checks; called from
+// engineSettings.validate.
+func (s *engineSettings) validateWAL() error {
+	if s.walDir == "" && !s.opening && s.walTuned {
+		return errors.New("dyndbscan: WAL tuning options require WithWAL")
+	}
+	return nil
+}
+
+// restorableBackend is the capability checkpoint restore requires of a
+// backend: reading and pinning the id-mint counters. All built-in algorithms
+// provide it through the shared core base.
+type restorableBackend interface {
+	NextPointID() core.PointID
+	SetNextPointID(core.PointID)
+	NextClusterID() core.ClusterID
+	SetNextClusterID(core.ClusterID)
+}
+
+// walState is the Engine's durability attachment.
+type walState struct {
+	log       *wal.Log
+	policy    SyncPolicy
+	ckptEvery int
+
+	// Single-backend restore/checkpoint capabilities (nil in sharded mode,
+	// where the shards carry their own).
+	rb   restorableBackend
+	look core.PointLookup
+
+	// recovering suppresses appends while Open replays the log through the
+	// ordinary Apply pipeline. Written only before the Engine escapes Open.
+	recovering bool
+
+	sinceCkpt atomic.Uint64 // commits since the last checkpoint
+	ckpting   atomic.Bool   // auto-checkpoint in flight (CAS-guarded)
+	ckptMu    sync.Mutex    // serializes checkpoint bodies
+	ckpts     atomic.Uint64 // checkpoints written by this engine
+
+	stopFlush chan struct{} // nil under SyncAlways
+	flushDone chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+
+	recoveryTime time.Duration
+	replayed     int
+}
+
+// finish completes a logged commit after its critical section released:
+// under SyncAlways it blocks until the record is fsynced (concurrent
+// waiters share cycles). seq 0 means nothing was logged (no WAL, or replay).
+func (w *walState) finish(seq uint64) error {
+	if w == nil || seq == 0 {
+		return nil
+	}
+	w.sinceCkpt.Add(1)
+	if w.policy.always {
+		if err := w.log.WaitDurable(seq); err != nil {
+			return fmt.Errorf("dyndbscan: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// append logs one committed op batch; the caller is inside the commit's
+// ordering critical section.
+func (w *walState) append(ops []wal.Op) (uint64, error) {
+	seq, err := w.log.Append(ops)
+	if err != nil {
+		return 0, fmt.Errorf("dyndbscan: wal append: %w", err)
+	}
+	return seq, nil
+}
+
+// logging reports whether commits should append records right now.
+func (e *Engine) logging() bool {
+	return e.wal != nil && !e.wal.recovering
+}
+
+// WAL append helpers for the single-backend update paths. Each returns
+// (0, nil) when no record should be written; a non-nil error aborts the
+// commit before any state change.
+
+// walAppendInsert validates and logs one insertion. Validation runs here —
+// before the append — because the record must only exist for ops that will
+// succeed: the built-in backends cannot fail a pre-validated insert.
+func (e *Engine) walAppendInsert(pt Point) (uint64, error) {
+	if !e.logging() {
+		return 0, nil
+	}
+	if err := core.CheckPoint(pt, e.cfg.Dims); err != nil {
+		return 0, err
+	}
+	return e.wal.append([]wal.Op{{Kind: wal.OpInsert, Coord: pt[:e.cfg.Dims]}})
+}
+
+// walAppendInsertBatch logs a staged (already validated) insert batch.
+func (e *Engine) walAppendInsertBatch(pts []Point) (uint64, error) {
+	if !e.logging() {
+		return 0, nil
+	}
+	ops := make([]wal.Op, len(pts))
+	for i, pt := range pts {
+		ops[i] = wal.Op{Kind: wal.OpInsert, Coord: pt[:e.cfg.Dims]}
+	}
+	return e.wal.append(ops)
+}
+
+// walAppendDelete logs one deletion iff it is certain to succeed; a doomed
+// delete (unsupported algorithm, unknown handle) writes nothing and lets the
+// backend report its usual error.
+func (e *Engine) walAppendDelete(id PointID) (uint64, error) {
+	if !e.logging() || e.algo == AlgoSemiDynamic || !e.c.Has(id) {
+		return 0, nil
+	}
+	return e.wal.append([]wal.Op{{Kind: wal.OpDelete, ID: int64(id)}})
+}
+
+// walAppendDeleteBatch logs a validated delete batch. On AlgoSemiDynamic the
+// batch is doomed (the backend rejects the first delete before any state
+// change) so nothing is logged.
+func (e *Engine) walAppendDeleteBatch(ids []PointID) (uint64, error) {
+	if !e.logging() || e.algo == AlgoSemiDynamic {
+		return 0, nil
+	}
+	ops := make([]wal.Op, len(ids))
+	for i, id := range ids {
+		ops[i] = wal.Op{Kind: wal.OpDelete, ID: int64(id)}
+	}
+	return e.wal.append(ops)
+}
+
+// walAppendOps logs a validated Apply batch (inserts staged, deletes
+// existence-checked, semi-dynamic deletes already rejected).
+func (e *Engine) walAppendOps(ops []Op) (uint64, error) {
+	if !e.logging() {
+		return 0, nil
+	}
+	wops := make([]wal.Op, len(ops))
+	for i, op := range ops {
+		if op.Kind == OpInsert {
+			wops[i] = wal.Op{Kind: wal.OpInsert, Coord: op.Pt[:e.cfg.Dims]}
+		} else {
+			wops[i] = wal.Op{Kind: wal.OpDelete, ID: int64(op.ID)}
+		}
+	}
+	return e.wal.append(wops)
+}
+
+// releaseLogged is release for commits that may have logged a record: it
+// ends the critical section, makes the record durable per the policy, then
+// publishes the events — records hit the log (and, under SyncAlways, the
+// disk) strictly before the commit's events or return value are observable.
+// The returned error reports a durability failure; the in-memory state has
+// already advanced when it is non-nil, and the log is poisoned, so every
+// later update will fail cleanly.
+func (e *Engine) releaseLogged(seq uint64, evs []Event) error {
+	if e.wal == nil || seq == 0 {
+		e.release(evs)
+		return nil
+	}
+	if !e.threadSafe {
+		e.unlock()
+		err := e.wal.finish(seq)
+		if len(evs) > 0 {
+			e.deliverSync(evs)
+		}
+		e.maybeCheckpoint()
+		return err
+	}
+	var ticket uint64
+	pub := len(evs) > 0
+	if pub {
+		ticket = e.pubTicket
+		e.pubTicket++
+	}
+	e.unlock()
+	err := e.wal.finish(seq)
+	if pub {
+		e.publishOrdered(ticket, evs)
+	}
+	e.maybeCheckpoint()
+	return err
+}
+
+// maybeCheckpoint runs an automatic checkpoint when the commit counter
+// passed the cadence; at most one runs at a time (CAS), on the committing
+// goroutine, holding no engine lock on entry. Failures are deliberately
+// dropped: a missed checkpoint only delays trimming, and the next commit
+// retries.
+func (e *Engine) maybeCheckpoint() {
+	w := e.wal
+	if w == nil || w.ckptEvery <= 0 || w.sinceCkpt.Load() < uint64(w.ckptEvery) {
+		return
+	}
+	if !w.ckpting.CompareAndSwap(false, true) {
+		return
+	}
+	defer w.ckpting.Store(false)
+	if w.sinceCkpt.Load() < uint64(w.ckptEvery) {
+		return
+	}
+	w.sinceCkpt.Store(0)
+	_ = e.Checkpoint()
+}
+
+// Checkpoint serializes the Engine's live state (points, id counters,
+// cluster-identity assignment, and — sharded — the stripe placement) as a
+// WAL checkpoint, letting the log trim every segment the snapshot covers.
+// Recovery then restores the checkpoint and replays only the records after
+// it. Safe to call concurrently with updates; a no-op before the first
+// logged commit. ErrNoWAL without WithWAL.
+func (e *Engine) Checkpoint() error {
+	w := e.wal
+	if w == nil {
+		return ErrNoWAL
+	}
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+	var (
+		seq     uint64
+		payload []byte
+	)
+	if e.sh != nil {
+		seq, payload = e.sh.checkpointPayload(w.log)
+	} else {
+		seq, payload = e.checkpointPayloadSingle()
+	}
+	if seq == 0 {
+		return nil
+	}
+	if err := w.log.WriteCheckpoint(seq, payload); err != nil {
+		return err
+	}
+	w.ckpts.Add(1)
+	return nil
+}
+
+// WALStats reports the durability subsystem's counters; Enabled is false
+// (and everything else zero) without WithWAL.
+type WALStats struct {
+	Enabled       bool
+	Policy        string        // "always" or "every <interval>"
+	LastSeq       uint64        // newest appended record
+	DurableSeq    uint64        // newest fsynced record
+	CheckpointSeq uint64        // newest checkpoint's coverage
+	Segments      int           // segment files on disk
+	Checkpoints   uint64        // checkpoints written by this engine
+	Replayed      int           // records replayed by Open
+	RecoveryTime  time.Duration // wall time Open spent restoring + replaying
+}
+
+// WALStats returns the current durability counters.
+func (e *Engine) WALStats() WALStats {
+	w := e.wal
+	if w == nil {
+		return WALStats{}
+	}
+	return WALStats{
+		Enabled:       true,
+		Policy:        w.policy.String(),
+		LastSeq:       w.log.LastSeq(),
+		DurableSeq:    w.log.DurableSeq(),
+		CheckpointSeq: w.log.CheckpointSeq(),
+		Segments:      w.log.SegmentCount(),
+		Checkpoints:   w.ckpts.Load(),
+		Replayed:      w.replayed,
+		RecoveryTime:  w.recoveryTime,
+	}
+}
+
+// newWALState builds the engine's durability attachment after checking the
+// backend provides the restore capabilities (all built-in algorithms do;
+// foreign Wrap backends may not).
+func (e *Engine) newWALState() (*walState, error) {
+	if e.sh == nil {
+		rb, okRB := e.c.(restorableBackend)
+		look, okLook := e.c.(core.PointLookup)
+		if !okRB || !okLook || e.ext == nil || e.staged == nil {
+			return nil, fmt.Errorf("dyndbscan: algorithm %v lacks the persistence capabilities", e.algo)
+		}
+		return &walState{rb: rb, look: look}, nil
+	}
+	return &walState{}, nil
+}
+
+// attachWAL wires a walState to a freshly constructed Engine. doRecover
+// selects the Open semantics: the log must exist, its checkpoint is
+// restored, and its records replay through Apply before the Engine escapes.
+func (e *Engine) attachWAL(s *engineSettings, dir string, doRecover bool) error {
+	w, err := e.newWALState()
+	if err != nil {
+		return err
+	}
+	e.wal = w
+	w.policy = s.walPolicy.normalize()
+	w.ckptEvery = defaultCheckpointEvery
+	if s.walCkptSet {
+		w.ckptEvery = s.walCkptEvery
+	}
+
+	start := time.Now()
+	if doRecover {
+		w.recovering = true
+		// The checkpoint payload must be restored before the records after it
+		// replay; a Reader surfaces it without opening the log for writing.
+		r, err := wal.OpenReader(dir)
+		if err != nil {
+			return err
+		}
+		payload := r.CheckpointPayload()
+		r.Close()
+		if payload != nil {
+			if err := e.restoreCheckpoint(payload); err != nil {
+				return err
+			}
+		}
+	}
+	log, err := wal.Open(dir, wal.Options{
+		SegmentBytes: s.walSegBytes,
+		Meta:         encodeEngineMeta(e, s),
+		MustCreate:   !doRecover,
+		MustExist:    doRecover,
+		OnRecord: func(seq uint64, wops []wal.Op) error {
+			if !doRecover {
+				return nil
+			}
+			if err := e.applyWALRecord(wops); err != nil {
+				return fmt.Errorf("dyndbscan: replaying record %d: %w", seq, err)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	w.log = log
+	w.replayed = log.Replayed()
+	w.recoveryTime = time.Since(start)
+	w.recovering = false
+	if !w.policy.always {
+		w.stopFlush = make(chan struct{})
+		w.flushDone = make(chan struct{})
+		go w.flusher()
+	}
+	return nil
+}
+
+// flusher is the group-commit fsync loop; errors stick inside the log and
+// surface on the next update.
+func (w *walState) flusher() {
+	defer close(w.flushDone)
+	t := time.NewTicker(w.policy.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopFlush:
+			return
+		case <-t.C:
+			_ = w.log.Sync()
+		}
+	}
+}
+
+// closeWAL seals and closes the log; idempotent, concurrency-safe. A clean
+// close first writes a final checkpoint (when checkpoints are enabled and
+// records accumulated past the last one), so reopening restores state
+// instead of replaying. That matters beyond speed: sharded cluster ids are
+// minted by the lazy stitch, whose timing follows the *query* history — which
+// is not (and should not be) in the log — so replay alone reproduces
+// memberships and handles exactly but may number clusters differently. The
+// checkpoint carries the live id assignment across the restart verbatim.
+func (w *walState) closeWAL(e *Engine) error {
+	if w == nil {
+		return nil
+	}
+	w.closeOnce.Do(func() {
+		var ckptErr error
+		if w.log != nil && !w.recovering && w.ckptEvery > 0 &&
+			w.log.LastSeq() > w.log.CheckpointSeq() {
+			ckptErr = e.Checkpoint()
+		}
+		if w.stopFlush != nil {
+			close(w.stopFlush)
+			<-w.flushDone
+		}
+		if w.log != nil { // a replica's walState never opened the log
+			w.closeErr = w.log.Close()
+		}
+		if w.closeErr == nil {
+			w.closeErr = ckptErr
+		}
+	})
+	return w.closeErr
+}
+
+// applyWALRecord replays one logged record: placement records re-run the
+// stripe migration they describe, everything else goes through the ordinary
+// Apply pipeline. Shared by recovery (Open) and replica tailing.
+func (e *Engine) applyWALRecord(wops []wal.Op) error {
+	if len(wops) == 1 && wops[0].Kind == wal.OpAssign {
+		return e.applyAssign(wops[0].ID, wops[0].To)
+	}
+	for i := range wops {
+		if wops[i].Kind == wal.OpAssign {
+			return fmt.Errorf("dyndbscan: wal: placement op inside a data record")
+		}
+	}
+	_, err := e.Apply(opsFromWAL(wops))
+	return err
+}
+
+// applyAssign replays one logged placement change: migrate the stripe to the
+// shard that owned it when the record was written. The engine's placement
+// state evolves through the same migrations in the same order as the writer,
+// so the stitch mints the same global cluster ids (see the append in
+// shardSet.rebalance).
+func (e *Engine) applyAssign(stripe, dst int64) error {
+	ss := e.sh
+	if ss == nil {
+		return fmt.Errorf("dyndbscan: wal: placement record in a single-backend log")
+	}
+	if dst < 0 || int(dst) >= len(ss.shards) {
+		return fmt.Errorf("dyndbscan: wal: placement record targets shard %d of %d", dst, len(ss.shards))
+	}
+	ss.worldMu.Lock()
+	ss.routesMu.Lock()
+	cur := ss.shardOfStripe(stripe)
+	ss.routesMu.Unlock()
+	var (
+		ticket uint64
+		evs    []Event
+		pub    bool
+	)
+	if cur != int32(dst) {
+		ticket, evs, pub = ss.migrateStripeLocked(stripe, int32(dst))
+	}
+	ss.worldMu.Unlock()
+	if pub {
+		e.publishOrdered(ticket, evs)
+	}
+	return nil
+}
+
+// opsFromWAL converts logged ops back to the public Apply vocabulary.
+func opsFromWAL(wops []wal.Op) []Op {
+	ops := make([]Op, len(wops))
+	for i, wop := range wops {
+		if wop.Kind == wal.OpInsert {
+			ops[i] = Op{Kind: OpInsert, Pt: Point(wop.Coord)}
+		} else {
+			ops[i] = Op{Kind: OpDelete, ID: PointID(wop.ID)}
+		}
+	}
+	return ops
+}
+
+// Open recovers an Engine from the write-ahead log in dir: the engine shape
+// (algorithm, parameters, shard topology) is restored from the log's meta
+// record, the newest checkpoint is loaded, and every record after it replays
+// through the ordinary Apply pipeline — so the recovered Engine serves the
+// same live handles and stable ClusterIDs as the one that wrote the log.
+// opts may carry runtime choices (WithWorkers, WithThreadSafety,
+// WithRebalance, WithWALSync, WithWALCheckpointEvery, WithWALSegmentBytes);
+// shape options conflict with the log and are rejected. The recovered Engine
+// keeps logging to the same directory.
+func Open(dir string, opts ...Option) (*Engine, error) {
+	e, s, err := engineFromLog(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.attachWAL(s, dir, true); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// engineFromLog constructs a bare engine whose shape (algorithm, parameters,
+// shard topology) comes from the log's meta record, applying only runtime
+// options on top — shared by Open and OpenReplica.
+func engineFromLog(dir string, opts []Option) (*Engine, *engineSettings, error) {
+	meta, err := wal.ReadMeta(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	mc, err := decodeEngineMeta(meta)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := newSettings()
+	s.opening = true
+	for _, opt := range opts {
+		opt(s)
+	}
+	def := newSettings()
+	if s.err == nil {
+		switch {
+		case s.walDir != "":
+			s.setErr(errors.New("dyndbscan: Open: WithWAL conflicts with Open's directory argument; use WithWALSync to tune the policy"))
+		case s.cfgExplicit || s.epsSet || s.minPtsSet ||
+			s.algo != def.algo || s.cfg.Dims != def.cfg.Dims || s.cfg.Rho != def.cfg.Rho ||
+			s.shards != def.shards || s.stripeCells != 0:
+			s.setErr(errors.New("dyndbscan: Open derives the algorithm, parameters, and shard topology from the log; pass only runtime options"))
+		}
+	}
+	s.algo = mc.algo
+	s.cfg = mc.cfg
+	s.epsSet, s.minPtsSet, s.cfgExplicit = true, true, false
+	s.shards = mc.shards
+	s.stripeCells = mc.stripeCells
+	if err := s.validate(); err != nil {
+		return nil, nil, err
+	}
+	var e *Engine
+	if s.shards > 1 {
+		e, err = newShardedEngine(s)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		c, err := newBackend(s.algo, s.cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		e = newEngine(c, s.algo, s.threadSafe, s.workers)
+	}
+	return e, s, nil
+}
+
+// Engine meta payload: the shape New/Open must agree on.
+
+const engineMetaVersion = 1
+
+func encodeEngineMeta(e *Engine, s *engineSettings) []byte {
+	b := []byte{engineMetaVersion, byte(e.algo)}
+	b = appendUvarint(b, uint64(e.cfg.Dims))
+	b = appendFloat(b, e.cfg.Eps)
+	b = appendUvarint(b, uint64(e.cfg.MinPts))
+	b = appendFloat(b, e.cfg.Rho)
+	b = appendUvarint(b, uint64(s.shards))
+	b = appendUvarint(b, uint64(s.stripeCells))
+	return b
+}
+
+type engineMeta struct {
+	algo        Algorithm
+	cfg         Config
+	shards      int
+	stripeCells int
+}
+
+func decodeEngineMeta(b []byte) (engineMeta, error) {
+	var mc engineMeta
+	d := &payloadDecoder{b: b}
+	if v := d.byte(); v != engineMetaVersion {
+		return mc, fmt.Errorf("dyndbscan: unsupported engine meta version %d", v)
+	}
+	mc.algo = Algorithm(d.byte())
+	mc.cfg.Dims = int(d.uvarint())
+	mc.cfg.Eps = d.float()
+	mc.cfg.MinPts = int(d.uvarint())
+	mc.cfg.Rho = d.float()
+	mc.shards = int(d.uvarint())
+	mc.stripeCells = int(d.uvarint())
+	if d.err != nil {
+		return mc, fmt.Errorf("dyndbscan: corrupt engine meta: %w", d.err)
+	}
+	switch mc.algo {
+	case AlgoFullyDynamic, AlgoSemiDynamic, AlgoIncDBSCAN, AlgoIncDBSCANRTree:
+	default:
+		return mc, fmt.Errorf("dyndbscan: engine meta names unknown algorithm %d", mc.algo)
+	}
+	return mc, nil
+}
+
+// gidRemap translates backend cluster ids to the global ids clients saw
+// before a restart. Built once during single-backend checkpoint restore and
+// read-only afterwards, so the lock-free snapshot path can apply it from any
+// goroutine. Backend ids minted after the restore (≥ loBack) map linearly
+// into a fresh range above every restored id; ids from the rebuild map
+// through m to the stored identity they matched.
+type gidRemap struct {
+	m        map[ClusterID]ClusterID
+	loBack   ClusterID
+	loGlobal ClusterID
+}
+
+func (r *gidRemap) one(c ClusterID) ClusterID {
+	if c >= r.loBack {
+		return c - r.loBack + r.loGlobal
+	}
+	if g, ok := r.m[c]; ok {
+		return g
+	}
+	// Unreachable: every backend cluster live at restore time is in m, and
+	// dead ones are never referenced again (no subscribers exist during
+	// restore to have observed them).
+	return c
+}
+
+// mapCIDs translates a backend ClusterOf answer through the restore remap;
+// the identity when no restore happened.
+func (e *Engine) mapCIDs(cids []ClusterID) []ClusterID {
+	r := e.remap
+	if r == nil || len(cids) == 0 {
+		return cids
+	}
+	out := make([]ClusterID, len(cids))
+	for i, c := range cids {
+		out[i] = r.one(c)
+	}
+	if len(out) > 1 {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out
+}
+
+// mapEvent translates the cluster identities an event carries. Point fields
+// are handles, never remapped; Cluster is only meaningful on cluster events.
+func (e *Engine) mapEvent(ev Event) Event {
+	r := e.remap
+	if r == nil {
+		return ev
+	}
+	switch ev.Kind {
+	case EventClusterFormed, EventClusterMerged, EventClusterSplit, EventClusterDissolved:
+		ev.Cluster = r.one(ev.Cluster)
+		if ev.Kind == EventClusterMerged {
+			ev.Absorbed = r.one(ev.Absorbed)
+		}
+		if len(ev.Fragments) > 0 {
+			frags := make([]ClusterID, len(ev.Fragments))
+			for i, f := range ev.Fragments {
+				frags[i] = r.one(f)
+			}
+			ev.Fragments = frags
+		}
+	}
+	return ev
+}

@@ -1,0 +1,489 @@
+package dyndbscan
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"dyndbscan/internal/wal"
+)
+
+// Durability tests: WAL replay, checkpoint restore, Open validation, and the
+// Close contract. The crash (kill -9) path has its own harness in
+// crash_test.go; here the shutdowns are clean.
+
+// scriptStep is one abstract update of a deterministic workload: a batch of
+// insertions plus a batch of deletions referencing earlier insertions by
+// ordinal, so the same script drives any engine and the minted handles can be
+// compared across engines.
+type scriptStep struct {
+	inserts []Point
+	deletes []int // ordinals into the stream of successful insertions
+}
+
+// genScript builds a randomized clustered workload: n steps of mixed batches
+// over a few Gaussian blobs, deletes drawn from the still-live insertions.
+func genScript(rng *rand.Rand, steps int, withDeletes bool) []scriptStep {
+	centers := [][2]float64{{0, 0}, {60, 10}, {-40, 50}}
+	var script []scriptStep
+	inserted := 0
+	live := []int{}
+	for s := 0; s < steps; s++ {
+		var st scriptStep
+		// Deletes first, drawn from insertions of earlier steps only: Apply
+		// cannot delete a point inserted in the same batch.
+		if withDeletes && len(live) > 4 && rng.Intn(2) == 0 {
+			nDel := 1 + rng.Intn(3)
+			for i := 0; i < nDel && len(live) > 0; i++ {
+				k := rng.Intn(len(live))
+				st.deletes = append(st.deletes, live[k])
+				live = append(live[:k], live[k+1:]...)
+			}
+		}
+		nIns := 1 + rng.Intn(8)
+		for i := 0; i < nIns; i++ {
+			c := centers[rng.Intn(len(centers))]
+			st.inserts = append(st.inserts, Point{
+				c[0] + rng.NormFloat64()*4,
+				c[1] + rng.NormFloat64()*4,
+			})
+			live = append(live, inserted)
+			inserted++
+		}
+		script = append(script, st)
+	}
+	return script
+}
+
+// playScript drives an engine through the script via Apply, resolving the
+// delete ordinals through the handles the engine actually minted. Returns
+// every minted handle in insertion order.
+func playScript(t *testing.T, e *Engine, script []scriptStep) []PointID {
+	t.Helper()
+	var minted []PointID
+	for si, st := range script {
+		var ops []Op
+		for _, pt := range st.inserts {
+			ops = append(ops, InsertOp(pt))
+		}
+		for _, ord := range st.deletes {
+			ops = append(ops, DeleteOp(minted[ord]))
+		}
+		out, err := e.Apply(ops)
+		if err != nil {
+			t.Fatalf("step %d: Apply: %v", si, err)
+		}
+		minted = append(minted, out[:len(st.inserts)]...)
+	}
+	return minted
+}
+
+// requireSameClustering asserts two snapshots agree on everything except the
+// engine epoch (Version legitimately diverges across recovery).
+func requireSameClustering(t *testing.T, want, got *Snapshot, what string) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Clusters, got.Clusters) {
+		t.Fatalf("%s: cluster maps diverge:\nwant %v\n got %v", what, want.Clusters, got.Clusters)
+	}
+	if !reflect.DeepEqual(want.Noise, got.Noise) {
+		t.Fatalf("%s: noise diverges:\nwant %v\n got %v", what, want.Noise, got.Noise)
+	}
+}
+
+var walAlgos = []struct {
+	name string
+	algo Algorithm
+	dels bool
+}{
+	{"FullyDynamic", AlgoFullyDynamic, true},
+	{"SemiDynamic", AlgoSemiDynamic, false},
+	{"IncDBSCAN", AlgoIncDBSCAN, true},
+	{"IncDBSCANRTree", AlgoIncDBSCANRTree, true},
+}
+
+// TestWALReplayRestoresState: a clean Close and Open must reproduce the
+// exact clustering — same handles, same stable ClusterIDs — for every
+// algorithm, single-backend and sharded, with no checkpoint involved (pure
+// replay).
+func TestWALReplayRestoresState(t *testing.T) {
+	for _, tc := range walAlgos {
+		for _, shards := range []int{1, 3} {
+			tc, shards := tc, shards
+			name := tc.name + "/single"
+			if shards > 1 {
+				name = tc.name + "/sharded"
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				dir := t.TempDir()
+				opts := []Option{
+					WithAlgorithm(tc.algo), WithEps(6), WithMinPts(3),
+					WithWAL(dir, SyncEvery(time.Millisecond)),
+					WithWALCheckpointEvery(0), // force full replay
+				}
+				if shards > 1 {
+					opts = append(opts, WithShards(shards), WithShardStripe(4))
+				}
+				e, err := New(opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				script := genScript(rand.New(rand.NewSource(7)), 40, tc.dels)
+				minted := playScript(t, e, script)
+				want := e.Snapshot()
+				if err := e.Close(); err != nil {
+					t.Fatalf("Close: %v", err)
+				}
+
+				re, err := Open(dir)
+				if err != nil {
+					t.Fatalf("Open: %v", err)
+				}
+				defer re.Close()
+				if re.Algorithm() != tc.algo || re.Shards() != shards {
+					t.Fatalf("recovered shape %v/%d, want %v/%d", re.Algorithm(), re.Shards(), tc.algo, shards)
+				}
+				requireSameClustering(t, want, re.Snapshot(), "after replay")
+				st := re.WALStats()
+				if !st.Enabled || st.Replayed == 0 {
+					t.Fatalf("stats after recovery: %+v", st)
+				}
+
+				// The recovered engine stays live: fresh handles continue the
+				// original sequence (no collision with any pre-crash handle).
+				id, err := re.Insert(Point{1000, 1000})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, old := range minted {
+					if id == old {
+						t.Fatalf("recovered engine re-minted handle %d", id)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointRestore: with aggressive checkpointing and Rho = 0 (so the
+// rebuild is exact), restart must reproduce the clustering while replaying
+// only the records after the newest checkpoint.
+func TestCheckpointRestore(t *testing.T) {
+	for _, tc := range walAlgos {
+		for _, shards := range []int{1, 3} {
+			tc, shards := tc, shards
+			name := tc.name + "/single"
+			if shards > 1 {
+				name = tc.name + "/sharded"
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				dir := t.TempDir()
+				opts := []Option{
+					WithAlgorithm(tc.algo), WithEps(6), WithMinPts(3), WithRho(0),
+					WithWAL(dir, SyncEvery(time.Millisecond)),
+					WithWALCheckpointEvery(5),
+				}
+				if shards > 1 {
+					opts = append(opts, WithShards(shards), WithShardStripe(4))
+				}
+				e, err := New(opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				script := genScript(rand.New(rand.NewSource(11)), 60, tc.dels)
+				playScript(t, e, script)
+				want := e.Snapshot()
+				st := e.WALStats()
+				if st.Checkpoints == 0 || st.CheckpointSeq == 0 {
+					t.Fatalf("no checkpoint was written: %+v", st)
+				}
+				if err := e.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				re, err := Open(dir)
+				if err != nil {
+					t.Fatalf("Open: %v", err)
+				}
+				defer re.Close()
+				requireSameClustering(t, want, re.Snapshot(), "after checkpointed recovery")
+				rst := re.WALStats()
+				if rst.Replayed >= 60 {
+					t.Fatalf("checkpoint did not bound replay: replayed %d records", rst.Replayed)
+				}
+
+				// Updates after recovery keep working and keep the grafted
+				// identities consistent between live reads and snapshots.
+				id, err := re.Insert(Point{0, 0.5})
+				if err != nil {
+					t.Fatal(err)
+				}
+				liveCIDs, ok := re.ClusterOf(id)
+				if !ok {
+					t.Fatal("fresh insert not live")
+				}
+				snapCIDs, _ := re.Snapshot().ClusterOf(id)
+				if !reflect.DeepEqual(liveCIDs, snapCIDs) {
+					t.Fatalf("live/snapshot cluster ids diverge after restore: %v vs %v", liveCIDs, snapCIDs)
+				}
+			})
+		}
+	}
+}
+
+// TestExplicitCheckpointTrimsLog: Checkpoint lets the log drop the segments
+// behind it, and recovery from a checkpoint alone (no tail records) works.
+func TestExplicitCheckpointTrimsLog(t *testing.T) {
+	dir := t.TempDir()
+	e, err := New(WithEps(6), WithMinPts(3), WithRho(0),
+		WithWAL(dir, SyncAlways()),
+		WithWALSegmentBytes(256), // rotate eagerly so there are segments to trim
+		WithWALCheckpointEvery(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	playScript(t, e, genScript(rand.New(rand.NewSource(3)), 30, true))
+	before := e.WALStats()
+	if before.Segments < 2 {
+		t.Fatalf("expected several segments before the checkpoint, got %d", before.Segments)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	after := e.WALStats()
+	if after.CheckpointSeq != after.LastSeq {
+		t.Fatalf("checkpoint seq %d != last seq %d", after.CheckpointSeq, after.LastSeq)
+	}
+	if after.Segments >= before.Segments {
+		t.Fatalf("checkpoint trimmed nothing: %d -> %d segments", before.Segments, after.Segments)
+	}
+	want := e.Snapshot()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.WALStats().Replayed != 0 {
+		t.Fatalf("nothing should replay past a tail checkpoint, replayed %d", re.WALStats().Replayed)
+	}
+	requireSameClustering(t, want, re.Snapshot(), "checkpoint-only recovery")
+}
+
+// TestCheckpointNoWAL: Checkpoint without WithWAL reports ErrNoWAL, and
+// WALStats is zero.
+func TestCheckpointNoWAL(t *testing.T) {
+	e, err := New(WithEps(6), WithMinPts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Checkpoint(); !errors.Is(err, ErrNoWAL) {
+		t.Fatalf("Checkpoint without WAL: %v", err)
+	}
+	if st := e.WALStats(); st.Enabled {
+		t.Fatalf("WALStats without WAL: %+v", st)
+	}
+}
+
+// TestOpenValidation: the Open/New option surface rejects misuse with
+// specific errors.
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(t.TempDir()); !errors.Is(err, wal.ErrNoLog) {
+		t.Fatalf("Open of an empty dir: %v", err)
+	}
+	if _, err := New(WithEps(6), WithMinPts(3), WithWALCheckpointEvery(2)); err == nil {
+		t.Fatal("WAL tuning without WithWAL must fail New")
+	}
+	if _, err := New(WithEps(6), WithMinPts(3), WithWAL("", SyncAlways())); err == nil {
+		t.Fatal("empty WAL dir must fail New")
+	}
+
+	dir := t.TempDir()
+	e, err := New(WithEps(6), WithMinPts(3), WithWAL(dir, SyncAlways()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Insert(Point{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Constructing over an existing log is refused (recover with Open).
+	if _, err := New(WithEps(6), WithMinPts(3), WithWAL(dir, SyncAlways())); !errors.Is(err, wal.ErrExists) {
+		t.Fatalf("New over an existing log: %v", err)
+	}
+	// Shape options conflict with the log's meta record.
+	if _, err := Open(dir, WithEps(9)); err == nil {
+		t.Fatal("Open with a shape option must fail")
+	}
+	if _, err := Open(dir, WithShards(4)); err == nil {
+		t.Fatal("Open with a topology option must fail")
+	}
+	if _, err := Open(dir, WithWAL(t.TempDir(), SyncAlways())); err == nil {
+		t.Fatal("Open combined with WithWAL must fail")
+	}
+	// Runtime options are fine.
+	re, err := Open(dir, WithWorkers(2), WithWALSync(SyncAlways()), WithWALCheckpointEvery(100))
+	if err != nil {
+		t.Fatalf("Open with runtime options: %v", err)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("recovered %d points, want 1", re.Len())
+	}
+	re.Close()
+}
+
+// TestCloseDurability: Close flushes the group-commit tail (an interval so
+// long the flusher never runs), is idempotent, and fails later updates.
+func TestCloseDurability(t *testing.T) {
+	dir := t.TempDir()
+	e, err := New(WithEps(6), WithMinPts(3), WithWAL(dir, SyncEvery(time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := e.Insert(Point{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := e.Insert(Point{3, 4}); !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("insert after Close: %v", err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !re.Has(id) {
+		t.Fatal("the tail insert was lost despite a clean Close")
+	}
+}
+
+// TestSyncPolicies: SyncAlways makes every commit durable before returning;
+// the group-commit flusher catches up on its own.
+func TestSyncPolicies(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		e, err := New(WithEps(6), WithMinPts(3), WithWAL(t.TempDir(), SyncAlways()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		for i := 0; i < 10; i++ {
+			if _, err := e.Insert(Point{float64(i), 0}); err != nil {
+				t.Fatal(err)
+			}
+			if st := e.WALStats(); st.DurableSeq != st.LastSeq {
+				t.Fatalf("SyncAlways left seq %d durable at %d", st.LastSeq, st.DurableSeq)
+			}
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		e, err := New(WithEps(6), WithMinPts(3), WithWAL(t.TempDir(), SyncEvery(time.Millisecond)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		for i := 0; i < 10; i++ {
+			if _, err := e.Insert(Point{float64(i), 0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			st := e.WALStats()
+			if st.DurableSeq == st.LastSeq {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("flusher never caught up: %+v", st)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+}
+
+// TestWALEngineMatchesPlainEngine: logging must not change behavior — the
+// same script on a WAL engine and a plain engine yields identical handles
+// and clusterings.
+func TestWALEngineMatchesPlainEngine(t *testing.T) {
+	script := genScript(rand.New(rand.NewSource(19)), 50, true)
+	plain, err := New(WithEps(6), WithMinPts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	logged, err := New(WithEps(6), WithMinPts(3), WithWAL(t.TempDir(), SyncAlways()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logged.Close()
+	mp := playScript(t, plain, script)
+	ml := playScript(t, logged, script)
+	if !reflect.DeepEqual(mp, ml) {
+		t.Fatal("logged engine minted different handles")
+	}
+	requireSameClustering(t, plain.Snapshot(), logged.Snapshot(), "wal-on vs wal-off")
+}
+
+// TestRecoveredEventsUseGraftedIDs: events emitted after a checkpointed
+// recovery must carry the grafted global ids, not raw backend ids — a
+// subscriber watching across the restart keeps a consistent id space with
+// the snapshots it takes.
+func TestRecoveredEventsUseGraftedIDs(t *testing.T) {
+	dir := t.TempDir()
+	e, err := New(WithEps(6), WithMinPts(3), WithRho(0),
+		WithWAL(dir, SyncAlways()), WithWALCheckpointEvery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One tight cluster, checkpointed.
+	for i := 0; i < 5; i++ {
+		if _, err := e.Insert(Point{float64(i) * 0.1, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	var formed []ClusterID
+	cancel := re.Subscribe(func(ev Event) {
+		if ev.Kind == EventClusterFormed {
+			formed = append(formed, ev.Cluster)
+		}
+	})
+	defer cancel()
+	// A second cluster far away: its Formed event must mint above every
+	// grafted id and agree with what the snapshot reports.
+	for i := 0; i < 5; i++ {
+		if _, err := re.Insert(Point{500 + float64(i)*0.1, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re.Sync()
+	if len(formed) == 0 {
+		t.Fatal("no cluster-formed event after recovery")
+	}
+	snap := re.Snapshot()
+	for _, cid := range formed {
+		if _, ok := snap.Clusters[cid]; !ok {
+			t.Fatalf("event cluster id %d unknown to the snapshot (ids %v)", cid, snap.Clusters)
+		}
+	}
+}

@@ -54,6 +54,7 @@ import (
 	"dyndbscan/internal/core"
 	"dyndbscan/internal/geom"
 	"dyndbscan/internal/grid"
+	"dyndbscan/internal/wal"
 )
 
 // RebalancePolicy tunes when and how aggressively a sharded Engine migrates
@@ -373,6 +374,12 @@ func (e *Engine) Rebalance() (moved int, err error) {
 // is called by commitBatch after publishing, with no lock held. A CAS flag
 // collapses concurrent committers into one pass.
 func (ss *shardSet) maybeAutoRebalance() {
+	if w := ss.e.wal; w != nil && w.recovering {
+		// Replaying (or a replica): placement changes come from the log's
+		// assign records only — a spontaneous migration here would evolve
+		// placement differently than the engine that wrote the log.
+		return
+	}
 	ss.routesMu.Lock()
 	due := ss.commitSeq >= ss.nextAutoCheck
 	if due {
@@ -386,6 +393,16 @@ func (ss *shardSet) maybeAutoRebalance() {
 	ss.rebalance(ss.policy)
 }
 
+// walAppendAssign logs a placement change before it happens; see rebalance.
+// Returns seq 0 when the engine is not logging.
+func (ss *shardSet) walAppendAssign(stripe int64, dst int32) (uint64, error) {
+	e := ss.e
+	if !e.logging() {
+		return 0, nil
+	}
+	return e.wal.append([]wal.Op{{Kind: wal.OpAssign, ID: stripe, To: int64(dst)}})
+}
+
 // rebalance runs one migration pass: pick, migrate, repeat until balanced or
 // MaxMoves. Events from migrations (possible only under Rho > 0) publish
 // after the world lock is released, in ticket order.
@@ -396,11 +413,25 @@ func (ss *shardSet) rebalance(pol RebalancePolicy) int {
 	}
 	var pubs []pubRec
 	moved := 0
+	var walSeq uint64
 	ss.worldMu.Lock()
 	for moved < pol.MaxMoves {
 		t, dst, ok := ss.pickMigrationLocked(pol)
 		if !ok {
 			break
+		}
+		// Placement changes are logged like commits: the record goes in
+		// before the migration runs (a failed append must not leave an
+		// unlogged migration behind, or replay would evolve placement — and
+		// with it the stitch's cluster-id minting — differently than this
+		// engine did). worldMu is held exclusively, so the record's position
+		// in the log agrees with the migration's position between commits.
+		seq, err := ss.walAppendAssign(t, dst)
+		if err != nil {
+			break // log closing or poisoned: stop migrating, keep what moved
+		}
+		if seq != 0 {
+			walSeq = seq
 		}
 		ticket, evs, pub := ss.migrateStripeLocked(t, dst)
 		if pub {
@@ -409,6 +440,11 @@ func (ss *shardSet) rebalance(pol RebalancePolicy) int {
 		moved++
 	}
 	ss.worldMu.Unlock()
+	if walSeq != 0 {
+		// Durability barrier before the migrations' events become visible,
+		// mirroring the commit path. Waiting on the last seq covers them all.
+		ss.e.wal.finish(walSeq)
+	}
 	for _, p := range pubs {
 		// After the unlock, mirroring commitBatch: a publisher parked on a
 		// full BlockSubscriber queue must hold no engine lock.

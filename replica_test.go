@@ -1,0 +1,241 @@
+package dyndbscan
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// waitReplicaAt blocks until the replica has applied through seq (or fails
+// the test after a deadline).
+func waitReplicaAt(t *testing.T, r *Replica, seq uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for r.AppliedSeq() < seq {
+		if err := r.Err(); err != nil {
+			t.Fatalf("replica failed at seq %d/%d: %v", r.AppliedSeq(), seq, err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck at seq %d, want %d", r.AppliedSeq(), seq)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitDurable blocks until the primary's group-commit buffer is flushed, so
+// everything committed is visible to log readers.
+func waitDurable(t *testing.T, e *Engine) uint64 {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := e.WALStats()
+		if st.DurableSeq == st.LastSeq {
+			return st.LastSeq
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("primary never flushed: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestReplicaFollowsPrimary: a replica tailing a live primary converges to
+// the identical clustering — same handles, same stable ClusterIDs — in
+// single-backend and sharded mode.
+func TestReplicaFollowsPrimary(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		shards := shards
+		name := "single"
+		if shards > 1 {
+			name = "sharded"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			opts := []Option{
+				WithEps(6), WithMinPts(3),
+				WithWAL(dir, SyncEvery(time.Millisecond)),
+			}
+			if shards > 1 {
+				opts = append(opts, WithShards(shards), WithShardStripe(4))
+			}
+			p, err := New(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+
+			script := genScript(rand.New(rand.NewSource(23)), 30, true)
+			minted := playScript(t, p, script[:10])
+			waitDurable(t, p)
+
+			// The replica opens mid-stream and first catches up on history.
+			r, err := OpenReplica(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+
+			// The primary keeps committing while the replica tails; the
+			// script's delete ordinals index the full insertion stream, so
+			// continue it with the handles minted so far.
+			for si, st := range script[10:] {
+				var ops []Op
+				for _, pt := range st.inserts {
+					ops = append(ops, InsertOp(pt))
+				}
+				for _, ord := range st.deletes {
+					ops = append(ops, DeleteOp(minted[ord]))
+				}
+				out, err := p.Apply(ops)
+				if err != nil {
+					t.Fatalf("step %d: %v", 10+si, err)
+				}
+				minted = append(minted, out[:len(st.inserts)]...)
+			}
+
+			head := waitDurable(t, p)
+			waitReplicaAt(t, r, head)
+			requireSameClustering(t, p.Snapshot(), r.Snapshot(), "replica vs primary (history)")
+
+			// Live updates while the replica tails.
+			for i := 0; i < 50; i++ {
+				if _, err := p.Insert(Point{float64(i % 7), float64(i % 5)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			head = waitDurable(t, p)
+			waitReplicaAt(t, r, head)
+			requireSameClustering(t, p.Snapshot(), r.Snapshot(), "replica vs primary (live)")
+			lag, err := r.Lag()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lag != 0 {
+				t.Fatalf("caught-up replica reports lag %d", lag)
+			}
+			if r.Len() != p.Len() {
+				t.Fatalf("replica holds %d points, primary %d", r.Len(), p.Len())
+			}
+		})
+	}
+}
+
+// TestReplicaStaysFreshUnderSustainedStream: while the primary commits
+// continuously, a tailing replica's lag stays bounded — it repeatedly
+// returns to (near) zero rather than drifting — and it converges exactly
+// once the stream stops.
+func TestReplicaStaysFreshUnderSustainedStream(t *testing.T) {
+	dir := t.TempDir()
+	p, err := New(WithEps(6), WithMinPts(3), WithWAL(dir, SyncEvery(time.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Insert(Point{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	waitDurable(t, p)
+	r, err := OpenReplica(dir, WithReplicaPoll(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	caughtUp := 0
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 400; i++ {
+		if _, err := p.Insert(Point{rng.NormFloat64() * 10, rng.NormFloat64() * 10}); err != nil {
+			t.Fatal(err)
+		}
+		if r.AppliedSeq() == p.WALStats().DurableSeq {
+			caughtUp++
+		}
+	}
+	head := waitDurable(t, p)
+	waitReplicaAt(t, r, head)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	requireSameClustering(t, p.Snapshot(), r.Snapshot(), "after sustained stream")
+	t.Logf("replica was fully caught up at %d/400 sample points", caughtUp)
+}
+
+// TestReplicaSurvivesCheckpointTrim: when the primary checkpoints past the
+// replica's position and the log trims the segments it still needed, the
+// replica rebuilds from the fresh checkpoint and converges.
+func TestReplicaSurvivesCheckpointTrim(t *testing.T) {
+	dir := t.TempDir()
+	p, err := New(WithEps(6), WithMinPts(3), WithRho(0),
+		WithWAL(dir, SyncAlways()),
+		WithWALSegmentBytes(256),  // rotate eagerly: trims have segments to drop
+		WithWALCheckpointEvery(0)) // manual checkpoints only
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Insert(Point{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// A slow-polling replica that will fall behind while we write.
+	r, err := OpenReplica(dir, WithReplicaPoll(200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Write enough to rotate several segments, then checkpoint: everything
+	// behind the checkpoint is trimmed while the replica still sleeps.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 60; i++ {
+		if _, err := p.Insert(Point{rng.NormFloat64() * 5, rng.NormFloat64() * 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ { // a short tail beyond the checkpoint
+		if _, err := p.Insert(Point{100 + rng.NormFloat64(), 100 + rng.NormFloat64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	head := p.WALStats().LastSeq
+	waitReplicaAt(t, r, head)
+	if err := r.Err(); err != nil {
+		t.Fatalf("replica did not survive the trim: %v", err)
+	}
+	requireSameClustering(t, p.Snapshot(), r.Snapshot(), "after checkpoint trim")
+}
+
+// TestReplicaLifecycle: Close is idempotent, reads keep serving the last
+// state, and Lag reports closure.
+func TestReplicaLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	p, err := New(WithEps(6), WithMinPts(3), WithWAL(dir, SyncAlways()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	id, err := p.Insert(Point{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReplica(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReplicaAt(t, r, p.WALStats().LastSeq)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has(id) {
+		t.Fatal("closed replica stopped serving its last state")
+	}
+	if _, err := r.Lag(); err == nil {
+		t.Fatal("Lag after Close must error")
+	}
+}

@@ -68,6 +68,7 @@ import (
 	"dyndbscan/internal/grid"
 	"dyndbscan/internal/pipeline"
 	"dyndbscan/internal/unionfind"
+	"dyndbscan/internal/wal"
 )
 
 // defaultStripeCells is the stripe width (grid cells along dimension 0) when
@@ -300,9 +301,10 @@ func (ss *shardSet) stage(pts []Point, what string, idx []int) ([]core.StagedPoi
 // shOp is one routed operation of a sharded commit: an insertion carrying
 // its staged point, or a deletion carrying the global target handle.
 type shOp struct {
-	insert bool
-	sp     core.StagedPoint
-	gid    PointID // delete: target; insert: assigned during commit
+	insert   bool
+	forceGID bool // insert: gid is pre-assigned (checkpoint restore), skip minting
+	sp       core.StagedPoint
+	gid      PointID // delete: target; insert: assigned during commit
 }
 
 // shardItem is one op's application on one particular shard.
@@ -334,6 +336,7 @@ func (ss *shardSet) commitBatch(ops []shOp, errUnknown func(i int, id PointID) e
 		perShard map[int32][]shardItem
 		evsOn    bool
 		unlock   func()
+		walSeq   uint64
 	)
 route:
 	for {
@@ -438,8 +441,23 @@ route:
 				}
 			}
 		}
+		// WAL append happens here — inside the same routesMu section that
+		// mints the handles, while the shard locks are held — so the log's
+		// record order agrees with both the mint order and every involved
+		// shard's apply order (see persist.go). It must precede the minting:
+		// a failed append aborts the commit, and aborted commits must not
+		// advance nextID or replay would mint different handles.
+		if e.logging() {
+			seq, werr := e.wal.append(walOpsFromShOps(ops, ss.cfg.Dims))
+			if werr != nil {
+				ss.routesMu.Unlock()
+				unlock()
+				return nil, werr
+			}
+			walSeq = seq
+		}
 		for i := range ops {
-			if ops[i].insert {
+			if ops[i].insert && !ops[i].forceGID {
 				ops[i].gid = ss.nextID
 				ss.nextID++
 			}
@@ -571,6 +589,10 @@ route:
 		e.version.Add(1)
 	}
 	unlock()
+	// Durability barrier before publication: under SyncAlways the commit
+	// waits for its record's fsync here, so no event (and no return) ever
+	// describes a state change the log could still lose.
+	werr := e.wal.finish(walSeq)
 	if pub {
 		// The enqueue runs after the unlock, mirroring Engine.release: a
 		// publisher parked on a full BlockSubscriber queue holds no engine
@@ -584,7 +606,23 @@ route:
 		// lock pinned by this commit.
 		ss.maybeAutoRebalance()
 	}
-	return out, nil
+	e.maybeCheckpoint()
+	return out, werr
+}
+
+// walOpsFromShOps converts a routed batch to its log record. Insert coords
+// come from the staged clone (dims-length, validated); the log serializes
+// them during Append, so handing out the slice is safe.
+func walOpsFromShOps(ops []shOp, dims int) []wal.Op {
+	wops := make([]wal.Op, len(ops))
+	for i := range ops {
+		if ops[i].insert {
+			wops[i] = wal.Op{Kind: wal.OpInsert, Coord: ops[i].sp.Point()[:dims]}
+		} else {
+			wops[i] = wal.Op{Kind: wal.OpDelete, ID: int64(ops[i].gid)}
+		}
+	}
+	return wops
 }
 
 // takeTicket assigns the next publication ticket; see Engine.release for the
