@@ -134,6 +134,10 @@ type ckptData struct {
 	// Sharded placement.
 	stripeCells int64
 	assign      map[int64]int32
+	// splits maps each split stripe to its part count; the sub-stripe owners
+	// recompute deterministically from the restored assignment (the base
+	// shard never migrates after a split), exactly as WAL replay does.
+	splits map[int64]int64
 }
 
 // encodeCheckpointCommon writes the shape-independent sections: counters,
@@ -232,6 +236,20 @@ func decodeCheckpoint(b []byte) (*ckptData, error) {
 		if ck.stripeCells <= 0 {
 			return nil, errCorruptCkpt
 		}
+		// Splits section; absent in payloads written before stripe splitting
+		// existed, so only decoded when bytes remain.
+		if d.err == nil && len(d.b) != 0 {
+			nsp := d.count()
+			ck.splits = make(map[int64]int64, nsp)
+			for i := 0; i < nsp && d.err == nil; i++ {
+				st := d.varint()
+				parts := d.uvarint()
+				if parts < 2 || int64(parts) > ck.stripeCells {
+					return nil, errCorruptCkpt
+				}
+				ck.splits[st] = int64(parts)
+			}
+		}
 	}
 	if d.err != nil {
 		return nil, fmt.Errorf("%w: %v", errCorruptCkpt, d.err)
@@ -314,6 +332,10 @@ func (ss *shardSet) checkpointPayload(log *wal.Log) (uint64, []byte) {
 	for st, sh := range ss.assign {
 		assign[st] = sh
 	}
+	splits := make(map[int64]int64, len(ss.splits))
+	for st, sp := range ss.splits {
+		splits[st] = sp.parts
+	}
 	ss.routesMu.Unlock()
 
 	b := []byte{ckptVersion, ckptSharded}
@@ -329,6 +351,16 @@ func (ss *shardSet) checkpointPayload(log *wal.Log) (uint64, []byte) {
 	for _, st := range stripes {
 		b = appendVarint(b, st)
 		b = appendUvarint(b, uint64(assign[st]))
+	}
+	split := make([]int64, 0, len(splits))
+	for st := range splits {
+		split = append(split, st)
+	}
+	sort.Slice(split, func(i, j int) bool { return split[i] < split[j] })
+	b = appendUvarint(b, uint64(len(split)))
+	for _, st := range split {
+		b = appendVarint(b, st)
+		b = appendUvarint(b, uint64(splits[st]))
 	}
 	return seq, b
 }
@@ -406,6 +438,22 @@ func (ss *shardSet) restore(ck *ckptData) error {
 			return fmt.Errorf("%w: stripe assigned to shard %d of %d", errCorruptCkpt, sh, len(ss.shards))
 		}
 		ss.assign[st] = sh
+	}
+	// Splits install directly (the world is still empty, so the reshape that
+	// splitStripeLocked would run has nothing to move); owners recompute from
+	// the restored assignment with the same formula the writer used.
+	n := int64(len(ss.shards))
+	for st, parts := range ck.splits {
+		if parts > ss.stripeCells {
+			ss.routesMu.Unlock()
+			return fmt.Errorf("%w: stripe split into %d parts of %d cells", errCorruptCkpt, parts, ss.stripeCells)
+		}
+		base := ss.shardOfStripe(st)
+		owners := make([]int32, parts)
+		for k := range owners {
+			owners[k] = int32(floorMod(int64(base)+int64(k), n))
+		}
+		ss.splits[st] = &stripeSplit{parts: parts, owners: owners}
 	}
 	ss.routesMu.Unlock()
 

@@ -1,0 +1,351 @@
+package main
+
+// The "hotspot" figure is not from the paper: it measures the
+// contention-adaptive hot-stripe commit path. A Zipf-skewed insert-heavy
+// stream (most batches land on a handful of hot stripes) is replayed by
+// concurrent workers through a rebalance-only engine and through the same
+// engine with WithHotspot, so the table shows what split-phase staging buys
+// in throughput and commit-latency tails when traffic refuses to spread. A
+// second table pins one oversized stripe and migrates it off its shard while
+// writers keep committing, comparing the quiesced migration (one exclusive
+// world lock for the whole move) against the chunked tier (many short
+// holds) by the latency the writers observed.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dyndbscan"
+	"dyndbscan/internal/grid"
+	"dyndbscan/internal/harness"
+)
+
+const (
+	hotBatch    = 1 // ops per Apply: hotspot traffic commits op by op (the Doppel scenario)
+	hotShards   = 4
+	hotStripeW  = 16  // cells per stripe
+	hotEps      = 200 // well above point spacing: clusters form and churn
+	hotStripes  = 32  // distinct stripes the Zipf ranks map onto
+	hotZipfS    = 1.3 // Zipf exponent: rank 0 absorbs roughly a third of batches
+	hotDelEvery = 48  // batches between delete batches (insert-heavy: ~98% inserts)
+)
+
+// hotPolicy is the policy under test: hot enough to enter split phase on the
+// Zipf head within a few hundred ops, reconciling every few hundred staged
+// inserts so the fold amortizes the per-commit fixed costs the small Apply
+// batches otherwise pay one by one.
+func hotPolicy() dyndbscan.HotspotPolicy {
+	return dyndbscan.HotspotPolicy{
+		ScoreThreshold: 4,
+		WaitWeight:     16,
+		CheckEvery:     4,
+		ReconcileOps:   256,
+		SplitAfter:     1 << 20, // the sweep measures staging; splits are the migration table's story
+		SplitParts:     2,
+		MigrateChunk:   2048,
+	}
+}
+
+// hotRebalance is the shared placement policy: both variants rebalance, so
+// the comparison isolates the split-phase commit path.
+func hotRebalance() dyndbscan.RebalancePolicy {
+	return dyndbscan.RebalancePolicy{MaxImbalance: 1.2, MinLoad: 256, CheckEvery: 32}
+}
+
+// hotX maps a Zipf rank to an x-coordinate inside that stripe. Ranks
+// interleave across the stripe range so consecutive hot ranks are not
+// adjacent stripes (adjacency would let one shard own the whole head).
+func hotX(rank uint64, off float64) float64 {
+	side := grid.NewParams(2, hotEps).Side
+	stripe := (rank * 7) % hotStripes
+	return (float64(stripe) + off) * side * hotStripeW
+}
+
+// quantiles returns p50/p99/p999/max of the observed Apply latencies.
+func quantiles(lat []time.Duration) (p50, p99, p999, max time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+	return at(0.50), at(0.99), at(0.999), lat[len(lat)-1]
+}
+
+// hotspotRun replays o.N Zipf-skewed ops through one engine variant with the
+// given worker count and reports throughput plus Apply-latency quantiles.
+func hotspotRun(o harness.Options, workers int, pol *dyndbscan.HotspotPolicy) (opsPerSec float64, lat []time.Duration, stats dyndbscan.HotspotStats) {
+	opts := []dyndbscan.Option{
+		dyndbscan.WithAlgorithm(dyndbscan.AlgoFullyDynamic),
+		dyndbscan.WithDims(2),
+		dyndbscan.WithEps(hotEps),
+		dyndbscan.WithMinPts(o.MinPts),
+		dyndbscan.WithShards(hotShards),
+		dyndbscan.WithShardStripe(hotStripeW),
+		dyndbscan.WithRebalance(hotRebalance()),
+	}
+	if pol != nil {
+		opts = append(opts, dyndbscan.WithHotspot(*pol))
+	}
+	eng, err := dyndbscan.New(opts...)
+	if err != nil {
+		panic(fmt.Sprintf("dynbench: hotspot: %v", err))
+	}
+	defer eng.Close()
+
+	batches := o.N / hotBatch
+	perWorker := batches / workers
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	lats := make([][]time.Duration, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + int64(w)))
+			zipf := rand.NewZipf(rng, hotZipfS, 1, hotStripes-1)
+			mine := make([]time.Duration, 0, perWorker)
+			var retired []dyndbscan.PointID
+			for b := 0; b < perWorker; b++ {
+				var ops []dyndbscan.Op
+				if b%hotDelEvery == hotDelEvery-1 && len(retired) >= hotBatch {
+					// A delete batch: retire the oldest handles. Deletes are
+					// a Doppel-style join trigger, so these also exercise the
+					// forced-reconcile path mid-stream.
+					for _, id := range retired[:hotBatch] {
+						ops = append(ops, dyndbscan.DeleteOp(id))
+					}
+					retired = retired[hotBatch:]
+				} else {
+					// One Zipf draw per batch: hotspot traffic is bursty
+					// (a device, tenant, or region producing a run of
+					// updates), so a batch is the unit of locality, and the
+					// stripe skew follows the Zipf head batch by batch.
+					rank := zipf.Uint64()
+					for i := 0; i < hotBatch; i++ {
+						x := hotX(rank, rng.Float64())
+						y := rng.Float64() * 10 * hotEps
+						ops = append(ops, dyndbscan.InsertOp(dyndbscan.Point{x, y}))
+					}
+				}
+				t0 := time.Now()
+				res, err := eng.Apply(ops)
+				mine = append(mine, time.Since(t0))
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+				if ops[0].Kind == dyndbscan.OpInsert {
+					retired = append(retired, res...)
+				}
+			}
+			lats[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if len(errs) > 0 {
+		panic(fmt.Sprintf("dynbench: hotspot: %v", errs[0]))
+	}
+	for _, l := range lats {
+		lat = append(lat, l...)
+	}
+	return float64(perWorker*workers*hotBatch) / elapsed.Seconds(), lat, eng.HotspotStats()
+}
+
+// hotspotSweep renders the workers × policy throughput/latency grid.
+func hotspotSweep(o harness.Options) harness.Table {
+	tb := harness.Table{
+		Title: fmt.Sprintf("Hotspot — contention-adaptive commit path on Zipf(s=%.1f) insert-heavy traffic (N=%d, %d-op batches)", hotZipfS, o.N, hotBatch),
+		Caption: "Both variants run the same load-aware rebalancing; 'hotspot' additionally enables split-phase\n" +
+			"staging (WithHotspot). speedup = hotspot ops/s over rebalance-only at the same worker count.\n" +
+			"Latency quantiles are per-Apply wall times across all workers.",
+		Header: []string{"workers", "policy", "ops/s", "p50", "p99", "p999", "speedup", "staged", "reconciles", "splits"},
+	}
+	for _, workers := range []int{1, 2, 4} {
+		var baseOps float64
+		for _, hot := range []bool{false, true} {
+			name, pol := "rebalance-only", (*dyndbscan.HotspotPolicy)(nil)
+			if hot {
+				p := hotPolicy()
+				name, pol = "hotspot", &p
+			}
+			if o.Verbose != nil {
+				o.Verbose("  running hotspot sweep workers=%d policy=%s (N=%d)...", workers, name, o.N)
+			}
+			ops, lat, st := hotspotRun(o, workers, pol)
+			p50, p99, p999, _ := quantiles(lat)
+			speedup := "-"
+			if hot {
+				speedup = fmt.Sprintf("%.2fx", ops/baseOps)
+			} else {
+				baseOps = ops
+			}
+			tb.Rows = append(tb.Rows, []string{
+				fmt.Sprintf("%d", workers), name,
+				fmt.Sprintf("%.0f", ops),
+				p50.Round(time.Microsecond).String(),
+				p99.Round(time.Microsecond).String(),
+				p999.Round(time.Microsecond).String(),
+				speedup,
+				fmt.Sprintf("%d", st.ReconciledOps),
+				fmt.Sprintf("%d", st.Reconciles),
+				fmt.Sprintf("%d", st.Splits),
+			})
+		}
+	}
+	return tb
+}
+
+// migrationRun loads one oversized stripe, then migrates it off its shard
+// via Rebalance while writer goroutines keep committing to cold stripes.
+// It reports the migration wall time and the latency the writers saw.
+func migrationRun(o harness.Options, chunk int) (moveWall time.Duration, lat []time.Duration) {
+	pol := hotPolicy()
+	// A threshold no stream reaches: the ONLY behavioral difference between
+	// the variants is the migration tier (quiesced vs chunked).
+	pol.ScoreThreshold = 1 << 30
+	pol.MigrateChunk = chunk
+	opts := []dyndbscan.Option{
+		dyndbscan.WithAlgorithm(dyndbscan.AlgoFullyDynamic),
+		dyndbscan.WithDims(2),
+		dyndbscan.WithEps(hotEps),
+		dyndbscan.WithMinPts(o.MinPts),
+		dyndbscan.WithShards(hotShards),
+		dyndbscan.WithShardStripe(hotStripeW),
+		// Hair-trigger: the first Rebalance() migrates the pinned stripe.
+		dyndbscan.WithRebalance(dyndbscan.RebalancePolicy{MaxImbalance: 1.01, MinLoad: 1}),
+	}
+	if chunk > 0 {
+		opts = append(opts, dyndbscan.WithHotspot(pol))
+	}
+	eng, err := dyndbscan.New(opts...)
+	if err != nil {
+		panic(fmt.Sprintf("dynbench: hotspot migration: %v", err))
+	}
+	defer eng.Close()
+
+	// Pin the hot stripe: o.N points inside stripe 0.
+	rng := rand.New(rand.NewSource(o.Seed))
+	side := grid.NewParams(2, hotEps).Side
+	pre := make([]dyndbscan.Op, 0, o.N)
+	for i := 0; i < o.N; i++ {
+		pre = append(pre, dyndbscan.InsertOp(dyndbscan.Point{
+			rng.Float64() * side * hotStripeW,
+			rng.Float64() * 100 * hotEps,
+		}))
+	}
+	for lo := 0; lo < len(pre); lo += 4096 {
+		if _, err := eng.Apply(pre[lo : lo+min(4096, len(pre)-lo)]); err != nil {
+			panic(fmt.Sprintf("dynbench: hotspot migration preload: %v", err))
+		}
+	}
+
+	const writers = 2
+	type sample struct {
+		start time.Time
+		d     time.Duration
+	}
+	var (
+		wg      sync.WaitGroup
+		stop    = make(chan struct{})
+		mu      sync.Mutex
+		samples []sample
+	)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(o.Seed + 100 + int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ops := make([]dyndbscan.Op, hotBatch)
+				for i := range ops {
+					// Cold stripes only: far from the migrating one.
+					x := (float64(8+wrng.Intn(hotStripes)) + wrng.Float64()) * side * hotStripeW
+					ops[i] = dyndbscan.InsertOp(dyndbscan.Point{x, wrng.Float64() * 100 * hotEps})
+				}
+				t0 := time.Now()
+				if _, err := eng.Apply(ops); err != nil {
+					panic(fmt.Sprintf("dynbench: hotspot migration writer: %v", err))
+				}
+				mu.Lock()
+				samples = append(samples, sample{t0, time.Since(t0)})
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	time.Sleep(20 * time.Millisecond) // writers reach steady state
+	t0 := time.Now()
+	if _, err := eng.Rebalance(); err != nil {
+		panic(fmt.Sprintf("dynbench: hotspot migration rebalance: %v", err))
+	}
+	t1 := time.Now()
+	moveWall = t1.Sub(t0)
+	close(stop)
+	wg.Wait()
+	// Only Applies that overlapped the move window count: warm-up and tail
+	// samples would otherwise dilute a whole-move stall (two blocked writers
+	// contribute two slow samples against thousands of fast ones) below p99.
+	for _, s := range samples {
+		if s.start.Before(t1) && s.start.Add(s.d).After(t0) {
+			lat = append(lat, s.d)
+		}
+	}
+	return moveWall, lat
+}
+
+// hotspotMigration renders the quiesced-vs-chunked migration latency table.
+func hotspotMigration(o harness.Options) harness.Table {
+	n := min(o.N, 40_000) // the stripe, not the stream, is the variable here
+	tb := harness.Table{
+		Title: fmt.Sprintf("Hotspot — non-quiescent chunked migration vs quiesced (one %d-point stripe moves while 2 writers commit)", n),
+		Caption: "move = wall time of the Rebalance() that migrates the pinned stripe; latency quantiles are\n" +
+			"the writers' per-Apply wall times while the move is in flight. The chunked tier trades a\n" +
+			"longer move for bounded writer tails (no whole-move exclusive world lock).",
+		Header: []string{"migration", "move", "p50", "p99", "max"},
+	}
+	for _, chunk := range []int{0, 2048} {
+		name := "quiesced"
+		if chunk > 0 {
+			name = fmt.Sprintf("chunked-%d", chunk)
+		}
+		if o.Verbose != nil {
+			o.Verbose("  running hotspot migration=%s...", name)
+		}
+		mo := o
+		mo.N = n
+		moveWall, lat := migrationRun(mo, chunk)
+		p50, p99, _, max := quantiles(lat)
+		tb.Rows = append(tb.Rows, []string{
+			name,
+			moveWall.Round(time.Millisecond).String(),
+			p50.Round(time.Microsecond).String(),
+			p99.Round(time.Microsecond).String(),
+			max.Round(time.Microsecond).String(),
+		})
+	}
+	return tb
+}
+
+// hotspotSweepTables is the "hotspot" figure: the workers × policy sweep and
+// the migration-tier comparison.
+func hotspotSweepTables(o harness.Options) []harness.Table {
+	return []harness.Table{hotspotSweep(o), hotspotMigration(o)}
+}

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -33,10 +34,11 @@ func main() {
 		minPts  = flag.Int("minpts", 10, "MinPts")
 		rho     = flag.Float64("rho", 0.001, "approximation parameter rho")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		prof    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		verbose = flag.Bool("v", false, "log progress per run")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dynbench [flags] table1|table2|fig8|fig9|...|fig15|wal|all\n")
+		fmt.Fprintf(os.Stderr, "usage: dynbench [flags] table1|table2|fig8|fig9|...|fig15|wal|hotspot|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,8 +54,10 @@ func main() {
 		}
 	}
 	figures := opts.Figures()
-	// Not a paper figure: the durability subsystem's cost/recovery sweep.
+	// Not paper figures: the durability subsystem's cost/recovery sweep and
+	// the contention-adaptive commit path's throughput/latency sweep.
 	figures["wal"] = func() []harness.Table { return walSweep(opts) }
+	figures["hotspot"] = func() []harness.Table { return hotspotSweepTables(opts) }
 
 	var names []string
 	for _, arg := range flag.Args() {
@@ -72,6 +76,14 @@ func main() {
 		names = append(names, arg)
 	}
 
+	if *prof != "" {
+		f, err := os.Create(*prof)
+		if err != nil {
+			panic(err)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
 	for _, name := range names {
 		start := time.Now()
 		tables := figures[name]()

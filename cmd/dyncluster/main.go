@@ -72,6 +72,7 @@ func main() {
 		shards    = flag.Int("shards", 1, "spatial shards; >1 commits batches concurrently across grid stripes")
 		stripe    = flag.Int("stripe", 0, "shard stripe width in grid cells (0 = adaptive, derived from the first batch)")
 		rebalance = flag.Bool("rebalance", false, "enable automatic load-aware stripe rebalancing (needs -shards > 1)")
+		hotspot   = flag.Bool("hotspot", false, "enable the contention-adaptive commit path: hot stripes stage inserts in split phase and a reconciler folds them in (needs -shards > 1)")
 		skew      = flag.Float64("skew", 0, "fraction [0,1] of input points squeezed into hotspot stripes that alias onto one shard — generates skewed traffic for rebalancing experiments")
 		walDir    = flag.String("wal", "", "write-ahead-log directory: every committed batch is logged before it is visible, surviving crashes (see -sync, -recover)")
 		syncMode  = flag.String("sync", "2ms", "WAL durability: 'always' fsyncs per commit; a duration like 2ms group-commits on that interval (needs -wal)")
@@ -118,6 +119,12 @@ func main() {
 		}
 		opts = append(opts, dyndbscan.WithRebalance(dyndbscan.DefaultRebalancePolicy()))
 	}
+	if *hotspot {
+		if *shards <= 1 && !*recovery {
+			fatal(fmt.Errorf("-hotspot needs -shards > 1"))
+		}
+		opts = append(opts, dyndbscan.WithHotspot(dyndbscan.DefaultHotspotPolicy()))
+	}
 	if *skew < 0 || *skew > 1 {
 		fatal(fmt.Errorf("-skew %v out of [0,1]", *skew))
 	}
@@ -152,6 +159,9 @@ func main() {
 		if *rebalance {
 			ropts = append(ropts, dyndbscan.WithRebalance(dyndbscan.DefaultRebalancePolicy()))
 		}
+		if *hotspot {
+			ropts = append(ropts, dyndbscan.WithHotspot(dyndbscan.DefaultHotspotPolicy()))
+		}
 		eng, err = dyndbscan.Open(*walDir, ropts...)
 		if err != nil {
 			fatal(err)
@@ -181,6 +191,11 @@ func main() {
 			for _, sl := range eng.ShardLoads() {
 				fmt.Fprintf(os.Stderr, "dyncluster: shard %d: %d stripes, %d points, %.0f recent updates\n",
 					sl.Shard, sl.Stripes, sl.Points, sl.Updates)
+			}
+			if hst := eng.HotspotStats(); hst.Enabled {
+				fmt.Fprintf(os.Stderr, "dyncluster: hotspot: %d stripe(s) in split phase, %d staged, %d reconciles (%d ops, mean %v), %d split(s), joins: %s\n",
+					hst.SplitPhase, hst.StagedOps, hst.Reconciles, hst.ReconciledOps,
+					hst.MeanReconcile.Round(time.Microsecond), hst.Splits, joinSummary(hst.Joins))
 			}
 		}()
 	}
@@ -273,6 +288,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dyncluster: rebalance: migrated %d stripe(s)\n", n)
 		}
 	}
+}
+
+// joinSummary renders the forced-reconcile tally ("close:2, delete:5, ...")
+// in a stable order; "none" when no join fired.
+func joinSummary(joins map[string]uint64) string {
+	causes := make([]string, 0, len(joins))
+	for c := range joins {
+		causes = append(causes, c)
+	}
+	sort.Strings(causes)
+	var parts []string
+	for _, c := range causes {
+		parts = append(parts, fmt.Sprintf("%s:%d", c, joins[c]))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
 }
 
 // skewer rewrites a fraction of the input points into narrow hotspot bands

@@ -603,6 +603,12 @@ func (e *Engine) currentSnapshot() *Snapshot {
 // cached snapshot — without locking — when one exists for the current
 // version, else from the live structure.
 func (e *Engine) GroupBy(q []PointID) (Result, error) {
+	if e.sh != nil && e.sh.stagedVisible() {
+		// Clustering queries are hotspot join triggers: staged inserts do not
+		// advance the version, so the cached snapshot must not answer for
+		// them — reconcile first (which does advance it). See hotspot.go.
+		e.sh.joinAll(joinQuery)
+	}
 	if s := e.currentSnapshot(); s != nil {
 		return s.GroupBy(q)
 	}
@@ -618,6 +624,9 @@ func (e *Engine) GroupBy(q []PointID) (Result, error) {
 // GroupAll returns the full current clustering (the degenerate C-group-by
 // query with Q = P), computed atomically with respect to updates.
 func (e *Engine) GroupAll() (Result, error) {
+	if e.sh != nil && e.sh.stagedVisible() {
+		e.sh.joinAll(joinQuery)
+	}
 	if s := e.currentSnapshot(); s != nil {
 		return s.GroupAll(), nil
 	}
@@ -630,6 +639,12 @@ func (e *Engine) GroupAll() (Result, error) {
 
 // Len returns the number of points currently stored.
 func (e *Engine) Len() int {
+	if e.sh != nil && e.sh.stagedVisible() {
+		// Staged hotspot inserts are live handles but absent from the cached
+		// snapshot (they have not advanced the version); count the staged-
+		// aware route tables instead.
+		return e.sh.len()
+	}
 	if s := e.currentSnapshot(); s != nil {
 		return len(s.byPoint)
 	}
@@ -651,6 +666,9 @@ func (e *Engine) IDs() []PointID {
 
 // Has reports whether the handle is live.
 func (e *Engine) Has(id PointID) bool {
+	if e.sh != nil && e.sh.stagedVisible() {
+		return e.sh.has(id)
+	}
 	if s := e.currentSnapshot(); s != nil {
 		_, ok := s.byPoint[id]
 		return ok
@@ -675,6 +693,9 @@ func (e *Engine) Version() uint64 {
 // whether the point is live. Served lock-free from the cached snapshot when
 // fresh, else from the live structure.
 func (e *Engine) ClusterOf(id PointID) ([]ClusterID, bool) {
+	if e.sh != nil && e.sh.stagedVisible() {
+		e.sh.joinAll(joinQuery)
+	}
 	if s := e.currentSnapshot(); s != nil {
 		return s.ClusterOf(id)
 	}
@@ -698,6 +719,9 @@ func (e *Engine) Members(id ClusterID) []PointID {
 // that epoch is lock-free, so the amortized cost under a read-heavy load is
 // one full-clustering pass per epoch — and zero lock traffic between epochs.
 func (e *Engine) Snapshot() *Snapshot {
+	if e.sh != nil && e.sh.stagedVisible() {
+		e.sh.joinAll(joinQuery)
+	}
 	if s := e.currentSnapshot(); s != nil {
 		return s
 	}

@@ -83,9 +83,28 @@ type eqConfig struct {
 	rebalanceEvery int  // commits between Rebalance() calls on the sharded engines; 0 = never
 	requireMoves   bool // fail unless at least one migration happened (seeded streams only)
 	restartEvery   int  // commits between Close+Open restarts of a WAL-backed engine; 0 = no WAL engine
+	hotspot        bool // add a hotspot-enabled engine (and hotspot-enable the WAL engine, when present)
+	hotJoinEvery   int  // commits between forced Sync() joins on the hotspot engine; 0 = only query-driven joins
 }
 
-func newEqEngine(cfg eqConfig, shards int) (*dyndbscan.Engine, error) {
+// eqHotspotPolicy is a hair-trigger hotspot policy: almost any traffic marks
+// a stripe hot, reconciles fire after a handful of staged ops, and repeated
+// joins escalate to stripe splits — so a short stream drives the full
+// split-phase → join → split-stripe cycle that production thresholds would
+// only reach under sustained contention.
+func eqHotspotPolicy() dyndbscan.HotspotPolicy {
+	return dyndbscan.HotspotPolicy{
+		ScoreThreshold: 2,
+		WaitWeight:     4,
+		CheckEvery:     1,
+		ReconcileOps:   8,
+		SplitAfter:     2,
+		SplitParts:     2,
+		MigrateChunk:   64,
+	}
+}
+
+func newEqEngine(cfg eqConfig, shards int, extra ...dyndbscan.Option) (*dyndbscan.Engine, error) {
 	opts := []dyndbscan.Option{
 		dyndbscan.WithAlgorithm(cfg.algo),
 		dyndbscan.WithDims(2),
@@ -104,7 +123,7 @@ func newEqEngine(cfg eqConfig, shards int) (*dyndbscan.Engine, error) {
 			}))
 		}
 	}
-	return dyndbscan.New(opts...)
+	return dyndbscan.New(append(opts, extra...)...)
 }
 
 // enginesIsomorphic compares two engines' clusterings as partitions (groups,
@@ -157,6 +176,27 @@ func runEqStream(cfg eqConfig, ops []eqOp) (err error) {
 	cancel := sub.Subscribe(val.Observe)
 	defer cancel()
 
+	// Hotspot mode, when configured: a sharded engine whose hair-trigger
+	// policy keeps stripes bouncing through split phase, so most inserts are
+	// absorbed into staged deltas and surface only through reconciles, query
+	// joins, and the forced Sync() joins below. Handles must still mint in
+	// lockstep and every checkpoint must see the identical clustering — the
+	// split-phase machinery has to be invisible to correctness.
+	var hot *dyndbscan.Engine
+	if cfg.hotspot {
+		// Stripe width is a placement detail, not a clustering parameter, so
+		// the hotspot engine may run wider stripes than the others — wide
+		// enough (≥ 2·(bandCells+1)) that the split-escalation tier is
+		// geometrically possible, which cfg.stripe after its ghost-band
+		// clamp is not.
+		hot, err = newEqEngine(cfg, cfg.shards,
+			dyndbscan.WithHotspot(eqHotspotPolicy()), dyndbscan.WithShardStripe(12))
+		if err != nil {
+			return err
+		}
+		defer hot.Close()
+	}
+
 	// Fourth mode, when configured: a WAL-backed sharded engine that is
 	// periodically torn down with Close and recovered with Open mid-stream.
 	// Its handles and clustering must stay in lockstep with the others across
@@ -175,6 +215,13 @@ func runEqStream(cfg eqConfig, ops []eqOp) (err error) {
 				MaxImbalance: 1.01, MinLoad: 1,
 			}))
 		}
+		if cfg.shards > 1 && cfg.hotspot {
+			// The WAL engine runs hotspot-enabled too: restarts then replay
+			// explicit-handle records and logged stripe splits, and prove a
+			// checkpoint never covers a staged-but-unreconciled insert.
+			// WithHotspot is a runtime option, so Open re-applies it.
+			walRuntimeOpts = append(walRuntimeOpts, dyndbscan.WithHotspot(eqHotspotPolicy()))
+		}
 		walOpts := append([]dyndbscan.Option{
 			dyndbscan.WithAlgorithm(cfg.algo),
 			dyndbscan.WithDims(2),
@@ -186,7 +233,13 @@ func runEqStream(cfg eqConfig, ops []eqOp) (err error) {
 			dyndbscan.WithWALCheckpointEvery(40), // checkpoints interleave with restarts
 		}, walRuntimeOpts...)
 		if cfg.shards > 1 {
-			walOpts = append(walOpts, dyndbscan.WithShardStripe(cfg.stripe))
+			stripe := cfg.stripe
+			if cfg.hotspot {
+				// Same wide-stripe treatment as the hotspot engine, so the
+				// restart cycles also replay logged stripe splits.
+				stripe = 12
+			}
+			walOpts = append(walOpts, dyndbscan.WithShardStripe(stripe))
 		}
 		walEng, err = dyndbscan.New(walOpts...)
 		if err != nil {
@@ -234,6 +287,11 @@ func runEqStream(cfg eqConfig, ops []eqOp) (err error) {
 		if walEng != nil {
 			if err := enginesIsomorphic(ref, walEng, "single", "wal"); err != nil {
 				return fmt.Errorf("%s: single vs wal: %w", stage, err)
+			}
+		}
+		if hot != nil {
+			if err := enginesIsomorphic(ref, hot, "single", "hotspot"); err != nil {
+				return fmt.Errorf("%s: single vs hotspot: %w", stage, err)
 			}
 		}
 		if err := val.ReconcileLive(sub.Snapshot().ClusterIDs()); err != nil {
@@ -302,6 +360,48 @@ func runEqStream(cfg eqConfig, ops []eqOp) (err error) {
 				return fmt.Errorf("ops[%d:%d]: wal engine minted different handles", lo, hi)
 			}
 		}
+		if hot != nil {
+			// The hotspot engine receives the same ops, but each mixed batch
+			// is split into one delete commit and one pure-insert commit:
+			// only all-insert (commutative) batches are eligible for
+			// split-phase diversion, and the blob streams almost never emit
+			// one by chance. Delete targets predate the batch, so the split
+			// is semantics-preserving, and inserts keep their relative order,
+			// so handles still must mint in lockstep with the reference.
+			var delOps, insOps []dyndbscan.Op
+			for _, op := range batch {
+				if op.Kind == dyndbscan.OpInsert {
+					insOps = append(insOps, op)
+				} else {
+					delOps = append(delOps, op)
+				}
+			}
+			var outDel, outIns []dyndbscan.PointID
+			if len(delOps) > 0 {
+				if outDel, err = hot.Apply(delOps); err != nil {
+					return fmt.Errorf("ops[%d:%d]: hotspot Apply (deletes): %w", lo, hi, err)
+				}
+			}
+			if len(insOps) > 0 {
+				if outIns, err = hot.Apply(insOps); err != nil {
+					return fmt.Errorf("ops[%d:%d]: hotspot Apply (inserts): %w", lo, hi, err)
+				}
+			}
+			outHot := make([]dyndbscan.PointID, len(batch))
+			di, ii := 0, 0
+			for i, op := range batch {
+				if op.Kind == dyndbscan.OpInsert {
+					outHot[i] = outIns[ii]
+					ii++
+				} else {
+					outHot[i] = outDel[di]
+					di++
+				}
+			}
+			if !reflect.DeepEqual(outRef, outHot) {
+				return fmt.Errorf("ops[%d:%d]: hotspot engine minted different handles", lo, hi)
+			}
+		}
 		for i, op := range batch {
 			if op.Kind == dyndbscan.OpInsert {
 				live = append(live, outRef[i])
@@ -344,6 +444,14 @@ func runEqStream(cfg eqConfig, ops []eqOp) (err error) {
 					return fmt.Errorf("ops[:%d]: wal Rebalance: %w", hi, err)
 				}
 			}
+			if hot != nil {
+				if _, err := hot.Rebalance(); err != nil {
+					return fmt.Errorf("ops[:%d]: hotspot Rebalance: %w", hi, err)
+				}
+			}
+		}
+		if hot != nil && cfg.hotJoinEvery > 0 && commits%cfg.hotJoinEvery == 0 {
+			hot.Sync() // forced join: every staged delta folds in before the next batch
 		}
 		if walRestart != nil && commits%cfg.restartEvery == 0 {
 			if err := walRestart(fmt.Sprintf("after commit %d (ops[:%d])", commits, hi)); err != nil {
@@ -360,6 +468,14 @@ func runEqStream(cfg eqConfig, ops []eqOp) (err error) {
 		// The seeded streams are skewed enough that the hair-trigger policy
 		// must migrate; zero moves means the migration path went untested.
 		return fmt.Errorf("no stripe migration happened across %d commits — harness lost its rebalancing coverage", commits)
+	}
+	if hot != nil && cfg.requireMoves {
+		// Same coverage guard for the split-phase machinery: the hair-trigger
+		// policy must have staged and reconciled something, or the hotspot
+		// engine silently degenerated into a plain sharded engine.
+		if st := hot.HotspotStats(); st.Reconciles == 0 || st.ReconciledOps == 0 {
+			return fmt.Errorf("hotspot engine never reconciled a staged delta across %d commits — harness lost its split-phase coverage (stats %+v)", commits, st)
+		}
 	}
 	return checkpoint("final")
 }
@@ -423,6 +539,8 @@ func TestCrossModeEquivalence(t *testing.T) {
 					rebalanceEvery: 17, // co-prime with checkEvery: migrations land between and on checkpoints
 					requireMoves:   true,
 					restartEvery:   31, // WAL engine: kill-and-recover cycles land all over the schedule
+					hotspot:        true,
+					hotJoinEvery:   7, // forced joins land between query-driven ones
 				}
 				ops := genEqOps(seed, nops, tc.deletes)
 				err := runEqStream(cfg, ops)

@@ -225,6 +225,12 @@ func (e *Engine) Close() error {
 	if len(subs) > 0 {
 		e.syncEventFunc()
 	}
+	if e.sh != nil {
+		// Drain staged hotspot deltas before the log seals: every acked
+		// insert gets its reconcile commit (and WAL record) now, so a clean
+		// shutdown loses nothing.
+		e.sh.drainStaged()
+	}
 	return e.wal.closeWAL(e)
 }
 
@@ -317,6 +323,11 @@ func (e *Engine) subscribers() []*subscriber {
 // point, not for the queues to be empty. Sync must not be called from
 // inside a subscriber callback.
 func (e *Engine) Sync() {
+	if e.sh != nil {
+		// Sync is a hotspot join trigger: staged inserts reconcile (and
+		// publish their events) before the delivery barrier is measured.
+		e.sh.joinAll(joinSync)
+	}
 	// Every update that committed before this point took its publication
 	// ticket inside its critical section; wait for all issued tickets to
 	// finish enqueueing, then for each subscriber to settle everything

@@ -46,3 +46,41 @@ func (e *Engine) StripeOwner(stripe int64) int {
 // DefaultStripeCells exposes the provisional/default stripe width (also the
 // adaptive cap) so tests assert against the real constant.
 const DefaultStripeCells = defaultStripeCells
+
+// Restitches reports how many full seam restitch passes the sharded engine
+// has run — the observable of the Subscribe seam-reuse fast path (a
+// resubscribe before the next commit must not add one).
+func (e *Engine) Restitches() uint64 {
+	ss := e.sh
+	ss.worldMu.Lock()
+	defer ss.worldMu.Unlock()
+	return ss.restitches
+}
+
+// StagedOps reports how many acknowledged inserts currently sit in hotspot
+// staging buffers, awaiting reconciliation.
+func (e *Engine) StagedOps() int64 {
+	if e.sh == nil || e.sh.hs == nil {
+		return 0
+	}
+	return e.sh.hs.stagedTotal.Load()
+}
+
+// StripeParts reports how many sub-stripes the stripe's placement entry is
+// split into (1 = unsplit).
+func (e *Engine) StripeParts(stripe int64) int {
+	ss := e.sh
+	ss.routesMu.Lock()
+	defer ss.routesMu.Unlock()
+	if sp := ss.splits[stripe]; sp != nil {
+		return int(sp.parts)
+	}
+	return 1
+}
+
+// MoveStripeChunked runs the non-quiescent chunked migration tier directly,
+// bypassing the load policy — the directed hook of the migration-vs-writers
+// race tests.
+func (e *Engine) MoveStripeChunked(stripe int64, dst, chunk int) {
+	e.sh.migrateStripeChunked(stripe, int32(dst), chunk)
+}

@@ -68,6 +68,8 @@ func FuzzCrossShardEquivalence(f *testing.F) {
 			minPts: 3,
 			batch:  8, checkEvery: 4,
 			rebalanceEvery: 5, // fuzz the migration path too
+			hotspot:        true,
+			hotJoinEvery:   3, // fuzz the split-phase machinery too
 		}
 		if err := runEqStream(cfg, ops); err != nil {
 			t.Fatalf("cross-shard divergence: %v\nops (%d): %s", err, len(ops), formatEqOps(ops))

@@ -1,0 +1,606 @@
+package dyndbscan
+
+// Contention-adaptive hot-stripe commit path.
+//
+// Load-aware placement (placement.go) moves hot stripes between shards, but a
+// single stripe hotter than everything else combined still serializes every
+// commit on its shard's lock. This file adds the Doppel-style answer: when a
+// stripe's contention score — decayed update traffic plus observed lock waits
+// on the shard commit path — crosses the HotspotPolicy threshold, the stripe
+// enters *split phase*. Inserts targeting it are absorbed into staged delta
+// buffers (minted and made visible on the handle surface immediately, but not
+// yet applied to any backend) without ever taking the owning shard's lock;
+// a reconciler periodically folds the staged deltas into the backend as one
+// ordinary commit — WAL append before publication, one Version advance, one
+// seam fold — so snapshots, events, replicas, and crash recovery never see a
+// half-reconciled state. Density increments commute (with Rho = 0 the
+// clustering is a pure function of the live point set), which is what makes
+// deferring the folds sound.
+//
+// Join triggers, Doppel-style: deletes, clustering queries (Snapshot,
+// GroupBy, GroupAll, ClusterOf), Sync, Checkpoint, and Close force a
+// reconcile-then-proceed. The handle surface (Has, Len, IDs, delete
+// validation) sees staged inserts immediately through stagedRoutes, so a
+// staged point is never "missing" — only its clustering is deferred.
+//
+// Two fallback tiers engage when split phase alone cannot win: *stripe
+// splitting* re-granulates a persistently hot stripe into narrower sub-stripes
+// in the placement table (placement.go: stripeSplit), and *non-quiescent
+// migration* moves a large stripe in bounded chunks with commits admitted
+// between chunks (placement.go: migrateStripeChunked).
+//
+// Handle minting: staged inserts mint their handles at staging time, and the
+// reconciler logs them only later, so WAL record order no longer agrees with
+// mint order. With hotspot enabled every sharded insert record therefore
+// carries its handle explicitly (wal.OpInsertAt) and replay pins the mint
+// counter past the replayed ids instead of re-minting — see walOpsFromShOps
+// and Engine.applyExplicit.
+//
+// Durability window: a staged insert is acked before it is logged. A clean
+// Close (or any other join trigger) reconciles and logs everything, but a
+// crash loses staged-but-unreconciled inserts — the price of not serializing
+// on the hot lock, bounded by ReconcileOps per stripe.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dyndbscan/internal/core"
+)
+
+// HotspotPolicy tunes the contention-adaptive commit path of a sharded
+// Engine (WithHotspot). Every zero field selects its default.
+type HotspotPolicy struct {
+	// ScoreThreshold is the per-stripe contention score (decayed update count
+	// plus WaitWeight times decayed lock waits) above which a stripe enters
+	// split phase. A stripe leaves split phase when its score decays below
+	// half the threshold. Default 384.
+	ScoreThreshold float64
+	// WaitWeight is the score contribution of one observed lock wait on the
+	// shard commit path — waits are the direct symptom of contention, so they
+	// weigh far more than plain updates. Default 16.
+	WaitWeight float64
+	// CheckEvery is the detection cadence in commits: every CheckEvery-th
+	// commit re-scores the stripes it touched. Default 16.
+	CheckEvery int
+	// ReconcileOps is the staged-insert depth per hot stripe that triggers a
+	// background reconcile; it bounds both the memory held by staged deltas
+	// and the work a forced join must absorb. Default 256.
+	ReconcileOps int
+	// SplitAfter is the number of reconciles a stripe in split phase may
+	// absorb before the engine escalates to splitting the stripe into
+	// narrower sub-stripes (a placement-table refinement spreading the
+	// traffic across shards). Default 16.
+	SplitAfter int
+	// SplitParts is how many sub-stripes a split produces, clamped so each
+	// sub-stripe stays wider than the ghost band. Default 4.
+	SplitParts int
+	// MigrateChunk bounds the handles copied per exclusive critical section
+	// when a stripe larger than MigrateChunk is migrated: the move proceeds
+	// in chunks with commits admitted between them instead of quiescing the
+	// world for the whole copy. Default 1024.
+	MigrateChunk int
+}
+
+// DefaultHotspotPolicy returns the recommended policy.
+func DefaultHotspotPolicy() HotspotPolicy {
+	return HotspotPolicy{}.normalize()
+}
+
+// normalize fills the zero fields with their defaults.
+func (p HotspotPolicy) normalize() HotspotPolicy {
+	if p.ScoreThreshold == 0 {
+		p.ScoreThreshold = 384
+	}
+	if p.WaitWeight == 0 {
+		p.WaitWeight = 16
+	}
+	if p.CheckEvery == 0 {
+		p.CheckEvery = 16
+	}
+	if p.ReconcileOps == 0 {
+		p.ReconcileOps = 256
+	}
+	if p.SplitAfter == 0 {
+		p.SplitAfter = 16
+	}
+	if p.SplitParts == 0 {
+		p.SplitParts = 4
+	}
+	if p.MigrateChunk == 0 {
+		p.MigrateChunk = 1024
+	}
+	return p
+}
+
+// Join causes, as reported by HotspotStats.Joins.
+const (
+	joinThreshold  = "threshold"  // staged depth reached ReconcileOps
+	joinCool       = "cool"       // stripe cooled below the exit threshold
+	joinDelete     = "delete"     // a delete needed the stripe's points
+	joinQuery      = "query"      // a clustering query forced visibility
+	joinSync       = "sync"       // Engine.Sync
+	joinCheckpoint = "checkpoint" // Engine.Checkpoint
+	joinClose      = "close"      // Engine.Close
+	joinSplit      = "split"      // reconcile preceding a stripe split
+)
+
+// stagedIns is one staged (absorbed, unreconciled) insert: the handle was
+// minted and published on the handle surface, the point not yet applied.
+type stagedIns struct {
+	gid PointID
+	sp  core.StagedPoint
+}
+
+// hotStripe is one stripe in split phase; all fields are guarded by routesMu.
+type hotStripe struct {
+	since   uint64      // commitSeq when the stripe entered split phase
+	staged  []stagedIns // absorbed inserts awaiting reconciliation
+	joins   int         // reconciles absorbed while hot (split escalation)
+	cooling bool        // flagged for demotion by the detector
+	noSplit bool        // splitting was considered and is impossible
+}
+
+// hotspotState is the engine-wide hotspot machinery, attached to shardSet
+// when WithHotspot was given.
+type hotspotState struct {
+	pol HotspotPolicy
+
+	// hotCount mirrors len(hot) and stagedTotal the staged-insert depth, as
+	// atomics, so cold paths pay one load instead of routesMu.
+	hotCount    atomic.Int32
+	stagedTotal atomic.Int64
+
+	// closing stops further diversion once Close begins draining: an insert
+	// racing Close then takes the ordinary commit path, whose WAL append
+	// fails once the log seals — so it errors instead of acking a point the
+	// sealed log will never hear about.
+	closing atomic.Bool
+
+	// hot is the split-phase set; guarded by routesMu (like the placement
+	// tables its membership modulates).
+	hot       map[int64]*hotStripe
+	nextCheck uint64 // next detection commitSeq; guarded by routesMu
+
+	// reconcileMu serializes reconciles and joins. Join triggers acquire it
+	// with TryLock: a join that loses the race returns immediately — the
+	// reconcile underway *is* the join — which is also what makes the
+	// trigger paths deadlock-free when a reconcile's own publication or
+	// checkpoint re-enters them.
+	reconcileMu sync.Mutex
+
+	statsMu        sync.Mutex
+	joins          map[string]uint64
+	reconciles     uint64
+	reconciledOps  uint64
+	reconcileNanos int64
+	splits         uint64
+}
+
+func newHotspotState(p HotspotPolicy) *hotspotState {
+	return &hotspotState{
+		pol:   p.normalize(),
+		hot:   make(map[int64]*hotStripe),
+		joins: make(map[string]uint64),
+	}
+}
+
+// HotspotStats is the observability surface of the contention-adaptive
+// commit path, reported by Engine.HotspotStats.
+type HotspotStats struct {
+	// Enabled is false (and everything else zero) without WithHotspot.
+	Enabled bool
+	// SplitPhase is the number of stripes currently in split phase.
+	SplitPhase int
+	// StagedOps is the number of staged inserts awaiting reconciliation.
+	StagedOps int
+	// Reconciles counts reconcile commits and ReconciledOps the staged
+	// inserts they folded.
+	Reconciles    uint64
+	ReconciledOps uint64
+	// Joins counts forced reconciles by cause ("threshold", "cool",
+	// "delete", "query", "sync", "checkpoint", "close", "split").
+	Joins map[string]uint64
+	// Splits counts stripe splits performed (the first fallback tier).
+	Splits uint64
+	// MeanReconcile is the mean wall time of a reconcile commit.
+	MeanReconcile time.Duration
+}
+
+// HotspotStats returns the current counters of the contention-adaptive
+// commit path; Enabled is false on engines without WithHotspot.
+func (e *Engine) HotspotStats() HotspotStats {
+	if e.sh == nil || e.sh.hs == nil {
+		return HotspotStats{}
+	}
+	hs := e.sh.hs
+	out := HotspotStats{
+		Enabled:    true,
+		SplitPhase: int(hs.hotCount.Load()),
+		StagedOps:  int(hs.stagedTotal.Load()),
+		Joins:      make(map[string]uint64),
+	}
+	hs.statsMu.Lock()
+	out.Reconciles = hs.reconciles
+	out.ReconciledOps = hs.reconciledOps
+	out.Splits = hs.splits
+	for k, v := range hs.joins {
+		out.Joins[k] = v
+	}
+	if hs.reconciles > 0 {
+		out.MeanReconcile = time.Duration(hs.reconcileNanos / int64(hs.reconciles))
+	}
+	hs.statsMu.Unlock()
+	return out
+}
+
+// hotRoute runs the split-phase diversion for a staged insert batch: under
+// one routesMu section it walks the ops in order, minting every handle in op
+// order (so handle sequences agree with a non-hotspot engine bit-for-bit),
+// absorbing the inserts that target split-phase stripes into their stripes'
+// staged buffers and returning the rest as pre-minted (forceGID) commit ops.
+// out receives every handle; rest is nil when nothing was diverted, in which
+// case no handle was minted either and the caller commits the batch through
+// the ordinary minting path.
+func (ss *shardSet) hotRoute(sps []core.StagedPoint, out []PointID) (rest []shOp, diverted int) {
+	hs := ss.hs
+	if hs == nil || hs.hotCount.Load() == 0 || hs.closing.Load() {
+		return nil, 0
+	}
+	ss.routesMu.Lock()
+	// closing re-checked under routesMu: drainStaged sets it and then takes
+	// routesMu once, so any diversion that slipped past the atomic check
+	// either stages before the drain's barrier or observes closing here.
+	if ss.adaptivePending || len(hs.hot) == 0 || hs.closing.Load() {
+		ss.routesMu.Unlock()
+		return nil, 0
+	}
+	anyHot := false
+	for _, sp := range sps {
+		if _, hot := hs.hot[floorDiv(int64(sp.Coord()[0]), ss.stripeCells)]; hot {
+			anyHot = true
+			break
+		}
+	}
+	if !anyHot {
+		ss.routesMu.Unlock()
+		return nil, 0
+	}
+	rest = make([]shOp, 0, len(sps))
+	for i, sp := range sps {
+		gid := ss.nextID
+		ss.nextID++
+		out[i] = gid
+		t := floorDiv(int64(sp.Coord()[0]), ss.stripeCells)
+		if h, hot := hs.hot[t]; hot {
+			// No load charge here: the reconcile commit charges these ops
+			// (points and decayed updates) exactly once when it folds them.
+			h.staged = append(h.staged, stagedIns{gid, sp})
+			ss.stagedRoutes[gid] = t
+			hs.stagedTotal.Add(1)
+			diverted++
+			continue
+		}
+		rest = append(rest, shOp{insert: true, forceGID: true, sp: sp, gid: gid})
+	}
+	ss.routesMu.Unlock()
+	return rest, diverted
+}
+
+// stagedVisible reports whether unreconciled staged inserts exist — the
+// read paths consult it to decide between the snapshot fast path and the
+// staged-aware route tables.
+func (ss *shardSet) stagedVisible() bool {
+	return ss.hs != nil && ss.hs.stagedTotal.Load() > 0
+}
+
+// joinAll forces a reconcile of every staged delta (a Doppel join) before the
+// caller proceeds; cause labels the trigger in HotspotStats. A join that
+// finds another reconcile in flight returns immediately: the reconcile
+// underway subsumes it, and blocking here could deadlock the reconcile's own
+// publication or checkpoint path. The returned error is the first reconcile
+// failure (a durability failure — the deltas were put back).
+func (ss *shardSet) joinAll(cause string) error {
+	hs := ss.hs
+	if hs == nil || hs.stagedTotal.Load() == 0 {
+		return nil
+	}
+	if !hs.reconcileMu.TryLock() {
+		return nil
+	}
+	defer hs.reconcileMu.Unlock()
+	ss.routesMu.Lock()
+	stripes := make([]int64, 0, len(hs.hot))
+	for t, h := range hs.hot {
+		if len(h.staged) > 0 {
+			stripes = append(stripes, t)
+		}
+	}
+	ss.routesMu.Unlock()
+	var first error
+	for _, t := range stripes {
+		if err := ss.reconcileStripe(t, cause); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// reconcileStripe folds one stripe's staged deltas into the backends as one
+// ordinary commit. Caller holds reconcileMu.
+func (ss *shardSet) reconcileStripe(t int64, cause string) error {
+	hs := ss.hs
+	ss.routesMu.Lock()
+	h := hs.hot[t]
+	if h == nil || len(h.staged) == 0 {
+		ss.routesMu.Unlock()
+		return nil
+	}
+	batch := h.staged
+	h.staged = nil
+	ss.routesMu.Unlock()
+
+	ops := make([]shOp, len(batch))
+	for i, st := range batch {
+		ops[i] = shOp{insert: true, forceGID: true, sp: st.sp, gid: st.gid}
+	}
+	start := time.Now()
+	// The reconcile rides the ordinary commit path: WAL append (with explicit
+	// handles) before publication, one Version advance, one seam fold.
+	// Backends cannot reject staged pre-validated inserts, so a failure can
+	// only be a refused WAL append (e.g. the log was closed) — nothing was
+	// applied then, so the deltas go back into the buffer and the handle
+	// surface stays truthful. The next join retries.
+	if _, err := ss.commitBatch(ops, nil); err != nil {
+		ss.routesMu.Lock()
+		h := hs.hot[t]
+		if h == nil {
+			h = &hotStripe{since: ss.commitSeq}
+			hs.hot[t] = h
+			hs.hotCount.Add(1)
+		}
+		h.staged = append(batch, h.staged...)
+		ss.routesMu.Unlock()
+		return err
+	}
+
+	ss.routesMu.Lock()
+	for _, st := range batch {
+		delete(ss.stagedRoutes, st.gid)
+	}
+	if h := hs.hot[t]; h != nil {
+		// Every fold of this stripe's buffer counts toward the split
+		// escalation: a stripe that keeps needing reconciles is a stripe the
+		// split phase alone is not fixing.
+		h.joins++
+	}
+	ss.routesMu.Unlock()
+	hs.stagedTotal.Add(int64(-len(batch)))
+
+	hs.statsMu.Lock()
+	hs.reconciles++
+	hs.reconciledOps += uint64(len(batch))
+	hs.reconcileNanos += int64(time.Since(start))
+	hs.joins[cause]++
+	hs.statsMu.Unlock()
+	return nil
+}
+
+// hotCommit commits a pure-insert staged batch through the split-phase
+// diversion. ok=false means no op targeted a hot stripe (and no handle was
+// minted): the caller commits through the ordinary path. With ok=true every
+// handle in out is live; err then reports a durability failure of the
+// non-diverted remainder (the diverted part stays staged, mirroring the
+// partial-commit semantics of a mid-batch InsertBatch failure).
+func (ss *shardSet) hotCommit(sps []core.StagedPoint) (out []PointID, ok bool, err error) {
+	out = make([]PointID, len(sps))
+	rest, diverted := ss.hotRoute(sps, out)
+	if diverted == 0 {
+		return nil, false, nil
+	}
+	if len(rest) > 0 {
+		_, err = ss.commitBatch(rest, nil)
+	} else {
+		// Fully diverted batches never reach commitBatch, whose epilogue
+		// normally runs the deferred hotspot work; run it from here so a
+		// pure hot-stripe workload still reconciles on cadence.
+		ss.maybeHotspotReconcile()
+	}
+	return out, true, err
+}
+
+// joinForDelete reconciles staged delta buffers until none of the delete
+// targets is staged-only. Queries tolerate an advisory join (missing a
+// concurrently staged insert is linearizable to a moment before its
+// reconcile), but a delete of an acked handle must find its point, so a lost
+// TryLock — some other reconcile is folding the buffers right now — is
+// waited out rather than skipped. The pending check runs first so that
+// deletes of already-reconciled (or never-staged) points — the common case
+// when churn expires old data while a different region is hot — pass
+// through without forcing a join.
+func (ss *shardSet) joinForDelete(ids []PointID) {
+	hs := ss.hs
+	if hs == nil {
+		return
+	}
+	for {
+		ss.routesMu.Lock()
+		pending := false
+		for _, id := range ids {
+			if _, st := ss.stagedRoutes[id]; st {
+				if _, routed := ss.routes[id]; !routed {
+					pending = true
+					break
+				}
+			}
+		}
+		ss.routesMu.Unlock()
+		if !pending {
+			return
+		}
+		ss.joinAll(joinDelete)
+		runtime.Gosched()
+	}
+}
+
+// drainStaged reconciles until no staged delta remains — Engine.Close's
+// barrier before the WAL seals, so a clean shutdown loses nothing. It gives
+// up when a reconcile reports a durability failure (the log is already
+// closed; a racing Close won that path after draining its own view).
+func (ss *shardSet) drainStaged() {
+	hs := ss.hs
+	if hs == nil {
+		return
+	}
+	hs.closing.Store(true) // no new diversions; racing inserts commit or error
+	ss.routesMu.Lock()     // barrier: in-flight diversions stage before this, later ones see closing
+	ss.routesMu.Unlock()
+	for hs.stagedTotal.Load() > 0 {
+		if err := ss.joinAll(joinClose); err != nil {
+			return
+		}
+		if hs.stagedTotal.Load() > 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// noteHotspotLocked is the detection step, run inside commitBatch's
+// publication section (routesMu held) every CheckEvery commits: stripes whose
+// contention score crossed the threshold enter split phase; split-phase
+// stripes whose score decayed below half of it are flagged for demotion
+// (the demotion itself — a join — runs after the commit releases its locks,
+// in maybeHotspotReconcile).
+func (ss *shardSet) noteHotspotLocked() {
+	hs := ss.hs
+	if hs == nil || ss.commitSeq < hs.nextCheck || ss.adaptivePending {
+		return
+	}
+	hs.nextCheck = ss.commitSeq + uint64(hs.pol.CheckEvery)
+	for t, st := range ss.stripeLoad {
+		st.decayTo(ss.commitSeq)
+		score := st.updates + hs.pol.WaitWeight*st.waits
+		if h, hot := hs.hot[t]; hot {
+			if score < hs.pol.ScoreThreshold/2 {
+				h.cooling = true
+			}
+			continue
+		}
+		if score < hs.pol.ScoreThreshold {
+			continue
+		}
+		if _, split := ss.splits[t]; split {
+			continue // already re-granulated; sub-stripes spread the load
+		}
+		hs.hot[t] = &hotStripe{since: ss.commitSeq}
+		hs.hotCount.Add(1)
+	}
+}
+
+// maybeHotspotReconcile runs the deferred hotspot work on the committing (or
+// staging) goroutine after every lock has been released: threshold-triggered
+// reconciles, demotions of cooled stripes, and split-tier escalation. The
+// TryLock collapses concurrent triggers into one worker.
+func (ss *shardSet) maybeHotspotReconcile() {
+	hs := ss.hs
+	if hs == nil || hs.hotCount.Load() == 0 {
+		return
+	}
+	if w := ss.e.wal; w != nil && w.recovering {
+		return
+	}
+	if !hs.reconcileMu.TryLock() {
+		return
+	}
+	defer hs.reconcileMu.Unlock()
+
+	ss.routesMu.Lock()
+	var due, cooled, escalate []int64
+	for t, h := range hs.hot {
+		switch {
+		case h.cooling:
+			cooled = append(cooled, t)
+		case len(h.staged) >= hs.pol.ReconcileOps:
+			due = append(due, t)
+		}
+		if !h.noSplit && h.joins >= hs.pol.SplitAfter {
+			escalate = append(escalate, t)
+		}
+	}
+	ss.routesMu.Unlock()
+
+	for _, t := range due {
+		ss.reconcileStripe(t, joinThreshold)
+	}
+	for _, t := range cooled {
+		ss.reconcileStripe(t, joinCool)
+		ss.routesMu.Lock()
+		if h := hs.hot[t]; h != nil && len(h.staged) == 0 {
+			delete(hs.hot, t)
+			hs.hotCount.Add(-1)
+		}
+		ss.routesMu.Unlock()
+	}
+	for _, t := range escalate {
+		ss.splitHotStripe(t)
+	}
+}
+
+// splitHotStripe escalates a persistently hot stripe to the first fallback
+// tier: reconcile its staged deltas, drop it from split phase, and
+// re-granulate it into narrower sub-stripes in the placement table so its
+// traffic spreads across shards. Caller holds reconcileMu.
+func (ss *shardSet) splitHotStripe(t int64) {
+	hs := ss.hs
+	ss.routesMu.Lock()
+	parts := int64(hs.pol.SplitParts)
+	if max := ss.stripeCells / (ss.bandCells + 1); parts > max {
+		parts = max // every sub-stripe must stay wider than the ghost band
+	}
+	if parts < 2 {
+		if h := hs.hot[t]; h != nil {
+			h.noSplit = true // too narrow to split; stay in split phase
+		}
+		ss.routesMu.Unlock()
+		return
+	}
+	ss.routesMu.Unlock()
+
+	ss.reconcileStripe(t, joinSplit)
+	ss.routesMu.Lock()
+	if h := hs.hot[t]; h == nil || len(h.staged) > 0 {
+		// Raced with new staging; retry on the next escalation pass.
+		ss.routesMu.Unlock()
+		return
+	}
+	delete(hs.hot, t)
+	hs.hotCount.Add(-1)
+	ss.routesMu.Unlock()
+
+	ss.worldMu.Lock()
+	if _, already := ss.splits[t]; already {
+		ss.worldMu.Unlock()
+		return
+	}
+	// Placement refinements are logged like migrations: record first, so
+	// replay evolves the placement table — and with it the stitch's id
+	// minting — exactly as this engine did.
+	seq, err := ss.walAppendSplit(t, parts)
+	if err != nil {
+		ss.worldMu.Unlock()
+		return
+	}
+	ticket, evs, pub := ss.splitStripeLocked(t, parts)
+	ss.worldMu.Unlock()
+	if seq != 0 {
+		ss.e.wal.finish(seq)
+	}
+	if pub {
+		ss.e.publishOrdered(ticket, evs)
+	}
+	hs.statsMu.Lock()
+	hs.splits++
+	hs.statsMu.Unlock()
+}

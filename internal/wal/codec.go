@@ -29,17 +29,28 @@ const (
 	// shard owns which stripe, so an unlogged migration would make replay
 	// mint different ids than the engine that wrote the log.
 	OpAssign OpKind = 3
+	// OpInsertAt adds a point with the given coordinates under the explicit
+	// handle ID. The hotspot commit path mints handles at staging time but
+	// logs them at reconcile time, so log order no longer matches mint order
+	// and replay cannot re-mint; the record carries the handle instead.
+	OpInsertAt OpKind = 4
+	// OpSplit re-granulates stripe ID into To sub-stripes — a placement-table
+	// refinement. Logged for the same reason as OpAssign: placement history
+	// determines minting order.
+	OpSplit OpKind = 5
 )
 
 // Op is one logged operation. Inserts carry the staged (dims-length)
-// coordinates; deletes carry the global handle. Handles are never logged for
-// inserts: replaying the records in order through a deterministic engine
+// coordinates; deletes carry the global handle. Plain OpInsert records never
+// log handles: replaying the records in order through a deterministic engine
 // re-mints the identical handles, which is what makes them survive a restart.
+// OpInsertAt records (the hotspot path, where mint order and log order
+// diverge) carry the handle explicitly.
 type Op struct {
 	Kind  OpKind
-	Coord []float64 // OpInsert: the point's coordinates
-	ID    int64     // OpDelete: the handle to remove; OpAssign: the stripe
-	To    int64     // OpAssign: the destination shard
+	Coord []float64 // OpInsert/OpInsertAt: the point's coordinates
+	ID    int64     // OpDelete/OpInsertAt: the handle; OpAssign/OpSplit: the stripe
+	To    int64     // OpAssign: the destination shard; OpSplit: the part count
 }
 
 // CodecVersion is the current op-batch encoding version, the first byte of
@@ -78,9 +89,15 @@ func AppendOps(dst []byte, ops []Op) []byte {
 			}
 		case OpDelete:
 			dst = binary.AppendUvarint(dst, uint64(op.ID))
-		case OpAssign:
+		case OpAssign, OpSplit:
 			dst = binary.AppendVarint(dst, op.ID) // stripes can be negative
 			dst = binary.AppendUvarint(dst, uint64(op.To))
+		case OpInsertAt:
+			dst = binary.AppendUvarint(dst, uint64(len(op.Coord)))
+			for _, c := range op.Coord {
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c))
+			}
+			dst = binary.AppendUvarint(dst, uint64(op.ID))
 		default:
 			// Encoding is engine-internal; an unknown kind here is a bug, and
 			// writing it would poison the log for every future replay.
@@ -114,7 +131,7 @@ func DecodeOps(data []byte) ([]Op, error) {
 		kind := OpKind(data[0])
 		data = data[1:]
 		switch kind {
-		case OpInsert:
+		case OpInsert, OpInsertAt:
 			d, k := binary.Uvarint(data)
 			if k <= 0 || d > maxDims {
 				return nil, fmt.Errorf("%w: bad dimension count at op %d", ErrCodec, i)
@@ -128,7 +145,16 @@ func DecodeOps(data []byte) ([]Op, error) {
 				coord[j] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*j:]))
 			}
 			data = data[8*d:]
-			ops = append(ops, Op{Kind: OpInsert, Coord: coord})
+			op := Op{Kind: kind, Coord: coord}
+			if kind == OpInsertAt {
+				id, k := binary.Uvarint(data)
+				if k <= 0 {
+					return nil, fmt.Errorf("%w: bad insert handle at op %d", ErrCodec, i)
+				}
+				data = data[k:]
+				op.ID = int64(id)
+			}
+			ops = append(ops, op)
 		case OpDelete:
 			id, k := binary.Uvarint(data)
 			if k <= 0 {
@@ -136,7 +162,7 @@ func DecodeOps(data []byte) ([]Op, error) {
 			}
 			data = data[k:]
 			ops = append(ops, Op{Kind: OpDelete, ID: int64(id)})
-		case OpAssign:
+		case OpAssign, OpSplit:
 			stripe, k := binary.Varint(data)
 			if k <= 0 {
 				return nil, fmt.Errorf("%w: bad assign stripe at op %d", ErrCodec, i)
@@ -147,7 +173,7 @@ func DecodeOps(data []byte) ([]Op, error) {
 				return nil, fmt.Errorf("%w: bad assign shard at op %d", ErrCodec, i)
 			}
 			data = data[k:]
-			ops = append(ops, Op{Kind: OpAssign, ID: stripe, To: int64(to)})
+			ops = append(ops, Op{Kind: kind, ID: stripe, To: int64(to)})
 		default:
 			return nil, fmt.Errorf("%w: unknown op kind %d at op %d", ErrCodec, kind, i)
 		}

@@ -68,6 +68,8 @@ type engineSettings struct {
 	stripeCells  int             // shard stripe width in grid cells; 0 = adaptive
 	rebalance    RebalancePolicy // shard rebalancing policy (see WithRebalance)
 	rebalanceSet bool
+	hotspot      HotspotPolicy // contention-adaptive commit path (see WithHotspot)
+	hotspotSet   bool
 
 	// Durability (see persist.go). opening marks settings built by Open,
 	// where the shape comes from the log's meta record rather than options.
@@ -217,6 +219,26 @@ func WithRebalance(p RebalancePolicy) Option {
 	}
 }
 
+// WithHotspot enables the contention-adaptive commit path of a sharded
+// Engine and sets its policy. Zero fields take their defaults (see
+// HotspotPolicy). When a stripe's contention score crosses the policy
+// threshold the Engine moves it into split phase: inserts are absorbed into
+// staged delta buffers without the owning shard's lock and folded in bulk by
+// a reconciler, while deletes, clustering queries, Sync, Checkpoint, and
+// Close force an immediate reconcile. See the README's "Hotspots &
+// contention" section for the semantics. Requires WithShards(n>1).
+func WithHotspot(p HotspotPolicy) Option {
+	return func(s *engineSettings) {
+		if p.ScoreThreshold < 0 || p.WaitWeight < 0 || p.CheckEvery < 0 ||
+			p.ReconcileOps < 0 || p.SplitAfter < 0 || p.SplitParts < 0 || p.MigrateChunk < 0 {
+			s.setErr(fmt.Errorf("dyndbscan: WithHotspot(%+v): negative policy field", p))
+			return
+		}
+		s.hotspot = p
+		s.hotspotSet = true
+	}
+}
+
 // WithConfig replaces the whole parameter set at once — the escape hatch for
 // callers that already hold a Config (the low-level SPI). Individual options
 // applied after it still override single fields. A caller supplying a whole
@@ -268,6 +290,9 @@ func (s *engineSettings) validate() error {
 	}
 	if s.rebalanceSet && s.shards <= 1 {
 		return errors.New("dyndbscan: WithRebalance requires WithShards(n>1); a single-shard engine has nothing to rebalance")
+	}
+	if s.hotspotSet && s.shards <= 1 {
+		return errors.New("dyndbscan: WithHotspot requires WithShards(n>1); a single-shard engine has no stripe contention")
 	}
 	if err := s.validateWAL(); err != nil {
 		return err

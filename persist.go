@@ -372,6 +372,14 @@ func (e *Engine) Checkpoint() error {
 	if w == nil {
 		return ErrNoWAL
 	}
+	if e.sh != nil {
+		// Checkpoint is a hotspot join trigger: staged deltas reconcile (and
+		// append their records) first, so a checkpoint never covers an acked
+		// insert that is in neither the payload nor the records after it.
+		// When the caller *is* a reconcile's own automatic checkpoint, the
+		// TryLock inside makes this a no-op instead of a deadlock.
+		e.sh.joinAll(joinCheckpoint)
+	}
 	w.ckptMu.Lock()
 	defer w.ckptMu.Unlock()
 	var (
@@ -555,13 +563,25 @@ func (w *walState) closeWAL(e *Engine) error {
 // stripe migration they describe, everything else goes through the ordinary
 // Apply pipeline. Shared by recovery (Open) and replica tailing.
 func (e *Engine) applyWALRecord(wops []wal.Op) error {
-	if len(wops) == 1 && wops[0].Kind == wal.OpAssign {
-		return e.applyAssign(wops[0].ID, wops[0].To)
-	}
-	for i := range wops {
-		if wops[i].Kind == wal.OpAssign {
-			return fmt.Errorf("dyndbscan: wal: placement op inside a data record")
+	if len(wops) == 1 {
+		switch wops[0].Kind {
+		case wal.OpAssign:
+			return e.applyAssign(wops[0].ID, wops[0].To)
+		case wal.OpSplit:
+			return e.applySplit(wops[0].ID, wops[0].To)
 		}
+	}
+	explicit := false
+	for i := range wops {
+		switch wops[i].Kind {
+		case wal.OpAssign, wal.OpSplit:
+			return fmt.Errorf("dyndbscan: wal: placement op inside a data record")
+		case wal.OpInsertAt:
+			explicit = true
+		}
+	}
+	if explicit {
+		return e.applyExplicit(wops)
 	}
 	_, err := e.Apply(opsFromWAL(wops))
 	return err
@@ -599,6 +619,74 @@ func (e *Engine) applyAssign(stripe, dst int64) error {
 	return nil
 }
 
+// applySplit replays one logged stripe split: re-granulate the stripe into
+// the same number of parts the writer chose. The sub-stripe owners derive
+// deterministically from the stripe's base shard (see splitStripeLocked), so
+// replay reproduces the writer's placement table exactly.
+func (e *Engine) applySplit(stripe, parts int64) error {
+	ss := e.sh
+	if ss == nil {
+		return fmt.Errorf("dyndbscan: wal: placement record in a single-backend log")
+	}
+	if parts < 2 || parts > ss.stripeCells {
+		return fmt.Errorf("dyndbscan: wal: split record with %d parts", parts)
+	}
+	ss.worldMu.Lock()
+	if _, already := ss.splits[stripe]; already {
+		ss.worldMu.Unlock()
+		return nil
+	}
+	ticket, evs, pub := ss.splitStripeLocked(stripe, parts)
+	ss.worldMu.Unlock()
+	if pub {
+		e.publishOrdered(ticket, evs)
+	}
+	return nil
+}
+
+// applyExplicit replays a data record whose inserts carry explicit handles.
+// A hotspot-enabled engine logs every insert that way because split-phase
+// staging divorces mint order from log order: handles are assigned when the
+// insert is acknowledged, but the record is appended when the stripe
+// reconciles, possibly many commits later. Replay adopts the logged handles
+// verbatim and pins the mint counter past them.
+func (e *Engine) applyExplicit(wops []wal.Op) error {
+	ss := e.sh
+	if ss == nil {
+		return fmt.Errorf("dyndbscan: wal: explicit-handle record in a single-backend log")
+	}
+	shOps := make([]shOp, len(wops))
+	var next PointID
+	for i, wop := range wops {
+		switch wop.Kind {
+		case wal.OpInsertAt:
+			sp, err := ss.stager.Stage(Point(wop.Coord))
+			if err != nil {
+				return fmt.Errorf("dyndbscan: wal: bad explicit insert: %w", err)
+			}
+			shOps[i] = shOp{insert: true, forceGID: true, sp: sp, gid: PointID(wop.ID)}
+			if PointID(wop.ID)+1 > next {
+				next = PointID(wop.ID) + 1
+			}
+		case wal.OpDelete:
+			shOps[i] = shOp{gid: PointID(wop.ID)}
+		default:
+			return fmt.Errorf("dyndbscan: wal: op kind %d inside an explicit-handle record", wop.Kind)
+		}
+	}
+	if _, err := ss.commitBatch(shOps, func(i int, id PointID) error {
+		return fmt.Errorf("dyndbscan: wal: replayed delete targets unknown handle %d", id)
+	}); err != nil {
+		return err
+	}
+	ss.routesMu.Lock()
+	if next > ss.nextID {
+		ss.nextID = next
+	}
+	ss.routesMu.Unlock()
+	return nil
+}
+
 // opsFromWAL converts logged ops back to the public Apply vocabulary.
 func opsFromWAL(wops []wal.Op) []Op {
 	ops := make([]Op, len(wops))
@@ -618,7 +706,8 @@ func opsFromWAL(wops []wal.Op) []Op {
 // through the ordinary Apply pipeline — so the recovered Engine serves the
 // same live handles and stable ClusterIDs as the one that wrote the log.
 // opts may carry runtime choices (WithWorkers, WithThreadSafety,
-// WithRebalance, WithWALSync, WithWALCheckpointEvery, WithWALSegmentBytes);
+// WithRebalance, WithHotspot, WithWALSync, WithWALCheckpointEvery,
+// WithWALSegmentBytes);
 // shape options conflict with the log and are rejected. The recovered Engine
 // keeps logging to the same directory.
 func Open(dir string, opts ...Option) (*Engine, error) {

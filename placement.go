@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"dyndbscan/internal/core"
 	"dyndbscan/internal/geom"
@@ -138,13 +139,16 @@ const adaptiveStripesPerShard = 4
 type stripeStat struct {
 	points  int     // resident owned points
 	updates float64 // decayed op count
+	waits   float64 // decayed lock waits observed on the shard commit path
 	tick    uint64  // commitSeq the decay was last applied at
 }
 
-// decayTo brings the update counter forward to commit sequence seq.
+// decayTo brings the update and wait counters forward to commit sequence seq.
 func (st *stripeStat) decayTo(seq uint64) {
 	if d := seq - st.tick; d > 0 {
-		st.updates *= math.Pow(loadDecay, float64(d))
+		f := math.Pow(loadDecay, float64(d))
+		st.updates *= f
+		st.waits *= f
 		st.tick = seq
 	}
 }
@@ -173,8 +177,11 @@ func floorMod(a, b int64) int64 {
 	return m
 }
 
-// shardOfStripe resolves one stripe through the assignment table. Readers
-// must hold routesMu or any worldMu mode (the table changes only under both).
+// shardOfStripe resolves one whole stripe through the assignment table.
+// Readers must hold routesMu or any worldMu mode (the table changes only
+// under both). Split stripes (see stripeSplit) resolve per column through
+// ownerOfCol instead; for them this returns the pre-split assignment, which
+// load accounting still uses as the aggregation key.
 func (ss *shardSet) shardOfStripe(t int64) int32 {
 	if s, ok := ss.assign[t]; ok {
 		return s
@@ -182,9 +189,31 @@ func (ss *shardSet) shardOfStripe(t int64) int32 {
 	return int32(floorMod(t, int64(len(ss.shards))))
 }
 
+// stripeSplit is a placement-table refinement: one stripe re-granulated into
+// parts contiguous sub-ranges of its columns, each owned independently — the
+// hotspot path's first fallback tier, spreading a hot stripe's traffic across
+// shards at a granularity migration alone cannot reach. Sub-stripe k of
+// parent t covers columns [t·W + k·W/parts, t·W + (k+1)·W/parts); splitting
+// clamps parts so every sub-range stays wider than the ghost band.
+type stripeSplit struct {
+	parts  int64
+	owners []int32 // sub-stripe → shard, len parts
+}
+
+// ownerOfCol resolves one cell column to its owning shard, honoring stripe
+// splits. Same locking discipline as shardOfStripe.
+func (ss *shardSet) ownerOfCol(c0 int64) int32 {
+	t := floorDiv(c0, ss.stripeCells)
+	if sp, ok := ss.splits[t]; ok {
+		k := (c0 - t*ss.stripeCells) * sp.parts / ss.stripeCells
+		return sp.owners[k]
+	}
+	return ss.shardOfStripe(t)
+}
+
 // ownerOf returns the shard owning the cell.
 func (ss *shardSet) ownerOf(coord grid.Coord) int32 {
-	return ss.shardOfStripe(floorDiv(int64(coord[0]), ss.stripeCells))
+	return ss.ownerOfCol(int64(coord[0]))
 }
 
 // replicated reports whether the cell is held by more than one shard — the
@@ -198,6 +227,17 @@ func (ss *shardSet) ownerOf(coord grid.Coord) int32 {
 // overhead.
 func (ss *shardSet) replicated(coord grid.Coord) bool {
 	c0 := int64(coord[0])
+	if len(ss.splits) > 0 {
+		// Split stripes break the stripe-granular walk: scan the columns of
+		// the band instead (the band is a handful of cells wide).
+		owner := ss.ownerOfCol(c0)
+		for d := int64(1); d <= ss.bandCells; d++ {
+			if ss.ownerOfCol(c0+d) != owner || ss.ownerOfCol(c0-d) != owner {
+				return true
+			}
+		}
+		return false
+	}
 	t := floorDiv(c0, ss.stripeCells)
 	owner := ss.shardOfStripe(t)
 	for dt := int64(1); (t+dt)*ss.stripeCells-c0 <= ss.bandCells; dt++ {
@@ -218,6 +258,24 @@ func (ss *shardSet) replicated(coord grid.Coord) bool {
 // the cell (its owned columns lie within bandCells of the cell's column).
 func (ss *shardSet) shardsOf(coord grid.Coord) []int32 {
 	c0 := int64(coord[0])
+	if len(ss.splits) > 0 {
+		// Column scan (see replicated): the same shard set, derived per
+		// column so sub-stripe boundaries are honored.
+		out := []int32{ss.ownerOfCol(c0)}
+		addS := func(s int32) {
+			for _, have := range out {
+				if have == s {
+					return
+				}
+			}
+			out = append(out, s)
+		}
+		for d := int64(1); d <= ss.bandCells; d++ {
+			addS(ss.ownerOfCol(c0 + d))
+			addS(ss.ownerOfCol(c0 - d))
+		}
+		return out
+	}
 	t := floorDiv(c0, ss.stripeCells)
 	owner := ss.shardOfStripe(t)
 	out := []int32{owner}
@@ -293,9 +351,12 @@ func (ss *shardSet) decideStripeLocked(ops []shOp) {
 	ss.stripeCells = w
 }
 
-// noteLoadLocked charges one op to the stripe owning the cell column col.
+// noteLoadLocked charges one op to the stripe owning the cell column col;
+// waited additionally records one observed lock wait on the op's owner shard
+// (the hotspot detector's direct contention signal). Split stripes keep
+// accounting at parent granularity — the stats key is the stripe index.
 // Caller holds routesMu and has already advanced commitSeq for this commit.
-func (ss *shardSet) noteLoadLocked(col int32, insert bool) {
+func (ss *shardSet) noteLoadLocked(col int32, insert, waited bool) {
 	t := floorDiv(int64(col), ss.stripeCells)
 	st := ss.stripeLoad[t]
 	if st == nil {
@@ -304,6 +365,9 @@ func (ss *shardSet) noteLoadLocked(col int32, insert bool) {
 	}
 	st.decayTo(ss.commitSeq)
 	st.updates++
+	if waited {
+		st.waits++
+	}
 	if insert {
 		st.points++
 	} else {
@@ -341,6 +405,16 @@ func (e *Engine) ShardLoads() []ShardLoad {
 	}
 	for t, st := range ss.stripeLoad {
 		st.decayTo(ss.commitSeq)
+		if sp, ok := ss.splits[t]; ok {
+			// Accounting stays parent-granular; attribute a split stripe's
+			// load evenly across its sub-stripe owners.
+			for _, s := range sp.owners {
+				out[s].Stripes++
+				out[s].Points += st.points / int(sp.parts)
+				out[s].Updates += st.updates / float64(sp.parts)
+			}
+			continue
+		}
 		s := ss.shardOfStripe(t)
 		out[s].Stripes++
 		out[s].Points += st.points
@@ -367,6 +441,14 @@ func (e *Engine) Rebalance() (moved int, err error) {
 	if e.sh == nil {
 		return 0, nil
 	}
+	// One pass at a time, shared with the automatic cadence: non-quiescent
+	// migrations release the world lock between chunks, so two interleaved
+	// passes could chase each other's placement. A call that loses the race
+	// reports zero moves; the running pass is doing the work.
+	if !e.sh.rebalancing.CompareAndSwap(false, true) {
+		return 0, nil
+	}
+	defer e.sh.rebalancing.Store(false)
 	return e.sh.rebalance(e.sh.policy), nil
 }
 
@@ -403,22 +485,34 @@ func (ss *shardSet) walAppendAssign(stripe int64, dst int32) (uint64, error) {
 	return e.wal.append([]wal.Op{{Kind: wal.OpAssign, ID: stripe, To: int64(dst)}})
 }
 
+// walAppendSplit logs a stripe re-granulation before it happens; placement
+// refinements replay like migrations (see wal.OpSplit).
+func (ss *shardSet) walAppendSplit(stripe, parts int64) (uint64, error) {
+	e := ss.e
+	if !e.logging() {
+		return 0, nil
+	}
+	return e.wal.append([]wal.Op{{Kind: wal.OpSplit, ID: stripe, To: parts}})
+}
+
 // rebalance runs one migration pass: pick, migrate, repeat until balanced or
 // MaxMoves. Events from migrations (possible only under Rho > 0) publish
-// after the world lock is released, in ticket order.
+// after the world lock is released, in ticket order. Large stripes take the
+// non-quiescent chunked path when the hotspot policy enables it.
 func (ss *shardSet) rebalance(pol RebalancePolicy) int {
-	type pubRec struct {
-		ticket uint64
-		evs    []Event
-	}
-	var pubs []pubRec
 	moved := 0
-	var walSeq uint64
-	ss.worldMu.Lock()
 	for moved < pol.MaxMoves {
+		ss.worldMu.Lock()
 		t, dst, ok := ss.pickMigrationLocked(pol)
 		if !ok {
+			ss.worldMu.Unlock()
 			break
+		}
+		if chunk := ss.chunkForLocked(t); chunk > 0 {
+			ss.worldMu.Unlock()
+			ss.migrateStripeChunked(t, dst, chunk)
+			moved++
+			continue
 		}
 		// Placement changes are logged like commits: the record goes in
 		// before the migration runs (a failed append must not leave an
@@ -428,29 +522,253 @@ func (ss *shardSet) rebalance(pol RebalancePolicy) int {
 		// in the log agrees with the migration's position between commits.
 		seq, err := ss.walAppendAssign(t, dst)
 		if err != nil {
+			ss.worldMu.Unlock()
 			break // log closing or poisoned: stop migrating, keep what moved
 		}
-		if seq != 0 {
-			walSeq = seq
-		}
 		ticket, evs, pub := ss.migrateStripeLocked(t, dst)
+		ss.worldMu.Unlock()
+		if seq != 0 {
+			// Durability barrier before the migration's events become
+			// visible, mirroring the commit path.
+			ss.e.wal.finish(seq)
+		}
 		if pub {
-			pubs = append(pubs, pubRec{ticket, evs})
+			// After the unlock, mirroring commitBatch: a publisher parked on
+			// a full BlockSubscriber queue must hold no engine lock.
+			ss.e.publishOrdered(ticket, evs)
 		}
 		moved++
 	}
-	ss.worldMu.Unlock()
-	if walSeq != 0 {
-		// Durability barrier before the migrations' events become visible,
-		// mirroring the commit path. Waiting on the last seq covers them all.
-		ss.e.wal.finish(walSeq)
-	}
-	for _, p := range pubs {
-		// After the unlock, mirroring commitBatch: a publisher parked on a
-		// full BlockSubscriber queue must hold no engine lock.
-		ss.e.publishOrdered(p.ticket, p.evs)
-	}
 	return moved
+}
+
+// chunkForLocked decides whether migrating stripe t should take the
+// non-quiescent chunked path, returning the chunk size (0 = quiesce). Only
+// hotspot-enabled engines chunk, only for stripes larger than the chunk, and
+// never while the seam is live — the chunked path's intermediate copies are
+// invisible to routing, but the live seam structure would have to track them.
+// Caller holds worldMu (any mode).
+func (ss *shardSet) chunkForLocked(t int64) int {
+	if ss.hs == nil || ss.eventsOn {
+		return 0
+	}
+	chunk := ss.hs.pol.MigrateChunk
+	if chunk <= 0 {
+		return 0
+	}
+	ss.routesMu.Lock()
+	st := ss.stripeLoad[t]
+	big := st != nil && st.points > chunk
+	ss.routesMu.Unlock()
+	if !big {
+		return 0
+	}
+	return chunk
+}
+
+// migrateStripeChunked is the non-quiescent migration tier: it pre-grows the
+// destination copies of stripe t's affected points in bounded chunks, each
+// under a short exclusive critical section with commits admitted in between,
+// and finishes with an ordinary quiesced migrate whose critical section is
+// then cheap — the copies already exist, so only the assignment flip,
+// restitch, and trim remain. Between chunks the extra destination copies are
+// invisible to routing (the assignment table still names the old owner):
+// they can only under-count their neighborhoods, which suppresses core
+// statuses and stitch edges but never invents them, so any snapshot or
+// checkpoint taken mid-migration is still exact. Deletes remove them
+// naturally (they are listed in the point's route), and the final pass picks
+// up points inserted between chunks.
+func (ss *shardSet) migrateStripeChunked(t int64, dst int32, chunk int) {
+	loCol := t*ss.stripeCells - ss.bandCells
+	hiCol := (t+1)*ss.stripeCells - 1 + ss.bandCells
+	for rounds := 0; ; rounds++ {
+		ss.worldMu.Lock()
+		ss.routesMu.Lock()
+		if ss.shardOfStripe(t) == dst || ss.splits[t] != nil {
+			// The world moved on (a racing pass or split won); nothing to do.
+			ss.routesMu.Unlock()
+			ss.worldMu.Unlock()
+			return
+		}
+		full := true
+		if ss.eventsOn || rounds > 64 {
+			// Seam went live (chunking would leave it stale) or writers are
+			// outpacing the chunks: finish quiesced below.
+			ss.routesMu.Unlock()
+		} else {
+			// Hypothetical flip: compute the future copy sets without making
+			// the flip visible (routesMu is held; no commit can route).
+			saved, had := ss.assign[t]
+			ss.assign[t] = dst
+			grown := 0
+			for gid, r := range ss.routes {
+				if grown >= chunk {
+					full = false
+					break
+				}
+				if c := int64(r.col); c < loCol || c > hiCol {
+					continue
+				}
+				var coord grid.Coord
+				coord[0] = r.col
+				newShs := ss.shardsOf(coord)
+				have := make(map[int32]struct{}, len(r.copies))
+				for _, c := range r.copies {
+					have[c.shard] = struct{}{}
+				}
+				added := false
+				for _, s := range newShs {
+					if _, ok := have[s]; ok {
+						continue
+					}
+					owner := r.copies[0]
+					pt, ok := ss.shards[owner.shard].look.PointAt(owner.local)
+					if !ok {
+						panic(fmt.Sprintf("dyndbscan: chunked migration lost the owner copy of point %d", gid))
+					}
+					sp, err := ss.stager.Stage(pt)
+					if err != nil {
+						panic(fmt.Sprintf("dyndbscan: chunked migration re-staging point %d: %v", gid, err))
+					}
+					lid, err := ss.shards[s].st.InsertStaged(sp)
+					if err != nil {
+						panic(fmt.Sprintf("dyndbscan: shard %d rejected a migrated copy: %v", s, err))
+					}
+					r.copies = append(r.copies, copyRef{s, lid})
+					added = true
+				}
+				if added {
+					ss.routes[gid] = r
+					grown++
+				}
+			}
+			if had {
+				ss.assign[t] = saved
+			} else {
+				delete(ss.assign, t)
+			}
+			ss.routesMu.Unlock()
+		}
+		if full {
+			// Everything is grown (or we must stop chunking): finish with the
+			// ordinary quiesced migrate under the worldMu we already hold.
+			// The trim — the dominant cost of a fully-dynamic reshape, one
+			// clustering delete per stale copy — is deferred past the flip
+			// and paid in bounded rounds below, so this critical section
+			// holds only the assignment flip and the bridging restitch.
+			seq, err := ss.walAppendAssign(t, dst)
+			if err != nil {
+				ss.worldMu.Unlock()
+				return
+			}
+			ss.deferTrim = true
+			ticket, evs, pub := ss.migrateStripeLocked(t, dst)
+			ss.deferTrim = false
+			ss.worldMu.Unlock()
+			if seq != 0 {
+				ss.e.wal.finish(seq)
+			}
+			if pub {
+				ss.e.publishOrdered(ticket, evs)
+			}
+			ss.trimChunks(chunk)
+			return
+		}
+		ss.worldMu.Unlock()
+		// Commits are admitted here, between chunks. The pacing sleep is
+		// load-bearing, not politeness: each round that changed placement
+		// state bumps placeEpoch, and a commit that routed against the old
+		// epoch re-routes from scratch — without a gap long enough for
+		// in-flight commits to drain, back-to-back rounds can chase one
+		// unlucky commit through a re-route per round for the whole
+		// migration, reproducing exactly the whole-move stall this tier
+		// exists to avoid.
+		time.Sleep(chunkPacing)
+	}
+}
+
+// chunkPacing is the gap between chunked-migration critical sections: long
+// enough for the commits blocked on the previous hold (including ones that
+// must re-route after the placeEpoch bump) to finish before the next hold.
+const chunkPacing = 2 * time.Millisecond
+
+// trimRef names one stale copy whose backend removal the chunked migration
+// tier deferred past the placement flip.
+type trimRef struct {
+	gid   PointID
+	shard int32
+	local core.PointID
+}
+
+// trimChunks drains the deferred-trim queue in bounded rounds, each under a
+// short exclusive critical section with commits admitted in between. Every
+// entry is re-validated against the live route before acting: the point may
+// have been deleted (its stale copy went with it), a later reshape may have
+// consumed or re-legitimized the copy, or the placement may route the shard
+// again — in all of those the entry is simply dropped. After a round that
+// removed copies the stitch is invalidated and the placement epoch bumped,
+// mirroring what the quiesced reshape does after its inline trim.
+func (ss *shardSet) trimChunks(chunk int) {
+	for {
+		ss.worldMu.Lock()
+		ss.routesMu.Lock()
+		n := min(chunk, len(ss.trimQueue))
+		trimmed := false
+		for _, tr := range ss.trimQueue[:n] {
+			r, ok := ss.routes[tr.gid]
+			if !ok {
+				continue
+			}
+			idx := -1
+			for i, c := range r.copies {
+				if c.shard == tr.shard && c.local == tr.local {
+					idx = i
+					break
+				}
+			}
+			if idx <= 0 {
+				// Gone already, or promoted to the owner copy by a later
+				// reshape (then the placement routes it — keep it).
+				continue
+			}
+			var coord grid.Coord
+			coord[0] = r.col
+			keep := false
+			for _, s := range ss.shardsOf(coord) {
+				if s == tr.shard {
+					keep = true
+					break
+				}
+			}
+			if keep {
+				continue
+			}
+			if err := ss.shards[tr.shard].c.Delete(tr.local); err != nil {
+				panic(fmt.Sprintf("dyndbscan: shard %d rejected trimming a deferred copy: %v", tr.shard, err))
+			}
+			r.copies = append(r.copies[:idx], r.copies[idx+1:]...)
+			ss.routes[tr.gid] = r
+			trimmed = true
+		}
+		ss.trimQueue = ss.trimQueue[n:]
+		done := len(ss.trimQueue) == 0
+		if done {
+			ss.trimQueue = nil
+		}
+		if trimmed {
+			ss.e.version.Add(1)
+			ss.stitchValid = false
+			ss.placeEpoch++
+		}
+		ss.routesMu.Unlock()
+		ss.worldMu.Unlock()
+		if done {
+			return
+		}
+		// See the pacing note in migrateStripeChunked: every trim round
+		// bumps placeEpoch, so in-flight commits must drain between rounds.
+		time.Sleep(chunkPacing)
+	}
 }
 
 // pickMigrationLocked chooses the next migration: the hottest stripe of the
@@ -474,6 +792,14 @@ func (ss *shardSet) pickMigrationLocked(pol RebalancePolicy) (stripe int64, dst 
 			continue
 		}
 		l := st.load()
+		if sp, ok := ss.splits[t]; ok {
+			// Split stripes cannot migrate as a unit; attribute their load
+			// evenly across the sub-stripe owners and skip them as candidates.
+			for _, s := range sp.owners {
+				loads[s] += l / float64(sp.parts)
+			}
+			continue
+		}
 		s := ss.shardOfStripe(t)
 		loads[s] += l
 		byShard[s] = append(byShard[s], cand{t, l})
@@ -514,18 +840,50 @@ func (ss *shardSet) pickMigrationLocked(pol RebalancePolicy) (stripe int64, dst 
 }
 
 // migrateStripeLocked reassigns stripe t to shard dst and moves the physical
-// copies to match: grow (insert the copies the new placement requires),
-// restitch while both generations are co-resident (the bridge that carries
-// the global ClusterID assignment onto the target's local clusters), then
-// trim the copies the old placement held and the new one does not. Caller
-// holds worldMu exclusively; the returned ticket/evs (pub=true) must be
-// published by the caller after releasing it.
+// copies to match; see reshapeLocked for the grow/restitch/trim machinery.
+// Caller holds worldMu exclusively; the returned ticket/evs (pub=true) must
+// be published by the caller after releasing it.
 func (ss *shardSet) migrateStripeLocked(t int64, dst int32) (ticket uint64, evs []Event, pub bool) {
-	e := ss.e
-	src := ss.shardOfStripe(t)
-	if src == dst {
+	if ss.shardOfStripe(t) == dst {
 		return 0, nil, false
 	}
+	return ss.reshapeLocked(
+		t*ss.stripeCells-ss.bandCells,
+		(t+1)*ss.stripeCells-1+ss.bandCells,
+		func() { ss.assign[t] = dst },
+	)
+}
+
+// splitStripeLocked re-granulates stripe t into parts sub-stripes: sub-stripe
+// 0 keeps the current owner and the rest round-robin onward from it — a
+// deterministic function of the replayed placement history, so WAL replay
+// reproduces it. Caller holds worldMu exclusively and has validated parts
+// (≥ 2, sub-width above the ghost band).
+func (ss *shardSet) splitStripeLocked(t, parts int64) (ticket uint64, evs []Event, pub bool) {
+	base := ss.shardOfStripe(t)
+	owners := make([]int32, parts)
+	n := int64(len(ss.shards))
+	for k := range owners {
+		owners[k] = int32(floorMod(int64(base)+int64(k), n))
+	}
+	return ss.reshapeLocked(
+		t*ss.stripeCells-ss.bandCells,
+		(t+1)*ss.stripeCells-1+ss.bandCells,
+		func() { ss.splits[t] = &stripeSplit{parts: parts, owners: owners} },
+	)
+}
+
+// reshapeLocked applies one placement-table change (flip) and moves the
+// physical copies to match: grow (insert the copies the new placement
+// requires), restitch while both generations are co-resident (the bridge
+// that carries the global ClusterID assignment onto the target's local
+// clusters), then trim the copies the old placement held and the new one
+// does not. The affected handles are those whose cell column lies in
+// [loCol, hiCol] — the reshaped columns padded by the ghost band. Caller
+// holds worldMu exclusively; the returned ticket/evs (pub=true) must be
+// published by the caller after releasing it.
+func (ss *shardSet) reshapeLocked(loCol, hiCol int64, flip func()) (ticket uint64, evs []Event, pub bool) {
+	e := ss.e
 
 	// The table and the route rewrites happen under one routesMu critical
 	// section: concurrent commits route under routesMu, so they observe
@@ -548,12 +906,9 @@ func (ss *shardSet) migrateStripeLocked(t int64, dst int32) (ticket uint64, evs 
 	}
 
 	// Affected handles: every point whose copy set can change — its cell
-	// column lies in stripe t or within the ghost band around it. The full
-	// routes scan is O(live points), which does not change the migration's
-	// asymptotics: the two restitches below already walk every core cell of
-	// every shard (see the non-quiescent-migration follow-up in ROADMAP.md).
-	loCol := t*ss.stripeCells - ss.bandCells
-	hiCol := (t+1)*ss.stripeCells - 1 + ss.bandCells
+	// column lies within the reshaped range. The full routes scan is O(live
+	// points), which does not change the reshape's asymptotics: the two
+	// restitches below already walk every core cell of every shard.
 	type moveRec struct {
 		gid PointID
 		old route
@@ -565,8 +920,8 @@ func (ss *shardSet) migrateStripeLocked(t int64, dst int32) (ticket uint64, evs 
 		}
 	}
 
-	// Flip the assignment: shardsOf speaks the new placement from here on.
-	ss.assign[t] = dst
+	// Flip the table: shardsOf speaks the new placement from here on.
+	flip()
 
 	// Grow: route every affected point under the new placement, inserting
 	// the copies it lacks. Old copies stay resident through the intermediate
@@ -612,13 +967,23 @@ func (ss *shardSet) migrateStripeLocked(t int64, dst int32) (ticket uint64, evs 
 			newCopies = append(newCopies, copyRef{s, lid})
 		}
 		for s, local := range oldAt {
-			if trim {
-				removals = append(removals, removal{s, local})
-			} else {
+			switch {
+			case !trim:
 				// Keep the undeletable stale copy listed so a later
 				// migration routing this shard again reuses it instead of
 				// inserting a duplicate (which would inflate densities).
 				newCopies = append(newCopies, copyRef{s, local})
+			case ss.deferTrim:
+				// Chunked tier: the stale copy stays resident and listed —
+				// exactly the semi-dynamic treatment above, so deletes and
+				// re-migrations still find it — and trimChunks removes it
+				// later in bounded rounds. A real extra copy of a real point
+				// can only under-count neighborhoods elsewhere, never invent
+				// cores or stitch edges, so the interim clustering is exact.
+				newCopies = append(newCopies, copyRef{s, local})
+				ss.trimQueue = append(ss.trimQueue, trimRef{mv.gid, s, local})
+			default:
+				removals = append(removals, removal{s, local})
 			}
 		}
 		oldOwner := mv.old.copies[0]

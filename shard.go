@@ -144,6 +144,7 @@ type shardSet struct {
 	// stripeLoad/commitSeq/nextAutoCheck are the per-stripe load accounts,
 	// guarded by routesMu.
 	assign          map[int64]int32
+	splits          map[int64]*stripeSplit
 	placeEpoch      uint64
 	adaptivePending bool
 	stripeLoad      map[int64]*stripeStat
@@ -152,6 +153,24 @@ type shardSet struct {
 	policy          RebalancePolicy
 	autoEvery       int
 	rebalancing     atomic.Bool
+
+	// hs is the contention-adaptive commit path (WithHotspot), nil otherwise;
+	// see hotspot.go. stagedRoutes maps handles of staged-but-unreconciled
+	// hotspot inserts to their parent stripe — the handle surface (len, has,
+	// ids, delete validation) consults it so acked handles are never invisible.
+	// Guarded by routesMu; entries are removed only after the reconcile commit
+	// published the real route, so the two maps may briefly overlap.
+	hs           *hotspotState
+	stagedRoutes map[PointID]int64
+
+	// Deferred-trim state of the chunked migration tier (see
+	// migrateStripeChunked): while deferTrim is set, reshapeLocked keeps the
+	// stale copies resident and listed (the semi-dynamic treatment) and
+	// queues them here instead of deleting them inline; trimChunks then
+	// removes them in bounded rounds. Both guarded by worldMu exclusive +
+	// routesMu, the reshape discipline.
+	deferTrim bool
+	trimQueue []trimRef
 
 	// worldMu: commits hold it shared (their shard locks provide mutual
 	// exclusion); snapshot builds, full stitches, and subscriber-count
@@ -180,6 +199,14 @@ type shardSet struct {
 	// everything without seamMu, since no commit is in flight then.
 	seamMu sync.Mutex
 	seam   *seamState
+
+	// seamVersion stamps the epoch the retired seam structure was exact at
+	// when the last subscriber left (the seam itself is kept): a Subscribe
+	// arriving before the next commit reuses it instead of paying a full
+	// restitch. restitches counts full restitch passes — the observable the
+	// seam-reuse regression test pins down.
+	seamVersion uint64
+	restitches  uint64
 
 	// Stitch state. keyGID persists the (shard, local cluster) → global id
 	// assignment across epochs — the source of global id stability — fed by
@@ -221,15 +248,20 @@ func newShardedEngine(s *engineSettings) (*Engine, error) {
 		stager: core.NewStager(cfg),
 		// Cells at column distance k have box distance (k-1)·side; +2 keeps
 		// the rounding conservative (over-replication is a perf cost only).
-		bandCells:   int64(math.Floor(band/side)) + 2,
-		shards:      make([]*shard, s.shards),
-		routes:      make(map[PointID]route),
-		idsSorted:   true,
-		pendingDead: make(map[PointID]struct{}),
-		keyGID:      make(map[stitchKey]ClusterID),
-		assign:      make(map[int64]int32),
-		stripeLoad:  make(map[int64]*stripeStat),
-		policy:      s.rebalance.normalize(s.shards),
+		bandCells:    int64(math.Floor(band/side)) + 2,
+		shards:       make([]*shard, s.shards),
+		routes:       make(map[PointID]route),
+		idsSorted:    true,
+		pendingDead:  make(map[PointID]struct{}),
+		keyGID:       make(map[stitchKey]ClusterID),
+		assign:       make(map[int64]int32),
+		splits:       make(map[int64]*stripeSplit),
+		stripeLoad:   make(map[int64]*stripeStat),
+		stagedRoutes: make(map[PointID]int64),
+		policy:       s.rebalance.normalize(s.shards),
+	}
+	if s.hotspotSet {
+		ss.hs = newHotspotState(s.hotspot)
 	}
 	ss.autoEvery = ss.policy.CheckEvery
 	if ss.autoEvery > 0 {
@@ -337,6 +369,8 @@ func (ss *shardSet) commitBatch(ops []shOp, errUnknown func(i int, id PointID) e
 		evsOn    bool
 		unlock   func()
 		walSeq   uint64
+		waited   map[int32]bool // shards whose lock this commit contended on
+		minted   bool           // explicit-handle mode: handles already assigned
 	)
 route:
 	for {
@@ -414,7 +448,20 @@ route:
 		ss.worldMu.RLock()
 		evsOn = ss.eventsOn
 		for _, s := range involved {
+			if ss.hs == nil || ss.shards[s].mu.TryLock() {
+				if ss.hs == nil {
+					ss.shards[s].mu.Lock()
+				}
+				continue
+			}
+			// Contended acquisition: the wait is charged to the owner stripes
+			// of this commit's ops on that shard (noteLoadLocked below) — the
+			// signal the hotspot detector scores alongside raw update counts.
 			ss.shards[s].mu.Lock()
+			if waited == nil {
+				waited = make(map[int32]bool, len(involved))
+			}
+			waited[s] = true
 		}
 		unlock = func() {
 			for i := len(involved) - 1; i >= 0; i-- {
@@ -444,11 +491,26 @@ route:
 		// WAL append happens here — inside the same routesMu section that
 		// mints the handles, while the shard locks are held — so the log's
 		// record order agrees with both the mint order and every involved
-		// shard's apply order (see persist.go). It must precede the minting:
-		// a failed append aborts the commit, and aborted commits must not
-		// advance nextID or replay would mint different handles.
+		// shard's apply order (see persist.go). Without a hotspot path the
+		// append must precede the minting: a failed append aborts the commit,
+		// and aborted commits must not advance nextID or replay would mint
+		// different handles. With one (ss.hs != nil), staging mints handles
+		// before any log record exists, so log order no longer determines
+		// handles; every insert is logged as OpInsertAt carrying its handle
+		// explicitly, which requires minting first (a failed append then burns
+		// ids — harmless, since replay reads handles instead of re-minting).
+		explicit := ss.hs != nil
+		if explicit && !minted {
+			for i := range ops {
+				if ops[i].insert && !ops[i].forceGID {
+					ops[i].gid = ss.nextID
+					ss.nextID++
+				}
+			}
+			minted = true
+		}
 		if e.logging() {
-			seq, werr := e.wal.append(walOpsFromShOps(ops, ss.cfg.Dims))
+			seq, werr := e.wal.append(walOpsFromShOps(ops, ss.cfg.Dims, explicit))
 			if werr != nil {
 				ss.routesMu.Unlock()
 				unlock()
@@ -456,10 +518,12 @@ route:
 			}
 			walSeq = seq
 		}
-		for i := range ops {
-			if ops[i].insert && !ops[i].forceGID {
-				ops[i].gid = ss.nextID
-				ss.nextID++
+		if !explicit {
+			for i := range ops {
+				if ops[i].insert && !ops[i].forceGID {
+					ops[i].gid = ss.nextID
+					ss.nextID++
+				}
 			}
 		}
 		ss.routesMu.Unlock()
@@ -525,7 +589,7 @@ route:
 	for i := range ops {
 		op := &ops[i]
 		out[i] = op.gid
-		ss.noteLoadLocked(cols[i], op.insert)
+		ss.noteLoadLocked(cols[i], op.insert, waited[copies[i][0].shard])
 		if op.insert {
 			ss.routes[op.gid] = route{col: cols[i], copies: copies[i]}
 			if n := len(ss.sortedIDs); n > 0 && op.gid <= ss.sortedIDs[n-1] {
@@ -536,6 +600,9 @@ route:
 			delete(ss.routes, op.gid)
 			ss.pendingDead[op.gid] = struct{}{}
 		}
+	}
+	if ss.hs != nil {
+		ss.noteHotspotLocked()
 	}
 	ss.routesMu.Unlock()
 
@@ -606,20 +673,31 @@ route:
 		// lock pinned by this commit.
 		ss.maybeAutoRebalance()
 	}
+	if ss.hs != nil {
+		// Hotspot reconciliation cadence: also on the committing goroutine
+		// with no lock pinned; a reconcile's own nested commit skips this via
+		// the reconcileMu TryLock.
+		ss.maybeHotspotReconcile()
+	}
 	e.maybeCheckpoint()
 	return out, werr
 }
 
 // walOpsFromShOps converts a routed batch to its log record. Insert coords
 // come from the staged clone (dims-length, validated); the log serializes
-// them during Append, so handing out the slice is safe.
-func walOpsFromShOps(ops []shOp, dims int) []wal.Op {
+// them during Append, so handing out the slice is safe. With explicit set
+// (hotspot engines) inserts are logged as OpInsertAt carrying their already-
+// minted handle, since mint order and log order diverge once staging exists.
+func walOpsFromShOps(ops []shOp, dims int, explicit bool) []wal.Op {
 	wops := make([]wal.Op, len(ops))
 	for i := range ops {
-		if ops[i].insert {
-			wops[i] = wal.Op{Kind: wal.OpInsert, Coord: ops[i].sp.Point()[:dims]}
-		} else {
+		switch {
+		case !ops[i].insert:
 			wops[i] = wal.Op{Kind: wal.OpDelete, ID: int64(ops[i].gid)}
+		case explicit:
+			wops[i] = wal.Op{Kind: wal.OpInsertAt, Coord: ops[i].sp.Point()[:dims], ID: int64(ops[i].gid)}
+		default:
+			wops[i] = wal.Op{Kind: wal.OpInsert, Coord: ops[i].sp.Point()[:dims]}
 		}
 	}
 	return wops
@@ -672,6 +750,14 @@ func (ss *shardSet) insert(pt Point) (PointID, error) {
 	if err != nil {
 		return 0, err
 	}
+	if ss.hs != nil {
+		if out, ok, err := ss.hotCommit([]core.StagedPoint{sp}); ok {
+			if err != nil {
+				return 0, err
+			}
+			return out[0], nil
+		}
+	}
 	out, err := ss.commitBatch([]shOp{{insert: true, sp: sp}}, nil)
 	if err != nil {
 		return 0, err
@@ -683,6 +769,7 @@ func (ss *shardSet) delete(id PointID) error {
 	if ss.e.algo == AlgoSemiDynamic {
 		return ErrDeletesUnsupported
 	}
+	ss.joinForDelete([]PointID{id})
 	_, err := ss.commitBatch([]shOp{{gid: id}}, func(int, PointID) error {
 		return ErrUnknownPoint
 	})
@@ -697,6 +784,11 @@ func (ss *shardSet) insertBatch(pts []Point) ([]PointID, error) {
 	if len(pts) == 0 {
 		return nil, nil
 	}
+	if ss.hs != nil {
+		if out, ok, err := ss.hotCommit(staged); ok {
+			return out, err
+		}
+	}
 	ops := make([]shOp, len(staged))
 	for i, sp := range staged {
 		ops[i] = shOp{insert: true, sp: sp}
@@ -708,6 +800,7 @@ func (ss *shardSet) deleteBatch(ids []PointID) error {
 	if len(ids) == 0 {
 		return nil
 	}
+	ss.joinForDelete(ids)
 	// Mirror the single-backend validation order (ascending index, duplicate
 	// before existence) so the two modes report the same failure.
 	seen := make(map[PointID]struct{}, len(ids))
@@ -746,6 +839,22 @@ func (ss *shardSet) apply(ops []Op, inserts []Point, insertAt []int) ([]PointID,
 	if err != nil {
 		return nil, err
 	}
+	if ss.hs != nil {
+		if len(inserts) == len(ops) {
+			// Pure-insert batch: eligible for split-phase diversion.
+			if out, ok, err := ss.hotCommit(staged); ok {
+				return out, err
+			}
+		} else {
+			targets := make([]PointID, 0, len(ops)-len(inserts))
+			for _, op := range ops {
+				if op.Kind != OpInsert {
+					targets = append(targets, op.ID)
+				}
+			}
+			ss.joinForDelete(targets)
+		}
+	}
 	shOps := make([]shOp, len(ops))
 	next := 0
 	for i, op := range ops {
@@ -761,27 +870,45 @@ func (ss *shardSet) apply(ops []Op, inserts []Point, insertAt []int) ([]PointID,
 	})
 }
 
-// Read surface.
+// Read surface. The handle views (len, has, ids) count staged-but-
+// unreconciled hotspot inserts through stagedRoutes: a staged handle was
+// acked, so it must never look dead. A handle can briefly appear in both maps
+// (stagedRoutes entries are removed only after the reconcile published the
+// real route), hence the dedup.
 
 func (ss *shardSet) len() int {
 	ss.routesMu.Lock()
 	defer ss.routesMu.Unlock()
-	return len(ss.routes)
+	n := len(ss.routes)
+	for gid := range ss.stagedRoutes {
+		if _, routed := ss.routes[gid]; !routed {
+			n++
+		}
+	}
+	return n
 }
 
 func (ss *shardSet) has(id PointID) bool {
 	ss.routesMu.Lock()
 	defer ss.routesMu.Unlock()
-	_, ok := ss.routes[id]
+	if _, ok := ss.routes[id]; ok {
+		return true
+	}
+	_, ok := ss.stagedRoutes[id]
 	return ok
 }
 
 func (ss *shardSet) ids() []PointID {
 	ss.routesMu.Lock()
 	defer ss.routesMu.Unlock()
-	out := make([]PointID, 0, len(ss.routes))
+	out := make([]PointID, 0, len(ss.routes)+len(ss.stagedRoutes))
 	for id := range ss.routes {
 		out = append(out, id)
+	}
+	for id := range ss.stagedRoutes {
+		if _, routed := ss.routes[id]; !routed {
+			out = append(out, id)
+		}
 	}
 	return out
 }
@@ -799,6 +926,11 @@ func (ss *shardSet) liveIDsLocked() []PointID {
 // current epoch.
 func (ss *shardSet) snapshot() *Snapshot {
 	e := ss.e
+	// A clustering query is a join trigger: staged hotspot inserts must fold
+	// before the world quiesces, or the snapshot would miss acked points. An
+	// advisory miss (another reconcile in flight) linearizes the snapshot
+	// before that reconcile's commit.
+	ss.joinAll(joinQuery)
 	ss.worldMu.Lock()
 	defer ss.worldMu.Unlock()
 	if s := e.currentSnapshot(); s != nil {
@@ -891,6 +1023,7 @@ func (ss *shardSet) restitchLocked() {
 // claimed global ids, and the previous ids attributed to each — which stripe
 // migration feeds to netTransitions to derive its global cluster events.
 func (ss *shardSet) restitchInfoLocked() (comps [][]stitchKey, gidOf []ClusterID, prevGIDs [][]ClusterID) {
+	ss.restitches++
 	type edge struct{ a, b stitchKey }
 	var (
 		keys  []stitchKey
@@ -1061,9 +1194,11 @@ func (ss *shardSet) syncEvents() {
 			sh.pending = nil
 		}
 		// The seam-maintained assignment is exact for this quiesced instant;
-		// keep serving it until the next commit moves the epoch.
-		ss.seam = nil
-		ss.stitchVersion = e.version.Load()
+		// keep serving it until the next commit moves the epoch. The seam
+		// itself is retired, not discarded: stamped with this epoch, it is
+		// reused verbatim by a Subscribe that arrives before the next commit.
+		ss.seamVersion = e.version.Load()
+		ss.stitchVersion = ss.seamVersion
 		ss.stitchValid = true
 		return
 	}
@@ -1075,8 +1210,15 @@ func (ss *shardSet) syncEvents() {
 	}
 	// Baseline: the incremental seam starts from a full stitch of the
 	// quiesced world, so the first subscribed commit folds only its own
-	// changes, not the whole pre-subscription history.
-	ss.buildSeamLocked()
+	// changes, not the whole pre-subscription history. A seam retired at this
+	// very epoch is still that stitch — reuse it instead of recomputing
+	// (unsubscribe/resubscribe churn otherwise pays a full restitch each
+	// time). Commits and migrations invalidate the retirement stamp by
+	// advancing the version; they never need to clear ss.seam themselves.
+	if ss.seam == nil || ss.seamVersion != e.version.Load() {
+		ss.seam = nil
+		ss.buildSeamLocked()
+	}
 	ss.stitchVersion = e.version.Load()
 	ss.stitchValid = true
 	ss.eventsOn = true
