@@ -1,5 +1,7 @@
 package dyndbscan
 
+//dynlint:reconciled-surface
+
 // Checkpoint payloads: the serialized live state that bounds WAL replay.
 //
 // A checkpoint stores the live points (handles and coordinates), the id-mint

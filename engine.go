@@ -115,8 +115,11 @@ type Engine struct {
 	// version is the engine epoch and snap the snapshot publication slot;
 	// both are written inside the update critical section and read lock-free
 	// on the query fast path.
+	//
+	//dynlint:visibility
 	version atomic.Uint64
-	snap    atomic.Pointer[Snapshot]
+	//dynlint:visibility
+	snap atomic.Pointer[Snapshot]
 
 	// sh is non-nil when the Engine runs in sharded mode (WithShards(n>1)):
 	// every update and query path then routes through it, and the
@@ -132,6 +135,7 @@ type Engine struct {
 	wal   *walState
 	remap *gidRemap
 
+	//dynlint:lock-level 70
 	mu      sync.RWMutex
 	c       Clusterer
 	ext     extendedClusterer // nil when the backend lacks the capability
@@ -153,13 +157,16 @@ type Engine struct {
 	// critical section, pubNext/pubCond (guarded by pubMu) admit publishers
 	// in ticket order — so per-subscriber event streams preserve commit
 	// order while no engine lock is ever held across a blocking enqueue.
+	//dynlint:visibility
 	pubTicket uint64
-	pubMu     sync.Mutex
-	pubCond   sync.Cond // signals pubNext advances; Wait on pubMu
-	pubNext   uint64
-	subMu     sync.Mutex
-	subs      map[int]*subscriber
-	nextSub   int
+	//dynlint:lock-level 80
+	pubMu   sync.Mutex
+	pubCond sync.Cond // signals pubNext advances; Wait on pubMu
+	pubNext uint64
+	//dynlint:lock-level 90
+	subMu   sync.Mutex
+	subs    map[int]*subscriber
+	nextSub int
 }
 
 // New builds an Engine from functional options. WithEps and WithMinPts are

@@ -161,6 +161,8 @@ type hotspotState struct {
 
 	// hot is the split-phase set; guarded by routesMu (like the placement
 	// tables its membership modulates).
+	//
+	//dynlint:staged-only
 	hot       map[int64]*hotStripe
 	nextCheck uint64 // next detection commitSeq; guarded by routesMu
 
@@ -168,9 +170,13 @@ type hotspotState struct {
 	// with TryLock: a join that loses the race returns immediately — the
 	// reconcile underway *is* the join — which is also what makes the
 	// trigger paths deadlock-free when a reconcile's own publication or
-	// checkpoint re-enters them.
+	// checkpoint re-enters them. Held across whole reconcile commits
+	// (fsync + publication included), hence may-block; see LOCKING.md.
+	//
+	//dynlint:lock-level 10 may-block
 	reconcileMu sync.Mutex
 
+	//dynlint:lock-level 120
 	statsMu        sync.Mutex
 	joins          map[string]uint64
 	reconciles     uint64

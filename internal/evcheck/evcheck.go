@@ -32,6 +32,7 @@ import (
 // Validator checks one subscriber stream. The zero value is not ready; use
 // New.
 type Validator struct {
+	//dynlint:lock-level 120
 	mu       sync.Mutex
 	live     map[core.ClusterID]struct{}
 	events   int

@@ -59,8 +59,9 @@ func Map[T, R any](workers int, items []T, fn func(int, T) (R, error)) ([]R, err
 	}
 
 	var (
-		next     atomic.Int64 // next unclaimed item index
-		errIdx   atomic.Int64 // lowest failing index seen so far
+		next   atomic.Int64 // next unclaimed item index
+		errIdx atomic.Int64 // lowest failing index seen so far
+		//dynlint:lock-level 120
 		errMu    sync.Mutex
 		firstErr error
 		wg       sync.WaitGroup

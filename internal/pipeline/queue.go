@@ -9,6 +9,7 @@ import "sync"
 // staleness). The consumer drains with Get and acknowledges each item with
 // Done, which lets WaitIdle observe full delivery, not just dequeueing.
 type Queue[T any] struct {
+	//dynlint:lock-level 100
 	mu       sync.Mutex
 	notEmpty sync.Cond
 	notFull  sync.Cond
@@ -37,6 +38,8 @@ func NewQueue[T any](capacity int) *Queue[T] {
 // Put enqueues v and reports whether the queue accepted it (false once
 // closed). With dropOldest, a full queue evicts its oldest item instead of
 // blocking, so Put never waits.
+//
+//dynlint:blocks
 func (q *Queue[T]) Put(v T, dropOldest bool) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -85,6 +88,8 @@ func (q *Queue[T]) TryPut(v T) (accepted, wouldBlock bool) {
 // Get blocks until an item is available and dequeues it, marking it in
 // flight until the consumer calls Done. It returns ok=false once the queue
 // is closed; items still queued at close time are discarded.
+//
+//dynlint:blocks
 func (q *Queue[T]) Get() (T, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -136,6 +141,8 @@ func (q *Queue[T]) Barrier() uint64 {
 // WaitHandled blocks until `target` items have been settled — delivered
 // through Get/Done or evicted by DropOldest overflow — or the queue is
 // closed. Unlike WaitIdle it terminates even while producers keep adding.
+//
+//dynlint:blocks
 func (q *Queue[T]) WaitHandled(target uint64) {
 	q.mu.Lock()
 	for q.handled < target && !q.closed {

@@ -90,6 +90,12 @@ type Log struct {
 	meta     []byte
 	created  bool
 
+	// mu only ever covers memory (frame encoding into buf, sequence
+	// accounting); every path that touches the disk either waits on cond or
+	// drops mu first. That is what lets Append run inside engine critical
+	// sections; see LOCKING.md.
+	//
+	//dynlint:lock-level 110
 	mu       sync.Mutex
 	cond     *sync.Cond
 	buf      []byte // encoded frames not yet handed to the OS
@@ -338,6 +344,8 @@ func (l *Log) scanSegment(seg segRef, expect uint64, last bool, onRecord func(ui
 // Append encodes ops as one record and buffers it, returning the record's
 // sequence number. It never blocks on IO: durability is a separate step
 // (WaitDurable for per-commit fsync, a periodic Sync for group commit).
+//
+//dynlint:wal-append
 func (l *Log) Append(ops []Op) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -359,6 +367,8 @@ func (l *Log) Append(ops []Op) (uint64, error) {
 // WaitDurable blocks until every record up to and including seq is fsynced,
 // running the write+fsync cycle itself when no other goroutine is already on
 // it — concurrent waiters batch into one fsync (group commit).
+//
+//dynlint:blocks
 func (l *Log) WaitDurable(seq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -366,6 +376,8 @@ func (l *Log) WaitDurable(seq uint64) error {
 }
 
 // Sync makes every appended record durable.
+//
+//dynlint:blocks
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -461,6 +473,8 @@ func (l *Log) rotateLocked() error {
 // record up to and including seq, then removes the checkpoints and segments
 // it makes obsolete. The caller guarantees the payload reflects a state that
 // has every record ≤ seq applied and none later.
+//
+//dynlint:blocks
 func (l *Log) WriteCheckpoint(seq uint64, payload []byte) error {
 	l.mu.Lock()
 	if l.closed {

@@ -191,8 +191,9 @@ type walState struct {
 
 	sinceCkpt atomic.Uint64 // commits since the last checkpoint
 	ckpting   atomic.Bool   // auto-checkpoint in flight (CAS-guarded)
-	ckptMu    sync.Mutex    // serializes checkpoint bodies
-	ckpts     atomic.Uint64 // checkpoints written by this engine
+	//dynlint:lock-level 20 may-block
+	ckptMu sync.Mutex    // serializes checkpoint bodies (held across checkpoint I/O by design)
+	ckpts  atomic.Uint64 // checkpoints written by this engine
 
 	stopFlush chan struct{} // nil under SyncAlways
 	flushDone chan struct{}
@@ -221,6 +222,8 @@ func (w *walState) finish(seq uint64) error {
 
 // append logs one committed op batch; the caller is inside the commit's
 // ordering critical section.
+//
+//dynlint:wal-append
 func (w *walState) append(ops []wal.Op) (uint64, error) {
 	seq, err := w.log.Append(ops)
 	if err != nil {

@@ -1,5 +1,7 @@
 package dyndbscan
 
+//dynlint:reconciled-surface
+
 // Log-shipped read replicas: a Replica tails a primary's write-ahead log —
 // in this process or another — and maintains its own engine by applying the
 // records through the ordinary Apply pipeline. Replay determinism (see
@@ -64,6 +66,7 @@ type Replica struct {
 
 	rd *wal.Reader // owned by the tail goroutine after OpenReplica returns
 
+	//dynlint:lock-level 120
 	errMu   sync.Mutex
 	tailErr error
 

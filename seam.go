@@ -1,6 +1,8 @@
 package dyndbscan
 
-// Incremental cross-shard stitch.
+// Incremental cross-shard stitch. Everything in this file runs under
+// shardSet.seamMu (lock level 60, declared in shard.go) or under worldMu
+// held exclusively (baseline build/teardown); see LOCKING.md.
 //
 // PR 3 stitched shard-local clusters into global ones by re-enumerating every
 // core cell of every shard under an exclusive world lock. Snapshot builds

@@ -104,7 +104,8 @@ type route struct {
 
 // shard is one spatial partition: a full clustering backend plus its lock.
 type shard struct {
-	idx     int32
+	idx int32
+	//dynlint:lock-level 40 indexed
 	mu      sync.Mutex
 	c       Clusterer
 	ext     extendedClusterer
@@ -160,7 +161,9 @@ type shardSet struct {
 	// ids, delete validation) consults it so acked handles are never invisible.
 	// Guarded by routesMu; entries are removed only after the reconcile commit
 	// published the real route, so the two maps may briefly overlap.
-	hs           *hotspotState
+	hs *hotspotState
+	//dynlint:visibility
+	//dynlint:staged-only
 	stagedRoutes map[PointID]int64
 
 	// Deferred-trim state of the chunked migration tier (see
@@ -175,11 +178,14 @@ type shardSet struct {
 	// worldMu: commits hold it shared (their shard locks provide mutual
 	// exclusion); snapshot builds, full stitches, and subscriber-count
 	// transitions hold it exclusively.
+	//
+	//dynlint:lock-level 30
 	worldMu sync.RWMutex
 
 	// Global handle table; guarded by routesMu (commits on disjoint shards
 	// mutate it concurrently). sortedIDs/idsSorted/pendingDead mirror the
 	// single-backend engine's incremental sorted-id cache.
+	//dynlint:lock-level 50
 	routesMu    sync.Mutex
 	routes      map[PointID]route
 	nextID      PointID
@@ -197,6 +203,8 @@ type shardSet struct {
 	// otherwise. seamMu guards it plus the stitch state below during
 	// subscribed commits; a quiesced holder of worldMu (exclusive) may read
 	// everything without seamMu, since no commit is in flight then.
+	//
+	//dynlint:lock-level 60
 	seamMu sync.Mutex
 	seam   *seamState
 

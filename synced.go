@@ -13,6 +13,11 @@ import "sync"
 // identities, and change events; on the fully-dynamic algorithm it serves
 // concurrent queries under a shared read lock, which Synced cannot.
 type Synced struct {
+	// Outermost coarse serializer: held across entire wrapped calls, which
+	// for a wrapped Engine includes commits and WAL fsyncs — may-block is
+	// the wrapper's whole design. See LOCKING.md.
+	//
+	//dynlint:lock-level 5 may-block
 	mu sync.Mutex
 	c  Clusterer
 }
