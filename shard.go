@@ -922,12 +922,18 @@ func (ss *shardSet) ids() []PointID {
 }
 
 // liveIDsLocked returns the ascending live global handles, compacting
-// tombstones lazily; the caller holds worldMu exclusively.
+// tombstones lazily; the caller holds worldMu exclusively. It returns a
+// copy: the cache itself is routesMu-guarded and commits append to it
+// under routesMu alone, so handing out the backing array would make the
+// callers' safety depend on worldMu exclusivity — a non-local invariant
+// that the next caller (or a stashed slice outliving the critical
+// section) would silently break. The copy is noise next to the O(n)
+// snapshot/checkpoint builds that consume it.
 func (ss *shardSet) liveIDsLocked() []PointID {
 	ss.routesMu.Lock()
 	defer ss.routesMu.Unlock()
 	ss.sortedIDs = compactLiveIDs(ss.sortedIDs, ss.pendingDead, &ss.idsSorted)
-	return ss.sortedIDs
+	return append([]PointID(nil), ss.sortedIDs...)
 }
 
 // snapshot builds (and publishes) the stitched cross-shard snapshot for the
