@@ -1,0 +1,80 @@
+// Command dynlint runs the repo's invariant analyzers — lockorder,
+// holdblock, logvisible, atomicfield — over the module. It is wired into
+// go.mod as a tool directive, so `go tool dynlint ./...` works from any
+// checkout without installing anything.
+//
+// dynlint is a standalone multichecker rather than a `go vet -vettool`
+// plugin: the vet unitchecker protocol requires golang.org/x/tools, which
+// this module deliberately does not depend on (the build environment is
+// offline). See internal/analysis for the framework.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dyndbscan/internal/analysis"
+	"dyndbscan/internal/analysis/atomicfield"
+	"dyndbscan/internal/analysis/driver"
+	"dyndbscan/internal/analysis/holdblock"
+	"dyndbscan/internal/analysis/lockorder"
+	"dyndbscan/internal/analysis/logvisible"
+)
+
+// Analyzers is the full dynlint suite, exported for the self-check test.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lockorder.Analyzer,
+		holdblock.Analyzer,
+		logvisible.Analyzer,
+		atomicfield.Analyzer,
+	}
+}
+
+func main() {
+	dir := flag.String("C", ".", "change to `dir` before loading packages")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dynlint [-C dir] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the dyndbscan invariant analyzers. Defaults to ./...\n\n")
+		for _, a := range Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := Run(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dynlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// Run loads patterns under dir and returns the formatted findings.
+func Run(dir string, patterns []string) ([]string, error) {
+	prog, err := driver.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := prog.Run(Analyzers()...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = fmt.Sprintf("%s: [%s] %s", prog.Fset.Position(d.Pos), d.Check, d.Message)
+	}
+	return out, nil
+}

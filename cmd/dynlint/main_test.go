@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoIsCleanUnderDynlint is the self-check: the whole module must
+// have zero unsuppressed findings. A new finding means either a real
+// concurrency/durability bug (fix it) or a deliberate exception (add a
+// //dynlint:ignore with a written reason). CI runs the binary too; this
+// test makes `go test ./...` sufficient locally.
+func TestRepoIsCleanUnderDynlint(t *testing.T) {
+	diags, err := Run("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("dynlint failed to run: %v", err)
+	}
+	if len(diags) > 0 {
+		t.Errorf("dynlint reported %d finding(s) on the repo:\n%s", len(diags), strings.Join(diags, "\n"))
+	}
+}

@@ -740,6 +740,13 @@ func (e *Engine) Snapshot() *Snapshot {
 		e.unlock()
 		return s
 	}
+	// Holding the update lock across the build is the snapshot contract:
+	// the view must be a frozen cut. The blocking inside is buildSnapshot's
+	// bounded worker fan-out join; the workers only read the backend and
+	// take no engine locks, so the join cannot deadlock — it just makes
+	// writers wait behind a reader, which is the point.
+	//
+	//dynlint:ignore holdblock snapshot build quiesces writers by design; worker join is bounded and lock-free
 	s, ok := e.buildSnapshot()
 	if ok {
 		// Only a fully built snapshot is published: a foreign backend that

@@ -1,3 +1,5 @@
 module dyndbscan
 
 go 1.24
+
+tool dyndbscan/cmd/dynlint

@@ -284,6 +284,14 @@ func (ss *shardSet) hotRoute(sps []core.StagedPoint, out []PointID) (rest []shOp
 			// No load charge here: the reconcile commit charges these ops
 			// (points and decayed updates) exactly once when it folds them.
 			h.staged = append(h.staged, stagedIns{gid, sp})
+			// Staged diversion is the documented acked-before-logged window:
+			// the handle is visible (queries route through stagedRoutes) as
+			// soon as it is staged, and the WAL record is written when the
+			// reconcile commit folds the staged batch. WithHotspot trades
+			// that window for hot-stripe throughput; see ROADMAP follow-up
+			// on staged-delta WAL coverage.
+			//
+			//dynlint:ignore logvisible staged hotspot inserts are acked before logging by design; the reconcile fold writes the WAL record
 			ss.stagedRoutes[gid] = t
 			hs.stagedTotal.Add(1)
 			diverted++

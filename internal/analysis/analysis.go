@@ -1,0 +1,138 @@
+// Package analysis is a deliberately small, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API: Analyzer, Pass, Diagnostic, and a
+// facts store for cross-package summaries. The build environment pins the
+// module to the standard library (no module cache, no network), so instead
+// of vendoring x/tools the repo carries this ~150-line core and a driver
+// (internal/analysis/driver) that loads packages with `go list -export`
+// and the gc export-data importer — both fully offline. The analyzers in
+// the sibling packages are written against this API; porting them to the
+// real go/analysis shape is mechanical if the module ever grows the
+// dependency.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one check. Run is invoked once per package, after the
+// analyzers it Requires have produced their results for that package.
+type Analyzer struct {
+	Name     string
+	Doc      string
+	Requires []*Analyzer
+	Run      func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding. Check names the analyzer (the key
+// //dynlint:ignore suppressions match against).
+type Diagnostic struct {
+	Pos     token.Pos
+	Check   string
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ResultOf holds the results of the Requires analyzers on this package.
+	ResultOf map[*Analyzer]any
+	// Facts is shared across every package of a driver run, letting a pass
+	// read summaries exported while analyzing the package's dependencies.
+	Facts *FactStore
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Check: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// FactStore maps (object, key) to an analyzer-defined summary value. The
+// driver runs packages in dependency order, so facts exported while
+// analyzing a dependency are visible to its importers; there is no
+// serialization because a driver run holds every package in one process.
+type FactStore struct {
+	m map[types.Object]map[string]any
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{m: make(map[types.Object]map[string]any)} }
+
+// Set records a fact about obj.
+func (s *FactStore) Set(obj types.Object, key string, v any) {
+	facts := s.m[obj]
+	if facts == nil {
+		facts = make(map[string]any)
+		s.m[obj] = facts
+	}
+	facts[key] = v
+}
+
+// Get retrieves a fact recorded about obj.
+func (s *FactStore) Get(obj types.Object, key string) (any, bool) {
+	v, ok := s.m[obj][key]
+	return v, ok
+}
+
+// RunPackage executes analyzers (and, recursively, their requirements) over
+// one package and returns the diagnostics in the order reported. results is
+// keyed by analyzer and reused across the call; pass the same map for every
+// package only if you want stale results — the driver passes a fresh one.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	results := make(map[*Analyzer]any)
+	var run func(a *Analyzer) error
+	run = func(a *Analyzer) error {
+		if _, done := results[a]; done {
+			return nil
+		}
+		for _, req := range a.Requires {
+			if err := run(req); err != nil {
+				return err
+			}
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			ResultOf:  results,
+			Facts:     facts,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %s: %w", a.Name, pkg.Path(), err)
+		}
+		results[a] = res
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := run(a); err != nil {
+			return nil, err
+		}
+	}
+	return diags, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

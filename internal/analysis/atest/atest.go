@@ -1,0 +1,167 @@
+// Package atest is the fixture harness for the dynlint analyzers, a small
+// offline analogue of golang.org/x/tools/go/analysis/analysistest. A
+// fixture directory holds one Go package; comments of the form
+//
+//	x.mu.Lock() // want "acquired while holding"
+//
+// assert that the analyzers report a diagnostic on that line whose message
+// matches the quoted regular expression. Multiple `want` clauses on one
+// line assert multiple diagnostics. Any diagnostic without a matching
+// expectation, and any expectation without a matching diagnostic, fails
+// the test. Suppression directives (//dynlint:ignore) are honored, so
+// fixtures can also pin the suppression machinery itself.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"dyndbscan/internal/analysis"
+	"dyndbscan/internal/analysis/driver"
+)
+
+// stdExports caches one `go list -export std` sweep for every fixture
+// package in the test binary.
+var stdExports = sync.OnceValues(func() (map[string]string, error) {
+	return driver.ExportData(".", "std")
+})
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run type-checks the fixture package in dir and compares the analyzers'
+// (suppression-filtered) diagnostics against the `// want` expectations.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	exports, err := stdExports()
+	if err != nil {
+		t.Fatalf("collecting stdlib export data: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		names = append(names, name)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files in fixture dir %s", dir)
+	}
+
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: driver.NewImporter(fset, exports)}
+	pkg, err := conf.Check("fixture/"+filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	diags, err := analysis.RunPackage(fset, files, pkg, info, analysis.NewFactStore(), analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	diags = analysis.Suppress(fset, files, diags)
+
+	expects := collectWants(t, names)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, exp := range expects {
+			if exp.hit || exp.file != pos.Filename || exp.line != pos.Line {
+				continue
+			}
+			if exp.re.MatchString(d.Message) {
+				exp.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic [%s]: %s", pos.Filename, pos.Line, d.Check, d.Message)
+		}
+	}
+	for _, exp := range expects {
+		if !exp.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %s, got none", exp.file, exp.line, exp.raw)
+		}
+	}
+}
+
+// collectWants scans the raw fixture sources for `// want "re" "re"...`
+// comments.
+func collectWants(t *testing.T, names []string) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, raw := range splitQuoted(m[1]) {
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, raw, err)
+				}
+				out = append(out, &expectation{file: name, line: i + 1, re: re, raw: fmt.Sprintf("%q", raw)})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// splitQuoted extracts the double-quoted segments of a want clause.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			return out
+		}
+		end := strings.IndexByte(s[start+1:], '"')
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[start+1:start+1+end])
+		s = s[start+1+end+1:]
+	}
+}

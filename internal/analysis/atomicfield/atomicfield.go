@@ -1,0 +1,199 @@
+// Package atomicfield enforces two memory-model contracts. First, a field
+// that is ever passed by address to a legacy sync/atomic function
+// (atomic.AddUint64(&s.n, 1), atomic.StorePointer, ...) must never be read
+// or written plainly — mixing atomic and plain access is a data race even
+// when it happens to survive the race detector. Second, a method that
+// returns a reference-typed field (map, slice, pointer, channel) of a
+// struct while holding that struct's annotated mutex leaks the guarded
+// value past the critical section; callers mutate it with no lock held.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dyndbscan/internal/analysis"
+	"dyndbscan/internal/analysis/lockspec"
+)
+
+// Analyzer reports mixed atomic/plain access and guarded-reference escapes.
+var Analyzer = &analysis.Analyzer{
+	Name:     "atomicfield",
+	Doc:      "check atomic-field access discipline and mutex-guarded reference escapes",
+	Requires: []*analysis.Analyzer{lockspec.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	spec := pass.ResultOf[lockspec.Analyzer].(*lockspec.Spec)
+	checkMixedAccess(pass)
+	checkEscapes(pass, spec)
+	return nil, nil
+}
+
+// checkMixedAccess implements the legacy-atomic rule: collect every field
+// whose address flows into a sync/atomic call, then report every other use
+// of those fields.
+func checkMixedAccess(pass *analysis.Pass) {
+	atomicFields := make(map[*types.Var]bool)
+	// Idents that appear inside an atomic call argument: legitimate uses.
+	inAtomicArg := make(map[*ast.Ident]bool)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND {
+					if v, id := fieldOf(pass, un.X); v != nil {
+						atomicFields[v] = true
+						inAtomicArg[id] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || inAtomicArg[id] {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok || !atomicFields[v] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "field %s is accessed with sync/atomic elsewhere: plain access is a data race — use the atomic API everywhere or migrate to atomic.%s",
+				v.Name(), suggestType(v.Type()))
+			return true
+		})
+	}
+}
+
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Package-level functions only: the atomic.Int64-style method API keeps
+	// the value unexported and cannot be accessed plainly.
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// fieldOf resolves expr to the struct-field variable it names, returning
+// the field and its selector identifier.
+func fieldOf(pass *analysis.Pass, expr ast.Expr) (*types.Var, *ast.Ident) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			return v, e.Sel
+		}
+	case *ast.IndexExpr:
+		return fieldOf(pass, e.X)
+	}
+	return nil, nil
+}
+
+func suggestType(t types.Type) string {
+	switch b := t.Underlying().(type) {
+	case *types.Basic:
+		switch b.Kind() {
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64, types.Uintptr:
+			return "Uint64"
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		}
+	case *types.Pointer:
+		return "Pointer[T]"
+	}
+	return "Value"
+}
+
+// checkEscapes reports `return s.f` / `return &s.f` of a field of the
+// struct whose annotated mutex is held at the return. Only exact selector
+// results are flagged: returning a copy (append, map clone, struct value)
+// is the sanctioned pattern and stays silent.
+func checkEscapes(pass *analysis.Pass, spec *lockspec.Spec) {
+	for _, sum := range spec.Funcs {
+		for _, ev := range sum.Events {
+			if ev.Kind != lockspec.KReturn || len(ev.Held) == 0 || ev.Return == nil {
+				continue
+			}
+			for _, res := range ev.Return.Results {
+				res = ast.Unparen(res)
+				addr := false
+				if un, ok := res.(*ast.UnaryExpr); ok && un.Op == token.AND {
+					res, addr = ast.Unparen(un.X), true
+				}
+				sel, ok := res.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+				if !ok || !v.IsField() {
+					continue
+				}
+				if !addr && !isRefType(v.Type()) {
+					continue // returning a scalar copy is fine
+				}
+				for _, h := range ev.Held {
+					if h.Lock.Field == v || h.Lock.Owner == nil {
+						continue
+					}
+					if structHasField(h.Lock.Owner, v) {
+						what := "reference-typed field"
+						if addr {
+							what = "address of field"
+						}
+						pass.Reportf(sel.Pos(), "returns %s %s of a struct guarded by %s (held here): the value escapes the critical section — return a copy instead",
+							what, v.Name(), h.Lock.Field.Name())
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+func isRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice, *types.Pointer, *types.Chan:
+		return true
+	}
+	return false
+}
+
+func structHasField(owner types.Type, v *types.Var) bool {
+	st, ok := owner.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"dyndbscan/internal/analysis/atest"
+	"dyndbscan/internal/analysis/atomicfield"
+)
+
+func TestFixtures(t *testing.T) {
+	atest.Run(t, "../testdata/src/atomicfield", atomicfield.Analyzer)
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //dynlint:... comment.
+type Directive struct {
+	Pos  token.Pos
+	Verb string // "lock-level", "ignore", "blocks", ...
+	Args string // everything after the verb, space-trimmed
+}
+
+// knownVerbs are the directive verbs the tool understands. Anything else
+// under the dynlint: prefix is reported rather than silently ignored — a
+// typoed directive that silently does nothing is worse than none.
+var knownVerbs = map[string]bool{
+	"lock-level":         true,
+	"ignore":             true,
+	"blocks":             true,
+	"wal-append":         true,
+	"visibility":         true,
+	"staged-only":        true,
+	"reconciled-surface": true,
+}
+
+// ParseDirective extracts the dynlint directive from one comment, if any.
+func ParseDirective(c *ast.Comment) (Directive, bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, "//dynlint:") {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(text, "//dynlint:")
+	// A `// ...` trailer inside the directive comment is commentary (the
+	// fixture harness puts `// want` expectations there), not arguments.
+	if i := strings.Index(rest, "// "); i >= 0 {
+		rest = rest[:i]
+	}
+	verb, args, _ := strings.Cut(rest, " ")
+	return Directive{Pos: c.Pos(), Verb: strings.TrimSpace(verb), Args: strings.TrimSpace(args)}, true
+}
+
+// FileDirectives collects every dynlint directive in the file, in order.
+func FileDirectives(f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := ParseDirective(c); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// ignoreDirective is one suppression with its resolved scope.
+type ignoreDirective struct {
+	file   string
+	line   int
+	check  string
+	reason string
+	// funcStart/funcEnd cover the enclosing function body when the
+	// directive sits in a function's doc comment; zero otherwise.
+	funcStart, funcEnd token.Pos
+}
+
+// Suppress filters diags through the //dynlint:ignore directives of files.
+// A finding is suppressed when a matching directive (same check name, or
+// "all") is on the finding's line, the line directly above it, or in the
+// doc comment of the function whose body contains it. Ignores with an empty
+// reason and unknown dynlint verbs are themselves reported, so every
+// suppression in the tree carries a written justification.
+func Suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	var ignores []ignoreDirective
+	var extra []Diagnostic
+	for _, f := range files {
+		inDoc := make(map[*ast.CommentGroup]*ast.FuncDecl)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				inDoc[fd.Doc] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := ParseDirective(c)
+				if !ok {
+					continue
+				}
+				if !knownVerbs[d.Verb] {
+					extra = append(extra, Diagnostic{Pos: d.Pos, Check: "dynlint", Message: "unknown dynlint directive //dynlint:" + d.Verb})
+					continue
+				}
+				if d.Verb != "ignore" {
+					continue
+				}
+				check, reason, _ := strings.Cut(d.Args, " ")
+				reason = strings.TrimSpace(reason)
+				if check == "" || reason == "" {
+					extra = append(extra, Diagnostic{Pos: d.Pos, Check: "dynlint", Message: "//dynlint:ignore needs a check name and a non-empty reason"})
+					continue
+				}
+				pos := fset.Position(d.Pos)
+				ig := ignoreDirective{file: pos.Filename, line: pos.Line, check: check, reason: reason}
+				if fd, ok := inDoc[cg]; ok && fd.Body != nil {
+					ig.funcStart, ig.funcEnd = fd.Body.Pos(), fd.Body.End()
+				}
+				ignores = append(ignores, ig)
+			}
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, ig := range ignores {
+			if ig.check != d.Check && ig.check != "all" {
+				continue
+			}
+			if ig.funcStart != 0 && d.Pos >= ig.funcStart && d.Pos < ig.funcEnd {
+				suppressed = true
+				break
+			}
+			if ig.file == pos.Filename && (ig.line == pos.Line || ig.line == pos.Line-1) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return append(kept, extra...)
+}

@@ -1,0 +1,318 @@
+// Package driver loads and type-checks the module's packages without any
+// dependency beyond the standard library and the go tool itself. It shells
+// out to `go list -export -deps -json`, which works fully offline: module
+// packages are parsed and type-checked from source (comments included —
+// the analyzers are directive-driven), while standard-library imports are
+// satisfied from the compiler export data the go tool just produced,
+// through go/importer's gc reader. Packages are processed in dependency
+// order so analyzers can export facts about a dependency's objects and
+// read them back while analyzing its importers.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dyndbscan/internal/analysis"
+)
+
+// Package is one type-checked module-local package.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Target reports whether the package matched the load patterns itself
+	// (false: loaded only as a dependency, analyzed for facts but its
+	// diagnostics are discarded).
+	Target bool
+}
+
+// Program is a load result ready to run analyzers.
+type Program struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package // dependency order
+	Facts *analysis.FactStore
+}
+
+// listPackage is the subset of `go list -json` output the driver reads.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	Module       *struct{ Path string }
+}
+
+func goList(dir string, args ...string) ([]listPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-export", "-deps", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportData returns compiler export files for the named packages and all
+// of their dependencies, for callers (the fixture test runner) that
+// type-check free-standing files against the standard library.
+func ExportData(dir string, patterns ...string) (map[string]string, error) {
+	pkgs, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// NewImporter wraps the export files from ExportData in a types.Importer.
+func NewImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return newImporter(fset, exports)
+}
+
+// Load type-checks the packages matching patterns (plus their module-local
+// dependencies) under the module rooted at or above dir.
+func Load(dir string, patterns ...string) (*Program, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -m: %v", err)
+	}
+	modPath := strings.TrimSpace(string(out))
+
+	pkgs, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data for non-module dependencies, including what the test
+	// files of module packages import beyond the build graph. Test-only
+	// imports that are themselves module packages must be type-checked from
+	// source too — importing them through export data would create a second
+	// types.Package instance for their shared dependencies.
+	exports := make(map[string]string)
+	inModule := func(p listPackage) bool {
+		return !p.Standard && p.Module != nil && p.Module.Path == modPath
+	}
+	var extraImports []string
+	seen := make(map[string]bool)
+	for _, p := range pkgs {
+		seen[p.ImportPath] = true
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	for _, p := range pkgs {
+		if !inModule(p) {
+			continue
+		}
+		for _, imp := range append(append([]string{}, p.TestImports...), p.XTestImports...) {
+			if imp == "C" || seen[imp] {
+				continue
+			}
+			seen[imp] = true
+			extraImports = append(extraImports, imp)
+		}
+	}
+	if len(extraImports) > 0 {
+		sort.Strings(extraImports)
+		more, err := goList(dir, extraImports...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range more {
+			if p.Export != "" && exports[p.ImportPath] == "" {
+				exports[p.ImportPath] = p.Export
+			}
+			if !seen[p.ImportPath] && inModule(p) {
+				seen[p.ImportPath] = true
+				p.DepOnly = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	// go list's stream is dependency-ordered for the plain build graph, but
+	// every module package here is checked with its internal test files
+	// compiled in, so test-only imports are build edges too. Re-order by
+	// Imports ∪ TestImports (acyclic for internal tests by Go's rules).
+	var modPkgs []listPackage
+	byPath := make(map[string]int)
+	for _, p := range pkgs {
+		if inModule(p) {
+			byPath[p.ImportPath] = len(modPkgs)
+			modPkgs = append(modPkgs, p)
+		}
+	}
+	var order []listPackage
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p listPackage)
+	visit = func(p listPackage) {
+		if state[p.ImportPath] != 0 {
+			return
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range append(append([]string{}, p.Imports...), p.TestImports...) {
+			if i, ok := byPath[imp]; ok && state[imp] == 0 {
+				visit(modPkgs[i])
+			}
+		}
+		state[p.ImportPath] = 2
+		order = append(order, p)
+	}
+	for _, p := range modPkgs {
+		visit(p)
+	}
+
+	prog := &Program{Fset: token.NewFileSet(), Facts: analysis.NewFactStore()}
+	imp := newImporter(prog.Fset, exports)
+
+	parseAll := func(dir string, names []string) ([]*ast.File, error) {
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(prog.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+	check := func(path string, files []*ast.File, target bool) error {
+		info := analysis.NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, prog.Fset, files, info)
+		if err != nil {
+			return fmt.Errorf("type-checking %s: %v", path, err)
+		}
+		imp.built[path] = tpkg
+		prog.Pkgs = append(prog.Pkgs, &Package{Path: path, Files: files, Types: tpkg, Info: info, Target: target})
+		return nil
+	}
+
+	for _, p := range order {
+		files, err := parseAll(p.Dir, append(append([]string{}, p.GoFiles...), p.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		if err := check(p.ImportPath, files, !p.DepOnly); err != nil {
+			return nil, err
+		}
+	}
+	// External test packages last: they may import any module package,
+	// including ones that import the package under test.
+	for _, p := range order {
+		if len(p.XTestGoFiles) == 0 {
+			continue
+		}
+		xfiles, err := parseAll(p.Dir, p.XTestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		if err := check(p.ImportPath+"_test", xfiles, !p.DepOnly); err != nil {
+			return nil, err
+		}
+	}
+	if len(prog.Pkgs) == 0 {
+		return nil, fmt.Errorf("no module-local packages matched %v", patterns)
+	}
+	return prog, nil
+}
+
+// Run executes the analyzers over every loaded package in dependency order
+// and returns the surviving (unsuppressed) diagnostics of the target
+// packages, sorted by position.
+func (prog *Program) Run(analyzers ...*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var all []analysis.Diagnostic
+	for _, pkg := range prog.Pkgs {
+		diags, err := analysis.RunPackage(prog.Fset, pkg.Files, pkg.Types, pkg.Info, prog.Facts, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		if !pkg.Target {
+			continue
+		}
+		all = append(all, analysis.Suppress(prog.Fset, pkg.Files, diags)...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(all[i].Pos), prog.Fset.Position(all[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Line < pj.Line
+	})
+	return all, nil
+}
+
+// importer resolves imports: module-local packages to the type-checked
+// packages built from source (object identity matters for facts), and
+// everything else through gc export data produced by `go list -export`.
+type progImporter struct {
+	built map[string]*types.Package
+	gc    types.ImporterFrom
+}
+
+func newImporter(fset *token.FileSet, exports map[string]string) *progImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &progImporter{
+		built: make(map[string]*types.Package),
+		gc:    importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+	}
+}
+
+func (imp *progImporter) Import(path string) (*types.Package, error) {
+	return imp.ImportFrom(path, "", 0)
+}
+
+func (imp *progImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := imp.built[path]; ok {
+		return p, nil
+	}
+	return imp.gc.ImportFrom(path, dir, mode)
+}

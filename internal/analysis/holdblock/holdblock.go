@@ -1,0 +1,80 @@
+// Package holdblock flags blocking operations — channel sends/receives,
+// selects without a default, calls to //dynlint:blocks functions, and
+// known standard-library blockers like os.File.Sync — reachable while an
+// annotated mutex is held. Locks whose contract includes blocking
+// (//dynlint:lock-level N may-block, e.g. reconcileMu held across fsync)
+// are exempt; sync.Cond.Wait is exempt by construction because it releases
+// its associated lock before parking (see LOCKING.md).
+package holdblock
+
+import (
+	"fmt"
+
+	"dyndbscan/internal/analysis"
+	"dyndbscan/internal/analysis/lockspec"
+)
+
+// Analyzer reports blocking operations under non-may-block locks.
+var Analyzer = &analysis.Analyzer{
+	Name:     "holdblock",
+	Doc:      "check that no blocking operation runs under a lock not annotated may-block",
+	Requires: []*analysis.Analyzer{lockspec.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	spec := pass.ResultOf[lockspec.Analyzer].(*lockspec.Spec)
+	for _, sum := range spec.Funcs {
+		reported := make(map[string]bool)
+		for _, ev := range sum.Events {
+			switch ev.Kind {
+			case lockspec.KBlock:
+				strict := strictestHeld(ev.Held, nil)
+				if strict == nil {
+					continue
+				}
+				key := fmt.Sprintf("b-%v", ev.Pos)
+				if !reported[key] {
+					reported[key] = true
+					pass.Reportf(ev.Pos, "%s while holding %s (level %d, not may-block): blocking under this lock stalls every contender",
+						ev.Desc, strict.Field.Name(), strict.Level)
+				}
+			case lockspec.KCall:
+				if !spec.CalleeMayBlock(ev.Callee) {
+					continue
+				}
+				// A split-phase callee that provably releases some of the
+				// caller's locks before every blocking point (release,
+				// releaseLogged, syncCycleLocked, ...) is safe to call while
+				// holding exactly those locks.
+				strict := strictestHeld(ev.Held, spec.CalleeBlockSafe(ev.Callee))
+				if strict == nil {
+					continue
+				}
+				key := fmt.Sprintf("c-%v", ev.Pos)
+				if !reported[key] {
+					reported[key] = true
+					pass.Reportf(ev.Pos, "call to %s may block while holding %s (level %d, not may-block): blocking under this lock stalls every contender",
+						ev.Callee.Name(), strict.Field.Name(), strict.Level)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// strictestHeld returns the highest-level held lock that is NOT allowed to
+// be held across blocking operations, or nil if every held lock is exempt.
+// Locks in safe are exempt too: the callee releases them before blocking.
+func strictestHeld(held []lockspec.HeldLock, safe map[*lockspec.LockInfo]bool) *lockspec.LockInfo {
+	var out *lockspec.LockInfo
+	for _, h := range held {
+		if h.Lock.MayBlock || safe[h.Lock] {
+			continue
+		}
+		if out == nil || h.Lock.Level > out.Level {
+			out = h.Lock
+		}
+	}
+	return out
+}

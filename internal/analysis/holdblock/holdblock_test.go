@@ -1,0 +1,12 @@
+package holdblock_test
+
+import (
+	"testing"
+
+	"dyndbscan/internal/analysis/atest"
+	"dyndbscan/internal/analysis/holdblock"
+)
+
+func TestFixtures(t *testing.T) {
+	atest.Run(t, "../testdata/src/holdblock", holdblock.Analyzer)
+}

@@ -1,0 +1,176 @@
+// Package lockorder enforces the engine's lock hierarchy (LOCKING.md): a
+// goroutine holding an annotated mutex may only acquire mutexes with a
+// strictly greater //dynlint:lock-level, and members of an `indexed`
+// family (the per-shard stripe locks) must be taken in ascending index
+// order when the indices are compile-time constants.
+package lockorder
+
+import (
+	"fmt"
+	"sort"
+
+	"dyndbscan/internal/analysis"
+	"dyndbscan/internal/analysis/lockspec"
+)
+
+// Analyzer reports lock acquisitions that violate the annotated hierarchy.
+var Analyzer = &analysis.Analyzer{
+	Name:     "lockorder",
+	Doc:      "check //dynlint:lock-level acquisition order",
+	Requires: []*analysis.Analyzer{lockspec.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	spec := pass.ResultOf[lockspec.Analyzer].(*lockspec.Spec)
+	for _, sum := range spec.Funcs {
+		checkEvents(pass, spec, sum)
+	}
+	return nil, nil
+}
+
+func checkEvents(pass *analysis.Pass, spec *lockspec.Spec, sum *lockspec.FuncSummary) {
+	reported := make(map[string]bool)
+
+	// Ascending-index tracking for indexed families: last constant index
+	// acquired while the family is continuously held.
+	lastIdx := make(map[*lockspec.LockInfo]int64)
+	idxKnown := make(map[*lockspec.LockInfo]bool)
+
+	for _, ev := range sum.Events {
+		switch ev.Kind {
+		case lockspec.KAcquire:
+			held := heldName(ev.Held, ev.Lock)
+			maxHeld := lockspec.MaxHeldLevel(ev.Held)
+			alreadyHeld := heldContains(ev.Held, ev.Lock)
+
+			if ev.Lock.Indexed && alreadyHeld {
+				// Same family re-acquired: enforce ascending constant indices.
+				if idxKnown[ev.Lock] && ev.ConstIndex >= 0 && ev.ConstIndex <= lastIdx[ev.Lock] {
+					key := fmt.Sprintf("idx-%v-%d", ev.Pos, ev.ConstIndex)
+					if !reported[key] {
+						reported[key] = true
+						pass.Reportf(ev.Pos, "indexed lock %s acquired out of order: index %d after %d (must be ascending)",
+							lockName(ev.Lock), ev.ConstIndex, lastIdx[ev.Lock])
+					}
+				}
+				if ev.ConstIndex >= 0 && (!idxKnown[ev.Lock] || ev.ConstIndex > lastIdx[ev.Lock]) {
+					lastIdx[ev.Lock] = ev.ConstIndex
+					idxKnown[ev.Lock] = true
+				} else if ev.ConstIndex < 0 {
+					idxKnown[ev.Lock] = false // runtime index: can't order statically
+				}
+				continue
+			}
+			if ev.Lock.Indexed && ev.ConstIndex >= 0 {
+				lastIdx[ev.Lock] = ev.ConstIndex
+				idxKnown[ev.Lock] = true
+			}
+			if ev.Try {
+				// TryLock cannot deadlock; it participates in held-set
+				// tracking but not in order checking.
+				continue
+			}
+			if alreadyHeld {
+				key := fmt.Sprintf("h-%v", ev.Pos)
+				if !reported[key] {
+					reported[key] = true
+					pass.Reportf(ev.Pos, "%s (level %d) acquired while already held: self-deadlock",
+						lockName(ev.Lock), ev.Lock.Level)
+				}
+				continue
+			}
+			if maxHeld >= 0 && ev.Lock.Level <= maxHeld {
+				// Keyed by position alone: a wrapper call produces both a
+				// KCall and a synthetic KAcquire here, and one report is
+				// enough.
+				key := fmt.Sprintf("h-%v", ev.Pos)
+				if !reported[key] {
+					reported[key] = true
+					pass.Reportf(ev.Pos, "%s (level %d) acquired while holding %s (level %d): violates lock hierarchy (see LOCKING.md)",
+						lockName(ev.Lock), ev.Lock.Level, held, maxHeld)
+				}
+			}
+
+		case lockspec.KRelease:
+			if ev.Lock != nil && ev.Lock.Indexed {
+				delete(lastIdx, ev.Lock)
+				delete(idxKnown, ev.Lock)
+			}
+
+		case lockspec.KCall:
+			maxHeld := lockspec.MaxHeldLevel(ev.Held)
+			if maxHeld < 0 {
+				continue
+			}
+			levels := spec.CalleeMayAcquire(ev.Callee)
+			sort.Ints(levels)
+			for _, l := range levels {
+				if l > maxHeld {
+					continue
+				}
+				// A held lock only conflicts with the callee's level-l
+				// acquisition if the callee can still be holding it there —
+				// split-phase callees release the caller's lock first and
+				// record it in the AcquireSafe set for that level.
+				safe := spec.CalleeAcquireSafe(ev.Callee, l)
+				offender := ""
+				offenderLevel := -1
+				for _, h := range ev.Held {
+					if h.Lock.Level < l || safe[h.Lock] {
+						continue
+					}
+					if h.Lock.Level == l && h.Lock.Indexed {
+						continue // callee may take another member of the held indexed family
+					}
+					if h.Lock.Level > offenderLevel {
+						offenderLevel = h.Lock.Level
+						offender = lockName(h.Lock)
+					}
+				}
+				if offender == "" {
+					continue
+				}
+				key := fmt.Sprintf("h-%v", ev.Pos)
+				if !reported[key] {
+					reported[key] = true
+					pass.Reportf(ev.Pos, "call to %s may acquire a level-%d lock while holding %s (level %d): violates lock hierarchy (see LOCKING.md)",
+						ev.Callee.Name(), l, offender, offenderLevel)
+				}
+				break // one report per call site is enough
+			}
+		}
+	}
+}
+
+func heldContains(held []lockspec.HeldLock, li *lockspec.LockInfo) bool {
+	for _, h := range held {
+		if h.Lock == li {
+			return true
+		}
+	}
+	return false
+}
+
+// heldName names the highest-level held lock other than exclude.
+func heldName(held []lockspec.HeldLock, exclude *lockspec.LockInfo) string {
+	best := ""
+	bestLevel := -1
+	for _, h := range held {
+		if h.Lock == exclude {
+			continue
+		}
+		if h.Lock.Level > bestLevel {
+			bestLevel = h.Lock.Level
+			best = lockName(h.Lock)
+		}
+	}
+	if best == "" {
+		return "(none)"
+	}
+	return best
+}
+
+func lockName(li *lockspec.LockInfo) string {
+	return li.Field.Name()
+}

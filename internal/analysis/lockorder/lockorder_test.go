@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"dyndbscan/internal/analysis/atest"
+	"dyndbscan/internal/analysis/lockorder"
+)
+
+func TestFixtures(t *testing.T) {
+	atest.Run(t, "../testdata/src/lockorder", lockorder.Analyzer)
+}

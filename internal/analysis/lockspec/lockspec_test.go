@@ -1,0 +1,14 @@
+package lockspec_test
+
+import (
+	"testing"
+
+	"dyndbscan/internal/analysis/atest"
+	"dyndbscan/internal/analysis/lockspec"
+)
+
+// TestDirectiveFixtures pins that malformed annotations are reported
+// rather than silently ignored.
+func TestDirectiveFixtures(t *testing.T) {
+	atest.Run(t, "../testdata/src/directives", lockspec.Analyzer)
+}

@@ -1,0 +1,119 @@
+// Package logvisible enforces the durability ordering invariant: a write
+// that makes state visible to readers (//dynlint:visibility — the snapshot
+// pointer, the version counter, the publication ticket) must be dominated
+// by a WAL append (//dynlint:wal-append) on every path that reaches it
+// while the engine is WAL-backed. Coverage is interprocedural: a function
+// whose publishes are only ever reached through already-covered call sites
+// is clean; one reachable uncovered (an exported entry point, or a caller
+// that publishes before appending) is reported at the write site.
+//
+// The package also checks the reconciled-surface contract: files marked
+// //dynlint:reconciled-surface (checkpoint and replica feeds) must never
+// touch //dynlint:staged-only state, which is visible to readers before it
+// is durable.
+package logvisible
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dyndbscan/internal/analysis"
+	"dyndbscan/internal/analysis/lockspec"
+)
+
+// Analyzer reports visibility writes not dominated by a WAL append and
+// staged-only accesses from reconciled-surface files.
+var Analyzer = &analysis.Analyzer{
+	Name:     "logvisible",
+	Doc:      "check WAL-append-before-visibility ordering and reconciled-surface purity",
+	Requires: []*analysis.Analyzer{lockspec.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	spec := pass.ResultOf[lockspec.Analyzer].(*lockspec.Spec)
+	checkCoverage(pass, spec)
+	checkSurface(pass, spec)
+	return nil, nil
+}
+
+// checkCoverage runs the interprocedural covered-at-entry fixpoint and
+// reports uncovered publishes.
+func checkCoverage(pass *analysis.Pass, spec *lockspec.Spec) {
+	// A function starts optimistically covered only if it is unexported and
+	// has at least one intra-package call site; exported functions and
+	// call-less roots have unknown callers and start uncovered. The loop
+	// then demotes any function reached through an uncovered call site.
+	hasCaller := make(map[*types.Func]bool)
+	for _, sum := range spec.Funcs {
+		for _, ev := range sum.Events {
+			if ev.Kind == lockspec.KCall {
+				if _, local := spec.Funcs[ev.Callee]; local {
+					hasCaller[ev.Callee] = true
+				}
+			}
+		}
+	}
+	entry := make(map[*types.Func]bool, len(spec.Funcs))
+	for fn := range spec.Funcs {
+		entry[fn] = hasCaller[fn] && !fn.Exported()
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, sum := range spec.Funcs {
+			cov := entry[fn] || spec.AppendAnnotated(fn)
+			for _, ev := range sum.Events {
+				if ev.Kind != lockspec.KCall {
+					continue
+				}
+				if _, local := spec.Funcs[ev.Callee]; local && !cov && entry[ev.Callee] {
+					entry[ev.Callee] = false
+					changed = true
+				}
+				if spec.CalleeMayAppend(ev.Callee) {
+					cov = true
+				}
+			}
+		}
+	}
+	for fn, sum := range spec.Funcs {
+		cov := entry[fn] || spec.AppendAnnotated(fn)
+		for _, ev := range sum.Events {
+			switch ev.Kind {
+			case lockspec.KCall:
+				if spec.CalleeMayAppend(ev.Callee) {
+					cov = true
+				}
+			case lockspec.KWrite:
+				if spec.Visibility[ev.Field] && !cov {
+					pass.Reportf(ev.Pos, "write to visibility field %s is not dominated by a WAL append: readers may observe state that does not survive a crash",
+						ev.Field.Name())
+				}
+			}
+		}
+	}
+}
+
+// checkSurface reports any use of a staged-only field inside a
+// reconciled-surface file. The check is purely syntactic over the file's
+// AST so it cannot be blind-sided by walker approximations.
+func checkSurface(pass *analysis.Pass, spec *lockspec.Spec) {
+	for _, f := range pass.Files {
+		if !spec.Surface[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok || !spec.StagedOnly[v] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "reconciled-surface file uses staged-only field %s: checkpoints and replicas must only consume reconciled state",
+				v.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package logvisible_test
+
+import (
+	"testing"
+
+	"dyndbscan/internal/analysis/atest"
+	"dyndbscan/internal/analysis/logvisible"
+)
+
+func TestFixtures(t *testing.T) {
+	atest.Run(t, "../testdata/src/logvisible", logvisible.Analyzer)
+}

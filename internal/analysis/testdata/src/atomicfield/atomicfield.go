@@ -1,0 +1,83 @@
+// Fixture for the atomicfield analyzer: fields touched via legacy
+// sync/atomic calls must never be accessed plainly, and mutex-guarded
+// reference-typed fields must not escape the critical section by return.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	n   uint64
+	gen int64
+	//dynlint:lock-level 10
+	mu    sync.Mutex
+	items map[string]int
+	count int
+	done  chan struct{}
+}
+
+func (c *counter) incOK() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) loadOK() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func (c *counter) plainRead() uint64 {
+	return c.n // want "field n is accessed with sync/atomic elsewhere: plain access is a data race"
+}
+
+func (c *counter) plainWrite() {
+	c.n = 0 // want "field n is accessed with sync/atomic elsewhere"
+}
+
+// gen is never passed to sync/atomic: plain access is fine.
+func (c *counter) genOK() int64 {
+	c.gen++
+	return c.gen
+}
+
+func (c *counter) escapeMap() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.items // want "reference-typed field items .* escapes the critical section"
+}
+
+func (c *counter) escapeAddr() *int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &c.count // want "address of field count"
+}
+
+func (c *counter) copyOK() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.items))
+	for k, v := range c.items {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *counter) scalarOK() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Returning after the unlock is fine: nothing is held at the return.
+func (c *counter) unlockedReturnOK() map[string]int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.items
+}
+
+//dynlint:ignore atomicfield fixture demonstrates a justified suppression
+func (c *counter) escapeSuppressed() chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done
+}

@@ -1,0 +1,27 @@
+// Fixture for the directive machinery itself: malformed annotations are
+// findings, not silent no-ops.
+package fixture
+
+import "sync"
+
+type s struct {
+	//dynlint:lock-level ten // want "bad level"
+	mu sync.Mutex
+	//dynlint:lock-level 10 sticky // want "unknown attribute"
+	mu2 sync.Mutex
+}
+
+//dynlint:frobnicate // want "unknown dynlint directive"
+func tagged() {}
+
+func emptyReason() {
+	//dynlint:ignore lockorder // want "needs a check name and a non-empty reason"
+	_ = 0
+}
+
+func use(v *s) {
+	v.mu.Lock()
+	v.mu.Unlock()
+	v.mu2.Lock()
+	v.mu2.Unlock()
+}

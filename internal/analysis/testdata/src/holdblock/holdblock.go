@@ -1,0 +1,144 @@
+// Fixture for the holdblock analyzer: blocking operations under a lock
+// fire unless the lock's contract says may-block; non-blocking selects,
+// cond.Wait, and lock-free paths stay silent.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type q struct {
+	//dynlint:lock-level 50
+	mu sync.Mutex
+	//dynlint:lock-level 5 may-block
+	big  sync.Mutex
+	ch   chan int
+	cond *sync.Cond
+}
+
+// Regression shape from the subscriber event leak: publish once sent to a
+// slow subscriber's channel while holding the publication lock, wedging
+// every other publisher behind one stalled consumer.
+func (s *q) sendUnderLock() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while holding mu \(level 50"
+	s.mu.Unlock()
+}
+
+func (s *q) recvUnderLock() {
+	s.mu.Lock()
+	<-s.ch // want "channel receive while holding mu"
+	s.mu.Unlock()
+}
+
+func (s *q) selectUnderLock() {
+	s.mu.Lock()
+	select { // want "select without default while holding mu"
+	case v := <-s.ch:
+		_ = v
+	case s.ch <- 2:
+	}
+	s.mu.Unlock()
+}
+
+func (s *q) nonBlockingSelectOK() {
+	s.mu.Lock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *q) mayBlockLockOK() {
+	s.big.Lock()
+	s.ch <- 1
+	s.big.Unlock()
+}
+
+func (s *q) noLockOK() {
+	s.ch <- 1
+}
+
+//dynlint:blocks
+func (s *q) waitDone() {
+	<-s.ch
+}
+
+func (s *q) callBlockerUnderLock() {
+	s.mu.Lock()
+	s.waitDone() // want "call to waitDone may block while holding mu"
+	s.mu.Unlock()
+}
+
+func (s *q) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "call to Sleep may block while holding mu"
+	s.mu.Unlock()
+}
+
+// cond.Wait releases the lock it is associated with before parking; it is
+// exempt by design (LOCKING.md).
+func (s *q) condWaitOK() {
+	s.mu.Lock()
+	s.cond.Wait()
+	s.mu.Unlock()
+}
+
+// A goroutine launched under the lock does not hold it.
+func (s *q) spawnOK() {
+	s.mu.Lock()
+	go func() {
+		s.ch <- 9
+	}()
+	s.mu.Unlock()
+}
+
+func (s *q) suppressed() {
+	s.mu.Lock()
+	//dynlint:ignore holdblock fixture demonstrates a justified suppression
+	s.ch <- 3
+	s.mu.Unlock()
+}
+
+// The split-phase idiom (Engine.release, wal.syncCycleLocked): a helper
+// called with the lock held releases it before every blocking point. The
+// analyzer's per-lock safety summary must keep the caller silent.
+func (s *q) splitPhase() {
+	s.mu.Unlock()
+	s.ch <- 4 // blocking, but mu was released first
+	s.mu.Lock()
+}
+
+func (s *q) splitPhaseCallerOK() {
+	s.mu.Lock()
+	s.splitPhase()
+	s.mu.Unlock()
+}
+
+// Safety must compose through a call chain: outer inherits splitPhase's
+// released-before-blocking guarantee.
+func (s *q) splitPhaseOuter() {
+	s.splitPhase()
+}
+
+func (s *q) splitPhaseChainOK() {
+	s.mu.Lock()
+	s.splitPhaseOuter()
+	s.mu.Unlock()
+}
+
+// A helper that blocks BEFORE releasing is not safe: the caller's lock is
+// still held at the blocking point.
+func (s *q) blockThenRelease() {
+	s.ch <- 5
+	s.mu.Unlock()
+	s.mu.Lock()
+}
+
+func (s *q) blockThenReleaseCaller() {
+	s.mu.Lock()
+	s.blockThenRelease() // want "call to blockThenRelease may block while holding mu"
+	s.mu.Unlock()
+}

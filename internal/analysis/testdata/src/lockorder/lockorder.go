@@ -1,0 +1,137 @@
+// Fixture for the lockorder analyzer: ascending acquisitions are silent,
+// descending or same-level acquisitions fire, TryLock is exempt, indexed
+// families must go up, and call-graph-carried acquisitions are caught.
+package fixture
+
+import "sync"
+
+type engine struct {
+	//dynlint:lock-level 10
+	low sync.Mutex
+	//dynlint:lock-level 20
+	mid sync.Mutex
+	//dynlint:lock-level 20
+	mid2 sync.Mutex
+	//dynlint:lock-level 30
+	high sync.RWMutex
+}
+
+type stripes struct {
+	shards [4]struct {
+		//dynlint:lock-level 40 indexed
+		mu sync.Mutex
+	}
+}
+
+func (e *engine) ascendingOK() {
+	e.low.Lock()
+	e.mid.Lock()
+	e.high.RLock()
+	e.high.RUnlock()
+	e.mid.Unlock()
+	e.low.Unlock()
+}
+
+func (e *engine) descending() {
+	e.mid.Lock()
+	e.low.Lock() // want "low \(level 10\) acquired while holding mid \(level 20\)"
+	e.low.Unlock()
+	e.mid.Unlock()
+}
+
+func (e *engine) sameLevel() {
+	e.mid.Lock()
+	e.mid2.Lock() // want "mid2 \(level 20\) acquired while holding mid \(level 20\)"
+	e.mid2.Unlock()
+	e.mid.Unlock()
+}
+
+func (e *engine) reacquire() {
+	e.low.Lock()
+	e.low.Lock() // want "already held: self-deadlock"
+	e.low.Unlock()
+	e.low.Unlock()
+}
+
+func (e *engine) tryIsExempt() {
+	e.mid.Lock()
+	if e.low.TryLock() {
+		e.low.Unlock()
+	}
+	e.mid.Unlock()
+}
+
+// Regression shape from the stripe-join reordering bug: the fold step
+// walked the right-hand stripe before the left-hand one, so two commits
+// folding overlapping pairs deadlocked. Indexed acquisitions must ascend.
+func (s *stripes) joinOutOfOrder() {
+	s.shards[2].mu.Lock()
+	s.shards[1].mu.Lock() // want "index 1 after 2 \(must be ascending\)"
+	s.shards[1].mu.Unlock()
+	s.shards[2].mu.Unlock()
+}
+
+func (s *stripes) joinAscendingOK() {
+	s.shards[0].mu.Lock()
+	s.shards[1].mu.Lock()
+	s.shards[3].mu.Lock()
+	s.shards[3].mu.Unlock()
+	s.shards[1].mu.Unlock()
+	s.shards[0].mu.Unlock()
+}
+
+func (e *engine) lockLow()   { e.low.Lock() }
+func (e *engine) unlockLow() { e.low.Unlock() }
+
+func (e *engine) throughWrapper() {
+	e.mid.Lock()
+	e.lockLow() // want "call to lockLow may acquire a level-10 lock while holding mid \(level 20\)"
+	e.unlockLow()
+	e.mid.Unlock()
+}
+
+func (e *engine) wrapperOK() {
+	e.lockLow()
+	e.mid.Lock()
+	e.mid.Unlock()
+	e.unlockLow()
+}
+
+func (e *engine) suppressed() {
+	e.mid.Lock()
+	//dynlint:ignore lockorder fixture demonstrates a justified suppression
+	e.low.Lock()
+	e.low.Unlock()
+	e.mid.Unlock()
+}
+
+// Split-phase helper: releases the caller's mid before acquiring low, so
+// the descending acquisition never happens with mid held. The per-level
+// safety summary must keep the caller silent.
+func (e *engine) dropMidTakeLow() {
+	e.mid.Unlock()
+	e.low.Lock()
+	e.low.Unlock()
+	e.mid.Lock()
+}
+
+func (e *engine) splitPhaseCallerOK() {
+	e.mid.Lock()
+	e.dropMidTakeLow()
+	e.mid.Unlock()
+}
+
+// Acquiring low while the caller's mid is still held is not safe, even
+// though the helper releases mid afterwards.
+func (e *engine) takeLowThenDropMid() {
+	e.low.Lock()
+	e.low.Unlock()
+	e.mid.Unlock()
+	e.mid.Lock()
+}
+
+func (e *engine) takeLowThenDropMidCaller() {
+	e.mid.Lock()
+	e.takeLowThenDropMid() // want "call to takeLowThenDropMid may acquire a level-10 lock while holding mid \(level 20\)"
+	e.mid.Unlock()
+}

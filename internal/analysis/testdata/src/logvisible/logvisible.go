@@ -1,0 +1,89 @@
+// Fixture for the logvisible analyzer: visibility writes must be
+// dominated by a WAL append on every path that reaches them.
+package fixture
+
+import "sync/atomic"
+
+type wal struct{ n int }
+
+//dynlint:wal-append
+func (w *wal) append(rec []byte) { w.n++ }
+
+type eng struct {
+	//dynlint:visibility
+	version atomic.Uint64
+	//dynlint:visibility
+	ticket uint64
+	//dynlint:staged-only
+	staged map[int]int
+	log    *wal
+}
+
+func (e *eng) commitOK() {
+	e.log.append(nil)
+	e.version.Add(1)
+	e.ticket++
+}
+
+func (e *eng) leak() {
+	e.version.Add(1) // want "write to visibility field version is not dominated by a WAL append"
+}
+
+func (e *eng) publishBeforeAppend() {
+	e.ticket++ // want "write to visibility field ticket is not dominated"
+	e.log.append(nil)
+}
+
+// Staged-only state is pre-durability by definition; writing it without an
+// append is the point.
+func (e *eng) stageOK(k, v int) {
+	e.staged[k] = v
+}
+
+// helperPub is covered from its commit-path caller but reached uncovered
+// from retryPub, so its publish is reported: coverage is interprocedural.
+func (e *eng) helperPub() {
+	e.version.Add(1) // want "not dominated by a WAL append"
+}
+
+func (e *eng) coveredCaller() {
+	e.log.append(nil)
+	e.helperPub()
+}
+
+func (e *eng) retryPub() {
+	e.helperPub()
+}
+
+// alwaysCovered is only ever called after an append: silent.
+func (e *eng) alwaysCovered() {
+	e.version.Add(1)
+}
+
+func (e *eng) rootA() {
+	e.log.append(nil)
+	e.alwaysCovered()
+}
+
+func (e *eng) rootB() {
+	e.log.append(nil)
+	e.alwaysCovered()
+}
+
+// appendThenPublish reaches the append through a helper: still covered.
+func (e *eng) logIt() {
+	e.log.append(nil)
+}
+
+func (e *eng) indirectOK() {
+	e.logIt()
+	e.version.Add(1)
+}
+
+// Replay-shaped suppression: the state being written was recovered FROM
+// the log; appending it again would double-log on the next recovery.
+//
+//dynlint:ignore logvisible replay writes state recovered from the log itself
+func (e *eng) replayAssign(v uint64) {
+	e.version.Store(v)
+}

@@ -1,0 +1,15 @@
+// Reconciled-surface fixture: this file models a checkpoint/replica feed
+// and must not touch staged-only state.
+package fixture
+
+//dynlint:reconciled-surface
+
+func (e *eng) snapshotForReplica() (uint64, int) {
+	v := e.version.Load()
+	n := len(e.staged) // want "reconciled-surface file uses staged-only field staged"
+	return v, n
+}
+
+func (e *eng) reconciledOnlyOK() uint64 {
+	return e.version.Load()
+}

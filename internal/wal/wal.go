@@ -90,12 +90,16 @@ type Log struct {
 	meta     []byte
 	created  bool
 
-	// mu only ever covers memory (frame encoding into buf, sequence
-	// accounting); every path that touches the disk either waits on cond or
-	// drops mu first. That is what lets Append run inside engine critical
-	// sections; see LOCKING.md.
+	// mu mostly covers memory (frame encoding into buf, sequence
+	// accounting); the data fsync paths either wait on cond or drop mu
+	// first, which is what lets Append run inside engine critical sections.
+	// The one exception — found by dynlint — is segment rotation, which
+	// opens the next segment and fsyncs the directory under mu so a flush
+	// batch never spans segments; rotation is rare (segment-boundary only)
+	// and mu is the hierarchy's bottom mutex, so holding it there costs
+	// latency, never lock order. Hence may-block; see LOCKING.md.
 	//
-	//dynlint:lock-level 110
+	//dynlint:lock-level 110 may-block
 	mu       sync.Mutex
 	cond     *sync.Cond
 	buf      []byte // encoded frames not yet handed to the OS

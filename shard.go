@@ -717,6 +717,12 @@ func walOpsFromShOps(ops []shOp, dims int, explicit bool) []wal.Op {
 func (e *Engine) takeTicket() uint64 {
 	e.mu.Lock()
 	t := e.pubTicket
+	// Tickets order in-process event publication; they are not durable
+	// state. The WAL logs the data ops a publication describes, and after
+	// recovery the counter restarts with no subscribers attached, so an
+	// unlogged increment cannot be observed across a crash.
+	//
+	//dynlint:ignore logvisible publication tickets are transient ordering state, not recovered from the WAL
 	e.pubTicket++
 	e.mu.Unlock()
 	return t
@@ -982,6 +988,12 @@ func (ss *shardSet) snapshot() *Snapshot {
 		// (AlgoFullyDynamic): chunks may hit the same shard concurrently.
 		workers = e.workers
 	}
+	// Same contract as Engine.Snapshot: worldMu held across the member
+	// resolution keeps the cut frozen; resolveMembers' worker join is
+	// bounded and its workers only read shard backends (no engine locks),
+	// so it cannot deadlock.
+	//
+	//dynlint:ignore holdblock snapshot build quiesces commits by design; worker join is bounded and lock-free
 	resolveMembers(s, ids, workers, resolve)
 	e.snap.Store(s)
 	return s
