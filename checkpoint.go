@@ -299,6 +299,16 @@ func (e *Engine) checkpointPayloadSingle() (uint64, []byte) {
 func (ss *shardSet) checkpointPayload(log *wal.Log) (uint64, []byte) {
 	ss.worldMu.Lock()
 	defer ss.worldMu.Unlock()
+	// The LastSeq read is the payload's coverage claim: every record at or
+	// below it must be reflected in the payload. Ordinary appends happen
+	// under worldMu.RLock, so the exclusive hold quiesces them; staged-delta
+	// appends happen under routesMu alone, so Engine.Checkpoint pauses
+	// staging and folds everything staged before calling here. Assert that
+	// coupling — a staged insert at this point would be covered by seq but
+	// missing from the payload, and silently lost on trim.
+	if hs := ss.hs; hs != nil && hs.stagedTotal.Load() != 0 {
+		panic("dyndbscan: checkpoint: staged hotspot deltas present during payload capture")
+	}
 	seq := log.LastSeq()
 	if seq == 0 {
 		return 0, nil

@@ -14,6 +14,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -79,7 +80,10 @@ func quantiles(lat []time.Duration) (p50, p99, p999, max time.Duration) {
 
 // hotspotRun replays o.N Zipf-skewed ops through one engine variant with the
 // given worker count and reports throughput plus Apply-latency quantiles.
-func hotspotRun(o harness.Options, workers int, pol *dyndbscan.HotspotPolicy) (opsPerSec float64, lat []time.Duration, stats dyndbscan.HotspotStats) {
+// A non-empty walDir makes the run durable with group commit: the hotspot
+// variant then writes a staged-delta record (wal.OpStagedInsert) for every
+// diverted insert at staging time, so the sweep prices exactly that logging.
+func hotspotRun(o harness.Options, workers int, pol *dyndbscan.HotspotPolicy, walDir string) (opsPerSec float64, lat []time.Duration, stats dyndbscan.HotspotStats) {
 	opts := []dyndbscan.Option{
 		dyndbscan.WithAlgorithm(dyndbscan.AlgoFullyDynamic),
 		dyndbscan.WithDims(2),
@@ -88,6 +92,11 @@ func hotspotRun(o harness.Options, workers int, pol *dyndbscan.HotspotPolicy) (o
 		dyndbscan.WithShards(hotShards),
 		dyndbscan.WithShardStripe(hotStripeW),
 		dyndbscan.WithRebalance(hotRebalance()),
+	}
+	if walDir != "" {
+		// Same group-commit window as the wal figure, so the two sweeps'
+		// durability costs are comparable.
+		opts = append(opts, dyndbscan.WithWAL(walDir, dyndbscan.SyncEvery(2*time.Millisecond)))
 	}
 	if pol != nil {
 		opts = append(opts, dyndbscan.WithHotspot(*pol))
@@ -164,45 +173,64 @@ func hotspotRun(o harness.Options, workers int, pol *dyndbscan.HotspotPolicy) (o
 	return float64(perWorker*workers*hotBatch) / elapsed.Seconds(), lat, eng.HotspotStats()
 }
 
-// hotspotSweep renders the workers × policy throughput/latency grid.
+// hotspotSweep renders the workers × wal × policy throughput/latency grid.
 func hotspotSweep(o harness.Options) harness.Table {
 	tb := harness.Table{
 		Title: fmt.Sprintf("Hotspot — contention-adaptive commit path on Zipf(s=%.1f) insert-heavy traffic (N=%d, %d-op batches)", hotZipfS, o.N, hotBatch),
 		Caption: "Both variants run the same load-aware rebalancing; 'hotspot' additionally enables split-phase\n" +
-			"staging (WithHotspot). speedup = hotspot ops/s over rebalance-only at the same worker count.\n" +
-			"Latency quantiles are per-Apply wall times across all workers.",
-		Header: []string{"workers", "policy", "ops/s", "p50", "p99", "p999", "speedup", "staged", "reconciles", "splits"},
+			"staging (WithHotspot). wal=off runs in memory; wal=delta adds a group-commit WAL, where every\n" +
+			"staged insert writes its staged-delta record (OpStagedInsert) at staging time — the durable\n" +
+			"variant pays that append on the diverted path. speedup = hotspot ops/s over rebalance-only at\n" +
+			"the same worker count and wal setting. Latency quantiles are per-Apply wall times across workers.",
+		Header: []string{"workers", "wal", "policy", "ops/s", "p50", "p99", "p999", "speedup", "staged", "reconciles", "splits"},
 	}
 	for _, workers := range []int{1, 2, 4} {
-		var baseOps float64
-		for _, hot := range []bool{false, true} {
-			name, pol := "rebalance-only", (*dyndbscan.HotspotPolicy)(nil)
-			if hot {
-				p := hotPolicy()
-				name, pol = "hotspot", &p
+		for _, wal := range []bool{false, true} {
+			walName := "off"
+			if wal {
+				walName = "delta"
 			}
-			if o.Verbose != nil {
-				o.Verbose("  running hotspot sweep workers=%d policy=%s (N=%d)...", workers, name, o.N)
+			var baseOps float64
+			for _, hot := range []bool{false, true} {
+				name, pol := "rebalance-only", (*dyndbscan.HotspotPolicy)(nil)
+				if hot {
+					p := hotPolicy()
+					name, pol = "hotspot", &p
+				}
+				if o.Verbose != nil {
+					o.Verbose("  running hotspot sweep workers=%d wal=%s policy=%s (N=%d)...", workers, walName, name, o.N)
+				}
+				walDir := ""
+				if wal {
+					dir, err := os.MkdirTemp("", "dynbench-hotspot-wal-*")
+					if err != nil {
+						panic(fmt.Sprintf("dynbench: hotspot: %v", err))
+					}
+					walDir = dir
+				}
+				ops, lat, st := hotspotRun(o, workers, pol, walDir)
+				if walDir != "" {
+					os.RemoveAll(walDir)
+				}
+				p50, p99, p999, _ := quantiles(lat)
+				speedup := "-"
+				if hot {
+					speedup = fmt.Sprintf("%.2fx", ops/baseOps)
+				} else {
+					baseOps = ops
+				}
+				tb.Rows = append(tb.Rows, []string{
+					fmt.Sprintf("%d", workers), walName, name,
+					fmt.Sprintf("%.0f", ops),
+					p50.Round(time.Microsecond).String(),
+					p99.Round(time.Microsecond).String(),
+					p999.Round(time.Microsecond).String(),
+					speedup,
+					fmt.Sprintf("%d", st.ReconciledOps),
+					fmt.Sprintf("%d", st.Reconciles),
+					fmt.Sprintf("%d", st.Splits),
+				})
 			}
-			ops, lat, st := hotspotRun(o, workers, pol)
-			p50, p99, p999, _ := quantiles(lat)
-			speedup := "-"
-			if hot {
-				speedup = fmt.Sprintf("%.2fx", ops/baseOps)
-			} else {
-				baseOps = ops
-			}
-			tb.Rows = append(tb.Rows, []string{
-				fmt.Sprintf("%d", workers), name,
-				fmt.Sprintf("%.0f", ops),
-				p50.Round(time.Microsecond).String(),
-				p99.Round(time.Microsecond).String(),
-				p999.Round(time.Microsecond).String(),
-				speedup,
-				fmt.Sprintf("%d", st.ReconciledOps),
-				fmt.Sprintf("%d", st.Reconciles),
-				fmt.Sprintf("%d", st.Splits),
-			})
 		}
 	}
 	return tb

@@ -20,6 +20,7 @@ import (
 	"dyndbscan/internal/analysis/holdblock"
 	"dyndbscan/internal/analysis/lockorder"
 	"dyndbscan/internal/analysis/logvisible"
+	"dyndbscan/internal/analysis/stagedlog"
 )
 
 // Analyzers is the full dynlint suite, exported for the self-check test.
@@ -28,6 +29,7 @@ func Analyzers() []*analysis.Analyzer {
 		lockorder.Analyzer,
 		holdblock.Analyzer,
 		logvisible.Analyzer,
+		stagedlog.Analyzer,
 		atomicfield.Analyzer,
 	}
 }

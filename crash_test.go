@@ -22,21 +22,43 @@ import (
 )
 
 const (
-	helperEnvFlag   = "DYNDBSCAN_WAL_HELPER"
-	helperEnvDir    = "DYNDBSCAN_WAL_DIR"
-	helperEnvAlgo   = "DYNDBSCAN_WAL_ALGO"
-	helperEnvShards = "DYNDBSCAN_WAL_SHARDS"
+	helperEnvFlag    = "DYNDBSCAN_WAL_HELPER"
+	helperEnvDir     = "DYNDBSCAN_WAL_DIR"
+	helperEnvAlgo    = "DYNDBSCAN_WAL_ALGO"
+	helperEnvShards  = "DYNDBSCAN_WAL_SHARDS"
+	helperEnvHotspot = "DYNDBSCAN_WAL_HOTSPOT"
 )
+
+// crashHotspotPolicy is the child's split-phase tuning: staging engages after
+// a handful of commits (hair-trigger threshold, detection on every commit)
+// and never reconciles on its own (huge ReconcileOps, no join triggers in the
+// insert-only workload) — so from shortly after startup until the kill, the
+// child provably has unreconciled staged inserts whose only durability is
+// their staged-delta WAL records.
+func crashHotspotPolicy() HotspotPolicy {
+	return HotspotPolicy{
+		ScoreThreshold: 2,
+		WaitWeight:     4,
+		CheckEvery:     1,
+		ReconcileOps:   1 << 20,
+		SplitAfter:     1 << 20,
+		SplitParts:     2,
+		MigrateChunk:   1 << 20,
+	}
+}
 
 // helperOpts builds the engine options the crash-test child runs with; the
 // parent mirrors them (minus the WAL) for its reference engine.
-func helperOpts(algoIdx, shards int, dir string) []Option {
+func helperOpts(algoIdx, shards int, hotspot bool, dir string) []Option {
 	opts := []Option{
 		WithEps(6), WithMinPts(3),
 		WithAlgorithm(walAlgos[algoIdx].algo),
 	}
 	if shards > 1 {
 		opts = append(opts, WithShards(shards), WithShardStripe(4))
+	}
+	if hotspot {
+		opts = append(opts, WithHotspot(crashHotspotPolicy()))
 	}
 	if dir != "" {
 		opts = append(opts,
@@ -60,11 +82,26 @@ func TestHelperWALWriter(t *testing.T) {
 	dir := os.Getenv(helperEnvDir)
 	algoIdx, _ := strconv.Atoi(os.Getenv(helperEnvAlgo))
 	shards, _ := strconv.Atoi(os.Getenv(helperEnvShards))
-	e, err := New(helperOpts(algoIdx, shards, dir)...)
+	hotspot := os.Getenv(helperEnvHotspot) == "1"
+	e, err := New(helperOpts(algoIdx, shards, hotspot, dir)...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer e.Close()
+	if hotspot {
+		// Insert-only traffic concentrated in one stripe (x within the first
+		// four eps-6 cells): the stripe crosses the hair-trigger threshold
+		// within a few commits, and every insert after that diverts into
+		// split-phase staging. No deletes, queries, or Syncs means no join
+		// trigger ever folds them — the child stays mid-split-phase until
+		// the parent kills it.
+		rng := rand.New(rand.NewSource(99))
+		for {
+			if _, err := e.Insert(Point{rng.Float64() * 23, rng.Float64() * 23}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
 	withDeletes := walAlgos[algoIdx].dels
 	script := genScript(rand.New(rand.NewSource(99)), 4000, withDeletes)
 	playScript(t, e, script)
@@ -80,13 +117,20 @@ func TestKill9Recovery(t *testing.T) {
 			name := fmt.Sprintf("%s/shards=%d", walAlgos[ai].name, shards)
 			t.Run(name, func(t *testing.T) {
 				t.Parallel()
-				runKill9(t, ai, shards)
+				runKill9(t, ai, shards, false)
 			})
 		}
 	}
+	// The split-phase entry: a WithHotspot engine killed while staging is
+	// provably active — acked inserts whose only durability is their
+	// staged-delta records, the fold still pending.
+	t.Run("Hotspot/shards=3", func(t *testing.T) {
+		t.Parallel()
+		runKill9(t, 0, 3, true) // FullyDynamic
+	})
 }
 
-func runKill9(t *testing.T, algoIdx, shards int) {
+func runKill9(t *testing.T, algoIdx, shards int, hotspot bool) {
 	dir := t.TempDir()
 	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperWALWriter$")
 	cmd.Env = append(os.Environ(),
@@ -95,6 +139,9 @@ func runKill9(t *testing.T, algoIdx, shards int) {
 		helperEnvAlgo+"="+strconv.Itoa(algoIdx),
 		helperEnvShards+"="+strconv.Itoa(shards),
 	)
+	if hotspot {
+		cmd.Env = append(cmd.Env, helperEnvHotspot+"=1")
+	}
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +166,7 @@ func runKill9(t *testing.T, algoIdx, shards int) {
 	// Reference: a fresh in-memory engine fed the durable prefix the log
 	// actually holds. The reader stops at the first incomplete frame — the
 	// same boundary recovery truncates at.
-	ref, err := New(helperOpts(algoIdx, shards, "")...)
+	ref, err := New(helperOpts(algoIdx, shards, false, "")...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +175,7 @@ func runKill9(t *testing.T, algoIdx, shards int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	records := 0
+	records, stagedRecs, lastStaged := 0, 0, false
 	for {
 		_, wops, err := rd.Next()
 		if errors.Is(err, wal.ErrCaughtUp) {
@@ -136,6 +183,13 @@ func runKill9(t *testing.T, algoIdx, shards int) {
 		}
 		if err != nil {
 			t.Fatalf("reading durable prefix after record %d: %v", records, err)
+		}
+		lastStaged = false
+		for i := range wops {
+			if wops[i].Kind == wal.OpStagedInsert {
+				stagedRecs++
+				lastStaged = true
+			}
 		}
 		if err := ref.applyWALRecord(wops); err != nil {
 			t.Fatalf("reference apply of record %d: %v", records+1, err)
@@ -146,9 +200,27 @@ func runKill9(t *testing.T, algoIdx, shards int) {
 	if records < 300 {
 		t.Fatalf("durable prefix holds only %d records", records)
 	}
+	if hotspot {
+		// Staging must be provably active at kill time: a large share of the
+		// prefix consists of staged-delta records, and the newest durable
+		// record is one — its fold had not happened when the process died, so
+		// recovering its insert exercises exactly the acked-before-folded
+		// window the staged-delta records exist to close.
+		if stagedRecs < 100 {
+			t.Fatalf("only %d of %d durable records are staged deltas; split phase never engaged", stagedRecs, records)
+		}
+		if !lastStaged {
+			t.Fatalf("newest durable record is not a staged delta (%d staged of %d); the kill missed the staging window", stagedRecs, records)
+		}
+	}
 
-	// Recovery: reopen the crashed directory.
-	rec, err := Open(dir)
+	// Recovery: reopen the crashed directory, with the same hotspot runtime
+	// options the writer ran with.
+	var reopenOpts []Option
+	if hotspot {
+		reopenOpts = append(reopenOpts, WithHotspot(crashHotspotPolicy()))
+	}
+	rec, err := Open(dir, reopenOpts...)
 	if err != nil {
 		t.Fatalf("recovering after kill -9: %v", err)
 	}

@@ -326,7 +326,10 @@ func (e *Engine) Sync() {
 	if e.sh != nil {
 		// Sync is a hotspot join trigger: staged inserts reconcile (and
 		// publish their events) before the delivery barrier is measured.
-		e.sh.joinAll(joinSync)
+		// The barrier join waits out an in-flight fold — an advisory join
+		// could return while deltas staged before this call are still
+		// pending, because the fold snapshotted its stripes before them.
+		e.sh.joinAllWait(joinSync)
 	}
 	// Every update that committed before this point took its publication
 	// ticket inside its critical section; wait for all issued tickets to

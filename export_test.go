@@ -84,3 +84,14 @@ func (e *Engine) StripeParts(stripe int64) int {
 func (e *Engine) MoveStripeChunked(stripe int64, dst, chunk int) {
 	e.sh.migrateStripeChunked(stripe, int32(dst), chunk)
 }
+
+// HoldReconcile acquires the hotspot reconcile lock and returns its release —
+// the directed hook of the join-barrier regression tests: while held, it
+// plays the part of an in-flight reconcile whose stripe snapshot predates
+// later-staged ops, so a correct barrier join (Sync/Checkpoint/delete/Close)
+// must block until release instead of returning with deltas still staged.
+func (e *Engine) HoldReconcile() (release func()) {
+	hs := e.sh.hs
+	hs.reconcileMu.Lock()
+	return hs.reconcileMu.Unlock
+}

@@ -29,25 +29,33 @@ package dyndbscan
 // migration* moves a large stripe in bounded chunks with commits admitted
 // between chunks (placement.go: migrateStripeChunked).
 //
-// Handle minting: staged inserts mint their handles at staging time, and the
-// reconciler logs them only later, so WAL record order no longer agrees with
-// mint order. With hotspot enabled every sharded insert record therefore
-// carries its handle explicitly (wal.OpInsertAt) and replay pins the mint
-// counter past the replayed ids instead of re-minting — see walOpsFromShOps
-// and Engine.applyExplicit.
+// Handle minting: staged inserts mint their handles at staging time, before
+// their stripe's fold, so WAL record order no longer agrees with mint order.
+// With hotspot enabled every sharded insert record therefore carries its
+// handle explicitly (wal.OpInsertAt / wal.OpStagedInsert) and replay pins the
+// mint counter past the replayed ids instead of re-minting — see
+// walOpsFromShOps and Engine.applyExplicit.
 //
-// Durability window: a staged insert is acked before it is logged. A clean
-// Close (or any other join trigger) reconciles and logs everything, but a
-// crash loses staged-but-unreconciled inserts — the price of not serializing
-// on the hot lock, bounded by ReconcileOps per stripe.
+// Durability: a staged insert writes its wal.OpStagedInsert record at staging
+// time, under routesMu, before the handle becomes visible — the same
+// log-before-visible rule as the ordinary commit path (the ack may race the
+// fsync under group commit, never the append). Staging still skips the
+// owning-shard lock and the seam fold, which is where the hot-path win comes
+// from; the reconcile fold later applies the staged batch as one ordinary
+// commit but appends nothing, because every op in it is already logged.
+// A kill -9 therefore loses no acked insert: recovery applies OpStagedInsert
+// records directly (Engine.applyExplicit), and each handle appears in the
+// log exactly once.
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dyndbscan/internal/core"
+	"dyndbscan/internal/wal"
 )
 
 // HotspotPolicy tunes the contention-adaptive commit path of a sharded
@@ -136,11 +144,16 @@ type stagedIns struct {
 
 // hotStripe is one stripe in split phase; all fields are guarded by routesMu.
 type hotStripe struct {
-	since   uint64      // commitSeq when the stripe entered split phase
-	staged  []stagedIns // absorbed inserts awaiting reconciliation
-	joins   int         // reconciles absorbed while hot (split escalation)
-	cooling bool        // flagged for demotion by the detector
-	noSplit bool        // splitting was considered and is impossible
+	since uint64 // commitSeq when the stripe entered split phase
+	// staged holds absorbed inserts awaiting reconciliation. Each entry's
+	// only durability is the staged-delta record written before it was
+	// appended here; the stagedlog analyzer enforces that ordering.
+	//
+	//dynlint:staged-delta
+	staged  []stagedIns
+	joins   int  // reconciles absorbed while hot (split escalation)
+	cooling bool // flagged for demotion by the detector
+	noSplit bool // splitting was considered and is impossible
 }
 
 // hotspotState is the engine-wide hotspot machinery, attached to shardSet
@@ -166,12 +179,22 @@ type hotspotState struct {
 	hot       map[int64]*hotStripe
 	nextCheck uint64 // next detection commitSeq; guarded by routesMu
 
-	// reconcileMu serializes reconciles and joins. Join triggers acquire it
-	// with TryLock: a join that loses the race returns immediately — the
-	// reconcile underway *is* the join — which is also what makes the
-	// trigger paths deadlock-free when a reconcile's own publication or
-	// checkpoint re-enters them. Held across whole reconcile commits
-	// (fsync + publication included), hence may-block; see LOCKING.md.
+	// pausedStaging blocks new diversions while a checkpoint captures its
+	// sequence horizon: staging appends its record under routesMu alone, so
+	// without the pause a staged record could slip under the checkpoint's
+	// LastSeq read after the join folded everything — covered by the
+	// checkpoint, absent from its payload, lost on trim. A counter, not a
+	// flag, so overlapping Checkpoint calls compose. Guarded by routesMu.
+	pausedStaging int
+
+	// reconcileMu serializes reconciles and joins. Barrier joins
+	// (joinAllWait: Sync, Checkpoint, Close, deletes) block on it — waiting
+	// out an in-flight reconcile is what guarantees their post-condition,
+	// since that reconcile snapshotted its stripe list before ops staged
+	// after it. Advisory joins (joinAll: query paths) and the cadence worker
+	// acquire it with TryLock and skip when a reconcile is underway. Held
+	// across whole reconcile commits (publication included), hence
+	// may-block; see LOCKING.md.
 	//
 	//dynlint:lock-level 10 may-block
 	reconcileMu sync.Mutex
@@ -247,21 +270,35 @@ func (e *Engine) HotspotStats() HotspotStats {
 // order (so handle sequences agree with a non-hotspot engine bit-for-bit),
 // absorbing the inserts that target split-phase stripes into their stripes'
 // staged buffers and returning the rest as pre-minted (forceGID) commit ops.
+// The diverted inserts are logged as one wal.OpStagedInsert record *before*
+// any staged state is written — log-before-visible holds on the staged path
+// exactly as on the ordinary one. walSeq is that record's sequence (0 when
+// nothing was logged); the caller owes it a wal.finish before acking.
 // out receives every handle; rest is nil when nothing was diverted, in which
 // case no handle was minted either and the caller commits the batch through
-// the ordinary minting path.
-func (ss *shardSet) hotRoute(sps []core.StagedPoint, out []PointID) (rest []shOp, diverted int) {
+// the ordinary minting path. A non-nil error is a refused staged-delta
+// append: nothing was staged or applied (the minted ids are burned, which is
+// harmless — replay reads handles instead of re-minting).
+func (ss *shardSet) hotRoute(sps []core.StagedPoint, out []PointID) (rest []shOp, diverted int, walSeq uint64, err error) {
 	hs := ss.hs
 	if hs == nil || hs.hotCount.Load() == 0 || hs.closing.Load() {
-		return nil, 0
+		return nil, 0, 0, nil
+	}
+	if w := ss.e.wal; w != nil && w.recovering {
+		// Replay (Open) and replicas must never stage: applyWALRecord applies
+		// OpStagedInsert records directly, and a diversion here would both
+		// defer the very fold the record's position in the log promises and
+		// re-log the op once the fold ran. Replicas stay apply-only.
+		return nil, 0, 0, nil
 	}
 	ss.routesMu.Lock()
 	// closing re-checked under routesMu: drainStaged sets it and then takes
 	// routesMu once, so any diversion that slipped past the atomic check
 	// either stages before the drain's barrier or observes closing here.
-	if ss.adaptivePending || len(hs.hot) == 0 || hs.closing.Load() {
+	// pausedStaging is Checkpoint's equivalent barrier (see its field doc).
+	if ss.adaptivePending || len(hs.hot) == 0 || hs.closing.Load() || hs.pausedStaging > 0 {
 		ss.routesMu.Unlock()
-		return nil, 0
+		return nil, 0, 0, nil
 	}
 	anyHot := false
 	for _, sp := range sps {
@@ -272,35 +309,58 @@ func (ss *shardSet) hotRoute(sps []core.StagedPoint, out []PointID) (rest []shOp
 	}
 	if !anyHot {
 		ss.routesMu.Unlock()
-		return nil, 0
+		return nil, 0, 0, nil
 	}
+	// Pass 1: mint in op order and partition. Nothing is published yet —
+	// the staged-delta record must hit the log first.
 	rest = make([]shOp, 0, len(sps))
+	var (
+		staged  []stagedIns
+		stripes []int64 // staged[i] targets stripes[i]
+		wops    []wal.Op
+	)
+	logging := ss.e.logging()
+	dims := ss.cfg.Dims
 	for i, sp := range sps {
 		gid := ss.nextID
 		ss.nextID++
 		out[i] = gid
 		t := floorDiv(int64(sp.Coord()[0]), ss.stripeCells)
-		if h, hot := hs.hot[t]; hot {
-			// No load charge here: the reconcile commit charges these ops
-			// (points and decayed updates) exactly once when it folds them.
-			h.staged = append(h.staged, stagedIns{gid, sp})
-			// Staged diversion is the documented acked-before-logged window:
-			// the handle is visible (queries route through stagedRoutes) as
-			// soon as it is staged, and the WAL record is written when the
-			// reconcile commit folds the staged batch. WithHotspot trades
-			// that window for hot-stripe throughput; see ROADMAP follow-up
-			// on staged-delta WAL coverage.
-			//
-			//dynlint:ignore logvisible staged hotspot inserts are acked before logging by design; the reconcile fold writes the WAL record
-			ss.stagedRoutes[gid] = t
-			hs.stagedTotal.Add(1)
-			diverted++
+		if _, hot := hs.hot[t]; hot {
+			staged = append(staged, stagedIns{gid, sp})
+			stripes = append(stripes, t)
+			if logging {
+				wops = append(wops, wal.Op{Kind: wal.OpStagedInsert, Coord: sp.Point()[:dims], ID: int64(gid)})
+			}
 			continue
 		}
 		rest = append(rest, shOp{insert: true, forceGID: true, sp: sp, gid: gid})
 	}
+	// Staged-delta append: one record for the whole diverted set, under the
+	// same routesMu section that minted the handles — record order agrees
+	// with mint order, and the append precedes every staged-state write
+	// below. The owning shard's lock and the seam fold are still skipped;
+	// that is the hot-path win, and it survives the append (wal.Log has its
+	// own lock, level 110 > routesMu's 50).
+	if len(wops) > 0 {
+		seq, werr := ss.e.wal.append(wops)
+		if werr != nil {
+			ss.routesMu.Unlock()
+			return nil, 0, 0, werr
+		}
+		walSeq = seq
+	}
+	// Pass 2: publish the staged state. No load charge here: the reconcile
+	// commit charges these ops (points and decayed updates) exactly once
+	// when it folds them.
+	for i, st := range staged {
+		hs.hot[stripes[i]].staged = append(hs.hot[stripes[i]].staged, st)
+		ss.stagedRoutes[st.gid] = stripes[i]
+	}
+	hs.stagedTotal.Add(int64(len(staged)))
+	diverted = len(staged)
 	ss.routesMu.Unlock()
-	return rest, diverted
+	return rest, diverted, walSeq, nil
 }
 
 // stagedVisible reports whether unreconciled staged inserts exist — the
@@ -310,21 +370,49 @@ func (ss *shardSet) stagedVisible() bool {
 	return ss.hs != nil && ss.hs.stagedTotal.Load() > 0
 }
 
-// joinAll forces a reconcile of every staged delta (a Doppel join) before the
-// caller proceeds; cause labels the trigger in HotspotStats. A join that
-// finds another reconcile in flight returns immediately: the reconcile
-// underway subsumes it, and blocking here could deadlock the reconcile's own
-// publication or checkpoint path. The returned error is the first reconcile
-// failure (a durability failure — the deltas were put back).
-func (ss *shardSet) joinAll(cause string) error {
+// joinAll is the advisory join of the clustering query paths: it folds every
+// staged delta it can get the reconcile lock for, and skips when another
+// reconcile is in flight. That is sound for queries — missing a concurrently
+// staged insert is linearizable to a moment before its reconcile — but NOT
+// for Sync/Checkpoint/Close/deletes, whose post-condition is "nothing staged
+// from before the call": the in-flight reconcile snapshotted its stripe list
+// before ops staged after it, so it does not subsume the join. Those callers
+// use joinAllWait. cause labels the trigger in HotspotStats.
+func (ss *shardSet) joinAll(cause string) {
 	hs := ss.hs
 	if hs == nil || hs.stagedTotal.Load() == 0 {
-		return nil
+		return
 	}
 	if !hs.reconcileMu.TryLock() {
-		return nil
+		return
 	}
 	defer hs.reconcileMu.Unlock()
+	ss.foldAllLocked(cause)
+}
+
+// joinAllWait is the barrier join (Sync, Checkpoint, Close, deletes): it
+// waits out any in-flight reconcile, then folds every stripe with staged
+// deltas. Everything staged before the call is in the snapshot taken after
+// the lock is held, so on return no pre-call staged delta remains. Callers
+// must not hold reconcileMu (it is non-reentrant) or any engine lock —
+// the folds take worldMu, shard locks, and routesMu.
+func (ss *shardSet) joinAllWait(cause string) {
+	hs := ss.hs
+	if hs == nil || hs.stagedTotal.Load() == 0 {
+		// stagedTotal only reaches 0 after the folds that drained it fully
+		// committed (reconcileStripe decrements it after its commit), so a
+		// zero read means there is nothing pre-call left to wait for.
+		return
+	}
+	hs.reconcileMu.Lock()
+	defer hs.reconcileMu.Unlock()
+	ss.foldAllLocked(cause)
+}
+
+// foldAllLocked folds every stripe that currently holds staged deltas.
+// Caller holds reconcileMu.
+func (ss *shardSet) foldAllLocked(cause string) {
+	hs := ss.hs
 	ss.routesMu.Lock()
 	stripes := make([]int64, 0, len(hs.hot))
 	for t, h := range hs.hot {
@@ -333,24 +421,20 @@ func (ss *shardSet) joinAll(cause string) error {
 		}
 	}
 	ss.routesMu.Unlock()
-	var first error
 	for _, t := range stripes {
-		if err := ss.reconcileStripe(t, cause); err != nil && first == nil {
-			first = err
-		}
+		ss.reconcileStripe(t, cause)
 	}
-	return first
 }
 
 // reconcileStripe folds one stripe's staged deltas into the backends as one
 // ordinary commit. Caller holds reconcileMu.
-func (ss *shardSet) reconcileStripe(t int64, cause string) error {
+func (ss *shardSet) reconcileStripe(t int64, cause string) {
 	hs := ss.hs
 	ss.routesMu.Lock()
 	h := hs.hot[t]
 	if h == nil || len(h.staged) == 0 {
 		ss.routesMu.Unlock()
-		return nil
+		return
 	}
 	batch := h.staged
 	h.staged = nil
@@ -358,26 +442,19 @@ func (ss *shardSet) reconcileStripe(t int64, cause string) error {
 
 	ops := make([]shOp, len(batch))
 	for i, st := range batch {
-		ops[i] = shOp{insert: true, forceGID: true, sp: st.sp, gid: st.gid}
+		ops[i] = shOp{insert: true, forceGID: true, logged: true, sp: st.sp, gid: st.gid}
 	}
 	start := time.Now()
-	// The reconcile rides the ordinary commit path: WAL append (with explicit
-	// handles) before publication, one Version advance, one seam fold.
-	// Backends cannot reject staged pre-validated inserts, so a failure can
-	// only be a refused WAL append (e.g. the log was closed) — nothing was
-	// applied then, so the deltas go back into the buffer and the handle
-	// surface stays truthful. The next join retries.
-	if _, err := ss.commitBatch(ops, nil); err != nil {
-		ss.routesMu.Lock()
-		h := hs.hot[t]
-		if h == nil {
-			h = &hotStripe{since: ss.commitSeq}
-			hs.hot[t] = h
-			hs.hotCount.Add(1)
-		}
-		h.staged = append(batch, h.staged...)
-		ss.routesMu.Unlock()
-		return err
+	// The fold rides the ordinary commit path — one Version advance, one
+	// seam fold — but appends nothing: every op carries logged, its
+	// OpStagedInsert record was written at staging time, and re-logging
+	// would double-apply on replay. With no append and no delete to
+	// re-validate, the commit has no failure mode left: backends cannot
+	// reject staged pre-validated inserts. The NoCkpt variant is required
+	// here — reconcileMu is held, and the checkpoint cadence would take a
+	// blocking join on it.
+	if _, err := ss.commitBatchNoCkpt(ops, nil); err != nil {
+		panic(fmt.Sprintf("dyndbscan: reconcile fold failed on an append-free commit: %v", err))
 	}
 
 	ss.routesMu.Lock()
@@ -399,41 +476,56 @@ func (ss *shardSet) reconcileStripe(t int64, cause string) error {
 	hs.reconcileNanos += int64(time.Since(start))
 	hs.joins[cause]++
 	hs.statsMu.Unlock()
-	return nil
 }
 
 // hotCommit commits a pure-insert staged batch through the split-phase
 // diversion. ok=false means no op targeted a hot stripe (and no handle was
-// minted): the caller commits through the ordinary path. With ok=true every
-// handle in out is live; err then reports a durability failure of the
-// non-diverted remainder (the diverted part stays staged, mirroring the
-// partial-commit semantics of a mid-batch InsertBatch failure).
+// minted): the caller commits through the ordinary path. With ok=true and a
+// nil err every handle in out is live and its record is in the log. A
+// non-nil err with ok=true is either a refused staged-delta append (nothing
+// staged, nothing applied) or a durability failure of the committed parts
+// (staged deltas logged, remainder committed, fsync refused) — in every case
+// the log never acks less than the caller was told.
 func (ss *shardSet) hotCommit(sps []core.StagedPoint) (out []PointID, ok bool, err error) {
 	out = make([]PointID, len(sps))
-	rest, diverted := ss.hotRoute(sps, out)
+	rest, diverted, walSeq, err := ss.hotRoute(sps, out)
+	if err != nil {
+		return nil, true, err
+	}
 	if diverted == 0 {
 		return nil, false, nil
 	}
+	// Durability barrier for the staged-delta record, mirroring commitBatch:
+	// under SyncAlways the ack waits for the record's fsync, so no staged
+	// handle is ever returned ahead of its durability.
+	werr := ss.e.wal.finish(walSeq)
 	if len(rest) > 0 {
 		_, err = ss.commitBatch(rest, nil)
 	} else {
 		// Fully diverted batches never reach commitBatch, whose epilogue
-		// normally runs the deferred hotspot work; run it from here so a
-		// pure hot-stripe workload still reconciles on cadence.
+		// normally runs the deferred hotspot and checkpoint work; run it
+		// from here so a pure hot-stripe workload still reconciles and
+		// checkpoints on cadence. (Safe: this goroutine holds no lock, and
+		// in particular not reconcileMu.)
 		ss.maybeHotspotReconcile()
+		ss.e.maybeCheckpoint()
+	}
+	if err == nil {
+		err = werr
 	}
 	return out, true, err
 }
 
 // joinForDelete reconciles staged delta buffers until none of the delete
-// targets is staged-only. Queries tolerate an advisory join (missing a
-// concurrently staged insert is linearizable to a moment before its
-// reconcile), but a delete of an acked handle must find its point, so a lost
-// TryLock — some other reconcile is folding the buffers right now — is
-// waited out rather than skipped. The pending check runs first so that
-// deletes of already-reconciled (or never-staged) points — the common case
-// when churn expires old data while a different region is hot — pass
-// through without forcing a join.
+// targets is staged-only: a delete of an acked handle must find its point,
+// so it takes the barrier join (joinAllWait), which waits out any in-flight
+// fold instead of skipping. The pending check runs first so that deletes of
+// already-reconciled (or never-staged) points — the common case when churn
+// expires old data while a different region is hot — pass through without
+// forcing a join. The loop settles fast: the target ids were staged before
+// the call (they cannot re-stage — handles are never re-minted), so one
+// barrier join folds them all; the re-check only spins if the fold's
+// publication has not reached the routes yet.
 func (ss *shardSet) joinForDelete(ids []PointID) {
 	hs := ss.hs
 	if hs == nil {
@@ -454,15 +546,15 @@ func (ss *shardSet) joinForDelete(ids []PointID) {
 		if !pending {
 			return
 		}
-		ss.joinAll(joinDelete)
+		ss.joinAllWait(joinDelete)
 		runtime.Gosched()
 	}
 }
 
 // drainStaged reconciles until no staged delta remains — Engine.Close's
-// barrier before the WAL seals, so a clean shutdown loses nothing. It gives
-// up when a reconcile reports a durability failure (the log is already
-// closed; a racing Close won that path after draining its own view).
+// barrier before the WAL seals, so a clean shutdown folds every staged
+// insert into its backend (the records themselves were already durable at
+// staging time).
 func (ss *shardSet) drainStaged() {
 	hs := ss.hs
 	if hs == nil {
@@ -472,12 +564,9 @@ func (ss *shardSet) drainStaged() {
 	ss.routesMu.Lock()     // barrier: in-flight diversions stage before this, later ones see closing
 	ss.routesMu.Unlock()
 	for hs.stagedTotal.Load() > 0 {
-		if err := ss.joinAll(joinClose); err != nil {
-			return
-		}
-		if hs.stagedTotal.Load() > 0 {
-			runtime.Gosched()
-		}
+		// One barrier join folds everything staged before it; with closing
+		// set nothing new can stage, so the loop terminates.
+		ss.joinAllWait(joinClose)
 	}
 }
 

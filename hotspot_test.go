@@ -15,6 +15,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"dyndbscan"
 )
@@ -600,6 +601,117 @@ func TestSubscribeSeamReuse(t *testing.T) {
 	}
 	if err := e.SeamAudit(); err != nil {
 		t.Fatalf("rebuilt seam fails its audit: %v", err)
+	}
+}
+
+// TestHotspotSyncBarrierWaitsOutInflightReconcile pins the join-barrier fix:
+// a barrier join (Sync here) that finds a reconcile in flight must wait it
+// out, not return on a lost TryLock. The in-flight reconcile snapshotted its
+// stripe list before these ops staged, so it cannot subsume the join — under
+// the old advisory behavior Sync returned with StagedOps > 0. Run with -race.
+func TestHotspotSyncBarrierWaitsOutInflightReconcile(t *testing.T) {
+	e := newHotEngine(t, hairTrigger())
+	defer e.Close()
+	if _, err := e.InsertBatch(hotPoints(32, 0)); err != nil {
+		t.Fatalf("warm InsertBatch: %v", err)
+	}
+	// The "in-flight reconcile": holds the reconcile lock with a stripe
+	// snapshot that predates everything staged below.
+	release := e.HoldReconcile()
+	for i := 0; i < 12; i++ {
+		if _, err := e.Insert(dyndbscan.Point{float64(i % 5), 20}); err != nil {
+			t.Fatalf("hot Insert: %v", err)
+		}
+	}
+	if e.StagedOps() == 0 {
+		release()
+		t.Fatal("no insert was diverted into staging; the test lost its scenario")
+	}
+	done := make(chan struct{})
+	go func() {
+		e.Sync()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Sync returned while a reconcile was in flight and deltas it cannot have folded were staged")
+	case <-time.After(50 * time.Millisecond):
+	}
+	release()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Sync never returned after the in-flight reconcile released")
+	}
+	if n := e.StagedOps(); n != 0 {
+		t.Fatalf("staged ops remain after a barrier Sync: %d", n)
+	}
+}
+
+// TestHotspotCheckpointCoversStaged drives staged inserts into an engine,
+// checkpoints while writers keep staging, and requires the checkpoint's world
+// to be complete: everything staged before the checkpoint folds first (the
+// barrier join), nothing stages under its sequence horizon (the staging
+// pause), and the reopened engine — which restores the checkpoint, then
+// replays the tail — serves every acked handle. Run with -race.
+func TestHotspotCheckpointCoversStaged(t *testing.T) {
+	dir, err := os.MkdirTemp("", "dyndbscan-hot-ckpt-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	e := newHotEngine(t, hairTrigger(), dyndbscan.WithWAL(dir, dyndbscan.SyncAlways()))
+
+	if _, err := e.InsertBatch(hotPoints(32, 0)); err != nil {
+		t.Fatalf("warm InsertBatch: %v", err)
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		acked []dyndbscan.PointID
+	)
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id, err := e.Insert(dyndbscan.Point{float64((w + i) % 7), float64(30 + i%20)})
+				if err != nil {
+					t.Errorf("writer %d: Insert: %v", w, err)
+					return
+				}
+				mu.Lock()
+				acked = append(acked, id)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	for i := 0; i < 8; i++ {
+		if err := e.Checkpoint(); err != nil {
+			t.Fatalf("Checkpoint %d racing staging writers: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re, err := dyndbscan.Open(dir, dyndbscan.WithHotspot(hairTrigger()))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer re.Close()
+	for _, id := range acked {
+		if !re.Has(id) {
+			t.Fatalf("acked insert %d missing after checkpointed recovery (%d acked)", id, len(acked))
+		}
 	}
 }
 

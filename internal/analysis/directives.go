@@ -23,6 +23,7 @@ var knownVerbs = map[string]bool{
 	"wal-append":         true,
 	"visibility":         true,
 	"staged-only":        true,
+	"staged-delta":       true,
 	"reconciled-surface": true,
 }
 

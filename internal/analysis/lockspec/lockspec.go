@@ -33,7 +33,8 @@ type Spec struct {
 	Locks        map[*types.Var]*LockInfo
 	Visibility   map[*types.Var]bool
 	StagedOnly   map[*types.Var]bool
-	Surface      map[*ast.File]bool // //dynlint:reconciled-surface files
+	StagedDelta  map[*types.Var]bool // //dynlint:staged-delta — staged state backed by staged-delta WAL records
+	Surface      map[*ast.File]bool  // //dynlint:reconciled-surface files
 	Funcs        map[*types.Func]*FuncSummary
 	fset         *token.FileSet
 	info         *types.Info
@@ -142,17 +143,18 @@ const (
 
 func run(pass *analysis.Pass) (any, error) {
 	s := &Spec{
-		Locks:      make(map[*types.Var]*LockInfo),
-		Visibility: make(map[*types.Var]bool),
-		StagedOnly: make(map[*types.Var]bool),
-		Surface:    make(map[*ast.File]bool),
-		Funcs:      make(map[*types.Func]*FuncSummary),
-		fset:       pass.Fset,
-		info:       pass.TypesInfo,
-		facts:      pass.Facts,
-		blocksAnn:  make(map[*types.Func]bool),
-		appendsAnn: make(map[*types.Func]bool),
-		localDecls: make(map[*types.Func]*ast.FuncDecl),
+		Locks:       make(map[*types.Var]*LockInfo),
+		Visibility:  make(map[*types.Var]bool),
+		StagedOnly:  make(map[*types.Var]bool),
+		StagedDelta: make(map[*types.Var]bool),
+		Surface:     make(map[*ast.File]bool),
+		Funcs:       make(map[*types.Func]*FuncSummary),
+		fset:        pass.Fset,
+		info:        pass.TypesInfo,
+		facts:       pass.Facts,
+		blocksAnn:   make(map[*types.Func]bool),
+		appendsAnn:  make(map[*types.Func]bool),
+		localDecls:  make(map[*types.Func]*ast.FuncDecl),
 	}
 	s.collect(pass)
 
@@ -287,6 +289,8 @@ func (s *Spec) fieldDirectives(doc, comment *ast.CommentGroup, names []*ast.Iden
 				s.Visibility[v] = true
 			case "staged-only":
 				s.StagedOnly[v] = true
+			case "staged-delta":
+				s.StagedDelta[v] = true
 			}
 		}
 	}

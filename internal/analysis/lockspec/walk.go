@@ -609,7 +609,7 @@ func (w *walker) call(call *ast.CallExpr) bool {
 		}
 		// Atomic mutation of an annotated visibility field publishes.
 		if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
-			if v, ok := w.s.info.Uses[inner.Sel].(*types.Var); ok && (w.s.Visibility[v] || w.s.StagedOnly[v]) {
+			if v, ok := w.s.info.Uses[inner.Sel].(*types.Var); ok && (w.s.Visibility[v] || w.s.StagedOnly[v] || w.s.StagedDelta[v]) {
 				switch sel.Sel.Name {
 				case "Store", "Add", "Swap", "CompareAndSwap":
 					w.emit(Event{Kind: KWrite, Pos: call.Pos(), Field: v})
@@ -688,7 +688,7 @@ func (w *walker) noteWrite(lhs ast.Expr) {
 	if v == nil {
 		return
 	}
-	if w.s.Visibility[v] || w.s.StagedOnly[v] {
+	if w.s.Visibility[v] || w.s.StagedOnly[v] || w.s.StagedDelta[v] {
 		w.emit(Event{Kind: KWrite, Pos: lhs.Pos(), Field: v})
 	}
 }

@@ -1,0 +1,133 @@
+// Package stagedlog enforces the split-phase durability invariant: a write
+// that publishes staged hotspot state (//dynlint:staged-delta — the
+// per-stripe staged buffers, the staged route table) must be dominated by a
+// WAL append on every path that reaches it. The staged path acknowledges
+// inserts without the owning shard's commit, so the staged-delta record
+// written at staging time is the ONLY durability an acked staged insert
+// has; a staged write the analyzer cannot prove downstream of an append is
+// an acked-before-logged hole.
+//
+// Coverage is interprocedural with the same covered-at-entry fixpoint as
+// logvisible: a function whose staged writes are only ever reached through
+// already-covered call sites is clean; one reachable uncovered is reported
+// at the write site. Two write shapes are exempt because they remove staged
+// state rather than create it and therefore need no record: delete(m, k)
+// (the walker emits no write event for it) and assigning the untyped nil
+// (the reconcile fold clearing a drained buffer).
+package stagedlog
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dyndbscan/internal/analysis"
+	"dyndbscan/internal/analysis/lockspec"
+)
+
+// Analyzer reports staged-delta writes not dominated by a WAL append.
+var Analyzer = &analysis.Analyzer{
+	Name:     "stagedlog",
+	Doc:      "check that staged-delta state is written only downstream of its WAL append",
+	Requires: []*analysis.Analyzer{lockspec.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	spec := pass.ResultOf[lockspec.Analyzer].(*lockspec.Spec)
+	if len(spec.StagedDelta) == 0 {
+		return nil, nil
+	}
+	clears := nilClears(pass, spec)
+
+	// Covered-at-entry fixpoint, as in logvisible: unexported functions with
+	// at least one intra-package call site start optimistically covered and
+	// are demoted when reached through an uncovered call site; exported
+	// functions and call-less roots have unknown callers and start uncovered.
+	hasCaller := make(map[*types.Func]bool)
+	for _, sum := range spec.Funcs {
+		for _, ev := range sum.Events {
+			if ev.Kind == lockspec.KCall {
+				if _, local := spec.Funcs[ev.Callee]; local {
+					hasCaller[ev.Callee] = true
+				}
+			}
+		}
+	}
+	entry := make(map[*types.Func]bool, len(spec.Funcs))
+	for fn := range spec.Funcs {
+		entry[fn] = hasCaller[fn] && !fn.Exported()
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, sum := range spec.Funcs {
+			cov := entry[fn] || spec.AppendAnnotated(fn)
+			for _, ev := range sum.Events {
+				if ev.Kind != lockspec.KCall {
+					continue
+				}
+				if _, local := spec.Funcs[ev.Callee]; local && !cov && entry[ev.Callee] {
+					entry[ev.Callee] = false
+					changed = true
+				}
+				if spec.CalleeMayAppend(ev.Callee) {
+					cov = true
+				}
+			}
+		}
+	}
+	for fn, sum := range spec.Funcs {
+		cov := entry[fn] || spec.AppendAnnotated(fn)
+		for _, ev := range sum.Events {
+			switch ev.Kind {
+			case lockspec.KCall:
+				if spec.CalleeMayAppend(ev.Callee) {
+					cov = true
+				}
+			case lockspec.KWrite:
+				if spec.StagedDelta[ev.Field] && !cov && !clears[ev.Pos] {
+					pass.Reportf(ev.Pos, "write to staged-delta field %s is not dominated by a WAL append: a crash here loses an acknowledged staged insert",
+						ev.Field.Name())
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// nilClears collects the positions of staged-delta assignments whose RHS is
+// the untyped nil — buffer clears, which remove staged state instead of
+// creating it. Keyed on the same position the walker stamps into the write
+// event (the unwrapped LHS), so lookups line up exactly.
+func nilClears(pass *analysis.Pass, spec *lockspec.Spec) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				l := ast.Unparen(lhs)
+				if idx, ok := l.(*ast.IndexExpr); ok {
+					l = ast.Unparen(idx.X)
+				}
+				var v *types.Var
+				switch e := l.(type) {
+				case *ast.SelectorExpr:
+					v, _ = pass.TypesInfo.Uses[e.Sel].(*types.Var)
+				case *ast.Ident:
+					v, _ = pass.TypesInfo.Uses[e].(*types.Var)
+				}
+				if v == nil || !spec.StagedDelta[v] {
+					continue
+				}
+				if tv, ok := pass.TypesInfo.Types[as.Rhs[i]]; ok && tv.IsNil() {
+					out[l.Pos()] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package stagedlog_test
+
+import (
+	"testing"
+
+	"dyndbscan/internal/analysis/atest"
+	"dyndbscan/internal/analysis/stagedlog"
+)
+
+func TestFixtures(t *testing.T) {
+	atest.Run(t, "../testdata/src/stagedlog", stagedlog.Analyzer)
+}

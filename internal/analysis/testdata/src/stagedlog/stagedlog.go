@@ -1,0 +1,92 @@
+// Fixture for the stagedlog analyzer: staged-delta writes — acknowledged
+// state whose only durability is its staged-delta WAL record — must be
+// dominated by a WAL append on every path that reaches them. Clearing
+// (nil assignment, delete) removes staged state and is exempt.
+package fixture
+
+type wal struct{ n int }
+
+//dynlint:wal-append
+func (w *wal) append(rec []byte) { w.n++ }
+
+type stripe struct {
+	//dynlint:staged-delta
+	staged []int
+}
+
+type eng struct {
+	hot map[int64]*stripe
+	//dynlint:staged-delta
+	routes map[int]int64
+	log    *wal
+}
+
+// stageOK writes the record first; the staged state it publishes survives a
+// crash.
+func (e *eng) stageOK(t int64, k int) {
+	e.log.append(nil)
+	e.hot[t].staged = append(e.hot[t].staged, k)
+	e.routes[k] = t
+}
+
+// stageLeak publishes staged state with no record anywhere upstream: an
+// insert acked off this path is lost by a crash.
+func (e *eng) stageLeak(t int64, k int) {
+	e.hot[t].staged = append(e.hot[t].staged, k) // want "write to staged-delta field staged is not dominated by a WAL append"
+	e.routes[k] = t                              // want "write to staged-delta field routes is not dominated"
+}
+
+// stageBeforeAppend is the classic ordering bug: the staged state is
+// visible (and the insert ackable) before its record exists.
+func (e *eng) stageBeforeAppend(t int64, k int) {
+	e.routes[k] = t // want "not dominated by a WAL append"
+	e.log.append(nil)
+}
+
+// foldClear is the reconcile fold: it removes staged state, which needs no
+// record — nil assignment and delete are both exempt.
+func (e *eng) foldClear(t int64, k int) {
+	e.hot[t].staged = nil
+	delete(e.routes, k)
+}
+
+// helperStage is covered from its staging-path caller but reached
+// uncovered from retryStage, so its write is reported: coverage is
+// interprocedural.
+func (e *eng) helperStage(k int) {
+	e.routes[k] = 0 // want "not dominated by a WAL append"
+}
+
+func (e *eng) coveredCaller(k int) {
+	e.log.append(nil)
+	e.helperStage(k)
+}
+
+func (e *eng) retryStage(k int) {
+	e.helperStage(k)
+}
+
+// alwaysCovered is only ever called after an append: silent.
+func (e *eng) alwaysCovered(k int) {
+	e.routes[k] = 1
+}
+
+func (e *eng) rootA(k int) {
+	e.log.append(nil)
+	e.alwaysCovered(k)
+}
+
+func (e *eng) rootB(k int) {
+	e.log.append(nil)
+	e.alwaysCovered(k)
+}
+
+// indirectOK reaches the append through a helper: still covered.
+func (e *eng) logIt() {
+	e.log.append(nil)
+}
+
+func (e *eng) indirectOK(t int64, k int) {
+	e.logIt()
+	e.hot[t].staged = append(e.hot[t].staged, k)
+}

@@ -38,6 +38,15 @@ const (
 	// refinement. Logged for the same reason as OpAssign: placement history
 	// determines minting order.
 	OpSplit OpKind = 5
+	// OpStagedInsert adds a point with the given coordinates under the
+	// explicit handle ID, written at hotspot *staging* time — before the
+	// point is folded into its owning shard. The encoding is identical to
+	// OpInsertAt; the distinct kind records that the write raced the fold,
+	// so replay tooling can tell a staged-durability record from an
+	// ordinary explicit-handle commit. Replay applies it exactly like
+	// OpInsertAt: the reconcile fold never re-logs an already-staged
+	// handle, so each handle appears in the log once.
+	OpStagedInsert OpKind = 6
 )
 
 // Op is one logged operation. Inserts carry the staged (dims-length)
@@ -92,7 +101,7 @@ func AppendOps(dst []byte, ops []Op) []byte {
 		case OpAssign, OpSplit:
 			dst = binary.AppendVarint(dst, op.ID) // stripes can be negative
 			dst = binary.AppendUvarint(dst, uint64(op.To))
-		case OpInsertAt:
+		case OpInsertAt, OpStagedInsert:
 			dst = binary.AppendUvarint(dst, uint64(len(op.Coord)))
 			for _, c := range op.Coord {
 				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c))
@@ -131,7 +140,7 @@ func DecodeOps(data []byte) ([]Op, error) {
 		kind := OpKind(data[0])
 		data = data[1:]
 		switch kind {
-		case OpInsert, OpInsertAt:
+		case OpInsert, OpInsertAt, OpStagedInsert:
 			d, k := binary.Uvarint(data)
 			if k <= 0 || d > maxDims {
 				return nil, fmt.Errorf("%w: bad dimension count at op %d", ErrCodec, i)
@@ -146,7 +155,7 @@ func DecodeOps(data []byte) ([]Op, error) {
 			}
 			data = data[8*d:]
 			op := Op{Kind: kind, Coord: coord}
-			if kind == OpInsertAt {
+			if kind != OpInsert {
 				id, k := binary.Uvarint(data)
 				if k <= 0 {
 					return nil, fmt.Errorf("%w: bad insert handle at op %d", ErrCodec, i)

@@ -375,13 +375,29 @@ func (e *Engine) Checkpoint() error {
 	if w == nil {
 		return ErrNoWAL
 	}
-	if e.sh != nil {
-		// Checkpoint is a hotspot join trigger: staged deltas reconcile (and
-		// append their records) first, so a checkpoint never covers an acked
-		// insert that is in neither the payload nor the records after it.
-		// When the caller *is* a reconcile's own automatic checkpoint, the
-		// TryLock inside makes this a no-op instead of a deadlock.
-		e.sh.joinAll(joinCheckpoint)
+	if ss := e.sh; ss != nil && ss.hs != nil {
+		// Checkpoint is a hotspot join trigger: staged deltas fold first, so
+		// the checkpoint never covers an acked insert that is in neither the
+		// payload nor the records after it. Two pieces make that airtight:
+		// the barrier join (joinAllWait) waits out an in-flight fold that
+		// snapshotted its stripes before later-staged ops, and the staging
+		// pause closes the window where a *new* diversion could append its
+		// staged-delta record under routesMu alone — below the LastSeq the
+		// payload will claim to cover, yet absent from the payload. Paused
+		// batches fall through to the ordinary commit path, which blocks on
+		// worldMu while checkpointPayload holds it exclusively.
+		// (A fold's own nested commit never re-enters here: commitBatch
+		// skips maybeCheckpoint for folded batches, so the blocking join
+		// cannot self-deadlock on reconcileMu.)
+		ss.routesMu.Lock()
+		ss.hs.pausedStaging++
+		ss.routesMu.Unlock()
+		defer func() {
+			ss.routesMu.Lock()
+			ss.hs.pausedStaging--
+			ss.routesMu.Unlock()
+		}()
+		ss.joinAllWait(joinCheckpoint)
 	}
 	w.ckptMu.Lock()
 	defer w.ckptMu.Unlock()
@@ -579,7 +595,7 @@ func (e *Engine) applyWALRecord(wops []wal.Op) error {
 		switch wops[i].Kind {
 		case wal.OpAssign, wal.OpSplit:
 			return fmt.Errorf("dyndbscan: wal: placement op inside a data record")
-		case wal.OpInsertAt:
+		case wal.OpInsertAt, wal.OpStagedInsert:
 			explicit = true
 		}
 	}
@@ -662,7 +678,14 @@ func (e *Engine) applyExplicit(wops []wal.Op) error {
 	var next PointID
 	for i, wop := range wops {
 		switch wop.Kind {
-		case wal.OpInsertAt:
+		case wal.OpInsertAt, wal.OpStagedInsert:
+			// OpStagedInsert is a staged-durability record written before the
+			// stripe's fold; by replay time the fold either happened (and was
+			// not re-logged) or was lost with the crash. Either way the record
+			// itself is the authoritative insert, so recovery and replicas
+			// apply it directly — they never re-stage (hotRoute declines to
+			// divert while wal.recovering), which keeps replay deterministic
+			// and keeps replicas apply-only.
 			sp, err := ss.stager.Stage(Point(wop.Coord))
 			if err != nil {
 				return fmt.Errorf("dyndbscan: wal: bad explicit insert: %w", err)

@@ -164,6 +164,7 @@ type shardSet struct {
 	hs *hotspotState
 	//dynlint:visibility
 	//dynlint:staged-only
+	//dynlint:staged-delta
 	stagedRoutes map[PointID]int64
 
 	// Deferred-trim state of the chunked migration tier (see
@@ -343,6 +344,7 @@ func (ss *shardSet) stage(pts []Point, what string, idx []int) ([]core.StagedPoi
 type shOp struct {
 	insert   bool
 	forceGID bool // insert: gid is pre-assigned (checkpoint restore), skip minting
+	logged   bool // insert: a staged-delta record already carries this op; do not re-log
 	sp       core.StagedPoint
 	gid      PointID // delete: target; insert: assigned during commit
 }
@@ -362,6 +364,20 @@ type shardItem struct {
 // Backends are built-in and the ops validated, so the commit itself cannot
 // fail part-way.
 func (ss *shardSet) commitBatch(ops []shOp, errUnknown func(i int, id PointID) error) ([]PointID, error) {
+	out, err := ss.commitBatchNoCkpt(ops, errUnknown)
+	// Checkpoint cadence runs here, outside the fold-safe inner commit: a
+	// reconcile fold holds reconcileMu, and Checkpoint is a blocking join
+	// (joinAllWait) — an auto-checkpoint from inside the fold would
+	// self-deadlock. Folds call commitBatchNoCkpt directly; their
+	// triggering path (hotCommit, or the join caller) owns the cadence
+	// check once the fold has released.
+	ss.e.maybeCheckpoint()
+	return out, err
+}
+
+// commitBatchNoCkpt is commitBatch without the trailing checkpoint-cadence
+// check — the variant a reconcile fold may run while holding reconcileMu.
+func (ss *shardSet) commitBatchNoCkpt(ops []shOp, errUnknown func(i int, id PointID) error) ([]PointID, error) {
 	e := ss.e
 
 	// Routing runs against one placement epoch: the epoch is snapshotted
@@ -518,13 +534,18 @@ route:
 			minted = true
 		}
 		if e.logging() {
-			seq, werr := e.wal.append(walOpsFromShOps(ops, ss.cfg.Dims, explicit))
-			if werr != nil {
-				ss.routesMu.Unlock()
-				unlock()
-				return nil, werr
+			// A reconcile fold's ops were already logged as OpStagedInsert at
+			// staging time; walOpsFromShOps drops them, and a fully-dropped
+			// batch appends nothing — replay must see each handle once.
+			if wops := walOpsFromShOps(ops, ss.cfg.Dims, explicit); len(wops) > 0 {
+				seq, werr := e.wal.append(wops)
+				if werr != nil {
+					ss.routesMu.Unlock()
+					unlock()
+					return nil, werr
+				}
+				walSeq = seq
 			}
-			walSeq = seq
 		}
 		if !explicit {
 			for i := range ops {
@@ -687,7 +708,6 @@ route:
 		// the reconcileMu TryLock.
 		ss.maybeHotspotReconcile()
 	}
-	e.maybeCheckpoint()
 	return out, werr
 }
 
@@ -696,16 +716,21 @@ route:
 // them during Append, so handing out the slice is safe. With explicit set
 // (hotspot engines) inserts are logged as OpInsertAt carrying their already-
 // minted handle, since mint order and log order diverge once staging exists.
+// Ops marked logged — staged inserts whose OpStagedInsert record was written
+// at diversion time — are dropped: re-logging them would double-apply on
+// replay. A reconcile fold therefore converts to an empty slice and appends
+// no record at all.
 func walOpsFromShOps(ops []shOp, dims int, explicit bool) []wal.Op {
-	wops := make([]wal.Op, len(ops))
+	wops := make([]wal.Op, 0, len(ops))
 	for i := range ops {
 		switch {
+		case ops[i].logged:
 		case !ops[i].insert:
-			wops[i] = wal.Op{Kind: wal.OpDelete, ID: int64(ops[i].gid)}
+			wops = append(wops, wal.Op{Kind: wal.OpDelete, ID: int64(ops[i].gid)})
 		case explicit:
-			wops[i] = wal.Op{Kind: wal.OpInsertAt, Coord: ops[i].sp.Point()[:dims], ID: int64(ops[i].gid)}
+			wops = append(wops, wal.Op{Kind: wal.OpInsertAt, Coord: ops[i].sp.Point()[:dims], ID: int64(ops[i].gid)})
 		default:
-			wops[i] = wal.Op{Kind: wal.OpInsert, Coord: ops[i].sp.Point()[:dims]}
+			wops = append(wops, wal.Op{Kind: wal.OpInsert, Coord: ops[i].sp.Point()[:dims]})
 		}
 	}
 	return wops

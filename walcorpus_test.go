@@ -31,16 +31,107 @@ var corpusPoints = []Point{
 	{50, 50}, {51, 50}, {50, 51}, {51, 51}, {50.5, 50.5},
 }
 
+// Staged-delta corpus history: the warm batch heats one stripe of a hotspot
+// engine (one 32-insert record), then the hot singles divert into split
+// phase — each writing one OpStagedInsert record. The engine closes cleanly,
+// but the reconcile folds append nothing, so the log's tail is exactly the
+// staged-delta records the staged_* damage cases mutilate.
+var (
+	stagedCorpusWarm = func() []Point {
+		pts := make([]Point, 32)
+		for i := range pts {
+			pts[i] = Point{float64(i%8) * 2, float64(i/8) * 2}
+		}
+		return pts
+	}()
+	stagedCorpusHot = []Point{
+		{0, 30}, {6, 30}, {12, 30}, {18, 30},
+		{1, 31}, {7, 31}, {13, 31}, {19, 31},
+	}
+)
+
+// stagedCorpusOpts is the staged-corpus engine shape; dir == "" builds the
+// in-memory reference (no WAL, no hotspot — staged and ordinary replay must
+// converge on the same clustering and handles).
+func stagedCorpusOpts(dir string) []Option {
+	opts := []Option{
+		WithEps(6), WithMinPts(3),
+		WithAlgorithm(AlgoFullyDynamic),
+		WithShards(2), WithShardStripe(4),
+	}
+	if dir != "" {
+		opts = append(opts,
+			WithHotspot(crashHotspotPolicy()),
+			WithWAL(dir, SyncAlways()), WithWALCheckpointEvery(0))
+	}
+	return opts
+}
+
+// buildStagedCorpusBase writes the staged-delta template log into dir and
+// fails unless split-phase staging actually produced the tail records.
+func buildStagedCorpusBase(tb testing.TB, dir string) {
+	tb.Helper()
+	e, err := New(stagedCorpusOpts(dir)...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := e.InsertBatch(stagedCorpusWarm); err != nil {
+		tb.Fatal(err)
+	}
+	for _, pt := range stagedCorpusHot {
+		if _, err := e.Insert(pt); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if got := e.StagedOps(); got != int64(len(stagedCorpusHot)) {
+		tb.Fatalf("staged corpus base staged %d of %d hot inserts; the template lost its scenario", got, len(stagedCorpusHot))
+	}
+	if err := e.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	// The tail really is staged-delta records: the fold appended nothing.
+	rd, err := wal.OpenReader(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer rd.Close()
+	records, stagedTail := 0, 0
+	for {
+		_, wops, err := rd.Next()
+		if errors.Is(err, wal.ErrCaughtUp) {
+			break
+		}
+		if err != nil {
+			tb.Fatal(err)
+		}
+		records++
+		if len(wops) == 1 && wops[0].Kind == wal.OpStagedInsert {
+			stagedTail++
+		} else {
+			stagedTail = 0
+		}
+	}
+	if records != 1+len(stagedCorpusHot) || stagedTail != len(stagedCorpusHot) {
+		tb.Fatalf("staged corpus base holds %d records with a %d-record staged tail, want %d/%d",
+			records, stagedTail, 1+len(stagedCorpusHot), len(stagedCorpusHot))
+	}
+}
+
 var walCorpusCases = []struct {
 	name      string
+	staged    bool // the staged-delta (hotspot) corpus base
 	wantLen   int  // points after recovery (damage at the tail truncates)
 	wantError bool // mid-log damage must refuse to open
 }{
-	{"valid", 10, false},
-	{"torn_record", 9, false},      // last record cut mid-frame
-	{"truncated_header", 9, false}, // segment ends inside a frame header
-	{"bad_crc_tail", 9, false},     // checksum damage on the final record
-	{"bad_crc_mid", 0, true},       // checksum damage with good records after it
+	{"valid", false, 10, false},
+	{"torn_record", false, 9, false},      // last record cut mid-frame
+	{"truncated_header", false, 9, false}, // segment ends inside a frame header
+	{"bad_crc_tail", false, 9, false},     // checksum damage on the final record
+	{"bad_crc_mid", false, 0, true},       // checksum damage with good records after it
+	{"staged_valid", true, 40, false},     // warm batch + 8 staged-delta records
+	{"staged_torn_record", true, 39, false},
+	{"staged_bad_crc_tail", true, 39, false},
+	{"staged_bad_crc_mid", true, 0, true}, // damaged staged record mid-log: refuse
 }
 
 func TestWALCorpus(t *testing.T) {
@@ -78,14 +169,32 @@ func TestWALCorpus(t *testing.T) {
 			}
 			// The surviving prefix must match a fresh engine fed the same
 			// inserts — damage costs exactly the torn suffix, nothing else.
-			ref, err := New(WithEps(6), WithMinPts(3))
+			var ref *Engine
+			if tc.staged {
+				ref, err = New(stagedCorpusOpts("")...)
+			} else {
+				ref, err = New(WithEps(6), WithMinPts(3))
+			}
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer ref.Close()
-			for _, pt := range corpusPoints[:tc.wantLen] {
-				if _, err := ref.Insert(pt); err != nil {
+			if tc.staged {
+				// Mirror the base history's op shape: the warm batch as one
+				// commit, then the surviving prefix of the staged singles.
+				if _, err := ref.InsertBatch(stagedCorpusWarm); err != nil {
 					t.Fatal(err)
+				}
+				for _, pt := range stagedCorpusHot[:tc.wantLen-len(stagedCorpusWarm)] {
+					if _, err := ref.Insert(pt); err != nil {
+						t.Fatal(err)
+					}
+				}
+			} else {
+				for _, pt := range corpusPoints[:tc.wantLen] {
+					if _, err := ref.Insert(pt); err != nil {
+						t.Fatal(err)
+					}
 				}
 			}
 			requireSameClustering(t, ref.Snapshot(), e.Snapshot(), tc.name)
@@ -116,43 +225,11 @@ func regenWALCorpus(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	segName := ""
-	for _, name := range listFlatDir(t, base) {
-		if strings.HasSuffix(name, ".seg") {
-			if segName != "" {
-				t.Fatalf("corpus base rotated segments (%s and %s); raise the segment size", segName, name)
-			}
-			segName = name
-		}
-	}
-	if segName == "" {
-		t.Fatal("corpus base has no segment")
-	}
-	seg, err := os.ReadFile(filepath.Join(base, segName))
-	if err != nil {
-		t.Fatal(err)
-	}
-	frames := frameOffsets(t, seg)
-	if len(frames) != len(corpusPoints) {
-		t.Fatalf("corpus base holds %d records, want %d", len(frames), len(corpusPoints))
-	}
+	segName, seg, frames := corpusSegment(t, base, len(corpusPoints))
 	last := frames[len(frames)-1]
 
 	mutate := func(name string, f func([]byte) []byte) {
-		dst := filepath.Join(walCorpusRoot, name)
-		if err := os.RemoveAll(dst); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.MkdirAll(dst, 0o755); err != nil {
-			t.Fatal(err)
-		}
-		copyFlatDir(t, base, dst)
-		if f != nil {
-			b := append([]byte(nil), seg...)
-			if err := os.WriteFile(filepath.Join(dst, segName), f(b), 0o644); err != nil {
-				t.Fatal(err)
-			}
-		}
+		corpusMutate(t, base, segName, seg, name, f)
 	}
 	mutate("valid", nil)
 	mutate("torn_record", func(b []byte) []byte {
@@ -169,8 +246,77 @@ func regenWALCorpus(t *testing.T) {
 		b[frames[2]+10] ^= 0xFF // damage record 3; records 4..10 stay valid
 		return b
 	})
-	t.Logf("regenerated %s (%d cases, segment %s, %d records)",
-		walCorpusRoot, len(walCorpusCases), segName, len(frames))
+
+	// The staged-delta family: the same damage shapes, applied to a log whose
+	// tail records are OpStagedInsert.
+	sbase := t.TempDir()
+	buildStagedCorpusBase(t, sbase)
+	sname, sseg, sframes := corpusSegment(t, sbase, 1+len(stagedCorpusHot))
+	slast := sframes[len(sframes)-1]
+	smutate := func(name string, f func([]byte) []byte) {
+		corpusMutate(t, sbase, sname, sseg, name, f)
+	}
+	smutate("staged_valid", nil)
+	smutate("staged_torn_record", func(b []byte) []byte {
+		return b[:len(b)-5] // the crash tore the newest staged-delta record
+	})
+	smutate("staged_bad_crc_tail", func(b []byte) []byte {
+		b[slast+10] ^= 0xFF // flip a body byte of the final staged record
+		return b
+	})
+	smutate("staged_bad_crc_mid", func(b []byte) []byte {
+		// Damage the third staged record (record 4 after the warm batch);
+		// valid staged records follow, so recovery must refuse.
+		b[sframes[3]+10] ^= 0xFF
+		return b
+	})
+	t.Logf("regenerated %s (%d cases, segments %s/%s, %d+%d records)",
+		walCorpusRoot, len(walCorpusCases), segName, sname, len(frames), len(sframes))
+}
+
+// corpusSegment finds the base log's single segment and walks its frames.
+func corpusSegment(t *testing.T, base string, wantRecords int) (segName string, seg []byte, frames []int) {
+	t.Helper()
+	for _, name := range listFlatDir(t, base) {
+		if strings.HasSuffix(name, ".seg") {
+			if segName != "" {
+				t.Fatalf("corpus base rotated segments (%s and %s); raise the segment size", segName, name)
+			}
+			segName = name
+		}
+	}
+	if segName == "" {
+		t.Fatal("corpus base has no segment")
+	}
+	seg, err := os.ReadFile(filepath.Join(base, segName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames = frameOffsets(t, seg)
+	if len(frames) != wantRecords {
+		t.Fatalf("corpus base holds %d records, want %d", len(frames), wantRecords)
+	}
+	return segName, seg, frames
+}
+
+// corpusMutate writes one corpus case: a copy of the base log with the
+// segment replaced by f's mutation (nil f keeps it pristine).
+func corpusMutate(t *testing.T, base, segName string, seg []byte, name string, f func([]byte) []byte) {
+	t.Helper()
+	dst := filepath.Join(walCorpusRoot, name)
+	if err := os.RemoveAll(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	copyFlatDir(t, base, dst)
+	if f != nil {
+		b := append([]byte(nil), seg...)
+		if err := os.WriteFile(filepath.Join(dst, segName), f(b), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 }
 
 // frameOffsets walks the segment's length-prefixed frames.
@@ -217,8 +363,10 @@ func copyFlatDir(t *testing.T, src, dst string) {
 }
 
 // FuzzWALReplay: recovery over an arbitrary segment file must reject or
-// truncate, never panic. The seed is the pristine corpus segment, so the
-// fuzzer starts from a structurally valid log and mutates from there.
+// truncate, never panic. Two templates seed the fuzzer: the pristine
+// single-backend corpus log, and the sharded hotspot log whose tail records
+// are OpStagedInsert — so mutations reach the staged-delta decode and replay
+// paths too. The bool picks which template's wal.meta frames the segment.
 func FuzzWALReplay(f *testing.F) {
 	tmpl := f.TempDir()
 	e, err := New(WithEps(6), WithMinPts(3),
@@ -234,26 +382,23 @@ func FuzzWALReplay(f *testing.F) {
 	if err := e.Close(); err != nil {
 		f.Fatal(err)
 	}
-	segName := ""
-	var meta []byte
-	for _, ent := range mustReadDir(f, tmpl) {
-		b, err := os.ReadFile(filepath.Join(tmpl, ent))
-		if err != nil {
-			f.Fatal(err)
+	plainName, plainSeg, plainMeta := fuzzTemplate(f, tmpl)
+
+	stmpl := f.TempDir()
+	buildStagedCorpusBase(f, stmpl)
+	stagedName, stagedSeg, stagedMeta := fuzzTemplate(f, stmpl)
+
+	f.Add(false, plainSeg)
+	f.Add(false, plainSeg[:len(plainSeg)-3])
+	f.Add(false, []byte{})
+	f.Add(true, stagedSeg)
+	f.Add(true, stagedSeg[:len(stagedSeg)-3])
+	f.Add(true, plainSeg) // staged-shaped meta over non-staged records
+	f.Fuzz(func(t *testing.T, staged bool, seg []byte) {
+		segName, meta := plainName, plainMeta
+		if staged {
+			segName, meta = stagedName, stagedMeta
 		}
-		if strings.HasSuffix(ent, ".seg") {
-			segName = ent
-			f.Add(b)
-			f.Add(b[:len(b)-3])
-		} else if ent == "wal.meta" {
-			meta = b
-		}
-	}
-	if segName == "" || meta == nil {
-		f.Fatal("template log incomplete")
-	}
-	f.Add([]byte{})
-	f.Fuzz(func(t *testing.T, seg []byte) {
 		dir := t.TempDir()
 		if err := os.WriteFile(filepath.Join(dir, "wal.meta"), meta, 0o644); err != nil {
 			t.Fatal(err)
@@ -268,6 +413,25 @@ func FuzzWALReplay(f *testing.F) {
 		e.Snapshot()
 		e.Close()
 	})
+}
+
+// fuzzTemplate reads a template log's single segment and meta file.
+func fuzzTemplate(f *testing.F, tmpl string) (segName string, seg, meta []byte) {
+	for _, ent := range mustReadDir(f, tmpl) {
+		b, err := os.ReadFile(filepath.Join(tmpl, ent))
+		if err != nil {
+			f.Fatal(err)
+		}
+		if strings.HasSuffix(ent, ".seg") {
+			segName, seg = ent, b
+		} else if ent == "wal.meta" {
+			meta = b
+		}
+	}
+	if segName == "" || meta == nil {
+		f.Fatal("template log incomplete")
+	}
+	return segName, seg, meta
 }
 
 func mustReadDir(f *testing.F, dir string) []string {
