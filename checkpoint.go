@@ -28,6 +28,7 @@ import (
 	"math"
 	"sort"
 
+	"dyndbscan/internal/grid"
 	"dyndbscan/internal/wal"
 )
 
@@ -263,16 +264,26 @@ func decodeCheckpoint(b []byte) (*ckptData, error) {
 }
 
 // checkpointPayloadSingle captures the single-backend engine's state under
-// its write lock; seq 0 means nothing was ever logged.
-func (e *Engine) checkpointPayloadSingle() (uint64, []byte) {
+// its write lock; seq 0 means nothing was ever logged. With wantDelta the
+// capture first tries to serialize only the changes since the previous
+// checkpoint (isDelta true on success, see deltackpt.go); either way the
+// change trackers are drained, resetting the next delta's baseline.
+func (e *Engine) checkpointPayloadSingle(wantDelta bool) (seq uint64, payload []byte, isDelta bool) {
 	w := e.wal
 	e.lock()
 	defer e.unlock()
 	// LastSeq is read inside the critical section: single-backend appends
 	// happen under the same lock, so the sequence and the state agree.
-	seq := w.log.LastSeq()
+	seq = w.log.LastSeq()
 	if seq == 0 {
-		return 0, nil
+		return 0, nil, false
+	}
+	d := w.takeDirty()
+	cells := w.upd.TakeDirtyUpdateCells()
+	if wantDelta && !d.full {
+		if b, ok := e.deltaPayloadSingleLocked(&d, cells); ok {
+			return seq, b, true
+		}
 	}
 	ids := e.liveIDs()
 	snap, _ := e.buildSnapshot() // built-in backends cannot fail the build
@@ -290,13 +301,16 @@ func (e *Engine) checkpointPayloadSingle() (uint64, []byte) {
 			}
 			return pt
 		}, snap.Clusters)
-	return seq, b
+	return seq, b, false
 }
 
 // checkpointPayload captures the sharded engine's state. Holding worldMu
 // exclusively quiesces every commit (appends happen inside commits), so the
-// log sequence and the shard states agree.
-func (ss *shardSet) checkpointPayload(log *wal.Log) (uint64, []byte) {
+// log sequence and the shard states agree. With wantDelta the capture first
+// tries the incremental path (isDelta true on success, see deltackpt.go);
+// either way the change trackers are drained, resetting the next delta's
+// baseline.
+func (ss *shardSet) checkpointPayload(log *wal.Log, wantDelta bool) (seq uint64, payload []byte, isDelta bool) {
 	ss.worldMu.Lock()
 	defer ss.worldMu.Unlock()
 	// The LastSeq read is the payload's coverage claim: every record at or
@@ -309,9 +323,23 @@ func (ss *shardSet) checkpointPayload(log *wal.Log) (uint64, []byte) {
 	if hs := ss.hs; hs != nil && hs.stagedTotal.Load() != 0 {
 		panic("dyndbscan: checkpoint: staged hotspot deltas present during payload capture")
 	}
-	seq := log.LastSeq()
+	// Re-warm the seam if a restore or a chunked migration left it cold: from
+	// here on commits fold incrementally again, feeding the merge ledger the
+	// next delta capture composes from.
+	ss.ensureSeamLocked()
+	seq = log.LastSeq()
 	if seq == 0 {
-		return 0, nil
+		return 0, nil, false
+	}
+	d := ss.e.wal.takeDirty()
+	dirtyCells := make([][]grid.Coord, len(ss.shards))
+	for si, sh := range ss.shards {
+		dirtyCells[si] = sh.upd.TakeDirtyUpdateCells()
+	}
+	if wantDelta && !d.full {
+		if b, ok := ss.deltaPayloadLocked(&d, dirtyCells); ok {
+			return seq, b, true
+		}
 	}
 	gidOf := ss.stitchLocked()
 	ids := ss.liveIDsLocked()
@@ -353,37 +381,14 @@ func (ss *shardSet) checkpointPayload(log *wal.Log) (uint64, []byte) {
 	b := []byte{ckptVersion, ckptSharded}
 	b = encodeCheckpointCommon(b, ss.cfg.Dims, nextPt, ss.nextGID, ids,
 		func(i int) Point { return coords[i] }, clusters)
-	b = appendUvarint(b, uint64(stripeCells))
-	stripes := make([]int64, 0, len(assign))
-	for st := range assign {
-		stripes = append(stripes, st)
-	}
-	sort.Slice(stripes, func(i, j int) bool { return stripes[i] < stripes[j] })
-	b = appendUvarint(b, uint64(len(stripes)))
-	for _, st := range stripes {
-		b = appendVarint(b, st)
-		b = appendUvarint(b, uint64(assign[st]))
-	}
-	split := make([]int64, 0, len(splits))
-	for st := range splits {
-		split = append(split, st)
-	}
-	sort.Slice(split, func(i, j int) bool { return split[i] < split[j] })
-	b = appendUvarint(b, uint64(len(split)))
-	for _, st := range split {
-		b = appendVarint(b, st)
-		b = appendUvarint(b, uint64(splits[st]))
-	}
-	return seq, b
+	b = appendPlacement(b, stripeCells, assign, splits)
+	return seq, b, false
 }
 
-// restoreCheckpoint rebuilds the freshly constructed engine from a decoded
-// checkpoint; runs inside Open, before replay, before the Engine escapes.
-func (e *Engine) restoreCheckpoint(payload []byte) error {
-	ck, err := decodeCheckpoint(payload)
-	if err != nil {
-		return err
-	}
+// restoreCheckpoint rebuilds the freshly constructed engine from a composed
+// checkpoint chain (see composeCheckpoints); runs inside Open, before replay,
+// before the Engine escapes.
+func (e *Engine) restoreCheckpoint(ck *ckptData) error {
 	if ck.dims != e.cfg.Dims {
 		return fmt.Errorf("%w: dimensionality %d does not match the log's %d", errCorruptCkpt, ck.dims, e.cfg.Dims)
 	}
@@ -441,6 +446,14 @@ func (e *Engine) restoreSingle(ck *ckptData) error {
 // ordinary commit pipeline, then the stitch's keyGID table is rewritten to
 // the stored identities.
 func (ss *shardSet) restore(ck *ckptData) error {
+	// Drop the warm seam for the duration of the rebuild: the forced-handle
+	// commit below must not fold (its events describe the rebuild, not real
+	// cluster evolution), and the keyGID rewrite at the end would invalidate
+	// any seam labels minted meanwhile. The next Subscribe or checkpoint
+	// capture re-warms it through ensureSeamLocked.
+	ss.worldMu.Lock()
+	ss.seam = nil
+	ss.worldMu.Unlock()
 	ss.routesMu.Lock()
 	ss.stripeCells = ck.stripeCells
 	ss.adaptivePending = false
@@ -535,6 +548,18 @@ func (ss *shardSet) restore(ck *ckptData) error {
 	ss.nextGID = next
 	ss.stitchVersion = ss.e.version.Load()
 	ss.stitchValid = true
+	// Re-warm the seam before the Engine sees replay or commits: the drain
+	// discards the rebuild's own pending events and dirty cells, and with the
+	// stitch table just rewritten every component already holds its stored id,
+	// so nothing mints here. Replayed suffix records then fold incrementally,
+	// minting new cluster ids in commit order — the order the crashed engine
+	// minted them — instead of deferring to a later restitch whose spatial
+	// scan order is unrelated to the log.
+	for _, sh := range ss.shards {
+		sh.pending = sh.pending[:0]
+		sh.tracker.TakeDirtySeamCells()
+	}
+	ss.populateSeamLocked()
 	return nil
 }
 

@@ -38,7 +38,7 @@ func main() {
 		verbose = flag.Bool("v", false, "log progress per run")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dynbench [flags] table1|table2|fig8|fig9|...|fig15|wal|hotspot|all\n")
+		fmt.Fprintf(os.Stderr, "usage: dynbench [flags] table1|table2|fig8|fig9|...|fig15|wal|hotspot|pause|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -58,6 +58,7 @@ func main() {
 	// the contention-adaptive commit path's throughput/latency sweep.
 	figures["wal"] = func() []harness.Table { return walSweep(opts) }
 	figures["hotspot"] = func() []harness.Table { return hotspotSweepTables(opts) }
+	figures["pause"] = func() []harness.Table { return pauseSweep(opts) }
 
 	var names []string
 	for _, arg := range flag.Args() {

@@ -1,0 +1,178 @@
+package main
+
+// The "pause" figure is not from the paper: it measures the bounded-pause
+// claims of the incremental durability paths. Checkpoint: a delta capture's
+// pause against a full capture's over growing live sets with the same small
+// dirty set — the full capture re-serializes every live point, the delta
+// writes only the inter-checkpoint churn, so the gap widens with the live
+// set. Subscribe: attaching a subscriber to a sharded engine is O(1) at any
+// size, because the seam is maintained from birth and the attach only flips
+// event publication on — there is no stop-the-world restitch to measure.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"dyndbscan"
+	"dyndbscan/internal/harness"
+)
+
+// pauseSizes are the live-set sizes swept; overridden downward when -n is
+// smaller so the CI smoke run stays fast.
+var pauseSizes = []int{10_000, 50_000, 100_000}
+
+const pauseDirty = 16 // inserts between timed captures: the "small dirty set"
+
+// pauseFill bulk-loads n spread points and seals the base checkpoint every
+// timed capture builds on.
+func pauseFill(eng *dyndbscan.Engine, rng *rand.Rand, n int) {
+	ops := make([]dyndbscan.Op, n)
+	for i := range ops {
+		ops[i] = dyndbscan.InsertOp(dyndbscan.Point{rng.Float64() * 1e5, rng.Float64() * 1e5})
+	}
+	if _, err := eng.Apply(ops); err != nil {
+		panic(fmt.Sprintf("dynbench: pause: fill: %v", err))
+	}
+	if err := eng.Checkpoint(); err != nil {
+		panic(fmt.Sprintf("dynbench: pause: base checkpoint: %v", err))
+	}
+}
+
+// pauseCapture times captures after pauseDirty isolated inserts (far outside
+// the bulk region, so a delta's patch is exactly the fresh points) and
+// returns the fastest of rounds.
+func pauseCapture(eng *dyndbscan.Engine, rounds int) time.Duration {
+	var best time.Duration
+	for r := 0; r < rounds; r++ {
+		ops := make([]dyndbscan.Op, pauseDirty)
+		for i := range ops {
+			ops[i] = dyndbscan.InsertOp(dyndbscan.Point{3e5 + float64(i)*1e3, float64(r) * 1e3})
+		}
+		if _, err := eng.Apply(ops); err != nil {
+			panic(fmt.Sprintf("dynbench: pause: dirty batch: %v", err))
+		}
+		start := time.Now()
+		if err := eng.Checkpoint(); err != nil {
+			panic(fmt.Sprintf("dynbench: pause: capture: %v", err))
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func pauseEngine(dir string, compactEvery int) *dyndbscan.Engine {
+	eng, err := dyndbscan.New(
+		dyndbscan.WithEps(200), dyndbscan.WithMinPts(10),
+		dyndbscan.WithWAL(dir, dyndbscan.SyncEvery(2*time.Millisecond)),
+		dyndbscan.WithWALCheckpointEvery(0), // captures are timed explicitly
+		dyndbscan.WithWALCompactEvery(compactEvery),
+	)
+	if err != nil {
+		panic(fmt.Sprintf("dynbench: pause: %v", err))
+	}
+	return eng
+}
+
+// pauseSweep runs both pause tables.
+func pauseSweep(o harness.Options) []harness.Table {
+	sizes := pauseSizes
+	if o.N < sizes[len(sizes)-1] {
+		sizes = []int{o.N}
+	}
+
+	ckpt := harness.Table{
+		Title: fmt.Sprintf("Checkpoint pause — full capture vs delta (%d-insert dirty set, min of 3)", pauseDirty),
+		Caption: "full = WithWALCompactEvery(1): every capture re-serializes the live set.\n" +
+			"delta = chain capture of the inter-checkpoint churn alone; bytes = chain growth per capture.",
+		Header: []string{"live", "full", "delta", "speedup", "base bytes", "delta bytes"},
+	}
+	for _, n := range sizes {
+		if o.Verbose != nil {
+			o.Verbose("  pause: checkpoint sweep live=%d...", n)
+		}
+		row := make([]string, 6)
+		row[0] = fmt.Sprintf("%d", n)
+		var fullMin, deltaMin time.Duration
+		for _, full := range []bool{true, false} {
+			dir, err := os.MkdirTemp("", "dynbench-pause-*")
+			if err != nil {
+				panic(err)
+			}
+			compact := 1 << 20 // never fold: every timed capture is a delta
+			if full {
+				compact = 1
+			}
+			eng := pauseEngine(dir, compact)
+			pauseFill(eng, rand.New(rand.NewSource(o.Seed)), n)
+			base := eng.WALStats().ChainBytes
+			const rounds = 3
+			d := pauseCapture(eng, rounds)
+			if full {
+				fullMin = d
+				row[1] = d.Round(10 * time.Microsecond).String()
+				row[4] = fmt.Sprintf("%d", base)
+			} else {
+				deltaMin = d
+				row[2] = d.Round(10 * time.Microsecond).String()
+				st := eng.WALStats()
+				if st.ChainDeltas != rounds {
+					panic(fmt.Sprintf("dynbench: pause: %d of %d captures were deltas", st.ChainDeltas, rounds))
+				}
+				row[5] = fmt.Sprintf("%d", (st.ChainBytes-base)/rounds)
+			}
+			if err := eng.Close(); err != nil {
+				panic(fmt.Sprintf("dynbench: pause: close: %v", err))
+			}
+			os.RemoveAll(dir)
+		}
+		row[3] = fmt.Sprintf("%.1fx", fullMin.Seconds()/deltaMin.Seconds())
+		ckpt.Rows = append(ckpt.Rows, row)
+	}
+
+	sub := harness.Table{
+		Title: "Subscribe attach — sharded engine, seam warm from birth",
+		Caption: "attach = the Subscribe call itself (registration + flipping event publication on).\n" +
+			"No restitch of the existing world happens at attach time, so the cost is flat in the live set.",
+		Header: []string{"live", "shards", "attach"},
+	}
+	for _, n := range sizes {
+		if o.Verbose != nil {
+			o.Verbose("  pause: subscribe attach live=%d...", n)
+		}
+		eng, err := dyndbscan.New(
+			dyndbscan.WithEps(200), dyndbscan.WithMinPts(10),
+			dyndbscan.WithShards(4),
+		)
+		if err != nil {
+			panic(fmt.Sprintf("dynbench: pause: %v", err))
+		}
+		rng := rand.New(rand.NewSource(o.Seed))
+		ops := make([]dyndbscan.Op, n)
+		for i := range ops {
+			ops[i] = dyndbscan.InsertOp(dyndbscan.Point{rng.Float64() * 1e5, rng.Float64() * 1e5})
+		}
+		if _, err := eng.Apply(ops); err != nil {
+			panic(fmt.Sprintf("dynbench: pause: fill: %v", err))
+		}
+		// Fastest of 3 fresh attach/detach cycles.
+		var best time.Duration
+		for r := 0; r < 3; r++ {
+			start := time.Now()
+			cancel := eng.Subscribe(func(dyndbscan.Event) {})
+			d := time.Since(start)
+			cancel()
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		sub.Rows = append(sub.Rows, []string{
+			fmt.Sprintf("%d", n), "4", best.Round(time.Microsecond).String(),
+		})
+		eng.Close()
+	}
+	return []harness.Table{ckpt, sub}
+}

@@ -169,6 +169,10 @@ func main() {
 		st := eng.WALStats()
 		fmt.Fprintf(os.Stderr, "dyncluster: recovered %d points in %v (checkpoint through seq %d, %d records replayed)\n",
 			eng.Len(), st.RecoveryTime.Round(time.Microsecond), st.CheckpointSeq, st.Replayed)
+		if st.ChainBaseSeq != 0 {
+			fmt.Fprintf(os.Stderr, "dyncluster: checkpoint chain: base seq %d + %d delta(s), %d bytes\n",
+				st.ChainBaseSeq, st.ChainDeltas, st.ChainBytes)
+		}
 		*shards = eng.Shards() // downstream reports follow the recovered shape
 	} else {
 		if *walDir != "" {

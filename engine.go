@@ -142,6 +142,11 @@ type Engine struct {
 	staged  stagedInserter    // nil when the backend lacks the capability
 	stager  core.Stager       // valid iff staged != nil
 	pending []Event           // events collected during the in-flight update
+	// evsOn mirrors "subscribers exist" for the single-backend event sink.
+	// Without a WAL the sink itself is installed and removed with the first
+	// and last subscriber; with one the sink is permanent (it feeds the delta
+	// checkpoints' merge ledger) and evsOn gates only the pending collection.
+	evsOn bool
 
 	// Sorted-id cache (guarded by mu): the ascending live-id slice that
 	// snapshot construction needs, maintained incrementally so a snapshot
@@ -315,8 +320,11 @@ func (e *Engine) rqlock() func() {
 // Sorted-id cache maintenance; all three run inside the update critical
 // section.
 
-// noteInserted records freshly minted handles in the sorted-id cache.
+// noteInserted records freshly minted handles in the sorted-id cache (and,
+// with a WAL attached, in the delta-checkpoint change set — every
+// single-backend commit path funnels its minted handles through here).
 func (e *Engine) noteInserted(ids []PointID) {
+	e.wal.noteDirtyUpdates(ids, nil)
 	for _, id := range ids {
 		if _, dead := e.pendingDead[id]; dead {
 			// A foreign backend re-issued a tombstoned id; it is already in
@@ -332,7 +340,9 @@ func (e *Engine) noteInserted(ids []PointID) {
 }
 
 // noteDeleted tombstones removed handles; the next snapshot build compacts.
+// The WAL hook mirrors noteInserted's.
 func (e *Engine) noteDeleted(ids []PointID) {
+	e.wal.noteDirtyUpdates(nil, ids)
 	for _, id := range ids {
 		e.pendingDead[id] = struct{}{}
 	}

@@ -259,11 +259,20 @@ func (e *Engine) syncEventFunc() {
 	e.subMu.Lock()
 	want := len(e.subs) > 0
 	e.subMu.Unlock()
-	if want {
-		e.ext.SetEventFunc(func(ev Event) { e.pending = append(e.pending, e.mapEvent(ev)) })
-	} else {
-		e.ext.SetEventFunc(nil)
+	e.evsOn = want
+	if !want {
 		e.pending = nil
+	}
+	// With a WAL the sink is permanent (installed by attachWAL; it feeds the
+	// delta checkpoints' merge ledger) and gates publication on evsOn itself;
+	// only the no-WAL engine installs and removes the sink lazily so a
+	// subscriber-less engine pays nothing for the event machinery.
+	if e.wal == nil {
+		if want {
+			e.ext.SetEventFunc(func(ev Event) { e.pending = append(e.pending, e.mapEvent(ev)) })
+		} else {
+			e.ext.SetEventFunc(nil)
+		}
 	}
 	e.unlock()
 }

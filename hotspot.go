@@ -50,6 +50,7 @@ package dyndbscan
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -133,6 +134,7 @@ const (
 	joinCheckpoint = "checkpoint" // Engine.Checkpoint
 	joinClose      = "close"      // Engine.Close
 	joinSplit      = "split"      // reconcile preceding a stripe split
+	joinWidth      = "width"      // reconcile preceding a stripe-width re-derivation
 )
 
 // stagedIns is one staged (absorbed, unreconciled) insert: the handle was
@@ -142,18 +144,80 @@ type stagedIns struct {
 	sp  core.StagedPoint
 }
 
-// hotStripe is one stripe in split phase; all fields are guarded by routesMu.
-type hotStripe struct {
-	since uint64 // commitSeq when the stripe entered split phase
-	// staged holds absorbed inserts awaiting reconciliation. Each entry's
-	// only durability is the staged-delta record written before it was
-	// appended here; the stagedlog analyzer enforces that ordering.
+// stagedBuf is one per-worker sub-buffer of a hot stripe's staged inserts;
+// see hotStripe.bufs for why the buffer is split.
+type stagedBuf struct {
+	// mu guards ents alone. A stager acquires it while still holding
+	// routesMu — so a drain, which takes the sub-buffer locks under
+	// routesMu, can never slip between a stager's bookkeeping and its entry
+	// write — and releases routesMu before copying the entries in: the bulk
+	// memory write proceeds concurrently across sub-buffers.
+	//
+	//dynlint:lock-level 55 indexed
+	mu sync.Mutex
+	// ents holds this sub-buffer's absorbed inserts awaiting reconciliation.
+	// Each entry's only durability is the staged-delta record written before
+	// it was appended here; the stagedlog analyzer enforces that ordering.
 	//
 	//dynlint:staged-delta
-	staged  []stagedIns
-	joins   int  // reconciles absorbed while hot (split escalation)
-	cooling bool // flagged for demotion by the detector
-	noSplit bool // splitting was considered and is impossible
+	ents []stagedIns
+}
+
+// hotStripe is one stripe in split phase; count, rr, and the flag fields are
+// guarded by routesMu, the buffer entries by their own sub-buffer locks.
+type hotStripe struct {
+	since uint64 // commitSeq when the stripe entered split phase
+	// bufs are the per-worker staged-insert sub-buffers. A single buffer
+	// would serialize every diverting batch on one append target for the
+	// whole entry copy; with per-worker sub-buffers each stager round-robins
+	// (rr) onto its own slot and copies outside routesMu, so concurrent
+	// batches only contend on the short mint-and-log critical section.
+	// Reconciles drain every sub-buffer and re-sort by handle — mint order,
+	// which is the order of the entries' OpStagedInsert records in the log —
+	// so the fold is independent of how stagers interleaved across slots.
+	bufs    []*stagedBuf
+	count   int    // total staged entries across bufs; guarded by routesMu
+	rr      uint32 // round-robin slot cursor; guarded by routesMu
+	joins   int    // reconciles absorbed while hot (split escalation)
+	cooling bool   // flagged for demotion by the detector
+	noSplit bool   // splitting was considered and is impossible
+}
+
+// newHotStripe builds a split-phase entry with one staged sub-buffer per
+// worker (clamped: past a handful of slots the mint-and-log section, not the
+// entry copy, bounds staging throughput).
+func newHotStripe(since uint64) *hotStripe {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	h := &hotStripe{since: since, bufs: make([]*stagedBuf, n)}
+	for i := range h.bufs {
+		h.bufs[i] = new(stagedBuf)
+	}
+	return h
+}
+
+// takeLocked removes and returns every staged entry across the stripe's
+// sub-buffers, sorted by handle — mint order, which is also the order of the
+// entries' OpStagedInsert records, so folds apply them exactly as replay
+// would. Caller holds routesMu; the sub-buffer locks are taken one at a time
+// underneath it, which waits out any stager still copying entries (it
+// acquired its sub-buffer lock before releasing routesMu).
+func (h *hotStripe) takeLocked() []stagedIns {
+	batch := make([]stagedIns, 0, h.count)
+	for _, buf := range h.bufs {
+		buf.mu.Lock()
+		batch = append(batch, buf.ents...)
+		buf.ents = nil
+		buf.mu.Unlock()
+	}
+	h.count = 0
+	sort.Slice(batch, func(i, j int) bool { return batch[i].gid < batch[j].gid })
+	return batch
 }
 
 // hotspotState is the engine-wide hotspot machinery, attached to shardSet
@@ -350,16 +414,38 @@ func (ss *shardSet) hotRoute(sps []core.StagedPoint, out []PointID) (rest []shOp
 		}
 		walSeq = seq
 	}
-	// Pass 2: publish the staged state. No load charge here: the reconcile
-	// commit charges these ops (points and decayed updates) exactly once
-	// when it folds them.
+	// Pass 2: publish the staged bookkeeping — route-table entries, counts,
+	// and the chosen sub-buffer of each target stripe, whose lock is
+	// acquired *before* routesMu is released so no drain can slip between
+	// the bookkeeping and the entry writes below. No load charge here: the
+	// reconcile commit charges these ops (points and decayed updates)
+	// exactly once when it folds them.
+	bufFor := make(map[int64]*stagedBuf, 1)
 	for i, st := range staged {
-		hs.hot[stripes[i]].staged = append(hs.hot[stripes[i]].staged, st)
-		ss.stagedRoutes[st.gid] = stripes[i]
+		t := stripes[i]
+		h := hs.hot[t]
+		if _, ok := bufFor[t]; !ok {
+			buf := h.bufs[int(h.rr)%len(h.bufs)]
+			h.rr++
+			buf.mu.Lock()
+			bufFor[t] = buf
+		}
+		h.count++
+		ss.stagedRoutes[st.gid] = t
 	}
 	hs.stagedTotal.Add(int64(len(staged)))
 	diverted = len(staged)
 	ss.routesMu.Unlock()
+	// The entry copy — the bulk of the staged write — runs under the
+	// sub-buffer locks alone: concurrent diverting batches that picked
+	// different slots proceed in parallel here.
+	for i, st := range staged {
+		buf := bufFor[stripes[i]]
+		buf.ents = append(buf.ents, st)
+	}
+	for _, buf := range bufFor {
+		buf.mu.Unlock()
+	}
 	return rest, diverted, walSeq, nil
 }
 
@@ -416,7 +502,7 @@ func (ss *shardSet) foldAllLocked(cause string) {
 	ss.routesMu.Lock()
 	stripes := make([]int64, 0, len(hs.hot))
 	for t, h := range hs.hot {
-		if len(h.staged) > 0 {
+		if h.count > 0 {
 			stripes = append(stripes, t)
 		}
 	}
@@ -432,12 +518,11 @@ func (ss *shardSet) reconcileStripe(t int64, cause string) {
 	hs := ss.hs
 	ss.routesMu.Lock()
 	h := hs.hot[t]
-	if h == nil || len(h.staged) == 0 {
+	if h == nil || h.count == 0 {
 		ss.routesMu.Unlock()
 		return
 	}
-	batch := h.staged
-	h.staged = nil
+	batch := h.takeLocked()
 	ss.routesMu.Unlock()
 
 	ops := make([]shOp, len(batch))
@@ -597,7 +682,7 @@ func (ss *shardSet) noteHotspotLocked() {
 		if _, split := ss.splits[t]; split {
 			continue // already re-granulated; sub-stripes spread the load
 		}
-		hs.hot[t] = &hotStripe{since: ss.commitSeq}
+		hs.hot[t] = newHotStripe(ss.commitSeq)
 		hs.hotCount.Add(1)
 	}
 }
@@ -625,7 +710,7 @@ func (ss *shardSet) maybeHotspotReconcile() {
 		switch {
 		case h.cooling:
 			cooled = append(cooled, t)
-		case len(h.staged) >= hs.pol.ReconcileOps:
+		case h.count >= hs.pol.ReconcileOps:
 			due = append(due, t)
 		}
 		if !h.noSplit && h.joins >= hs.pol.SplitAfter {
@@ -640,7 +725,7 @@ func (ss *shardSet) maybeHotspotReconcile() {
 	for _, t := range cooled {
 		ss.reconcileStripe(t, joinCool)
 		ss.routesMu.Lock()
-		if h := hs.hot[t]; h != nil && len(h.staged) == 0 {
+		if h := hs.hot[t]; h != nil && h.count == 0 {
 			delete(hs.hot, t)
 			hs.hotCount.Add(-1)
 		}
@@ -673,7 +758,7 @@ func (ss *shardSet) splitHotStripe(t int64) {
 
 	ss.reconcileStripe(t, joinSplit)
 	ss.routesMu.Lock()
-	if h := hs.hot[t]; h == nil || len(h.staged) > 0 {
+	if h := hs.hot[t]; h == nil || h.count > 0 {
 		// Raced with new staging; retry on the next escalation pass.
 		ss.routesMu.Unlock()
 		return

@@ -551,9 +551,11 @@ func TestHotspotChunkedMigrationVsWriters(t *testing.T) {
 	}
 }
 
-// TestSubscribeSeamReuse pins the incremental-subscribe baseline: a
-// Subscribe arriving while the retired seam is still exact (no commit since
-// the last teardown) must reuse it instead of paying a full restitch.
+// TestSubscribeSeamReuse pins the warm-seam subscribe invariant: a sharded
+// engine's seam is warm from birth and folded by every commit, so Subscribe —
+// first, repeated, or after interleaved commits — attaches without ever
+// paying a full O(N) restitch. Restitches() must stay at zero throughout,
+// and the seam every Subscribe attaches to must pass its audit.
 func TestSubscribeSeamReuse(t *testing.T) {
 	e, err := dyndbscan.New(
 		dyndbscan.WithAlgorithm(dyndbscan.AlgoFullyDynamic),
@@ -570,17 +572,19 @@ func TestSubscribeSeamReuse(t *testing.T) {
 
 	cancel := e.Subscribe(func(dyndbscan.Event) {})
 	e.Sync()
-	base := e.Restitches()
-	if base == 0 {
-		t.Fatal("first Subscribe built no seam")
+	if got := e.Restitches(); got != 0 {
+		t.Fatalf("first Subscribe on a warm seam restitched: %d passes, want 0", got)
+	}
+	if err := e.SeamAudit(); err != nil {
+		t.Fatalf("warm seam fails its audit: %v", err)
 	}
 	cancel()
-	e.Sync() // teardown retires (keeps) the seam, stamped with this epoch
+	e.Sync() // teardown stops publication; the seam stays warm and folding
 
 	cancel2 := e.Subscribe(func(dyndbscan.Event) {})
 	e.Sync()
-	if got := e.Restitches(); got != base {
-		t.Fatalf("resubscribe before the next commit restitched: %d passes, want %d", got, base)
+	if got := e.Restitches(); got != 0 {
+		t.Fatalf("resubscribe restitched: %d passes, want 0", got)
 	}
 	if err := e.SeamAudit(); err != nil {
 		t.Fatalf("reused seam fails its audit: %v", err)
@@ -588,19 +592,19 @@ func TestSubscribeSeamReuse(t *testing.T) {
 	cancel2()
 	e.Sync()
 
-	// A commit after teardown invalidates the retirement stamp: the next
-	// Subscribe must rebuild.
+	// Commits between teardown and the next Subscribe fold into the warm
+	// seam as they happen — attaching afterwards still needs no rebuild.
 	if _, err := e.Insert(dyndbscan.Point{50, 50}); err != nil {
 		t.Fatalf("Insert: %v", err)
 	}
 	cancel3 := e.Subscribe(func(dyndbscan.Event) {})
 	e.Sync()
 	defer cancel3()
-	if got := e.Restitches(); got <= base {
-		t.Fatalf("stale seam was reused: %d passes, want > %d", got, base)
+	if got := e.Restitches(); got != 0 {
+		t.Fatalf("Subscribe after interleaved commit restitched: %d passes, want 0", got)
 	}
 	if err := e.SeamAudit(); err != nil {
-		t.Fatalf("rebuilt seam fails its audit: %v", err)
+		t.Fatalf("folded seam fails its audit: %v", err)
 	}
 }
 

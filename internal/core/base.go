@@ -78,6 +78,11 @@ type base struct {
 	// the empty/non-empty boundary — the change set of the sharded engine's
 	// incremental stitch; see SeamTracker.
 	dirtySeam map[grid.Coord]struct{}
+
+	// dirtyUpd, when non-nil, records cells touched by placements, removals
+	// and core flips — the change set of the durability layer's delta
+	// checkpoints; see UpdateTracker.
+	dirtyUpd map[grid.Coord]struct{}
 }
 
 func newBase(cfg Config) *base {
@@ -185,6 +190,7 @@ func (b *base) placePoint(pt geom.Point, coord grid.Coord) *pointRec {
 		clusterElem: -1,
 	}
 	b.nextID++
+	b.noteUpdDirty(coord)
 	c := b.cellAt(coord)
 	rec.cell = c
 	rec.idx = len(c.pts)
@@ -209,6 +215,7 @@ func (b *base) markCore(rec *pointRec) {
 	c.nonCore = c.nonCore[:last]
 	rec.ncIdx = -1
 	c.coreCount++
+	b.noteUpdDirty(c.coord)
 	if c.coreCount == 1 {
 		b.noteSeamDirty(c)
 	}
@@ -224,6 +231,7 @@ func (b *base) markNonCore(rec *pointRec) {
 	rec.ncIdx = len(c.nonCore)
 	c.nonCore = append(c.nonCore, rec)
 	c.coreCount--
+	b.noteUpdDirty(c.coord)
 	if c.coreCount == 0 {
 		b.noteSeamDirty(c)
 	}
@@ -233,6 +241,7 @@ func (b *base) markNonCore(rec *pointRec) {
 // The caller is responsible for core-state teardown and cell destruction.
 func (b *base) removePoint(rec *pointRec) {
 	c := rec.cell
+	b.noteUpdDirty(c.coord)
 	last := len(c.pts) - 1
 	c.pts[rec.idx] = c.pts[last]
 	c.pts[rec.idx].idx = rec.idx

@@ -1,0 +1,154 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"path/filepath"
+)
+
+// Checkpoints form a chain: a full base snapshot plus zero or more deltas,
+// each naming the checkpoint it extends. Inside the shared length|crc file
+// framing, every checkpoint starts with a kind byte — ckptKindBase for a
+// self-contained snapshot, ckptKindDelta for a delta, followed by the
+// parent's sequence number as a uvarint. The rest of the file is the
+// engine's opaque payload; the log never interprets it. The chain whose tip
+// is the newest-named checkpoint file is the live chain, and restore
+// composes its payloads base-first. Files off the live chain are leftovers
+// of a failed cleanup: they are ignored on load and removed by the next
+// checkpoint's cleanup.
+
+const (
+	ckptKindBase  = 1
+	ckptKindDelta = 2
+)
+
+// chainEntry is one checkpoint file on the live chain.
+type chainEntry struct {
+	name    string
+	seq     uint64
+	parent  uint64 // the checkpoint this delta extends; 0 for a base
+	kind    byte
+	bytes   int64 // framed payload size, chain header included
+	payload []byte
+}
+
+// ChainStats describes the shape of a live checkpoint chain.
+type ChainStats struct {
+	// BaseSeq is the sequence number the chain's full base snapshot covers
+	// (0 when the log has no checkpoint).
+	BaseSeq uint64
+	// Deltas is how many delta checkpoints sit on top of the base.
+	Deltas int
+	// Bytes is the total payload size of the chain's files.
+	Bytes int64
+}
+
+func statsOf(chain []chainEntry) ChainStats {
+	var st ChainStats
+	for i, e := range chain {
+		if i == 0 {
+			st.BaseSeq = e.seq
+		} else {
+			st.Deltas++
+		}
+		st.Bytes += e.bytes
+	}
+	return st
+}
+
+func chainPayloads(chain []chainEntry) [][]byte {
+	if len(chain) == 0 {
+		return nil
+	}
+	out := make([][]byte, len(chain))
+	for i := range chain {
+		out[i] = chain[i].payload
+	}
+	return out
+}
+
+// encodeCkptBase and encodeCkptDelta wrap an engine payload in the chain
+// header.
+func encodeCkptBase(payload []byte) []byte {
+	out := make([]byte, 0, 1+len(payload))
+	out = append(out, ckptKindBase)
+	return append(out, payload...)
+}
+
+func encodeCkptDelta(parent uint64, payload []byte) []byte {
+	out := make([]byte, 0, 1+binary.MaxVarintLen64+len(payload))
+	out = append(out, ckptKindDelta)
+	out = binary.AppendUvarint(out, parent)
+	return append(out, payload...)
+}
+
+// decodeCkptFile splits one checkpoint file's framed payload into its chain
+// header and engine payload.
+func decodeCkptFile(data []byte) (kind byte, parent uint64, payload []byte, err error) {
+	if len(data) == 0 {
+		return 0, 0, nil, errors.New("empty checkpoint")
+	}
+	switch data[0] {
+	case ckptKindBase:
+		return ckptKindBase, 0, data[1:], nil
+	case ckptKindDelta:
+		parent, k := binary.Uvarint(data[1:])
+		if k <= 0 {
+			return 0, 0, nil, errors.New("bad delta parent")
+		}
+		return ckptKindDelta, parent, data[1+k:], nil
+	default:
+		return 0, 0, nil, fmt.Errorf("unknown checkpoint kind %d", data[0])
+	}
+}
+
+// readChain loads the live checkpoint chain of dir, base first. The
+// newest-named checkpoint file is the tip; parent links are followed down to
+// a base. A tip whose chain cannot be completed — unreadable file, missing
+// or non-decreasing parent — is ErrCorrupt: falling back to an older base,
+// even when one survives, would silently roll the state back behind records
+// the segment-trim rules already deleted.
+func readChain(dir string) ([]chainEntry, error) {
+	names, err := listCheckpoints(dir)
+	if err != nil || len(names) == 0 {
+		return nil, err
+	}
+	bySeq := make(map[uint64]segRef, len(names))
+	for _, n := range names {
+		bySeq[n.seq] = n
+	}
+	cur := names[len(names)-1]
+	var chain []chainEntry // tip first; reversed below
+	for {
+		data, err := readFramedFile(filepath.Join(dir, cur.name))
+		if err != nil {
+			return nil, fmt.Errorf("%w: checkpoint %s: %v", ErrCorrupt, cur.name, err)
+		}
+		kind, parent, payload, derr := decodeCkptFile(data)
+		if derr != nil {
+			return nil, fmt.Errorf("%w: checkpoint %s: %v", ErrCorrupt, cur.name, derr)
+		}
+		chain = append(chain, chainEntry{
+			name: cur.name, seq: cur.seq, parent: parent, kind: kind,
+			bytes: int64(len(data)), payload: payload,
+		})
+		if kind == ckptKindBase {
+			break
+		}
+		// Strictly decreasing parent links terminate at a base or a missing
+		// file; anything else (self-reference, forward link) is corruption.
+		if parent >= cur.seq {
+			return nil, fmt.Errorf("%w: checkpoint %s: delta parent %d not before it", ErrCorrupt, cur.name, parent)
+		}
+		next, ok := bySeq[parent]
+		if !ok {
+			return nil, fmt.Errorf("%w: checkpoint %s: missing parent checkpoint %s", ErrCorrupt, cur.name, ckptName(parent))
+		}
+		cur = next
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, nil
+}

@@ -47,6 +47,12 @@ const (
 	// OpInsertAt: the reconcile fold never re-logs an already-staged
 	// handle, so each handle appears in the log once.
 	OpStagedInsert OpKind = 6
+	// OpWidth re-derives the stripe width: ID is the new width in grid
+	// cells. A width change rebuilds the whole placement table, so it is a
+	// placement record like OpAssign/OpSplit — replay must flip the width at
+	// exactly this point in the stream or every later stripe id (and hence
+	// global cluster-id minting order) diverges from the writer's.
+	OpWidth OpKind = 7
 )
 
 // Op is one logged operation. Inserts carry the staged (dims-length)
@@ -96,7 +102,7 @@ func AppendOps(dst []byte, ops []Op) []byte {
 			for _, c := range op.Coord {
 				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c))
 			}
-		case OpDelete:
+		case OpDelete, OpWidth:
 			dst = binary.AppendUvarint(dst, uint64(op.ID))
 		case OpAssign, OpSplit:
 			dst = binary.AppendVarint(dst, op.ID) // stripes can be negative
@@ -164,13 +170,13 @@ func DecodeOps(data []byte) ([]Op, error) {
 				op.ID = int64(id)
 			}
 			ops = append(ops, op)
-		case OpDelete:
+		case OpDelete, OpWidth:
 			id, k := binary.Uvarint(data)
 			if k <= 0 {
-				return nil, fmt.Errorf("%w: bad delete handle at op %d", ErrCodec, i)
+				return nil, fmt.Errorf("%w: bad handle at op %d", ErrCodec, i)
 			}
 			data = data[k:]
-			ops = append(ops, Op{Kind: OpDelete, ID: int64(id)})
+			ops = append(ops, Op{Kind: kind, ID: int64(id)})
 		case OpAssign, OpSplit:
 			stripe, k := binary.Varint(data)
 			if k <= 0 {

@@ -20,8 +20,8 @@ type Reader struct {
 	dir  string
 	meta []byte
 
-	ckptSeq     uint64
-	ckptPayload []byte
+	ckptSeq uint64
+	chain   []chainEntry
 
 	f        *os.File
 	off      int64
@@ -30,8 +30,9 @@ type Reader struct {
 }
 
 // OpenReader opens a tailing reader on dir. The log must exist (ErrNoLog
-// otherwise). The reader starts after the newest checkpoint; its payload is
-// available through CheckpointPayload for the caller to restore first.
+// otherwise). The reader starts after the live checkpoint chain's tip; the
+// chain payloads are available through CheckpointPayloads for the caller to
+// compose and restore first.
 func OpenReader(dir string) (*Reader, error) {
 	meta, err := readFramedFile(filepath.Join(dir, metaName))
 	if err != nil {
@@ -41,18 +42,13 @@ func OpenReader(dir string) (*Reader, error) {
 		return nil, err
 	}
 	r := &Reader{dir: dir, meta: meta}
-	names, err := listCheckpoints(dir)
+	chain, err := readChain(dir)
 	if err != nil {
 		return nil, err
 	}
-	if len(names) > 0 {
-		newest := names[len(names)-1]
-		payload, err := readFramedFile(filepath.Join(dir, newest.name))
-		if err != nil {
-			return nil, fmt.Errorf("%w: checkpoint %s: %v", ErrCorrupt, newest.name, err)
-		}
-		r.ckptSeq = newest.seq
-		r.ckptPayload = payload
+	if len(chain) > 0 {
+		r.chain = chain
+		r.ckptSeq = chain[len(chain)-1].seq
 	}
 	r.next = r.ckptSeq + 1
 	return r, nil
@@ -61,10 +57,16 @@ func OpenReader(dir string) (*Reader, error) {
 // Meta returns the log's configuration payload.
 func (r *Reader) Meta() []byte { return r.meta }
 
-// CheckpointSeq and CheckpointPayload describe the checkpoint the reader
-// started from (seq 0, nil payload when the log had none at open time).
-func (r *Reader) CheckpointSeq() uint64     { return r.ckptSeq }
-func (r *Reader) CheckpointPayload() []byte { return r.ckptPayload }
+// CheckpointSeq returns the sequence the checkpoint chain's tip covered when
+// the reader opened (0 when the log had none).
+func (r *Reader) CheckpointSeq() uint64 { return r.ckptSeq }
+
+// CheckpointPayloads returns the chain's engine payloads, base first (nil
+// when the log had no checkpoint at open time).
+func (r *Reader) CheckpointPayloads() [][]byte { return chainPayloads(r.chain) }
+
+// Chain returns the shape of the checkpoint chain the reader started from.
+func (r *Reader) Chain() ChainStats { return statsOf(r.chain) }
 
 // NextSeq returns the sequence number the next successful Next will deliver.
 func (r *Reader) NextSeq() uint64 { return r.next }

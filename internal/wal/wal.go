@@ -114,9 +114,9 @@ type Log struct {
 	err      error // sticky IO error; the log is poisoned once set
 	closed   bool
 
-	ckptSeq     uint64
-	ckptPayload []byte
-	replayed    int
+	ckptSeq  uint64       // seq the chain tip covers
+	chain    []chainEntry // live checkpoint chain, base first
+	replayed int
 }
 
 // Open opens (or creates) the log in dir, truncates a torn tail, verifies
@@ -185,10 +185,25 @@ func (l *Log) Created() bool { return l.created }
 // Meta returns the configuration payload stored at creation.
 func (l *Log) Meta() []byte { return l.meta }
 
-// CheckpointSeq returns the sequence number the newest checkpoint covers (0
-// when none exists), and CheckpointPayload its opaque payload.
-func (l *Log) CheckpointSeq() uint64     { return l.ckptSeq }
-func (l *Log) CheckpointPayload() []byte { return l.ckptPayload }
+// CheckpointSeq returns the sequence number the live checkpoint chain's tip
+// covers (0 when no checkpoint exists).
+func (l *Log) CheckpointSeq() uint64 { return l.ckptSeq }
+
+// CheckpointPayloads returns the opaque engine payloads of the live
+// checkpoint chain, base first (nil when no checkpoint exists). Restore
+// applies the base and then each delta in order.
+func (l *Log) CheckpointPayloads() [][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return chainPayloads(l.chain)
+}
+
+// Chain returns the shape of the live checkpoint chain.
+func (l *Log) Chain() ChainStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return statsOf(l.chain)
+}
 
 // Replayed returns how many records Open delivered to OnRecord.
 func (l *Log) Replayed() int { return l.replayed }
@@ -208,22 +223,18 @@ func (l *Log) DurableSeq() uint64 {
 	return l.durable
 }
 
-// loadCheckpoint reads the newest checkpoint file, if any.
+// loadCheckpoint reads the live checkpoint chain, if any. The newest-named
+// checkpoint file is the chain's tip and defines the replay horizon.
 func (l *Log) loadCheckpoint() error {
-	names, err := listCheckpoints(l.dir)
+	chain, err := readChain(l.dir)
 	if err != nil {
 		return err
 	}
-	if len(names) == 0 {
+	if len(chain) == 0 {
 		return nil
 	}
-	newest := names[len(names)-1]
-	payload, err := readFramedFile(filepath.Join(l.dir, newest.name))
-	if err != nil {
-		return fmt.Errorf("%w: checkpoint %s: %v", ErrCorrupt, newest.name, err)
-	}
-	l.ckptSeq = newest.seq
-	l.ckptPayload = payload
+	l.chain = chain
+	l.ckptSeq = chain[len(chain)-1].seq
 	return nil
 }
 
@@ -473,52 +484,114 @@ func (l *Log) rotateLocked() error {
 	return nil
 }
 
-// WriteCheckpoint durably stores payload as the checkpoint covering every
-// record up to and including seq, then removes the checkpoints and segments
-// it makes obsolete. The caller guarantees the payload reflects a state that
-// has every record ≤ seq applied and none later.
+// WriteCheckpoint durably stores payload as a full base checkpoint covering
+// every record up to and including seq, starting a fresh chain, then removes
+// the checkpoints and segments it makes obsolete. The caller guarantees the
+// payload reflects a state that has every record ≤ seq applied and none
+// later.
 //
 //dynlint:blocks
 func (l *Log) WriteCheckpoint(seq uint64, payload []byte) error {
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return ErrClosed
-	}
-	if seq > l.nextSeq-1 {
-		l.mu.Unlock()
-		return fmt.Errorf("wal: checkpoint seq %d beyond last record %d", seq, l.nextSeq-1)
-	}
-	if seq < l.ckptSeq {
-		l.mu.Unlock()
-		return fmt.Errorf("wal: checkpoint seq %d behind existing checkpoint %d", seq, l.ckptSeq)
-	}
-	// The records the checkpoint covers must not outlive it in buffered form
-	// only — flush first so a crash right after the trim below cannot lose
-	// the suffix the checkpoint does not cover.
-	if err := l.waitDurableLocked(l.nextSeq - 1); err != nil {
-		l.mu.Unlock()
+	current, err := l.prepareCheckpoint(seq, false)
+	if err != nil {
 		return err
 	}
-	current := ""
+	data := encodeCkptBase(payload)
+	if err := writeFramedFile(l.dir, ckptName(seq), data); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.ckptSeq = seq
+	l.chain = []chainEntry{{
+		name: ckptName(seq), seq: seq, kind: ckptKindBase,
+		bytes: int64(len(data)), payload: append([]byte(nil), payload...),
+	}}
+	live := liveChainNames(l.chain)
+	l.mu.Unlock()
+	l.removeObsolete(seq, current, live)
+	return nil
+}
+
+// WriteDeltaCheckpoint durably stores payload as a delta checkpoint covering
+// records up to and including seq, extending the current chain tip. The
+// caller guarantees the payload, composed onto its parent chain, reflects a
+// state with every record ≤ seq applied and none later. A delta requires an
+// existing chain and must advance the horizon (seq strictly beyond the tip:
+// an equal seq would reuse the parent's file name and sever the chain).
+//
+//dynlint:blocks
+func (l *Log) WriteDeltaCheckpoint(seq uint64, payload []byte) error {
+	current, err := l.prepareCheckpoint(seq, true)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	parent := l.ckptSeq
+	l.mu.Unlock()
+	data := encodeCkptDelta(parent, payload)
+	if err := writeFramedFile(l.dir, ckptName(seq), data); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.ckptSeq = seq
+	l.chain = append(l.chain, chainEntry{
+		name: ckptName(seq), seq: seq, parent: parent, kind: ckptKindDelta,
+		bytes: int64(len(data)), payload: append([]byte(nil), payload...),
+	})
+	live := liveChainNames(l.chain)
+	l.mu.Unlock()
+	l.removeObsolete(seq, current, live)
+	return nil
+}
+
+// prepareCheckpoint validates a checkpoint request and flushes the log: the
+// records the checkpoint covers must not outlive it in buffered form only,
+// so a crash right after the segment trim cannot lose the suffix the
+// checkpoint does not cover. Returns the current segment's name (protected
+// from trimming).
+func (l *Log) prepareCheckpoint(seq uint64, delta bool) (current string, _ error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return "", ErrClosed
+	}
+	if seq > l.nextSeq-1 {
+		return "", fmt.Errorf("wal: checkpoint seq %d beyond last record %d", seq, l.nextSeq-1)
+	}
+	if delta {
+		if len(l.chain) == 0 {
+			return "", fmt.Errorf("wal: delta checkpoint at seq %d without a base to extend", seq)
+		}
+		if seq <= l.ckptSeq {
+			return "", fmt.Errorf("wal: delta checkpoint seq %d not beyond chain tip %d", seq, l.ckptSeq)
+		}
+	} else if seq < l.ckptSeq {
+		return "", fmt.Errorf("wal: checkpoint seq %d behind existing checkpoint %d", seq, l.ckptSeq)
+	}
+	if err := l.waitDurableLocked(l.nextSeq - 1); err != nil {
+		return "", err
+	}
 	if l.hasSeg {
 		current = segName(l.segFirst)
 	}
-	l.mu.Unlock()
+	return current, nil
+}
 
-	if err := writeFramedFile(l.dir, ckptName(seq), payload); err != nil {
-		return err
+func liveChainNames(chain []chainEntry) map[string]bool {
+	live := make(map[string]bool, len(chain))
+	for _, e := range chain {
+		live[e.name] = true
 	}
+	return live
+}
 
-	l.mu.Lock()
-	l.ckptSeq = seq
-	l.ckptPayload = append([]byte(nil), payload...)
-	l.mu.Unlock()
-
-	// Cleanup is best-effort: a failure leaves extra files, never lost state.
+// removeObsolete trims checkpoint files off the live chain and segments the
+// chain tip makes fully obsolete. Cleanup is best-effort: a failure leaves
+// extra files, never lost state.
+func (l *Log) removeObsolete(seq uint64, current string, live map[string]bool) {
 	if names, err := listCheckpoints(l.dir); err == nil {
 		for _, c := range names {
-			if c.seq < seq {
+			if !live[c.name] {
 				os.Remove(filepath.Join(l.dir, c.name))
 			}
 		}
@@ -530,7 +603,6 @@ func (l *Log) WriteCheckpoint(seq uint64, payload []byte) error {
 			}
 		}
 	}
-	return nil
 }
 
 // SegmentCount returns how many segment files the log currently holds.

@@ -314,8 +314,8 @@ func TestCheckpointTruncatesAndRestores(t *testing.T) {
 
 	got, l2 := collect(t, dir)
 	defer l2.Close()
-	if string(l2.CheckpointPayload()) != "state@12" || l2.CheckpointSeq() != 12 {
-		t.Fatalf("checkpoint: seq %d payload %q", l2.CheckpointSeq(), l2.CheckpointPayload())
+	if pls := l2.CheckpointPayloads(); len(pls) != 1 || string(pls[0]) != "state@12" || l2.CheckpointSeq() != 12 {
+		t.Fatalf("checkpoint: seq %d payloads %q", l2.CheckpointSeq(), pls)
 	}
 	// Replay resumes after the checkpoint: exactly records 13..25.
 	if len(got) != 13 {
@@ -517,5 +517,126 @@ func TestOpenReplayAbort(t *testing.T) {
 	}})
 	if !errors.Is(err, boom) {
 		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+func TestDeltaCheckpointChain(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRange := func(l *Log, from, to int) {
+		t.Helper()
+		for i := from; i <= to; i++ {
+			if _, err := l.Append(testOps(i)); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	appendRange(l, 1, 10)
+	if err := l.WriteDeltaCheckpoint(10, []byte("x")); err == nil {
+		t.Fatal("delta without a base must fail")
+	}
+	if err := l.WriteCheckpoint(10, []byte("base@10")); err != nil {
+		t.Fatal(err)
+	}
+	appendRange(l, 11, 14)
+	if err := l.WriteDeltaCheckpoint(14, []byte("delta@14")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteDeltaCheckpoint(14, []byte("dup")); err == nil {
+		t.Fatal("delta not beyond the tip must fail")
+	}
+	appendRange(l, 15, 18)
+	if err := l.WriteDeltaCheckpoint(18, []byte("delta@18")); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Chain(); st.BaseSeq != 10 || st.Deltas != 2 {
+		t.Fatalf("chain stats: %+v", st)
+	}
+	appendRange(l, 19, 20)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, l2 := collect(t, dir)
+	want := []string{"base@10", "delta@14", "delta@18"}
+	pls := l2.CheckpointPayloads()
+	if len(pls) != len(want) {
+		t.Fatalf("chain payloads: %q", pls)
+	}
+	for i, w := range want {
+		if string(pls[i]) != w {
+			t.Fatalf("chain payload %d: %q, want %q", i, pls[i], w)
+		}
+	}
+	if l2.CheckpointSeq() != 18 {
+		t.Fatalf("tip seq %d", l2.CheckpointSeq())
+	}
+	// Replay resumes after the tip: exactly records 19..20.
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records: %v", len(got), got)
+	}
+
+	// A tailing reader sees the same chain.
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp := r.CheckpointPayloads(); len(rp) != 3 || string(rp[0]) != "base@10" {
+		t.Fatalf("reader chain payloads: %q", rp)
+	}
+	if st := r.Chain(); st.BaseSeq != 10 || st.Deltas != 2 {
+		t.Fatalf("reader chain stats: %+v", st)
+	}
+	r.Close()
+
+	// A new base at the tip compacts the chain to a single file.
+	if err := l2.WriteCheckpoint(20, []byte("base@20")); err != nil {
+		t.Fatal(err)
+	}
+	if st := l2.Chain(); st.BaseSeq != 20 || st.Deltas != 0 {
+		t.Fatalf("post-compaction stats: %+v", st)
+	}
+	if names, err := listCheckpoints(dir); err != nil || len(names) != 1 {
+		t.Fatalf("post-compaction checkpoint files: %v (%v)", names, err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainMissingParentRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		if _, err := l.Append(testOps(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WriteCheckpoint(3, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteDeltaCheckpoint(6, []byte("delta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, ckptName(3))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open with a severed chain: %v", err)
+	}
+	if _, err := OpenReader(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("reader with a severed chain: %v", err)
 	}
 }

@@ -73,13 +73,15 @@ type engineSettings struct {
 
 	// Durability (see persist.go). opening marks settings built by Open,
 	// where the shape comes from the log's meta record rather than options.
-	walDir       string
-	walPolicy    SyncPolicy
-	walCkptEvery int
-	walCkptSet   bool
-	walSegBytes  int64
-	walTuned     bool // a WAL tuning option was used (requires WithWAL or Open)
-	opening      bool
+	walDir          string
+	walPolicy       SyncPolicy
+	walCkptEvery    int
+	walCkptSet      bool
+	walCompactEvery int
+	walCompactSet   bool
+	walSegBytes     int64
+	walTuned        bool // a WAL tuning option was used (requires WithWAL or Open)
+	opening         bool
 
 	err error // first option-level error, reported by New
 }

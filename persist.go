@@ -180,10 +180,19 @@ type walState struct {
 	policy    SyncPolicy
 	ckptEvery int
 
+	// compactEvery is the checkpoint-chain compaction cadence: a fresh full
+	// (base) checkpoint every n-th capture, deltas in between (deltackpt.go).
+	compactEvery int
+	// dirty accumulates the inter-checkpoint change set the delta capture
+	// serializes.
+	dirty ckptDirty
+
 	// Single-backend restore/checkpoint capabilities (nil in sharded mode,
 	// where the shards carry their own).
-	rb   restorableBackend
-	look core.PointLookup
+	rb     restorableBackend
+	look   core.PointLookup
+	upd    core.UpdateTracker
+	walker core.CoreCellWalker
 
 	// recovering suppresses appends while Open replays the log through the
 	// ordinary Apply pipeline. Written only before the Engine escapes Open.
@@ -401,19 +410,44 @@ func (e *Engine) Checkpoint() error {
 	}
 	w.ckptMu.Lock()
 	defer w.ckptMu.Unlock()
+	// Chain policy: ride the current base with a delta unless the chain is
+	// due for compaction (every compactEvery-th checkpoint is a fresh base,
+	// letting the log trim the chain's history). The capture may still fall
+	// back to a full payload when the change set is unbounded or not small.
+	chain := w.log.Chain()
+	wantDelta := chain.BaseSeq != 0 && w.compactEvery > 1 && chain.Deltas+1 < w.compactEvery
+	if wantDelta && w.log.LastSeq() <= w.log.CheckpointSeq() {
+		// Nothing was logged since the chain's tip: there is no churn to
+		// serialize, and an empty delta is not writable (its seq would not
+		// advance the chain).
+		return nil
+	}
 	var (
 		seq     uint64
 		payload []byte
+		isDelta bool
 	)
 	if e.sh != nil {
-		seq, payload = e.sh.checkpointPayload(w.log)
+		seq, payload, isDelta = e.sh.checkpointPayload(w.log, wantDelta)
 	} else {
-		seq, payload = e.checkpointPayloadSingle()
+		seq, payload, isDelta = e.checkpointPayloadSingle(wantDelta)
 	}
 	if seq == 0 {
 		return nil
 	}
-	if err := w.log.WriteCheckpoint(seq, payload); err != nil {
+	if isDelta && seq <= w.log.CheckpointSeq() {
+		return nil // raced to the tip: no records past it, nothing to cover
+	}
+	var err error
+	if isDelta {
+		err = w.log.WriteDeltaCheckpoint(seq, payload)
+	} else {
+		err = w.log.WriteCheckpoint(seq, payload)
+	}
+	if err != nil {
+		// The capture drained the change trackers; with the write lost, the
+		// next capture can no longer trust a delta baseline.
+		w.markDirtyFull()
 		return err
 	}
 	w.ckpts.Add(1)
@@ -432,6 +466,14 @@ type WALStats struct {
 	Checkpoints   uint64        // checkpoints written by this engine
 	Replayed      int           // records replayed by Open
 	RecoveryTime  time.Duration // wall time Open spent restoring + replaying
+
+	// Checkpoint-chain shape (see deltackpt.go): the current base
+	// checkpoint's coverage, how many delta checkpoints ride on it, and the
+	// chain's total payload bytes on disk. ChainBaseSeq 0 means no checkpoint
+	// exists yet.
+	ChainBaseSeq uint64
+	ChainDeltas  int
+	ChainBytes   int64
 }
 
 // WALStats returns the current durability counters.
@@ -440,6 +482,7 @@ func (e *Engine) WALStats() WALStats {
 	if w == nil {
 		return WALStats{}
 	}
+	chain := w.log.Chain()
 	return WALStats{
 		Enabled:       true,
 		Policy:        w.policy.String(),
@@ -450,6 +493,9 @@ func (e *Engine) WALStats() WALStats {
 		Checkpoints:   w.ckpts.Load(),
 		Replayed:      w.replayed,
 		RecoveryTime:  w.recoveryTime,
+		ChainBaseSeq:  chain.BaseSeq,
+		ChainDeltas:   chain.Deltas,
+		ChainBytes:    chain.Bytes,
 	}
 }
 
@@ -460,10 +506,12 @@ func (e *Engine) newWALState() (*walState, error) {
 	if e.sh == nil {
 		rb, okRB := e.c.(restorableBackend)
 		look, okLook := e.c.(core.PointLookup)
-		if !okRB || !okLook || e.ext == nil || e.staged == nil {
+		upd, okUpd := e.c.(core.UpdateTracker)
+		walker, okWalk := e.c.(core.CoreCellWalker)
+		if !okRB || !okLook || !okUpd || !okWalk || e.ext == nil || e.staged == nil {
 			return nil, fmt.Errorf("dyndbscan: algorithm %v lacks the persistence capabilities", e.algo)
 		}
-		return &walState{rb: rb, look: look}, nil
+		return &walState{rb: rb, look: look, upd: upd, walker: walker}, nil
 	}
 	return &walState{}, nil
 }
@@ -482,20 +530,28 @@ func (e *Engine) attachWAL(s *engineSettings, dir string, doRecover bool) error 
 	if s.walCkptSet {
 		w.ckptEvery = s.walCkptEvery
 	}
+	w.compactEvery = defaultCompactEvery
+	if s.walCompactSet {
+		w.compactEvery = s.walCompactEvery
+	}
 
 	start := time.Now()
 	if doRecover {
 		w.recovering = true
-		// The checkpoint payload must be restored before the records after it
+		// The checkpoint chain must be restored before the records after it
 		// replay; a Reader surfaces it without opening the log for writing.
 		r, err := wal.OpenReader(dir)
 		if err != nil {
 			return err
 		}
-		payload := r.CheckpointPayload()
+		payloads := r.CheckpointPayloads()
 		r.Close()
-		if payload != nil {
-			if err := e.restoreCheckpoint(payload); err != nil {
+		if len(payloads) > 0 {
+			ck, err := composeCheckpoints(payloads)
+			if err != nil {
+				return err
+			}
+			if err := e.restoreCheckpoint(ck); err != nil {
 				return err
 			}
 		}
@@ -522,6 +578,30 @@ func (e *Engine) attachWAL(s *engineSettings, dir string, doRecover bool) error 
 	w.replayed = log.Replayed()
 	w.recoveryTime = time.Since(start)
 	w.recovering = false
+	// Arm the delta-checkpoint change trackers now that recovery (if any) is
+	// behind us: dirty cells in the backends, the handle/lineage accumulator
+	// through the commit paths. The single-backend event sink is permanent —
+	// the merge ledger must see every commit whether or not subscribers exist
+	// (sharded mode's per-shard sinks are permanent from construction).
+	if ss := e.sh; ss != nil {
+		for _, sh := range ss.shards {
+			sh.upd.SetUpdateTracking(true)
+		}
+	} else {
+		w.upd.SetUpdateTracking(true)
+		e.ext.SetEventFunc(func(ev Event) {
+			ev = e.mapEvent(ev)
+			w.noteDirtyEvent(ev)
+			if e.evsOn {
+				e.pending = append(e.pending, ev)
+			}
+		})
+	}
+	if doRecover {
+		// The restore re-inserted the world outside the trackers' sight; the
+		// first checkpoint after a recovery is necessarily a full one.
+		w.markDirtyFull()
+	}
 	if !w.policy.always {
 		w.stopFlush = make(chan struct{})
 		w.flushDone = make(chan struct{})
@@ -588,12 +668,14 @@ func (e *Engine) applyWALRecord(wops []wal.Op) error {
 			return e.applyAssign(wops[0].ID, wops[0].To)
 		case wal.OpSplit:
 			return e.applySplit(wops[0].ID, wops[0].To)
+		case wal.OpWidth:
+			return e.applyWidth(wops[0].ID)
 		}
 	}
 	explicit := false
 	for i := range wops {
 		switch wops[i].Kind {
-		case wal.OpAssign, wal.OpSplit:
+		case wal.OpAssign, wal.OpSplit, wal.OpWidth:
 			return fmt.Errorf("dyndbscan: wal: placement op inside a data record")
 		case wal.OpInsertAt, wal.OpStagedInsert:
 			explicit = true
@@ -656,6 +738,35 @@ func (e *Engine) applySplit(stripe, parts int64) error {
 		return nil
 	}
 	ticket, evs, pub := ss.splitStripeLocked(stripe, parts)
+	ss.worldMu.Unlock()
+	if pub {
+		e.publishOrdered(ticket, evs)
+	}
+	return nil
+}
+
+// applyWidth replays one logged stripe-width re-derivation: flip the width
+// and re-route every live point, exactly as the writer's reshape did at this
+// point in its op stream. The reshape is a deterministic function of the
+// width and the live routes, so the replayed placement — and with it the
+// stitch's cluster-id minting — matches the writer's.
+func (e *Engine) applyWidth(width int64) error {
+	ss := e.sh
+	if ss == nil {
+		return fmt.Errorf("dyndbscan: wal: placement record in a single-backend log")
+	}
+	if width <= ss.bandCells {
+		return fmt.Errorf("dyndbscan: wal: width record of %d cells is inside the %d-cell ghost band", width, ss.bandCells)
+	}
+	ss.worldMu.Lock()
+	ss.routesMu.Lock()
+	cur := ss.stripeCells
+	ss.routesMu.Unlock()
+	if width == cur {
+		ss.worldMu.Unlock()
+		return nil
+	}
+	ticket, evs, pub := ss.reshapeWidthLocked(width)
 	ss.worldMu.Unlock()
 	if pub {
 		e.publishOrdered(ticket, evs)

@@ -487,3 +487,151 @@ func TestRecoveredEventsUseGraftedIDs(t *testing.T) {
 		}
 	}
 }
+
+// TestDeltaChainShape pins the checkpoint chain's on-disk evolution: with a
+// checkpoint every 2 records and compaction every 3rd capture, the chain
+// cycles base → delta → delta → fresh base. The updates between captures are
+// isolated singles far from the populated region, so the delta captures never
+// hit the patch-size fallback — a fallback would surface as a base where a
+// delta is expected. A kill mid-chain recovers by composing base+deltas and
+// replaying only the records past the tip.
+func TestDeltaChainShape(t *testing.T) {
+	dir := t.TempDir()
+	e, err := New(WithEps(6), WithMinPts(3), WithRho(0),
+		WithWAL(dir, SyncAlways()),
+		WithWALCheckpointEvery(2), WithWALCompactEvery(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 1: a populated world — 40 five-point clusters along the x axis.
+	var batch []Op
+	for i := 0; i < 200; i++ {
+		batch = append(batch, InsertOp(Point{float64(i/5)*40 + float64(i%5)*2, float64(i%5) * 2}))
+	}
+	if _, err := e.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	// Records 2..13: far-apart noise singles. Checkpoints land on the even
+	// sequences; compactEvery=3 folds every third capture into a new base.
+	type shape struct {
+		base   uint64
+		deltas int
+	}
+	want := map[uint64]shape{
+		2: {2, 0}, 4: {2, 1}, 6: {2, 2},
+		8: {8, 0}, 10: {8, 1}, 12: {8, 2},
+	}
+	for seq := uint64(2); seq <= 13; seq++ {
+		if _, err := e.Apply([]Op{InsertOp(Point{3000 + float64(seq)*100, 500})}); err != nil {
+			t.Fatal(err)
+		}
+		st := e.WALStats()
+		if st.LastSeq != seq {
+			t.Fatalf("expected one record per Apply: LastSeq %d after record %d", st.LastSeq, seq)
+		}
+		w, ok := want[seq]
+		if !ok {
+			continue
+		}
+		if st.ChainBaseSeq != w.base || st.ChainDeltas != w.deltas {
+			t.Fatalf("after record %d: chain base@%d+%d deltas, want base@%d+%d",
+				seq, st.ChainBaseSeq, st.ChainDeltas, w.base, w.deltas)
+		}
+	}
+
+	// Kill with the chain at base@8+2 deltas and one tail record (13): the
+	// copy recovers by composing the chain, then replaying just the tail.
+	cp := t.TempDir()
+	copyFlatDir(t, dir, cp)
+	wantSnap := e.Snapshot()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rst := re.WALStats()
+	if rst.ChainBaseSeq != 8 || rst.ChainDeltas != 2 {
+		t.Fatalf("recovered chain base@%d+%d deltas, want base@8+2", rst.ChainBaseSeq, rst.ChainDeltas)
+	}
+	if rst.Replayed != 1 {
+		t.Fatalf("composing the chain should leave 1 record to replay, replayed %d", rst.Replayed)
+	}
+	requireSameClustering(t, wantSnap, re.Snapshot(), "mid-chain kill recovery")
+}
+
+// TestDeltaCheckpointSpeedup is the tentpole's pause-bound acceptance: with a
+// large live set and a small dirty set, a delta capture must run at least an
+// order of magnitude faster than a full one, and grow the chain by at most a
+// tenth of a base's bytes. Timing is min-of-3 on both sides; the byte ratio
+// is the load-independent backstop.
+func TestDeltaCheckpointSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test over a 100k-point live set")
+	}
+	const live = 100_000
+	build := func(compactEvery int) *Engine {
+		e, err := New(WithEps(6), WithMinPts(3), WithRho(0),
+			WithWAL(t.TempDir(), SyncAlways()),
+			WithWALCheckpointEvery(0), WithWALCompactEvery(compactEvery))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := make([]Op, live)
+		for i := range batch {
+			batch[i] = InsertOp(Point{float64(i%1000) * 100, float64(i/1000) * 100})
+		}
+		if _, err := e.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Checkpoint(); err != nil { // the base every round builds on
+			t.Fatal(err)
+		}
+		return e
+	}
+	measure := func(e *Engine) time.Duration {
+		best := time.Duration(0)
+		for round := 0; round < 3; round++ {
+			ops := make([]Op, 16)
+			for i := range ops {
+				ops[i] = InsertOp(Point{float64(i) * 100, -200 - float64(round)*100})
+			}
+			if _, err := e.Apply(ops); err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			if err := e.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	delta := build(1 << 10) // far from the fold cadence: every capture a delta
+	defer delta.Close()
+	baseBytes := delta.WALStats().ChainBytes
+	deltaMin := measure(delta)
+	dst := delta.WALStats()
+	if dst.ChainDeltas != 3 {
+		t.Fatalf("every capture should have been a delta, chain has %d", dst.ChainDeltas)
+	}
+	if growth := dst.ChainBytes - baseBytes; growth*10 > baseBytes {
+		t.Fatalf("3 deltas grew the chain by %d bytes on a %d-byte base", growth, baseBytes)
+	}
+
+	full := build(1) // compaction every capture: always a full base
+	defer full.Close()
+	fullMin := measure(full)
+	if fst := full.WALStats(); fst.ChainDeltas != 0 {
+		t.Fatalf("compactEvery=1 must keep every capture full, chain has %d deltas", fst.ChainDeltas)
+	}
+	if fullMin < 10*deltaMin {
+		t.Fatalf("delta checkpoint not ≥10x faster: full %v, delta %v", fullMin, deltaMin)
+	}
+	t.Logf("full %v, delta %v (%.1fx)", fullMin, deltaMin, float64(fullMin)/float64(deltaMin))
+}

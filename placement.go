@@ -335,6 +335,12 @@ func (ss *shardSet) decideStripeLocked(ops []shOp) {
 		return // nothing to observe yet; keep the provisional default
 	}
 	ss.adaptivePending = false
+	// Arm the live re-derivation (maybeAdaptWidth): the width decided here
+	// is a bet on the first batch's extent, and the engine keeps watching
+	// the extent to re-derive when the bet goes stale.
+	ss.adaptiveWidth = true
+	ss.extLo, ss.extHi, ss.extSeen = lo, hi, true
+	ss.nextWidthCheck = ss.commitSeq + widthCheckEvery
 	extent := int64(hi) - int64(lo) + 1
 	stripes := adaptiveStripesPerShard * int64(len(ss.shards))
 	w := (extent + stripes - 1) / stripes
@@ -370,6 +376,16 @@ func (ss *shardSet) noteLoadLocked(col int32, insert, waited bool) {
 	}
 	if insert {
 		st.points++
+		// Running extent for the adaptive-width re-derivation. Deletions do
+		// not shrink it: growth is the drift that strands the stripe width
+		// (see deriveWidthLocked).
+		if !ss.extSeen {
+			ss.extLo, ss.extHi, ss.extSeen = col, col, true
+		} else if col < ss.extLo {
+			ss.extLo = col
+		} else if col > ss.extHi {
+			ss.extHi = col
+		}
 	} else {
 		st.points--
 	}
@@ -495,6 +511,177 @@ func (ss *shardSet) walAppendSplit(stripe, parts int64) (uint64, error) {
 	return e.wal.append([]wal.Op{{Kind: wal.OpSplit, ID: stripe, To: parts}})
 }
 
+// walAppendWidth logs a stripe-width re-derivation before it happens; width
+// changes replay like migrations (see wal.OpWidth).
+func (ss *shardSet) walAppendWidth(w int64) (uint64, error) {
+	e := ss.e
+	if !e.logging() {
+		return 0, nil
+	}
+	return e.wal.append([]wal.Op{{Kind: wal.OpWidth, ID: w}})
+}
+
+// widthCheckEvery is the adaptive-width re-derivation cadence in commits.
+const widthCheckEvery = 64
+
+// deriveWidthLocked recomputes the adaptive stripe width from the running
+// dimension-0 extent, with the same stripes-per-shard targeting and clamps
+// as the first-batch decision (decideStripeLocked). Returns 0 when no insert
+// has been observed. The extent is a running min/max over every insert ever
+// routed: growth is tracked live; shrinkage (mass deletion at the fringes)
+// is not chased — a too-wide stripe only costs placement granularity, while
+// re-deriving on a transient dip would thrash. Caller holds routesMu.
+func (ss *shardSet) deriveWidthLocked() int64 {
+	if !ss.extSeen {
+		return 0
+	}
+	extent := int64(ss.extHi) - int64(ss.extLo) + 1
+	stripes := adaptiveStripesPerShard * int64(len(ss.shards))
+	w := (extent + stripes - 1) / stripes
+	if w > defaultStripeCells {
+		w = defaultStripeCells
+	}
+	if min := ss.bandCells + 1; w < min {
+		w = min
+	}
+	return w
+}
+
+// maybeAdaptWidth re-derives the adaptive stripe width when the data's
+// dimension-0 extent has drifted so far that the derived width differs ≥4x
+// from the one in effect — a spatially wandering workload would otherwise
+// end up with every live point in a handful of stripes (or every stripe
+// ghost-heavy), and no sequence of per-stripe migrations can fix a wrong
+// granularity. Runs on the committing goroutine after every lock has been
+// released, mirroring maybeAutoRebalance; replay and replicas evolve the
+// width through wal.OpWidth records instead.
+func (ss *shardSet) maybeAdaptWidth() {
+	if w := ss.e.wal; w != nil && w.recovering {
+		return
+	}
+	ss.routesMu.Lock()
+	due := ss.adaptiveWidth && !ss.adaptivePending && ss.commitSeq >= ss.nextWidthCheck
+	var cur, newW int64
+	if due {
+		ss.nextWidthCheck = ss.commitSeq + widthCheckEvery
+		cur = ss.stripeCells
+		newW = ss.deriveWidthLocked()
+	}
+	ss.routesMu.Unlock()
+	if !due || newW == 0 || (newW < 4*cur && cur < 4*newW) {
+		return
+	}
+	if !ss.rebalancing.CompareAndSwap(false, true) {
+		return // a migration pass is running; re-derive on a later cadence
+	}
+	defer ss.rebalancing.Store(false)
+	ss.reshapeWidth(cur, newW)
+}
+
+// reshapeWidth applies a re-derived stripe width: it quiesces the hotspot
+// machinery (whose state is keyed by stripe index), logs the change, and
+// re-routes every live point through a full-range reshape. With the hotspot
+// chunked tier available and no subscribers the trim — the dominant cost —
+// is deferred past the flip and paid in bounded rounds (trimChunks), the
+// same machinery as a chunked migration, so the exclusive hold stays short.
+func (ss *shardSet) reshapeWidth(cur, newW int64) {
+	e := ss.e
+	hs := ss.hs
+	if hs != nil {
+		// Split-phase state (the hot set, its staged sub-buffers) is keyed
+		// by stripe index: pause staging, drain, and demote everything
+		// before the key space changes underneath it. The TryLock mirrors
+		// maybeHotspotReconcile — and keeps a reconcile fold's nested
+		// commit, which reaches this check with reconcileMu held, from
+		// deadlocking.
+		if !hs.reconcileMu.TryLock() {
+			return
+		}
+		defer hs.reconcileMu.Unlock()
+		ss.routesMu.Lock()
+		hs.pausedStaging++
+		ss.routesMu.Unlock()
+		defer func() {
+			ss.routesMu.Lock()
+			hs.pausedStaging--
+			ss.routesMu.Unlock()
+		}()
+		ss.foldAllLocked(joinWidth)
+		ss.routesMu.Lock()
+		for t := range hs.hot {
+			delete(hs.hot, t)
+			hs.hotCount.Add(-1)
+		}
+		ss.routesMu.Unlock()
+	}
+
+	ss.worldMu.Lock()
+	ss.routesMu.Lock()
+	stale := ss.stripeCells != cur
+	ss.routesMu.Unlock()
+	if stale {
+		ss.worldMu.Unlock()
+		return
+	}
+	// Logged like every placement change: replay must flip the width at the
+	// same point in the op stream, or routing — and with it the stitch's
+	// cluster-id minting — would evolve differently than this engine's.
+	seq, err := ss.walAppendWidth(newW)
+	if err != nil {
+		ss.worldMu.Unlock()
+		return
+	}
+	chunked := hs != nil && !ss.eventsOn && hs.pol.MigrateChunk > 0
+	if chunked {
+		// Mirror the chunked migration tier: drop the seam (the stale
+		// copies awaiting their deferred trim would go stale in it) and pay
+		// the trim in bounded rounds after the flip. Commits in between
+		// skip their folds, and trimChunks rebuilds the seam in its final
+		// round.
+		ss.seam = nil
+		ss.deferTrim = true
+	}
+	ticket, evs, pub := ss.reshapeWidthLocked(newW)
+	ss.deferTrim = false
+	ss.worldMu.Unlock()
+	if seq != 0 {
+		e.wal.finish(seq)
+	}
+	if pub {
+		e.publishOrdered(ticket, evs)
+	}
+	if chunked {
+		ss.trimChunks(hs.pol.MigrateChunk)
+	}
+}
+
+// reshapeWidthLocked flips the stripe width and re-routes every live point:
+// a full-range reshapeLocked whose flip replaces the width and resets every
+// stripe-keyed placement table (assignment overrides, splits, load accounts
+// — their keys mean nothing under the new width). The resident point counts
+// are rebuilt from the routes afterwards; the decayed traffic counters
+// restart from zero. Caller holds worldMu exclusively.
+func (ss *shardSet) reshapeWidthLocked(newW int64) (ticket uint64, evs []Event, pub bool) {
+	ticket, evs, pub = ss.reshapeLocked(math.MinInt64, math.MaxInt64, func() {
+		ss.stripeCells = newW
+		ss.assign = make(map[int64]int32)
+		ss.splits = make(map[int64]*stripeSplit)
+		ss.stripeLoad = make(map[int64]*stripeStat)
+	})
+	ss.routesMu.Lock()
+	for _, r := range ss.routes {
+		t := floorDiv(int64(r.col), ss.stripeCells)
+		st := ss.stripeLoad[t]
+		if st == nil {
+			st = &stripeStat{tick: ss.commitSeq}
+			ss.stripeLoad[t] = st
+		}
+		st.points++
+	}
+	ss.routesMu.Unlock()
+	return ticket, evs, pub
+}
+
 // rebalance runs one migration pass: pick, migrate, repeat until balanced or
 // MaxMoves. Events from migrations (possible only under Rho > 0) publish
 // after the world lock is released, in ticket order. Large stripes take the
@@ -545,9 +732,12 @@ func (ss *shardSet) rebalance(pol RebalancePolicy) int {
 // chunkForLocked decides whether migrating stripe t should take the
 // non-quiescent chunked path, returning the chunk size (0 = quiesce). Only
 // hotspot-enabled engines chunk, only for stripes larger than the chunk, and
-// never while the seam is live — the chunked path's intermediate copies are
-// invisible to routing, but the live seam structure would have to track them.
-// Caller holds worldMu (any mode).
+// never while subscribers exist — the chunked path's intermediate copies are
+// invisible to routing, and the per-commit events subscribers consume come
+// from a seam that would have to track them. With the seam warm but no
+// subscribers the migration instead drops it for its duration (commits skip
+// their folds while it is nil) and rebuilds it after the deferred trim
+// drains. Caller holds worldMu (any mode).
 func (ss *shardSet) chunkForLocked(t int64) int {
 	if ss.hs == nil || ss.eventsOn {
 		return 0
@@ -596,6 +786,13 @@ func (ss *shardSet) migrateStripeChunked(t int64, dst int32, chunk int) {
 			// outpacing the chunks: finish quiesced below.
 			ss.routesMu.Unlock()
 		} else {
+			if ss.seam != nil {
+				// The copies grown below are invisible to routing and to the
+				// seam; drop the warm seam for the migration rather than let
+				// it go stale. Commits skip their folds while it is nil, and
+				// trimChunks rebuilds it inside its final exclusive hold.
+				ss.seam = nil
+			}
 			// Hypothetical flip: compute the future copy sets without making
 			// the flip visible (routesMu is held; no commit can route).
 			saved, had := ss.assign[t]
@@ -756,9 +953,22 @@ func (ss *shardSet) trimChunks(chunk int) {
 			ss.trimQueue = nil
 		}
 		if trimmed {
+			// Deferred trims mutate backends outside any commit; if a
+			// checkpoint already consumed the reshape's full flag, re-arm it.
+			ss.e.wal.markDirtyFull()
 			ss.e.version.Add(1)
 			ss.stitchValid = false
 			ss.placeEpoch++
+		}
+		if done && ss.seam == nil {
+			// Rebuild the seam the chunked migration dropped, inside this
+			// final exclusive hold: the engine goes back to warm, so the
+			// next Subscribe still attaches without its own restitch.
+			// buildSeamLocked first clears the copy-movement artifacts the
+			// trims queued in the shards.
+			ss.buildSeamLocked()
+			ss.stitchVersion = ss.e.version.Load()
+			ss.stitchValid = true
 		}
 		ss.routesMu.Unlock()
 		ss.worldMu.Unlock()
@@ -885,6 +1095,11 @@ func (ss *shardSet) splitStripeLocked(t, parts int64) (ticket uint64, evs []Even
 func (ss *shardSet) reshapeLocked(loCol, hiCol int64, flip func()) (ticket uint64, evs []Event, pub bool) {
 	e := ss.e
 
+	// A reshape moves copies between backends and can re-mint global ids in
+	// its intermediate restitch — churn the per-commit dirty trackers do not
+	// model. The next checkpoint must be a full base.
+	e.wal.markDirtyFull()
+
 	// The table and the route rewrites happen under one routesMu critical
 	// section: concurrent commits route under routesMu, so they observe
 	// either the old placement with the old routes or the new pair — never a
@@ -893,8 +1108,12 @@ func (ss *shardSet) reshapeLocked(loCol, hiCol int64, flip func()) (ticket uint6
 	ss.routesMu.Lock()
 	defer ss.routesMu.Unlock()
 
+	// The seam (when warm) must be repopulated on the new placement whether
+	// or not subscribers exist; deriving the net cluster events from the
+	// stitch transition is only worth the work when someone consumes them.
+	seamLive := ss.seam != nil
 	var oldLive []ClusterID
-	if ss.eventsOn {
+	if seamLive && ss.eventsOn {
 		seen := make(map[ClusterID]struct{}, len(ss.keyGID))
 		for _, g := range ss.keyGID {
 			if _, dup := seen[g]; !dup {
@@ -1007,7 +1226,7 @@ func (ss *shardSet) reshapeLocked(loCol, hiCol int64, flip func()) (ticket uint6
 		}
 	}
 
-	if ss.eventsOn {
+	if seamLive {
 		// Backend events and dirty cells raised by the copy movement are
 		// artifacts, not clustering changes; the global consequences are
 		// derived from the stitch transition below instead.
@@ -1016,22 +1235,25 @@ func (ss *shardSet) reshapeLocked(loCol, hiCol int64, flip func()) (ticket uint6
 			sh.tracker.TakeDirtySeamCells()
 		}
 		comps, gidOf, prevGIDs := ss.restitchInfoLocked()
-		// Event attribution is filtered to the ids live before the
-		// migration: an id minted by the intermediate restitch (possible
-		// only under Rho > 0 don't-care re-resolution) surfaces as Formed.
-		oldSet := make(map[ClusterID]struct{}, len(oldLive))
-		for _, g := range oldLive {
-			oldSet[g] = struct{}{}
-		}
-		evPrev := make([][]ClusterID, len(comps))
-		for ci, prev := range prevGIDs {
-			for _, g := range prev {
-				if _, ok := oldSet[g]; ok {
-					evPrev[ci] = append(evPrev[ci], g)
+		if ss.eventsOn {
+			// Event attribution is filtered to the ids live before the
+			// migration: an id minted by the intermediate restitch (possible
+			// only under Rho > 0 don't-care re-resolution) surfaces as
+			// Formed.
+			oldSet := make(map[ClusterID]struct{}, len(oldLive))
+			for _, g := range oldLive {
+				oldSet[g] = struct{}{}
+			}
+			evPrev := make([][]ClusterID, len(comps))
+			for ci, prev := range prevGIDs {
+				for _, g := range prev {
+					if _, ok := oldSet[g]; ok {
+						evPrev[ci] = append(evPrev[ci], g)
+					}
 				}
 			}
+			evs = netTransitions(comps, gidOf, evPrev, oldLive)
 		}
-		evs = netTransitions(comps, gidOf, evPrev, oldLive)
 		ss.populateSeamLocked()
 		// Reshape only reorganizes in-memory routing/stitch state; the data
 		// ops it moves were WAL-logged when they committed. The version bump

@@ -128,8 +128,13 @@ func (r *Replica) rebuild() error {
 	// log records but must never append any (the primary owns the log).
 	w.recovering = true
 	e.wal = w
-	if payload := rd.CheckpointPayload(); payload != nil {
-		if err := e.restoreCheckpoint(payload); err != nil {
+	if payloads := rd.CheckpointPayloads(); len(payloads) > 0 {
+		ck, err := composeCheckpoints(payloads)
+		if err != nil {
+			rd.Close()
+			return err
+		}
+		if err := e.restoreCheckpoint(ck); err != nil {
 			rd.Close()
 			return err
 		}

@@ -549,8 +549,30 @@ func netTransitions(comps [][]stitchKey, gidOf []ClusterID, prevGIDs [][]Cluster
 // core cells populates the entry, key, and adjacency structures. Caller holds
 // worldMu exclusively.
 func (ss *shardSet) buildSeamLocked() {
+	// Anything still queued in the shards predates this rebuild: the stitch
+	// and the walk below read the live backends directly, so replaying
+	// queued events or dirty cells into the fresh seam would fold stale
+	// history (e.g. copy-movement artifacts of a migration that ran while
+	// the seam was cold) on top of an already-exact baseline.
+	for _, sh := range ss.shards {
+		sh.pending = sh.pending[:0]
+		sh.tracker.TakeDirtySeamCells()
+	}
 	ss.restitchLocked()
 	ss.populateSeamLocked()
+}
+
+// ensureSeamLocked makes the incremental seam live, paying the full
+// buildSeamLocked only when it is actually cold — after a checkpoint restore
+// or a chunked stripe migration dropped it. On the warm path (the common
+// case: the seam is built at engine creation and folded by every commit)
+// this is a no-op, which is what lets Subscribe attach in O(1). Caller holds
+// worldMu exclusively.
+func (ss *shardSet) ensureSeamLocked() {
+	if ss.seam != nil {
+		return
+	}
+	ss.buildSeamLocked()
 }
 
 // populateSeamLocked rebuilds the seam structures from the current keyGID

@@ -113,6 +113,7 @@ type shard struct {
 	walker  core.CoreCellWalker
 	tracker core.SeamTracker
 	look    core.PointLookup
+	upd     core.UpdateTracker // delta-checkpoint dirty cells; armed by attachWAL
 
 	// ownerGlobal maps backend-local handles of *owned* copies back to their
 	// global handles — the translation table for point-level events. Ghost
@@ -155,6 +156,16 @@ type shardSet struct {
 	autoEvery       int
 	rebalancing     atomic.Bool
 
+	// Adaptive-width re-derivation state (see maybeAdaptWidth): the running
+	// dimension-0 cell extent of every routed insert, the cadence cursor,
+	// and whether the current width was adaptively derived (an explicit
+	// WithShardStripe width is never second-guessed). All guarded by
+	// routesMu.
+	adaptiveWidth  bool
+	extLo, extHi   int32
+	extSeen        bool
+	nextWidthCheck uint64
+
 	// hs is the contention-adaptive commit path (WithHotspot), nil otherwise;
 	// see hotspot.go. stagedRoutes maps handles of staged-but-unreconciled
 	// hotspot inserts to their parent stripe — the handle surface (len, has,
@@ -195,27 +206,30 @@ type shardSet struct {
 	pendingDead map[PointID]struct{}
 
 	// eventsOn mirrors "the engine has subscribers": commits read it (under
-	// the shared worldMu) to decide whether to collect events and fold seam
-	// deltas. Toggled only while worldMu is held exclusively, so its value is
-	// stable for the duration of any commit.
+	// the shared worldMu) to decide whether to collect point events and
+	// publish. Toggled only while worldMu is held exclusively, so its value
+	// is stable for the duration of any commit. The seam fold is not gated
+	// on it — see seam below.
 	eventsOn bool
 
-	// Incremental seam structure (see seam.go): live while eventsOn, nil
-	// otherwise. seamMu guards it plus the stitch state below during
-	// subscribed commits; a quiesced holder of worldMu (exclusive) may read
-	// everything without seamMu, since no commit is in flight then.
+	// Incremental seam structure (see seam.go): warm from engine creation
+	// and folded by every commit, so Subscribe attaches by taking its place
+	// in the publication order instead of paying an O(N) restitch. nil only
+	// while deliberately cold — after a checkpoint restore (replay commits
+	// skip their folds) and during a chunked stripe migration (whose
+	// intermediate copies the seam cannot track); ensureSeamLocked rebuilds
+	// it on the next Subscribe or checkpoint capture. seamMu guards it plus
+	// the stitch state below during commits; a quiesced holder of worldMu
+	// (exclusive) may read everything without seamMu, since no commit is in
+	// flight then.
 	//
 	//dynlint:lock-level 60
 	seamMu sync.Mutex
 	seam   *seamState
 
-	// seamVersion stamps the epoch the retired seam structure was exact at
-	// when the last subscriber left (the seam itself is kept): a Subscribe
-	// arriving before the next commit reuses it instead of paying a full
-	// restitch. restitches counts full restitch passes — the observable the
-	// seam-reuse regression test pins down.
-	seamVersion uint64
-	restitches  uint64
+	// restitches counts full restitch passes — the observable the warm-seam
+	// Subscribe regression test pins down.
+	restitches uint64
 
 	// Stitch state. keyGID persists the (shard, local cluster) → global id
 	// assignment across epochs — the source of global id stability — fed by
@@ -298,7 +312,8 @@ func newShardedEngine(s *engineSettings) (*Engine, error) {
 		walker, okWalk := c.(core.CoreCellWalker)
 		tracker, okTrack := c.(core.SeamTracker)
 		look, okLook := c.(core.PointLookup)
-		if !okExt || !okSt || !okWalk || !okTrack || !okLook {
+		upd, okUpd := c.(core.UpdateTracker)
+		if !okExt || !okSt || !okWalk || !okTrack || !okLook || !okUpd {
 			return nil, fmt.Errorf("dyndbscan: algorithm %v lacks the sharding capabilities", s.algo)
 		}
 		ss.shards[i] = &shard{
@@ -309,9 +324,21 @@ func newShardedEngine(s *engineSettings) (*Engine, error) {
 			walker:      walker,
 			tracker:     tracker,
 			look:        look,
+			upd:         upd,
 			ownerGlobal: make(map[core.PointID]PointID),
 		}
 	}
+	for _, sh := range ss.shards {
+		sh := sh
+		// Event collection and dirty-cell tracking are permanent: every
+		// commit folds its seam delta whether or not subscribers exist, so
+		// eventsOn only gates what is published, never what is maintained.
+		sh.ext.SetEventFunc(func(ev Event) { sh.pending = append(sh.pending, ev) })
+		sh.tracker.SetSeamTracking(true)
+	}
+	// The seam is warm from birth: an empty world stitches trivially, and
+	// every commit folds its own delta from here on.
+	ss.seam = newSeamState()
 	e.sh = ss
 	return e, nil
 }
@@ -391,6 +418,7 @@ func (ss *shardSet) commitBatchNoCkpt(ops []shOp, errUnknown func(i int, id Poin
 		involved []int32
 		perShard map[int32][]shardItem
 		evsOn    bool
+		seamOn   bool
 		unlock   func()
 		walSeq   uint64
 		waited   map[int32]bool // shards whose lock this commit contended on
@@ -466,11 +494,12 @@ route:
 		// seam delta into the live seam structure under seamMu instead of
 		// requiring a quiesced world. Publication happens after the unlock:
 		// a backpressured publisher must never hold worldMu, or subscriber
-		// callbacks querying the Engine would deadlock. eventsOn only
-		// toggles while worldMu is held exclusively, so its value is stable
-		// once the shared lock is held.
+		// callbacks querying the Engine would deadlock. eventsOn and the
+		// seam pointer only change while worldMu is held exclusively, so
+		// both snapshots are stable once the shared lock is held.
 		ss.worldMu.RLock()
 		evsOn = ss.eventsOn
+		seamOn = ss.seam != nil
 		for _, s := range involved {
 			if ss.hs == nil || ss.shards[s].mu.TryLock() {
 				if ss.hs == nil {
@@ -578,7 +607,7 @@ route:
 				if it.owner {
 					sh.ownerGlobal[lid] = op.gid
 				}
-				sh.drainEvents(&evsBuf[k], &clustBuf[k], evsOn)
+				sh.drainEvents(&evsBuf[k], &clustBuf[k], evsOn, seamOn)
 				continue
 			}
 			if err := sh.c.Delete(it.local); err != nil {
@@ -587,13 +616,16 @@ route:
 			}
 			// Drain before dropping the translation entry, so demotion
 			// events of points deleted later in this batch still translate.
-			sh.drainEvents(&evsBuf[k], &clustBuf[k], evsOn)
+			sh.drainEvents(&evsBuf[k], &clustBuf[k], evsOn, seamOn)
 			if it.owner {
 				delete(sh.ownerGlobal, it.local)
 			}
 		}
-		if evsOn {
-			dirtyBuf[k] = sh.tracker.TakeDirtySeamCells()
+		// The tracker accumulates dirty cells whether or not the seam is
+		// live; draining unconditionally keeps a cold period (checkpoint
+		// restore, chunked migration) from growing the set without bound.
+		if dirty := sh.tracker.TakeDirtySeamCells(); seamOn {
+			dirtyBuf[k] = dirty
 		}
 	}
 	if len(involved) == 1 {
@@ -613,6 +645,8 @@ route:
 	// Publish the routes and the sorted-id cache, and charge the commit to
 	// its owner stripes' load accounts.
 	out := make([]PointID, len(ops))
+	var dins, ddel []PointID
+	track := e.logging()
 	ss.routesMu.Lock()
 	ss.commitSeq++
 	for i := range ops {
@@ -625,29 +659,44 @@ route:
 				ss.idsSorted = false // concurrent commits may interleave mints
 			}
 			ss.sortedIDs = append(ss.sortedIDs, op.gid)
+			if track {
+				dins = append(dins, op.gid)
+			}
 		} else {
 			delete(ss.routes, op.gid)
 			ss.pendingDead[op.gid] = struct{}{}
+			if track {
+				ddel = append(ddel, op.gid)
+			}
 		}
 	}
 	if ss.hs != nil {
 		ss.noteHotspotLocked()
 	}
 	ss.routesMu.Unlock()
+	// Record the commit's handle churn for the delta-checkpoint change set —
+	// still under the shared worldMu, so a capture (worldMu exclusive) either
+	// sees this commit's routes and its churn, or neither.
+	e.wal.noteDirtyUpdates(dins, ddel)
 
-	// Event derivation: translated point events in shard order, then the
-	// global cluster transitions obtained by folding this commit's seam
-	// delta (the backends' cluster-event lineage plus their dirty core
-	// cells) into the live seam structure. The fold runs under seamMu while
-	// the shard locks are still held: the entries it rewrites belong to
-	// cells whose owner shard is locked by this commit, and the backend
-	// re-reads (CoreCellCluster) only target involved shards.
+	// Seam fold: the global cluster transitions obtained by folding this
+	// commit's seam delta (the backends' cluster-event lineage plus their
+	// dirty core cells) into the live seam structure. The fold runs on
+	// every commit while the seam is warm — subscribers or not — which is
+	// what keeps keyGID and the stitch exact per epoch and lets Subscribe
+	// attach without a restitch; only the *publication* of the derived
+	// events is gated on eventsOn. The fold runs under seamMu while the
+	// shard locks are still held: the entries it rewrites belong to cells
+	// whose owner shard is locked by this commit, and the backend re-reads
+	// (CoreCellCluster) only target involved shards.
 	var evs []Event
 	var ticket uint64
 	pub := false
-	if evsOn {
-		for _, buf := range evsBuf {
-			evs = append(evs, buf...)
+	if seamOn {
+		if evsOn {
+			for _, buf := range evsBuf {
+				evs = append(evs, buf...)
+			}
 		}
 		ss.seamMu.Lock()
 		tx := ss.newSeamTxn()
@@ -667,12 +716,19 @@ route:
 				tx.setEntry(s, coord, lab, ok)
 			}
 		}
-		evs = append(evs, tx.finalize()...)
+		cevs := tx.finalize()
+		// The fold's serialization under seamMu is the global commit order of
+		// cluster transitions; recording here keeps the delta checkpoints'
+		// merge ledger in exactly that order.
+		e.wal.noteDirtyEvents(cevs)
+		if evsOn {
+			evs = append(evs, cevs...)
+		}
 		e.version.Add(1)
 		ss.stitched = ss.keyGID
 		ss.stitchVersion = e.version.Load()
 		ss.stitchValid = true
-		if len(evs) > 0 {
+		if evsOn && len(evs) > 0 {
 			// The ticket is taken inside the seam critical section, so
 			// per-subscriber streams order events exactly as the seam state
 			// evolved — a commit can never reference a global id minted by a
@@ -683,6 +739,9 @@ route:
 		ss.seamMu.Unlock()
 	} else {
 		e.version.Add(1)
+		// Seam-cold commit: no fold ran, so the cluster lineage of this
+		// commit is unknown — the next checkpoint cannot be a delta.
+		e.wal.markDirtyFull()
 	}
 	unlock()
 	// Durability barrier before publication: under SyncAlways the commit
@@ -708,6 +767,9 @@ route:
 		// the reconcileMu TryLock.
 		ss.maybeHotspotReconcile()
 	}
+	// Adaptive-width re-derivation cadence: same discipline (committing
+	// goroutine, no lock pinned; self-gating and TryLock-protected inside).
+	ss.maybeAdaptWidth()
 	return out, werr
 }
 
@@ -756,24 +818,30 @@ func (e *Engine) takeTicket() uint64 {
 // drainEvents translates and collects the shard's pending backend events.
 // Point events of owned copies are translated to global handles; point
 // events of ghost copies (absent from ownerGlobal) are duplicates of the
-// owner shard's and dropped. Cluster events are not forwarded directly —
-// global cluster transitions are derived from the seam delta, where they are
-// well-defined — but are collected in order as the commit's local lineage:
-// the seam transaction folds each merge as a rename, each split as a scoped
-// re-derivation, and each form/dissolve as a key lifecycle step.
-func (sh *shard) drainEvents(buf *[]Event, clust *[]Event, evsOn bool) {
+// owner shard's and dropped — and they are collected at all only while
+// subscribers exist (evsOn), since nothing else consumes them. Cluster
+// events are not forwarded directly — global cluster transitions are derived
+// from the seam delta, where they are well-defined — but are collected in
+// order as the commit's local lineage whenever the seam is warm (seamOn),
+// subscribers or not: the seam transaction folds each merge as a rename,
+// each split as a scoped re-derivation, and each form/dissolve as a key
+// lifecycle step. With the seam cold the pending queue is simply cleared.
+func (sh *shard) drainEvents(buf *[]Event, clust *[]Event, evsOn, seamOn bool) {
 	if len(sh.pending) == 0 {
 		return
 	}
-	if evsOn {
-		for _, ev := range sh.pending {
-			switch ev.Kind {
-			case EventPointBecameCore, EventPointBecameNoise:
-				if gid, ok := sh.ownerGlobal[ev.Point]; ok {
-					ev.Point = gid
-					*buf = append(*buf, ev)
-				}
-			default:
+	for _, ev := range sh.pending {
+		switch ev.Kind {
+		case EventPointBecameCore, EventPointBecameNoise:
+			if !evsOn {
+				continue
+			}
+			if gid, ok := sh.ownerGlobal[ev.Point]; ok {
+				ev.Point = gid
+				*buf = append(*buf, ev)
+			}
+		default:
+			if seamOn {
 				*clust = append(*clust, ev)
 			}
 		}
@@ -1222,11 +1290,14 @@ func containsID(ids []ClusterID, id ClusterID) bool {
 	return false
 }
 
-// syncEvents reconciles per-shard event collection — and the life of the
-// incremental seam structure — with the engine's subscriber count; the
-// sharded counterpart of Engine.syncEventFunc. It holds worldMu exclusively,
-// so it observes a quiesced world: in-flight commits have drained before the
-// seam is built or torn down.
+// syncEvents reconciles event *publication* with the engine's subscriber
+// count; the sharded counterpart of Engine.syncEventFunc. Event collection
+// and the per-commit seam fold are permanent (installed at engine creation),
+// so attaching a subscriber only flips eventsOn — and, when the seam went
+// cold through a checkpoint restore or a chunked migration, rebuilds it
+// once. On a warm-seam engine Subscribe therefore performs no full restitch:
+// the exclusive worldMu hold below is the O(1) quiesce that fences in-flight
+// commits, not an O(N) rebuild.
 func (ss *shardSet) syncEvents() {
 	ss.worldMu.Lock()
 	defer ss.worldMu.Unlock()
@@ -1238,38 +1309,16 @@ func (ss *shardSet) syncEvents() {
 		return
 	}
 	if !want {
+		// Publication stops; the warm seam keeps folding so the next
+		// Subscribe attaches without a restitch.
 		ss.eventsOn = false
-		for _, sh := range ss.shards {
-			sh.ext.SetEventFunc(nil)
-			sh.tracker.SetSeamTracking(false)
-			sh.pending = nil
-		}
-		// The seam-maintained assignment is exact for this quiesced instant;
-		// keep serving it until the next commit moves the epoch. The seam
-		// itself is retired, not discarded: stamped with this epoch, it is
-		// reused verbatim by a Subscribe that arrives before the next commit.
-		ss.seamVersion = e.version.Load()
-		ss.stitchVersion = ss.seamVersion
-		ss.stitchValid = true
 		return
 	}
-	for _, sh := range ss.shards {
-		sh := sh
-		sh.pending = sh.pending[:0]
-		sh.ext.SetEventFunc(func(ev Event) { sh.pending = append(sh.pending, ev) })
-		sh.tracker.SetSeamTracking(true)
-	}
-	// Baseline: the incremental seam starts from a full stitch of the
-	// quiesced world, so the first subscribed commit folds only its own
-	// changes, not the whole pre-subscription history. A seam retired at this
-	// very epoch is still that stitch — reuse it instead of recomputing
-	// (unsubscribe/resubscribe churn otherwise pays a full restitch each
-	// time). Commits and migrations invalidate the retirement stamp by
-	// advancing the version; they never need to clear ss.seam themselves.
-	if ss.seam == nil || ss.seamVersion != e.version.Load() {
-		ss.seam = nil
-		ss.buildSeamLocked()
-	}
+	ss.ensureSeamLocked()
+	// While the seam is warm every commit's fold leaves the stitch exact at
+	// its epoch, and a just-rebuilt cold seam refreshed it through the full
+	// stitch — either way this quiesced instant is current.
+	ss.stitched = ss.keyGID
 	ss.stitchVersion = e.version.Load()
 	ss.stitchValid = true
 	ss.eventsOn = true

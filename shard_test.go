@@ -11,6 +11,7 @@ import (
 
 	"dyndbscan"
 	"dyndbscan/internal/evcheck"
+	"dyndbscan/internal/wal"
 )
 
 // newShardTestEngine builds one engine of the equivalence pair. Rho = 0:
@@ -945,6 +946,107 @@ func TestAdaptiveStripeWidth(t *testing.T) {
 	if got := explicit.StripeCells(); got != 10 {
 		t.Fatalf("WithShardStripe(10) effective width = %d", got)
 	}
+}
+
+// TestAdaptiveWidthRederivation covers the width decision past the cold
+// start: when the workload wanders far enough that the derived width differs
+// ≥4x from the one in effect, the engine re-derives at its commit cadence,
+// logs the change as one wal.OpWidth record, and keeps the clustering
+// equivalent to a single backend — and replay flips the width at the same
+// point in the op stream, so a reopened engine lands on the same placement.
+func TestAdaptiveWidthRederivation(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := dyndbscan.New(
+		dyndbscan.WithEps(30), dyndbscan.WithMinPts(4), dyndbscan.WithRho(0),
+		dyndbscan.WithShards(4),
+		dyndbscan.WithWAL(dir, dyndbscan.SyncAlways()),
+		dyndbscan.WithWALCheckpointEvery(0), // reopen must replay the width flip
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := dyndbscan.New(
+		dyndbscan.WithEps(30), dyndbscan.WithMinPts(4), dyndbscan.WithRho(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+
+	// First commit: a compact extent (~160 cells over 16 stripes) derives a
+	// narrow width.
+	rng := rand.New(rand.NewSource(9))
+	pts := make([]dyndbscan.Point, 400)
+	for i := range pts {
+		pts[i] = dyndbscan.Point{rng.Float64() * 3400, rng.Float64() * 200}
+	}
+	if _, err := eng.InsertBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.InsertBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	w0 := eng.StripeCells()
+	if w0 <= 5 || w0 > 11 {
+		t.Fatalf("first-commit width = %d, want a derived narrow width in (5, 11]", w0)
+	}
+
+	// The workload wanders: isolated singles marching out to x ≈ 156k. By the
+	// width check the derived width hits the cell cap, ≥4x the narrow one.
+	for i := 0; i < 80; i++ {
+		pt := dyndbscan.Point{3400 + float64(i+1)*1900, 100}
+		if _, err := eng.Insert(pt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := single.Insert(pt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.StripeCells(); got != dyndbscan.DefaultStripeCells {
+		t.Fatalf("width after wandering = %d, want re-derived %d", got, dyndbscan.DefaultStripeCells)
+	}
+	checkIsomorphic(t, single, eng, "after width re-derivation")
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The re-derivation is in the log exactly once, as a placement record.
+	r, err := wal.OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	widths := 0
+	for {
+		_, ops, err := r.Next()
+		if errors.Is(err, wal.ErrCaughtUp) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("scanning the log: %v", err)
+		}
+		for _, op := range ops {
+			if op.Kind == wal.OpWidth {
+				widths++
+				if op.ID != int64(dyndbscan.DefaultStripeCells) {
+					t.Fatalf("OpWidth logged %d, want %d", op.ID, dyndbscan.DefaultStripeCells)
+				}
+			}
+		}
+	}
+	r.Close()
+	if widths != 1 {
+		t.Fatalf("log holds %d OpWidth records, want exactly 1", widths)
+	}
+
+	// Replay (no checkpoint was ever written) re-derives through the record.
+	re, err := dyndbscan.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.StripeCells(); got != dyndbscan.DefaultStripeCells {
+		t.Fatalf("replayed width = %d, want %d", got, dyndbscan.DefaultStripeCells)
+	}
+	checkIsomorphic(t, single, re, "replayed width re-derivation")
 }
 
 // TestAutoRebalance drives hotspot traffic whose hot stripes alias onto one

@@ -14,8 +14,11 @@ package dyndbscan
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -49,6 +52,90 @@ var (
 		{1, 31}, {7, 31}, {13, 31}, {19, 31},
 	}
 )
+
+// Checkpoint-chain corpus history: a 40-point batch (record 1) and 11 far
+// singles (records 2..12), checkpointed every 4 records with a compaction
+// horizon of 8 — on disk that is a base checkpoint covering record 4 plus
+// delta checkpoints covering records 8 and 12. The chain_* damage cases
+// mutilate the checkpoint files (remove a parent, rot a delta, plant a
+// leftover) rather than the segments: recovery must compose the live chain
+// exactly, refuse a chain it cannot complete, and ignore files off the chain.
+var (
+	chainCorpusBatch = func() []Point {
+		pts := make([]Point, 40)
+		for i := range pts {
+			// Two well-separated 20-point clusters.
+			base := Point{0, 0}
+			if i >= 20 {
+				base = Point{60, 60}
+			}
+			pts[i] = Point{base[0] + float64(i%5), base[1] + float64((i/5)%4)}
+		}
+		return pts
+	}()
+	chainCorpusSingles = func() []Point {
+		pts := make([]Point, 11)
+		for i := range pts {
+			// Far from the batch mass and from each other: each single's delta
+			// patch stays a handful of points, so the captures really are
+			// deltas and never fall back to full payloads.
+			pts[i] = Point{500 + float64(i)*100, 500}
+		}
+		return pts
+	}()
+)
+
+func chainCorpusOpts(dir string) []Option {
+	opts := []Option{WithEps(6), WithMinPts(3)}
+	if dir != "" {
+		opts = append(opts,
+			WithWAL(dir, SyncAlways()),
+			WithWALCheckpointEvery(4), WithWALCompactEvery(8))
+	}
+	return opts
+}
+
+// buildChainCorpusBase writes the chain template log into dir and returns the
+// chain's checkpoint file names in seq order (base first). It fails unless
+// the log really holds a base + 2 deltas — the scenario the damage cases need.
+func buildChainCorpusBase(tb testing.TB, dir string) []string {
+	tb.Helper()
+	e, err := New(chainCorpusOpts(dir)...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := e.InsertBatch(chainCorpusBatch); err != nil {
+		tb.Fatal(err)
+	}
+	for _, pt := range chainCorpusSingles {
+		if _, err := e.Insert(pt); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	rd, err := wal.OpenReader(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cs := rd.Chain()
+	rd.Close()
+	if cs.Deltas != 2 {
+		tb.Fatalf("chain corpus base built a chain of base@%d + %d delta(s), want 2 deltas; the template lost its scenario", cs.BaseSeq, cs.Deltas)
+	}
+	var names []string
+	for _, name := range listFlatDir(tb, dir) {
+		if strings.HasSuffix(name, ".ckpt") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names) // seq-ordered: the names are fixed-width hex
+	if len(names) != 3 {
+		tb.Fatalf("chain corpus base holds %d checkpoint files, want 3: %v", len(names), names)
+	}
+	return names
+}
 
 // stagedCorpusOpts is the staged-corpus engine shape; dir == "" builds the
 // in-memory reference (no WAL, no hotspot — staged and ordinary replay must
@@ -120,18 +207,29 @@ func buildStagedCorpusBase(tb testing.TB, dir string) {
 var walCorpusCases = []struct {
 	name      string
 	staged    bool // the staged-delta (hotspot) corpus base
+	chain     bool // the checkpoint-chain corpus base
 	wantLen   int  // points after recovery (damage at the tail truncates)
 	wantError bool // mid-log damage must refuse to open
 }{
-	{"valid", false, 10, false},
-	{"torn_record", false, 9, false},      // last record cut mid-frame
-	{"truncated_header", false, 9, false}, // segment ends inside a frame header
-	{"bad_crc_tail", false, 9, false},     // checksum damage on the final record
-	{"bad_crc_mid", false, 0, true},       // checksum damage with good records after it
-	{"staged_valid", true, 40, false},     // warm batch + 8 staged-delta records
-	{"staged_torn_record", true, 39, false},
-	{"staged_bad_crc_tail", true, 39, false},
-	{"staged_bad_crc_mid", true, 0, true}, // damaged staged record mid-log: refuse
+	{"valid", false, false, 10, false},
+	{"torn_record", false, false, 9, false},      // last record cut mid-frame
+	{"truncated_header", false, false, 9, false}, // segment ends inside a frame header
+	{"bad_crc_tail", false, false, 9, false},     // checksum damage on the final record
+	{"bad_crc_mid", false, false, 0, true},       // checksum damage with good records after it
+	{"staged_valid", true, false, 40, false},     // warm batch + 8 staged-delta records
+	{"staged_torn_record", true, false, 39, false},
+	{"staged_bad_crc_tail", true, false, 39, false},
+	{"staged_bad_crc_mid", true, false, 0, true}, // damaged staged record mid-log: refuse
+
+	// Checkpoint-chain damage: the segments stay pristine; the chain files
+	// take the hit. Valid shapes compose base + deltas; a chain recovery
+	// cannot complete is refused (the trimmed log can no longer vouch for
+	// the history an older base would roll back to).
+	{"chain_valid", false, true, 51, false},    // base@4 + deltas @8, @12 compose
+	{"chain_leftover", false, true, 51, false}, // off-chain file ignored
+	{"chain_missing_parent", false, true, 0, true},
+	{"chain_bad_delta", false, true, 0, true}, // mid-chain delta rotted
+	{"chain_bad_tip", false, true, 0, true},   // newest (tip) delta rotted
 }
 
 func TestWALCorpus(t *testing.T) {
@@ -170,16 +268,30 @@ func TestWALCorpus(t *testing.T) {
 			// The surviving prefix must match a fresh engine fed the same
 			// inserts — damage costs exactly the torn suffix, nothing else.
 			var ref *Engine
-			if tc.staged {
+			switch {
+			case tc.staged:
 				ref, err = New(stagedCorpusOpts("")...)
-			} else {
+			case tc.chain:
+				ref, err = New(chainCorpusOpts("")...)
+			default:
 				ref, err = New(WithEps(6), WithMinPts(3))
 			}
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer ref.Close()
-			if tc.staged {
+			if tc.chain {
+				// Chain damage never truncates records — the segments are
+				// intact, so every valid case recovers the full history.
+				if _, err := ref.InsertBatch(chainCorpusBatch); err != nil {
+					t.Fatal(err)
+				}
+				for _, pt := range chainCorpusSingles {
+					if _, err := ref.Insert(pt); err != nil {
+						t.Fatal(err)
+					}
+				}
+			} else if tc.staged {
 				// Mirror the base history's op shape: the warm batch as one
 				// commit, then the surviving prefix of the staged singles.
 				if _, err := ref.InsertBatch(stagedCorpusWarm); err != nil {
@@ -270,8 +382,59 @@ func regenWALCorpus(t *testing.T) {
 		b[sframes[3]+10] ^= 0xFF
 		return b
 	})
-	t.Logf("regenerated %s (%d cases, segments %s/%s, %d+%d records)",
-		walCorpusRoot, len(walCorpusCases), segName, sname, len(frames), len(sframes))
+
+	// The checkpoint-chain family: pristine segments, damage aimed at the
+	// chain's checkpoint files. ckpts is [base, delta, delta] in seq order.
+	cbase := t.TempDir()
+	ckpts := buildChainCorpusBase(t, cbase)
+	cmutate := func(name string, f func(dir string)) {
+		dst := filepath.Join(walCorpusRoot, name)
+		if err := os.RemoveAll(dst); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		copyFlatDir(t, cbase, dst)
+		if f != nil {
+			f(dst)
+		}
+	}
+	rot := func(dir, name string) {
+		// Flip a payload byte: the file's framing CRC no longer matches.
+		path := filepath.Join(dir, name)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[10] ^= 0xFF
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cmutate("chain_valid", nil)
+	cmutate("chain_leftover", func(dir string) {
+		// A failed cleanup's leftover: a copy of the base under a seq name
+		// that is on no parent link. It must be ignored, not composed.
+		b, err := os.ReadFile(filepath.Join(dir, ckpts[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		leftover := fmt.Sprintf("ckpt-%016x.ckpt", 5)
+		if err := os.WriteFile(filepath.Join(dir, leftover), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cmutate("chain_missing_parent", func(dir string) {
+		if err := os.Remove(filepath.Join(dir, ckpts[0])); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cmutate("chain_bad_delta", func(dir string) { rot(dir, ckpts[1]) })
+	cmutate("chain_bad_tip", func(dir string) { rot(dir, ckpts[2]) })
+
+	t.Logf("regenerated %s (%d cases, segments %s/%s, %d+%d records, chain %v)",
+		walCorpusRoot, len(walCorpusCases), segName, sname, len(frames), len(sframes), ckpts)
 }
 
 // corpusSegment finds the base log's single segment and walks its frames.
@@ -334,7 +497,7 @@ func frameOffsets(t *testing.T, seg []byte) []int {
 	return offs
 }
 
-func listFlatDir(t *testing.T, dir string) []string {
+func listFlatDir(t testing.TB, dir string) []string {
 	t.Helper()
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -349,7 +512,7 @@ func listFlatDir(t *testing.T, dir string) []string {
 	return names
 }
 
-func copyFlatDir(t *testing.T, src, dst string) {
+func copyFlatDir(t testing.TB, src, dst string) {
 	t.Helper()
 	for _, name := range listFlatDir(t, src) {
 		b, err := os.ReadFile(filepath.Join(src, name))
@@ -362,11 +525,14 @@ func copyFlatDir(t *testing.T, src, dst string) {
 	}
 }
 
-// FuzzWALReplay: recovery over an arbitrary segment file must reject or
-// truncate, never panic. Two templates seed the fuzzer: the pristine
-// single-backend corpus log, and the sharded hotspot log whose tail records
-// are OpStagedInsert — so mutations reach the staged-delta decode and replay
-// paths too. The bool picks which template's wal.meta frames the segment.
+// FuzzWALReplay: recovery over an arbitrary log directory must reject or
+// truncate, never panic. Three templates seed the fuzzer: the pristine
+// single-backend corpus log (mode 0), the sharded hotspot log whose tail
+// records are OpStagedInsert (mode 1) — fuzz bytes replace the segment — and
+// the checkpoint-chain log (mode 2), where fuzz bytes become the chain tip's
+// *payload*, re-framed with a valid CRC so arbitrary bytes reach the chain
+// header decode and the engine's delta-compose paths instead of dying at the
+// file checksum.
 func FuzzWALReplay(f *testing.F) {
 	tmpl := f.TempDir()
 	e, err := New(WithEps(6), WithMinPts(3),
@@ -388,23 +554,54 @@ func FuzzWALReplay(f *testing.F) {
 	buildStagedCorpusBase(f, stmpl)
 	stagedName, stagedSeg, stagedMeta := fuzzTemplate(f, stmpl)
 
-	f.Add(false, plainSeg)
-	f.Add(false, plainSeg[:len(plainSeg)-3])
-	f.Add(false, []byte{})
-	f.Add(true, stagedSeg)
-	f.Add(true, stagedSeg[:len(stagedSeg)-3])
-	f.Add(true, plainSeg) // staged-shaped meta over non-staged records
-	f.Fuzz(func(t *testing.T, staged bool, seg []byte) {
-		segName, meta := plainName, plainMeta
-		if staged {
-			segName, meta = stagedName, stagedMeta
+	ctmpl := f.TempDir()
+	chainCkpts := buildChainCorpusBase(f, ctmpl)
+	tipName := chainCkpts[len(chainCkpts)-1]
+	chainFiles := make(map[string][]byte)
+	for _, name := range listFlatDir(f, ctmpl) {
+		b, err := os.ReadFile(filepath.Join(ctmpl, name))
+		if err != nil {
+			f.Fatal(err)
 		}
+		chainFiles[name] = b
+	}
+	tipPayload := chainFiles[tipName][frameHeaderLenTest:]
+
+	f.Add(uint8(0), plainSeg)
+	f.Add(uint8(0), plainSeg[:len(plainSeg)-3])
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(1), stagedSeg)
+	f.Add(uint8(1), stagedSeg[:len(stagedSeg)-3])
+	f.Add(uint8(1), plainSeg) // staged-shaped meta over non-staged records
+	f.Add(uint8(2), tipPayload)
+	f.Add(uint8(2), tipPayload[:len(tipPayload)-3])
+	f.Add(uint8(2), []byte{})
+	f.Add(uint8(2), tipPayload[1:]) // delta header stripped: bad kind byte
+	f.Fuzz(func(t *testing.T, mode uint8, data []byte) {
 		dir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(dir, "wal.meta"), meta, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(filepath.Join(dir, segName), seg, 0o644); err != nil {
-			t.Fatal(err)
+		switch mode % 3 {
+		case 2:
+			// Pristine chain log, arbitrary bytes as the tip checkpoint's
+			// framed payload (chain header + engine payload).
+			for name, b := range chainFiles {
+				if name == tipName {
+					b = frameFuzzPayload(data)
+				}
+				if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		default:
+			segName, meta := plainName, plainMeta
+			if mode%3 == 1 {
+				segName, meta = stagedName, stagedMeta
+			}
+			if err := os.WriteFile(filepath.Join(dir, "wal.meta"), meta, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, segName), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
 		}
 		e, err := Open(dir)
 		if err != nil {
@@ -413,6 +610,19 @@ func FuzzWALReplay(f *testing.F) {
 		e.Snapshot()
 		e.Close()
 	})
+}
+
+// frameHeaderLenTest mirrors the wal package's length|crc file frame header.
+const frameHeaderLenTest = 8
+
+// frameFuzzPayload wraps payload in a valid length|crc file frame, so the
+// fuzzer's bytes survive the framing checksum and reach the decoders behind
+// it.
+func frameFuzzPayload(payload []byte) []byte {
+	buf := make([]byte, frameHeaderLenTest, frameHeaderLenTest+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	return append(buf, payload...)
 }
 
 // fuzzTemplate reads a template log's single segment and meta file.
